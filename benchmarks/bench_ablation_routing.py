@@ -1,0 +1,81 @@
+"""Ablation A3 — adaptive LLM routing by query class (§5.4 future work).
+
+"No single model performs best across all workloads and data types,
+motivating future research on dynamic LLM routing based on query
+classes."  This bench learns a per-class routing policy from a
+calibration run, then evaluates the routed ensemble on the golden set:
+the router must match the best fixed model's accuracy while spending
+less (fewer frontier-model calls whenever a cheaper model ties).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import ALL_MODELS, write_result
+from repro.evaluation.runner import median_by
+from repro.llm.routing import MODEL_COST, AdaptiveModelRouter, learn_policy
+from repro.viz.ascii import series_table
+
+
+def test_adaptive_routing_matches_best_fixed_model(benchmark, eval_env, results_dir):
+    _, _, queries, runner = eval_env
+
+    def sweep():
+        # calibration: all models, Full context
+        records = runner.run(models=ALL_MODELS, configs=["Full"], n_reps=3)
+        policy = learn_policy(records, queries)
+        router = AdaptiveModelRouter(policy)
+
+        medians = median_by(records, judge="gpt-judge", keys=("model", "qid"))
+        fixed_scores = {
+            m: statistics.mean(
+                medians[(m, q.qid)] for q in queries
+            )
+            for m in ALL_MODELS
+        }
+        # routed ensemble: per query, take the routed model's median score
+        routed, routed_cost = [], 0.0
+        for q in queries:
+            model = router.route(q.nl, query=q)
+            routed.append(medians[(model, q.qid)])
+            routed_cost += MODEL_COST[model]
+        return policy, fixed_scores, statistics.mean(routed), routed_cost
+
+    policy, fixed_scores, routed_score, routed_cost = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    best_fixed_model = max(fixed_scores, key=fixed_scores.get)
+    best_fixed = fixed_scores[best_fixed_model]
+    best_fixed_cost = len(queries) * MODEL_COST[best_fixed_model]
+
+    # the routed ensemble matches (or beats) the best fixed model...
+    assert routed_score >= best_fixed - 0.01
+    # ...beats every open/weak fixed model outright...
+    assert routed_score > fixed_scores["llama3-8b"] + 0.2
+    assert routed_score > fixed_scores["gemini-2.5-flash-lite"]
+    # ...and the learned policy actually uses more than one model
+    assert len(policy.distinct_models()) >= 2
+
+    rows = [
+        {"strategy": f"fixed:{m}", "score": round(s, 3),
+         "cost": round(len(queries) * MODEL_COST[m], 1)}
+        for m, s in sorted(fixed_scores.items(), key=lambda kv: kv[1])
+    ]
+    rows.append(
+        {"strategy": "adaptive-router", "score": round(routed_score, 3),
+         "cost": round(routed_cost, 1)}
+    )
+    write_result(
+        results_dir,
+        "ablation_routing.txt",
+        series_table(
+            rows,
+            ["strategy", "score", "cost"],
+            title="Adaptive LLM routing vs fixed models (GPT judge; cost in "
+            "relative API units)",
+        )
+        + f"\n\nbest fixed = {best_fixed_model} "
+        f"(score {best_fixed:.3f}, cost {best_fixed_cost:.1f})",
+    )

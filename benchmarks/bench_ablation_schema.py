@@ -1,0 +1,96 @@
+"""Ablation A2 — dynamic dataflow schema size vs complexity and volume.
+
+The design's core trade-off (paper §4.1/§5.4): prompt cost depends on
+*workflow complexity* (distinct activities x fields), never on task
+count.  This bench measures schema payload tokens while scaling each
+axis independently, and compares the synthetic vs chemistry schemas.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.agent.schema import DynamicDataflowSchema
+from repro.llm.tokenizer import count_tokens
+from repro.viz.ascii import series_table
+import json
+
+
+def _payload_tokens(schema: DynamicDataflowSchema) -> int:
+    return count_tokens(json.dumps(schema.to_prompt_payload()))
+
+
+def _msg(activity: str, n_fields: int, value: float):
+    return {
+        "task_id": "t",
+        "activity_id": activity,
+        "used": {f"p{i}": value for i in range(n_fields)},
+        "generated": {f"o{i}": value for i in range(n_fields)},
+        "status": "FINISHED",
+    }
+
+
+def test_schema_scales_with_complexity_not_volume(benchmark, results_dir):
+    def sweep():
+        rows = []
+        # axis 1: volume (same 4 activities, more messages)
+        for n_msgs in (10, 100, 1000):
+            s = DynamicDataflowSchema()
+            for i in range(n_msgs):
+                s.update(_msg(f"act{i % 4}", 3, float(i)))
+            rows.append(
+                {"axis": "volume", "x": n_msgs, "tokens": _payload_tokens(s)}
+            )
+        # axis 2: complexity (more distinct activities, fixed volume)
+        for n_acts in (2, 8, 32):
+            s = DynamicDataflowSchema()
+            for i in range(1000):
+                s.update(_msg(f"act{i % n_acts}", 3, float(i)))
+            rows.append(
+                {"axis": "complexity", "x": n_acts, "tokens": _payload_tokens(s)}
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    volume = [r["tokens"] for r in rows if r["axis"] == "volume"]
+    complexity = [r["tokens"] for r in rows if r["axis"] == "complexity"]
+    # volume axis: flat (within rounding); complexity axis: growing
+    assert max(volume) - min(volume) <= max(2, int(0.01 * volume[0]))
+    assert complexity[0] < complexity[1] < complexity[2]
+
+    write_result(
+        results_dir,
+        "ablation_schema.txt",
+        series_table(
+            rows,
+            ["axis", "x", "tokens"],
+            title="Schema payload tokens vs data volume / workflow complexity",
+        ),
+    )
+
+
+def test_chemistry_schema_wider_than_synthetic(benchmark):
+    """The chemistry workflow's nested schema is the one that overflows
+    LLaMA-3-8B — quantify the gap against the synthetic workflow."""
+    from repro.agent.context_manager import ContextManager
+    from repro.capture.context import CaptureContext
+    from repro.workflows.chemistry import run_bde_workflow
+    from repro.workflows.synthetic import run_synthetic_campaign
+
+    def measure():
+        ctx_s = CaptureContext()
+        cm_s = ContextManager(ctx_s.broker).start()
+        run_synthetic_campaign(ctx_s, n_inputs=5)
+
+        ctx_c = CaptureContext()
+        cm_c = ContextManager(ctx_c.broker).start()
+        run_bde_workflow("CCO", ctx_c, n_conformers=2)
+        return (
+            count_tokens(json.dumps(cm_s.schema_payload())),
+            count_tokens(json.dumps(cm_c.schema_payload())),
+        )
+
+    synthetic_tokens, chemistry_tokens = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert chemistry_tokens > 2 * synthetic_tokens

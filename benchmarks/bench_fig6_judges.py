@@ -1,0 +1,64 @@
+"""Figure 6 — scores assigned by two judges across five LLMs (Full config).
+
+Reproduction targets: GPT judge consistently above Claude judge; the
+ranking trend identical across judges; largest judge disagreement on
+LLaMA 3-8B / Gemini; mild self-preference (GPT judge: gpt ~ claude;
+Claude judge: claude > gpt).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import ALL_MODELS, JUDGE_NAMES, write_result
+from repro.evaluation.reporting import fig6_judge_comparison
+from repro.viz.ascii import series_table
+
+
+def test_fig6_two_judges_five_models(benchmark, eval_env, results_dir):
+    _, _, _, runner = eval_env
+
+    def sweep():
+        records = runner.run(models=ALL_MODELS, configs=["Full"], n_reps=3)
+        return records, fig6_judge_comparison(records, JUDGE_NAMES)
+
+    _records, cmp = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # GPT judge scores higher than Claude judge for every model
+    for model in ALL_MODELS:
+        assert cmp[model]["gpt-judge"] > cmp[model]["claude-judge"]
+
+    # ranking trend consistent across judges: frontier models on top
+    for judge in JUDGE_NAMES:
+        ranking = sorted(ALL_MODELS, key=lambda m: cmp[m][judge])
+        assert ranking[0] == "llama3-8b"
+        assert set(ranking[-2:]) == {"gpt-4", "claude-opus-4"}
+
+    # self-preference: Claude judge puts Claude clearly ahead of GPT;
+    # GPT judge has them within error margins (the paper calls it a tie)
+    assert cmp["claude-opus-4"]["claude-judge"] - cmp["gpt-4"]["claude-judge"] > 0.01
+    assert abs(cmp["gpt-4"]["gpt-judge"] - cmp["claude-opus-4"]["gpt-judge"]) < 0.04
+
+    # largest judge gaps on the weaker models
+    gaps = {m: cmp[m]["gpt-judge"] - cmp[m]["claude-judge"] for m in ALL_MODELS}
+    assert max(gaps["llama3-8b"], gaps["gemini-2.5-flash-lite"]) > max(
+        gaps["gpt-4"], gaps["claude-opus-4"]
+    )
+
+    rows = [
+        {
+            "model": m,
+            "gpt_judge": round(cmp[m]["gpt-judge"], 3),
+            "claude_judge": round(cmp[m]["claude-judge"], 3),
+        }
+        for m in ALL_MODELS
+    ]
+    write_result(
+        results_dir,
+        "fig6_judge_comparison.txt",
+        series_table(
+            rows,
+            ["model", "gpt_judge", "claude_judge"],
+            title="Figure 6: average of per-query median scores by judge "
+            "(Full context; paper: GPT judge gpt=0.972/claude=0.970, "
+            "Claude judge claude=0.94/gpt=0.91)",
+        ),
+    )

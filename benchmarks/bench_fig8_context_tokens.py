@@ -1,0 +1,71 @@
+"""Figure 8 — contextual components vs performance and token consumption.
+
+Reproduction targets (GPT model, GPT judge): scores rise monotonically
+from Baseline to Full; Guidelines beat Schema+Values at a fraction of
+the tokens (the paper's headline: "query guidelines provide the
+greatest performance boost with lower token cost"); token usage grows
+from a few hundred to several thousand while staying inside frontier
+context windows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.evaluation.configs import FIGURE8_ORDER
+from repro.evaluation.reporting import fig8_context_vs_tokens
+from repro.viz.ascii import scatter, series_table
+
+
+def test_fig8_score_vs_tokens(benchmark, eval_env, results_dir):
+    _, _, _, runner = eval_env
+
+    def sweep():
+        records = runner.run(models=["gpt-4"], configs=FIGURE8_ORDER, n_reps=3)
+        return fig8_context_vs_tokens(
+            records, judge="gpt-judge", configs=FIGURE8_ORDER
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by = {r["config"]: r for r in rows}
+
+    # monotone improvement along the cumulative axis
+    assert (
+        by["Baseline"]["mean_score"]
+        < by["Baseline+FS"]["mean_score"]
+        < by["Baseline+FS+Schema"]["mean_score"]
+        < by["Full"]["mean_score"]
+    )
+    # paper endpoint shapes: baseline near-useless, Full near-perfect
+    assert by["Baseline"]["mean_score"] < 0.2
+    assert by["Full"]["mean_score"] > 0.93
+
+    # guidelines: more accurate AND far cheaper than schema+values
+    guide, heavy = by["Baseline+FS+Guidelines"], by["Baseline+FS+Schema+Values"]
+    assert guide["mean_score"] > heavy["mean_score"]
+    assert guide["mean_tokens"] < 0.5 * heavy["mean_tokens"]
+
+    # token growth: hundreds -> thousands, near the small models' window
+    assert by["Baseline"]["mean_tokens"] < 700
+    assert 2_500 < by["Full"]["mean_tokens"] < 8_192
+
+    table = series_table(
+        [
+            {
+                "config": r["config"],
+                "mean_score": round(r["mean_score"], 3),
+                "stdev": round(r["stdev_score"], 3),
+                "mean_tokens": round(r["mean_tokens"]),
+            }
+            for r in rows
+        ],
+        ["config", "mean_score", "stdev", "mean_tokens"],
+        title="Figure 8: score vs token consumption (GPT model, GPT judge; "
+        "paper: 0.06 -> 0.97, 293 -> 4300 tokens)",
+    )
+    chart = scatter(
+        [r["mean_tokens"] for r in rows],
+        [r["mean_score"] for r in rows],
+        labels=[r["config"] for r in rows],
+        title="score vs tokens",
+    )
+    write_result(results_dir, "fig8_context_tokens.txt", table + "\n\n" + chart)

@@ -1,0 +1,52 @@
+"""§5.2 "Response times" — LLM latency within interactive bounds.
+
+Reproduction targets: all models stay within ~2 s mean latency even
+with full-context prompts; latency is stable across OLAP and OLTP
+workloads.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import ALL_MODELS, write_result
+from repro.evaluation.reporting import response_time_table
+from repro.viz.ascii import series_table
+
+
+def test_response_times_interactive(benchmark, eval_env, results_dir):
+    _, _, queries, runner = eval_env
+
+    def sweep():
+        records = runner.run(models=ALL_MODELS, configs=["Full"], n_reps=3)
+        return response_time_table(records, queries)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    assert len(rows) == len(ALL_MODELS) * 2  # per model x workload
+    for row in rows:
+        assert row["mean_latency_s"] < 2.5, row
+
+    # stability across workloads per model
+    by_model: dict[str, list[float]] = {}
+    for r in rows:
+        by_model.setdefault(r["model"], []).append(r["mean_latency_s"])
+    for model, vals in by_model.items():
+        assert max(vals) - min(vals) < 0.6, model
+
+    write_result(
+        results_dir,
+        "response_times.txt",
+        series_table(
+            [
+                {
+                    "model": r["model"],
+                    "workload": r["workload"],
+                    "mean_latency_s": round(r["mean_latency_s"], 3),
+                    "max_latency_s": round(r["max_latency_s"], 3),
+                }
+                for r in rows
+            ],
+            ["model", "workload", "mean_latency_s", "max_latency_s"],
+            title="Response times (paper: ~2 s interactive bound, stable "
+            "across workloads)",
+        ),
+    )

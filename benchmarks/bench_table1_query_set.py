@@ -1,0 +1,37 @@
+"""Table 1 — distribution of golden queries by data type and workload."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.evaluation.reporting import table1_distribution
+from repro.viz.ascii import series_table
+
+
+def test_table1_distribution(benchmark, eval_env, results_dir):
+    _, cm, queries, _ = eval_env
+
+    def build():
+        from repro.evaluation.query_set import build_query_set
+
+        qs = build_query_set(cm.to_frame())
+        return table1_distribution(qs)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    by = {r["data_type"]: r for r in rows}
+    # paper Table 1, exactly
+    assert (by["Control Flow"]["olap"], by["Control Flow"]["oltp"]) == (4, 3)
+    assert (by["Dataflow"]["olap"], by["Dataflow"]["oltp"]) == (3, 4)
+    assert (by["Scheduling"]["olap"], by["Scheduling"]["oltp"]) == (3, 5)
+    assert (by["Telemetry"]["olap"], by["Telemetry"]["oltp"]) == (4, 5)
+    assert sum(r["total"] for r in rows) == 31
+
+    write_result(
+        results_dir,
+        "table1_query_distribution.txt",
+        series_table(
+            rows,
+            ["data_type", "olap", "oltp", "total"],
+            title="Table 1: distribution of queries by data type and workload",
+        ),
+    )

@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs
+the relevant sweep (timed via ``benchmark.pedantic`` — these are
+macro-benchmarks, one round each), asserts the qualitative shape the
+paper reports, and writes the measured rows to
+``benchmarks/results/<artefact>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.agent.context_manager import ContextManager
+from repro.capture.context import CaptureContext
+from repro.evaluation.query_set import build_query_set
+from repro.evaluation.runner import ExperimentRunner
+from repro.workflows.synthetic import run_synthetic_campaign
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+ALL_MODELS = (
+    "llama3-8b",
+    "llama3-70b",
+    "gemini-2.5-flash-lite",
+    "gpt-4",
+    "claude-opus-4",
+)
+JUDGE_NAMES = ("gpt-judge", "claude-judge")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def eval_env():
+    """Campaign (100 inputs, as in the paper) + golden set + runner."""
+    ctx = CaptureContext()
+    cm = ContextManager(ctx.broker).start()
+    run_synthetic_campaign(ctx, n_inputs=100)
+    queries = build_query_set(cm.to_frame())
+    runner = ExperimentRunner(cm, queries)
+    return ctx, cm, queries, runner
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")

@@ -1,0 +1,85 @@
+"""Interactive provenance chat REPL — the terminal analog of the paper's GUI.
+
+Starts a background campaign (synthetic or chemistry), then drops you
+into a chat loop with the provenance agent.  Shows the generated query
+code with every answer, exactly like the paper's Streamlit interface.
+
+Run:  python examples/agent_repl.py [--chemistry] [--model MODEL]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.agent.agent import ProvenanceAgent
+from repro.capture.context import CaptureContext
+from repro.llm.profiles import MODEL_ORDER
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.provenance.query_api import QueryAPI
+
+BANNER = """\
+provenance agent — ask about running/completed tasks, their data,
+telemetry, and placement. Examples:
+  How many tasks have finished?
+  What is the average duration per activity?
+  Plot a bar graph of the average duration per activity.
+  use the field <name> to ...        (adds a session guideline)
+Type 'quit' to exit.
+"""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chemistry", action="store_true",
+                        help="run the ethanol BDE workflow instead of the synthetic campaign")
+    parser.add_argument("--model", default="gpt-4", choices=MODEL_ORDER)
+    args = parser.parse_args(argv)
+
+    ctx = CaptureContext(hostname="workstation-0")
+    keeper = ProvenanceKeeper(ctx.broker)
+    keeper.start()
+    agent = ProvenanceAgent(ctx, model=args.model, query_api=QueryAPI(keeper.database))
+
+    if args.chemistry:
+        from repro.evaluation.live_demo import register_demo_intents
+        from repro.workflows.chemistry import run_bde_workflow
+
+        register_demo_intents()
+        print("running the ethanol BDE workflow ...")
+        run_bde_workflow("CCO", ctx, n_conformers=2)
+    else:
+        from repro.workflows.synthetic import run_synthetic_campaign
+
+        print("running 25 synthetic workflow instances ...")
+        run_synthetic_campaign(ctx, n_inputs=25)
+
+    print(f"\n{keeper.database.count({'type': 'task'})} tasks captured; "
+          f"model = {args.model}\n")
+    print(BANNER)
+
+    while True:
+        try:
+            line = input("you> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line.lower() in ("quit", "exit", "q"):
+            return 0
+        reply = agent.chat(line)
+        print(f"agent> {reply.text}")
+        if reply.code:
+            print(f"query> {reply.code}")
+        if reply.error:
+            print(f"error> {reply.error}")
+        if reply.table is not None and len(reply.table) <= 15:
+            print(reply.table.to_string())
+        if reply.chart:
+            print(reply.chart)
+        print()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Quickstart: instrument a function, stream provenance, chat with the agent.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.agent.agent import ProvenanceAgent
+from repro.capture.context import CaptureContext, WorkflowRun
+from repro.capture.instrumentation import flow_task
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.provenance.query_api import QueryAPI
+
+
+def main() -> None:
+    # 1. a capture context: broker + buffering + clock + telemetry
+    ctx = CaptureContext(hostname="laptop-0")
+
+    # 2. a keeper persisting everything the hub sees
+    keeper = ProvenanceKeeper(ctx.broker)
+    keeper.start()
+
+    # 3. the provenance agent, watching the same hub
+    agent = ProvenanceAgent(ctx, model="gpt-4", query_api=QueryAPI(keeper.database))
+
+    # 4. instrument ordinary functions with one decorator
+    @flow_task()
+    def prepare(n: int):
+        return {"values": list(range(n)), "n": n}
+
+    @flow_task()
+    def reduce_sum(n: int):
+        return {"total": n * (n - 1) // 2}
+
+    with WorkflowRun("quickstart_workflow", ctx):
+        for n in (10, 20, 30):
+            prepare(n, _ctx=ctx)
+            reduce_sum(n, _ctx=ctx)
+    ctx.flush()
+
+    print(f"tasks persisted: {keeper.database.count({'type': 'task'})}")
+    print(f"schema fields:   {agent.context_manager.schema.dataflow_fields}")
+    print()
+
+    # 5. talk to your provenance
+    for question in (
+        "hello!",
+        "How many tasks have finished?",
+        "What is the average duration per activity?",
+    ):
+        reply = agent.chat(question)
+        print(f"you>   {question}")
+        print(f"agent> {reply.text}")
+        if reply.code:
+            print(f"       [query: {reply.code}]")
+        if reply.table is not None:
+            print(reply.table.to_string())
+        print()
+
+
+if __name__ == "__main__":
+    main()

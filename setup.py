@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no ``wheel`` package, so ``pip install -e .`` cannot
+use the PEP-517 editable path (it needs ``bdist_wheel``).  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` flow.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

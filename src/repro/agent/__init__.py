@@ -1,0 +1,37 @@
+"""The provenance AI agent (paper §4): live NL interaction with provenance.
+
+Components map one-to-one onto Figure 4:
+
+* :mod:`context_manager` — subscribes to the streaming hub; maintains the
+  in-memory context (recent task messages as a DataFrame), the
+  **dynamic dataflow schema** (:mod:`schema`), and the
+  **query guidelines** (:mod:`guidelines`);
+* :mod:`prompts` / :mod:`rag` — prompt templates and RAG strategies
+  (Table 2 configurations) assembling the LLM context;
+* :mod:`router` — the Tool Router: rule-based + LLM intent dispatch;
+* :mod:`tools` — MCP-style tools: in-memory query, provenance-DB query,
+  anomaly detector, plotter, summariser — plus bring-your-own-tool
+  registration;
+* :mod:`monitor` — the Context Monitor dispatching tools on rules;
+* :mod:`recorder` — provenance *of* the agent: tool executions and LLM
+  interactions recorded as W3C-PROV-style task messages (§4.2);
+* :mod:`mcp` — a minimal Model Context Protocol server/client pair;
+* :mod:`agent` — the facade: ``ProvenanceAgent.chat("which bond ...")``.
+"""
+
+from repro.agent.schema import DynamicDataflowSchema
+from repro.agent.guidelines import GuidelineStore, STATIC_GUIDELINES
+from repro.agent.context_manager import ContextManager
+from repro.agent.prompts import PromptBuilder, PromptConfig
+from repro.agent.agent import AgentReply, ProvenanceAgent
+
+__all__ = [
+    "DynamicDataflowSchema",
+    "GuidelineStore",
+    "STATIC_GUIDELINES",
+    "ContextManager",
+    "PromptBuilder",
+    "PromptConfig",
+    "ProvenanceAgent",
+    "AgentReply",
+]

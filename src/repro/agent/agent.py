@@ -1,0 +1,207 @@
+"""ProvenanceAgent: the user-facing facade (paper Fig. 4, §5.3).
+
+``agent.chat("Which bond has the highest dissociation free energy?")``
+routes the message (greeting / guideline / plot / monitoring /
+historical), invokes the right tool, records the tool execution and any
+LLM interaction as provenance (§4.2), and returns an
+:class:`AgentReply` carrying the summary text, the generated code, the
+tabular result, and the chart when one was requested — the same answer
+anatomy as the paper's GUI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agent.context_manager import ContextManager
+from repro.agent.monitor import ContextMonitor
+from repro.agent.prompts import PromptConfig
+from repro.agent.recorder import AgentProvenanceRecorder
+from repro.agent.router import Intent, ToolRouter
+from repro.agent.tools.anomaly import AnomalyDetectorTool
+from repro.agent.tools.base import Tool, ToolRegistry, ToolResult
+from repro.agent.tools.db_query import DatabaseQueryTool
+from repro.agent.tools.in_memory_query import FULL_CONTEXT, InMemoryQueryTool
+from repro.agent.tools.plotting import PlottingTool
+from repro.agent.tools.summarize import SummaryTool, summarize
+from repro.agent.mcp.server import MCPServer
+from repro.capture.context import CaptureContext
+from repro.dataframe import DataFrame
+from repro.llm.service import LLMServer
+from repro.provenance.query_api import QueryAPI
+
+__all__ = ["ProvenanceAgent", "AgentReply"]
+
+
+@dataclass
+class AgentReply:
+    """Everything the GUI would show for one turn."""
+
+    text: str
+    intent: Intent
+    ok: bool = True
+    code: str | None = None
+    table: DataFrame | None = None
+    chart: str | None = None
+    error: str | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class ProvenanceAgent:
+    """Live provenance chat agent over a streaming capture context."""
+
+    def __init__(
+        self,
+        capture_context: CaptureContext,
+        *,
+        llm: LLMServer | None = None,
+        model: str = "gpt-4",
+        query_api: QueryAPI | None = None,
+        prompt_config: PromptConfig = FULL_CONTEXT,
+        agent_id: str = "provenance-agent",
+    ):
+        self.capture_context = capture_context
+        self.llm = llm or LLMServer()
+        self.model = model
+        self.context_manager = ContextManager(capture_context.broker).start()
+        self.recorder = AgentProvenanceRecorder(capture_context, agent_id=agent_id)
+        self.router = ToolRouter()
+        self.registry = ToolRegistry()
+
+        self.query_tool = InMemoryQueryTool(
+            self.context_manager, self.llm, model=model, prompt_config=prompt_config
+        )
+        self.registry.register(self.query_tool)
+        self.plot_tool = PlottingTool(self.query_tool)
+        self.registry.register(self.plot_tool)
+        self.anomaly_tool = AnomalyDetectorTool(
+            self.context_manager, capture_context.broker
+        )
+        self.registry.register(self.anomaly_tool)
+        self.registry.register(SummaryTool())
+        if query_api is not None:
+            self.db_tool: DatabaseQueryTool | None = DatabaseQueryTool(
+                query_api, self.context_manager, self.llm, model=model,
+                prompt_config=prompt_config,
+            )
+            self.registry.register(self.db_tool)
+        else:
+            self.db_tool = None
+
+        self.monitor = ContextMonitor(self.context_manager)
+        self.mcp = MCPServer(self.registry)
+        self.mcp.add_resource(
+            "dataflow-schema", self.context_manager.schema_payload
+        )
+        self.mcp.add_resource("example-values", self.context_manager.values_payload)
+        self.mcp.add_resource(
+            "guidelines",
+            lambda: [g.text for g in self.context_manager.guidelines.all()],
+        )
+        self.turns: list[AgentReply] = []
+
+    # -- bring your own tool -----------------------------------------------------
+    def register_tool(self, tool: Tool) -> None:
+        self.registry.register(tool)
+
+    # -- chat -----------------------------------------------------------------------
+    def chat(self, message: str) -> AgentReply:
+        intent = self.router.classify(message)
+        started = self.capture_context.clock.now()
+
+        if intent == Intent.GREETING:
+            reply = AgentReply(
+                text=(
+                    "Hello! I am the provenance agent. Ask me about running "
+                    "or completed workflow tasks, their data, telemetry, or "
+                    "where they ran."
+                ),
+                intent=intent,
+            )
+        elif intent == Intent.ADD_GUIDELINE:
+            self.context_manager.add_user_guideline(message)
+            reply = AgentReply(
+                text=(
+                    "Understood — I stored that as a session guideline and "
+                    "will apply it to future queries (it overrides any "
+                    "conflicting earlier guideline)."
+                ),
+                intent=intent,
+            )
+        elif intent == Intent.VISUALIZATION:
+            reply = self._tool_turn(self.plot_tool, message, intent)
+        elif intent == Intent.HISTORICAL_QUERY and self.db_tool is not None:
+            reply = self._tool_turn(self.db_tool, message, intent)
+        else:
+            reply = self._tool_turn(self.query_tool, message, intent)
+
+        ended = self.capture_context.clock.now()
+        tool_name = {
+            Intent.GREETING: "greeting",
+            Intent.ADD_GUIDELINE: "add_guideline",
+            Intent.VISUALIZATION: self.plot_tool.name,
+            Intent.HISTORICAL_QUERY: getattr(self.db_tool, "name", "db"),
+            Intent.MONITORING_QUERY: self.query_tool.name,
+        }[intent]
+        tool_task_id = self.recorder.record_tool_execution(
+            tool_name,
+            {"message": message},
+            {"ok": reply.ok, "summary": reply.text[:200]},
+            started_at=started,
+            ended_at=ended,
+            failed=not reply.ok,
+        )
+        if intent in (
+            Intent.VISUALIZATION,
+            Intent.HISTORICAL_QUERY,
+            Intent.MONITORING_QUERY,
+        ):
+            response = self.query_tool.last_response
+            if response is not None:
+                self.recorder.record_llm_interaction(
+                    response.model,
+                    message,
+                    response.text,
+                    started_at=started,
+                    ended_at=started + response.latency_s,
+                    informed_by=tool_task_id,
+                    prompt_tokens=response.prompt_tokens,
+                    output_tokens=response.output_tokens,
+                )
+        self.capture_context.flush()
+        self.turns.append(reply)
+        return reply
+
+    # -- internals -----------------------------------------------------------------------
+    def _tool_turn(self, tool: Tool, message: str, intent: Intent) -> AgentReply:
+        result: ToolResult = tool.invoke(question=message)
+        if not result.ok:
+            return AgentReply(
+                text=(
+                    f"I could not answer that: {result.summary}. "
+                    f"The generated query was shown below so you can correct "
+                    f"it or add a guideline."
+                ),
+                intent=intent,
+                ok=False,
+                code=result.code,
+                error=result.error,
+            )
+        chart = None
+        table = None
+        data = result.data
+        if intent == Intent.VISUALIZATION:
+            chart = data if isinstance(data, str) else None
+            text = f"Here is the chart you asked for ({result.summary})."
+        else:
+            table = data if isinstance(data, DataFrame) else None
+            text = summarize(data, message)
+        return AgentReply(
+            text=text,
+            intent=intent,
+            code=result.code,
+            table=table,
+            chart=chart,
+            details=result.details,
+        )

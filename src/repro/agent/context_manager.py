@@ -1,0 +1,113 @@
+"""Context Manager: the agent's live view of streaming provenance.
+
+Subscribes to the streaming hub and maintains (paper §4.2):
+
+* the **in-memory context** — a bounded buffer of recent task messages,
+  exposed as the flattened DataFrame the generated queries run against;
+* the **dynamic dataflow schema** — updated on every message;
+* the **guidelines** store (static + user-defined).
+
+The buffer is bounded (monitoring recent/active runs); the schema is
+not — it is already volume-independent by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Mapping
+
+from repro.agent.guidelines import GuidelineStore
+from repro.agent.schema import DynamicDataflowSchema
+from repro.dataframe import DataFrame
+from repro.messaging.broker import Broker, Subscription
+from repro.messaging.message import Envelope
+from repro.provenance.messages import TaskProvenanceMessage
+
+__all__ = ["ContextManager"]
+
+
+class ContextManager:
+    """Maintains the agent's in-memory structures from the live stream."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        *,
+        buffer_size: int = 10_000,
+        pattern: str = "provenance.#",
+        record_types: tuple[str, ...] = ("task",),
+    ):
+        self.broker = broker
+        self.schema = DynamicDataflowSchema()
+        self.guidelines = GuidelineStore()
+        self._buffer: deque[dict[str, Any]] = deque(maxlen=buffer_size)
+        self._pattern = pattern
+        self._record_types = record_types
+        self._subscription: Subscription | None = None
+        self._lock = threading.RLock()
+        self._frame_cache: DataFrame | None = None
+        self.messages_received = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "ContextManager":
+        if self._subscription is None:
+            self._subscription = self.broker.subscribe(
+                self._pattern, self._on_message
+            )
+        return self
+
+    def stop(self) -> None:
+        if self._subscription is not None:
+            self.broker.unsubscribe(self._subscription)
+            self._subscription = None
+
+    # -- ingestion ----------------------------------------------------------------
+    def _on_message(self, envelope: Envelope) -> None:
+        self.ingest(envelope.payload)
+
+    def ingest(self, payload: Mapping[str, Any]) -> None:
+        if payload.get("type") not in self._record_types:
+            return
+        msg = TaskProvenanceMessage.from_dict(payload)
+        flat = msg.flatten()
+        with self._lock:
+            self.messages_received += 1
+            self._buffer.append(flat)
+            self.schema.update(msg.to_dict())
+            self._frame_cache = None
+
+    # -- views ------------------------------------------------------------------------
+    def to_frame(self) -> DataFrame:
+        """The in-memory context as a flattened DataFrame (cached)."""
+        with self._lock:
+            if self._frame_cache is None:
+                self._frame_cache = DataFrame.from_records(list(self._buffer))
+            return self._frame_cache
+
+    def recent(self, n: int = 10) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._buffer)[-n:]
+
+    @property
+    def buffer_count(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def known_fields(self) -> set[str]:
+        return self.schema.all_known_fields()
+
+    # -- prompt material ------------------------------------------------------------------
+    def schema_payload(self, include_descriptions: bool = True) -> dict[str, Any]:
+        return self.schema.to_prompt_payload(
+            include_descriptions=include_descriptions
+        )
+
+    def values_payload(self) -> dict[str, Any]:
+        return self.schema.values_payload()
+
+    def guidelines_text(self) -> str:
+        return self.guidelines.render()
+
+    def add_user_guideline(self, text: str) -> None:
+        self.guidelines.add_user_guideline(text)

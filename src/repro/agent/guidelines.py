@@ -1,0 +1,120 @@
+"""Query guidelines: static domain-agnostic rules + user-defined additions.
+
+"Guidelines ... steer the LLM when generating structured queries ...
+users can provide new domain-specific guidelines interactively through
+natural language (e.g. 'use the field lr to filter learning rates'),
+which ... override any other conflicting guideline stated earlier, are
+stored in the agent's overall context for the current session, and
+automatically incorporated into future prompts" (paper §4.2).
+
+The static set below is the one "iteratively refined during early
+development with the synthetic workflow" — which is why it names the
+synthetic workflow's field conventions explicitly (the paper's Figure 8
+shows Baseline+FS+Guidelines reaching 0.92 *without* the schema section
+for exactly this reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Guideline", "GuidelineStore", "STATIC_GUIDELINES"]
+
+
+@dataclass(frozen=True)
+class Guideline:
+    key: str
+    text: str
+    user_defined: bool = False
+
+
+STATIC_GUIDELINES: tuple[Guideline, ...] = (
+    Guideline(
+        "time-ranges",
+        "When filtering time ranges, use the field started_at (epoch seconds).",
+    ),
+    Guideline(
+        "recent-sort",
+        "For the most recent task, sort by started_at descending "
+        "(ascending=False) and take head(1).",
+    ),
+    Guideline(
+        "derived-duration",
+        "Task durations are precomputed in the derived field duration "
+        "(seconds); do not subtract ended_at and started_at yourself.",
+    ),
+    Guideline(
+        "status-values",
+        "Status values are uppercase: SUBMITTED, RUNNING, FINISHED, FAILED.",
+    ),
+    Guideline(
+        "activity-filter",
+        "Filter workflow steps by activity_id; task_id identifies a single "
+        "execution and workflow_id one workflow run.",
+    ),
+    Guideline(
+        "telemetry-end",
+        "CPU and memory telemetry live at telemetry_at_end.cpu.percent and "
+        "telemetry_at_end.mem.percent on a 0-100 percent scale; use the "
+        "_at_end fields unless the user asks about task start.",
+    ),
+    Guideline(
+        "counting",
+        "To count rows wrap the query in len(...); pick the aggregation the "
+        "user names (mean for average, sum for total).",
+    ),
+    Guideline(
+        "group-by",
+        "Group with df.groupby('<key>')['<column>'].<agg>() for per-key "
+        "questions (per activity, by host, for each bond).",
+    ),
+    Guideline(
+        "dataflow-naming",
+        "Application inputs live under used.* and outputs under generated.*; "
+        "the synthetic math workflow produces generated.value and consumes "
+        "used.x.",
+    ),
+    Guideline(
+        "top-n",
+        "When the user asks for top or bottom N, sort by the metric and use "
+        "head(N); descending (ascending=False) for 'highest'.",
+    ),
+    Guideline(
+        "host-field",
+        "Compute-node placement lives in hostname (e.g. node-0, "
+        "frontier00084); compare it with equality.",
+    ),
+)
+
+
+class GuidelineStore:
+    """Ordered guideline collection; user additions override earlier ones."""
+
+    def __init__(self, static: tuple[Guideline, ...] = STATIC_GUIDELINES):
+        self._static = list(static)
+        self._user: list[Guideline] = []
+
+    def add_user_guideline(self, text: str, key: str | None = None) -> Guideline:
+        g = Guideline(key or f"user-{len(self._user) + 1}", text.strip(), True)
+        self._user.append(g)
+        return g
+
+    def all(self) -> list[Guideline]:
+        # user guidelines last: the prompt tells the LLM later rules win
+        return list(self._static) + list(self._user)
+
+    @property
+    def user_defined(self) -> list[Guideline]:
+        return list(self._user)
+
+    def render(self) -> str:
+        lines = [f"- ({g.key}) {g.text}" for g in self.all()]
+        if self._user:
+            lines.append(
+                "- (precedence) User-defined guidelines above override any "
+                "conflicting earlier guideline."
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._static) + len(self._user)

@@ -1,0 +1,14 @@
+"""Minimal Model Context Protocol (MCP) layer.
+
+Implements the MCP concepts the paper relies on — tools, prompts,
+resources, and an agent-client architecture — as an in-process
+JSON-RPC-flavoured protocol.  The agent's tools are published through
+:class:`~repro.agent.mcp.server.MCPServer`; any MCP-style client can
+list and call them without importing agent internals.
+"""
+
+from repro.agent.mcp.protocol import MCPError, MCPRequest, MCPResponse
+from repro.agent.mcp.server import MCPServer
+from repro.agent.mcp.client import MCPClient
+
+__all__ = ["MCPRequest", "MCPResponse", "MCPError", "MCPServer", "MCPClient"]

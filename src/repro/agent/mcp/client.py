@@ -1,0 +1,63 @@
+"""MCP client session: the consumer half of the agent-client architecture."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.agent.mcp.protocol import MCPRequest, MCPResponse
+from repro.agent.mcp.server import MCPServer
+from repro.errors import AgentError
+
+__all__ = ["MCPClient"]
+
+
+class MCPClient:
+    """Talks to an MCPServer through the JSON wire format.
+
+    Serialising through JSON (rather than passing objects) keeps the
+    client honest: everything it sees could have crossed a socket.
+    """
+
+    def __init__(self, server: MCPServer):
+        self._server = server
+        self._ids = itertools.count(1)
+        self.server_info: dict[str, Any] | None = None
+
+    def initialize(self) -> dict[str, Any]:
+        self.server_info = self._call("initialize", {})
+        return self.server_info
+
+    def list_tools(self) -> list[dict[str, Any]]:
+        return self._call("tools/list", {})["tools"]
+
+    def call_tool(self, name: str, **arguments: Any) -> dict[str, Any]:
+        return self._call("tools/call", {"name": name, "arguments": arguments})
+
+    def list_resources(self) -> list[str]:
+        return self._call("resources/list", {})["resources"]
+
+    def read_resource(self, name: str) -> Any:
+        return self._call("resources/read", {"name": name})["contents"]
+
+    def list_prompts(self) -> list[str]:
+        return self._call("prompts/list", {})["prompts"]
+
+    def get_prompt(self, name: str, **arguments: Any) -> str:
+        return self._call(
+            "prompts/get", {"name": name, "arguments": arguments}
+        )["prompt"]
+
+    def _call(self, method: str, params: dict[str, Any]) -> Any:
+        request = MCPRequest(
+            method=method, params=params, request_id=next(self._ids)
+        )
+        raw = self._server.handle_json(request.to_json())
+        response = MCPResponse.from_json(raw)
+        if not response.ok:
+            assert response.error is not None
+            raise AgentError(
+                f"MCP {method} failed [{response.error.code}]: "
+                f"{response.error.message}"
+            )
+        return response.result

@@ -1,0 +1,91 @@
+"""MCP wire types: JSON-RPC 2.0-shaped request/response envelopes."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MCPRequest", "MCPResponse", "MCPError", "METHODS"]
+
+#: methods the server understands (subset of the MCP surface)
+METHODS = (
+    "initialize",
+    "tools/list",
+    "tools/call",
+    "prompts/list",
+    "prompts/get",
+    "resources/list",
+    "resources/read",
+)
+
+
+@dataclass(frozen=True)
+class MCPRequest:
+    method: str
+    params: dict[str, Any] = field(default_factory=dict)
+    request_id: int = 0
+    jsonrpc: str = "2.0"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "jsonrpc": self.jsonrpc,
+                "id": self.request_id,
+                "method": self.method,
+                "params": self.params,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MCPRequest":
+        doc = json.loads(text)
+        return cls(
+            method=doc["method"],
+            params=doc.get("params", {}),
+            request_id=doc.get("id", 0),
+            jsonrpc=doc.get("jsonrpc", "2.0"),
+        )
+
+
+@dataclass(frozen=True)
+class MCPError:
+    code: int
+    message: str
+
+    METHOD_NOT_FOUND = -32601
+    INVALID_PARAMS = -32602
+    INTERNAL = -32603
+
+
+@dataclass(frozen=True)
+class MCPResponse:
+    request_id: int
+    result: Any = None
+    error: MCPError | None = None
+    jsonrpc: str = "2.0"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> str:
+        doc: dict[str, Any] = {"jsonrpc": self.jsonrpc, "id": self.request_id}
+        if self.error is not None:
+            doc["error"] = {"code": self.error.code, "message": self.error.message}
+        else:
+            doc["result"] = self.result
+        return json.dumps(doc, sort_keys=True, default=str)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MCPResponse":
+        doc = json.loads(text)
+        error = None
+        if "error" in doc:
+            error = MCPError(doc["error"]["code"], doc["error"]["message"])
+        return cls(
+            request_id=doc.get("id", 0),
+            result=doc.get("result"),
+            error=error,
+        )

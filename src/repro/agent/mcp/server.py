@@ -1,0 +1,133 @@
+"""MCP server: publishes the agent's tools, prompts, and resources."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.agent.mcp.protocol import MCPError, MCPRequest, MCPResponse, METHODS
+from repro.agent.tools.base import ToolRegistry
+from repro.errors import ToolNotFoundError
+
+__all__ = ["MCPServer"]
+
+
+class MCPServer:
+    """In-process MCP endpoint over a ToolRegistry.
+
+    Resources are named read callbacks (e.g. the dynamic dataflow
+    schema); prompts are named template callbacks.  Both let MCP clients
+    inspect agent context without bespoke APIs.
+    """
+
+    def __init__(
+        self,
+        registry: ToolRegistry,
+        *,
+        server_name: str = "provenance-agent",
+        version: str = "0.9",
+    ):
+        self.registry = registry
+        self.server_name = server_name
+        self.version = version
+        self._resources: dict[str, Callable[[], Any]] = {}
+        self._prompts: dict[str, Callable[[dict[str, Any]], str]] = {}
+        self.calls_served = 0
+
+    # -- registration -----------------------------------------------------------
+    def add_resource(self, name: str, reader: Callable[[], Any]) -> None:
+        self._resources[name] = reader
+
+    def add_prompt(self, name: str, template: Callable[[dict[str, Any]], str]) -> None:
+        self._prompts[name] = template
+
+    # -- dispatch -------------------------------------------------------------------
+    def handle(self, request: MCPRequest) -> MCPResponse:
+        self.calls_served += 1
+        method = request.method
+        try:
+            if method == "initialize":
+                return self._ok(
+                    request,
+                    {
+                        "server": self.server_name,
+                        "version": self.version,
+                        "capabilities": {"tools": True, "prompts": True, "resources": True},
+                        "methods": list(METHODS),
+                    },
+                )
+            if method == "tools/list":
+                return self._ok(request, {"tools": self.registry.describe()})
+            if method == "tools/call":
+                name = request.params.get("name", "")
+                arguments = request.params.get("arguments", {}) or {}
+                try:
+                    tool = self.registry.get(str(name))
+                except ToolNotFoundError as exc:
+                    return self._err(request, MCPError.METHOD_NOT_FOUND, str(exc))
+                result = tool.invoke(**arguments)
+                return self._ok(
+                    request,
+                    {
+                        "ok": result.ok,
+                        "summary": result.summary,
+                        "code": result.code,
+                        "error": result.error,
+                        "data": _jsonable(result.data),
+                    },
+                )
+            if method == "prompts/list":
+                return self._ok(request, {"prompts": sorted(self._prompts)})
+            if method == "prompts/get":
+                name = str(request.params.get("name", ""))
+                if name not in self._prompts:
+                    return self._err(
+                        request, MCPError.INVALID_PARAMS, f"unknown prompt {name!r}"
+                    )
+                args = request.params.get("arguments", {}) or {}
+                return self._ok(request, {"prompt": self._prompts[name](args)})
+            if method == "resources/list":
+                return self._ok(request, {"resources": sorted(self._resources)})
+            if method == "resources/read":
+                name = str(request.params.get("name", ""))
+                if name not in self._resources:
+                    return self._err(
+                        request, MCPError.INVALID_PARAMS, f"unknown resource {name!r}"
+                    )
+                return self._ok(request, {"contents": _jsonable(self._resources[name]())})
+            return self._err(
+                request, MCPError.METHOD_NOT_FOUND, f"unknown method {method!r}"
+            )
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return self._err(request, MCPError.INTERNAL, repr(exc))
+
+    def handle_json(self, request_json: str) -> str:
+        return self.handle(MCPRequest.from_json(request_json)).to_json()
+
+    # -- helpers ------------------------------------------------------------------------
+    @staticmethod
+    def _ok(request: MCPRequest, result: Any) -> MCPResponse:
+        return MCPResponse(request_id=request.request_id, result=result)
+
+    @staticmethod
+    def _err(request: MCPRequest, code: int, message: str) -> MCPResponse:
+        return MCPResponse(
+            request_id=request.request_id, error=MCPError(code, message)
+        )
+
+
+def _jsonable(value: Any) -> Any:
+    from repro.dataframe import DataFrame
+
+    if isinstance(value, DataFrame):
+        return value.to_dicts()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "__dict__") and not isinstance(value, (str, int, float)):
+        try:
+            from dataclasses import asdict, is_dataclass
+
+            if is_dataclass(value):
+                return asdict(value)
+        except Exception:  # noqa: BLE001
+            pass
+    return value

@@ -1,0 +1,85 @@
+"""Context Monitor (paper §4.2).
+
+"The Context Monitor periodically inspects the in-memory buffer
+maintained by the Context Manager and dispatches tools based on
+configurable rules."  Rules pair a predicate over the context manager
+with a tool invocation; :meth:`poll` evaluates every rule once (a real
+deployment calls it from a timer loop — tests and benches call it
+directly for determinism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.agent.context_manager import ContextManager
+from repro.agent.tools.base import Tool, ToolResult
+
+__all__ = ["MonitorRule", "ContextMonitor"]
+
+
+@dataclass
+class MonitorRule:
+    """When ``condition(context_manager)`` holds, invoke ``tool``."""
+
+    name: str
+    condition: Callable[[ContextManager], bool]
+    tool: Tool
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    #: fire at most once per condition "episode" (reset when it goes False)
+    edge_triggered: bool = True
+    _armed: bool = True
+
+
+class ContextMonitor:
+    """Evaluates monitoring rules against the live context."""
+
+    def __init__(self, context_manager: ContextManager):
+        self.context_manager = context_manager
+        self.rules: list[MonitorRule] = []
+        self.dispatches: list[tuple[str, ToolResult]] = []
+
+    def add_rule(self, rule: MonitorRule) -> MonitorRule:
+        self.rules.append(rule)
+        return rule
+
+    def every_n_messages(
+        self, n: int, tool: Tool, name: str | None = None, **kwargs: Any
+    ) -> MonitorRule:
+        """Convenience: dispatch ``tool`` whenever n new messages arrived."""
+        state = {"last": 0}
+
+        def condition(cm: ContextManager) -> bool:
+            if cm.messages_received - state["last"] >= n:
+                state["last"] = cm.messages_received
+                return True
+            return False
+
+        rule = MonitorRule(
+            name=name or f"every-{n}-messages:{tool.name}",
+            condition=condition,
+            tool=tool,
+            kwargs=kwargs,
+            edge_triggered=False,
+        )
+        return self.add_rule(rule)
+
+    def poll(self) -> list[tuple[str, ToolResult]]:
+        """Evaluate all rules once; returns this round's dispatches."""
+        fired: list[tuple[str, ToolResult]] = []
+        for rule in self.rules:
+            try:
+                active = bool(rule.condition(self.context_manager))
+            except Exception:  # noqa: BLE001 - a broken rule must not kill the loop
+                continue
+            if not active:
+                rule._armed = True
+                continue
+            if rule.edge_triggered and not rule._armed:
+                continue
+            rule._armed = False
+            result = rule.tool.invoke(**rule.kwargs)
+            fired.append((rule.name, result))
+        self.dispatches.extend(fired)
+        return fired

@@ -1,0 +1,98 @@
+"""Provenance of the agent itself (paper §4.2).
+
+"All tool invocations are recorded as workflow tasks, which are
+subclasses of W3C prov:Activity, with arguments stored as prov:used and
+results as prov:generated.  Each LLM interaction is also stored
+following the same schema ... linked with the LLM interaction via
+prov:wasInformedBy.  The agent itself is registered as a prov:Agent."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.capture.context import CaptureContext
+from repro.provenance.messages import TaskProvenanceMessage, TaskStatus
+
+__all__ = ["AgentProvenanceRecorder"]
+
+
+class AgentProvenanceRecorder:
+    """Emits tool_execution / llm_interaction records to the hub."""
+
+    def __init__(
+        self,
+        context: CaptureContext,
+        *,
+        agent_id: str = "provenance-agent",
+        workflow_id: str = "agent-session",
+    ):
+        self.context = context
+        self.agent_id = agent_id
+        self.workflow_id = workflow_id
+
+    def record_tool_execution(
+        self,
+        tool_name: str,
+        arguments: Mapping[str, Any],
+        result_summary: Mapping[str, Any],
+        *,
+        started_at: float,
+        ended_at: float,
+        failed: bool = False,
+    ) -> str:
+        task_id = self.context.next_task_id(started_at)
+        msg = TaskProvenanceMessage(
+            task_id=task_id,
+            campaign_id=self.context.campaign_id,
+            workflow_id=self.workflow_id,
+            activity_id=tool_name,
+            used=dict(arguments),
+            generated=dict(result_summary),
+            started_at=started_at,
+            ended_at=ended_at,
+            hostname=self.context.hostname,
+            status=TaskStatus.FAILED.value if failed else TaskStatus.FINISHED.value,
+            type="tool_execution",
+            agent_id=self.agent_id,
+        )
+        self.context.emit(msg)
+        return task_id
+
+    def record_llm_interaction(
+        self,
+        model: str,
+        prompt: str,
+        response_text: str,
+        *,
+        started_at: float,
+        ended_at: float,
+        informed_by: str | None = None,
+        prompt_tokens: int = 0,
+        output_tokens: int = 0,
+    ) -> str:
+        task_id = self.context.next_task_id(started_at)
+        msg = TaskProvenanceMessage(
+            task_id=task_id,
+            campaign_id=self.context.campaign_id,
+            workflow_id=self.workflow_id,
+            activity_id="llm_interaction",
+            used={
+                "model": model,
+                "prompt": prompt[:2000],
+                "prompt_tokens": prompt_tokens,
+            },
+            generated={
+                "response": response_text[:2000],
+                "output_tokens": output_tokens,
+            },
+            started_at=started_at,
+            ended_at=ended_at,
+            hostname=self.context.hostname,
+            status=TaskStatus.FINISHED.value,
+            type="llm_interaction",
+            agent_id=self.agent_id,
+            informed_by=informed_by,
+        )
+        self.context.emit(msg)
+        return task_id

@@ -1,0 +1,71 @@
+"""Tool Router (paper §4.2).
+
+"User-issued natural language queries are handled by a Tool Router,
+which combines rule-based logic and LLM calls to determine the
+appropriate handling strategy" — greetings need no querying; guideline
+statements update the session context; plot requests go to the plotting
+tool; everything else routes to the in-memory (monitoring) or database
+(historical) query tool.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+
+__all__ = ["Intent", "ToolRouter"]
+
+
+class Intent(str, enum.Enum):
+    GREETING = "greeting"
+    ADD_GUIDELINE = "add_guideline"
+    VISUALIZATION = "visualization"
+    HISTORICAL_QUERY = "historical_query"
+    MONITORING_QUERY = "monitoring_query"
+
+
+_GREETING_RE = re.compile(
+    r"^\s*(hi|hello|hey|good (morning|afternoon|evening)|thanks|thank you|bye)\b[\s!.,]*$",
+    re.IGNORECASE,
+)
+_GUIDELINE_RE = re.compile(
+    r"\b(use the field|from now on|always use|prefer the field|treat\b.*\bas\b|"
+    r"remember that|when i say)\b",
+    re.IGNORECASE,
+)
+_PLOT_RE = re.compile(
+    r"\b(plot|chart|graph|bar graph|histogram|visuali[sz]e|draw)\b", re.IGNORECASE
+)
+_HISTORICAL_RE = re.compile(
+    r"\b(historical|history|past runs?|previous (runs?|campaigns?)|archive|"
+    r"all time|offline|database)\b",
+    re.IGNORECASE,
+)
+
+
+class ToolRouter:
+    """Rule-first intent classification with optional LLM assist."""
+
+    def __init__(self, llm_classify=None):
+        # llm_classify: optional callable(text) -> Intent-name string, used
+        # when the rules are inconclusive (the paper combines both).
+        self._llm_classify = llm_classify
+
+    def classify(self, text: str) -> Intent:
+        if not text or _GREETING_RE.match(text):
+            return Intent.GREETING
+        if _GUIDELINE_RE.search(text):
+            return Intent.ADD_GUIDELINE
+        if _PLOT_RE.search(text):
+            return Intent.VISUALIZATION
+        if _HISTORICAL_RE.search(text):
+            return Intent.HISTORICAL_QUERY
+        if self._llm_classify is not None:
+            try:
+                name = str(self._llm_classify(text)).strip().lower()
+                for intent in Intent:
+                    if intent.value == name:
+                        return intent
+            except Exception:  # noqa: BLE001 - fall back to rules
+                pass
+        return Intent.MONITORING_QUERY

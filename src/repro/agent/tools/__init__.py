@@ -1,0 +1,19 @@
+"""MCP-style tools: the agent's executable capabilities (Fig. 4 right)."""
+
+from repro.agent.tools.base import Tool, ToolRegistry, ToolResult
+from repro.agent.tools.in_memory_query import InMemoryQueryTool
+from repro.agent.tools.db_query import DatabaseQueryTool
+from repro.agent.tools.anomaly import AnomalyDetectorTool
+from repro.agent.tools.plotting import PlottingTool
+from repro.agent.tools.summarize import SummaryTool
+
+__all__ = [
+    "Tool",
+    "ToolRegistry",
+    "ToolResult",
+    "InMemoryQueryTool",
+    "DatabaseQueryTool",
+    "AnomalyDetectorTool",
+    "PlottingTool",
+    "SummaryTool",
+]

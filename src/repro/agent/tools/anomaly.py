@@ -1,0 +1,138 @@
+"""Anomaly Detector tool (paper §4.2) — no LLM involved.
+
+Inspects the in-memory buffer and flags tasks whose telemetry or
+numeric dataflow values are statistical outliers (robust z-score via
+median/MAD, falling back to mean/std for tiny samples).  Detected
+anomalies are tagged and republished to the streaming hub on the
+``provenance.anomaly`` topic so downstream services can react, and the
+tag makes abnormal tasks easy to query later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.agent.context_manager import ContextManager
+from repro.agent.tools.base import Tool, ToolResult
+from repro.messaging.broker import Broker
+from repro.provenance.keeper import ANOMALY_TOPIC
+
+__all__ = ["AnomalyDetectorTool", "Anomaly"]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    task_id: str
+    field: str
+    value: float
+    zscore: float
+    direction: str  # "high" | "low"
+
+
+class AnomalyDetectorTool(Tool):
+    name = "anomaly_detector"
+    description = (
+        "Scan recent task telemetry and numeric dataflow values for "
+        "statistical outliers; tag and republish anomalous tasks."
+    )
+    uses_llm = False
+
+    def __init__(
+        self,
+        context_manager: ContextManager,
+        broker: Broker,
+        *,
+        z_threshold: float = 3.5,
+        min_samples: int = 8,
+    ):
+        self.context_manager = context_manager
+        self.broker = broker
+        self.z_threshold = z_threshold
+        self.min_samples = min_samples
+        self.detected: list[Anomaly] = []
+
+    def input_schema(self) -> dict[str, Any]:
+        return {
+            "type": "object",
+            "properties": {
+                "fields": {"type": "array", "items": {"type": "string"}},
+            },
+        }
+
+    def invoke(self, **kwargs: Any) -> ToolResult:
+        requested = kwargs.get("fields")
+        frame = self.context_manager.to_frame()
+        if frame.empty:
+            return ToolResult(ok=True, summary="no tasks buffered", data=[])
+        fields = requested or self._candidate_fields(frame)
+        anomalies: list[Anomaly] = []
+        for fname in fields:
+            if fname not in frame:
+                continue
+            anomalies.extend(self._scan_field(frame, fname))
+        for anomaly in anomalies:
+            self.broker.publish(
+                ANOMALY_TOPIC,
+                {
+                    "task_id": anomaly.task_id,
+                    "anomaly": {
+                        "field": anomaly.field,
+                        "value": anomaly.value,
+                        "zscore": round(anomaly.zscore, 3),
+                        "direction": anomaly.direction,
+                    },
+                    "type": "task",
+                },
+                anomaly="statistical-outlier",
+            )
+        self.detected.extend(anomalies)
+        return ToolResult(
+            ok=True,
+            summary=f"{len(anomalies)} anomalous value(s) across "
+            f"{len(list(fields))} field(s)",
+            data=anomalies,
+        )
+
+    # -- internals ---------------------------------------------------------------
+    @staticmethod
+    def _candidate_fields(frame) -> list[str]:
+        out = []
+        for name in frame.columns:
+            if name.startswith(("telemetry_at_", "used.", "generated.")) or name == "duration":
+                col = frame.column(name)
+                if col.dtype in ("float64", "int64"):
+                    out.append(name)
+        return out
+
+    def _scan_field(self, frame, fname: str) -> list[Anomaly]:
+        col = frame.column(fname)
+        values = col.to_numpy().astype(np.float64)
+        mask = ~np.isnan(values)
+        if mask.sum() < self.min_samples:
+            return []
+        valid = values[mask]
+        med = float(np.median(valid))
+        mad = float(np.median(np.abs(valid - med)))
+        if mad > 1e-12:
+            z = 0.6745 * (values - med) / mad
+        else:
+            std = float(valid.std())
+            if std < 1e-12:
+                return []
+            z = (values - med) / std
+        out: list[Anomaly] = []
+        task_ids = frame.column("task_id") if "task_id" in frame else None
+        for i in np.nonzero(mask & (np.abs(z) > self.z_threshold))[0]:
+            out.append(
+                Anomaly(
+                    task_id=str(task_ids[int(i)]) if task_ids is not None else str(i),
+                    field=fname,
+                    value=float(values[i]),
+                    zscore=float(z[i]),
+                    direction="high" if z[i] > 0 else "low",
+                )
+            )
+        return out

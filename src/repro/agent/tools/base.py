@@ -1,0 +1,85 @@
+"""Tool abstraction + registry ("Bring Your Own Tool", paper §4.2).
+
+Tools expose a name, a human description, and an ``invoke`` method
+taking keyword arguments and returning a :class:`ToolResult`.  The
+registry dispatches by name and is what the MCP server publishes; new
+tools plug in without touching core components.  Not every tool needs
+LLM interaction (the anomaly detector is pure statistics).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ToolNotFoundError
+
+__all__ = ["Tool", "ToolResult", "ToolRegistry"]
+
+
+@dataclass
+class ToolResult:
+    """Uniform tool output envelope."""
+
+    ok: bool
+    summary: str
+    data: Any = None
+    code: str | None = None  # generated query code, when applicable
+    error: str | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class Tool(ABC):
+    """Base class for agent tools."""
+
+    name: str = "tool"
+    description: str = ""
+    uses_llm: bool = False
+
+    @abstractmethod
+    def invoke(self, **kwargs: Any) -> ToolResult:
+        ...
+
+    def input_schema(self) -> dict[str, Any]:
+        """JSON-schema-flavoured argument description (MCP tools/list)."""
+        return {"type": "object", "properties": {}}
+
+
+class ToolRegistry:
+    """Name -> tool mapping with registration order preserved."""
+
+    def __init__(self) -> None:
+        self._tools: dict[str, Tool] = {}
+
+    def register(self, tool: Tool) -> Tool:
+        self._tools[tool.name] = tool
+        return tool
+
+    def get(self, name: str) -> Tool:
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise ToolNotFoundError(
+                f"no tool {name!r}; available: {', '.join(self._tools) or '(none)'}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._tools)
+
+    def describe(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "name": t.name,
+                "description": t.description,
+                "uses_llm": t.uses_llm,
+                "input_schema": t.input_schema(),
+            }
+            for t in self._tools.values()
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tools
+
+    def __len__(self) -> int:
+        return len(self._tools)

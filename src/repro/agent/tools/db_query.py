@@ -1,0 +1,93 @@
+"""Post-hoc database query tool (offline/historical questions).
+
+Same NL -> code -> execute pipeline as the in-memory tool, but the
+frame comes from the persistent provenance database through the Query
+API, so questions can span completed campaigns rather than the live
+buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.agent.context_manager import ContextManager
+from repro.agent.prompts import PromptBuilder, PromptConfig
+from repro.agent.tools.base import Tool, ToolResult
+from repro.agent.tools.in_memory_query import FULL_CONTEXT, _describe
+from repro.errors import QueryExecutionError, QuerySyntaxError
+from repro.llm.service import ChatRequest, LLMServer
+from repro.provenance.query_api import QueryAPI
+from repro.query import execute_query, parse_query
+
+__all__ = ["DatabaseQueryTool"]
+
+
+class DatabaseQueryTool(Tool):
+    name = "provenance_db_query"
+    description = (
+        "Translate a natural-language question into a query over the "
+        "persistent provenance database (historical, post-hoc analysis)."
+    )
+    uses_llm = True
+
+    def __init__(
+        self,
+        query_api: QueryAPI,
+        context_manager: ContextManager,
+        llm: LLMServer,
+        *,
+        model: str = "gpt-4",
+        prompt_config: PromptConfig = FULL_CONTEXT,
+        base_filter: Mapping[str, Any] | None = None,
+    ):
+        self.query_api = query_api
+        self.context_manager = context_manager
+        self.llm = llm
+        self.model = model
+        self.builder = PromptBuilder(prompt_config)
+        self.base_filter = dict(base_filter or {"type": "task"})
+
+    def input_schema(self) -> dict[str, Any]:
+        return {
+            "type": "object",
+            "properties": {"question": {"type": "string"}},
+            "required": ["question"],
+        }
+
+    def invoke(self, **kwargs: Any) -> ToolResult:
+        question = str(kwargs.get("question", "")).strip()
+        if not question:
+            return ToolResult(ok=False, summary="empty question", error="no question")
+        cm = self.context_manager
+        prompt = self.builder.build(
+            question,
+            schema_payload=cm.schema_payload(),
+            values_payload=cm.values_payload(),
+            guidelines_text=cm.guidelines_text(),
+        )
+        response = self.llm.complete(
+            ChatRequest(model=self.model, prompt=prompt, query_id=question)
+        )
+        code = response.text.strip()
+        try:
+            pipeline = parse_query(code)
+        except QuerySyntaxError as exc:
+            return ToolResult(
+                ok=False,
+                summary="the model did not return a valid query",
+                code=code,
+                error=str(exc),
+            )
+        frame = self.query_api.to_frame(self.base_filter)
+        try:
+            result = execute_query(pipeline, frame)
+        except QueryExecutionError as exc:
+            return ToolResult(
+                ok=False,
+                summary="the generated query failed against the database",
+                code=code,
+                error=str(exc),
+            )
+        return ToolResult(
+            ok=True, summary=_describe(result), data=result, code=code
+        )

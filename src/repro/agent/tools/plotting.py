@@ -1,0 +1,107 @@
+"""Plotting tool: NL plot requests -> query -> ASCII chart.
+
+The paper's agent answers "Plot a bar graph displaying the bond
+dissociation enthalpy for each bond label" with a rendered figure; in a
+terminal library the rendering backend is
+:mod:`repro.viz.ascii`.  The tool reuses the in-memory query tool for
+the data-retrieval half, then renders the first categorical column
+against the first numeric column of the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.agent.tools.base import Tool, ToolResult
+from repro.agent.tools.in_memory_query import InMemoryQueryTool
+from repro.dataframe import DataFrame
+from repro.viz.ascii import bar_chart
+
+__all__ = ["PlottingTool"]
+
+
+class PlottingTool(Tool):
+    name = "plot"
+    description = (
+        "Answer a visualization request: generate the data query, run it, "
+        "and render a bar chart of the result."
+    )
+    uses_llm = True
+
+    def __init__(self, query_tool: InMemoryQueryTool):
+        self.query_tool = query_tool
+
+    def input_schema(self) -> dict[str, Any]:
+        return {
+            "type": "object",
+            "properties": {"question": {"type": "string"}},
+            "required": ["question"],
+        }
+
+    def invoke(self, **kwargs: Any) -> ToolResult:
+        question = str(kwargs.get("question", ""))
+        # pass the question as phrased (known phrasings resolve directly);
+        # retry with the plot language stripped if the first pass fails
+        inner = self.query_tool.invoke(question=question)
+        if not inner.ok:
+            inner = self.query_tool.invoke(question=_strip_plot_language(question))
+        if not inner.ok:
+            return ToolResult(
+                ok=False,
+                summary="could not retrieve data for the plot",
+                code=inner.code,
+                error=inner.error,
+            )
+        result = inner.data
+        if not isinstance(result, DataFrame) or result.empty:
+            return ToolResult(
+                ok=False,
+                summary="query did not return plottable rows",
+                code=inner.code,
+                error="need a non-empty tabular result",
+            )
+        label_col, value_col = _pick_axes(result)
+        if label_col is None or value_col is None:
+            return ToolResult(
+                ok=False,
+                summary="result has no categorical/numeric column pair",
+                code=inner.code,
+                error="cannot infer plot axes",
+            )
+        chart = bar_chart(
+            labels=[str(v) for v in result.column(label_col).to_list()],
+            values=[float(v or 0.0) for v in result.column(value_col).to_list()],
+            title=f"{value_col} by {label_col}",
+        )
+        return ToolResult(
+            ok=True,
+            summary=f"bar chart of {value_col} by {label_col}",
+            data=chart,
+            code=inner.code,
+            details={"label_column": label_col, "value_column": value_col},
+        )
+
+
+def _strip_plot_language(question: str) -> str:
+    import re
+
+    text = re.sub(
+        r"\b(please\s+)?(plot|draw|chart|graph|visuali[sz]e)\b[^,]*?\b(of|displaying|showing|for)\b",
+        "show",
+        question,
+        flags=re.IGNORECASE,
+    )
+    return text
+
+
+def _pick_axes(frame: DataFrame) -> tuple[str | None, str | None]:
+    label_col = None
+    value_col = None
+    for name in frame.columns:
+        dtype = frame.column(name).dtype
+        if dtype == "object" and label_col is None:
+            label_col = name
+        elif dtype in ("float64", "int64") and value_col is None:
+            if not name.endswith("_at"):
+                value_col = name
+    return label_col, value_col

@@ -1,0 +1,91 @@
+"""Summary tool: turn a query result into a short textual answer.
+
+The paper's GUI responds "with tables, plots, or summaries"; this tool
+produces the summary line — deterministic templating over the result
+shape, optionally enriched with light domain phrasing (e.g. "singlet
+state", "neutral charge" for multiplicity/charge results, which the
+paper highlights in §5.3 Q6).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.agent.tools.base import Tool, ToolResult
+from repro.dataframe import DataFrame
+
+__all__ = ["SummaryTool"]
+
+_MULTIPLICITY_NAMES = {1: "singlet state", 2: "doublet state", 3: "triplet state"}
+
+
+class SummaryTool(Tool):
+    name = "summarize_result"
+    description = "Produce a one-paragraph textual summary of a query result."
+    uses_llm = False
+
+    def input_schema(self) -> dict[str, Any]:
+        return {
+            "type": "object",
+            "properties": {"result": {}, "question": {"type": "string"}},
+            "required": ["result"],
+        }
+
+    def invoke(self, **kwargs: Any) -> ToolResult:
+        result = kwargs.get("result")
+        question = str(kwargs.get("question", ""))
+        text = summarize(result, question)
+        return ToolResult(ok=True, summary=text, data=text)
+
+
+def summarize(result: Any, question: str = "") -> str:
+    if result is None:
+        return "No result."
+    if isinstance(result, (int, float)):
+        return f"The answer is {_fmt(result)}."
+    if isinstance(result, list):
+        if not result:
+            return "No matching values."
+        rendered = ", ".join(str(v) for v in result[:8])
+        more = "" if len(result) <= 8 else f" (and {len(result) - 8} more)"
+        return f"Distinct values: {rendered}{more}."
+    if isinstance(result, DataFrame):
+        if result.empty:
+            return "The query matched no tasks."
+        if result.shape == (1, 1):
+            only = result.column(result.columns[0])[0]
+            return f"The answer is {_fmt(only)}."
+        if len(result) == 1:
+            row = result.row(0)
+            parts = [f"{k} = {_fmt(v)}" for k, v in row.items()]
+            text = "; ".join(parts)
+            return _enrich(f"One matching task: {text}.", row)
+        return (
+            f"{len(result)} rows across columns "
+            f"{', '.join(result.columns)}; first row: "
+            + "; ".join(f"{k} = {_fmt(v)}" for k, v in result.row(0).items())
+            + "."
+        )
+    return str(result)
+
+
+def _enrich(text: str, row: dict[str, Any]) -> str:
+    """Add chemical phrasing the paper's Q6 praises, when applicable."""
+    extras: list[str] = []
+    for key, value in row.items():
+        if key.endswith("multiplicity") and isinstance(value, (int, float)):
+            name = _MULTIPLICITY_NAMES.get(int(value))
+            if name:
+                extras.append(f"a multiplicity of {int(value)} indicates a {name}")
+        if key.endswith("charge") and isinstance(value, (int, float)):
+            if int(value) == 0:
+                extras.append("the molecule carries a neutral charge")
+    if extras:
+        return text + " Note: " + "; ".join(extras) + "."
+    return text
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)

@@ -1,0 +1,30 @@
+"""Provenance capture: instrumentation hooks and observability adapters.
+
+The reference architecture captures provenance two ways (paper §2.3):
+
+1. **Direct code instrumentation** — the :func:`flow_task` decorator and
+   :class:`WorkflowRun` context manager stamp task messages around
+   ordinary Python functions ("lightweight hooks such as Python
+   decorators"), buffering them and streaming in bulk to the hub.
+2. **Non-intrusive observability adapters** — pollers that watch external
+   state (filesystem, SQLite, an MLflow-style run log, workflow-engine
+   events) and emit the same message schema without touching application
+   code.
+"""
+
+from repro.capture.context import CaptureContext, WorkflowRun
+from repro.capture.instrumentation import flow_task
+from repro.capture.adapters.base import ObservabilityAdapter
+from repro.capture.adapters.filesystem import FileSystemAdapter
+from repro.capture.adapters.sqlite import SQLiteAdapter
+from repro.capture.adapters.mlflow_like import MLFlowLikeAdapter
+
+__all__ = [
+    "CaptureContext",
+    "WorkflowRun",
+    "flow_task",
+    "ObservabilityAdapter",
+    "FileSystemAdapter",
+    "SQLiteAdapter",
+    "MLFlowLikeAdapter",
+]

@@ -1,0 +1,13 @@
+"""Non-intrusive observability adapters (paper §2.3, Fig. 2 left column)."""
+
+from repro.capture.adapters.base import ObservabilityAdapter
+from repro.capture.adapters.filesystem import FileSystemAdapter
+from repro.capture.adapters.sqlite import SQLiteAdapter
+from repro.capture.adapters.mlflow_like import MLFlowLikeAdapter
+
+__all__ = [
+    "ObservabilityAdapter",
+    "FileSystemAdapter",
+    "SQLiteAdapter",
+    "MLFlowLikeAdapter",
+]

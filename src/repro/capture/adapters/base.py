@@ -1,0 +1,67 @@
+"""Base class for observability adapters.
+
+Adapters passively monitor an external data source — no application code
+changes — and translate observed changes into the common task-provenance
+message schema.  They are *poll-based*: each :meth:`poll` emits messages
+for everything new since the previous poll, which keeps them trivially
+usable from tests, cron-style loops, or a monitor thread.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.capture.context import CaptureContext
+from repro.provenance.messages import TaskProvenanceMessage, TaskStatus
+
+__all__ = ["ObservabilityAdapter"]
+
+
+class ObservabilityAdapter(ABC):
+    """Polls an external source and emits task provenance messages."""
+
+    #: activity prefix for emitted messages, e.g. ``"fs_observe"``.
+    activity_prefix: str = "observe"
+
+    def __init__(self, context: CaptureContext | None = None):
+        self.context = context or CaptureContext.default()
+        self.emitted_count = 0
+
+    @abstractmethod
+    def observe(self) -> list[dict[str, Any]]:
+        """Return raw observations new since the last call.
+
+        Each observation is a dict with at least ``_activity`` (suffix for
+        the activity id) plus arbitrary dataflow fields for ``generated``.
+        The underscore prefix keeps the meta key from colliding with real
+        observed fields (e.g. a SQLite column called ``name``).
+        """
+
+    def poll(self) -> int:
+        """Observe, convert, emit; returns number of messages published."""
+        observations = self.observe()
+        for obs in observations:
+            name = str(obs.pop("_activity", "event"))
+            now = self.context.clock.now()
+            msg = TaskProvenanceMessage(
+                task_id=self.context.next_task_id(now),
+                campaign_id=self.context.campaign_id,
+                workflow_id=self.context.workflow_id or "observed",
+                activity_id=f"{self.activity_prefix}_{name}",
+                used={"source": self.source_description()},
+                generated={k: v for k, v in obs.items()},
+                started_at=now,
+                ended_at=now,
+                hostname=self.context.hostname,
+                status=TaskStatus.FINISHED.value,
+            )
+            self.context.emit(msg)
+            self.emitted_count += 1
+        if observations:
+            self.context.flush()
+        return len(observations)
+
+    @abstractmethod
+    def source_description(self) -> str:
+        """Human-readable description of the monitored source."""

@@ -1,0 +1,67 @@
+"""Filesystem observability adapter.
+
+Watches a directory tree; each new or modified file since the previous
+poll becomes a provenance message describing the file (path, size,
+mtime).  This is the "File System" adapter from the paper's Figure 2 —
+useful for workflows that communicate through files (DFT input/output
+decks, checkpoints) without any instrumentation.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.capture.adapters.base import ObservabilityAdapter
+from repro.capture.context import CaptureContext
+
+__all__ = ["FileSystemAdapter"]
+
+
+class FileSystemAdapter(ObservabilityAdapter):
+    activity_prefix = "fs"
+
+    def __init__(
+        self,
+        root: str | Path,
+        context: CaptureContext | None = None,
+        *,
+        suffixes: tuple[str, ...] | None = None,
+    ):
+        super().__init__(context)
+        self.root = Path(root)
+        self.suffixes = suffixes
+        self._seen: dict[str, float] = {}
+
+    def source_description(self) -> str:
+        return f"filesystem:{self.root}"
+
+    def observe(self) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        if not self.root.exists():
+            return out
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for fname in sorted(filenames):
+                path = Path(dirpath) / fname
+                if self.suffixes and path.suffix not in self.suffixes:
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                key = str(path)
+                mtime = stat.st_mtime
+                previous = self._seen.get(key)
+                if previous is not None and previous >= mtime:
+                    continue
+                self._seen[key] = mtime
+                out.append(
+                    {
+                        "_activity": "file_created" if previous is None else "file_modified",
+                        "path": key,
+                        "size_bytes": stat.st_size,
+                        "mtime": mtime,
+                    }
+                )
+        return out

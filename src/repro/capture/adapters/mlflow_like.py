@@ -1,0 +1,61 @@
+"""MLflow-style run-log observability adapter.
+
+Many ML workflows append JSON lines describing runs (params + metrics)
+to a tracking log.  This adapter tails such a file — each new line
+becomes a provenance message with params in ``used``-style fields and
+metrics in ``generated``.  It stands in for the paper's MLflow adapter
+with the same observe-don't-instrument contract.
+
+Expected line shape::
+
+    {"run_id": "...", "params": {"lr": 0.01}, "metrics": {"loss": 0.3}}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.capture.adapters.base import ObservabilityAdapter
+from repro.capture.context import CaptureContext
+
+__all__ = ["MLFlowLikeAdapter"]
+
+
+class MLFlowLikeAdapter(ObservabilityAdapter):
+    activity_prefix = "mlflow"
+
+    def __init__(self, log_path: str | Path, context: CaptureContext | None = None):
+        super().__init__(context)
+        self.log_path = Path(log_path)
+        self._offset = 0
+        self.malformed_lines = 0
+
+    def source_description(self) -> str:
+        return f"mlflow-log:{self.log_path}"
+
+    def observe(self) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        if not self.log_path.exists():
+            return out
+        with open(self.log_path, encoding="utf-8") as f:
+            f.seek(self._offset)
+            for line in f:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    doc = json.loads(stripped)
+                except json.JSONDecodeError:
+                    self.malformed_lines += 1
+                    continue
+                obs: dict[str, Any] = {"_activity": "run_logged"}
+                obs["run_id"] = doc.get("run_id", "unknown")
+                for key, value in (doc.get("params") or {}).items():
+                    obs[f"param.{key}"] = value
+                for key, value in (doc.get("metrics") or {}).items():
+                    obs[f"metric.{key}"] = value
+                out.append(obs)
+            self._offset = f.tell()
+        return out

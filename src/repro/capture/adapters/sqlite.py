@@ -1,0 +1,64 @@
+"""SQLite observability adapter.
+
+Watches one table of a SQLite database; each row with a rowid beyond the
+last-seen watermark becomes a provenance message whose ``generated``
+carries the row's columns.  Mirrors the paper's SQLite adapter: many
+simulation codes log results into a local SQLite file that can be
+observed without touching the application.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any
+
+from repro.capture.adapters.base import ObservabilityAdapter
+from repro.capture.context import CaptureContext
+
+__all__ = ["SQLiteAdapter"]
+
+
+class SQLiteAdapter(ObservabilityAdapter):
+    activity_prefix = "sqlite"
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        table: str,
+        context: CaptureContext | None = None,
+    ):
+        super().__init__(context)
+        self.db_path = str(db_path)
+        if not table.replace("_", "").isalnum():
+            raise ValueError(f"suspicious table name {table!r}")
+        self.table = table
+        self._last_rowid = 0
+
+    def source_description(self) -> str:
+        return f"sqlite:{self.db_path}:{self.table}"
+
+    def observe(self) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        if not Path(self.db_path).exists():
+            return out
+        con = sqlite3.connect(self.db_path)
+        try:
+            con.row_factory = sqlite3.Row
+            cursor = con.execute(
+                f"SELECT rowid AS _rowid_, * FROM {self.table} "  # noqa: S608 - name validated
+                "WHERE rowid > ? ORDER BY rowid",
+                (self._last_rowid,),
+            )
+            for row in cursor:
+                doc = dict(row)
+                rowid = doc.pop("_rowid_")
+                self._last_rowid = max(self._last_rowid, rowid)
+                doc["_activity"] = "row_inserted"
+                doc["rowid"] = rowid
+                out.append(doc)
+        except sqlite3.Error:
+            return []
+        finally:
+            con.close()
+        return out

@@ -1,0 +1,137 @@
+"""``@flow_task``: decorator-based task provenance capture.
+
+The decorator mirrors Flowcept's instrumentation hook: it binds call
+arguments to the function signature into ``used``, executes the
+function, maps its return value into ``generated``, stamps timestamps,
+hostname and telemetry snapshots, and buffers the message.  Failures are
+captured (status=FAILED, error recorded) and re-raised — capture must
+never swallow application errors.
+
+Conventions for ``generated``:
+
+* a ``dict`` return is stored as-is (each key becomes a dataflow field);
+* any other return value is stored under ``{"result": value}``;
+* ``None`` produces an empty ``generated``.
+
+Reserved keyword arguments (consumed, not forwarded):
+
+* ``_upstream`` — list of upstream task ids (control-flow edge, recorded
+  into ``used._upstream``);
+* ``_hostname`` — the simulated/actual node executing the task;
+* ``_ctx`` — an explicit :class:`CaptureContext`.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from typing import Any, Callable, TypeVar
+
+from repro.capture.context import CaptureContext
+from repro.provenance.messages import TaskProvenanceMessage, TaskStatus
+
+__all__ = ["flow_task"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Values too large to inline into provenance get summarised.
+_MAX_REPR = 512
+
+
+def _capture_value(value: Any) -> Any:
+    """Keep JSON-friendly values; summarise anything bulky or exotic."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _capture_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        if len(value) <= 16:
+            return [_capture_value(v) for v in value]
+        return {
+            "_summary": f"sequence of {len(value)} items",
+            "_head": [_capture_value(v) for v in value[:4]],
+        }
+    text = repr(value)
+    return text if len(text) <= _MAX_REPR else text[:_MAX_REPR] + "…"
+
+
+def flow_task(
+    activity_id: str | None = None,
+    *,
+    context: CaptureContext | None = None,
+) -> Callable[[F], F]:
+    """Decorate a function so each call emits a task provenance message.
+
+    >>> @flow_task()
+    ... def square(x):
+    ...     return {"y": x * x}
+    """
+
+    def decorate(fn: F) -> F:
+        act_id = activity_id or fn.__name__
+        try:
+            signature = inspect.signature(fn)
+        except (TypeError, ValueError):
+            signature = None
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            ctx = kwargs.pop("_ctx", None) or context or CaptureContext.default()
+            upstream = kwargs.pop("_upstream", None)
+            hostname = kwargs.pop("_hostname", None) or ctx.hostname
+
+            used: dict[str, Any] = {}
+            if signature is not None:
+                try:
+                    bound = signature.bind(*args, **kwargs)
+                    bound.apply_defaults()
+                    used = {
+                        k: _capture_value(v) for k, v in bound.arguments.items()
+                    }
+                except TypeError:
+                    used = {"_args": _capture_value(list(args)), **{
+                        k: _capture_value(v) for k, v in kwargs.items()
+                    }}
+            if upstream:
+                used["_upstream"] = list(upstream)
+
+            sampler = ctx.sampler(hostname)
+            started_at = ctx.clock.now()
+            task_id = ctx.next_task_id(started_at)
+            tele_start = sampler.sample().to_dict()
+
+            msg = TaskProvenanceMessage(
+                task_id=task_id,
+                campaign_id=ctx.campaign_id,
+                workflow_id=ctx.workflow_id or "adhoc",
+                activity_id=act_id,
+                used=used,
+                started_at=started_at,
+                hostname=hostname,
+                telemetry_at_start=tele_start,
+                status=TaskStatus.RUNNING.value,
+            )
+            try:
+                result = fn(*args, **kwargs)
+            except Exception as exc:
+                msg.ended_at = ctx.clock.now()
+                msg.status = TaskStatus.FAILED.value
+                msg.generated = {"error": _capture_value(repr(exc))}
+                msg.telemetry_at_end = sampler.sample().to_dict()
+                ctx.emit(msg)
+                raise
+            msg.ended_at = ctx.clock.now()
+            msg.status = TaskStatus.FINISHED.value
+            if isinstance(result, dict):
+                msg.generated = {k: _capture_value(v) for k, v in result.items()}
+            elif result is not None:
+                msg.generated = {"result": _capture_value(result)}
+            msg.telemetry_at_end = sampler.sample().to_dict()
+            ctx.emit(msg)
+            return result
+
+        wrapper.activity_id = act_id  # type: ignore[attr-defined]
+        wrapper.__wrapped__ = fn
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

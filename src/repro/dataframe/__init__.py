@@ -1,0 +1,27 @@
+"""A small columnar DataFrame engine.
+
+This package stands in for Pandas (not installable in this environment) as
+the agent's *in-memory context*: recent workflow-task provenance messages
+are flattened into columns, and the LLM-generated query code — rendered in
+a pandas-like surface syntax — executes directly against
+:class:`~repro.dataframe.frame.DataFrame`.
+
+The engine is deliberately a subset: boolean-mask filtering, sorting,
+head/tail, groupby + aggregation, column arithmetic/comparison, string
+predicates, and duplicate dropping — the operations the paper's golden
+query set exercises.  Columns are numpy-backed where the dtype allows,
+falling back to object arrays for nested provenance values.
+"""
+
+from repro.dataframe.column import Column
+from repro.dataframe.frame import DataFrame, concat, flatten_record
+from repro.dataframe.groupby import GroupBy, SeriesGroupBy
+
+__all__ = [
+    "Column",
+    "DataFrame",
+    "GroupBy",
+    "SeriesGroupBy",
+    "concat",
+    "flatten_record",
+]

@@ -1,0 +1,48 @@
+"""Named aggregation registry.
+
+Maps the aggregation names that appear in generated query code
+(``"mean"``, ``"count"``, ...) onto :class:`~repro.dataframe.column.Column`
+methods.  Centralising the mapping keeps the query executor, the groupby
+engine, and the judges' semantic comparison in agreement about what each
+name means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import AggregationError
+
+AGGREGATIONS: dict[str, Callable[[Any], Any]] = {
+    "sum": lambda c: c.sum(),
+    "mean": lambda c: c.mean(),
+    "avg": lambda c: c.mean(),
+    "median": lambda c: c.median(),
+    "min": lambda c: c.min(),
+    "max": lambda c: c.max(),
+    "std": lambda c: c.std(),
+    "var": lambda c: c.var(),
+    "count": lambda c: c.count(),
+    "nunique": lambda c: c.nunique(),
+    "first": lambda c: c[0] if len(c) else None,
+    "last": lambda c: c[len(c) - 1] if len(c) else None,
+}
+
+#: Aggregations whose result has the same scale/unit as the input column.
+#: Used by the judges when deciding whether two aggregation choices are
+#: semantically interchangeable (``min`` vs ``idxmin`` is not; ``mean`` vs
+#: ``median`` is "close but different").
+VALUE_PRESERVING = frozenset({"min", "max", "first", "last", "median", "mean"})
+
+
+def apply_aggregation(column: Any, name: str) -> Any:
+    """Apply the named aggregation to a Column."""
+    try:
+        fn = AGGREGATIONS[name]
+    except KeyError:
+        raise AggregationError(f"unknown aggregation {name!r}") from None
+    return fn(column)
+
+
+def is_known(name: str) -> bool:
+    return name in AGGREGATIONS

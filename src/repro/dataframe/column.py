@@ -1,0 +1,388 @@
+"""Column: a named, typed, immutable 1-D vector.
+
+Comparison operators return boolean numpy masks so that
+``df[df["cpu"] > 50]`` works exactly like the pandas idiom the agent's
+generated code uses.  Numeric columns vectorise through numpy; object
+columns fall back to per-element Python loops (provenance payloads can
+contain dicts and lists, which numpy ufuncs cannot compare).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.dataframe import dtypes as dt
+from repro.errors import AggregationError
+
+__all__ = ["Column", "StringAccessor"]
+
+
+class Column:
+    """An immutable named vector with a storage dtype.
+
+    Parameters
+    ----------
+    name:
+        Column label.
+    values:
+        Any iterable of Python values; storage class is inferred unless
+        ``dtype`` is given.
+    """
+
+    __slots__ = ("name", "dtype", "_data")
+
+    def __init__(self, name: str, values: Iterable[Any], dtype: str | None = None):
+        vals = list(values) if not isinstance(values, np.ndarray) else values.tolist()
+        self.name = name
+        self.dtype = dtype or dt.infer_dtype(vals)
+        self._data = dt.to_storage(vals, self.dtype)
+
+    # -- construction helpers ------------------------------------------------
+    @classmethod
+    def _from_storage(cls, name: str, data: np.ndarray, dtype: str) -> "Column":
+        col = object.__new__(cls)
+        object.__setattr__(col, "name", name)
+        object.__setattr__(col, "dtype", dtype)
+        object.__setattr__(col, "_data", data)
+        return col
+
+    def rename(self, name: str) -> "Column":
+        return Column._from_storage(name, self._data, self.dtype)
+
+    # -- basic container protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Any]:
+        if self.dtype == dt.FLOAT:
+            for v in self._data:
+                yield None if math.isnan(v) else float(v)
+        elif self.dtype == dt.INT:
+            for v in self._data:
+                yield int(v)
+        elif self.dtype == dt.BOOL:
+            for v in self._data:
+                yield bool(v)
+        else:
+            yield from self._data
+
+    def __getitem__(self, idx: int) -> Any:
+        v = self._data[idx]
+        if self.dtype == dt.FLOAT:
+            return None if math.isnan(v) else float(v)
+        if self.dtype == dt.INT:
+            return int(v)
+        if self.dtype == dt.BOOL:
+            return bool(v)
+        return v
+
+    def to_list(self) -> list[Any]:
+        return list(self)
+
+    def to_numpy(self) -> np.ndarray:
+        """The raw storage array (a view; do not mutate)."""
+        return self._data
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._data
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Column":
+        idx = np.asarray(indices, dtype=np.intp)
+        return Column._from_storage(self.name, self._data[idx], self.dtype)
+
+    def mask(self, mask: np.ndarray) -> "Column":
+        m = np.asarray(mask, dtype=bool)
+        return Column._from_storage(self.name, self._data[m], self.dtype)
+
+    # -- null handling ---------------------------------------------------------
+    def isna(self) -> np.ndarray:
+        if self.dtype == dt.FLOAT:
+            return np.isnan(self._data)
+        if self.dtype == dt.OBJECT:
+            return np.array([v is None for v in self._data], dtype=bool)
+        return np.zeros(len(self._data), dtype=bool)
+
+    def notna(self) -> np.ndarray:
+        return ~self.isna()
+
+    def dropna(self) -> "Column":
+        return self.mask(self.notna())
+
+    # -- comparisons -> boolean masks -------------------------------------------
+    def _compare(self, other: Any, op: Callable[[Any, Any], bool]) -> np.ndarray:
+        if isinstance(other, Column):
+            other = other._data
+        if self.dtype in (dt.FLOAT, dt.INT, dt.BOOL) and not isinstance(other, str):
+            try:
+                with np.errstate(invalid="ignore"):
+                    out = op(self._data, other)
+                return np.asarray(out, dtype=bool)
+            except TypeError:
+                pass
+        result = np.zeros(len(self._data), dtype=bool)
+        for i, v in enumerate(self._data):
+            if v is None:
+                continue
+            try:
+                result[i] = bool(op(v, other))
+            except TypeError:
+                result[i] = False
+        return result
+
+    def __eq__(self, other: Any) -> np.ndarray:  # type: ignore[override]
+        return self._compare(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> np.ndarray:  # type: ignore[override]
+        return self._compare(other, lambda a, b: a != b)
+
+    def __lt__(self, other: Any) -> np.ndarray:
+        return self._compare(other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> np.ndarray:
+        return self._compare(other, lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> np.ndarray:
+        return self._compare(other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> np.ndarray:
+        return self._compare(other, lambda a, b: a >= b)
+
+    def __hash__(self) -> int:  # __eq__ overridden; keep identity hashing
+        return id(self)
+
+    def isin(self, values: Iterable[Any]) -> np.ndarray:
+        pool = set(values)
+        return np.array([v in pool for v in self], dtype=bool)
+
+    def between(self, low: Any, high: Any, inclusive: bool = True) -> np.ndarray:
+        if inclusive:
+            return (self >= low) & (self <= high)
+        return (self > low) & (self < high)
+
+    # -- arithmetic ---------------------------------------------------------------
+    def _arith(self, other: Any, op: Callable, name: str) -> "Column":
+        if isinstance(other, Column):
+            other_data = other._data
+        else:
+            other_data = other
+        if self.dtype not in (dt.FLOAT, dt.INT):
+            raise AggregationError(
+                f"arithmetic on non-numeric column {self.name!r} ({self.dtype})"
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            data = op(self._data.astype(np.float64), other_data)
+        return Column._from_storage(name, np.asarray(data, dtype=np.float64), dt.FLOAT)
+
+    def __add__(self, other: Any) -> "Column":
+        return self._arith(other, lambda a, b: a + b, self.name)
+
+    def __sub__(self, other: Any) -> "Column":
+        return self._arith(other, lambda a, b: a - b, self.name)
+
+    def __rsub__(self, other: Any) -> "Column":
+        return self._arith(other, lambda a, b: b - a, self.name)
+
+    def __mul__(self, other: Any) -> "Column":
+        return self._arith(other, lambda a, b: a * b, self.name)
+
+    def __truediv__(self, other: Any) -> "Column":
+        return self._arith(other, lambda a, b: a / b, self.name)
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    # -- aggregations ----------------------------------------------------------------
+    def _numeric_or_raise(self, agg: str) -> np.ndarray:
+        if self.dtype == dt.BOOL:
+            return self._data.astype(np.float64)
+        if self.dtype not in (dt.FLOAT, dt.INT):
+            if len(self._data) == 0 or all(v is None for v in self._data):
+                # empty/all-null object columns aggregate like empty numerics
+                return np.array([], dtype=np.float64)
+            raise AggregationError(
+                f"cannot {agg} non-numeric column {self.name!r} ({self.dtype})"
+            )
+        return self._data.astype(np.float64)
+
+    def _valid(self, agg: str) -> np.ndarray:
+        arr = self._numeric_or_raise(agg)
+        return arr[~np.isnan(arr)]
+
+    def sum(self) -> float:
+        v = self._valid("sum")
+        return float(v.sum()) if v.size else 0.0
+
+    def mean(self) -> float | None:
+        v = self._valid("mean")
+        return float(v.mean()) if v.size else None
+
+    def median(self) -> float | None:
+        v = self._valid("median")
+        return float(np.median(v)) if v.size else None
+
+    def std(self) -> float | None:
+        v = self._valid("std")
+        return float(v.std(ddof=1)) if v.size > 1 else None
+
+    def var(self) -> float | None:
+        v = self._valid("var")
+        return float(v.var(ddof=1)) if v.size > 1 else None
+
+    def min(self) -> Any:
+        if self.dtype in (dt.FLOAT, dt.INT, dt.BOOL):
+            v = self._valid("min")
+            return float(v.min()) if v.size else None
+        vals = [v for v in self._data if v is not None]
+        return min(vals) if vals else None
+
+    def max(self) -> Any:
+        if self.dtype in (dt.FLOAT, dt.INT, dt.BOOL):
+            v = self._valid("max")
+            return float(v.max()) if v.size else None
+        vals = [v for v in self._data if v is not None]
+        return max(vals) if vals else None
+
+    def count(self) -> int:
+        """Number of non-null entries (pandas semantics)."""
+        return int(self.notna().sum())
+
+    def nunique(self) -> int:
+        return len({_hashable(v) for v in self if v is not None})
+
+    def unique(self) -> list[Any]:
+        seen: dict[Any, Any] = {}
+        for v in self:
+            if v is None:
+                continue
+            key = _hashable(v)
+            if key not in seen:
+                seen[key] = v
+        return list(seen.values())
+
+    def idxmin(self) -> int | None:
+        if self.dtype in (dt.FLOAT, dt.INT):
+            arr = self._data.astype(np.float64)
+            if np.all(np.isnan(arr)):
+                return None
+            return int(np.nanargmin(arr))
+        best_i, best_v = None, None
+        for i, v in enumerate(self):
+            if v is None:
+                continue
+            if best_v is None or v < best_v:
+                best_i, best_v = i, v
+        return best_i
+
+    def idxmax(self) -> int | None:
+        if self.dtype in (dt.FLOAT, dt.INT):
+            arr = self._data.astype(np.float64)
+            if np.all(np.isnan(arr)):
+                return None
+            return int(np.nanargmax(arr))
+        best_i, best_v = None, None
+        for i, v in enumerate(self):
+            if v is None:
+                continue
+            if best_v is None or v > best_v:
+                best_i, best_v = i, v
+        return best_i
+
+    def agg(self, name: str) -> Any:
+        """Dispatch a named aggregation (``"mean"``, ``"count"``, ...)."""
+        from repro.dataframe.aggregations import apply_aggregation
+
+        return apply_aggregation(self, name)
+
+    # -- ordering -----------------------------------------------------------------
+    def argsort(self, ascending: bool = True) -> np.ndarray:
+        """Stable sort order with nulls last regardless of direction."""
+        n = len(self._data)
+        if self.dtype in (dt.FLOAT, dt.INT, dt.BOOL):
+            arr = self._data.astype(np.float64)
+            nan_mask = np.isnan(arr)
+            keys = np.where(nan_mask, np.inf if ascending else -np.inf, arr)
+            order = np.argsort(-keys if not ascending else keys, kind="stable")
+        else:
+            decorated = []
+            for i, v in enumerate(self._data):
+                null = v is None
+                try:
+                    key = v if not null else ""
+                    decorated.append((null, key, i))
+                except TypeError:
+                    decorated.append((null, str(v), i))
+            try:
+                decorated.sort(key=lambda t: (t[0], t[1]), reverse=not ascending)
+            except TypeError:
+                decorated.sort(key=lambda t: (t[0], str(t[1])), reverse=not ascending)
+            if not ascending:  # keep nulls last after reverse
+                decorated.sort(key=lambda t: t[0])
+            order = np.array([i for _, _, i in decorated], dtype=np.intp)
+        # nulls last in both directions
+        if self.dtype in (dt.FLOAT, dt.INT, dt.BOOL):
+            return order
+        return order if len(order) == n else order
+
+    # -- string accessor --------------------------------------------------------------
+    @property
+    def str(self) -> "StringAccessor":
+        return StringAccessor(self)
+
+    # -- misc -----------------------------------------------------------------------
+    def apply(self, fn: Callable[[Any], Any]) -> "Column":
+        return Column(self.name, [None if v is None else fn(v) for v in self])
+
+    def astype(self, dtype: str) -> "Column":
+        return Column(self.name, self.to_list(), dtype=dtype)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self.to_list()[:6])
+        more = "…" if len(self) > 6 else ""
+        return f"Column({self.name!r}, dtype={self.dtype}, [{preview}{more}])"
+
+
+class StringAccessor:
+    """Vectorised string predicates, mirroring ``Series.str``."""
+
+    def __init__(self, column: Column):
+        self._col = column
+
+    def _map_bool(self, fn: Callable[[str], bool]) -> np.ndarray:
+        return np.array(
+            [bool(fn(v)) if isinstance(v, str) else False for v in self._col],
+            dtype=bool,
+        )
+
+    def contains(self, pattern: str, case: bool = True) -> np.ndarray:
+        if case:
+            return self._map_bool(lambda s: pattern in s)
+        low = pattern.lower()
+        return self._map_bool(lambda s: low in s.lower())
+
+    def startswith(self, prefix: str) -> np.ndarray:
+        return self._map_bool(lambda s: s.startswith(prefix))
+
+    def endswith(self, suffix: str) -> np.ndarray:
+        return self._map_bool(lambda s: s.endswith(suffix))
+
+    def lower(self) -> Column:
+        return self._col.apply(lambda v: v.lower() if isinstance(v, str) else v)
+
+    def upper(self) -> Column:
+        return self._col.apply(lambda v: v.upper() if isinstance(v, str) else v)
+
+    def len(self) -> Column:
+        return self._col.apply(lambda v: len(v) if isinstance(v, str) else None)
+
+
+def _hashable(v: Any) -> Any:
+    """Fold unhashable payloads (dict/list) to a stable key for uniqueness."""
+    try:
+        hash(v)
+        return v
+    except TypeError:
+        return repr(v)

@@ -1,0 +1,96 @@
+"""Dtype inference and promotion for the mini DataFrame engine.
+
+The engine supports four storage classes:
+
+* ``float64`` / ``int64`` — numpy-backed numeric columns,
+* ``bool``                — numpy boolean columns,
+* ``object``              — anything else (strings, dicts, lists, mixed).
+
+Missing values: numeric columns store ``nan`` (ints are promoted to float
+when a null appears, mirroring pandas); object columns store ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+import numpy as np
+
+FLOAT = "float64"
+INT = "int64"
+BOOL = "bool"
+OBJECT = "object"
+
+_NUMERIC = (FLOAT, INT)
+
+
+def is_numeric_dtype(dtype: str) -> bool:
+    return dtype in _NUMERIC
+
+
+def is_null(value: Any) -> bool:
+    """True for None and float NaN (the two null spellings we accept)."""
+    if value is None:
+        return True
+    return isinstance(value, float) and math.isnan(value)
+
+
+def infer_dtype(values: Iterable[Any]) -> str:
+    """Infer the narrowest storage class that holds all ``values``.
+
+    Bools are not ints here (unlike raw Python): a column of True/False
+    stays ``bool``.  A single non-numeric, non-null value forces
+    ``object``.  All-null columns default to ``float64`` so they behave
+    like empty numeric columns under aggregation.
+    """
+    saw_float = saw_int = saw_bool = saw_null = saw_value = False
+    for v in values:
+        saw_value = True
+        if is_null(v):
+            saw_null = True
+        elif isinstance(v, bool) or isinstance(v, np.bool_):
+            saw_bool = True
+        elif isinstance(v, (int, np.integer)):
+            saw_int = True
+        elif isinstance(v, (float, np.floating)):
+            saw_float = True
+        else:
+            return OBJECT
+    if not saw_value:
+        return OBJECT
+    if saw_bool:
+        if saw_int or saw_float:
+            return OBJECT
+        return BOOL if not saw_null else OBJECT
+    if saw_float or (saw_int and saw_null):
+        return FLOAT
+    if saw_int:
+        return INT
+    return FLOAT  # all nulls
+
+
+def to_storage(values: list[Any], dtype: str) -> np.ndarray:
+    """Materialise ``values`` as a numpy array of the storage class."""
+    if dtype == FLOAT:
+        return np.array(
+            [np.nan if is_null(v) else float(v) for v in values], dtype=np.float64
+        )
+    if dtype == INT:
+        return np.array([int(v) for v in values], dtype=np.int64)
+    if dtype == BOOL:
+        return np.array([bool(v) for v in values], dtype=np.bool_)
+    arr = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        arr[i] = None if is_null(v) else v
+    return arr
+
+
+def promote(a: str, b: str) -> str:
+    """Common dtype for combining two columns."""
+    if a == b:
+        return a
+    pair = {a, b}
+    if pair <= {INT, FLOAT}:
+        return FLOAT
+    return OBJECT

@@ -1,0 +1,214 @@
+"""Group-by engine.
+
+``df.groupby("bond_id")["bd_enthalpy"].mean()`` — the canonical shape in
+the agent's generated code — returns a new :class:`DataFrame` with one row
+per group, columns ``[*keys, value]``.  Multi-aggregation via ``agg`` is
+supported both at the frame level and the selected-column level.
+
+Group order is first-appearance order (stable), matching what a scientist
+sees when tasks stream in execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.dataframe.column import Column
+from repro.dataframe.aggregations import apply_aggregation
+from repro.errors import ColumnNotFoundError
+
+__all__ = ["GroupBy", "SeriesGroupBy"]
+
+
+class GroupBy:
+    """Lazy grouping of a DataFrame by one or more key columns."""
+
+    def __init__(self, frame: Any, keys: list[str]):
+        self._frame = frame
+        self._keys = keys
+        self._groups: dict[tuple, list[int]] | None = None
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    def _build(self) -> dict[tuple, list[int]]:
+        if self._groups is None:
+            groups: dict[tuple, list[int]] = {}
+            key_cols = [self._frame.column(k) for k in self._keys]
+            for i in range(len(self._frame)):
+                key = tuple(_freeze(c[i]) for c in key_cols)
+                groups.setdefault(key, []).append(i)
+            self._groups = groups
+        return self._groups
+
+    def __len__(self) -> int:
+        return len(self._build())
+
+    def __getitem__(self, column: str | Sequence[str]) -> "SeriesGroupBy":
+        if isinstance(column, str):
+            if column not in self._frame:
+                raise ColumnNotFoundError(column, tuple(self._frame.columns))
+            return SeriesGroupBy(self, column)
+        raise TypeError("groupby selection supports a single column name")
+
+    def groups(self) -> dict[tuple, list[int]]:
+        """Mapping of group key tuple -> row indices."""
+        return {k: list(v) for k, v in self._build().items()}
+
+    def size(self) -> Any:
+        """Row count per group as a DataFrame [*keys, 'size']."""
+        from repro.dataframe.frame import DataFrame
+
+        groups = self._build()
+        data: dict[str, list[Any]] = {k: [] for k in self._keys}
+        sizes: list[int] = []
+        for key, idx in groups.items():
+            for name, part in zip(self._keys, key):
+                data[name].append(part)
+            sizes.append(len(idx))
+        data["size"] = sizes
+        return DataFrame(data)
+
+    def agg(self, spec: Mapping[str, str | Sequence[str]]) -> Any:
+        """Per-group aggregation: ``gb.agg({"col": "mean"})``.
+
+        Output columns are named ``col`` for single aggs and
+        ``col_<agg>`` when several aggregations are requested per column.
+        """
+        from repro.dataframe.frame import DataFrame
+
+        groups = self._build()
+        data: dict[str, list[Any]] = {k: [] for k in self._keys}
+        out_cols: dict[str, list[Any]] = {}
+
+        plan: list[tuple[str, str, str]] = []  # (src, agg, out_name)
+        for src, aggs in spec.items():
+            if isinstance(aggs, str):
+                plan.append((src, aggs, src))
+            else:
+                for a in aggs:
+                    plan.append((src, a, f"{src}_{a}"))
+        for _, _, out_name in plan:
+            out_cols[out_name] = []
+
+        for key, idx in groups.items():
+            for name, part in zip(self._keys, key):
+                data[name].append(part)
+            sub = self._frame.take(idx)
+            for src, agg, out_name in plan:
+                out_cols[out_name].append(apply_aggregation(sub.column(src), agg))
+        data.update(out_cols)
+        return DataFrame(data)
+
+    def _agg_all(self, agg: str) -> Any:
+        """Apply one aggregation to every non-key numeric-capable column."""
+        from repro.dataframe import dtypes as dt
+        from repro.dataframe.frame import DataFrame
+
+        value_cols = [
+            n
+            for n in self._frame.columns
+            if n not in self._keys
+            and self._frame.column(n).dtype in (dt.FLOAT, dt.INT, dt.BOOL)
+        ]
+        if agg in ("count", "nunique", "first", "last"):
+            value_cols = [n for n in self._frame.columns if n not in self._keys]
+        spec = {n: agg for n in value_cols}
+        if not spec:
+            return self.size()
+        return self.agg(spec)
+
+    def mean(self) -> Any:
+        return self._agg_all("mean")
+
+    def sum(self) -> Any:
+        return self._agg_all("sum")
+
+    def min(self) -> Any:
+        return self._agg_all("min")
+
+    def max(self) -> Any:
+        return self._agg_all("max")
+
+    def median(self) -> Any:
+        return self._agg_all("median")
+
+    def std(self) -> Any:
+        return self._agg_all("std")
+
+    def count(self) -> Any:
+        return self._agg_all("count")
+
+    def first(self) -> Any:
+        return self._agg_all("first")
+
+    def last(self) -> Any:
+        return self._agg_all("last")
+
+    def nunique(self) -> Any:
+        return self._agg_all("nunique")
+
+
+class SeriesGroupBy:
+    """A single column selected from a GroupBy."""
+
+    def __init__(self, parent: GroupBy, column: str):
+        self._parent = parent
+        self._column = column
+
+    def _aggregate(self, agg: str) -> Any:
+        from repro.dataframe.frame import DataFrame
+
+        groups = self._parent._build()
+        keys = self._parent.keys
+        data: dict[str, list[Any]] = {k: [] for k in keys}
+        values: list[Any] = []
+        frame = self._parent._frame
+        for key, idx in groups.items():
+            for name, part in zip(keys, key):
+                data[name].append(part)
+            values.append(apply_aggregation(frame.take(idx).column(self._column), agg))
+        data[self._column] = values
+        return DataFrame(data)
+
+    def mean(self) -> Any:
+        return self._aggregate("mean")
+
+    def sum(self) -> Any:
+        return self._aggregate("sum")
+
+    def min(self) -> Any:
+        return self._aggregate("min")
+
+    def max(self) -> Any:
+        return self._aggregate("max")
+
+    def median(self) -> Any:
+        return self._aggregate("median")
+
+    def std(self) -> Any:
+        return self._aggregate("std")
+
+    def count(self) -> Any:
+        return self._aggregate("count")
+
+    def nunique(self) -> Any:
+        return self._aggregate("nunique")
+
+    def first(self) -> Any:
+        return self._aggregate("first")
+
+    def last(self) -> Any:
+        return self._aggregate("last")
+
+    def agg(self, agg: str) -> Any:
+        return self._aggregate(agg)
+
+
+def _freeze(v: Any) -> Any:
+    try:
+        hash(v)
+        return v
+    except TypeError:
+        return repr(v)

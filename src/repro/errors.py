@@ -1,0 +1,173 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch the library's failures without masking genuine Python bugs
+(``TypeError`` from bad plumbing stays distinct from a user-facing
+``ColumnNotFoundError``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# DataFrame engine
+# ---------------------------------------------------------------------------
+class DataFrameError(ReproError):
+    """Base class for DataFrame engine errors."""
+
+
+class ColumnNotFoundError(DataFrameError, KeyError):
+    """A referenced column does not exist in the frame."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.column = name
+        self.available = available
+        msg = f"column {name!r} not found"
+        if available:
+            msg += f" (available: {', '.join(available)})"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return self.args[0]
+
+
+class LengthMismatchError(DataFrameError):
+    """Columns of different lengths were combined."""
+
+
+class AggregationError(DataFrameError):
+    """An unknown or inapplicable aggregation was requested."""
+
+
+# ---------------------------------------------------------------------------
+# Query IR
+# ---------------------------------------------------------------------------
+class QueryError(ReproError):
+    """Base class for query IR errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """The textual query code could not be parsed into an AST."""
+
+
+class QueryExecutionError(QueryError):
+    """A structurally valid query failed while executing."""
+
+
+# ---------------------------------------------------------------------------
+# Messaging
+# ---------------------------------------------------------------------------
+class MessagingError(ReproError):
+    """Base class for streaming-hub errors."""
+
+
+class BrokerClosedError(MessagingError):
+    """Operation attempted on a closed broker."""
+
+
+class TopicError(MessagingError):
+    """Invalid topic name or pattern."""
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+# ---------------------------------------------------------------------------
+class ProvenanceError(ReproError):
+    """Base class for provenance subsystem errors."""
+
+
+class SchemaViolationError(ProvenanceError):
+    """A provenance message does not satisfy the common schema."""
+
+
+class DatabaseError(ProvenanceError):
+    """Provenance database operation failed."""
+
+
+# ---------------------------------------------------------------------------
+# Workflows
+# ---------------------------------------------------------------------------
+class WorkflowError(ReproError):
+    """Base class for workflow engine errors."""
+
+
+class CyclicDependencyError(WorkflowError):
+    """The task graph contains a cycle."""
+
+
+class TaskFailedError(WorkflowError):
+    """A task raised during execution."""
+
+    def __init__(self, task_id: str, cause: BaseException):
+        self.task_id = task_id
+        self.cause = cause
+        super().__init__(f"task {task_id!r} failed: {cause!r}")
+
+
+# ---------------------------------------------------------------------------
+# Chemistry
+# ---------------------------------------------------------------------------
+class ChemistryError(ReproError):
+    """Base class for the chemistry substrate."""
+
+
+class SmilesParseError(ChemistryError):
+    """A SMILES string could not be parsed."""
+
+
+class ValenceError(ChemistryError):
+    """An atom exceeds its allowed valence."""
+
+
+# ---------------------------------------------------------------------------
+# LLM simulation
+# ---------------------------------------------------------------------------
+class LLMError(ReproError):
+    """Base class for the simulated LLM service."""
+
+
+class ContextWindowExceededError(LLMError):
+    """Prompt + completion would not fit in the model's context window."""
+
+    def __init__(self, model: str, needed: int, window: int):
+        self.model = model
+        self.needed = needed
+        self.window = window
+        super().__init__(
+            f"model {model!r}: prompt needs {needed} tokens "
+            f"but context window is {window}"
+        )
+
+
+class UnknownModelError(LLMError):
+    """Requested model name is not registered."""
+
+
+# ---------------------------------------------------------------------------
+# Agent
+# ---------------------------------------------------------------------------
+class AgentError(ReproError):
+    """Base class for provenance agent errors."""
+
+
+class ToolNotFoundError(AgentError):
+    """The MCP tool registry has no tool with the requested name."""
+
+
+class ToolExecutionError(AgentError):
+    """A tool raised during dispatch."""
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+class EvaluationError(ReproError):
+    """Base class for the evaluation methodology."""
+
+
+class QuerySetError(EvaluationError):
+    """The golden query set is malformed."""

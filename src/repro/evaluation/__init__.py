@@ -1,0 +1,54 @@
+"""Evaluation methodology (paper §3 + §5.2).
+
+The six stages of Figure 3 map onto these modules:
+
+1. **Query Set** — :mod:`query_set` builds the 20-query golden dataset
+   with class labels from the Figure-1 taxonomy (:mod:`taxonomy`) and
+   human-curated gold DataFrame queries (Table 1 distribution);
+2. **Prompt engineering** + **RAG strategies** — the Table-2 cumulative
+   configurations in :mod:`configs` (assembled by the agent's prompt
+   builder);
+3. **LLM output** — queries as code, produced by :mod:`repro.llm`;
+4. **Evaluation** — :mod:`judges` scores generated queries against gold
+   with rule-based scoring and two simulated LLM-as-a-judge models
+   (GPT, Claude) with distinct leniency/self-preference profiles;
+5. **Experimental runs** — :mod:`runner` sweeps models x configs x
+   queries x repetitions (median of 3, temperature 0);
+6. **Refine** — :mod:`reporting` aggregates results into every figure
+   and table of §5.2.
+"""
+
+from repro.evaluation.taxonomy import DataType, QueryClass, Workload
+from repro.evaluation.query_set import EvalQuery, build_query_set
+from repro.evaluation.configs import CONFIGURATIONS, config_for
+from repro.evaluation.judges import JudgeProfile, LLMJudge, RuleBasedScorer
+from repro.evaluation.runner import EvaluationRecord, ExperimentRunner
+from repro.evaluation.reporting import (
+    fig6_judge_comparison,
+    fig7_per_class,
+    fig8_context_vs_tokens,
+    fig9_datatype_impact,
+    response_time_table,
+    table1_distribution,
+)
+
+__all__ = [
+    "DataType",
+    "Workload",
+    "QueryClass",
+    "EvalQuery",
+    "build_query_set",
+    "CONFIGURATIONS",
+    "config_for",
+    "LLMJudge",
+    "JudgeProfile",
+    "RuleBasedScorer",
+    "ExperimentRunner",
+    "EvaluationRecord",
+    "table1_distribution",
+    "fig6_judge_comparison",
+    "fig7_per_class",
+    "fig8_context_vs_tokens",
+    "fig9_datatype_impact",
+    "response_time_table",
+]

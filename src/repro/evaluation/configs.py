@@ -1,0 +1,47 @@
+"""Prompt + RAG configurations (paper Table 2).
+
+Cumulative context configurations, from zero-shot ("Nothing") to Full.
+The evaluation sweeps these; the production agent runs Full.
+"""
+
+from __future__ import annotations
+
+from repro.agent.prompts import PromptConfig
+
+__all__ = ["CONFIGURATIONS", "config_for", "FIGURE8_ORDER"]
+
+CONFIGURATIONS: dict[str, PromptConfig] = {
+    "Nothing": PromptConfig(),
+    "Baseline": PromptConfig().with_baseline(),
+    "Baseline+FS": PromptConfig(few_shot=True).with_baseline(),
+    "Baseline+FS+Schema": PromptConfig(few_shot=True, schema=True).with_baseline(),
+    "Baseline+FS+Schema+Values": PromptConfig(
+        few_shot=True, schema=True, values=True
+    ).with_baseline(),
+    "Baseline+FS+Guidelines": PromptConfig(
+        few_shot=True, guidelines=True
+    ).with_baseline(),
+    "Full": PromptConfig(
+        few_shot=True, schema=True, values=True, guidelines=True
+    ).with_baseline(),
+}
+
+#: the six configurations Figure 8/9 sweep (zero-shot excluded: the paper
+#: drops it "due to consistently poor scores across all models")
+FIGURE8_ORDER = (
+    "Baseline",
+    "Baseline+FS",
+    "Baseline+FS+Schema",
+    "Baseline+FS+Schema+Values",
+    "Baseline+FS+Guidelines",
+    "Full",
+)
+
+
+def config_for(label: str) -> PromptConfig:
+    try:
+        return CONFIGURATIONS[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown configuration {label!r}; known: {', '.join(CONFIGURATIONS)}"
+        ) from None

@@ -1,0 +1,156 @@
+"""Scoring: rule-based and simulated LLM-as-a-judge (paper §3, §5.2).
+
+Both strategies share the analytical core in
+:mod:`repro.query.compare`; they differ in how they map a structural/
+functional diff to a 0-1 score:
+
+* :class:`RuleBasedScorer` returns the rubric score directly —
+  transparent and interpretable, exactly the trade-off the paper
+  describes;
+* :class:`LLMJudge` layers a judge personality on top: a leniency curve
+  (GPT scores consistently higher than Claude, most visibly mid-range),
+  a small self-preference ("each judge appears to slightly favor its
+  own model" — despite the double-blind setup, judges recognise their
+  own stylistic fingerprints), an extra hallucination penalty for the
+  stricter judge, and seeded per-rep noise (temperature-0 LLMs still
+  vary slightly).
+
+The judge "has access to the same context as the provenance agent"
+(paper §5.2): it executes both queries against the live frame and
+rewards functional equivalence over syntactic similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataframe import DataFrame
+from repro.errors import QuerySyntaxError
+from repro.query import parse_query
+from repro.query.compare import compare_queries
+from repro.query.ast import Pipeline
+from repro.utils.seeding import derive_rng
+
+__all__ = ["JudgeProfile", "LLMJudge", "RuleBasedScorer", "JUDGES"]
+
+
+@dataclass(frozen=True)
+class JudgeProfile:
+    """Scoring personality of one judge LLM."""
+
+    name: str
+    display_name: str
+    #: own-model identifier for self-preference
+    own_model: str
+    #: mid-range leniency: score += kindness * score * (1 - score) * 2
+    kindness: float
+    #: flat shift applied to every verdict (strict judges are negative)
+    strictness_offset: float
+    #: additive bonus when judging the judge's own model
+    self_preference: float
+    #: extra penalty per hallucinated field (strict judges punish these)
+    hallucination_penalty: float
+    #: per-draw score noise (sigma)
+    noise_sigma: float
+    #: score assigned to unparseable output (syntax failures)
+    syntax_floor: float
+
+
+GPT_JUDGE = JudgeProfile(
+    name="gpt-judge",
+    display_name="GPT Score",
+    own_model="gpt-4",
+    kindness=0.20,
+    strictness_offset=0.0,
+    self_preference=0.010,
+    hallucination_penalty=0.0,
+    noise_sigma=0.015,
+    syntax_floor=0.05,
+)
+
+CLAUDE_JUDGE = JudgeProfile(
+    name="claude-judge",
+    display_name="Claude Score",
+    own_model="claude-opus-4",
+    kindness=-0.08,
+    strictness_offset=-0.055,
+    self_preference=0.030,
+    hallucination_penalty=0.05,
+    noise_sigma=0.015,
+    syntax_floor=0.02,
+)
+
+JUDGES: dict[str, JudgeProfile] = {
+    "gpt-judge": GPT_JUDGE,
+    "claude-judge": CLAUDE_JUDGE,
+}
+
+
+class RuleBasedScorer:
+    """Transparent rubric scoring (no judge personality)."""
+
+    def score(
+        self,
+        gold: Pipeline,
+        generated_code: str,
+        *,
+        frame: DataFrame | None = None,
+        known_fields: set[str] | None = None,
+    ) -> float:
+        try:
+            generated = parse_query(generated_code)
+        except QuerySyntaxError:
+            return 0.0
+        diff = compare_queries(
+            gold, generated, frame=frame, known_fields=known_fields
+        )
+        return diff.rubric_score()
+
+
+class LLMJudge:
+    """A simulated judge LLM scoring generated queries against gold."""
+
+    def __init__(self, profile: JudgeProfile):
+        self.profile = profile
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def score(
+        self,
+        gold: Pipeline,
+        generated_code: str,
+        *,
+        frame: DataFrame | None = None,
+        known_fields: set[str] | None = None,
+        model_under_test: str = "",
+        query_id: str = "",
+        rep: int = 0,
+    ) -> float:
+        p = self.profile
+        rng = derive_rng("judge", p.name, model_under_test, query_id, rep)
+        noise = float(rng.normal(0.0, p.noise_sigma))
+
+        try:
+            generated = parse_query(generated_code)
+        except QuerySyntaxError:
+            return _clip(p.syntax_floor + abs(noise))
+
+        diff = compare_queries(
+            gold, generated, frame=frame, known_fields=known_fields
+        )
+        score = diff.rubric_score()
+        # leniency curve peaks mid-range: lenient judges upgrade partial
+        # credit; strict ones downgrade it. Perfect/terrible scores move less.
+        score += p.kindness * score * (1.0 - score) * 2.0
+        score += p.strictness_offset
+        if diff.hallucinated_fields:
+            score -= p.hallucination_penalty * len(diff.hallucinated_fields)
+        if model_under_test == p.own_model:
+            score += p.self_preference
+        return _clip(score + noise)
+
+
+def _clip(x: float) -> float:
+    return max(0.0, min(1.0, x))

@@ -1,0 +1,280 @@
+"""Live chemistry-workflow interaction (paper §5.3).
+
+Reproduces the demonstration: run the BDE workflow for ethanol on the
+simulated Frontier hosts, then issue the paper's ten natural-language
+queries (Q1-Q10) to the provenance agent and grade each answer against
+ground truth from the :class:`BDEReport`.
+
+Paper outcomes to reproduce (GPT-4):
+
+=====  ===============================================  ===========
+Query  What it asks                                      Outcome
+=====  ===============================================  ===========
+Q1     highest dissociation free energy bond             correct
+Q2     DFT functional used                               correct
+Q3     lowest bond enthalpy                              correct*
+Q4     atom count of "this molecule"                     correct*
+Q5     atom count of the parent                          incorrect (81, not 9)
+Q6     multiplicity/charge of parent                     correct (+enrichment)
+Q7     bar chart of BDE per bond label                   correct
+Q8     bar chart with averaged C-H values                incorrect
+Q9     average BDE for labels containing 'C-H'           correct
+Q10    multiplicity/charge of any fragment               correct
+=====  ===============================================  ===========
+
+(* = correct with caveats: Q3 has a unit/bond-id omission; Q4 is
+ambiguous across parent+fragments.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agent.agent import AgentReply, ProvenanceAgent
+from repro.capture.context import CaptureContext
+from repro.dataframe import DataFrame
+from repro.llm.generation import QueryTraits
+from repro.llm.intents import register_intent
+from repro.llm.service import LLMServer
+from repro.query import parse_query
+from repro.workflows.chemistry import BDEReport, run_bde_workflow
+
+__all__ = ["DemoQuery", "DemoOutcome", "CHEMISTRY_QUERIES", "run_live_demo"]
+
+
+@dataclass(frozen=True)
+class DemoQuery:
+    qid: str
+    nl: str
+    gold_code: str
+    paper_outcome: str  # "correct" | "correct_with_caveat" | "incorrect"
+    traits: QueryTraits = QueryTraits()
+    notes: str = ""
+
+
+CHEMISTRY_QUERIES: tuple[DemoQuery, ...] = (
+    DemoQuery(
+        "Q1",
+        "Which bond has the highest dissociation free energy?",
+        "df.sort_values('generated.bd_free_energy', ascending=False).head(1)"
+        "[['generated.bond_id', 'generated.bd_free_energy']]",
+        "correct",
+        notes="agent inferred kcal/mol and picked the right energy column",
+    ),
+    DemoQuery(
+        "Q2",
+        "What functional was used for the calculations?",
+        "df['used.functional'].unique()",
+        "correct",
+        notes="summary perfect; paper notes the tabular view repeats values",
+    ),
+    DemoQuery(
+        "Q3",
+        "What is the lowest energy bond enthalpy?",
+        "df['generated.bd_enthalpy'].min()",
+        "correct_with_caveat",
+        notes="value right; paper notes a unit slip (kJ/mol) and missing bond id",
+    ),
+    DemoQuery(
+        "Q4",
+        "What is the number of atoms in this molecule?",
+        "df[df['activity_id'] == 'run_dft'][['task_id', 'used.n_atoms']]",
+        "correct_with_caveat",
+        notes="all molecules listed; association with labels is ambiguous",
+    ),
+    DemoQuery(
+        "Q5",
+        "What is the number of atoms in the parent molecule?",
+        "df[(df['activity_id'] == 'run_dft') & "
+        "(df['used.molecule_name'] == 'parent')][['used.n_atoms']]",
+        "incorrect",
+        traits=QueryTraits(traps=("entity_scoping",), workload="OLTP"),
+        notes="paper: agent summed all molecules -> 81 instead of 9",
+    ),
+    DemoQuery(
+        "Q6",
+        "What are the multiplicity and charge of the parent?",
+        "df[(df['activity_id'] == 'run_dft') & "
+        "(df['used.molecule_name'] == 'parent')]"
+        "[['used.multiplicity', 'used.charge']]",
+        "correct",
+        notes="enriched with 'singlet state' / 'neutral charge' phrasing",
+    ),
+    DemoQuery(
+        "Q7",
+        "Plot a bar graph displaying the bond dissociation enthalpy for "
+        "each bond label.",
+        "df[df['activity_id'] == 'run_individual_bde']"
+        "[['generated.bond_id', 'generated.bd_enthalpy']]",
+        "correct",
+    ),
+    DemoQuery(
+        "Q8",
+        "For this molecule, please plot a bar graph displaying the bond "
+        "dissociation enthalpy with averaged C-H values.",
+        # the *intended* chart needs string-prefix grouping, which the
+        # query language (like the paper's plot logic) cannot express;
+        # the agent falls back to the per-label chart -> incorrect
+        "df[df['activity_id'] == 'run_individual_bde']"
+        "[['generated.bond_id', 'generated.bd_enthalpy']]",
+        "incorrect",
+        traits=QueryTraits(traps=("plot_grouping",), workload="OLAP"),
+        notes="paper: failed to average C-H bars before plotting",
+    ),
+    DemoQuery(
+        "Q9",
+        "What is the average bond dissociation enthalpy for the bond "
+        "labels that contain 'C-H'?",
+        "df[df['generated.bond_id'].str.contains('C-H')]"
+        "['generated.bd_enthalpy'].mean()",
+        "correct",
+    ),
+    DemoQuery(
+        "Q10",
+        "What is the multiplicity and charge of any fragment?",
+        "df[(df['activity_id'] == 'run_dft') & "
+        "(df['used.multiplicity'] == 2)]"
+        "[['used.multiplicity', 'used.charge']].head(1)",
+        "correct",
+        notes="unlike Q6, the summary omits the key chemical terms",
+    ),
+)
+
+
+@dataclass
+class DemoOutcome:
+    qid: str
+    nl: str
+    reply: AgentReply
+    correct: bool
+    paper_outcome: str
+    matches_paper: bool
+    detail: str = ""
+
+
+@dataclass
+class DemoReport:
+    report: BDEReport
+    outcomes: list[DemoOutcome] = field(default_factory=list)
+
+    def accuracy(self) -> float:
+        """Fraction fully or partially correct (paper: 'over 80%')."""
+        return sum(1 for o in self.outcomes if o.correct) / len(self.outcomes)
+
+    def paper_agreement(self) -> float:
+        return sum(1 for o in self.outcomes if o.matches_paper) / len(self.outcomes)
+
+
+def register_demo_intents() -> None:
+    for dq in CHEMISTRY_QUERIES:
+        register_intent(dq.nl, parse_query(dq.gold_code), traits=dq.traits)
+
+
+def run_live_demo(
+    *,
+    model: str = "gpt-4",
+    smiles: str = "CCO",
+    n_conformers: int = 2,
+) -> DemoReport:
+    """Run the workflow + agent conversation; grade every answer."""
+    register_demo_intents()
+    ctx = CaptureContext(hostname="frontier00084.frontier.olcf.ornl.gov")
+    agent = ProvenanceAgent(ctx, llm=LLMServer(), model=model)
+    bde = run_bde_workflow(smiles, ctx, n_conformers=n_conformers)
+    demo = DemoReport(report=bde)
+
+    for dq in CHEMISTRY_QUERIES:
+        reply = agent.chat(dq.nl)
+        correct, detail = _grade(dq, reply, bde)
+        expected_correct = dq.paper_outcome != "incorrect"
+        demo.outcomes.append(
+            DemoOutcome(
+                qid=dq.qid,
+                nl=dq.nl,
+                reply=reply,
+                correct=correct,
+                paper_outcome=dq.paper_outcome,
+                matches_paper=(correct == expected_correct),
+                detail=detail,
+            )
+        )
+    return demo
+
+
+# ---------------------------------------------------------------------------
+# grading against BDE ground truth
+# ---------------------------------------------------------------------------
+
+
+def _grade(dq: DemoQuery, reply: AgentReply, bde: BDEReport) -> tuple[bool, str]:
+    if not reply.ok:
+        return False, f"agent failed: {reply.error}"
+    text = reply.text
+    table = reply.table
+
+    if dq.qid == "Q1":
+        want = bde.highest_free_energy_bond().bond_id
+        return _mentions(reply, want), f"expected bond {want}"
+    if dq.qid == "Q2":
+        return _mentions(reply, bde.functional), f"expected {bde.functional}"
+    if dq.qid == "Q3":
+        want = min(b.bd_enthalpy for b in bde.bonds)
+        return _mentions_number(reply, want, tol=0.5), f"expected {want:.2f}"
+    if dq.qid == "Q4":
+        ok = _mentions_number(reply, bde.parent_n_atoms, tol=0.0) or (
+            table is not None and len(table) >= 1
+        )
+        return ok, "expected atom counts listed"
+    if dq.qid == "Q5":
+        want = bde.parent_n_atoms  # 9 — the famous failure returns 81
+        return _mentions_number(reply, want, tol=0.0), f"expected {want}"
+    if dq.qid == "Q6":
+        return (
+            _mentions_number(reply, bde.parent_multiplicity, tol=0.0)
+            and _mentions_number(reply, bde.parent_charge, tol=0.0)
+        ), "expected multiplicity 1, charge 0"
+    if dq.qid == "Q7":
+        ok = reply.chart is not None and all(
+            b.bond_id in reply.chart for b in bde.bonds
+        )
+        return ok, "expected a bar per bond label"
+    if dq.qid == "Q8":
+        # correct only if C-H bars were averaged into one bar
+        if reply.chart is None:
+            return False, "no chart"
+        ch_bars = reply.chart.count("C-H")
+        return ch_bars == 1, f"expected a single averaged C-H bar, saw {ch_bars}"
+    if dq.qid == "Q9":
+        want = bde.mean_bde_for("C-H")
+        return _mentions_number(reply, want, tol=0.5), f"expected {want:.2f}"
+    if dq.qid == "Q10":
+        frag_mult = bde.bonds[0].fragment_multiplicity
+        return _mentions_number(reply, frag_mult, tol=0.0), "expected multiplicity 2"
+    return False, "unknown query"
+
+
+def _mentions(reply: AgentReply, needle: str) -> bool:
+    if needle in reply.text:
+        return True
+    if reply.table is not None:
+        for row in reply.table.to_dicts():
+            if any(needle == str(v) or needle in str(v) for v in row.values()):
+                return True
+    return False
+
+
+def _mentions_number(reply: AgentReply, value: float, tol: float) -> bool:
+    import re
+
+    candidates: list[float] = []
+    for source in [reply.text] + (
+        [" ".join(str(v) for r in reply.table.to_dicts() for v in r.values())]
+        if reply.table is not None
+        else []
+    ):
+        for m in re.finditer(r"-?\d+(?:\.\d+)?", source):
+            try:
+                candidates.append(float(m.group()))
+            except ValueError:
+                continue
+    return any(abs(c - value) <= tol + 1e-9 for c in candidates)

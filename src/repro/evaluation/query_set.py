@@ -1,0 +1,318 @@
+"""The golden query set (paper §5.2, Table 1).
+
+Twenty manually curated natural-language queries over the synthetic
+workflow, each with: a class label (data types x workload, the Figure-1
+leaves), a human-written gold DataFrame query, and *trap tags*
+describing the ambiguities a model must navigate (which context
+component resolves each trap is what the evaluation measures).
+
+Distribution (Table 1) — data-type totals exceed 20 because queries can
+span two types:
+
+    =============  ====  ====  =====
+    Data type      OLAP  OLTP  Total
+    =============  ====  ====  =====
+    Control Flow     4     3      7
+    Dataflow         3     4      7
+    Scheduling       3     5      8
+    Telemetry        4     5      9
+    =============  ====  ====  =====
+
+Queries reference concrete task/workflow ids, so the set is built
+against a live context (ids are sampled from the campaign's frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.dataframe import DataFrame
+from repro.errors import QuerySetError
+from repro.evaluation.taxonomy import DataType, QueryClass, Workload
+from repro.llm.generation import QueryTraits
+from repro.llm.intents import register_intent
+from repro.query import parse_query
+from repro.query.ast import Pipeline
+
+__all__ = ["EvalQuery", "build_query_set", "QUERY_SET_SIZE"]
+
+QUERY_SET_SIZE = 20
+
+
+@dataclass(frozen=True)
+class EvalQuery:
+    """One golden query."""
+
+    qid: str
+    nl: str
+    gold: Pipeline
+    query_class: QueryClass
+    traits: QueryTraits
+    notes: str = ""
+
+    @property
+    def workload(self) -> Workload:
+        return self.query_class.workload
+
+    @property
+    def data_types(self) -> tuple[DataType, ...]:
+        return self.query_class.data_types
+
+
+def _q(
+    qid: str,
+    nl: str,
+    gold_code: str,
+    data_types: tuple[DataType, ...],
+    workload: Workload,
+    traps: tuple[str, ...] = (),
+    notes: str = "",
+) -> EvalQuery:
+    gold = parse_query(gold_code)
+    query = EvalQuery(
+        qid=qid,
+        nl=nl,
+        gold=gold,
+        query_class=QueryClass(data_types=data_types, workload=workload),
+        traits=QueryTraits(traps=traps, workload=workload.value),
+        notes=notes,
+    )
+    register_intent(nl, gold)
+    return query
+
+
+def build_query_set(frame: DataFrame) -> list[EvalQuery]:
+    """Instantiate the golden set against a live campaign frame.
+
+    ``frame`` must contain at least one completed synthetic-workflow run
+    (the ids referenced by targeted queries are sampled from it).
+    """
+    if frame.empty or "task_id" not in frame:
+        raise QuerySetError("query set needs a non-empty task frame")
+    tasks = frame.sort_values("started_at")
+    t_ref = tasks.row(0)["task_id"]
+    workflows = tasks.column("workflow_id").unique()
+    w_ref = workflows[-1] if workflows else ""
+    if not t_ref or not w_ref:
+        raise QuerySetError("frame lacks task/workflow identifiers")
+
+    cf, df_, sc, te = (
+        DataType.CONTROL_FLOW,
+        DataType.DATAFLOW,
+        DataType.SCHEDULING,
+        DataType.TELEMETRY,
+    )
+    oltp, olap = Workload.OLTP, Workload.OLAP
+
+    queries = [
+        # ------------------------------ OLTP ------------------------------
+        _q(
+            "q01",
+            f"Which host ran task '{t_ref}'?",
+            f"df[df['task_id'] == '{t_ref}'][['hostname']]",
+            (sc,),
+            oltp,
+        ),
+        _q(
+            "q02",
+            f"What was the CPU percent at the end of task '{t_ref}' and on "
+            "which host did it run?",
+            f"df[df['task_id'] == '{t_ref}']"
+            "[['telemetry_at_end.cpu.percent', 'hostname']]",
+            (te, sc),
+            oltp,
+        ),
+        _q(
+            "q03",
+            "What is the status and host of the most recent task?",
+            "df.sort_values('started_at', ascending=False).head(1)"
+            "[['task_id', 'status', 'hostname']]",
+            (cf, sc),
+            oltp,
+            traps=("recent_vs_first", "sort_field"),
+        ),
+        _q(
+            "q04",
+            f"What value did the power activity generate in workflow '{w_ref}'?",
+            f"df[(df['workflow_id'] == '{w_ref}') & (df['activity_id'] == 'power')]"
+            "[['generated.value']]",
+            (df_,),
+            oltp,
+        ),
+        _q(
+            "q05",
+            "Which tasks are still running, and on which hosts?",
+            "df[df['status'] == 'RUNNING'][['task_id', 'hostname']]",
+            (cf, sc),
+            oltp,
+            traps=("value_case",),
+        ),
+        _q(
+            "q06",
+            f"What input x did the first scale_and_shift task of workflow "
+            f"'{w_ref}' use?",
+            f"df[(df['workflow_id'] == '{w_ref}') & "
+            "(df['activity_id'] == 'scale_and_shift')]"
+            ".sort_values('started_at', ascending=True).head(1)[['used.x']]",
+            (df_, cf),
+            oltp,
+            traps=("recent_vs_first",),
+        ),
+        _q(
+            "q07",
+            f"Show the output value and the memory percent at the end for "
+            f"the log_and_shift task in workflow '{w_ref}'.",
+            f"df[(df['workflow_id'] == '{w_ref}') & "
+            "(df['activity_id'] == 'log_and_shift')]"
+            "[['generated.value', 'telemetry_at_end.mem.percent']]",
+            (df_, te),
+            oltp,
+        ),
+        _q(
+            "q08",
+            "How many finished tasks ended with CPU above 80 percent?",
+            "len(df[(df['status'] == 'FINISHED') & "
+            "(df['telemetry_at_end.cpu.percent'] > 80)])",
+            (te,),
+            oltp,
+            traps=("value_case", "value_scale"),
+        ),
+        _q(
+            "q09",
+            f"What value did average_results produce in workflow '{w_ref}' "
+            "and what was its CPU at the end?",
+            f"df[(df['workflow_id'] == '{w_ref}') & "
+            "(df['activity_id'] == 'average_results')]"
+            "[['generated.value', 'telemetry_at_end.cpu.percent']]",
+            (df_, te),
+            oltp,
+            traps=("activity_value",),
+        ),
+        _q(
+            "q10",
+            "How many tasks ran on host node-2 with end CPU above 50?",
+            "len(df[(df['hostname'] == 'node-2') & "
+            "(df['telemetry_at_end.cpu.percent'] > 50)])",
+            (sc, te),
+            oltp,
+            traps=("value_scale",),
+        ),
+        # ------------------------------ OLAP ------------------------------
+        _q(
+            "q11",
+            "How many tasks were executed per activity?",
+            "df.groupby('activity_id')['task_id'].count()",
+            (cf,),
+            olap,
+            traps=("group_logic",),
+        ),
+        _q(
+            "q12",
+            "What is the average duration per activity?",
+            "df.groupby('activity_id')['duration'].mean()",
+            (cf, te),
+            olap,
+            traps=("group_logic", "derived_duration"),
+        ),
+        _q(
+            "q13",
+            "What is the average output value of the average_results "
+            "activity across all workflows?",
+            "df[df['activity_id'] == 'average_results']"
+            "['generated.value'].mean()",
+            (df_,),
+            olap,
+            traps=("agg_choice", "activity_value"),
+        ),
+        _q(
+            "q14",
+            "How many workflows produced an average_results value above 100?",
+            "len(df[(df['activity_id'] == 'average_results') & "
+            "(df['generated.value'] > 100)])",
+            (df_, cf),
+            olap,
+            traps=("scope_filter", "graph_reasoning"),
+            notes="workflow-level reasoning through task records",
+        ),
+        _q(
+            "q15",
+            "How many tasks ran on each host?",
+            "df.groupby('hostname')['task_id'].count()",
+            (sc,),
+            olap,
+            traps=("group_logic",),
+        ),
+        _q(
+            "q16",
+            "Which host had the highest average CPU at the end?",
+            "df.groupby('hostname')['telemetry_at_end.cpu.percent'].mean()"
+            ".sort_values('telemetry_at_end.cpu.percent', ascending=False)"
+            ".head(1)",
+            (sc, te),
+            olap,
+            traps=("group_logic", "sort_direction"),
+        ),
+        _q(
+            "q17",
+            "Show the top 3 longest-running tasks.",
+            "df.sort_values('duration', ascending=False).head(3)"
+            "[['task_id', 'activity_id', 'duration']]",
+            (te,),
+            olap,
+            traps=("derived_duration", "sort_direction", "limit"),
+        ),
+        _q(
+            "q18",
+            "Give the breakdown of task counts by status.",
+            "df.groupby('status')['task_id'].count()",
+            (cf,),
+            olap,
+            traps=("group_logic",),
+        ),
+        _q(
+            "q19",
+            "What is the maximum value generated by the power activity "
+            "across all workflows?",
+            "df[df['activity_id'] == 'power']['generated.value'].max()",
+            (df_,),
+            olap,
+            traps=("agg_choice",),
+        ),
+        _q(
+            "q20",
+            "What is the total busy time in seconds per host, sorted from "
+            "busiest to least busy?",
+            "df.groupby('hostname')['duration'].sum()"
+            ".sort_values('duration', ascending=False)",
+            (sc, te),
+            olap,
+            traps=("group_logic", "derived_duration", "sort_direction"),
+        ),
+    ]
+    _validate(queries)
+    return queries
+
+
+def _validate(queries: list[EvalQuery]) -> None:
+    """Assert the Table-1 distribution holds (guards against edits)."""
+    if len(queries) != QUERY_SET_SIZE:
+        raise QuerySetError(f"expected {QUERY_SET_SIZE} queries, got {len(queries)}")
+    expected = {
+        (DataType.CONTROL_FLOW, Workload.OLAP): 4,
+        (DataType.CONTROL_FLOW, Workload.OLTP): 3,
+        (DataType.DATAFLOW, Workload.OLAP): 3,
+        (DataType.DATAFLOW, Workload.OLTP): 4,
+        (DataType.SCHEDULING, Workload.OLAP): 3,
+        (DataType.SCHEDULING, Workload.OLTP): 5,
+        (DataType.TELEMETRY, Workload.OLAP): 4,
+        (DataType.TELEMETRY, Workload.OLTP): 5,
+    }
+    counts: dict[tuple[DataType, Workload], int] = {k: 0 for k in expected}
+    for query in queries:
+        for dt in query.data_types:
+            counts[(dt, query.workload)] += 1
+    if counts != expected:
+        raise QuerySetError(f"Table 1 distribution violated: {counts}")
+    workloads = [q.workload for q in queries]
+    if workloads.count(Workload.OLAP) != 10 or workloads.count(Workload.OLTP) != 10:
+        raise QuerySetError("queries must split 10 OLAP / 10 OLTP")

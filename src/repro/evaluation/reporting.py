@@ -1,0 +1,172 @@
+"""Aggregation into the paper's tables and figures (§5.2).
+
+Each function takes raw :class:`EvaluationRecord` lists and produces the
+data behind one artefact:
+
+* :func:`table1_distribution` — Table 1;
+* :func:`fig6_judge_comparison` — Figure 6 (avg of per-query medians
+  per model, per judge, Full configuration);
+* :func:`fig7_per_class` — Figure 7 (per data type x workload x model
+  x judge median-score distributions);
+* :func:`fig8_context_vs_tokens` — Figure 8 (score vs prompt+output
+  tokens across the six configurations, GPT model / GPT judge);
+* :func:`fig9_datatype_impact` — Figure 9 (configuration impact per
+  data type, GPT/GPT);
+* :func:`response_time_table` — §5.2 "Response times" (mean of
+  per-query median latencies per model and workload).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+from repro.evaluation.query_set import EvalQuery
+from repro.evaluation.runner import EvaluationRecord, median_by
+from repro.evaluation.taxonomy import DataType, Workload
+
+__all__ = [
+    "table1_distribution",
+    "fig6_judge_comparison",
+    "fig7_per_class",
+    "fig8_context_vs_tokens",
+    "fig9_datatype_impact",
+    "response_time_table",
+]
+
+
+def table1_distribution(queries: Sequence[EvalQuery]) -> list[dict]:
+    """Rows of Table 1: data type x workload counts."""
+    rows = []
+    for dt in DataType:
+        olap = sum(
+            1 for q in queries if dt in q.data_types and q.workload == Workload.OLAP
+        )
+        oltp = sum(
+            1 for q in queries if dt in q.data_types and q.workload == Workload.OLTP
+        )
+        rows.append(
+            {
+                "data_type": dt.value,
+                "olap": olap,
+                "oltp": oltp,
+                "total": olap + oltp,
+            }
+        )
+    return rows
+
+
+def fig6_judge_comparison(
+    records: Sequence[EvaluationRecord], judges: Sequence[str]
+) -> dict[str, dict[str, float]]:
+    """{model: {judge: average of per-query median scores}} (Full config)."""
+    out: dict[str, dict[str, float]] = {}
+    models = sorted({r.model for r in records})
+    for model in models:
+        out[model] = {}
+        for judge in judges:
+            medians = median_by(
+                [r for r in records if r.model == model], judge=judge
+            )
+            if medians:
+                out[model][judge] = statistics.mean(medians.values())
+    return out
+
+
+def fig7_per_class(
+    records: Sequence[EvaluationRecord],
+    queries: Sequence[EvalQuery],
+    judges: Sequence[str],
+) -> dict[tuple[str, str, str, str], list[float]]:
+    """{(judge, workload, model, data type): [per-query median scores]}."""
+    q_by_id = {q.qid: q for q in queries}
+    out: dict[tuple[str, str, str, str], list[float]] = {}
+    for judge in judges:
+        medians = median_by(records, judge=judge, keys=("model", "qid"))
+        for (model, qid), score in medians.items():
+            query = q_by_id[qid]
+            for dt in query.data_types:
+                key = (judge, query.workload.value, model, dt.value)
+                out.setdefault(key, []).append(score)
+    return out
+
+
+def fig8_context_vs_tokens(
+    records: Sequence[EvaluationRecord],
+    *,
+    judge: str,
+    configs: Sequence[str],
+) -> list[dict]:
+    """Per-configuration rows: mean/stdev of per-query median scores and
+    mean total token usage (input + output)."""
+    rows = []
+    for config in configs:
+        subset = [r for r in records if r.config == config]
+        if not subset:
+            continue
+        medians = median_by(subset, judge=judge, keys=("qid",))
+        tokens = [r.prompt_tokens + r.output_tokens for r in subset]
+        scores = list(medians.values())
+        rows.append(
+            {
+                "config": config,
+                "mean_score": statistics.mean(scores),
+                "stdev_score": statistics.stdev(scores) if len(scores) > 1 else 0.0,
+                "mean_tokens": statistics.mean(tokens),
+            }
+        )
+    return rows
+
+
+def fig9_datatype_impact(
+    records: Sequence[EvaluationRecord],
+    queries: Sequence[EvalQuery],
+    *,
+    judge: str,
+    configs: Sequence[str],
+) -> dict[str, dict[str, float]]:
+    """{config: {data type: mean of per-query median scores}}."""
+    q_by_id = {q.qid: q for q in queries}
+    out: dict[str, dict[str, float]] = {}
+    for config in configs:
+        subset = [r for r in records if r.config == config]
+        medians = median_by(subset, judge=judge, keys=("qid",))
+        per_type: dict[str, list[float]] = {}
+        for qid, score in ((k[0], v) for k, v in medians.items()):
+            for dt in q_by_id[qid].data_types:
+                per_type.setdefault(dt.value, []).append(score)
+        out[config] = {
+            dt: statistics.mean(scores) for dt, scores in per_type.items()
+        }
+    return out
+
+
+def response_time_table(
+    records: Sequence[EvaluationRecord],
+    queries: Sequence[EvalQuery],
+) -> list[dict]:
+    """Mean of per-query median latencies per model and workload."""
+    q_by_id = {q.qid: q for q in queries}
+    rows = []
+    models = sorted({r.model for r in records})
+    for model in models:
+        for workload in (Workload.OLTP, Workload.OLAP):
+            lat: dict[str, list[float]] = {}
+            for r in records:
+                if r.model != model:
+                    continue
+                if q_by_id[r.qid].workload != workload:
+                    continue
+                lat.setdefault(r.qid, []).append(r.latency_s)
+            if not lat:
+                continue
+            per_query_medians = [statistics.median(v) for v in lat.values()]
+            rows.append(
+                {
+                    "model": model,
+                    "workload": workload.value,
+                    "mean_latency_s": statistics.mean(per_query_medians),
+                    "max_latency_s": max(per_query_medians),
+                }
+            )
+    return rows

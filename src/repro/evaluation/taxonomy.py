@@ -1,0 +1,70 @@
+"""Query-characteristics taxonomy (paper Figure 1).
+
+The taxonomy's dimensions classify provenance queries; its leaves
+(data type x workload, in this work's evaluation) are the class labels
+of the golden query set.  The other dimensions — mode, consumer, scope,
+provenance type — are carried for completeness and used by the agent's
+routing (online vs offline) and by the graph tool (targeted vs
+traversal).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DataType(str, enum.Enum):
+    CONTROL_FLOW = "Control Flow"
+    DATAFLOW = "Dataflow"
+    SCHEDULING = "Scheduling"
+    TELEMETRY = "Telemetry"
+
+
+class Workload(str, enum.Enum):
+    OLAP = "OLAP"
+    OLTP = "OLTP"
+
+
+class QueryScope(str, enum.Enum):
+    TARGETED = "Targeted"
+    GRAPH_TRAVERSAL = "Graph Traversal"
+
+
+class Mode(str, enum.Enum):
+    ONLINE = "Online"
+    OFFLINE = "Offline"
+
+
+class ProvenanceType(str, enum.Enum):
+    RETROSPECTIVE = "Retrospective"
+    PROSPECTIVE = "Prospective"
+
+
+class Consumer(str, enum.Enum):
+    HUMAN = "Human"
+    AI = "AI"
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """A taxonomy leaf: the label attached to each golden query."""
+
+    data_types: tuple[DataType, ...]
+    workload: Workload
+    scope: QueryScope = QueryScope.TARGETED
+    mode: Mode = Mode.ONLINE
+    provenance_type: ProvenanceType = ProvenanceType.RETROSPECTIVE
+    consumer: Consumer = Consumer.HUMAN
+
+    def __post_init__(self) -> None:
+        if not self.data_types:
+            raise ValueError("a query class needs at least one data type")
+
+    def label(self) -> str:
+        types = "+".join(t.value for t in self.data_types)
+        return f"{self.workload.value}/{types}"
+
+
+ALL_DATA_TYPES = tuple(DataType)
+ALL_WORKLOADS = tuple(Workload)

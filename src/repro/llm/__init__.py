@@ -1,0 +1,41 @@
+"""Simulated LLM service layer.
+
+No network or model weights are available in this environment, so the
+five LLMs the paper evaluates (LLaMA 3-8B/70B, Gemini 2.5 Flash Lite,
+GPT-4, Claude Opus 4) are *simulated*: each model
+
+1. receives the **actual assembled prompt text** and perceives only the
+   context components present in it (role/job/format, few-shot examples,
+   dynamic dataflow schema, example domain values, query guidelines) —
+   parsing them back out of the prompt like a real model would attend to
+   them (:mod:`prompt_reading`);
+2. resolves the natural-language query to an intended DataFrame pipeline
+   with a rule-based semantic core (:mod:`semantics`) whose *field
+   knowledge is gated by the prompt*: fields present in the prompt's
+   schema resolve correctly, everything else falls back to prior-
+   knowledge guesses that may hallucinate (:mod:`generation`);
+3. injects model- and context-dependent failure modes (format, syntax,
+   hallucination, wrong values, logic slips) from seeded RNGs with
+   per-model base rates (:mod:`profiles`);
+4. reports token usage (:mod:`tokenizer`) and a simulated latency
+   (:mod:`latency`), enforcing each model's context window.
+
+The architecture-level claims of the paper — which context component
+fixes which failure class, how scores move across configurations — are
+therefore *produced mechanically* by this pipeline rather than coded
+per-figure.
+"""
+
+from repro.llm.tokenizer import count_tokens
+from repro.llm.profiles import MODEL_PROFILES, ModelProfile, get_profile
+from repro.llm.service import ChatRequest, ChatResponse, LLMServer
+
+__all__ = [
+    "count_tokens",
+    "ModelProfile",
+    "MODEL_PROFILES",
+    "get_profile",
+    "LLMServer",
+    "ChatRequest",
+    "ChatResponse",
+]

@@ -1,0 +1,434 @@
+"""Failure-injection engine: intent + perceived context -> emitted code.
+
+The causal chain per request:
+
+1. **Intent** — the pipeline an ideally-informed model would produce
+   (registry lookup, else the rule-based semantic parse of the query).
+2. **Format gate** — without role/job/output-format instructions the
+   model answers in prose or SQL instead of a DataFrame query.
+3. **Knowledge gate** — every field the intent references must be
+   *known*: from the prompt's schema section, imitated from few-shot
+   examples, named by a perceived guideline, or guessed from prior
+   knowledge; otherwise a plausible hallucination is substituted.
+4. **Value gate** — string literals and thresholds are spelled right
+   only when the example-values section covers them (or by luck).
+5. **Logic gate** — each of the query's trap tags fires a concrete
+   mutation with a probability set by the model profile, the workload
+   class (OLAP penalised), and whether a perceived guideline protects
+   that trap (models can also *ignore* guidelines, LLaMA-3-8B-style).
+6. **Syntax gate** — finally the rendered text may be mangled when
+   few-shot examples are absent.
+
+All draws come from a seeded RNG keyed on (model, query, context
+signature, rep) — temperature-0 behaviour with slight per-rep
+variation, as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm import mutations
+from repro.llm.intents import lookup_intent
+from repro.llm.profiles import ModelProfile
+from repro.llm.prompt_reading import PerceivedContext
+from repro.llm.semantics import SemanticParseError, parse_intent
+from repro.llm.vocabulary import COMMON_FIELDS_PRIOR, hallucination_for
+from repro.query import ast as q
+from repro.query.render import render_query
+from repro.utils.seeding import derive_rng
+
+__all__ = ["GenerationResult", "generate_query_code", "QueryTraits"]
+
+#: traps that concern literal values (gated by the Values component)
+VALUE_TRAPS = frozenset({"value_case", "value_scale", "activity_value"})
+
+#: per-trap difficulty multipliers on the logic-error rate
+TRAP_DIFFICULTY: dict[str, float] = {
+    "sort_field": 1.0,
+    "sort_direction": 0.8,
+    "recent_vs_first": 1.0,
+    "group_logic": 1.2,
+    "time_comparison": 1.1,
+    "scope_filter": 1.0,
+    "entity_scoping": 6.0,  # §5.3 Q5 defeats even GPT-4 at full context
+    "agg_choice": 0.9,
+    "limit": 0.6,
+    "graph_reasoning": 1.8,
+    "derived_duration": 1.0,
+    "plot_grouping": 9.0,  # §5.3 Q8 grouping-before-plotting failure
+}
+
+#: guideline keyword that protects each logic trap (matched against the
+#: perceived guideline text, lowercased)
+TRAP_GUARD_PHRASES: dict[str, str] = {
+    "sort_field": "started_at",
+    "recent_vs_first": "most recent",
+    "sort_direction": "descending",
+    "group_logic": "group",
+    "time_comparison": "time range",
+    "scope_filter": "activity_id",
+    "derived_duration": "duration",
+    "agg_choice": "aggregation",
+    "limit": "head(",
+}
+
+
+@dataclass(frozen=True)
+class QueryTraits:
+    """Evaluation metadata attached to a query (traps + workload class)."""
+
+    traps: tuple[str, ...] = ()
+    workload: str = "OLTP"  # or "OLAP"
+
+
+@dataclass
+class GenerationResult:
+    text: str
+    failures: list[str] = field(default_factory=list)
+    intent_found: bool = True
+    output_tokens_hint: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+
+def generate_query_code(
+    profile: ModelProfile,
+    perceived: PerceivedContext,
+    *,
+    traits: QueryTraits | None = None,
+    rep: int = 0,
+    query_id: str = "",
+) -> GenerationResult:
+    """Produce the model's query code for the perceived prompt."""
+    if traits is None:
+        # the agent path doesn't know query traits; phrasings registered
+        # with traits (e.g. the §5.3 demo queries) carry them here
+        from repro.llm.intents import lookup_traits
+
+        traits = lookup_traits(perceived.user_query)
+    traits = traits or QueryTraits()
+    rng = derive_rng(
+        "llm-gen", profile.name, query_id or perceived.user_query,
+        perceived.signature(), rep,
+    )
+    # per-draw skill wobble (Gemini's variance is the headline case)
+    wobble = float(rng.lognormal(0.0, profile.variance_sigma))
+    failures: list[str] = []
+
+    # ---- 1. intent -----------------------------------------------------------
+    intent = lookup_intent(perceived.user_query)
+    if intent is None:
+        try:
+            intent = parse_intent(
+                perceived.user_query,
+                activity_names=perceived.activity_names(),
+            )
+        except SemanticParseError:
+            return GenerationResult(
+                text=_prose_fallback(perceived.user_query, 0),
+                failures=["no_intent"],
+                intent_found=False,
+            )
+
+    # ---- 2. format gate -----------------------------------------------------------
+    p_format = (
+        profile.format_fail_with_baseline
+        if perceived.has_baseline
+        else profile.format_fail_no_baseline
+    )
+    if rng.random() < profile.effective(p_format, wobble):
+        return GenerationResult(
+            text=_prose_fallback(perceived.user_query, int(rng.integers(0, 3))),
+            failures=["format"],
+        )
+
+    # ---- 3. knowledge gate: field resolution -----------------------------------------
+    guideline_text = " ".join(perceived.guidelines).lower()
+    follows_guidelines = perceived.has_guidelines and not (
+        rng.random() < profile.effective(profile.ignores_guidelines, wobble)
+    )
+    if perceived.has_guidelines and not follows_guidelines:
+        failures.append("ignored_guidelines")
+
+    mapping: dict[str, str] = {}
+    for fname in sorted(intent.fields_used()):
+        resolved = _resolve_field(
+            fname, profile, perceived, guideline_text, follows_guidelines, rng, wobble
+        )
+        if resolved != fname:
+            failures.append(f"hallucinated:{fname}->{resolved}")
+            mapping[fname] = resolved
+            continue
+        # semantic misbinding: the field exists, but so does a plausible
+        # sibling (telemetry_at_start vs _at_end, used.value vs
+        # generated.value, started_at vs ended_at); without a guideline
+        # pinning the convention, models pick the wrong one.
+        p_bind = (
+            profile.schema_misbind_with_guidelines
+            if follows_guidelines
+            else profile.schema_misbind_no_guidelines
+        )
+        if rng.random() < profile.effective(p_bind, wobble):
+            sibling = _sibling_field(fname, perceived)
+            if sibling is not None:
+                failures.append(f"misbound:{fname}->{sibling}")
+                mapping[fname] = sibling
+    pipeline = mutations.rewrite_fields(intent, mapping) if mapping else intent
+
+    # ---- 4. value gate ---------------------------------------------------------------------
+    value_traps = [t for t in traits.traps if t in VALUE_TRAPS]
+    for trap in value_traps:
+        covered = _value_trap_protected(
+            trap, pipeline, perceived, guideline_text, follows_guidelines
+        )
+        p_val = (
+            profile.value_error_with_values
+            if covered
+            else profile.value_error_no_values
+        )
+        if rng.random() < profile.effective(p_val, wobble):
+            before = pipeline
+            if trap == "value_scale":
+                pipeline = mutations.rescale_threshold(pipeline, 0)
+            elif trap == "activity_value":
+                pipeline = _corrupt_unquoted_literals(
+                    pipeline, perceived.user_query
+                )
+            else:
+                pipeline = mutations.lowercase_string_literal(pipeline, 0)
+            if pipeline != before:
+                failures.append(f"value:{trap}")
+
+    # ---- 5. logic gate ----------------------------------------------------------------------
+    logic_traps = [t for t in traits.traps if t not in VALUE_TRAPS]
+    for trap in logic_traps:
+        guarded = (
+            follows_guidelines
+            and TRAP_GUARD_PHRASES.get(trap, "\x00") in guideline_text
+        )
+        p_logic = (
+            profile.logic_error_with_guidelines
+            if guarded
+            else profile.logic_error_no_guidelines
+        )
+        p_logic *= TRAP_DIFFICULTY.get(trap, 1.0)
+        if traits.workload == "OLAP":
+            p_logic *= profile.olap_penalty
+        if trap in ("group_logic", "time_comparison"):
+            p_logic *= profile.group_logic_penalty
+        if rng.random() < profile.effective(p_logic, wobble):
+            candidates = mutations.LOGIC_MUTATIONS.get(trap, ())
+            if candidates:
+                pick = int(rng.integers(0, 1_000_000))
+                mutator = candidates[pick % len(candidates)]
+                try:
+                    mutated = mutator(pipeline, pick // len(candidates))
+                except ValueError:  # mutation produced an ill-formed pipeline
+                    mutated = pipeline
+                if mutated != pipeline and mutated.steps:
+                    pipeline = mutated
+                    failures.append(f"logic:{trap}")
+
+    # ---- 5b. generic formulation slip ------------------------------------------------------------
+    # Guidelines reduce broad query-shaping mistakes on *every* query, not
+    # only on tagged traps (paper: "query guidelines provide the greatest
+    # performance boost"): without them, even simple targeted queries get
+    # reformulated in subtly wrong ways.
+    p_form = (
+        profile.logic_error_with_guidelines * 0.5
+        if follows_guidelines
+        else profile.logic_error_no_guidelines * 0.9
+    )
+    if traits.workload == "OLAP":
+        p_form *= profile.olap_penalty * 0.8
+    if rng.random() < profile.effective(p_form, wobble):
+        pick = int(rng.integers(0, 1_000_000))
+        order = list(mutations.FORMULATION_MUTATIONS)
+        for i in range(len(order)):
+            mutator = order[(pick + i) % len(order)]
+            try:
+                mutated = mutator(pipeline, pick // 7)
+            except ValueError:
+                continue
+            if mutated != pipeline and mutated.steps:
+                pipeline = mutated
+                failures.append(f"formulation:{mutator.__name__}")
+                break
+
+    # ---- 6. render + syntax gate ---------------------------------------------------------------
+    try:
+        text = render_query(pipeline)
+    except Exception:  # mutated into an unrenderable shape: emit prose
+        return GenerationResult(
+            text=_prose_fallback(perceived.user_query, 1),
+            failures=failures + ["render_failure"],
+        )
+    p_syntax = (
+        profile.syntax_fail_with_fs
+        if perceived.has_few_shot
+        else profile.syntax_fail_no_fs
+    )
+    if rng.random() < profile.effective(p_syntax, wobble):
+        text = _mangle_syntax(text, int(rng.integers(0, 3)))
+        failures.append("syntax")
+
+    from repro.llm.tokenizer import count_tokens
+
+    return GenerationResult(
+        text=text,
+        failures=failures,
+        output_tokens_hint=count_tokens(text),
+    )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _resolve_field(
+    fname: str,
+    profile: ModelProfile,
+    perceived: PerceivedContext,
+    guideline_text: str,
+    follows_guidelines: bool,
+    rng,
+    wobble: float,
+) -> str:
+    pick = int(rng.integers(0, 1_000_000))
+    if fname in perceived.schema_fields:
+        if rng.random() < profile.effective(profile.misread_schema_field, wobble):
+            return hallucination_for(fname, pick)
+        return fname
+    if fname in perceived.few_shot_fields:
+        if rng.random() < 0.05 * wobble:
+            return hallucination_for(fname, pick)
+        return fname
+    if follows_guidelines and fname.lower() in guideline_text:
+        if rng.random() < 0.08 * wobble:
+            return hallucination_for(fname, pick)
+        return fname
+    prior = (
+        profile.prior_common_field
+        if fname in COMMON_FIELDS_PRIOR
+        else profile.prior_app_field
+    )
+    if rng.random() < min(1.0, prior / max(wobble, 1e-6)):
+        return fname
+    return hallucination_for(fname, pick)
+
+
+def _sibling_field(fname: str, perceived: PerceivedContext) -> str | None:
+    """A semantically adjacent field a model could plausibly confuse.
+
+    Prefers siblings that actually exist in the perceived schema (so the
+    wrong query still *executes* — the most insidious failure class);
+    falls back to the structural sibling otherwise.
+    """
+    candidates: list[str] = []
+    if "_at_end" in fname:
+        candidates.append(fname.replace("_at_end", "_at_start"))
+    elif "_at_start" in fname:
+        candidates.append(fname.replace("_at_start", "_at_end"))
+    if fname == "started_at":
+        candidates.append("ended_at")
+    elif fname == "ended_at":
+        candidates.append("started_at")
+    elif fname == "duration":
+        candidates.append("ended_at")
+    if fname.startswith("generated."):
+        candidates.append("used." + fname.split(".", 1)[1])
+    elif fname.startswith("used."):
+        candidates.append("generated." + fname.split(".", 1)[1])
+    known = perceived.schema_fields
+    for c in candidates:
+        if c in known:
+            return c
+    return candidates[0] if candidates else None
+
+
+def _value_trap_protected(
+    trap: str,
+    pipeline: q.Pipeline,
+    perceived: PerceivedContext,
+    guideline_text: str,
+    follows_guidelines: bool,
+) -> bool:
+    """A value trap is defused by example values OR an explicit guideline.
+
+    The static guideline set spells out status casing and the telemetry
+    percent scale, so Baseline+FS+Guidelines performs well even without
+    the Values section (paper Fig. 8).
+    """
+    if perceived.has_values and any(
+        f in perceived.value_examples for f in pipeline.fields_used()
+    ):
+        return True
+    if follows_guidelines:
+        if trap == "value_case" and "uppercase" in guideline_text:
+            return True
+        if trap == "value_scale" and "percent scale" in guideline_text:
+            return True
+    if trap == "activity_value":
+        # literals quoted verbatim in the user query can be copied safely
+        for leaf in _string_literals(pipeline):
+            if leaf in perceived.user_query:
+                return True
+    return False
+
+
+def _string_literals(pipeline: q.Pipeline) -> list[str]:
+    out: list[str] = []
+    for f in pipeline.filters():
+        for leaf in q.conjuncts(f.predicate):
+            if isinstance(leaf, q.Compare) and isinstance(leaf.value, str):
+                out.append(leaf.value)
+    return out
+
+
+def _corrupt_unquoted_literals(pipeline: q.Pipeline, user_query: str) -> q.Pipeline:
+    """Mangle activity-name literals the user did not spell out exactly."""
+
+    def fix_leaf(pred):
+        if (
+            isinstance(pred, q.Compare)
+            and isinstance(pred.value, str)
+            and "_" in pred.value
+            and pred.value not in user_query
+        ):
+            return q.Compare(pred.field, pred.op, pred.value.replace("_", " "))
+        return pred
+
+    steps = []
+    for s in pipeline.steps:
+        if isinstance(s, q.Filter):
+            steps.append(q.Filter(mutations._map_predicate(s.predicate, fix_leaf)))
+        else:
+            steps.append(s)
+    return q.Pipeline(tuple(steps))
+
+
+_PROSE_TEMPLATES = (
+    "To answer this, look at the task records and identify {topic}. "
+    "The provenance data contains the relevant entries in its columns.",
+    "SELECT * FROM tasks WHERE {topic_sql};",
+    "Sure! Here is what I found about {topic}: the workflow tasks include "
+    "several records matching your question.",
+)
+
+
+def _prose_fallback(user_query: str, pick: int) -> str:
+    topic = user_query.strip().rstrip("?").lower() or "the requested data"
+    template = _PROSE_TEMPLATES[pick % len(_PROSE_TEMPLATES)]
+    return template.format(topic=topic, topic_sql=topic.replace(" ", "_")[:40])
+
+
+def _mangle_syntax(text: str, pick: int) -> str:
+    if pick == 0 and text.endswith("]"):
+        return text[:-1]  # unbalanced bracket
+    if pick == 1 and "==" in text:
+        return text.replace("==", "=", 1)  # assignment instead of comparison
+    return "Here is the query: " + text  # prose wrapper breaks the parser

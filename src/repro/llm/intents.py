@@ -1,0 +1,59 @@
+"""Intent registry: NL phrasings with known interpretations.
+
+A real LLM's language understanding far exceeds our rule grammar, so
+phrasings the grammar cannot cover are registered here with the pipeline
+an ideally-informed model would intend.  The evaluation's golden set and
+the chemistry demo queries register their NL -> intent mappings at
+import time; the simulated models consult the registry first and fall
+back to :func:`repro.llm.semantics.parse_intent` for novel text.
+
+Registering an intent does **not** make a model answer correctly: the
+knowledge gate and failure injection still apply to every field and
+every step of the intended pipeline afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.query import ast as q
+
+__all__ = [
+    "register_intent",
+    "lookup_intent",
+    "lookup_traits",
+    "registered_count",
+    "clear_registry",
+]
+
+_REGISTRY: dict[str, q.Pipeline] = {}
+_TRAITS: dict[str, Any] = {}
+
+
+def _normalise(text: str) -> str:
+    return " ".join(text.lower().strip().rstrip("?.!").split())
+
+
+def register_intent(nl_text: str, pipeline: q.Pipeline, traits: Any = None) -> None:
+    key = _normalise(nl_text)
+    _REGISTRY[key] = pipeline
+    if traits is not None:
+        _TRAITS[key] = traits
+
+
+def lookup_intent(nl_text: str) -> q.Pipeline | None:
+    return _REGISTRY.get(_normalise(nl_text))
+
+
+def lookup_traits(nl_text: str) -> Any | None:
+    """Query traits (traps/workload) registered with this phrasing."""
+    return _TRAITS.get(_normalise(nl_text))
+
+
+def registered_count() -> int:
+    return len(_REGISTRY)
+
+
+def clear_registry() -> None:
+    _REGISTRY.clear()
+    _TRAITS.clear()

@@ -1,0 +1,39 @@
+"""Latency model for simulated LLM calls.
+
+Response time = provider base latency (network + queueing)
+              + prompt-processing time (per 1k prompt tokens)
+              + decoding time (per output token)
+              + seeded jitter.
+
+Parameters live in the model profiles and are set so that full-context
+queries land around the paper's ~2 s interactive bound, with the small
+local LLaMA deployment fastest per token but slower per prompt token,
+and the cloud frontier models dominated by their base latency.
+"""
+
+from __future__ import annotations
+
+from repro.llm.profiles import ModelProfile
+from repro.utils.seeding import derive_rng
+
+__all__ = ["simulate_latency"]
+
+
+def simulate_latency(
+    profile: ModelProfile,
+    prompt_tokens: int,
+    output_tokens: int,
+    *,
+    rep: int = 0,
+    key: str = "",
+) -> float:
+    """Seconds for one chat completion (deterministic per coordinates)."""
+    rng = derive_rng("latency", profile.name, key, rep)
+    jitter = float(rng.normal(0.0, profile.latency_jitter_s))
+    seconds = (
+        profile.latency_base_s
+        + profile.latency_per_1k_prompt_tokens_s * (prompt_tokens / 1000.0)
+        + profile.latency_per_output_token_s * output_tokens
+        + jitter
+    )
+    return max(0.05, seconds)

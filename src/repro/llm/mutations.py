@@ -1,0 +1,324 @@
+"""Pipeline mutations: the concrete shapes of model mistakes.
+
+Each function takes a (frozen) pipeline and returns a corrupted variant.
+The catalogue matches the error classes the paper reports from judge
+feedback: hallucinated fields, ``.min()`` on IDs instead of timestamps,
+broken group-by logic, flipped time comparisons, dropped scope filters
+(the Q5 "summed all molecules" error), wrong aggregation choices, and
+missing limits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.query import ast as q
+
+__all__ = [
+    "rewrite_fields",
+    "flip_sort_direction",
+    "sort_by_wrong_field",
+    "min_on_ids",
+    "drop_groupby",
+    "wrong_group_key",
+    "flip_time_comparison",
+    "drop_filter_conjunct",
+    "swap_aggregation",
+    "drop_limit",
+    "lowercase_string_literal",
+    "rescale_threshold",
+    "LOGIC_MUTATIONS",
+]
+
+
+def _map_predicate(pred: q.Predicate, fn: Callable[[q.Predicate], q.Predicate]) -> q.Predicate:
+    if isinstance(pred, q.And):
+        return q.And(_map_predicate(pred.left, fn), _map_predicate(pred.right, fn))
+    if isinstance(pred, q.Or):
+        return q.Or(_map_predicate(pred.left, fn), _map_predicate(pred.right, fn))
+    if isinstance(pred, q.Not):
+        return q.Not(_map_predicate(pred.operand, fn))
+    return fn(pred)
+
+
+def rewrite_fields(pipeline: q.Pipeline, mapping: Mapping[str, str]) -> q.Pipeline:
+    """Rename every field reference through ``mapping`` (identity if absent)."""
+
+    def m(name: str) -> str:
+        return mapping.get(name, name)
+
+    def fix_leaf(pred: q.Predicate) -> q.Predicate:
+        if isinstance(pred, q.Compare):
+            return q.Compare(q.Field(m(pred.field.name)), pred.op, pred.value)
+        if isinstance(pred, q.StrContains):
+            return q.StrContains(q.Field(m(pred.field.name)), pred.pattern, pred.case)
+        if isinstance(pred, q.StrStartsWith):
+            return q.StrStartsWith(q.Field(m(pred.field.name)), pred.prefix)
+        if isinstance(pred, q.StrEndsWith):
+            return q.StrEndsWith(q.Field(m(pred.field.name)), pred.suffix)
+        if isinstance(pred, q.IsIn):
+            return q.IsIn(q.Field(m(pred.field.name)), pred.values)
+        if isinstance(pred, q.Between):
+            return q.Between(q.Field(m(pred.field.name)), pred.low, pred.high)
+        if isinstance(pred, q.NotNull):
+            return q.NotNull(q.Field(m(pred.field.name)))
+        if isinstance(pred, q.IsNull):
+            return q.IsNull(q.Field(m(pred.field.name)))
+        return pred
+
+    steps: list[q.Step] = []
+    for step in pipeline.steps:
+        if isinstance(step, q.Filter):
+            steps.append(q.Filter(_map_predicate(step.predicate, fix_leaf)))
+        elif isinstance(step, q.Project):
+            steps.append(q.Project(tuple(m(c) for c in step.columns)))
+        elif isinstance(step, q.Sort):
+            steps.append(q.Sort(tuple(m(k) for k in step.keys), step.ascending))
+        elif isinstance(step, q.GroupAgg):
+            steps.append(
+                q.GroupAgg(tuple(m(k) for k in step.keys), m(step.column), step.agg)
+            )
+        elif isinstance(step, q.Agg):
+            steps.append(q.Agg(m(step.column), step.agg))
+        elif isinstance(step, q.Unique):
+            steps.append(q.Unique(m(step.column)))
+        elif isinstance(step, q.DropDuplicates):
+            steps.append(q.DropDuplicates(tuple(m(c) for c in step.subset)))
+        else:
+            steps.append(step)
+    return q.Pipeline(tuple(steps))
+
+
+# ---------------------------------------------------------------------------
+# logic mutations (trap -> concrete mistake)
+# ---------------------------------------------------------------------------
+
+
+def flip_sort_direction(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    steps = tuple(
+        q.Sort(s.keys, tuple(not a for a in s.ascending)) if isinstance(s, q.Sort) else s
+        for s in p.steps
+    )
+    return q.Pipeline(steps)
+
+
+def sort_by_wrong_field(p: q.Pipeline, pick: int = 0) -> q.Pipeline:
+    """Sort by a tempting-but-wrong key (ended_at or task_id for time sorts)."""
+    wrong = ("ended_at", "task_id")[pick % 2]
+    steps = tuple(
+        q.Sort((wrong,) + s.keys[1:], s.ascending) if isinstance(s, q.Sort) else s
+        for s in p.steps
+    )
+    return q.Pipeline(steps)
+
+
+def min_on_ids(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    """The paper's GPT/Claude slip: '.min() on IDs instead of timestamps'."""
+    steps = []
+    for s in p.steps:
+        if isinstance(s, q.Sort) and any(k.endswith("_at") for k in s.keys):
+            steps.append(q.Sort(("task_id",), s.ascending))
+        elif isinstance(s, q.Agg) and s.column.endswith("_at"):
+            steps.append(q.Agg("task_id", "min"))
+        else:
+            steps.append(s)
+    return q.Pipeline(tuple(steps))
+
+
+def drop_groupby(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    """Aggregate the whole column instead of per group (truncates any
+    post-group sort/head, which no longer makes sense on a scalar)."""
+    steps: list[q.Step] = []
+    for s in p.steps:
+        if isinstance(s, q.GroupAgg):
+            steps.append(q.Agg(s.column, s.agg))
+            break
+        steps.append(s)
+    return q.Pipeline(tuple(steps))
+
+
+def wrong_group_key(p: q.Pipeline, pick: int = 0) -> q.Pipeline:
+    alternates = ("workflow_id", "status", "hostname", "activity_id")
+
+    def fix(s: q.Step) -> q.Step:
+        if isinstance(s, q.GroupAgg):
+            current = s.keys[0]
+            for i in range(len(alternates)):
+                cand = alternates[(pick + i) % len(alternates)]
+                if cand != current:
+                    return q.GroupAgg((cand,), s.column, s.agg)
+        return s
+
+    return q.Pipeline(tuple(fix(s) for s in p.steps))
+
+
+def flip_time_comparison(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    flip = {">": "<", ">=": "<=", "<": ">", "<=": ">="}
+
+    def fix_leaf(pred: q.Predicate) -> q.Predicate:
+        if isinstance(pred, q.Compare) and pred.op in flip and isinstance(
+            pred.value, (int, float)
+        ):
+            return q.Compare(pred.field, flip[pred.op], pred.value)
+        return pred
+
+    steps = tuple(
+        q.Filter(_map_predicate(s.predicate, fix_leaf)) if isinstance(s, q.Filter) else s
+        for s in p.steps
+    )
+    return q.Pipeline(steps)
+
+
+def drop_filter_conjunct(p: q.Pipeline, pick: int = 0) -> q.Pipeline:
+    """Forget one filter condition — the scope error behind §5.3 Q5."""
+    steps: list[q.Step] = []
+    for s in p.steps:
+        if isinstance(s, q.Filter):
+            conjuncts = q.conjuncts(s.predicate)
+            if len(conjuncts) > 1:
+                keep = [c for i, c in enumerate(conjuncts) if i != pick % len(conjuncts)]
+                pred = keep[0]
+                for extra in keep[1:]:
+                    pred = q.And(pred, extra)
+                steps.append(q.Filter(pred))
+                continue
+            # a single-conjunct scope filter gets dropped entirely
+            continue
+        steps.append(s)
+    return q.Pipeline(tuple(steps))
+
+
+def swap_aggregation(p: q.Pipeline, pick: int = 0) -> q.Pipeline:
+    swaps = {
+        "mean": ("sum", "median"),
+        "sum": ("mean", "count"),
+        "count": ("nunique", "sum"),
+        "max": ("min", "mean"),
+        "min": ("max", "mean"),
+        "median": ("mean", "mean"),
+        "nunique": ("count", "count"),
+    }
+
+    def fix(s: q.Step) -> q.Step:
+        if isinstance(s, q.Agg) and s.agg in swaps:
+            return q.Agg(s.column, swaps[s.agg][pick % 2])
+        if isinstance(s, q.GroupAgg) and s.agg in swaps:
+            return q.GroupAgg(s.keys, s.column, swaps[s.agg][pick % 2])
+        return s
+
+    return q.Pipeline(tuple(fix(s) for s in p.steps))
+
+
+def drop_limit(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    return q.Pipeline(tuple(s for s in p.steps if not isinstance(s, (q.Head, q.Tail))))
+
+
+def lowercase_string_literal(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    def fix_leaf(pred: q.Predicate) -> q.Predicate:
+        if isinstance(pred, q.Compare) and isinstance(pred.value, str):
+            return q.Compare(pred.field, pred.op, pred.value.lower())
+        return pred
+
+    steps = tuple(
+        q.Filter(_map_predicate(s.predicate, fix_leaf)) if isinstance(s, q.Filter) else s
+        for s in p.steps
+    )
+    return q.Pipeline(steps)
+
+
+def rescale_threshold(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    """Unit slip: percent thresholds read as fractions (80 -> 0.8)."""
+
+    def fix_leaf(pred: q.Predicate) -> q.Predicate:
+        if (
+            isinstance(pred, q.Compare)
+            and isinstance(pred.value, (int, float))
+            and not isinstance(pred.value, bool)
+            and pred.op in (">", ">=", "<", "<=")
+            and abs(pred.value) > 1
+        ):
+            return q.Compare(pred.field, pred.op, float(pred.value) / 100.0)
+        return pred
+
+    steps = tuple(
+        q.Filter(_map_predicate(s.predicate, fix_leaf)) if isinstance(s, q.Filter) else s
+        for s in p.steps
+    )
+    return q.Pipeline(steps)
+
+
+def sum_across_entities(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    """The §5.3 Q5 failure: drop the entity-scoping filter and sum the
+    metric across *all* matching records (81 atoms instead of 9)."""
+    steps: list[q.Step] = []
+    for s in p.steps:
+        if isinstance(s, q.Filter):
+            conj = q.conjuncts(s.predicate)
+            if len(conj) > 1:
+                pred = conj[0]
+                for extra in conj[1:-1]:
+                    pred = q.And(pred, extra)
+                steps.append(q.Filter(pred))
+            # a lone scope filter is dropped entirely
+        elif isinstance(s, q.Project):
+            numeric_last = s.columns[-1]
+            steps.append(q.Agg(numeric_last, "sum"))
+            break
+        elif isinstance(s, q.Agg):
+            steps.append(q.Agg(s.column, "sum"))
+            break
+        else:
+            steps.append(s)
+    return q.Pipeline(tuple(steps))
+
+
+def projection_jitter(p: q.Pipeline, pick: int = 0) -> q.Pipeline:
+    """Project different columns than asked (drop one / collapse to ids)."""
+    steps: list[q.Step] = []
+    for s in p.steps:
+        if isinstance(s, q.Project):
+            if len(s.columns) > 1 and pick % 2 == 0:
+                steps.append(q.Project(s.columns[:-1]))
+            else:
+                steps.append(q.Project(("task_id",)))
+        else:
+            steps.append(s)
+    return q.Pipeline(tuple(steps))
+
+
+def spurious_limit(p: q.Pipeline, _pick: int = 0) -> q.Pipeline:
+    """Append an unasked-for head(10) to a listing query."""
+    if p.terminal() is not None or p.limit() is not None:
+        return p
+    steps = list(p.steps)
+    if steps and isinstance(steps[-1], q.Project):
+        steps.insert(len(steps) - 1, q.Head(10))
+    else:
+        steps.append(q.Head(10))
+    return q.Pipeline(tuple(steps))
+
+
+#: generic formulation slips any query can suffer without guidelines
+FORMULATION_MUTATIONS: tuple[Callable[[q.Pipeline, int], q.Pipeline], ...] = (
+    projection_jitter,
+    spurious_limit,
+    swap_aggregation,
+    flip_sort_direction,
+    drop_filter_conjunct,
+)
+
+#: trap tag -> candidate mutations; generation picks one deterministically.
+LOGIC_MUTATIONS: dict[str, tuple[Callable[[q.Pipeline, int], q.Pipeline], ...]] = {
+    "sort_field": (sort_by_wrong_field, min_on_ids),
+    "sort_direction": (flip_sort_direction,),
+    "recent_vs_first": (flip_sort_direction, min_on_ids),
+    "group_logic": (drop_groupby, wrong_group_key),
+    "time_comparison": (flip_time_comparison,),
+    "scope_filter": (drop_filter_conjunct,),
+    "entity_scoping": (sum_across_entities,),
+    "agg_choice": (swap_aggregation,),
+    "limit": (drop_limit,),
+    "graph_reasoning": (drop_filter_conjunct, swap_aggregation, wrong_group_key),
+    "derived_duration": (sort_by_wrong_field, min_on_ids),
+    "plot_grouping": (drop_groupby,),
+}

@@ -1,0 +1,94 @@
+"""Prompt format contract.
+
+The agent's prompt builder (:mod:`repro.agent.prompts`) assembles
+prompts from sections with the markers below; the simulated models
+(:mod:`repro.llm.prompt_reading`) perceive exactly what those sections
+contain.  Keeping both sides on one format module guarantees the
+causal link the evaluation measures: a context component influences a
+model **only** if its section is actually present in the prompt text.
+
+Structured payloads (schema, example values) are embedded as JSON blocks
+so the perceiving side recovers precisely the fields the prompt carried
+— no more, no less.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "SECTION_ROLE",
+    "SECTION_JOB",
+    "SECTION_DF_DESCRIPTION",
+    "SECTION_OUTPUT_FORMAT",
+    "SECTION_EXAMPLES",
+    "SECTION_SCHEMA",
+    "SECTION_VALUES",
+    "SECTION_GUIDELINES",
+    "SECTION_USER_QUERY",
+    "render_section",
+    "render_json_section",
+    "extract_section",
+    "extract_json_section",
+]
+
+SECTION_ROLE = "## Role"
+SECTION_JOB = "## Job"
+SECTION_DF_DESCRIPTION = "## DataFrame description"
+SECTION_OUTPUT_FORMAT = "## Output format"
+SECTION_EXAMPLES = "## Examples"
+SECTION_SCHEMA = "## Dynamic dataflow schema"
+SECTION_VALUES = "## Example field values"
+SECTION_GUIDELINES = "## Query guidelines"
+SECTION_USER_QUERY = "## User query"
+
+_ALL_SECTIONS = (
+    SECTION_ROLE,
+    SECTION_JOB,
+    SECTION_DF_DESCRIPTION,
+    SECTION_OUTPUT_FORMAT,
+    SECTION_EXAMPLES,
+    SECTION_SCHEMA,
+    SECTION_VALUES,
+    SECTION_GUIDELINES,
+    SECTION_USER_QUERY,
+)
+
+
+def render_section(marker: str, body: str) -> str:
+    return f"{marker}\n{body.strip()}\n"
+
+
+def render_json_section(marker: str, payload: Mapping[str, Any]) -> str:
+    body = json.dumps(payload, indent=1, sort_keys=True, default=str)
+    return f"{marker}\n```json\n{body}\n```\n"
+
+
+def extract_section(prompt: str, marker: str) -> str | None:
+    """Return the body of a section, or None when absent."""
+    start = prompt.find(marker)
+    if start < 0:
+        return None
+    body_start = start + len(marker)
+    end = len(prompt)
+    for other in _ALL_SECTIONS:
+        idx = prompt.find(other, body_start)
+        if idx >= 0:
+            end = min(end, idx)
+    return prompt[body_start:end].strip()
+
+
+def extract_json_section(prompt: str, marker: str) -> dict[str, Any] | None:
+    body = extract_section(prompt, marker)
+    if body is None:
+        return None
+    text = body
+    if text.startswith("```json"):
+        text = text[len("```json") :]
+    text = text.strip().strip("`").strip()
+    # tolerate a trailing fence that strip("`") already removed
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return None

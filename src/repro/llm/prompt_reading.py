@@ -1,0 +1,154 @@
+"""Prompt perception: what a simulated model sees in its prompt.
+
+The model attends only to what the prompt contains.  This module parses
+the assembled prompt text back into a :class:`PerceivedContext`:
+which baseline instructions are present, which fields the dataflow
+schema section lists, which example values are given, which guidelines
+apply, and the user query itself.
+
+Context-window truncation happens here too: when the prompt exceeds the
+model's window, the *tail* of the schema/value sections is effectively
+lost (provider-side truncation keeps the beginning).  That is the
+mechanism behind the paper's LLaMA 3-8B failure on the chemistry
+workflow, whose schema is wide and nested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm import prompt_format as pf
+from repro.llm.tokenizer import count_tokens
+
+__all__ = ["PerceivedContext", "perceive"]
+
+
+@dataclass
+class PerceivedContext:
+    """Everything the model can act on."""
+
+    has_role: bool = False
+    has_job: bool = False
+    has_df_description: bool = False
+    has_output_format: bool = False
+    has_few_shot: bool = False
+    schema_fields: set[str] = field(default_factory=set)
+    field_types: dict[str, str] = field(default_factory=dict)
+    value_examples: dict[str, list] = field(default_factory=dict)
+    guidelines: list[str] = field(default_factory=list)
+    few_shot_fields: set[str] = field(default_factory=set)
+    user_query: str = ""
+    prompt_tokens: int = 0
+    truncated: bool = False
+
+    @property
+    def has_baseline(self) -> bool:
+        """Role + job + DataFrame format + output formatting (Table 2)."""
+        return (
+            self.has_role
+            and self.has_job
+            and self.has_df_description
+            and self.has_output_format
+        )
+
+    @property
+    def has_schema(self) -> bool:
+        return bool(self.schema_fields)
+
+    @property
+    def has_values(self) -> bool:
+        return bool(self.value_examples)
+
+    @property
+    def has_guidelines(self) -> bool:
+        return bool(self.guidelines)
+
+    def activity_names(self) -> tuple[str, ...]:
+        vals = self.value_examples.get("activity_id", [])
+        return tuple(str(v) for v in vals)
+
+    def signature(self) -> str:
+        """Stable description of which components are present (for seeding)."""
+        return "|".join(
+            [
+                "B" if self.has_baseline else "-",
+                "F" if self.has_few_shot else "-",
+                f"S{len(self.schema_fields)}" if self.schema_fields else "-",
+                f"V{len(self.value_examples)}" if self.value_examples else "-",
+                f"G{len(self.guidelines)}" if self.guidelines else "-",
+                "T" if self.truncated else "-",
+            ]
+        )
+
+
+def perceive(prompt: str, context_window: int) -> PerceivedContext:
+    """Parse the prompt into a PerceivedContext, honouring the window."""
+    ctx = PerceivedContext()
+    ctx.prompt_tokens = count_tokens(prompt)
+
+    if ctx.prompt_tokens > context_window:
+        ctx.truncated = True
+        # keep the fraction of the prompt that fits; the tail is lost
+        keep_ratio = context_window / ctx.prompt_tokens
+        keep_chars = int(len(prompt) * keep_ratio)
+        visible = prompt[:keep_chars]
+        # the user query is appended last, but providers keep it by moving
+        # it inside the window; simulate that by re-attaching it
+        user_q = pf.extract_section(prompt, pf.SECTION_USER_QUERY)
+        if user_q is not None and pf.SECTION_USER_QUERY not in visible:
+            visible += f"\n{pf.SECTION_USER_QUERY}\n{user_q}\n"
+        prompt = visible
+
+    ctx.has_role = pf.extract_section(prompt, pf.SECTION_ROLE) is not None
+    ctx.has_job = pf.extract_section(prompt, pf.SECTION_JOB) is not None
+    ctx.has_df_description = (
+        pf.extract_section(prompt, pf.SECTION_DF_DESCRIPTION) is not None
+    )
+    ctx.has_output_format = (
+        pf.extract_section(prompt, pf.SECTION_OUTPUT_FORMAT) is not None
+    )
+
+    examples = pf.extract_section(prompt, pf.SECTION_EXAMPLES)
+    if examples:
+        ctx.has_few_shot = True
+        ctx.few_shot_fields = _fields_in_examples(examples)
+
+    schema = pf.extract_json_section(prompt, pf.SECTION_SCHEMA)
+    if schema:
+        fields = schema.get("fields", schema)
+        for name, meta in fields.items():
+            ctx.schema_fields.add(name)
+            if isinstance(meta, dict) and "type" in meta:
+                ctx.field_types[name] = str(meta["type"])
+
+    values = pf.extract_json_section(prompt, pf.SECTION_VALUES)
+    if values:
+        for name, examples_list in values.items():
+            if isinstance(examples_list, list):
+                ctx.value_examples[name] = examples_list
+
+    guidelines = pf.extract_section(prompt, pf.SECTION_GUIDELINES)
+    if guidelines:
+        ctx.guidelines = [
+            line.lstrip("-• ").strip()
+            for line in guidelines.splitlines()
+            if line.strip() and line.strip() not in ("```",)
+        ]
+
+    user_query = pf.extract_section(prompt, pf.SECTION_USER_QUERY)
+    ctx.user_query = user_query or ""
+    return ctx
+
+
+def _fields_in_examples(examples_text: str) -> set[str]:
+    """Fields a model can imitate from the few-shot example code lines."""
+    import re
+
+    fields: set[str] = set()
+    for match in re.finditer(r"df\[['\"]([\w.\-]+)['\"]\]", examples_text):
+        fields.add(match.group(1))
+    for match in re.finditer(
+        r"(?:sort_values|groupby)\(\[?['\"]([\w.\-]+)['\"]", examples_text
+    ):
+        fields.add(match.group(1))
+    return fields

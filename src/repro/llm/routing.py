@@ -1,0 +1,154 @@
+"""Adaptive LLM routing by query class (paper §5.4, future work).
+
+"No single model performs best across all workloads and data types,
+motivating future research on dynamic LLM routing based on query
+classes."  This module implements that idea:
+
+* :class:`RoutingPolicy` — a per-class model choice table;
+* :func:`learn_policy` — builds a policy from evaluation records (pick
+  the model with the best mean of per-query median scores for each
+  (workload, data type) class, with a tie margin that prefers cheaper
+  models);
+* :class:`AdaptiveModelRouter` — classifies an incoming query (using
+  its registered traits or cheap lexical heuristics) and returns the
+  model to use.
+
+An ablation benchmark (``bench_ablation_routing.py``) verifies the
+routed ensemble at least matches the best fixed model.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.evaluation.query_set import EvalQuery
+from repro.evaluation.runner import EvaluationRecord, median_by
+from repro.evaluation.taxonomy import DataType, Workload
+
+__all__ = ["RoutingPolicy", "learn_policy", "AdaptiveModelRouter", "classify_text"]
+
+#: rough relative cost per call (frontier APIs are pricier); used to
+#: break near-ties in favour of cheaper models
+MODEL_COST: dict[str, float] = {
+    "llama3-8b": 0.1,
+    "llama3-70b": 0.3,
+    "gemini-2.5-flash-lite": 0.2,
+    "gpt-4": 1.0,
+    "claude-opus-4": 1.2,
+}
+
+ClassKey = tuple[str, str]  # (workload, data type)
+
+
+@dataclass
+class RoutingPolicy:
+    """Per-class model table with a global default."""
+
+    default_model: str
+    table: dict[ClassKey, str] = field(default_factory=dict)
+
+    def model_for(self, workload: str, data_type: str) -> str:
+        return self.table.get((workload, data_type), self.default_model)
+
+    def distinct_models(self) -> set[str]:
+        return set(self.table.values()) | {self.default_model}
+
+
+def learn_policy(
+    records: Sequence[EvaluationRecord],
+    queries: Sequence[EvalQuery],
+    *,
+    judge: str = "gpt-judge",
+    tie_margin: float = 0.02,
+) -> RoutingPolicy:
+    """Learn the best model per (workload, data type) from a calibration run.
+
+    Within ``tie_margin`` of the best score, the cheapest model wins —
+    the practical routing objective is accuracy per dollar.
+    """
+    q_by_id = {q.qid: q for q in queries}
+    medians = median_by(records, judge=judge, keys=("model", "qid"))
+
+    per_class: dict[ClassKey, dict[str, list[float]]] = {}
+    overall: dict[str, list[float]] = {}
+    for (model, qid), score in medians.items():
+        query = q_by_id[qid]
+        overall.setdefault(model, []).append(score)
+        for dt in query.data_types:
+            key = (query.workload.value, dt.value)
+            per_class.setdefault(key, {}).setdefault(model, []).append(score)
+
+    def pick(scores_by_model: Mapping[str, list[float]]) -> str:
+        means = {m: statistics.mean(v) for m, v in scores_by_model.items()}
+        best_score = max(means.values())
+        contenders = [m for m, s in means.items() if s >= best_score - tie_margin]
+        return min(contenders, key=lambda m: MODEL_COST.get(m, 1.0))
+
+    default = pick(overall)
+    table = {key: pick(by_model) for key, by_model in per_class.items()}
+    return RoutingPolicy(default_model=default, table=table)
+
+
+# ---------------------------------------------------------------------------
+# lightweight query classification (for unlabelled production queries)
+# ---------------------------------------------------------------------------
+
+_OLAP_MARKERS = (
+    "per ",
+    "by ",
+    "for each",
+    "average",
+    "mean",
+    "total",
+    "breakdown",
+    "across all",
+    "top ",
+    "most frequently",
+)
+_TYPE_MARKERS: dict[str, tuple[str, ...]] = {
+    DataType.TELEMETRY.value: ("cpu", "memory", "duration", "longest", "telemetry", "runtime"),
+    DataType.SCHEDULING.value: ("host", "node", "ran on", "where", "machine", "placement"),
+    DataType.DATAFLOW.value: ("value", "input", "output", "generated", "produced", "energy", "enthalpy"),
+    DataType.CONTROL_FLOW.value: ("status", "failed", "finished", "running", "activity", "step", "recent", "first"),
+}
+
+
+def classify_text(nl: str) -> tuple[str, str]:
+    """Heuristic (workload, data type) guess for an unlabelled query."""
+    low = nl.lower()
+    workload = (
+        Workload.OLAP.value
+        if any(m in low for m in _OLAP_MARKERS)
+        else Workload.OLTP.value
+    )
+    best_type = DataType.CONTROL_FLOW.value
+    best_hits = 0
+    for dtype, markers in _TYPE_MARKERS.items():
+        hits = sum(1 for m in markers if m in low)
+        if hits > best_hits:
+            best_type, best_hits = dtype, hits
+    return workload, best_type
+
+
+class AdaptiveModelRouter:
+    """Chooses the serving model per query (paper's envisioned router)."""
+
+    def __init__(self, policy: RoutingPolicy):
+        self.policy = policy
+        self.decisions: list[tuple[str, str]] = []  # (query, model)
+
+    def route(self, nl: str, *, query: EvalQuery | None = None) -> str:
+        if query is not None:
+            # labelled queries: majority vote over their data types
+            votes: dict[str, int] = {}
+            for dt in query.data_types:
+                m = self.policy.model_for(query.workload.value, dt.value)
+                votes[m] = votes.get(m, 0) + 1
+            model = max(votes, key=lambda m: (votes[m], -MODEL_COST.get(m, 1.0)))
+        else:
+            workload, dtype = classify_text(nl)
+            model = self.policy.model_for(workload, dtype)
+        self.decisions.append((nl, model))
+        return model

@@ -1,0 +1,475 @@
+"""Rule-based semantic core: natural language -> DataFrame pipeline.
+
+This is the "pretrained competence" of every simulated LLM: given a
+natural-language provenance question and a *field resolver* (which
+embodies how much the model actually knows about the schema — from the
+prompt, from prior knowledge, or hallucinated), it produces the intended
+query pipeline.
+
+The same engine serves two roles:
+
+* with an **oracle resolver** (full schema knowledge) it defines the
+  golden queries of the evaluation set — so gold answers and model
+  behaviour can never drift apart structurally;
+* inside :mod:`repro.llm.generation` each simulated model runs it with a
+  **knowledge-gated resolver**, after which failure injection corrupts
+  the result.
+
+The grammar is intent-template based: counting, aggregation, group-by,
+ordering (most recent / top-k / longest), targeted filters (task,
+workflow, activity, host, status, thresholds, substring matches) and
+projections, over a concept vocabulary that covers the common schema,
+the synthetic workflow, and the chemistry workflow.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field as dc_field
+from typing import Callable
+
+from repro.query import ast as q
+
+__all__ = [
+    "Concept",
+    "CONCEPTS",
+    "FieldResolver",
+    "OracleResolver",
+    "parse_intent",
+    "SemanticParseError",
+]
+
+
+class SemanticParseError(Exception):
+    """The NL query did not match any intent template."""
+
+
+# ---------------------------------------------------------------------------
+# Concept vocabulary
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Concept:
+    """A queryable field concept with its NL trigger patterns."""
+
+    canonical: str  # canonical column in the flattened context frame
+    kind: str  # "metric" | "categorical" | "id" | "time" | "text"
+    patterns: tuple[str, ...]  # regexes, matched case-insensitively
+
+    def mentioned_in(self, text: str) -> bool:
+        return any(re.search(p, text, re.IGNORECASE) for p in self.patterns)
+
+
+CONCEPTS: tuple[Concept, ...] = (
+    # --- common schema -------------------------------------------------------
+    Concept("hostname", "categorical", (r"\bhost(name)?s?\b", r"\bnodes?\b", r"\bmachine\b", r"\bwhere\b.*\b(run|ran|execut)", r"\b(run|ran) on\b")),
+    Concept("status", "categorical", (r"\bstatus(es)?\b", r"\bstate\b",)),
+    Concept("duration", "metric", (r"\bdurations?\b", r"\blongest[- ]running\b", r"\bruntimes?\b", r"\bbusy time\b", r"\btook\b", r"\blongest\b", r"\bexecution time\b")),
+    Concept("started_at", "time", (r"\bstart(ed)?( time| at)?\b", r"\bbegan\b",)),
+    Concept("ended_at", "time", (r"\bend(ed)?( time| at)?\b",)),
+    Concept("activity_id", "categorical", (r"\bactivit(y|ies)\b", r"\bstep name\b", r"\btask types?\b")),
+    Concept("task_id", "id", (r"\btasks? [\"']?[0-9][\w.\-_]*\b", r"\btask id\b")),
+    Concept("workflow_id", "id", (r"\bworkflows?\b",)),
+    Concept("campaign_id", "id", (r"\bcampaigns?\b",)),
+    Concept("telemetry_at_end.cpu.percent", "metric", (r"\bcpu\b",)),
+    Concept("telemetry_at_end.mem.percent", "metric", (r"\bmemory\b", r"\bmem\b", r"\bram\b")),
+    Concept("telemetry_at_start.cpu.percent", "metric", (r"\bcpu\b.*\bat (the )?start\b", r"\bstart(ing)? cpu\b")),
+    # --- synthetic workflow ---------------------------------------------------
+    Concept("generated.value", "metric", (r"\b(output|produced?|generated|result(ing)?) values?\b", r"\bvalues? (produced|generated|output)\b", r"\bfinal (value|output)\b", r"\boutputs?\b")),
+    Concept("used.x", "metric", (r"\binput x\b", r"\bx (value|input)\b", r"\bstart(ing|ed)? with\b")),
+    # --- chemistry workflow -----------------------------------------------------
+    Concept("generated.bond_id", "text", (r"\bbond( label| id)?s?\b",)),
+    Concept("generated.bd_free_energy", "metric", (r"\b(dissociation )?free energy\b",)),
+    Concept("generated.bd_enthalpy", "metric", (r"\b(bond |dissociation )*enthalp(y|ies)\b",)),
+    Concept("generated.bd_energy", "metric", (r"\b(bond |dissociation )+energ(y|ies)\b", r"\bbde\b")),
+    Concept("used.functional", "categorical", (r"\bfunctionals?\b",)),
+    Concept("generated.n_atoms", "metric", (r"\b(number of |n_?)atoms\b", r"\batom counts?\b")),
+    Concept("generated.multiplicity", "categorical", (r"\bmultiplicit(y|ies)\b", r"\bspin\b")),
+    Concept("generated.charge", "categorical", (r"\bcharges?\b",)),
+    Concept("generated.e0", "metric", (r"\belectronic energ(y|ies)\b", r"\be0\b")),
+)
+
+_CONCEPT_BY_FIELD = {c.canonical: c for c in CONCEPTS}
+
+#: fields whose values are workflow-step names (resolved via schema values)
+_STATUS_WORDS = {
+    "running": "RUNNING",
+    "finished": "FINISHED",
+    "completed": "FINISHED",
+    "succeeded": "FINISHED",
+    "failed": "FAILED",
+    "submitted": "SUBMITTED",
+}
+
+
+# ---------------------------------------------------------------------------
+# Field resolvers
+# ---------------------------------------------------------------------------
+
+
+class FieldResolver:
+    """Maps a conceptual field name to the name the model will emit.
+
+    The oracle resolver returns it unchanged; knowledge-gated resolvers
+    (see :mod:`generation`) may substitute hallucinated names.
+    """
+
+    def resolve(self, canonical: str) -> str:
+        raise NotImplementedError
+
+    def resolve_status_value(self, value: str) -> str:
+        """How the model spells a status literal (case sensitivity trap)."""
+        return value
+
+
+class OracleResolver(FieldResolver):
+    def resolve(self, canonical: str) -> str:
+        return canonical
+
+
+# ---------------------------------------------------------------------------
+# Intent parsing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Intent:
+    filters: list[q.Predicate] = dc_field(default_factory=list)
+    group_by: str | None = None
+    agg: tuple[str, str] | None = None  # (agg name, field)
+    sort: tuple[str, bool] | None = None  # (field, ascending)
+    limit: int | None = None
+    projection: list[str] = dc_field(default_factory=list)
+    count: bool = False
+    unique: str | None = None
+    metric_hint: str | None = None  # first mentioned metric concept
+
+
+_NUM_RE = r"(-?\d+(?:\.\d+)?)"
+
+
+def parse_intent(
+    text: str,
+    *,
+    resolver: FieldResolver | None = None,
+    activity_names: tuple[str, ...] = (),
+    known_ids: dict[str, str] | None = None,
+) -> q.Pipeline:
+    """Parse an NL provenance question into a query pipeline.
+
+    Parameters
+    ----------
+    text:
+        The natural-language question.
+    resolver:
+        Field-knowledge gate; defaults to the oracle.
+    activity_names:
+        Workflow step names usable in ``activity_id`` filters (the agent
+        supplies these from the dynamic dataflow schema's example values).
+    known_ids:
+        Maps literal id strings appearing in the text to their id field,
+        e.g. ``{"4f2051b9": "workflow_id"}``.
+    """
+    r = resolver or OracleResolver()
+    low = " " + text.lower().strip().rstrip("?.!") + " "
+    intent = _Intent()
+
+    mentioned = _mentioned_concepts(low, activity_names)
+
+    _extract_filters(low, text, intent, r, activity_names, known_ids or {}, mentioned)
+    _extract_shape(low, intent, r, mentioned)
+    _finalise_projection(low, intent, r, mentioned)
+
+    return _to_pipeline(intent, r)
+
+
+def _mentioned_concepts(low: str, activity_names: tuple[str, ...]) -> list[Concept]:
+    found: list[tuple[int, Concept]] = []
+    for c in CONCEPTS:
+        for p in c.patterns:
+            m = re.search(p, low, re.IGNORECASE)
+            if m:
+                found.append((m.start(), c))
+                break
+    # order by first appearance; de-duplicate on canonical
+    found.sort(key=lambda t: t[0])
+    seen: set[str] = set()
+    out: list[Concept] = []
+    for _, c in found:
+        if c.canonical not in seen:
+            seen.add(c.canonical)
+            out.append(c)
+    return out
+
+
+def _extract_filters(
+    low: str,
+    original: str,
+    intent: _Intent,
+    r: FieldResolver,
+    activity_names: tuple[str, ...],
+    known_ids: dict[str, str],
+    mentioned: list[Concept],
+) -> None:
+    # explicit ids quoted or matching the known-id registry
+    for literal, id_field in known_ids.items():
+        if literal.lower() in low:
+            intent.filters.append(
+                q.Compare(q.Field(r.resolve(id_field)), "==", literal)
+            )
+
+    # status words ("running tasks", "failed", ...)
+    for word, value in _STATUS_WORDS.items():
+        if re.search(rf"\b{word}\b", low) and not re.search(
+            rf"\blongest[- ]{word}\b", low
+        ):
+            intent.filters.append(
+                q.Compare(
+                    q.Field(r.resolve("status")), "==", r.resolve_status_value(value)
+                )
+            )
+            break
+
+    # activity mentions ("the power task", "average_results", ...)
+    for name in activity_names:
+        if re.search(rf"\b{re.escape(name.lower())}\b", low):
+            intent.filters.append(
+                q.Compare(q.Field(r.resolve("activity_id")), "==", name)
+            )
+            break
+
+    # host mentions ("on node-2", "on host frontier00084")
+    m = re.search(r"\bon (?:host |node )?([\w\-.]*(?:node|frontier|host)[\w\-.]*)\b", low)
+    if m:
+        intent.filters.append(
+            q.Compare(q.Field(r.resolve("hostname")), "==", m.group(1))
+        )
+
+    # substring filters: labels containing 'C-H'
+    m = re.search(r"\b(?:contain(?:ing|s)?|with)\s+[\"']([^\"']+)[\"']", original)
+    if m:
+        target = "generated.bond_id"
+        for c in mentioned:
+            if c.kind == "text":
+                target = c.canonical
+                break
+        intent.filters.append(
+            q.StrContains(q.Field(r.resolve(target)), m.group(1))
+        )
+
+    # numeric thresholds: "above 80", "greater than 100", "below 20",
+    # "exceeded 50 percent"
+    for pattern, op in (
+        (rf"\b(?:above|over|greater than|more than|exceed(?:ed|ing|s)?|at least)\s+{_NUM_RE}", ">"),
+        (rf"\b(?:below|under|less than|at most)\s+{_NUM_RE}", "<"),
+    ):
+        m = re.search(pattern, low)
+        if m:
+            value = float(m.group(1))
+            if value == int(value):
+                value = int(value)
+            target = _threshold_target(low, mentioned)
+            if target is not None:
+                op_final = ">=" if "at least" in m.group(0) else (
+                    "<=" if "at most" in m.group(0) else op
+                )
+                intent.filters.append(
+                    q.Compare(q.Field(r.resolve(target)), op_final, value)
+                )
+
+
+def _threshold_target(low: str, mentioned: list[Concept]) -> str | None:
+    metrics = [c for c in mentioned if c.kind == "metric"]
+    if metrics:
+        return metrics[-1].canonical  # the metric nearest the threshold phrase
+    return None
+
+
+def _extract_shape(
+    low: str, intent: _Intent, r: FieldResolver, mentioned: list[Concept]
+) -> None:
+    # counting
+    if re.search(r"\bhow many\b|\bnumber of tasks\b|\bcount of\b|\bis any\b", low):
+        intent.count = True
+
+    # group-by: "per activity", "by host", "for each bond label",
+    # "breakdown ... by status"
+    m = re.search(r"\b(?:per|by|for each|grouped by)\s+([\w\s.\-]+?)(?:,| and | sorted| order|$)", low)
+    if m:
+        phrase = m.group(1).strip()
+        concept = _best_concept_for_phrase(phrase)
+        if concept is not None:
+            intent.group_by = concept.canonical
+
+    # top-k: "top 3 ..."
+    m = re.search(rf"\btop\s+(\d+)\b", low)
+    if m:
+        intent.limit = int(m.group(1))
+        metric = next((c for c in mentioned if c.kind == "metric"), None)
+        if metric is not None:
+            intent.sort = (metric.canonical, False)
+
+    # aggregation verbs
+    agg: str | None = None
+    if re.search(r"\baverage\b|\bmean\b", low):
+        agg = "mean"
+    elif re.search(r"\btotal\b|\bsum\b", low):
+        agg = "sum"
+    elif re.search(r"\bmedian\b", low):
+        agg = "median"
+    elif re.search(r"\bhighest\b|\bmaximum\b|\bmax\b|\bmost\b.*\b(cpu|memory|value|energy|enthalpy)\b", low):
+        agg = "max"
+    elif re.search(r"\blowest\b|\bminimum\b|\bmin\b", low):
+        agg = "min"
+    metric = next((c for c in mentioned if c.kind == "metric"), None)
+    if metric is not None:
+        intent.metric_hint = metric.canonical
+    if agg and not intent.count and metric is not None:
+        intent.agg = (agg, metric.canonical)
+
+    # "which <categorical> ... <agg>" — e.g. "which host had the highest mean
+    # CPU", "which activity most frequently failed": group + order + head(1)
+    m = re.search(r"\bwhich\s+(host|node|activity|bond|workflow)\b", low)
+    if m and (intent.agg or re.search(r"\bmost frequently\b|\bmost often\b", low)):
+        concept = _best_concept_for_phrase(m.group(1))
+        if concept is not None:
+            intent.group_by = concept.canonical
+
+    # ordering words
+    if re.search(r"\bmost recent\b|\blatest\b|\blast task\b", low):
+        intent.sort = (r_resolve_safe(r, "started_at"), False)
+        intent.limit = intent.limit or 1
+    elif re.search(r"\bfirst\b|\bearliest\b", low):
+        intent.sort = ("started_at", True)
+        intent.limit = intent.limit or 1
+    elif re.search(r"\blongest[- ]running\b|\blongest\b", low) and not intent.agg:
+        intent.sort = ("duration", False)
+        intent.limit = intent.limit or 1
+
+    # "sorted" request on group aggregations
+    if re.search(r"\bsorted\b|\border(ed)?\b|\brank(ed|ing)?\b", low) and intent.group_by:
+        intent.sort = intent.sort or ("__agg__", False)
+
+    # uniqueness: "what functional was used", "which hosts appear"
+    if re.search(r"\bwhat .* was used\b|\bdistinct\b|\bunique\b", low):
+        cat = next((c for c in mentioned if c.kind in ("categorical", "text")), None)
+        if cat is not None and not intent.count:
+            intent.unique = cat.canonical
+
+
+def _best_concept_for_phrase(phrase: str) -> Concept | None:
+    phrase = " " + phrase.strip().lower() + " "
+    best: Concept | None = None
+    for c in CONCEPTS:
+        if c.mentioned_in(phrase):
+            if best is None:
+                best = c
+    return best
+
+
+def r_resolve_safe(r: FieldResolver, name: str) -> str:
+    return name  # sort fields resolved at pipeline build time
+
+
+def _finalise_projection(
+    low: str, intent: _Intent, r: FieldResolver, mentioned: list[Concept]
+) -> None:
+    if intent.count or intent.agg or intent.unique or intent.group_by:
+        return
+    # project the mentioned, non-filtered concepts; keep task_id for context
+    filtered_fields = set()
+    for pred in intent.filters:
+        filtered_fields |= q.predicate_fields(pred)
+    cols: list[str] = []
+    for c in mentioned:
+        if c.canonical in ("task_id", "workflow_id", "campaign_id"):
+            continue
+        if c.canonical in filtered_fields:
+            continue
+        if c.kind == "time" and intent.sort and c.canonical == intent.sort[0]:
+            continue
+        cols.append(c.canonical)
+    if cols:
+        intent.projection = ["task_id"] + cols
+
+
+def _to_pipeline(intent: _Intent, r: FieldResolver) -> q.Pipeline:
+    steps: list[q.Step] = []
+    if intent.filters:
+        pred = intent.filters[0]
+        for extra in intent.filters[1:]:
+            pred = q.And(pred, extra)
+        steps.append(q.Filter(pred))
+
+    if intent.group_by is not None and intent.agg is not None:
+        agg_name, agg_field = intent.agg
+        steps.append(
+            q.GroupAgg((r.resolve(intent.group_by),), r.resolve(agg_field), agg_name)
+        )
+        return q.Pipeline(tuple(steps))
+    if intent.group_by is not None and intent.count:
+        # count per group: group-count over task_id
+        steps.append(
+            q.GroupAgg((r.resolve(intent.group_by),), r.resolve("task_id"), "count")
+        )
+        return q.Pipeline(tuple(steps))
+    if intent.group_by is not None:
+        # a grouped question naming a metric but no agg verb reads as
+        # "the metric per group" -> mean; otherwise count per group
+        if intent.metric_hint is not None:
+            steps.append(
+                q.GroupAgg(
+                    (r.resolve(intent.group_by),),
+                    r.resolve(intent.metric_hint),
+                    "mean",
+                )
+            )
+        else:
+            steps.append(
+                q.GroupAgg(
+                    (r.resolve(intent.group_by),), r.resolve("task_id"), "count"
+                )
+            )
+        return q.Pipeline(tuple(steps))
+
+    if intent.count:
+        steps.append(q.RowCount())
+        return q.Pipeline(tuple(steps))
+
+    if intent.unique is not None:
+        steps.append(q.Unique(r.resolve(intent.unique)))
+        return q.Pipeline(tuple(steps))
+
+    if intent.agg is not None and intent.limit is None:
+        agg_name, agg_field = intent.agg
+        # "highest/lowest X" reads better as sort+head(1) with context columns
+        if agg_name in ("max", "min") and _wants_context(intent):
+            steps.append(
+                q.Sort((r.resolve(agg_field),), (agg_name == "min",))
+            )
+            steps.append(q.Head(1))
+            if intent.projection:
+                steps.append(
+                    q.Project(tuple(r.resolve(c) for c in intent.projection))
+                )
+            return q.Pipeline(tuple(steps))
+        steps.append(q.Agg(r.resolve(agg_field), agg_name))
+        return q.Pipeline(tuple(steps))
+
+    if intent.sort is not None:
+        field_name, asc = intent.sort
+        if field_name != "__agg__":
+            steps.append(q.Sort((r.resolve(field_name),), (asc,)))
+    if intent.limit is not None:
+        steps.append(q.Head(intent.limit))
+    if intent.projection:
+        steps.append(q.Project(tuple(r.resolve(c) for c in intent.projection)))
+    if not steps:
+        raise SemanticParseError("no intent recognised in query")
+    return q.Pipeline(tuple(steps))
+
+
+def _wants_context(intent: _Intent) -> bool:
+    """max/min with identifying companions -> row-style answer."""
+    return bool(intent.projection)

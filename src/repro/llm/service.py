@@ -1,0 +1,110 @@
+"""The LLM server: chat-completion facade over the simulation pipeline.
+
+Mirrors the paper's deployment: the agent talks to an "LLM Server" over
+a request/response API; which model serves the request is configuration.
+A request carries the fully assembled prompt; the response carries the
+generated query code (or prose, when the model failed the format gate),
+token accounting, and simulated latency.  Temperature is accepted for
+interface fidelity; the paper pins it to zero, and reps still vary
+slightly through the seeded rep coordinate — matching the paper's
+observation that "LLMs can still produce slight variations even with
+the temperature set to zero".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ContextWindowExceededError
+from repro.llm.generation import GenerationResult, QueryTraits, generate_query_code
+from repro.llm.latency import simulate_latency
+from repro.llm.profiles import ModelProfile, get_profile
+from repro.llm.prompt_reading import perceive
+from repro.llm.tokenizer import count_tokens
+
+__all__ = ["ChatRequest", "ChatResponse", "LLMServer"]
+
+
+@dataclass
+class ChatRequest:
+    """One chat-completion request."""
+
+    model: str
+    prompt: str
+    temperature: float = 0.0
+    rep: int = 0
+    query_id: str = ""
+    traits: QueryTraits | None = None
+    #: refuse (like a real API) instead of truncating when True
+    strict_context_window: bool = False
+
+
+@dataclass
+class ChatResponse:
+    """The model's reply plus accounting."""
+
+    model: str
+    text: str
+    prompt_tokens: int
+    output_tokens: int
+    latency_s: float
+    truncated: bool
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.output_tokens
+
+
+class LLMServer:
+    """Serves chat completions for all registered simulated models."""
+
+    def __init__(self) -> None:
+        self.request_count = 0
+        self.history: list[tuple[ChatRequest, ChatResponse]] = []
+        self.keep_history = False
+
+    def complete(self, request: ChatRequest) -> ChatResponse:
+        profile = get_profile(request.model)
+        prompt_tokens = count_tokens(request.prompt)
+        if request.strict_context_window and prompt_tokens > profile.context_window:
+            raise ContextWindowExceededError(
+                profile.name, prompt_tokens, profile.context_window
+            )
+
+        perceived = perceive(request.prompt, profile.context_window)
+        result: GenerationResult = generate_query_code(
+            profile,
+            perceived,
+            traits=request.traits,
+            rep=request.rep,
+            query_id=request.query_id,
+        )
+        output_tokens = result.output_tokens_hint or count_tokens(result.text)
+        latency = simulate_latency(
+            profile,
+            prompt_tokens,
+            output_tokens,
+            rep=request.rep,
+            key=request.query_id or perceived.user_query,
+        )
+        response = ChatResponse(
+            model=profile.name,
+            text=result.text,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            latency_s=latency,
+            truncated=perceived.truncated,
+            failures=list(result.failures),
+        )
+        self.request_count += 1
+        if self.keep_history:
+            self.history.append((request, response))
+        return response
+
+    # -- convenience ----------------------------------------------------------
+    def models(self) -> list[str]:
+        from repro.llm.profiles import MODEL_ORDER
+
+        return list(MODEL_ORDER)

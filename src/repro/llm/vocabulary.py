@@ -1,0 +1,88 @@
+"""Field knowledge vocabulary for the simulated models.
+
+* ``COMMON_FIELDS_PRIOR`` — provenance fields a capable model can guess
+  without seeing the schema (they appear throughout public workflow
+  tooling: task/workflow ids, status, hostname, timestamps).
+* ``HALLUCINATIONS`` — the plausible-but-wrong names a model invents
+  when it does not know a field.  The entries mirror the paper's
+  observations verbatim: LLaMA 3-8B "hallucinated non-existing fields
+  like ``node`` or ``execution_id``".
+* ``GUIDELINE_FIELD_HINTS`` — fields whose names the static query
+  guidelines mention explicitly; a model that follows the guidelines
+  can emit them without schema access.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COMMON_FIELDS_PRIOR",
+    "HALLUCINATIONS",
+    "GUIDELINE_FIELD_HINTS",
+    "hallucination_for",
+]
+
+COMMON_FIELDS_PRIOR = frozenset(
+    {
+        "task_id",
+        "campaign_id",
+        "workflow_id",
+        "activity_id",
+        "status",
+        "hostname",
+        "started_at",
+        "ended_at",
+        "type",
+    }
+)
+
+HALLUCINATIONS: dict[str, tuple[str, ...]] = {
+    "hostname": ("node", "host", "machine_name"),
+    "task_id": ("execution_id", "id", "run_id"),
+    "workflow_id": ("wf_id", "pipeline_id"),
+    "activity_id": ("activity", "step", "task_name"),
+    "status": ("state", "task_status"),
+    "started_at": ("timestamp", "start_time", "time"),
+    "ended_at": ("end_time", "finish_time"),
+    "duration": ("execution_time", "elapsed", "wall_time", "runtime"),
+    "telemetry_at_end.cpu.percent": ("cpu_usage", "cpu", "cpu_percent"),
+    "telemetry_at_end.mem.percent": ("memory_usage", "mem", "ram_percent"),
+    "telemetry_at_start.cpu.percent": ("cpu_at_start", "initial_cpu"),
+    "generated.value": ("output", "result", "value"),
+    "used.x": ("input", "x", "input_value"),
+    "generated.bond_id": ("bond", "bond_label", "bond_name"),
+    "generated.bd_energy": ("bde", "bond_energy", "dissociation_energy"),
+    "generated.bd_enthalpy": ("enthalpy", "bde_enthalpy", "bond_enthalpy"),
+    "generated.bd_free_energy": ("free_energy", "gibbs_energy"),
+    "used.functional": ("functional", "dft_functional", "method"),
+    "generated.n_atoms": ("atom_count", "natoms", "num_atoms"),
+    "generated.multiplicity": ("multiplicity", "spin_multiplicity"),
+    "generated.charge": ("charge", "total_charge"),
+    "generated.e0": ("energy", "electronic_energy", "e_total"),
+}
+
+_GENERIC_HALLUCINATIONS = ("field", "value", "data", "metric")
+
+#: fields that the static guideline set names explicitly (see
+#: repro.agent.guidelines.STATIC_GUIDELINES) — following guidelines makes
+#: them emittable even without the schema section.
+GUIDELINE_FIELD_HINTS = frozenset(
+    {
+        "started_at",
+        "duration",
+        "status",
+        "activity_id",
+        "hostname",
+        "telemetry_at_end.cpu.percent",
+        "telemetry_at_end.mem.percent",
+        "generated.value",
+        "used.x",
+        "task_id",
+        "workflow_id",
+    }
+)
+
+
+def hallucination_for(canonical: str, pick: int) -> str:
+    """A deterministic plausible-but-wrong name for ``canonical``."""
+    options = HALLUCINATIONS.get(canonical, _GENERIC_HALLUCINATIONS)
+    return options[pick % len(options)]

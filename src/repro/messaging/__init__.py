@@ -1,0 +1,56 @@
+"""Streaming hub: the asynchronous backbone of the provenance architecture.
+
+The paper's reference architecture (Fig. 2) streams provenance messages
+from instrumented workflows to a central hub over a publish/subscribe
+protocol; Provenance Keepers and the agent's Context Manager subscribe to
+it.  This package provides:
+
+* :class:`~repro.messaging.broker.InProcessBroker` — a thread-safe topic
+  pub/sub broker (the in-process stand-in for Redis Pub/Sub);
+* broker **performance profiles** (redis-like, kafka-like, mofka-like)
+  modelling the per-message/per-batch costs the paper attributes to each
+  backend, for the ablation benchmark;
+* :class:`~repro.messaging.buffer.MessageBuffer` — client-side buffering
+  with size/interval/hybrid flush strategies ("provenance messages are
+  buffered in-memory and streamed asynchronously in bulk");
+* :class:`~repro.messaging.federation.FederatedHub` — several brokers
+  behind one facade, routed by topic prefix, for large ECH deployments.
+"""
+
+from repro.messaging.message import Envelope
+from repro.messaging.broker import (
+    Broker,
+    BrokerProfile,
+    InProcessBroker,
+    KAFKA_LIKE,
+    MOFKA_LIKE,
+    REDIS_LIKE,
+    Subscription,
+)
+from repro.messaging.buffer import (
+    FlushStrategy,
+    HybridFlush,
+    IntervalFlush,
+    MessageBuffer,
+    SizeFlush,
+)
+from repro.messaging.federation import FederatedHub
+from repro.messaging.pubsub import topic_matches
+
+__all__ = [
+    "Envelope",
+    "Broker",
+    "BrokerProfile",
+    "InProcessBroker",
+    "Subscription",
+    "REDIS_LIKE",
+    "KAFKA_LIKE",
+    "MOFKA_LIKE",
+    "FlushStrategy",
+    "SizeFlush",
+    "IntervalFlush",
+    "HybridFlush",
+    "MessageBuffer",
+    "FederatedHub",
+    "topic_matches",
+]

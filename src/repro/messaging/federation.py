@@ -1,0 +1,81 @@
+"""Federated streaming hub.
+
+Large ECH deployments can run several brokers "tailored to specific
+performance and reliability needs" (paper §2.3): e.g. a Mofka-like hub
+inside the HPC fabric and a Redis-like hub for edge services.  The
+federation routes publishes by topic prefix and fans subscriptions out
+to every member, presenting the combined system as a single hub.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import TopicError
+from repro.messaging.broker import Broker, Subscription
+from repro.messaging.message import Envelope
+
+__all__ = ["FederatedHub"]
+
+
+class FederatedHub(Broker):
+    """Multiple brokers behind a single Broker facade.
+
+    Routes are ``(topic_prefix, broker)`` pairs checked in registration
+    order; the first matching prefix wins.  A default broker handles
+    everything unrouted.
+    """
+
+    def __init__(self, default: Broker):
+        self.default = default
+        self._routes: list[tuple[str, Broker]] = []
+
+    def add_route(self, topic_prefix: str, broker: Broker) -> None:
+        if not topic_prefix:
+            raise TopicError("empty topic prefix")
+        self._routes.append((topic_prefix, broker))
+
+    def route_for(self, topic: str) -> Broker:
+        for prefix, broker in self._routes:
+            if topic == prefix or topic.startswith(prefix + "."):
+                return broker
+        return self.default
+
+    def members(self) -> list[Broker]:
+        seen: list[Broker] = []
+        for _, b in self._routes:
+            if b not in seen:
+                seen.append(b)
+        if self.default not in seen:
+            seen.append(self.default)
+        return seen
+
+    # -- Broker interface -------------------------------------------------------
+    def publish(self, topic: str, payload: Mapping[str, Any], **headers: Any) -> Envelope:
+        return self.route_for(topic).publish(topic, payload, **headers)
+
+    def publish_batch(
+        self, topic: str, payloads: Iterable[Mapping[str, Any]]
+    ) -> list[Envelope]:
+        return self.route_for(topic).publish_batch(topic, payloads)
+
+    def subscribe(
+        self, pattern: str, callback: Callable[[Envelope], None]
+    ) -> Subscription:
+        # Fan out to every member; the returned handle wraps them all.
+        subs = [b.subscribe(pattern, callback) for b in self.members()]
+        handle = Subscription(pattern, callback, sid=-1)
+        handle.fanout = subs  # type: ignore[attr-defined]
+        handle.brokers = self.members()  # type: ignore[attr-defined]
+        return handle
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        for broker, sub in zip(
+            getattr(subscription, "brokers", []),
+            getattr(subscription, "fanout", []),
+        ):
+            broker.unsubscribe(sub)
+
+    def close(self) -> None:
+        for b in self.members():
+            b.close()

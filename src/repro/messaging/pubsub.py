@@ -1,0 +1,47 @@
+"""Topic pattern matching.
+
+Topics are dot-separated segments (``provenance.task``,
+``provenance.anomaly``).  Subscriptions may use ``*`` to match exactly
+one segment and ``#`` to match any remaining suffix (RabbitMQ-style),
+so ``provenance.#`` receives every provenance message.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopicError
+
+__all__ = ["topic_matches", "validate_topic", "validate_pattern"]
+
+
+def validate_topic(topic: str) -> None:
+    if not topic or any(not seg for seg in topic.split(".")):
+        raise TopicError(f"invalid topic {topic!r}")
+    if "*" in topic or "#" in topic:
+        raise TopicError(f"topic {topic!r} must not contain wildcards")
+
+
+def validate_pattern(pattern: str) -> None:
+    if not pattern:
+        raise TopicError("empty pattern")
+    segs = pattern.split(".")
+    if any(not seg for seg in segs):
+        raise TopicError(f"invalid pattern {pattern!r}")
+    if "#" in segs[:-1]:
+        raise TopicError(f"'#' may only appear as the final segment: {pattern!r}")
+    for seg in segs:
+        if len(seg) > 1 and ("*" in seg or "#" in seg):
+            raise TopicError(f"wildcards must be whole segments: {pattern!r}")
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """True when ``topic`` is covered by ``pattern``."""
+    p_segs = pattern.split(".")
+    t_segs = topic.split(".")
+    for i, p in enumerate(p_segs):
+        if p == "#":
+            return True
+        if i >= len(t_segs):
+            return False
+        if p != "*" and p != t_segs[i]:
+            return False
+    return len(p_segs) == len(t_segs)

@@ -1,0 +1,292 @@
+"""Backend-agnostic in-memory provenance document store.
+
+The reference architecture supports MongoDB / LMDB / Neo4j backends; the
+agent only needs the *Query API surface*, so one faithful in-memory
+backend exercises every path: Mongo-style filter documents (OLTP
+targeted lookups), a small aggregation pipeline (OLAP), and upserts keyed
+by ``task_id`` so RUNNING -> FINISHED updates collapse into one record.
+
+Filter documents support::
+
+    {"status": "FINISHED"}                      # implicit $eq
+    {"duration": {"$gt": 2.0, "$lte": 10.0}}    # range operators
+    {"activity_id": {"$in": ["run_dft"]}}       # membership
+    {"generated.bond_id": {"$regex": "C-H"}}    # dotted paths + regex
+    {"ended_at": {"$exists": False}}            # presence
+
+Aggregation pipelines support ``$match``, ``$group`` (with ``$sum``,
+``$avg``, ``$min``, ``$max``, ``$count``), ``$sort``, ``$limit``,
+``$project``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import DatabaseError
+
+__all__ = ["ProvenanceDatabase", "get_path"]
+
+
+def get_path(doc: Mapping[str, Any], path: str) -> Any:
+    """Resolve a dotted path inside a nested document (None if absent)."""
+    cur: Any = doc
+    for part in path.split("."):
+        if isinstance(cur, Mapping) and part in cur:
+            cur = cur[part]
+        else:
+            return None
+    return cur
+
+
+def _path_exists(doc: Mapping[str, Any], path: str) -> bool:
+    cur: Any = doc
+    for part in path.split("."):
+        if isinstance(cur, Mapping) and part in cur:
+            cur = cur[part]
+        else:
+            return False
+    return True
+
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda v, arg: v == arg,
+    "$ne": lambda v, arg: v != arg,
+    "$gt": lambda v, arg: v is not None and v > arg,
+    "$gte": lambda v, arg: v is not None and v >= arg,
+    "$lt": lambda v, arg: v is not None and v < arg,
+    "$lte": lambda v, arg: v is not None and v <= arg,
+    "$in": lambda v, arg: v in arg,
+    "$nin": lambda v, arg: v not in arg,
+    "$regex": lambda v, arg: isinstance(v, str) and re.search(arg, v) is not None,
+}
+
+
+def _matches(doc: Mapping[str, Any], filt: Mapping[str, Any]) -> bool:
+    for path, cond in filt.items():
+        if path == "$or":
+            if not any(_matches(doc, sub) for sub in cond):
+                return False
+            continue
+        if path == "$and":
+            if not all(_matches(doc, sub) for sub in cond):
+                return False
+            continue
+        value = get_path(doc, path)
+        if isinstance(cond, Mapping) and any(k.startswith("$") for k in cond):
+            for op, arg in cond.items():
+                if op == "$exists":
+                    if _path_exists(doc, path) != bool(arg):
+                        return False
+                    continue
+                fn = _OPERATORS.get(op)
+                if fn is None:
+                    raise DatabaseError(f"unknown operator {op!r}")
+                try:
+                    if not fn(value, arg):
+                        return False
+                except TypeError:
+                    return False
+        else:
+            if value != cond:
+                return False
+    return True
+
+
+_ACCUMULATORS = {
+    "$sum": lambda vals: sum(v for v in vals if isinstance(v, (int, float))),
+    "$avg": lambda vals: (
+        (lambda nums: sum(nums) / len(nums) if nums else None)(
+            [v for v in vals if isinstance(v, (int, float))]
+        )
+    ),
+    "$min": lambda vals: min((v for v in vals if v is not None), default=None),
+    "$max": lambda vals: max((v for v in vals if v is not None), default=None),
+    "$count": lambda vals: sum(1 for v in vals if v is not None),
+    "$first": lambda vals: next(iter(vals), None),
+}
+
+
+class ProvenanceDatabase:
+    """Thread-safe in-memory document collection."""
+
+    def __init__(self) -> None:
+        self._docs: list[dict[str, Any]] = []
+        self._by_key: dict[str, int] = {}
+        self._lock = threading.RLock()
+
+    # -- writes -----------------------------------------------------------------
+    def insert(self, doc: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._docs.append(dict(doc))
+
+    def insert_many(self, docs: Iterable[Mapping[str, Any]]) -> int:
+        with self._lock:
+            n = 0
+            for d in docs:
+                self._docs.append(dict(d))
+                n += 1
+            return n
+
+    def upsert(self, doc: Mapping[str, Any], key_field: str = "task_id") -> bool:
+        """Insert or replace by key; returns True when it replaced.
+
+        Later lifecycle messages for the same task (RUNNING then
+        FINISHED) collapse into the freshest record, merging fields so a
+        FINISHED update cannot erase telemetry captured at start.
+        """
+        key = doc.get(key_field)
+        if key is None:
+            raise DatabaseError(f"upsert requires {key_field!r} in the document")
+        with self._lock:
+            idx = self._by_key.get(str(key))
+            if idx is None:
+                self._by_key[str(key)] = len(self._docs)
+                self._docs.append(dict(doc))
+                return False
+            merged = dict(self._docs[idx])
+            for k, v in doc.items():
+                if v is not None or k not in merged:
+                    merged[k] = v
+            self._docs[idx] = merged
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._docs.clear()
+            self._by_key.clear()
+
+    # -- reads ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._docs)
+
+    def all(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [dict(d) for d in self._docs]
+
+    def find(
+        self,
+        filt: Mapping[str, Any] | None = None,
+        *,
+        sort: list[tuple[str, int]] | None = None,
+        limit: int | None = None,
+        projection: list[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        with self._lock:
+            docs = [d for d in self._docs if _matches(d, filt or {})]
+        if sort:
+            for path, direction in reversed(sort):
+                _sort_docs(docs, path, direction)
+        if limit is not None:
+            docs = docs[: max(0, limit)]
+        if projection:
+            docs = [{p: get_path(d, p) for p in projection} for d in docs]
+        else:
+            docs = [dict(d) for d in docs]
+        return docs
+
+    def find_one(self, filt: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
+        out = self.find(filt, limit=1)
+        return out[0] if out else None
+
+    def count(self, filt: Mapping[str, Any] | None = None) -> int:
+        with self._lock:
+            return sum(1 for d in self._docs if _matches(d, filt or {}))
+
+    def distinct(self, path: str, filt: Mapping[str, Any] | None = None) -> list[Any]:
+        seen: dict[Any, None] = {}
+        with self._lock:
+            for d in self._docs:
+                if _matches(d, filt or {}):
+                    v = get_path(d, path)
+                    if v is not None:
+                        try:
+                            seen.setdefault(v, None)
+                        except TypeError:
+                            seen.setdefault(repr(v), None)
+        return list(seen)
+
+    # -- aggregation -----------------------------------------------------------------
+    def aggregate(self, pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        docs = self.all()
+        for stage in pipeline:
+            if len(stage) != 1:
+                raise DatabaseError(f"each stage must have exactly one key: {stage}")
+            op, arg = next(iter(stage.items()))
+            if op == "$match":
+                docs = [d for d in docs if _matches(d, arg)]
+            elif op == "$group":
+                docs = self._group(docs, arg)
+            elif op == "$sort":
+                for path, direction in reversed(list(arg.items())):
+                    _sort_docs(docs, path, direction)
+            elif op == "$limit":
+                docs = docs[: max(0, int(arg))]
+            elif op == "$project":
+                docs = [{p: get_path(d, p) for p in arg} for d in docs]
+            elif op == "$count":
+                docs = [{str(arg): len(docs)}]
+            else:
+                raise DatabaseError(f"unknown pipeline stage {op!r}")
+        return docs
+
+    @staticmethod
+    def _group(
+        docs: list[dict[str, Any]], spec: Mapping[str, Any]
+    ) -> list[dict[str, Any]]:
+        if "_id" not in spec:
+            raise DatabaseError("$group requires an _id expression")
+        id_expr = spec["_id"]
+        groups: dict[Any, list[dict[str, Any]]] = {}
+        order: list[Any] = []
+        for d in docs:
+            key = get_path(d, id_expr[1:]) if isinstance(id_expr, str) and id_expr.startswith("$") else id_expr
+            try:
+                hash(key)
+            except TypeError:
+                key = repr(key)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(d)
+        out = []
+        for key in order:
+            row: dict[str, Any] = {"_id": key}
+            for field_name, acc_spec in spec.items():
+                if field_name == "_id":
+                    continue
+                if not isinstance(acc_spec, Mapping) or len(acc_spec) != 1:
+                    raise DatabaseError(f"bad accumulator for {field_name!r}")
+                acc_op, acc_arg = next(iter(acc_spec.items()))
+                fn = _ACCUMULATORS.get(acc_op)
+                if fn is None:
+                    raise DatabaseError(f"unknown accumulator {acc_op!r}")
+                if isinstance(acc_arg, str) and acc_arg.startswith("$"):
+                    vals = [get_path(d, acc_arg[1:]) for d in groups[key]]
+                else:
+                    vals = [acc_arg for _ in groups[key]]
+                row[field_name] = fn(vals)
+            out.append(row)
+        return out
+
+
+def _sort_docs(docs: list[dict[str, Any]], path: str, direction: int) -> None:
+    """Stable in-place sort on a dotted path; nulls last in both directions."""
+
+    def value_key(d: dict[str, Any]):
+        v = get_path(d, path)
+        return v if isinstance(v, (int, float, str)) else repr(v)
+
+    def has_value(d: dict[str, Any]) -> bool:
+        return get_path(d, path) is not None
+
+    with_value = [d for d in docs if has_value(d)]
+    without = [d for d in docs if not has_value(d)]
+    try:
+        with_value.sort(key=value_key, reverse=direction < 0)
+    except TypeError:  # mixed types: fall back to string ordering
+        with_value.sort(key=lambda d: str(value_key(d)), reverse=direction < 0)
+    docs[:] = with_value + without

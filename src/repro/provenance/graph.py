@@ -1,0 +1,139 @@
+"""Graph view over stored task provenance for traversal queries.
+
+OLAP queries over control flow and dataflow need "graph traversal to
+analyze multi-step dependencies or causal chains" (paper §2.1).  This
+module builds a networkx DiGraph from the task collection:
+
+* task -> task edges follow explicit ``used``/``generated`` value links
+  (a task consuming a value another task produced) and parent links the
+  workflow engine records (``used._upstream``);
+* lineage (ancestors) and impact (descendants) walks answer the
+  multi-hop causal questions DataFrames cannot easily express (§5.4
+  names this an open challenge for the in-memory path — the database
+  path supports it here).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import networkx as nx
+
+from repro.errors import ProvenanceError
+from repro.provenance.database import ProvenanceDatabase, get_path
+
+__all__ = ["ProvenanceGraph"]
+
+UPSTREAM_FIELD = "_upstream"  # capture layer records parent task ids here
+
+
+class ProvenanceGraph:
+    """Task-dependency graph derived from provenance records."""
+
+    def __init__(self, docs: Iterable[Mapping[str, Any]]):
+        self.graph = nx.DiGraph()
+        docs = list(docs)
+        for d in docs:
+            tid = d.get("task_id")
+            if not tid:
+                continue
+            self.graph.add_node(
+                tid,
+                activity_id=d.get("activity_id"),
+                workflow_id=d.get("workflow_id"),
+                status=d.get("status"),
+            )
+        # explicit upstream links
+        for d in docs:
+            tid = d.get("task_id")
+            upstream = get_path(d, f"used.{UPSTREAM_FIELD}") or []
+            if isinstance(upstream, str):
+                upstream = [upstream]
+            for parent in upstream:
+                if parent in self.graph and tid in self.graph:
+                    self.graph.add_edge(parent, tid, kind="control")
+        # implicit dataflow links: matching generated/used scalar values
+        producers: dict[Any, list[str]] = {}
+        for d in docs:
+            for name, value in (d.get("generated") or {}).items():
+                key = _value_key(name, value)
+                if key is not None:
+                    producers.setdefault(key, []).append(d["task_id"])
+        for d in docs:
+            tid = d.get("task_id")
+            for name, value in (d.get("used") or {}).items():
+                if name == UPSTREAM_FIELD:
+                    continue
+                key = _value_key(name, value)
+                for producer in producers.get(key, ()):  # type: ignore[arg-type]
+                    if producer != tid:
+                        self.graph.add_edge(producer, tid, kind="data")
+
+    @classmethod
+    def from_database(
+        cls, db: ProvenanceDatabase, filt: Mapping[str, Any] | None = None
+    ) -> "ProvenanceGraph":
+        return cls(db.find(filt))
+
+    # -- traversal --------------------------------------------------------------
+    def _check(self, task_id: str) -> None:
+        if task_id not in self.graph:
+            raise ProvenanceError(f"unknown task {task_id!r}")
+
+    def upstream(self, task_id: str) -> set[str]:
+        """All ancestor tasks (the causal chain that led here)."""
+        self._check(task_id)
+        return set(nx.ancestors(self.graph, task_id))
+
+    def downstream(self, task_id: str) -> set[str]:
+        """All descendant tasks (everything this task influenced)."""
+        self._check(task_id)
+        return set(nx.descendants(self.graph, task_id))
+
+    def parents(self, task_id: str) -> list[str]:
+        self._check(task_id)
+        return list(self.graph.predecessors(task_id))
+
+    def children(self, task_id: str) -> list[str]:
+        self._check(task_id)
+        return list(self.graph.successors(task_id))
+
+    def causal_chain(self, source: str, target: str) -> list[str] | None:
+        """Shortest dependency path, or None when unrelated."""
+        self._check(source)
+        self._check(target)
+        try:
+            return nx.shortest_path(self.graph, source, target)
+        except nx.NetworkXNoPath:
+            return None
+
+    def roots(self) -> list[str]:
+        return [n for n in self.graph.nodes if self.graph.in_degree(n) == 0]
+
+    def leaves(self) -> list[str]:
+        return [n for n in self.graph.nodes if self.graph.out_degree(n) == 0]
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def critical_path(self) -> list[str]:
+        """Longest chain of dependent tasks (DAG only)."""
+        if not self.is_acyclic():
+            raise ProvenanceError("critical path requires an acyclic graph")
+        if len(self.graph) == 0:
+            return []
+        return nx.dag_longest_path(self.graph)
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+
+def _value_key(name: str, value: Any):
+    """Hashable identity for value-linking; None for unlinkable payloads."""
+    if isinstance(value, (str, int, float, bool)):
+        if isinstance(value, bool) or value is None:
+            return None  # too common to be a meaningful link
+        if isinstance(value, (int, float)) and value in (0, 1, -1):
+            return None
+        return (name, value)
+    return None

@@ -1,0 +1,122 @@
+"""Provenance Keeper: hub subscriber -> unified schema -> database.
+
+"One or more distributed Provenance Keeper services subscribe to the
+streaming hub, convert incoming messages into a unified workflow
+provenance schema based on a W3C PROV extension, and store them in a
+backend-agnostic provenance database" (paper §2.3).
+
+The keeper: validates and normalises raw payloads into
+:class:`TaskProvenanceMessage` form, upserts them into the database
+(lifecycle updates collapse per ``task_id``), and incrementally grows a
+:class:`ProvDocument` with activities, the used/generated entities, and
+agent associations for the agent's own records.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.errors import SchemaViolationError
+from repro.messaging.broker import Broker, Subscription
+from repro.messaging.message import Envelope
+from repro.provenance.database import ProvenanceDatabase
+from repro.provenance.messages import TaskProvenanceMessage
+from repro.provenance.prov import ProvDocument, RelationKind
+
+__all__ = ["ProvenanceKeeper"]
+
+#: Topic the capture layer publishes task messages to.
+TASK_TOPIC = "provenance.task"
+#: Topic the anomaly detector republishes tagged messages to.
+ANOMALY_TOPIC = "provenance.anomaly"
+
+
+class ProvenanceKeeper:
+    """Consumes provenance messages and persists them."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        database: ProvenanceDatabase | None = None,
+        *,
+        keeper_id: str = "keeper-0",
+        pattern: str = "provenance.#",
+        build_prov_document: bool = True,
+    ):
+        self.keeper_id = keeper_id
+        self.broker = broker
+        self.database = database or ProvenanceDatabase()
+        self.prov = ProvDocument() if build_prov_document else None
+        self._subscription: Subscription | None = None
+        self._pattern = pattern
+        self._lock = threading.Lock()
+        self.processed_count = 0
+        self.rejected: list[tuple[Mapping[str, Any], str]] = []
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self) -> None:
+        if self._subscription is None:
+            self._subscription = self.broker.subscribe(self._pattern, self._on_message)
+
+    def stop(self) -> None:
+        if self._subscription is not None:
+            self.broker.unsubscribe(self._subscription)
+            self._subscription = None
+
+    def __enter__(self) -> "ProvenanceKeeper":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- ingestion ----------------------------------------------------------------
+    def _on_message(self, envelope: Envelope) -> None:
+        self.ingest(envelope.payload)
+
+    def ingest(self, payload: Mapping[str, Any]) -> bool:
+        """Normalise and store one raw payload; False if it was rejected."""
+        msg = TaskProvenanceMessage.from_dict(payload)
+        try:
+            msg.validate()
+        except SchemaViolationError as exc:
+            with self._lock:
+                self.rejected.append((dict(payload), str(exc)))
+            return False
+        with self._lock:
+            self.database.upsert(msg.to_dict(), key_field="task_id")
+            if self.prov is not None:
+                self._record_prov(msg)
+            self.processed_count += 1
+        return True
+
+    # -- PROV projection -------------------------------------------------------------
+    def _record_prov(self, msg: TaskProvenanceMessage) -> None:
+        assert self.prov is not None
+        act_id = msg.task_id
+        self.prov.add_activity(
+            act_id,
+            started_at=msg.started_at,
+            ended_at=msg.ended_at,
+            activity=msg.activity_id,
+            record_type=msg.type,
+        )
+        for name, value in msg.used.items():
+            ent = f"{act_id}/used/{name}"
+            self.prov.add_entity(ent, name=name, value=_compact(value))
+            self.prov.used(act_id, ent)
+        for name, value in msg.generated.items():
+            ent = f"{act_id}/generated/{name}"
+            self.prov.add_entity(ent, name=name, value=_compact(value))
+            self.prov.was_generated_by(ent, act_id)
+        if msg.agent_id:
+            self.prov.add_agent(msg.agent_id, agent_type="ai-agent")
+            self.prov.was_associated_with(act_id, msg.agent_id)
+        if msg.informed_by and msg.informed_by in self.prov:
+            self.prov.relate(RelationKind.WAS_INFORMED_BY, act_id, msg.informed_by)
+
+
+def _compact(value: Any, limit: int = 120) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 1] + "…"

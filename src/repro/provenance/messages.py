@@ -1,0 +1,224 @@
+"""The common workflow-task provenance message schema (paper Listing 1).
+
+Every capture mechanism — decorators, adapters, the agent's own tool
+recorder — emits this shape onto the streaming hub; every consumer
+(Keeper, Context Manager) understands it.  Application-specific data
+live under ``used`` (inputs/parameters) and ``generated`` (outputs),
+exactly as the W3C PROV verbs suggest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.dataframe import flatten_record
+from repro.errors import SchemaViolationError
+
+
+class TaskStatus(str, enum.Enum):
+    SUBMITTED = "SUBMITTED"
+    RUNNING = "RUNNING"
+    FINISHED = "FINISHED"
+    FAILED = "FAILED"
+
+
+#: Descriptions of fields common to all tasks.  These are *statically*
+#: included in the agent's dynamic dataflow schema (paper §4.2) so
+#: queries over campaign/workflow/activity identifiers always resolve.
+COMMON_FIELDS: dict[str, dict[str, str]] = {
+    "task_id": {
+        "type": "str",
+        "description": "Unique task execution id (timestamp-derived).",
+    },
+    "campaign_id": {
+        "type": "str",
+        "description": "Groups related workflow runs into one campaign.",
+    },
+    "workflow_id": {
+        "type": "str",
+        "description": "Identifies one workflow execution (run).",
+    },
+    "activity_id": {
+        "type": "str",
+        "description": "The workflow activity (step name) this task executes.",
+    },
+    "status": {
+        "type": "str",
+        "description": "Lifecycle state: SUBMITTED, RUNNING, FINISHED, or FAILED.",
+    },
+    "hostname": {
+        "type": "str",
+        "description": "Compute node where the task ran (scheduling placement).",
+    },
+    "started_at": {
+        "type": "float",
+        "description": "Start timestamp in epoch seconds; use for time-range filters.",
+    },
+    "ended_at": {
+        "type": "float",
+        "description": "End timestamp in epoch seconds (null while RUNNING).",
+    },
+    "duration": {
+        "type": "float",
+        "description": "ended_at - started_at in seconds (derived; null while RUNNING).",
+    },
+    "type": {
+        "type": "str",
+        "description": "Record type: task, workflow, tool_execution, or llm_interaction.",
+    },
+    "telemetry_at_start.cpu.percent": {
+        "type": "float",
+        "description": "Node CPU utilisation (%) sampled when the task started.",
+    },
+    "telemetry_at_end.cpu.percent": {
+        "type": "float",
+        "description": "Node CPU utilisation (%) sampled when the task ended.",
+    },
+    "telemetry_at_start.mem.percent": {
+        "type": "float",
+        "description": "Node memory utilisation (%) sampled when the task started.",
+    },
+    "telemetry_at_end.mem.percent": {
+        "type": "float",
+        "description": "Node memory utilisation (%) sampled when the task ended.",
+    },
+}
+
+_REQUIRED = ("task_id", "workflow_id", "activity_id", "status", "type")
+
+#: Record types, extending plain tasks with the agent's own actions (§4.2).
+RECORD_TYPES = ("task", "workflow", "tool_execution", "llm_interaction")
+
+
+@dataclass
+class TaskProvenanceMessage:
+    """One task-provenance record (the paper's Listing 1).
+
+    ``used`` and ``generated`` carry the application-specific dataflow;
+    everything else is the common schema.
+    """
+
+    task_id: str
+    campaign_id: str
+    workflow_id: str
+    activity_id: str
+    used: dict[str, Any] = field(default_factory=dict)
+    generated: dict[str, Any] = field(default_factory=dict)
+    started_at: float | None = None
+    ended_at: float | None = None
+    hostname: str = ""
+    telemetry_at_start: dict[str, Any] = field(default_factory=dict)
+    telemetry_at_end: dict[str, Any] = field(default_factory=dict)
+    status: str = TaskStatus.SUBMITTED.value
+    type: str = "task"
+    agent_id: str | None = None
+    informed_by: str | None = None
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    # -- validation ------------------------------------------------------------
+    def validate(self) -> None:
+        doc = self.to_dict()
+        for key in _REQUIRED:
+            if not doc.get(key):
+                raise SchemaViolationError(f"missing required field {key!r}")
+        if self.type not in RECORD_TYPES:
+            raise SchemaViolationError(
+                f"unknown record type {self.type!r}; expected one of {RECORD_TYPES}"
+            )
+        if self.status not in TaskStatus.__members__:
+            raise SchemaViolationError(f"unknown status {self.status!r}")
+        if (
+            self.started_at is not None
+            and self.ended_at is not None
+            and self.ended_at < self.started_at
+        ):
+            raise SchemaViolationError(
+                f"task {self.task_id}: ended_at precedes started_at"
+            )
+        if not isinstance(self.used, Mapping) or not isinstance(
+            self.generated, Mapping
+        ):
+            raise SchemaViolationError("used/generated must be mappings")
+
+    # -- derived --------------------------------------------------------------
+    @property
+    def duration(self) -> float | None:
+        if self.started_at is None or self.ended_at is None:
+            return None
+        return self.ended_at - self.started_at
+
+    # -- conversions ------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        doc = {
+            "task_id": self.task_id,
+            "campaign_id": self.campaign_id,
+            "workflow_id": self.workflow_id,
+            "activity_id": self.activity_id,
+            "used": dict(self.used),
+            "generated": dict(self.generated),
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "duration": self.duration,
+            "hostname": self.hostname,
+            "telemetry_at_start": dict(self.telemetry_at_start),
+            "telemetry_at_end": dict(self.telemetry_at_end),
+            "status": self.status,
+            "type": self.type,
+        }
+        if self.agent_id:
+            doc["agent_id"] = self.agent_id
+        if self.informed_by:
+            doc["informed_by"] = self.informed_by
+        if self.tags:
+            doc["tags"] = dict(self.tags)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TaskProvenanceMessage":
+        known = {
+            "task_id",
+            "campaign_id",
+            "workflow_id",
+            "activity_id",
+            "used",
+            "generated",
+            "started_at",
+            "ended_at",
+            "hostname",
+            "telemetry_at_start",
+            "telemetry_at_end",
+            "status",
+            "type",
+            "agent_id",
+            "informed_by",
+            "tags",
+        }
+        msg = cls(
+            task_id=str(doc.get("task_id", "")),
+            campaign_id=str(doc.get("campaign_id", "")),
+            workflow_id=str(doc.get("workflow_id", "")),
+            activity_id=str(doc.get("activity_id", "")),
+            used=dict(doc.get("used") or {}),
+            generated=dict(doc.get("generated") or {}),
+            started_at=doc.get("started_at"),
+            ended_at=doc.get("ended_at"),
+            hostname=str(doc.get("hostname", "")),
+            telemetry_at_start=dict(doc.get("telemetry_at_start") or {}),
+            telemetry_at_end=dict(doc.get("telemetry_at_end") or {}),
+            status=str(doc.get("status", TaskStatus.SUBMITTED.value)),
+            type=str(doc.get("type", "task")),
+            agent_id=doc.get("agent_id"),
+            informed_by=doc.get("informed_by"),
+            tags=dict(doc.get("tags") or {}),
+        )
+        # preserve unknown top-level keys as tags so nothing is silently lost
+        for key, value in doc.items():
+            if key not in known and key != "duration":
+                msg.tags[key] = value
+        return msg
+
+    def flatten(self) -> dict[str, Any]:
+        """Dot-flattened form for the agent's in-memory context frame."""
+        return flatten_record(self.to_dict())

@@ -1,0 +1,246 @@
+"""W3C PROV extension: entities, activities, agents, and relations.
+
+The keeper converts task messages into this model (paper §2.3: "a
+unified workflow provenance schema based on a W3C PROV extension"), and
+the agent records its own tool executions and LLM interactions with the
+same vocabulary (§4.2):
+
+* tool executions are ``prov:Activity`` subclass records,
+* LLM interactions likewise, linked to the initiating tool execution via
+  ``prov:wasInformedBy``,
+* the agent itself is a ``prov:Agent``; its actions link to it via
+  ``prov:wasAssociatedWith``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import networkx as nx
+
+from repro.errors import ProvenanceError
+
+__all__ = [
+    "ProvEntity",
+    "ProvActivity",
+    "ProvAgent",
+    "Relation",
+    "RelationKind",
+    "ProvDocument",
+]
+
+
+class RelationKind(str, enum.Enum):
+    USED = "used"
+    WAS_GENERATED_BY = "wasGeneratedBy"
+    WAS_INFORMED_BY = "wasInformedBy"
+    WAS_ASSOCIATED_WITH = "wasAssociatedWith"
+    WAS_ATTRIBUTED_TO = "wasAttributedTo"
+    WAS_DERIVED_FROM = "wasDerivedFrom"
+
+
+#: Which (subject kind, object kind) pairs each relation admits.
+_DOMAINS: dict[RelationKind, tuple[str, str]] = {
+    RelationKind.USED: ("activity", "entity"),
+    RelationKind.WAS_GENERATED_BY: ("entity", "activity"),
+    RelationKind.WAS_INFORMED_BY: ("activity", "activity"),
+    RelationKind.WAS_ASSOCIATED_WITH: ("activity", "agent"),
+    RelationKind.WAS_ATTRIBUTED_TO: ("entity", "agent"),
+    RelationKind.WAS_DERIVED_FROM: ("entity", "entity"),
+}
+
+
+@dataclass(frozen=True)
+class ProvEntity:
+    """A data item (prov:Entity): parameter value, file, result record."""
+
+    entity_id: str
+    attributes: tuple[tuple[str, Any], ...] = ()
+
+    kind = "entity"
+
+
+@dataclass(frozen=True)
+class ProvActivity:
+    """Something that happened (prov:Activity): a task, tool call, LLM call."""
+
+    activity_id: str
+    started_at: float | None = None
+    ended_at: float | None = None
+    attributes: tuple[tuple[str, Any], ...] = ()
+
+    kind = "activity"
+
+
+@dataclass(frozen=True)
+class ProvAgent:
+    """Something responsible for activities (prov:Agent): user, AI agent."""
+
+    agent_id: str
+    agent_type: str = "software"
+    attributes: tuple[tuple[str, Any], ...] = ()
+
+    kind = "agent"
+
+
+@dataclass(frozen=True)
+class Relation:
+    kind: RelationKind
+    subject: str
+    obj: str
+
+
+class ProvDocument:
+    """A typed PROV graph with validation and traversal helpers."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, ProvEntity | ProvActivity | ProvAgent] = {}
+        self._relations: list[Relation] = []
+
+    # -- nodes -----------------------------------------------------------------
+    def add_entity(self, entity_id: str, **attributes: Any) -> ProvEntity:
+        node = ProvEntity(entity_id, tuple(sorted(attributes.items())))
+        return self._add(node)
+
+    def add_activity(
+        self,
+        activity_id: str,
+        started_at: float | None = None,
+        ended_at: float | None = None,
+        **attributes: Any,
+    ) -> ProvActivity:
+        node = ProvActivity(
+            activity_id, started_at, ended_at, tuple(sorted(attributes.items()))
+        )
+        return self._add(node)
+
+    def add_agent(self, agent_id: str, agent_type: str = "software", **attributes: Any) -> ProvAgent:
+        node = ProvAgent(agent_id, agent_type, tuple(sorted(attributes.items())))
+        return self._add(node)
+
+    def _add(self, node):
+        existing = self._nodes.get(_node_id(node))
+        if existing is not None and existing.kind != node.kind:
+            raise ProvenanceError(
+                f"id {_node_id(node)!r} already registered as {existing.kind}"
+            )
+        self._nodes[_node_id(node)] = node
+        return node
+
+    def get(self, node_id: str):
+        return self._nodes.get(node_id)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- relations --------------------------------------------------------------
+    def relate(self, kind: RelationKind | str, subject: str, obj: str) -> Relation:
+        kind = RelationKind(kind)
+        sub_kind, obj_kind = _DOMAINS[kind]
+        sub_node = self._nodes.get(subject)
+        obj_node = self._nodes.get(obj)
+        if sub_node is None or obj_node is None:
+            missing = subject if sub_node is None else obj
+            raise ProvenanceError(f"relation references unknown node {missing!r}")
+        if sub_node.kind != sub_kind or obj_node.kind != obj_kind:
+            raise ProvenanceError(
+                f"{kind.value} requires ({sub_kind} -> {obj_kind}), got "
+                f"({sub_node.kind} -> {obj_node.kind})"
+            )
+        rel = Relation(kind, subject, obj)
+        self._relations.append(rel)
+        return rel
+
+    def relations(self, kind: RelationKind | None = None) -> list[Relation]:
+        if kind is None:
+            return list(self._relations)
+        return [r for r in self._relations if r.kind == kind]
+
+    # -- convenience vocabulary -----------------------------------------------------
+    def used(self, activity: str, entity: str) -> Relation:
+        return self.relate(RelationKind.USED, activity, entity)
+
+    def was_generated_by(self, entity: str, activity: str) -> Relation:
+        return self.relate(RelationKind.WAS_GENERATED_BY, entity, activity)
+
+    def was_informed_by(self, later: str, earlier: str) -> Relation:
+        return self.relate(RelationKind.WAS_INFORMED_BY, later, earlier)
+
+    def was_associated_with(self, activity: str, agent: str) -> Relation:
+        return self.relate(RelationKind.WAS_ASSOCIATED_WITH, activity, agent)
+
+    # -- views -------------------------------------------------------------------------
+    def nodes(self, kind: str | None = None) -> list:
+        if kind is None:
+            return list(self._nodes.values())
+        return [n for n in self._nodes.values() if n.kind == kind]
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        g = nx.MultiDiGraph()
+        for node_id, node in self._nodes.items():
+            g.add_node(node_id, kind=node.kind)
+        for rel in self._relations:
+            g.add_edge(rel.subject, rel.obj, kind=rel.kind.value)
+        return g
+
+    def activities_of_agent(self, agent_id: str) -> list[str]:
+        return [
+            r.subject
+            for r in self._relations
+            if r.kind == RelationKind.WAS_ASSOCIATED_WITH and r.obj == agent_id
+        ]
+
+    def lineage_of_entity(self, entity_id: str, max_hops: int = 10) -> list[str]:
+        """Upstream chain: generating activity, its inputs, their generators, ..."""
+        if entity_id not in self._nodes:
+            raise ProvenanceError(f"unknown entity {entity_id!r}")
+        out: list[str] = []
+        frontier: list[tuple[str, int]] = [(entity_id, 0)]
+        seen = {entity_id}
+        gen_by = {}
+        used_by: dict[str, list[str]] = {}
+        for r in self._relations:
+            if r.kind == RelationKind.WAS_GENERATED_BY:
+                gen_by[r.subject] = r.obj
+            elif r.kind == RelationKind.USED:
+                used_by.setdefault(r.subject, []).append(r.obj)
+        while frontier:
+            node, hops = frontier.pop(0)
+            if hops >= max_hops:
+                continue
+            if node in gen_by:  # entity -> generating activity
+                nxt = gen_by[node]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    out.append(nxt)
+                    frontier.append((nxt, hops + 1))
+            for ent in used_by.get(node, ()):  # activity -> consumed entities
+                if ent not in seen:
+                    seen.add(ent)
+                    out.append(ent)
+                    frontier.append((ent, hops + 1))
+        return out
+
+    def validate(self) -> None:
+        """Re-check every relation's domain (cheap sanity pass)."""
+        for rel in self._relations:
+            sub = self._nodes.get(rel.subject)
+            obj = self._nodes.get(rel.obj)
+            if sub is None or obj is None:
+                raise ProvenanceError(f"dangling relation {rel}")
+            want = _DOMAINS[rel.kind]
+            if (sub.kind, obj.kind) != want:
+                raise ProvenanceError(f"ill-typed relation {rel}")
+
+
+def _node_id(node) -> str:
+    if isinstance(node, ProvEntity):
+        return node.entity_id
+    if isinstance(node, ProvActivity):
+        return node.activity_id
+    return node.agent_id

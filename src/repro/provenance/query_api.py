@@ -1,0 +1,84 @@
+"""Language-agnostic Query API over the provenance database.
+
+"Users can access provenance data through a language-agnostic Query API,
+either programmatically (e.g., via Jupyter), through dashboards such as
+Grafana, or ... via natural language" (paper §2.3).  The agent's post-hoc
+DB tool and the examples use this facade; it also converts result sets
+into the mini-DataFrame so the same query IR can execute over historical
+data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.dataframe import DataFrame
+from repro.provenance.database import ProvenanceDatabase
+from repro.provenance.graph import ProvenanceGraph
+
+__all__ = ["QueryAPI"]
+
+
+class QueryAPI:
+    """High-level read access to stored provenance."""
+
+    def __init__(self, database: ProvenanceDatabase):
+        self.database = database
+
+    # -- task-level reads -----------------------------------------------------
+    def tasks(
+        self,
+        filt: Mapping[str, Any] | None = None,
+        *,
+        sort: list[tuple[str, int]] | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        base = {"type": "task"}
+        if filt:
+            base.update(filt)
+        return self.database.find(base, sort=sort, limit=limit)
+
+    def task(self, task_id: str) -> dict[str, Any] | None:
+        return self.database.find_one({"task_id": task_id})
+
+    def workflows(self) -> list[str]:
+        return self.database.distinct("workflow_id")
+
+    def campaigns(self) -> list[str]:
+        return self.database.distinct("campaign_id")
+
+    def activities(self, workflow_id: str | None = None) -> list[str]:
+        filt = {"workflow_id": workflow_id} if workflow_id else None
+        return self.database.distinct("activity_id", filt)
+
+    def status_counts(self) -> dict[str, int]:
+        rows = self.database.aggregate(
+            [
+                {"$group": {"_id": "$status", "n": {"$sum": 1}}},
+            ]
+        )
+        return {r["_id"]: r["n"] for r in rows}
+
+    def failed_tasks(self) -> list[dict[str, Any]]:
+        return self.database.find({"status": "FAILED"})
+
+    def agent_interactions(self) -> list[dict[str, Any]]:
+        """Tool executions and LLM interactions the agent recorded (§4.2)."""
+        return self.database.find(
+            {"type": {"$in": ["tool_execution", "llm_interaction"]}}
+        )
+
+    # -- frame / graph views ------------------------------------------------------
+    def to_frame(self, filt: Mapping[str, Any] | None = None) -> DataFrame:
+        """Flattened DataFrame view so the query IR can run on history."""
+        docs = self.database.find(filt)
+        return DataFrame.from_records(docs, flatten=True)
+
+    def graph(self, filt: Mapping[str, Any] | None = None) -> ProvenanceGraph:
+        return ProvenanceGraph.from_database(self.database, filt)
+
+    def lineage(self, task_id: str) -> set[str]:
+        return self.graph().upstream(task_id)
+
+    def impact(self, task_id: str) -> set[str]:
+        return self.graph().downstream(task_id)

@@ -1,0 +1,78 @@
+"""Query intermediate representation (IR) for DataFrame query code.
+
+The provenance agent's LLM emits *pandas-style query code strings* (the
+paper's output-format strategy: "return the query, not the result", which
+keeps token usage independent of provenance volume).  This package defines:
+
+* :mod:`repro.query.ast` — a pipeline AST (filter/sort/head/groupby/agg/...)
+  with predicate trees;
+* :mod:`repro.query.render` — AST -> canonical pandas-like code string;
+* :mod:`repro.query.parser` — code string -> AST (tokeniser + recursive
+  descent; raises :class:`~repro.errors.QuerySyntaxError` on bad code);
+* :mod:`repro.query.executor` — AST -> result against a
+  :class:`~repro.dataframe.DataFrame`;
+* :mod:`repro.query.compare` — structural/semantic diff between two
+  queries, the shared core of rule-based scoring and the simulated
+  LLM-as-a-judge.
+"""
+
+from repro.query.ast import (
+    Agg,
+    And,
+    Between,
+    Compare,
+    DropDuplicates,
+    Field,
+    Filter,
+    GroupAgg,
+    Head,
+    IsIn,
+    IsNull,
+    Not,
+    NotNull,
+    Or,
+    Pipeline,
+    Project,
+    RowCount,
+    Sort,
+    StrContains,
+    StrEndsWith,
+    StrStartsWith,
+    Tail,
+    Unique,
+)
+from repro.query.parser import parse_query
+from repro.query.render import render_query
+from repro.query.executor import execute_query
+from repro.query.compare import QueryDiff, compare_queries
+
+__all__ = [
+    "Agg",
+    "And",
+    "Between",
+    "Compare",
+    "DropDuplicates",
+    "Field",
+    "Filter",
+    "GroupAgg",
+    "Head",
+    "IsIn",
+    "IsNull",
+    "Not",
+    "NotNull",
+    "Or",
+    "Pipeline",
+    "Project",
+    "RowCount",
+    "Sort",
+    "StrContains",
+    "StrEndsWith",
+    "StrStartsWith",
+    "Tail",
+    "Unique",
+    "parse_query",
+    "render_query",
+    "execute_query",
+    "compare_queries",
+    "QueryDiff",
+]

@@ -1,0 +1,114 @@
+"""Execute a query Pipeline against a DataFrame.
+
+The in-memory query tool and the post-hoc DB tool both funnel through
+:func:`execute_query`; the judges also use it for result-based
+(functional-equivalence) comparison.  Execution failures — e.g. a
+hallucinated column name — raise
+:class:`~repro.errors.QueryExecutionError`, which the agent surfaces in
+its GUI just like the paper's implementation shows runtime errors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+from repro.errors import (
+    ColumnNotFoundError,
+    DataFrameError,
+    QueryExecutionError,
+)
+from repro.query import ast as q
+
+__all__ = ["execute_query", "evaluate_predicate"]
+
+
+def evaluate_predicate(pred: q.Predicate, frame: DataFrame) -> np.ndarray:
+    """Evaluate a predicate tree to a boolean row mask."""
+    if isinstance(pred, q.Compare):
+        col = frame.column(pred.field.name)
+        op = pred.op
+        if op == "==":
+            return col == pred.value
+        if op == "!=":
+            return col != pred.value
+        if op == "<":
+            return col < pred.value
+        if op == "<=":
+            return col <= pred.value
+        if op == ">":
+            return col > pred.value
+        if op == ">=":
+            return col >= pred.value
+        raise QueryExecutionError(f"bad operator {op!r}")
+    if isinstance(pred, q.StrContains):
+        return frame.column(pred.field.name).str.contains(pred.pattern, case=pred.case)
+    if isinstance(pred, q.StrStartsWith):
+        return frame.column(pred.field.name).str.startswith(pred.prefix)
+    if isinstance(pred, q.StrEndsWith):
+        return frame.column(pred.field.name).str.endswith(pred.suffix)
+    if isinstance(pred, q.IsIn):
+        return frame.column(pred.field.name).isin(pred.values)
+    if isinstance(pred, q.Between):
+        return frame.column(pred.field.name).between(pred.low, pred.high)
+    if isinstance(pred, q.NotNull):
+        return frame.column(pred.field.name).notna()
+    if isinstance(pred, q.IsNull):
+        return frame.column(pred.field.name).isna()
+    if isinstance(pred, q.And):
+        return evaluate_predicate(pred.left, frame) & evaluate_predicate(
+            pred.right, frame
+        )
+    if isinstance(pred, q.Or):
+        return evaluate_predicate(pred.left, frame) | evaluate_predicate(
+            pred.right, frame
+        )
+    if isinstance(pred, q.Not):
+        return ~evaluate_predicate(pred.operand, frame)
+    raise QueryExecutionError(f"unknown predicate node {type(pred).__name__}")
+
+
+def execute_query(pipeline: q.Pipeline, frame: DataFrame) -> Any:
+    """Run the pipeline; returns a DataFrame, scalar, int, or list.
+
+    Raises
+    ------
+    QueryExecutionError
+        On missing columns, bad aggregations, or any frame-level failure;
+        the original error is chained as ``__cause__``.
+    """
+    current: Any = frame
+    try:
+        for step in pipeline.steps:
+            if isinstance(step, q.Filter):
+                current = current.filter(evaluate_predicate(step.predicate, current))
+            elif isinstance(step, q.Project):
+                current = current.select(list(step.columns))
+            elif isinstance(step, q.Sort):
+                current = current.sort_values(list(step.keys), list(step.ascending))
+            elif isinstance(step, q.Head):
+                current = current.head(step.n)
+            elif isinstance(step, q.Tail):
+                current = current.tail(step.n)
+            elif isinstance(step, q.GroupAgg):
+                gb = current.groupby(list(step.keys))
+                current = gb[step.column].agg(step.agg)
+            elif isinstance(step, q.Agg):
+                current = current.column(step.column).agg(step.agg)
+            elif isinstance(step, q.Unique):
+                current = current.column(step.column).unique()
+            elif isinstance(step, q.DropDuplicates):
+                current = current.drop_duplicates(
+                    subset=list(step.subset) or None
+                )
+            elif isinstance(step, q.RowCount):
+                current = len(current)
+            else:
+                raise QueryExecutionError(f"unknown step {type(step).__name__}")
+    except ColumnNotFoundError as exc:
+        raise QueryExecutionError(str(exc)) from exc
+    except DataFrameError as exc:
+        raise QueryExecutionError(str(exc)) from exc
+    return current

@@ -1,0 +1,131 @@
+"""Render a query AST to canonical pandas-like code.
+
+The renderer is the inverse of :mod:`repro.query.parser`:
+``parse_query(render_query(p)) == p`` for every valid pipeline (this
+round-trip is property-tested).  The generated surface syntax matches
+what the paper's agent displays in its GUI — plain chained DataFrame
+operations on a frame named ``df``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.query import ast as q
+
+__all__ = ["render_query", "render_predicate", "render_literal"]
+
+
+def render_literal(value: Any) -> str:
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if value is None:
+        return "None"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(render_literal(v) for v in value) + "]"
+    return repr(value)
+
+
+def _series(field: q.Field) -> str:
+    return f'df[{render_literal(field.name)}]'
+
+
+def render_predicate(pred: q.Predicate, *, top: bool = True) -> str:
+    """Render a predicate tree; nested boolean ops get parentheses."""
+    if isinstance(pred, q.Compare):
+        s = f"{_series(pred.field)} {pred.op} {render_literal(pred.value)}"
+        return s if top else f"({s})"
+    if isinstance(pred, q.StrContains):
+        s = f"{_series(pred.field)}.str.contains({render_literal(pred.pattern)})"
+        return s if top else f"({s})"
+    if isinstance(pred, q.StrStartsWith):
+        s = f"{_series(pred.field)}.str.startswith({render_literal(pred.prefix)})"
+        return s if top else f"({s})"
+    if isinstance(pred, q.StrEndsWith):
+        s = f"{_series(pred.field)}.str.endswith({render_literal(pred.suffix)})"
+        return s if top else f"({s})"
+    if isinstance(pred, q.IsIn):
+        s = f"{_series(pred.field)}.isin({render_literal(list(pred.values))})"
+        return s if top else f"({s})"
+    if isinstance(pred, q.Between):
+        s = (
+            f"{_series(pred.field)}.between({render_literal(pred.low)}, "
+            f"{render_literal(pred.high)})"
+        )
+        return s if top else f"({s})"
+    if isinstance(pred, q.NotNull):
+        s = f"{_series(pred.field)}.notna()"
+        return s if top else f"({s})"
+    if isinstance(pred, q.IsNull):
+        s = f"{_series(pred.field)}.isna()"
+        return s if top else f"({s})"
+    if isinstance(pred, q.And):
+        s = (
+            f"{render_predicate(pred.left, top=False)} & "
+            f"{render_predicate(pred.right, top=False)}"
+        )
+        return s if top else f"({s})"
+    if isinstance(pred, q.Or):
+        s = (
+            f"{render_predicate(pred.left, top=False)} | "
+            f"{render_predicate(pred.right, top=False)}"
+        )
+        return s if top else f"({s})"
+    if isinstance(pred, q.Not):
+        return f"~{render_predicate(pred.operand, top=False)}"
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def render_query(pipeline: q.Pipeline) -> str:
+    """Render a full pipeline as a single chained expression on ``df``."""
+    code = "df"
+    wrap_len = False
+    for step in pipeline.steps:
+        if isinstance(step, q.Filter):
+            code += f"[{render_predicate(step.predicate)}]"
+        elif isinstance(step, q.Project):
+            cols = ", ".join(render_literal(c) for c in step.columns)
+            code += f"[[{cols}]]"
+        elif isinstance(step, q.Sort):
+            keys = list(step.keys)
+            asc = list(step.ascending)
+            if len(keys) == 1:
+                key_part = render_literal(keys[0])
+                asc_part = "True" if asc[0] else "False"
+            else:
+                key_part = "[" + ", ".join(render_literal(k) for k in keys) + "]"
+                asc_part = "[" + ", ".join("True" if a else "False" for a in asc) + "]"
+            code += f".sort_values({key_part}, ascending={asc_part})"
+        elif isinstance(step, q.Head):
+            code += f".head({step.n})"
+        elif isinstance(step, q.Tail):
+            code += f".tail({step.n})"
+        elif isinstance(step, q.GroupAgg):
+            if len(step.keys) == 1:
+                key_part = render_literal(step.keys[0])
+            else:
+                key_part = "[" + ", ".join(render_literal(k) for k in step.keys) + "]"
+            code += (
+                f".groupby({key_part})[{render_literal(step.column)}].{step.agg}()"
+            )
+        elif isinstance(step, q.Agg):
+            code += f"[{render_literal(step.column)}].{step.agg}()"
+        elif isinstance(step, q.Unique):
+            code += f"[{render_literal(step.column)}].unique()"
+        elif isinstance(step, q.DropDuplicates):
+            if step.subset:
+                cols = "[" + ", ".join(render_literal(c) for c in step.subset) + "]"
+                code += f".drop_duplicates(subset={cols})"
+            else:
+                code += ".drop_duplicates()"
+        elif isinstance(step, q.RowCount):
+            wrap_len = True
+        else:
+            raise TypeError(f"unknown step {step!r}")
+    if wrap_len:
+        code = f"len({code})"
+    return code

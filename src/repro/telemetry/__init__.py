@@ -1,0 +1,12 @@
+"""Telemetry sampling for task start/end snapshots.
+
+Task provenance messages carry ``telemetry_at_start`` /
+``telemetry_at_end`` blocks (paper Listing 1: CPU percentages).  The
+sampler reads ``/proc`` when available and otherwise synthesises
+plausible, seeded values so telemetry-dependent query classes remain
+exercisable on any machine.
+"""
+
+from repro.telemetry.sampler import TelemetrySampler, TelemetrySnapshot
+
+__all__ = ["TelemetrySampler", "TelemetrySnapshot"]

@@ -1,0 +1,98 @@
+"""CPU/memory snapshot sampling with a deterministic synthetic fallback.
+
+Real mode parses ``/proc/stat`` and ``/proc/meminfo`` (Linux).  Synthetic
+mode draws from a seeded random walk per hostname: utilisation meanders
+inside [2, 98] with occasional bursts, which gives the anomaly detector
+something worth finding without psutil.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.utils.seeding import derive_rng
+
+__all__ = ["TelemetrySnapshot", "TelemetrySampler"]
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One point-in-time reading, shaped like Listing 1's telemetry blocks."""
+
+    cpu_percent: float
+    mem_percent: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cpu": {"percent": round(self.cpu_percent, 1)},
+            "mem": {"percent": round(self.mem_percent, 1)},
+        }
+
+
+class TelemetrySampler:
+    """Samples telemetry; synthetic by default for reproducibility.
+
+    Parameters
+    ----------
+    hostname:
+        Seeds the synthetic stream (different nodes -> different loads).
+    synthetic:
+        When False, attempt ``/proc`` reads and fall back to synthetic
+        values if they are unavailable.
+    """
+
+    def __init__(self, hostname: str = "localhost", *, synthetic: bool = True):
+        self.hostname = hostname
+        self.synthetic = synthetic
+        self._rng = derive_rng("telemetry", hostname)
+        self._cpu = float(self._rng.uniform(10, 40))
+        self._mem = float(self._rng.uniform(20, 50))
+        self._tick = 0
+
+    def sample(self) -> TelemetrySnapshot:
+        if not self.synthetic:
+            real = self._read_proc()
+            if real is not None:
+                return real
+        return self._synthetic_sample()
+
+    # -- synthetic mode ----------------------------------------------------------
+    def _synthetic_sample(self) -> TelemetrySnapshot:
+        self._tick += 1
+        # bounded random walk with occasional bursts
+        self._cpu += float(self._rng.normal(0.0, 6.0))
+        self._mem += float(self._rng.normal(0.0, 2.0))
+        if self._rng.random() < 0.04:  # burst: a heavy task landed on the node
+            self._cpu += float(self._rng.uniform(25, 50))
+        self._cpu = min(98.0, max(2.0, self._cpu))
+        self._mem = min(95.0, max(5.0, self._mem))
+        return TelemetrySnapshot(self._cpu, self._mem)
+
+    # -- /proc mode ------------------------------------------------------------------
+    @staticmethod
+    def _read_proc() -> TelemetrySnapshot | None:
+        try:
+            with open("/proc/stat") as f:
+                fields = f.readline().split()[1:8]
+            nums = [int(x) for x in fields]
+            idle = nums[3] + nums[4]
+            total = sum(nums)
+            cpu = 100.0 * (1.0 - idle / total) if total else 0.0
+            meminfo: dict[str, int] = {}
+            with open("/proc/meminfo") as f:
+                for line in f:
+                    parts = line.split(":")
+                    if len(parts) == 2:
+                        meminfo[parts[0]] = int(parts[1].strip().split()[0])
+            total_kb = meminfo.get("MemTotal", 0)
+            avail_kb = meminfo.get("MemAvailable", total_kb)
+            mem = 100.0 * (1.0 - avail_kb / total_kb) if total_kb else 0.0
+            return TelemetrySnapshot(cpu, mem)
+        except (OSError, ValueError, IndexError, ZeroDivisionError):
+            return None
+
+    @staticmethod
+    def proc_available() -> bool:
+        return os.path.exists("/proc/stat") and os.path.exists("/proc/meminfo")

@@ -1,0 +1,17 @@
+"""Shared utilities: deterministic seeding, id generation, virtual clock."""
+
+from repro.utils.seeding import derive_rng, derive_seed, stable_hash
+from repro.utils.ids import new_campaign_id, new_task_id, new_workflow_id
+from repro.utils.clock import Clock, SystemClock, VirtualClock
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "stable_hash",
+    "new_campaign_id",
+    "new_task_id",
+    "new_workflow_id",
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+]

@@ -1,0 +1,67 @@
+"""Clock abstraction.
+
+The provenance capture layer stamps ``started_at``/``ended_at`` on every
+task.  Production code uses :class:`SystemClock`; tests and the simulated
+HPC runs use :class:`VirtualClock`, which makes time advance only when the
+code under test says so — task durations and LLM latencies then become
+deterministic and the benchmark harness does not have to *actually* sleep
+through a 2-second simulated LLM round trip.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Interface: monotonically non-decreasing wall-clock seconds."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds since the epoch."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Advance time by ``seconds`` (really or virtually)."""
+
+
+class SystemClock(Clock):
+    """Real wall-clock time."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Deterministic clock that advances only via :meth:`sleep`/:meth:`advance`.
+
+    Thread-safe: the workflow engine runs tasks from worker threads and
+    each stamps timestamps concurrently.
+    """
+
+    def __init__(self, start: float = 1_753_457_858.0):
+        # Default epoch matches the task timestamps in the paper's Listing 1,
+        # so example messages look like the published ones.
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now

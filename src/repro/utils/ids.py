@@ -1,0 +1,50 @@
+"""Identifier generation for campaigns, workflows, and tasks.
+
+The paper's task provenance messages (Listing 1) use:
+
+* ``campaign_id`` / ``workflow_id`` — UUID4 strings,
+* ``task_id`` — ``"<started_at>_<instance>_<bond>_<suffix>"``-style strings
+  composed from the start timestamp plus discriminators.
+
+We reproduce both forms.  When determinism is wanted (tests, benches), the
+UUIDs are derived from a seed ladder instead of ``os.urandom``.
+"""
+
+from __future__ import annotations
+
+import uuid
+from typing import Any
+
+from repro.utils.seeding import derive_rng
+
+
+def new_campaign_id(*seed_parts: Any) -> str:
+    """A UUID4-shaped campaign id; deterministic when seed parts given."""
+    return _uuid4_like("campaign", *seed_parts)
+
+
+def new_workflow_id(*seed_parts: Any) -> str:
+    """A UUID4-shaped workflow id; deterministic when seed parts given."""
+    return _uuid4_like("workflow", *seed_parts)
+
+
+def new_task_id(started_at: float, *discriminators: Any) -> str:
+    """Task id in the paper's ``<started_at>_<d0>_<d1>...`` format.
+
+    >>> new_task_id(1753457858.952133, 0, 3, 973)
+    '1753457858.952133_0_3_973'
+    """
+    suffix = "_".join(str(d) for d in discriminators)
+    base = f"{started_at:.6f}".rstrip("0").rstrip(".")
+    # keep at least one decimal place so ids sort lexically within a second
+    if "." not in base:
+        base = f"{started_at:.1f}"
+    return f"{base}_{suffix}" if suffix else base
+
+
+def _uuid4_like(kind: str, *seed_parts: Any) -> str:
+    if not seed_parts:
+        return str(uuid.uuid4())
+    rng = derive_rng("ids", kind, *seed_parts)
+    raw = bytes(rng.integers(0, 256, size=16, dtype="uint8").tolist())
+    return str(uuid.UUID(bytes=raw, version=4))

@@ -1,0 +1,54 @@
+"""Deterministic seed derivation.
+
+Every stochastic component in the library (LLM failure sampling, conformer
+embedding, synthetic telemetry, latency jitter) draws from a
+:class:`numpy.random.Generator` obtained through :func:`derive_rng`.  Seeds
+are derived with SHA-256 over the *semantic coordinates* of the draw —
+e.g. ``("llm", "gpt-4", "q07", "full", 2)`` — so results are reproducible
+across processes and platforms, and two unrelated draws never share a
+stream by accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+_ENCODING = "utf-8"
+
+
+def stable_hash(*parts: Any) -> int:
+    """Return a stable 64-bit hash of the given parts.
+
+    Unlike builtin ``hash``, the result does not vary with
+    ``PYTHONHASHSEED`` or process restarts.  Parts are joined with an
+    unlikely separator after ``repr``-normalising non-strings.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        # Tag with the type so 1 and "1" hash differently.
+        if isinstance(part, str):
+            data = f"s:{part}"
+        else:
+            data = f"{type(part).__name__}:{part!r}"
+        h.update(data.encode(_ENCODING))
+        h.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def derive_seed(*parts: Any) -> int:
+    """Derive a 64-bit seed from semantic coordinates."""
+    return stable_hash("repro-seed", *parts)
+
+
+def derive_rng(*parts: Any) -> np.random.Generator:
+    """Return a numpy Generator seeded from semantic coordinates.
+
+    >>> a = derive_rng("llm", "gpt-4", 0)
+    >>> b = derive_rng("llm", "gpt-4", 0)
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+    return np.random.default_rng(derive_seed(*parts))

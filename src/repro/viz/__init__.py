@@ -1,0 +1,5 @@
+"""Terminal visualisation: ASCII charts for agent replies and benches."""
+
+from repro.viz.ascii import bar_chart, boxplot_rows, scatter, series_table
+
+__all__ = ["bar_chart", "boxplot_rows", "scatter", "series_table"]

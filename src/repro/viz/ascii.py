@@ -1,0 +1,165 @@
+"""ASCII chart renderers.
+
+The GUI in the paper renders matplotlib figures; a terminal-first
+library renders the same information as text: bar charts for the
+agent's plot tool, five-number boxplot rows for Figure 7, scatter
+tables for Figure 8.  Every renderer returns a plain string.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["bar_chart", "boxplot_rows", "scatter", "series_table"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 48,
+) -> str:
+    """Horizontal bar chart; bar lengths scaled to the max value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty chart)"
+    vmax = max((abs(v) for v in values), default=0.0)
+    label_w = max(len(str(lb)) for lb in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("─" * min(width + label_w + 12, 79))
+    for label, value in zip(labels, values):
+        frac = 0.0 if vmax == 0 else abs(value) / vmax
+        n = frac * width
+        bar = _BAR * int(n) + (_HALF if (n - int(n)) >= 0.5 else "")
+        lines.append(f"{str(label).ljust(label_w)} │{bar.ljust(width)} {value:.4g}")
+    return "\n".join(lines)
+
+
+def _five_numbers(values: Sequence[float]) -> tuple[float, float, float, float, float]:
+    data = sorted(values)
+    n = len(data)
+    if n == 0:
+        raise ValueError("empty series")
+
+    def quantile(f: float) -> float:
+        if n == 1:
+            return data[0]
+        pos = f * (n - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    return (data[0], quantile(0.25), quantile(0.5), quantile(0.75), data[-1])
+
+
+def boxplot_rows(
+    groups: dict[str, Sequence[float]],
+    *,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    width: int = 40,
+) -> str:
+    """One text boxplot row per group over a fixed [lo, hi] axis."""
+    span = hi - lo
+    if span <= 0:
+        raise ValueError("hi must exceed lo")
+    label_w = max((len(k) for k in groups), default=5)
+    lines = [
+        f"{'':{label_w}}  {lo:<8.3g}{'':{max(0, width - 16)}}{hi:>8.3g}",
+    ]
+    for name, values in groups.items():
+        if not len(values):
+            lines.append(f"{name.ljust(label_w)}  (no data)")
+            continue
+        mn, q1, med, q3, mx = _five_numbers(list(values))
+
+        def col(v: float) -> int:
+            return max(0, min(width - 1, int((v - lo) / span * (width - 1))))
+
+        row = [" "] * width
+        for i in range(col(mn), col(mx) + 1):
+            row[i] = "─"
+        for i in range(col(q1), col(q3) + 1):
+            row[i] = "▒"
+        row[col(med)] = "┃"
+        row[col(mn)] = "├"
+        row[col(mx)] = "┤"
+        lines.append(
+            f"{name.ljust(label_w)}  {''.join(row)}  med={med:.3f} iqr=[{q1:.3f},{q3:.3f}]"
+        )
+    return "\n".join(lines)
+
+
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    labels: Sequence[str] | None = None,
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Scatter plot on a character grid with optional point labels."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    if not xs:
+        return "(empty scatter)"
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "abcdefghijklmnopqrstuvwxyz"
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        cx = int((x - xmin) / xspan * (width - 1))
+        cy = int((y - ymin) / yspan * (height - 1))
+        grid[height - 1 - cy][cx] = marks[i % len(marks)] if labels else "●"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {ymin:.3g} … {ymax:.3g}")
+    lines.extend("│" + "".join(row) for row in grid)
+    lines.append("└" + "─" * width)
+    lines.append(f"x: {xmin:.3g} … {xmax:.3g}")
+    if labels:
+        for i, lb in enumerate(labels):
+            lines.append(f"  {marks[i % len(marks)]} = {lb}")
+    return "\n".join(lines)
+
+
+def series_table(
+    rows: Sequence[dict],
+    columns: Sequence[str],
+    *,
+    title: str = "",
+) -> str:
+    """Aligned text table (paper-style results tables)."""
+    widths = {
+        c: max(len(c), *(len(_fmt(r.get(c))) for r in rows)) if rows else len(c)
+        for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if v is None:
+        return "·"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)

@@ -1,0 +1,30 @@
+"""Workflow engine and the paper's two evaluation workflows.
+
+* :mod:`repro.workflows.engine` — a small DAG engine with simulated
+  cluster scheduling, integrated with provenance capture (every task
+  emits a Listing-1 message with ``used._upstream`` control-flow edges);
+* :mod:`repro.workflows.synthetic` — the synthetic math workflow of
+  Figure 5-A (fan-out/fan-in chained transformations), used for rapid
+  agent prototyping and the quantitative evaluation;
+* :mod:`repro.workflows.chemistry` — the computational-chemistry BDE
+  workflow of Figure 5-B on a simulated DFT substrate.
+"""
+
+from repro.workflows.engine import Ref, TaskSpec, WorkflowEngine, WorkflowResult
+from repro.workflows.synthetic import (
+    SYNTHETIC_ACTIVITIES,
+    run_synthetic_campaign,
+    run_synthetic_workflow,
+    synthetic_dag,
+)
+
+__all__ = [
+    "Ref",
+    "TaskSpec",
+    "WorkflowEngine",
+    "WorkflowResult",
+    "SYNTHETIC_ACTIVITIES",
+    "synthetic_dag",
+    "run_synthetic_workflow",
+    "run_synthetic_campaign",
+]

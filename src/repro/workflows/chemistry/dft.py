@@ -1,0 +1,181 @@
+"""Simulated density functional theory engine.
+
+The real workflow runs B3LYP DFT on Frontier; here the electronic energy
+is an additive model with the same *analytical structure* the downstream
+BDE arithmetic needs:
+
+    E(mol) = Σ_atoms ε(element) − Σ_bonds D(bond type, environment) / HARTREE_KCAL
+             + strain(geometry) + ν(seeded noise)
+
+Because fragment energies subtract from the parent's, the per-bond
+stabilisations ``D`` *are* the bond dissociation energies (up to thermal
+corrections), so the table below is calibrated in kcal/mol against the
+paper's reference points: C–H ≈ 98.6 (Listing 1), C–C lowest for
+ethanol, O–H highest.  An electronegativity-based environment correction
+splits otherwise-identical bonds (methyl vs α C–H), and the seeded noise
+(±0.4 kcal/mol) stands in for grid/convergence scatter.
+
+The SCF loop is simulated: iterations shrink the energy geometrically to
+its model value, so convergence behaviour (iteration counts, a
+convergence flag, simulated wall time proportional to N³) shows up in
+provenance just like a real code's would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChemistryError
+from repro.utils.seeding import derive_rng
+from repro.workflows.chemistry.forcefield import ForceField
+from repro.workflows.chemistry.molecule import Molecule
+from repro.workflows.chemistry.periodic import element
+
+__all__ = ["DFTResult", "SimulatedDFT", "HARTREE_KCAL"]
+
+HARTREE_KCAL = 627.5094740  # kcal/mol per hartree
+
+#: Homolytic bond stabilisation in kcal/mol, by sorted element pair and order.
+BOND_ENERGIES_KCAL: dict[tuple[str, str, int], float] = {
+    ("C", "H", 1): 98.6,
+    ("C", "C", 1): 89.5,
+    ("C", "O", 1): 94.3,
+    ("H", "O", 1): 104.6,
+    ("H", "H", 1): 104.2,
+    ("C", "N", 1): 83.0,
+    ("H", "N", 1): 99.0,
+    ("C", "F", 1): 115.0,
+    ("C", "Cl", 1): 83.7,
+    ("C", "Br", 1): 70.0,
+    ("C", "S", 1): 73.0,
+    ("H", "S", 1): 87.0,
+    ("O", "O", 1): 47.0,
+    ("C", "C", 2): 174.0,
+    ("C", "O", 2): 179.0,
+    ("C", "C", 3): 230.0,
+    ("N", "N", 3): 226.0,
+}
+
+
+@dataclass
+class DFTResult:
+    """Output of one simulated DFT single point / optimisation."""
+
+    molecule_name: str
+    formula: str
+    e0_hartree: float
+    functional: str
+    basis_set: str
+    charge: int
+    multiplicity: int
+    n_scf_iterations: int
+    converged: bool
+    simulated_seconds: float
+    homo_ev: float
+    lumo_ev: float
+
+    @property
+    def e0_kcal(self) -> float:
+        return self.e0_hartree * HARTREE_KCAL
+
+
+class SimulatedDFT:
+    """Deterministic stand-in for a DFT code (B3LYP-flavoured)."""
+
+    def __init__(
+        self,
+        functional: str = "B3LYP",
+        basis_set: str = "6-31G(2df,p)",
+        *,
+        scf_tolerance: float = 1e-8,
+        max_scf_iterations: int = 50,
+    ):
+        self.functional = functional
+        self.basis_set = basis_set
+        self.scf_tolerance = scf_tolerance
+        self.max_scf_iterations = max_scf_iterations
+
+    # -- model energy ----------------------------------------------------------
+    def model_energy_hartree(self, mol: Molecule, coords: np.ndarray | None = None) -> float:
+        if mol.n_atoms == 0:
+            raise ChemistryError("cannot run DFT on an empty molecule")
+        e = sum(element(a.symbol).atomic_energy_hartree for a in mol.atoms())
+        for bond in mol.bonds():
+            e -= self.bond_energy_kcal(mol, bond) / HARTREE_KCAL
+        # radical destabilisation: an unpaired electron costs a little
+        # (+0.5 kcal/mol; each homolysis creates two radicals, so BDEs sit
+        # ~1 kcal/mol above the bare bond table — C-H lands at ~99.6,
+        # bracketing the paper's 98.65)
+        e += 0.0008 * sum(a.radical_electrons for a in mol.atoms())
+        if coords is not None and mol.n_atoms > 1:
+            strain = ForceField(mol).energy(np.asarray(coords, dtype=float))
+            e += min(strain, 50.0) * 2e-5  # relaxed geometries ~ microhartree
+        rng = derive_rng("dft-noise", mol.name, mol.formula(), self.functional)
+        e += float(rng.normal(0.0, 0.4)) / HARTREE_KCAL
+        return e
+
+    def bond_energy_kcal(self, mol: Molecule, bond) -> float:
+        """Bond stabilisation with an electronegativity environment term."""
+        a_sym = mol.atom(bond.a).symbol
+        b_sym = mol.atom(bond.b).symbol
+        key = (*sorted((a_sym, b_sym)), bond.order)
+        try:
+            base = BOND_ENERGIES_KCAL[key]
+        except KeyError:
+            raise ChemistryError(
+                f"no bond energy parameter for {key}; extend BOND_ENERGIES_KCAL"
+            ) from None
+        # neighbouring electronegative atoms weaken X-H bonds slightly
+        # (alpha C-H in ethanol is ~2 kcal/mol weaker than methyl C-H)
+        env = 0.0
+        for end in (bond.a, bond.b):
+            for nbr in mol.neighbors(end):
+                if nbr in (bond.a, bond.b):
+                    continue
+                chi = element(mol.atom(nbr).symbol).electronegativity
+                env -= 0.55 * max(0.0, chi - 2.55)
+        return base + env
+
+    # -- SCF simulation -----------------------------------------------------------
+    def run(
+        self,
+        mol: Molecule,
+        coords: np.ndarray | None = None,
+    ) -> DFTResult:
+        """Simulate an SCF to the model energy; returns the full result."""
+        target = self.model_energy_hartree(mol, coords)
+        rng = derive_rng("scf", mol.name, mol.formula(), mol.multiplicity)
+        # start from a superposition-of-atoms guess a few percent high
+        guess = target - abs(target) * 0.02
+        energy = guess
+        n_iter = 0
+        converged = False
+        # geometric convergence; radicals (open shell) converge slower
+        rate = 0.35 if mol.multiplicity == 1 else 0.25
+        for n_iter in range(1, self.max_scf_iterations + 1):
+            delta = (target - energy) * rate * float(rng.uniform(0.85, 1.15))
+            energy += delta
+            if abs(target - energy) < self.scf_tolerance:
+                converged = True
+                break
+        energy = target if converged else energy
+        # cubic-ish cost scaling: N basis functions ~ atoms
+        simulated_seconds = 0.08 * mol.n_atoms**3 / 27.0 + n_iter * 0.02
+        homo = -7.5 + float(rng.normal(0, 0.3))
+        gap = 6.2 if mol.multiplicity == 1 else 3.1
+        return DFTResult(
+            molecule_name=mol.name,
+            formula=mol.formula(),
+            e0_hartree=energy,
+            functional=self.functional,
+            basis_set=self.basis_set,
+            charge=mol.charge,
+            multiplicity=mol.multiplicity,
+            n_scf_iterations=n_iter,
+            converged=converged,
+            simulated_seconds=simulated_seconds,
+            homo_ev=homo,
+            lumo_ev=homo + gap,
+        )

@@ -1,0 +1,74 @@
+"""Homolytic bond breaking: molecule -> two radical fragments.
+
+Breaking bond A–B homolytically gives each side one unpaired electron
+(a radical site), so fragments of a closed-shell parent are doublets
+(multiplicity 2).  The BDE workflow breaks every *single, acyclic* bond
+of the parent (breaking a ring bond yields one fragment, not two — the
+paper's diagram always produces fragment pairs, so ring bonds are
+excluded from enumeration).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ChemistryError
+from repro.workflows.chemistry.molecule import Bond, Molecule
+
+__all__ = ["enumerate_breakable_bonds", "break_bond"]
+
+
+def enumerate_breakable_bonds(mol: Molecule) -> list[tuple[str, Bond]]:
+    """All single, non-ring bonds with their labels, in label order.
+
+    For ethanol: 1 C-C, 1 C-O, 5 C-H, 1 O-H = 8 bonds.
+    """
+    out: list[tuple[str, Bond]] = []
+    for label, bond in mol.labeled_bonds():
+        if bond.order != 1:
+            continue
+        g = mol.graph.copy()
+        g.remove_edge(bond.a, bond.b)
+        if nx.has_path(g, bond.a, bond.b):
+            continue  # ring bond: no fragmentation
+        out.append((label, bond))
+    return out
+
+
+def break_bond(mol: Molecule, bond: Bond) -> tuple[Molecule, Molecule]:
+    """Split ``mol`` across ``bond``; returns the two radical fragments.
+
+    The fragment containing the bond's lower-index atom comes first.
+    Each fragment atom that lost the bond gains one radical electron.
+    """
+    if mol.bond_between(bond.a, bond.b) is None:
+        raise ChemistryError(f"bond {bond.key()} not present in molecule")
+    g = mol.graph.copy()
+    g.remove_edge(bond.a, bond.b)
+    components = list(nx.connected_components(g))
+    if len(components) != 2:
+        raise ChemistryError(
+            f"breaking bond {bond.key()} does not split the molecule "
+            f"({len(components)} component(s)); is it a ring bond?"
+        )
+    first_nodes = next(c for c in components if bond.a in c)
+    second_nodes = next(c for c in components if bond.b in c)
+
+    label = mol.bond_label(bond)
+    frag1 = mol.subgraph_molecule(set(first_nodes), name=f"{mol.name}|{label}|1")
+    frag2 = mol.subgraph_molecule(set(second_nodes), name=f"{mol.name}|{label}|2")
+
+    # the atoms that lost the bond become radical sites
+    _mark_radical(frag1, mol, first_nodes, bond.a)
+    _mark_radical(frag2, mol, second_nodes, bond.b)
+    return frag1, frag2
+
+
+def _mark_radical(
+    fragment: Molecule, parent: Molecule, nodes: set[int], parent_idx: int
+) -> None:
+    # subgraph_molecule reindexes atoms by sorted(parent index)
+    sorted_nodes = sorted(nodes)
+    new_idx = sorted_nodes.index(parent_idx)
+    current = fragment.atom(new_idx).radical_electrons
+    fragment.set_radical(new_idx, current + 1)

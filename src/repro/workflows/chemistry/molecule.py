@@ -1,0 +1,292 @@
+"""Molecular graphs with implicit hydrogens.
+
+A :class:`Molecule` is an undirected graph of atoms and bonds
+(networkx-backed), with the conveniences the BDE workflow needs:
+implicit-hydrogen filling by valence, bond enumeration with the paper's
+labels (``"C-H_3"``: element pair + 1-based occurrence index), radical
+electron bookkeeping (multiplicity), and molecular formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import networkx as nx
+
+from repro.errors import ValenceError
+from repro.workflows.chemistry.periodic import element
+
+__all__ = ["Atom", "Bond", "Molecule"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One atom: element symbol plus bookkeeping."""
+
+    symbol: str
+    index: int
+    formal_charge: int = 0
+    radical_electrons: int = 0
+
+    @property
+    def mass(self) -> float:
+        return element(self.symbol).mass_amu
+
+    @property
+    def valence(self) -> int:
+        return element(self.symbol).valence
+
+
+@dataclass(frozen=True)
+class Bond:
+    """A bond between two atom indices (order 1/2/3)."""
+
+    a: int
+    b: int
+    order: int = 1
+
+    def key(self) -> tuple[int, int]:
+        return (self.a, self.b) if self.a < self.b else (self.b, self.a)
+
+    def other(self, idx: int) -> int:
+        if idx == self.a:
+            return self.b
+        if idx == self.b:
+            return self.a
+        raise ValueError(f"atom {idx} not in bond {self.key()}")
+
+
+class Molecule:
+    """Mutable molecular graph."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.graph = nx.Graph()
+        self._next_index = 0
+
+    # -- construction ----------------------------------------------------------
+    def add_atom(
+        self,
+        symbol: str,
+        formal_charge: int = 0,
+        radical_electrons: int = 0,
+        *,
+        suppress_implicit_h: bool = False,
+    ) -> int:
+        element(symbol)  # validate early
+        idx = self._next_index
+        self._next_index += 1
+        self.graph.add_node(
+            idx,
+            atom=Atom(symbol, idx, formal_charge, radical_electrons),
+            suppress_implicit_h=suppress_implicit_h,
+        )
+        return idx
+
+    def add_bond(self, a: int, b: int, order: int = 1) -> Bond:
+        if a == b:
+            raise ValenceError("self-bonds are not allowed")
+        for idx in (a, b):
+            if idx not in self.graph:
+                raise ValenceError(f"unknown atom index {idx}")
+        if order not in (1, 2, 3):
+            raise ValenceError(f"bond order must be 1..3, got {order}")
+        if self.bonded_electrons(a) + order > self.atom(a).valence + abs(
+            self.atom(a).formal_charge
+        ):
+            raise ValenceError(
+                f"atom {a} ({self.atom(a).symbol}) would exceed valence"
+            )
+        if self.bonded_electrons(b) + order > self.atom(b).valence + abs(
+            self.atom(b).formal_charge
+        ):
+            raise ValenceError(
+                f"atom {b} ({self.atom(b).symbol}) would exceed valence"
+            )
+        bond = Bond(a, b, order)
+        self.graph.add_edge(a, b, bond=bond)
+        return bond
+
+    def fill_hydrogens(self) -> int:
+        """Add implicit hydrogens to satisfy each heavy atom's valence.
+
+        Bracket atoms (SMILES ``[...]``) are skipped: per the SMILES
+        standard they carry their hydrogen count explicitly.
+        """
+        added = 0
+        for idx in list(self.graph.nodes):
+            atom = self.atom(idx)
+            if atom.symbol == "H":
+                continue
+            if self.graph.nodes[idx].get("suppress_implicit_h"):
+                continue
+            missing = atom.valence - self.bonded_electrons(idx) - atom.radical_electrons
+            for _ in range(max(0, missing)):
+                h = self.add_atom("H")
+                self.add_bond(idx, h)
+                added += 1
+        return added
+
+    # -- accessors ---------------------------------------------------------------
+    def atom(self, idx: int) -> Atom:
+        return self.graph.nodes[idx]["atom"]
+
+    def atoms(self) -> Iterator[Atom]:
+        for idx in sorted(self.graph.nodes):
+            yield self.atom(idx)
+
+    def bonds(self) -> list[Bond]:
+        return sorted(
+            (data["bond"] for _, _, data in self.graph.edges(data=True)),
+            key=lambda b: b.key(),
+        )
+
+    def bond_between(self, a: int, b: int) -> Bond | None:
+        data = self.graph.get_edge_data(a, b)
+        return data["bond"] if data else None
+
+    def neighbors(self, idx: int) -> list[int]:
+        return sorted(self.graph.neighbors(idx))
+
+    def bonded_electrons(self, idx: int) -> int:
+        return sum(
+            data["bond"].order for _, _, data in self.graph.edges(idx, data=True)
+        )
+
+    # -- whole-molecule properties ---------------------------------------------------
+    @property
+    def n_atoms(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def n_bonds(self) -> int:
+        return self.graph.number_of_edges()
+
+    @property
+    def charge(self) -> int:
+        return sum(a.formal_charge for a in self.atoms())
+
+    @property
+    def multiplicity(self) -> int:
+        """Spin multiplicity 2S+1 from unpaired (radical) electrons."""
+        return sum(a.radical_electrons for a in self.atoms()) + 1
+
+    @property
+    def mass(self) -> float:
+        return sum(a.mass for a in self.atoms())
+
+    def formula(self) -> str:
+        """Hill-order molecular formula (C first, H second, rest alphabetical)."""
+        counts: dict[str, int] = {}
+        for a in self.atoms():
+            counts[a.symbol] = counts.get(a.symbol, 0) + 1
+        parts: list[str] = []
+        for sym in ("C", "H"):
+            if sym in counts:
+                n = counts.pop(sym)
+                parts.append(sym if n == 1 else f"{sym}{n}")
+        for sym in sorted(counts):
+            n = counts[sym]
+            parts.append(sym if n == 1 else f"{sym}{n}")
+        return "".join(parts)
+
+    def is_connected(self) -> bool:
+        if self.n_atoms == 0:
+            return True
+        return nx.is_connected(self.graph)
+
+    # -- bond labelling (paper style: "C-H_3") ------------------------------------------
+    def bond_label(self, bond: Bond) -> str:
+        syms = sorted(
+            (self.atom(bond.a).symbol, self.atom(bond.b).symbol),
+            key=_label_rank,
+        )
+        pair = f"{syms[0]}-{syms[1]}"
+        ordinal = 0
+        for other in self.bonds():
+            other_syms = sorted(
+                (self.atom(other.a).symbol, self.atom(other.b).symbol),
+                key=_label_rank,
+            )
+            if f"{other_syms[0]}-{other_syms[1]}" == pair:
+                ordinal += 1
+                if other.key() == bond.key():
+                    return f"{pair}_{ordinal}"
+        raise ValueError(f"bond {bond.key()} not in molecule")
+
+    def labeled_bonds(self) -> list[tuple[str, Bond]]:
+        return [(self.bond_label(b), b) for b in self.bonds()]
+
+    # -- copying ------------------------------------------------------------------------
+    def copy(self) -> "Molecule":
+        out = Molecule(self.name)
+        out.graph = self.graph.copy()
+        out._next_index = self._next_index
+        return out
+
+    def subgraph_molecule(self, nodes: set[int], name: str = "") -> "Molecule":
+        """Extract atoms (reindexed 0..n-1) preserving bonds among them."""
+        out = Molecule(name)
+        mapping: dict[int, int] = {}
+        for old in sorted(nodes):
+            atom = self.atom(old)
+            # fragments keep their exact H count; never re-fill hydrogens
+            mapping[old] = out.add_atom(
+                atom.symbol,
+                atom.formal_charge,
+                atom.radical_electrons,
+                suppress_implicit_h=True,
+            )
+        for bond in self.bonds():
+            if bond.a in nodes and bond.b in nodes:
+                out.add_bond(mapping[bond.a], mapping[bond.b], bond.order)
+        return out
+
+    def set_radical(self, idx: int, electrons: int) -> None:
+        atom = self.atom(idx)
+        self.graph.nodes[idx]["atom"] = replace(atom, radical_electrons=electrons)
+
+    # -- serialisation -------------------------------------------------------------------
+    def to_smiles_like(self) -> str:
+        """A SMILES-flavoured linear encoding (canonical-ish, H explicit).
+
+        Matches the paper's fragment strings in spirit
+        (``"[H]OC([H])([H])[C]([H])[H]"``): radical-bearing atoms are
+        bracketed, traversal is DFS from the lowest heavy atom.
+        """
+        if self.n_atoms == 0:
+            return ""
+        heavy = [a.index for a in self.atoms() if a.symbol != "H"]
+        start = min(heavy) if heavy else 0
+        visited: set[int] = set()
+        out: list[str] = []
+
+        def emit(idx: int) -> None:
+            visited.add(idx)
+            atom = self.atom(idx)
+            token = (
+                f"[{atom.symbol}]" if atom.radical_electrons else atom.symbol
+                if atom.symbol != "H"
+                else "[H]"
+            )
+            out.append(token)
+            children = [n for n in self.neighbors(idx) if n not in visited]
+            for i, child in enumerate(children):
+                last = i == len(children) - 1
+                if not last:
+                    out.append("(")
+                emit(child)
+                if not last:
+                    out.append(")")
+
+        emit(start)
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"Molecule({self.formula()}, atoms={self.n_atoms}, bonds={self.n_bonds})"
+
+
+def _label_rank(symbol: str) -> tuple[int, str]:
+    # heavy atoms before H, otherwise alphabetical (C-H not H-C)
+    return (1 if symbol == "H" else 0, symbol)

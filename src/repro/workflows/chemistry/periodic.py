@@ -1,0 +1,53 @@
+"""Element data for the chemistry substrate.
+
+``atomic_energy_hartree`` values are *calibration constants* for the
+simulated DFT engine, not physical isolated-atom energies: the total
+molecular energy is  Σ atomic energies − Σ bond stabilisations, so only
+the bond table (see :mod:`dft`) affects BDEs.  The carbon/oxygen values
+are chosen so ethanol's electronic energy lands near the paper's
+Listing 1 value (e0 ≈ -155.03 hartree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Element", "ELEMENTS", "element"]
+
+
+@dataclass(frozen=True)
+class Element:
+    symbol: str
+    atomic_number: int
+    mass_amu: float
+    valence: int
+    covalent_radius_a: float
+    electronegativity: float
+    atomic_energy_hartree: float
+
+
+ELEMENTS: dict[str, Element] = {
+    e.symbol: e
+    for e in [
+        Element("H", 1, 1.008, 1, 0.31, 2.20, -0.500),
+        Element("C", 6, 12.011, 4, 0.76, 2.55, -37.845),
+        Element("N", 7, 14.007, 3, 0.71, 3.04, -54.585),
+        Element("O", 8, 15.999, 2, 0.66, 3.44, -75.065),
+        Element("F", 9, 18.998, 1, 0.57, 3.98, -99.735),
+        Element("P", 15, 30.974, 3, 1.07, 2.19, -341.260),
+        Element("S", 16, 32.06, 2, 1.05, 2.58, -398.110),
+        Element("Cl", 17, 35.45, 1, 1.02, 3.16, -460.135),
+        Element("Br", 35, 79.904, 1, 1.20, 2.96, -2573.980),
+        Element("I", 53, 126.904, 1, 1.39, 2.66, -297.750),
+    ]
+}
+
+
+def element(symbol: str) -> Element:
+    """Look up an element; raises KeyError with the known set on miss."""
+    try:
+        return ELEMENTS[symbol]
+    except KeyError:
+        raise KeyError(
+            f"unknown element {symbol!r}; supported: {', '.join(sorted(ELEMENTS))}"
+        ) from None

@@ -1,0 +1,160 @@
+"""SMILES parser for simple organic molecules.
+
+Supports the subset the BDE workflow needs: organic-subset atoms
+(B-less: C, N, O, S, P, F, Cl, Br, I plus explicit H), bracket atoms
+with charges/H-counts (``[OH]``, ``[NH4+]``, ``[O-]``), bond orders
+``-``/``=``/``#``, branches with parentheses, and ring-closure digits.
+Aromatic (lowercase) notation is intentionally out of scope — the
+paper's use case is saturated alcohols and their fragments.
+
+>>> mol = parse_smiles("CCO")   # ethanol
+>>> mol.formula()
+'C2H6O'
+>>> mol.n_atoms
+9
+"""
+
+from __future__ import annotations
+
+from repro.errors import SmilesParseError
+from repro.workflows.chemistry.molecule import Molecule
+from repro.workflows.chemistry.periodic import ELEMENTS
+
+__all__ = ["parse_smiles"]
+
+_TWO_LETTER = ("Cl", "Br")
+_ORGANIC = ("C", "N", "O", "S", "P", "F", "I", "H")
+
+
+def parse_smiles(smiles: str, name: str = "") -> Molecule:
+    """Parse a SMILES string into a Molecule with implicit H filled in."""
+    if not smiles or not smiles.strip():
+        raise SmilesParseError("empty SMILES")
+    text = smiles.strip()
+    mol = Molecule(name or smiles)
+    prev_atom: int | None = None
+    pending_order = 1
+    branch_stack: list[int] = []
+    ring_openings: dict[str, tuple[int, int]] = {}
+    i = 0
+
+    def attach(idx: int) -> None:
+        nonlocal prev_atom, pending_order
+        if prev_atom is not None:
+            try:
+                mol.add_bond(prev_atom, idx, pending_order)
+            except Exception as exc:
+                raise SmilesParseError(f"{smiles!r}: {exc}") from exc
+        prev_atom = idx
+        pending_order = 1
+
+    while i < len(text):
+        ch = text[i]
+        if ch == "(":
+            if prev_atom is None:
+                raise SmilesParseError(f"{smiles!r}: branch before any atom")
+            branch_stack.append(prev_atom)
+            i += 1
+        elif ch == ")":
+            if not branch_stack:
+                raise SmilesParseError(f"{smiles!r}: unbalanced ')'")
+            prev_atom = branch_stack.pop()
+            i += 1
+        elif ch == "-":
+            pending_order = 1
+            i += 1
+        elif ch == "=":
+            pending_order = 2
+            i += 1
+        elif ch == "#":
+            pending_order = 3
+            i += 1
+        elif ch.isdigit():
+            if prev_atom is None:
+                raise SmilesParseError(f"{smiles!r}: ring digit before any atom")
+            if ch in ring_openings:
+                start, order = ring_openings.pop(ch)
+                try:
+                    mol.add_bond(start, prev_atom, max(order, pending_order))
+                except Exception as exc:
+                    raise SmilesParseError(f"{smiles!r}: {exc}") from exc
+            else:
+                ring_openings[ch] = (prev_atom, pending_order)
+            pending_order = 1
+            i += 1
+        elif ch == "[":
+            end = text.find("]", i)
+            if end < 0:
+                raise SmilesParseError(f"{smiles!r}: unclosed bracket atom")
+            idx = _parse_bracket(mol, text[i + 1 : end], smiles)
+            attach(idx)
+            i = end + 1
+        elif text[i : i + 2] in _TWO_LETTER:
+            attach(mol.add_atom(text[i : i + 2]))
+            i += 2
+        elif ch in _ORGANIC:
+            attach(mol.add_atom(ch))
+            i += 1
+        elif ch.isspace():
+            i += 1
+        else:
+            raise SmilesParseError(
+                f"{smiles!r}: unsupported character {ch!r} at position {i}"
+            )
+
+    if branch_stack:
+        raise SmilesParseError(f"{smiles!r}: unbalanced '('")
+    if ring_openings:
+        raise SmilesParseError(
+            f"{smiles!r}: unclosed ring bond(s) {sorted(ring_openings)}"
+        )
+    mol.fill_hydrogens()
+    if mol.n_atoms == 0:
+        raise SmilesParseError(f"{smiles!r}: no atoms parsed")
+    return mol
+
+
+def _parse_bracket(mol: Molecule, body: str, smiles: str) -> int:
+    """Parse ``[symbol(H<n>)?(+|-)*]`` bracket-atom bodies."""
+    if not body:
+        raise SmilesParseError(f"{smiles!r}: empty bracket atom")
+    j = 0
+    symbol = None
+    for cand in _TWO_LETTER:
+        if body.startswith(cand):
+            symbol = cand
+            j = len(cand)
+            break
+    if symbol is None:
+        symbol = body[0]
+        j = 1
+    if symbol not in ELEMENTS:
+        raise SmilesParseError(f"{smiles!r}: unknown element {symbol!r}")
+    h_count = 0
+    charge = 0
+    while j < len(body):
+        ch = body[j]
+        if ch == "H":
+            j += 1
+            digits = ""
+            while j < len(body) and body[j].isdigit():
+                digits += body[j]
+                j += 1
+            h_count = int(digits) if digits else 1
+        elif ch == "+":
+            charge += 1
+            j += 1
+        elif ch == "-":
+            charge -= 1
+            j += 1
+        elif ch.isdigit():  # isotope labels etc. are ignored
+            j += 1
+        else:
+            raise SmilesParseError(
+                f"{smiles!r}: unsupported bracket content {body!r}"
+            )
+    idx = mol.add_atom(symbol, formal_charge=charge, suppress_implicit_h=True)
+    for _ in range(h_count):
+        h = mol.add_atom("H")
+        mol.add_bond(idx, h)
+    return idx

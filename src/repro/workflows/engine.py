@@ -1,0 +1,201 @@
+"""A small provenance-integrated DAG workflow engine.
+
+Tasks declare inputs as literal values or :class:`Ref` references to
+upstream outputs; the dependency graph is derived from the references
+(plus explicit ``after`` edges for pure control dependencies).  The
+engine runs tasks in topological order, assigns each to a simulated
+cluster node (least-loaded-first), advances the virtual clock by the
+task's ``cost_s``, and emits one task-provenance message per execution
+through the ``@flow_task`` machinery — including ``used._upstream``
+edges that the provenance graph understands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import networkx as nx
+
+from repro.capture.context import CaptureContext, WorkflowRun
+from repro.capture.instrumentation import flow_task
+from repro.errors import CyclicDependencyError, TaskFailedError, WorkflowError
+
+__all__ = ["Ref", "TaskSpec", "WorkflowEngine", "WorkflowResult"]
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Reference to an upstream task's output.
+
+    ``Ref("minimize")`` passes the task's whole result;
+    ``Ref("minimize", "energy")`` passes one field of a dict result.
+    """
+
+    task: str
+    field: str | None = None
+
+
+@dataclass
+class TaskSpec:
+    """Declarative description of one task in the DAG."""
+
+    name: str
+    fn: Callable[..., Any]
+    inputs: dict[str, Any] = field(default_factory=dict)
+    after: tuple[str, ...] = ()
+    activity_id: str | None = None
+    cost_s: float = 0.01
+    host: str | None = None
+
+    def dependencies(self) -> set[str]:
+        deps = {v.task for v in self.inputs.values() if isinstance(v, Ref)}
+        deps.update(self.after)
+        return deps
+
+
+@dataclass
+class WorkflowResult:
+    """Execution outcome: per-task results, ids, and placements."""
+
+    workflow_id: str
+    results: dict[str, Any]
+    task_ids: dict[str, str]
+    hosts: dict[str, str]
+    order: list[str]
+
+    def __getitem__(self, task_name: str) -> Any:
+        return self.results[task_name]
+
+
+class WorkflowEngine:
+    """Executes task DAGs on a simulated cluster with provenance capture."""
+
+    def __init__(
+        self,
+        context: CaptureContext | None = None,
+        *,
+        cluster_hosts: tuple[str, ...] = ("node-0", "node-1", "node-2", "node-3"),
+    ):
+        self.context = context or CaptureContext.default()
+        if not cluster_hosts:
+            raise WorkflowError("cluster needs at least one host")
+        self.cluster_hosts = cluster_hosts
+        self._host_load: dict[str, float] = {h: 0.0 for h in cluster_hosts}
+
+    # -- graph handling -----------------------------------------------------------
+    @staticmethod
+    def build_graph(tasks: list[TaskSpec]) -> nx.DiGraph:
+        by_name: dict[str, TaskSpec] = {}
+        for t in tasks:
+            if t.name in by_name:
+                raise WorkflowError(f"duplicate task name {t.name!r}")
+            by_name[t.name] = t
+        g = nx.DiGraph()
+        for t in tasks:
+            g.add_node(t.name, spec=t)
+        for t in tasks:
+            for dep in t.dependencies():
+                if dep not in by_name:
+                    raise WorkflowError(
+                        f"task {t.name!r} depends on unknown task {dep!r}"
+                    )
+                g.add_edge(dep, t.name)
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise CyclicDependencyError(f"dependency cycle: {cycle}")
+        return g
+
+    # -- scheduling ------------------------------------------------------------------
+    def _assign_host(self, spec: TaskSpec) -> str:
+        if spec.host is not None:
+            return spec.host
+        host = min(self._host_load, key=lambda h: (self._host_load[h], h))
+        self._host_load[host] += spec.cost_s
+        return host
+
+    # -- execution -------------------------------------------------------------------
+    def execute(
+        self,
+        tasks: list[TaskSpec],
+        *,
+        workflow_name: str = "workflow",
+        workflow_id: str | None = None,
+    ) -> WorkflowResult:
+        graph = self.build_graph(tasks)
+        order = list(nx.topological_sort(graph))
+        results: dict[str, Any] = {}
+        task_ids: dict[str, str] = {}
+        hosts: dict[str, str] = {}
+
+        with WorkflowRun(
+            workflow_name, self.context, workflow_id=workflow_id
+        ) as run:
+            for name in order:
+                spec: TaskSpec = graph.nodes[name]["spec"]
+                kwargs = {
+                    k: self._resolve(v, results) for k, v in spec.inputs.items()
+                }
+                host = self._assign_host(spec)
+                hosts[name] = host
+                upstream_ids = [task_ids[d] for d in sorted(spec.dependencies())]
+
+                instrumented = flow_task(
+                    activity_id=spec.activity_id or spec.name,
+                    context=self.context,
+                )(self._with_simulated_cost(spec))
+                try:
+                    result = instrumented(
+                        **kwargs,
+                        _upstream=upstream_ids,
+                        _hostname=host,
+                    )
+                except Exception as exc:
+                    raise TaskFailedError(name, exc) from exc
+                results[name] = result
+                task_ids[name] = self._last_emitted_task_id()
+            wf_id = run.workflow_id
+        return WorkflowResult(wf_id, results, task_ids, hosts, order)
+
+    def _with_simulated_cost(self, spec: TaskSpec):
+        """Wrap the task fn so the virtual clock advances *inside* the task.
+
+        The provenance wrapper stamps ``ended_at`` after the fn returns, so
+        advancing here makes task duration equal the simulated cost — for
+        failures too (the sleep is in a ``finally``).
+        """
+        import functools
+
+        @functools.wraps(spec.fn)
+        def timed(*args, **kwargs):
+            try:
+                return spec.fn(*args, **kwargs)
+            finally:
+                self.context.clock.sleep(spec.cost_s)
+
+        return timed
+
+    def _last_emitted_task_id(self) -> str:
+        # the buffer may have flushed; check pending first, then broker log
+        pending = self.context.buffer._pending
+        if pending:
+            return pending[-1]["task_id"]
+        history = getattr(self.context.broker, "history", None)
+        if history is not None:
+            envs = self.context.broker.history("provenance.task")
+            if envs:
+                return envs[-1].payload["task_id"]
+        raise WorkflowError("could not locate emitted task id")
+
+    @staticmethod
+    def _resolve(value: Any, results: Mapping[str, Any]) -> Any:
+        if isinstance(value, Ref):
+            out = results[value.task]
+            if value.field is None:
+                return out
+            if isinstance(out, Mapping) and value.field in out:
+                return out[value.field]
+            raise WorkflowError(
+                f"task {value.task!r} result has no field {value.field!r}"
+            )
+        return value

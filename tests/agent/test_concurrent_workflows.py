@@ -1,0 +1,94 @@
+"""Concurrent heterogeneous workflows streaming into one agent.
+
+The paper claims the design "supports interactive use across multiple
+concurrent and agentic workflows" — here the synthetic campaign, the
+chemistry workflow, and the LPBF build all stream into the same hub;
+the agent's schema merges all three domains and queries can target each
+by workflow/activity.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.agent.agent import ProvenanceAgent
+from repro.capture.context import CaptureContext
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.workflows.chemistry import run_bde_workflow
+from repro.workflows.manufacturing import run_lpbf_build
+from repro.workflows.synthetic import run_synthetic_campaign
+
+
+@pytest.fixture(scope="module")
+def multi_env():
+    ctx = CaptureContext()
+    keeper = ProvenanceKeeper(ctx.broker)
+    keeper.start()
+    agent = ProvenanceAgent(ctx, model="gpt-4")
+
+    threads = [
+        threading.Thread(target=run_synthetic_campaign, args=(ctx,), kwargs={"n_inputs": 5}),
+        threading.Thread(target=run_bde_workflow, args=("CCO", ctx), kwargs={"n_conformers": 2}),
+        threading.Thread(target=run_lpbf_build, args=("part-X", ctx), kwargs={"height_mm": 0.4}),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    ctx.flush()
+    return ctx, keeper, agent
+
+
+class TestMergedContext:
+    def test_all_domains_in_schema(self, multi_env):
+        _, _, agent = multi_env
+        fields = set(agent.context_manager.schema.dataflow_fields)
+        assert "generated.value" in fields  # synthetic
+        assert "generated.bd_energy" in fields  # chemistry
+        assert "generated.melt_pool_temp_k" in fields  # manufacturing
+
+    def test_activity_namespaces_disjoint(self, multi_env):
+        _, _, agent = multi_env
+        acts = set(agent.context_manager.schema.activities)
+        assert {"power", "run_dft", "laser_melt"} <= acts
+
+    def test_no_messages_lost_under_concurrency(self, multi_env):
+        ctx, keeper, agent = multi_env
+        # keeper and context manager both subscribed to the same hub
+        assert keeper.database.count({"type": "task"}) == agent.context_manager.buffer_count
+
+    def test_cross_domain_grouping_query(self, multi_env):
+        _, _, agent = multi_env
+        reply = agent.chat("How many tasks were executed per activity?")
+        assert reply.ok
+        activities = {r["activity_id"] for r in reply.table.to_dicts()}
+        assert {"power", "run_dft", "laser_melt"} <= activities
+
+    def test_workflow_attribution_correct_under_concurrency(self, multi_env):
+        """Thread-local workflow scopes: a chemistry task must never be
+        attributed to the synthetic run's workflow_id."""
+        _, keeper, _ = multi_env
+        for doc in keeper.database.find({"activity_id": "run_dft"}):
+            wf = keeper.database.find_one(
+                {"type": "workflow", "workflow_id": doc["workflow_id"]}
+            )
+            assert wf is not None
+            assert wf["activity_id"] == "chemistry_bde_workflow"
+        for doc in keeper.database.find({"activity_id": "laser_melt"}):
+            wf = keeper.database.find_one(
+                {"type": "workflow", "workflow_id": doc["workflow_id"]}
+            )
+            assert wf["activity_id"] == "lpbf_build_workflow"
+
+    def test_domain_scoped_query(self, multi_env):
+        _, _, agent = multi_env
+        from repro.llm.intents import register_intent
+        from repro.query import parse_query
+
+        nl = "How many DFT calculations ran?"
+        register_intent(nl, parse_query("len(df[df['activity_id'] == 'run_dft'])"))
+        reply = agent.chat(nl)
+        assert reply.ok
+        assert "17" in reply.text  # 1 parent + 2 x 8 bonds

@@ -1,0 +1,92 @@
+"""Tests for the Context Manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.context_manager import ContextManager
+from repro.capture.context import CaptureContext
+from repro.capture.instrumentation import flow_task
+
+
+@pytest.fixture
+def setup():
+    ctx = CaptureContext()
+    cm = ContextManager(ctx.broker).start()
+    return ctx, cm
+
+
+def emit_task(ctx, x=1):
+    @flow_task(context=ctx)
+    def square(x):
+        return {"y": x * x}
+
+    square(x)
+    ctx.flush()
+
+
+class TestIngestion:
+    def test_live_messages_buffered(self, setup):
+        ctx, cm = setup
+        emit_task(ctx)
+        assert cm.buffer_count == 1
+        assert cm.messages_received == 1
+
+    def test_frame_has_flattened_columns(self, setup):
+        ctx, cm = setup
+        emit_task(ctx, 3)
+        frame = cm.to_frame()
+        assert frame.column("used.x").to_list() == [3]
+        assert frame.column("generated.y").to_list() == [9]
+        assert "telemetry_at_end.cpu.percent" in frame.columns
+
+    def test_non_task_records_ignored_by_default(self, setup):
+        ctx, cm = setup
+        from repro.capture.context import WorkflowRun
+
+        with WorkflowRun("wf", ctx):
+            pass
+        assert cm.buffer_count == 0  # workflow records filtered out
+
+    def test_schema_updates_with_buffer(self, setup):
+        ctx, cm = setup
+        emit_task(ctx)
+        assert "used.x" in cm.schema.dataflow_fields
+
+    def test_buffer_bound_respected(self):
+        ctx = CaptureContext()
+        cm = ContextManager(ctx.broker, buffer_size=5).start()
+        for i in range(10):
+            emit_task(ctx, i)
+        assert cm.buffer_count == 5
+        # schema still saw everything
+        assert cm.schema.messages_seen == 10
+
+    def test_stop_detaches(self, setup):
+        ctx, cm = setup
+        cm.stop()
+        emit_task(ctx)
+        assert cm.buffer_count == 0
+
+    def test_frame_cache_invalidation(self, setup):
+        ctx, cm = setup
+        emit_task(ctx, 1)
+        f1 = cm.to_frame()
+        emit_task(ctx, 2)
+        f2 = cm.to_frame()
+        assert len(f1) == 1 and len(f2) == 2
+
+
+class TestPromptMaterial:
+    def test_payloads_nonempty_after_traffic(self, setup):
+        ctx, cm = setup
+        emit_task(ctx)
+        assert "used.x" in cm.schema_payload()["fields"]
+        assert cm.values_payload()
+        assert "started_at" in cm.guidelines_text()
+
+    def test_user_guidelines_appended(self, setup):
+        _, cm = setup
+        cm.add_user_guideline("use the field lr to filter learning rates")
+        assert "lr" in cm.guidelines_text()
+        assert "override" in cm.guidelines_text()

@@ -1,0 +1,96 @@
+"""Tests for the MCP server/client layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.mcp.client import MCPClient
+from repro.agent.mcp.protocol import MCPRequest, MCPResponse
+from repro.agent.mcp.server import MCPServer
+from repro.agent.tools.base import Tool, ToolRegistry, ToolResult
+from repro.errors import AgentError
+
+
+class _AddTool(Tool):
+    name = "add"
+    description = "adds two numbers"
+
+    def invoke(self, **kwargs):
+        return ToolResult(ok=True, summary="sum", data=kwargs["a"] + kwargs["b"])
+
+
+class _CrashTool(Tool):
+    name = "crash"
+    description = "always raises"
+
+    def invoke(self, **kwargs):
+        raise RuntimeError("tool exploded")
+
+
+@pytest.fixture
+def client():
+    registry = ToolRegistry()
+    registry.register(_AddTool())
+    registry.register(_CrashTool())
+    server = MCPServer(registry)
+    server.add_resource("greeting", lambda: {"hello": "world"})
+    server.add_prompt("qa", lambda args: f"Q: {args.get('q', '')}")
+    return MCPClient(server)
+
+
+class TestProtocol:
+    def test_request_json_roundtrip(self):
+        req = MCPRequest(method="tools/list", params={"a": 1}, request_id=7)
+        back = MCPRequest.from_json(req.to_json())
+        assert back == req
+
+    def test_response_json_roundtrip_ok(self):
+        resp = MCPResponse(request_id=3, result={"x": 1})
+        back = MCPResponse.from_json(resp.to_json())
+        assert back.ok and back.result == {"x": 1}
+
+    def test_response_json_roundtrip_error(self):
+        from repro.agent.mcp.protocol import MCPError
+
+        resp = MCPResponse(request_id=3, error=MCPError(-32601, "nope"))
+        back = MCPResponse.from_json(resp.to_json())
+        assert not back.ok and back.error.code == -32601
+
+
+class TestServerClient:
+    def test_initialize(self, client):
+        info = client.initialize()
+        assert info["server"] == "provenance-agent"
+        assert info["capabilities"]["tools"]
+
+    def test_list_and_call_tool(self, client):
+        tools = client.list_tools()
+        assert {t["name"] for t in tools} == {"add", "crash"}
+        result = client.call_tool("add", a=2, b=3)
+        assert result["ok"] and result["data"] == 5
+
+    def test_unknown_tool_is_protocol_error(self, client):
+        with pytest.raises(AgentError) as err:
+            client.call_tool("ghost")
+        assert "-32601" in str(err.value) or "ghost" in str(err.value)
+
+    def test_tool_crash_becomes_internal_error(self, client):
+        with pytest.raises(AgentError):
+            client.call_tool("crash")
+
+    def test_resources(self, client):
+        assert client.list_resources() == ["greeting"]
+        assert client.read_resource("greeting") == {"hello": "world"}
+
+    def test_unknown_resource(self, client):
+        with pytest.raises(AgentError):
+            client.read_resource("ghost")
+
+    def test_prompts(self, client):
+        assert client.list_prompts() == ["qa"]
+        assert client.get_prompt("qa", q="hi") == "Q: hi"
+
+    def test_unknown_method(self, client):
+        server = client._server
+        resp = server.handle(MCPRequest(method="bogus/method"))
+        assert not resp.ok

@@ -1,0 +1,100 @@
+"""Tests for prompt building and configuration labels."""
+
+from __future__ import annotations
+
+from repro.agent.guidelines import GuidelineStore
+from repro.agent.prompts import FEW_SHOT_EXAMPLES, PromptBuilder, PromptConfig
+from repro.llm import prompt_format as pf
+from repro.llm.tokenizer import count_tokens
+from repro.query import parse_query
+
+
+class TestPromptConfigLabels:
+    def test_nothing(self):
+        assert PromptConfig().label == "Nothing"
+
+    def test_baseline(self):
+        assert PromptConfig().with_baseline().label == "Baseline"
+
+    def test_full(self):
+        cfg = PromptConfig(
+            few_shot=True, schema=True, values=True, guidelines=True
+        ).with_baseline()
+        assert cfg.label == "Full"
+
+    def test_intermediate(self):
+        cfg = PromptConfig(few_shot=True, guidelines=True).with_baseline()
+        assert cfg.label == "Baseline+FS+Guidelines"
+
+
+class TestPromptAssembly:
+    def test_sections_in_order_and_query_last(self):
+        cfg = PromptConfig(few_shot=True, schema=True).with_baseline()
+        prompt = PromptBuilder(cfg).build(
+            "How many?", schema_payload={"fields": {}}, values_payload={}
+        )
+        assert prompt.index(pf.SECTION_ROLE) < prompt.index(pf.SECTION_EXAMPLES)
+        assert prompt.rstrip().endswith("How many?")
+
+    def test_disabled_sections_absent(self):
+        prompt = PromptBuilder(PromptConfig().with_baseline()).build("q")
+        assert pf.SECTION_EXAMPLES not in prompt
+        assert pf.SECTION_SCHEMA not in prompt
+
+    def test_token_growth_across_configs(self):
+        schema = {"fields": {f"used.f{i}": {"type": "float", "description": "x" * 40} for i in range(20)}}
+        values = {f"used.f{i}": [1.0, 2.0, 3.0] for i in range(20)}
+        guide = GuidelineStore().render()
+
+        def tokens(cfg):
+            return count_tokens(
+                PromptBuilder(cfg).build(
+                    "q", schema_payload=schema, values_payload=values, guidelines_text=guide
+                )
+            )
+
+        baseline = tokens(PromptConfig().with_baseline())
+        full = tokens(
+            PromptConfig(few_shot=True, schema=True, values=True, guidelines=True).with_baseline()
+        )
+        assert full > 4 * baseline  # Figure 8's growth shape
+
+    def test_guidelines_only_when_text_given(self):
+        cfg = PromptConfig(guidelines=True).with_baseline()
+        prompt = PromptBuilder(cfg).build("q", guidelines_text="")
+        assert pf.SECTION_GUIDELINES not in prompt
+
+
+class TestFewShotExamples:
+    def test_all_examples_parse(self):
+        for _nl, code in FEW_SHOT_EXAMPLES:
+            parse_query(code)  # must not raise
+
+    def test_examples_use_only_common_fields(self):
+        common = {"status", "started_at", "hostname", "task_id", "activity_id", "duration"}
+        for _nl, code in FEW_SHOT_EXAMPLES:
+            fields = parse_query(code).fields_used()
+            assert fields <= common
+
+
+class TestGuidelineStore:
+    def test_static_set_covers_trap_guard_phrases(self):
+        from repro.llm.generation import TRAP_GUARD_PHRASES
+
+        text = GuidelineStore().render().lower()
+        for trap, phrase in TRAP_GUARD_PHRASES.items():
+            assert phrase in text, f"guard phrase {phrase!r} missing for {trap}"
+
+    def test_static_set_covers_hint_fields(self):
+        from repro.llm.vocabulary import GUIDELINE_FIELD_HINTS
+
+        text = GuidelineStore().render().lower()
+        for fname in GUIDELINE_FIELD_HINTS:
+            assert fname.lower() in text, f"hint field {fname} missing"
+
+    def test_user_guidelines_rendered_after_static(self):
+        store = GuidelineStore()
+        store.add_user_guideline("use the field lr for learning rates")
+        rendered = store.render()
+        assert rendered.index("lr") > rendered.index("started_at")
+        assert "override" in rendered

@@ -1,0 +1,94 @@
+"""Tests for agent-action provenance recording (§4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.recorder import AgentProvenanceRecorder
+from repro.capture.context import CaptureContext
+from repro.provenance.keeper import ProvenanceKeeper
+
+
+@pytest.fixture
+def env():
+    ctx = CaptureContext()
+    keeper = ProvenanceKeeper(ctx.broker)
+    keeper.start()
+    recorder = AgentProvenanceRecorder(ctx, agent_id="agent-x")
+    return ctx, keeper, recorder
+
+
+class TestToolExecution:
+    def test_record_shape(self, env):
+        ctx, keeper, recorder = env
+        tid = recorder.record_tool_execution(
+            "in_memory_context_query",
+            {"message": "how many?"},
+            {"ok": True},
+            started_at=1.0,
+            ended_at=2.0,
+        )
+        ctx.flush()
+        doc = keeper.database.find_one({"task_id": tid})
+        assert doc["type"] == "tool_execution"
+        assert doc["agent_id"] == "agent-x"
+        assert doc["used"]["message"] == "how many?"
+        assert doc["duration"] == 1.0
+
+    def test_failed_flag(self, env):
+        ctx, keeper, recorder = env
+        tid = recorder.record_tool_execution(
+            "plot", {}, {"ok": False}, started_at=1.0, ended_at=2.0, failed=True
+        )
+        ctx.flush()
+        assert keeper.database.find_one({"task_id": tid})["status"] == "FAILED"
+
+
+class TestLLMInteraction:
+    def test_prompt_and_response_in_prov_verbs(self, env):
+        ctx, keeper, recorder = env
+        tool_id = recorder.record_tool_execution(
+            "q", {}, {}, started_at=1.0, ended_at=2.0
+        )
+        llm_id = recorder.record_llm_interaction(
+            "gpt-4",
+            "PROMPT TEXT",
+            "df['x'].mean()",
+            started_at=2.0,
+            ended_at=3.5,
+            informed_by=tool_id,
+            prompt_tokens=1234,
+            output_tokens=9,
+        )
+        ctx.flush()
+        doc = keeper.database.find_one({"task_id": llm_id})
+        assert doc["type"] == "llm_interaction"
+        assert doc["used"]["prompt"] == "PROMPT TEXT"  # prov:used
+        assert doc["generated"]["response"] == "df['x'].mean()"  # prov:generated
+        assert doc["informed_by"] == tool_id  # prov:wasInformedBy
+
+    def test_long_prompt_truncated_in_record(self, env):
+        ctx, keeper, recorder = env
+        llm_id = recorder.record_llm_interaction(
+            "gpt-4", "x" * 10_000, "y", started_at=0.0, ended_at=1.0
+        )
+        ctx.flush()
+        doc = keeper.database.find_one({"task_id": llm_id})
+        assert len(doc["used"]["prompt"]) <= 2000
+
+    def test_prov_graph_links(self, env):
+        ctx, keeper, recorder = env
+        tool_id = recorder.record_tool_execution(
+            "q", {}, {}, started_at=1.0, ended_at=2.0
+        )
+        recorder.record_llm_interaction(
+            "gpt-4", "p", "r", started_at=2.0, ended_at=3.0, informed_by=tool_id
+        )
+        ctx.flush()
+        from repro.provenance.prov import RelationKind
+
+        assert keeper.prov.activities_of_agent("agent-x") == [
+            tool_id,
+            keeper.prov.activities_of_agent("agent-x")[1],
+        ]
+        assert keeper.prov.relations(RelationKind.WAS_INFORMED_BY)

@@ -1,0 +1,189 @@
+"""Tests for the tool router, tool registry, anomaly detector, and monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.context_manager import ContextManager
+from repro.agent.monitor import ContextMonitor, MonitorRule
+from repro.agent.router import Intent, ToolRouter
+from repro.agent.tools.anomaly import AnomalyDetectorTool
+from repro.agent.tools.base import Tool, ToolRegistry, ToolResult
+from repro.capture.context import CaptureContext
+from repro.capture.instrumentation import flow_task
+from repro.errors import ToolNotFoundError
+from repro.provenance.keeper import ANOMALY_TOPIC
+
+
+class TestRouter:
+    @pytest.mark.parametrize(
+        "text,intent",
+        [
+            ("hi", Intent.GREETING),
+            ("Hello!", Intent.GREETING),
+            ("thanks", Intent.GREETING),
+            ("use the field lr to filter learning rates", Intent.ADD_GUIDELINE),
+            ("From now on, sort by ended_at", Intent.ADD_GUIDELINE),
+            ("Plot a bar graph of BDE per bond", Intent.VISUALIZATION),
+            ("visualize cpu usage", Intent.VISUALIZATION),
+            ("show me the history of past runs", Intent.HISTORICAL_QUERY),
+            ("query the database for all campaigns", Intent.HISTORICAL_QUERY),
+            ("How many tasks failed?", Intent.MONITORING_QUERY),
+            ("", Intent.GREETING),
+        ],
+    )
+    def test_classification(self, text, intent):
+        assert ToolRouter().classify(text) == intent
+
+    def test_llm_assist_used_when_rules_inconclusive(self):
+        router = ToolRouter(llm_classify=lambda _t: "historical_query")
+        assert router.classify("something cryptic") == Intent.HISTORICAL_QUERY
+
+    def test_llm_assist_failure_falls_back(self):
+        def broken(_t):
+            raise RuntimeError("llm down")
+
+        router = ToolRouter(llm_classify=broken)
+        assert router.classify("something cryptic") == Intent.MONITORING_QUERY
+
+
+class _EchoTool(Tool):
+    name = "echo"
+    description = "returns its arguments"
+
+    def invoke(self, **kwargs):
+        return ToolResult(ok=True, summary="echo", data=kwargs)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = ToolRegistry()
+        reg.register(_EchoTool())
+        assert reg.get("echo").invoke(a=1).data == {"a": 1}
+
+    def test_missing_tool(self):
+        with pytest.raises(ToolNotFoundError):
+            ToolRegistry().get("ghost")
+
+    def test_describe_lists_metadata(self):
+        reg = ToolRegistry()
+        reg.register(_EchoTool())
+        desc = reg.describe()
+        assert desc[0]["name"] == "echo"
+        assert "input_schema" in desc[0]
+
+
+@pytest.fixture
+def traffic_context():
+    ctx = CaptureContext()
+    cm = ContextManager(ctx.broker).start()
+
+    @flow_task(context=ctx)
+    def work(v):
+        return {"metric": v}
+
+    for i in range(30):
+        work(10.0 + (i % 3))
+    work(10_000.0)  # a blatant outlier
+    ctx.flush()
+    return ctx, cm
+
+
+class TestAnomalyDetector:
+    def test_outlier_found_and_republished(self, traffic_context):
+        ctx, cm = traffic_context
+        anomalies_seen = []
+        ctx.broker.subscribe(ANOMALY_TOPIC, anomalies_seen.append)
+        tool = AnomalyDetectorTool(cm, ctx.broker)
+        result = tool.invoke(fields=["generated.metric"])
+        assert result.ok
+        assert any(a.field == "generated.metric" for a in result.data)
+        assert anomalies_seen
+        assert anomalies_seen[0].headers["anomaly"] == "statistical-outlier"
+
+    def test_no_anomalies_in_uniform_data(self):
+        ctx = CaptureContext()
+        cm = ContextManager(ctx.broker).start()
+
+        @flow_task(context=ctx)
+        def steady():
+            return {"metric": 5.0}
+
+        for _ in range(20):
+            steady()
+        ctx.flush()
+        tool = AnomalyDetectorTool(cm, ctx.broker)
+        assert tool.invoke(fields=["generated.metric"]).data == []
+
+    def test_small_samples_skipped(self):
+        ctx = CaptureContext()
+        cm = ContextManager(ctx.broker).start()
+
+        @flow_task(context=ctx)
+        def few(v):
+            return {"metric": v}
+
+        few(1.0), few(100.0)
+        ctx.flush()
+        tool = AnomalyDetectorTool(cm, ctx.broker, min_samples=8)
+        assert tool.invoke(fields=["generated.metric"]).data == []
+
+    def test_empty_buffer(self):
+        ctx = CaptureContext()
+        cm = ContextManager(ctx.broker).start()
+        tool = AnomalyDetectorTool(cm, ctx.broker)
+        result = tool.invoke()
+        assert result.ok and result.data == []
+
+    def test_candidate_fields_autodetected(self, traffic_context):
+        ctx, cm = traffic_context
+        tool = AnomalyDetectorTool(cm, ctx.broker)
+        result = tool.invoke()  # no fields specified
+        assert result.ok
+
+
+class TestContextMonitor:
+    def test_rule_dispatches_tool(self, traffic_context):
+        ctx, cm = traffic_context
+        monitor = ContextMonitor(cm)
+        tool = AnomalyDetectorTool(cm, ctx.broker)
+        monitor.add_rule(
+            MonitorRule(
+                name="always",
+                condition=lambda _cm: True,
+                tool=tool,
+                kwargs={"fields": ["generated.metric"]},
+            )
+        )
+        fired = monitor.poll()
+        assert len(fired) == 1
+        assert fired[0][0] == "always"
+
+    def test_edge_triggering_fires_once(self, traffic_context):
+        ctx, cm = traffic_context
+        monitor = ContextMonitor(cm)
+        tool = AnomalyDetectorTool(cm, ctx.broker)
+        monitor.add_rule(
+            MonitorRule(name="edge", condition=lambda _cm: True, tool=tool)
+        )
+        assert len(monitor.poll()) == 1
+        assert len(monitor.poll()) == 0  # still True, but edge-triggered
+
+    def test_every_n_messages_rule(self, traffic_context):
+        ctx, cm = traffic_context
+        monitor = ContextMonitor(cm)
+        tool = AnomalyDetectorTool(cm, ctx.broker)
+        monitor.every_n_messages(5, tool, fields=["generated.metric"])
+        assert len(monitor.poll()) == 1  # 31 messages > 5
+
+    def test_broken_rule_isolated(self, traffic_context):
+        ctx, cm = traffic_context
+        monitor = ContextMonitor(cm)
+
+        def boom(_cm):
+            raise RuntimeError("rule bug")
+
+        monitor.add_rule(
+            MonitorRule(name="bad", condition=boom, tool=AnomalyDetectorTool(cm, ctx.broker))
+        )
+        assert monitor.poll() == []

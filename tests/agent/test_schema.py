@@ -1,0 +1,125 @@
+"""Tests for the Dynamic Dataflow Schema."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.agent.schema import DynamicDataflowSchema
+
+
+def msg(activity="square", used=None, generated=None, **extra):
+    doc = {
+        "task_id": "t",
+        "activity_id": activity,
+        "used": used or {},
+        "generated": generated or {},
+        "status": "FINISHED",
+        "hostname": "n1",
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestIncrementalInference:
+    def test_fields_appear_with_types(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"x": 3}, generated={"y": 9.5}))
+        assert s.field("used.x").inferred_type == "int"
+        assert s.field("generated.y").inferred_type == "float"
+
+    def test_type_promotion_int_float(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"x": 3}))
+        s.update(msg(used={"x": 3.5}))
+        assert s.field("used.x").inferred_type == "float"
+
+    def test_mixed_types_flagged(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"x": 3}))
+        s.update(msg(used={"x": "three"}))
+        assert s.field("used.x").inferred_type == "mixed"
+
+    def test_nested_fields_flattened(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"frags": {"label": "C-H_3"}}))
+        assert "used.frags.label" in s.dataflow_fields
+
+    def test_engine_internal_fields_skipped(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"_upstream": ["t0"], "x": 1}))
+        assert "used._upstream" not in s.dataflow_fields
+
+    def test_activities_tracked(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(activity="a"))
+        s.update(msg(activity="b"))
+        assert s.activities == ("a", "b")
+
+    def test_example_values_bounded(self):
+        from repro.agent.schema import _MAX_EXAMPLES
+
+        s = DynamicDataflowSchema()
+        for i in range(50):
+            s.update(msg(used={"x": i}))
+        assert len(s.field("used.x").examples) <= _MAX_EXAMPLES
+
+    def test_long_strings_not_kept_as_examples(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"deck": "x" * 200}))
+        assert s.field("used.deck").examples == []
+
+
+class TestVolumeIndependence:
+    """The paper's key property: schema size tracks complexity, not volume."""
+
+    def test_size_stable_under_repeated_messages(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"x": 1}, generated={"y": 2}))
+        size_after_one = len(s.to_prompt_payload()["fields"])
+        for i in range(500):
+            s.update(msg(used={"x": i}, generated={"y": i * 2}))
+        assert len(s.to_prompt_payload()["fields"]) == size_after_one
+
+    @given(st.integers(1, 200))
+    def test_property_payload_independent_of_count(self, n):
+        a, b = DynamicDataflowSchema(), DynamicDataflowSchema()
+        a.update(msg(used={"x": 0}))
+        for i in range(n):
+            b.update(msg(used={"x": i}))
+        assert set(a.to_prompt_payload()["fields"]) == set(
+            b.to_prompt_payload()["fields"]
+        )
+
+    def test_complexity_grows_with_diversity(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(activity="a", used={"x": 1}))
+        c1 = s.complexity()
+        s.update(msg(activity="b", used={"x": 1, "y": 2}))
+        assert s.complexity() > c1
+
+
+class TestPromptPayloads:
+    def test_common_fields_always_included(self):
+        s = DynamicDataflowSchema()
+        payload = s.to_prompt_payload()
+        assert "task_id" in payload["fields"]
+        assert "campaign_id" in payload["fields"]
+
+    def test_descriptions_toggle(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"x": 1}))
+        with_desc = s.to_prompt_payload(include_descriptions=True)
+        without = s.to_prompt_payload(include_descriptions=False)
+        assert "description" in with_desc["fields"]["used.x"]
+        assert "description" not in without["fields"]["used.x"]
+
+    def test_values_payload_has_activity_names(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(activity="power"))
+        assert "power" in s.values_payload()["activity_id"]
+
+    def test_known_fields_union(self):
+        s = DynamicDataflowSchema()
+        s.update(msg(used={"x": 1}))
+        known = s.all_known_fields()
+        assert "used.x" in known and "status" in known

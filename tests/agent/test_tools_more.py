@@ -1,0 +1,110 @@
+"""Tests for the plotting, summary, and database-query tools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.agent import ProvenanceAgent
+from repro.agent.tools.summarize import summarize
+from repro.capture.context import CaptureContext
+from repro.dataframe import DataFrame
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.provenance.query_api import QueryAPI
+from repro.workflows.synthetic import run_synthetic_campaign
+
+
+@pytest.fixture(scope="module")
+def env():
+    ctx = CaptureContext()
+    keeper = ProvenanceKeeper(ctx.broker)
+    keeper.start()
+    agent = ProvenanceAgent(ctx, model="gpt-4", query_api=QueryAPI(keeper.database))
+    run_synthetic_campaign(ctx, n_inputs=8)
+    return ctx, keeper, agent
+
+
+class TestSummarize:
+    def test_scalar(self):
+        assert summarize(42) == "The answer is 42."
+
+    def test_float_formatting(self):
+        assert summarize(98.64865792890485) == "The answer is 98.6487."
+
+    def test_empty_frame(self):
+        assert "no tasks" in summarize(DataFrame({"a": []})).lower()
+
+    def test_one_by_one_frame(self):
+        assert summarize(DataFrame({"x": [7]})) == "The answer is 7."
+
+    def test_single_row_lists_fields(self):
+        out = summarize(DataFrame({"a": [1], "b": ["x"]}))
+        assert "a = 1" in out and "b = x" in out
+
+    def test_multi_row_mentions_count(self):
+        out = summarize(DataFrame({"a": [1, 2, 3]}))
+        assert out.startswith("3 rows")
+
+    def test_unique_list(self):
+        out = summarize(["B3LYP"])
+        assert "B3LYP" in out
+
+    def test_long_list_truncated(self):
+        out = summarize([str(i) for i in range(20)])
+        assert "12 more" in out
+
+    def test_chemical_enrichment(self):
+        out = summarize(
+            DataFrame({"used.multiplicity": [1], "used.charge": [0]})
+        )
+        assert "singlet" in out and "neutral" in out
+
+    def test_doublet_enrichment(self):
+        out = summarize(DataFrame({"used.multiplicity": [2], "used.charge": [0]}))
+        assert "doublet" in out
+
+    def test_none(self):
+        assert summarize(None) == "No result."
+
+
+class TestPlottingTool:
+    def test_plot_of_grouped_data(self, env):
+        _, _, agent = env
+        reply = agent.chat("Plot a bar graph of the average duration per activity.")
+        assert reply.ok and reply.chart is not None
+        assert "duration" in reply.chart
+
+    def test_plot_failure_without_plottable_result(self, env):
+        _, _, agent = env
+        result = agent.plot_tool.invoke(question="plot how many tasks finished")
+        # a count is scalar -> not plottable rows
+        assert not result.ok
+
+    def test_axis_inference(self):
+        from repro.agent.tools.plotting import _pick_axes
+
+        frame = DataFrame({"label": ["a"], "started_at": [1.0], "value": [2.0]})
+        label, value = _pick_axes(frame)
+        assert label == "label"
+        assert value == "value"  # *_at columns skipped
+
+
+class TestDatabaseQueryTool:
+    def test_historical_question_routed_to_db(self, env):
+        _, keeper, agent = env
+        reply = agent.chat("From the database history, how many tasks have finished?")
+        assert reply.intent.value == "historical_query"
+        assert reply.ok
+        assert str(keeper.database.count({"type": "task", "status": "FINISHED"})) in reply.text
+
+    def test_db_tool_reports_bad_query(self, env):
+        _, _, agent = env
+        result = agent.db_tool.invoke(question="")
+        assert not result.ok
+
+
+class TestQueryToolRetry:
+    def test_attempts_recorded(self, env):
+        _, _, agent = env
+        result = agent.query_tool.invoke(question="How many tasks have finished?")
+        assert result.ok
+        assert result.details["attempts"] >= 1

@@ -1,0 +1,111 @@
+"""Tests for observability adapters."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.capture.adapters.filesystem import FileSystemAdapter
+from repro.capture.adapters.mlflow_like import MLFlowLikeAdapter
+from repro.capture.adapters.sqlite import SQLiteAdapter
+from repro.capture.context import CaptureContext
+from repro.provenance.keeper import ProvenanceKeeper
+
+
+@pytest.fixture
+def ctx():
+    return CaptureContext()
+
+
+@pytest.fixture
+def keeper(ctx):
+    k = ProvenanceKeeper(ctx.broker)
+    k.start()
+    return k
+
+
+class TestFileSystemAdapter:
+    def test_new_file_observed(self, tmp_path, ctx, keeper):
+        adapter = FileSystemAdapter(tmp_path, ctx)
+        assert adapter.poll() == 0
+        (tmp_path / "out.log").write_text("hello")
+        assert adapter.poll() == 1
+        doc = keeper.database.find_one({"activity_id": "fs_file_created"})
+        assert doc["generated"]["size_bytes"] == 5
+
+    def test_unchanged_file_not_reemitted(self, tmp_path, ctx):
+        (tmp_path / "a.txt").write_text("x")
+        adapter = FileSystemAdapter(tmp_path, ctx)
+        assert adapter.poll() == 1
+        assert adapter.poll() == 0
+
+    def test_suffix_filter(self, tmp_path, ctx):
+        (tmp_path / "keep.json").write_text("{}")
+        (tmp_path / "skip.tmp").write_text("")
+        adapter = FileSystemAdapter(tmp_path, ctx, suffixes=(".json",))
+        assert adapter.poll() == 1
+
+    def test_missing_root_is_empty(self, tmp_path, ctx):
+        adapter = FileSystemAdapter(tmp_path / "ghost", ctx)
+        assert adapter.poll() == 0
+
+
+class TestSQLiteAdapter:
+    def make_db(self, path):
+        con = sqlite3.connect(path)
+        con.execute("CREATE TABLE runs (name TEXT, energy REAL)")
+        con.commit()
+        return con
+
+    def test_rows_observed_incrementally(self, tmp_path, ctx, keeper):
+        db_path = tmp_path / "results.db"
+        con = self.make_db(db_path)
+        adapter = SQLiteAdapter(db_path, "runs", ctx)
+        assert adapter.poll() == 0
+        con.execute("INSERT INTO runs VALUES ('dft-1', -154.99)")
+        con.commit()
+        assert adapter.poll() == 1
+        con.execute("INSERT INTO runs VALUES ('dft-2', -39.81)")
+        con.commit()
+        assert adapter.poll() == 1  # only the new row
+        con.close()
+        doc = keeper.database.find_one({"generated.name": "dft-2"})
+        assert doc["generated"]["energy"] == -39.81
+
+    def test_missing_db_is_empty(self, tmp_path, ctx):
+        adapter = SQLiteAdapter(tmp_path / "nope.db", "runs", ctx)
+        assert adapter.poll() == 0
+
+    def test_suspicious_table_rejected(self, tmp_path, ctx):
+        with pytest.raises(ValueError):
+            SQLiteAdapter(tmp_path / "x.db", "runs; DROP TABLE", ctx)
+
+
+class TestMLFlowLikeAdapter:
+    def test_lines_tailed(self, tmp_path, ctx, keeper):
+        log = tmp_path / "runs.jsonl"
+        log.write_text(
+            json.dumps({"run_id": "r1", "params": {"lr": 0.01}, "metrics": {"loss": 0.5}})
+            + "\n"
+        )
+        adapter = MLFlowLikeAdapter(log, ctx)
+        assert adapter.poll() == 1
+        with open(log, "a") as f:
+            f.write(json.dumps({"run_id": "r2", "metrics": {"loss": 0.4}}) + "\n")
+        assert adapter.poll() == 1
+        doc = keeper.database.find_one({"generated.run_id": "r1"})
+        assert doc["generated"]["param.lr"] == 0.01
+        assert doc["generated"]["metric.loss"] == 0.5
+
+    def test_malformed_lines_counted_not_fatal(self, tmp_path, ctx):
+        log = tmp_path / "runs.jsonl"
+        log.write_text("not json\n" + json.dumps({"run_id": "ok"}) + "\n")
+        adapter = MLFlowLikeAdapter(log, ctx)
+        assert adapter.poll() == 1
+        assert adapter.malformed_lines == 1
+
+    def test_missing_file_is_empty(self, tmp_path, ctx):
+        adapter = MLFlowLikeAdapter(tmp_path / "ghost.jsonl", ctx)
+        assert adapter.poll() == 0

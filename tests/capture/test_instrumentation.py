@@ -1,0 +1,157 @@
+"""Tests for @flow_task and the capture context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture.context import CaptureContext, WorkflowRun
+from repro.capture.instrumentation import flow_task
+from repro.provenance.keeper import ProvenanceKeeper
+
+
+@pytest.fixture
+def ctx():
+    CaptureContext.reset_default()
+    return CaptureContext(hostname="node-x")
+
+
+@pytest.fixture
+def keeper(ctx):
+    k = ProvenanceKeeper(ctx.broker)
+    k.start()
+    return k
+
+
+class TestFlowTask:
+    def test_captures_used_and_generated(self, ctx, keeper):
+        @flow_task(context=ctx)
+        def square(x):
+            return {"y": x * x}
+
+        assert square(3) == {"y": 9}
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "square"})
+        assert doc["used"] == {"x": 3}
+        assert doc["generated"] == {"y": 9}
+        assert doc["status"] == "FINISHED"
+
+    def test_custom_activity_id(self, ctx, keeper):
+        @flow_task("my_activity", context=ctx)
+        def fn():
+            return None
+
+        fn()
+        ctx.flush()
+        assert keeper.database.find_one({"activity_id": "my_activity"})
+
+    def test_scalar_result_wrapped(self, ctx, keeper):
+        @flow_task(context=ctx)
+        def answer():
+            return 42
+
+        answer()
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "answer"})
+        assert doc["generated"] == {"result": 42}
+
+    def test_failure_recorded_and_reraised(self, ctx, keeper):
+        @flow_task(context=ctx)
+        def boom():
+            raise ValueError("broken")
+
+        with pytest.raises(ValueError):
+            boom()
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "boom"})
+        assert doc["status"] == "FAILED"
+        assert "broken" in doc["generated"]["error"]
+
+    def test_upstream_and_hostname_kwargs(self, ctx, keeper):
+        @flow_task(context=ctx)
+        def fn(x):
+            return {"x": x}
+
+        fn(1, _upstream=["parent-task"], _hostname="frontier00099")
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "fn"})
+        assert doc["used"]["_upstream"] == ["parent-task"]
+        assert doc["hostname"] == "frontier00099"
+
+    def test_telemetry_snapshots_attached(self, ctx, keeper):
+        @flow_task(context=ctx)
+        def fn():
+            return {}
+
+        fn()
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "fn"})
+        assert "percent" in doc["telemetry_at_start"]["cpu"]
+        assert "percent" in doc["telemetry_at_end"]["cpu"]
+
+    def test_large_values_summarised(self, ctx, keeper):
+        @flow_task(context=ctx)
+        def fn(big):
+            return {}
+
+        fn(list(range(1000)))
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "fn"})
+        assert doc["used"]["big"]["_summary"] == "sequence of 1000 items"
+
+    def test_nested_dict_values_captured(self, ctx, keeper):
+        @flow_task(context=ctx)
+        def fn(frags):
+            return {}
+
+        fn({"label": "C-H_3", "fragment2": "[H]"})
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "fn"})
+        assert doc["used"]["frags"]["label"] == "C-H_3"
+
+    def test_default_context_used_when_unspecified(self, keeper):
+        # keeper fixture subscribes to ctx.broker, but default ctx is fresh:
+        CaptureContext.reset_default()
+
+        @flow_task()
+        def fn():
+            return {}
+
+        fn()
+        default = CaptureContext.default()
+        default.flush()
+        assert default.buffer.appended_count == 1
+
+
+class TestWorkflowRun:
+    def test_emits_running_and_finished(self, ctx, keeper):
+        with WorkflowRun("my_wf", ctx) as run:
+            pass
+        docs = keeper.database.find({"type": "workflow"})
+        assert len(docs) == 1  # upserted RUNNING -> FINISHED
+        assert docs[0]["status"] == "FINISHED"
+        assert docs[0]["workflow_id"] == run.workflow_id
+
+    def test_failure_marks_failed(self, ctx, keeper):
+        with pytest.raises(RuntimeError):
+            with WorkflowRun("my_wf", ctx):
+                raise RuntimeError("bad")
+        docs = keeper.database.find({"type": "workflow"})
+        assert docs[0]["status"] == "FAILED"
+
+    def test_tasks_inside_scope_get_workflow_id(self, ctx, keeper):
+        @flow_task(context=ctx)
+        def fn():
+            return {}
+
+        with WorkflowRun("wf", ctx) as run:
+            fn()
+        doc = keeper.database.find_one({"activity_id": "fn"})
+        assert doc["workflow_id"] == run.workflow_id
+
+    def test_nested_workflows_stack(self, ctx):
+        with WorkflowRun("outer", ctx) as outer:
+            assert ctx.workflow_id == outer.workflow_id
+            with WorkflowRun("inner", ctx) as inner:
+                assert ctx.workflow_id == inner.workflow_id
+            assert ctx.workflow_id == outer.workflow_id
+        assert ctx.workflow_id is None

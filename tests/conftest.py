@@ -1,0 +1,75 @@
+"""Shared fixtures: canonical provenance-like frames used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import DataFrame
+
+
+@pytest.fixture
+def task_records() -> list[dict]:
+    """A small, hand-checkable set of task provenance rows (flattened form)."""
+    return [
+        {
+            "task_id": "1000.1_0",
+            "campaign_id": "c1",
+            "workflow_id": "w1",
+            "activity_id": "run_dft",
+            "status": "FINISHED",
+            "hostname": "frontier00084",
+            "started_at": 1000.1,
+            "ended_at": 1002.1,
+            "duration": 2.0,
+            "telemetry_at_end.cpu.percent": 53.8,
+            "generated.bond_id": "C-H_1",
+            "generated.bd_enthalpy": 100.2,
+        },
+        {
+            "task_id": "1000.2_1",
+            "campaign_id": "c1",
+            "workflow_id": "w1",
+            "activity_id": "run_dft",
+            "status": "RUNNING",
+            "hostname": "frontier00085",
+            "started_at": 1000.2,
+            "ended_at": None,
+            "duration": None,
+            "telemetry_at_end.cpu.percent": 88.0,
+            "generated.bond_id": "C-C_1",
+            "generated.bd_enthalpy": 89.5,
+        },
+        {
+            "task_id": "1000.3_2",
+            "campaign_id": "c1",
+            "workflow_id": "w1",
+            "activity_id": "postprocess",
+            "status": "FINISHED",
+            "hostname": "frontier00084",
+            "started_at": 1000.3,
+            "ended_at": 1000.8,
+            "duration": 0.5,
+            "telemetry_at_end.cpu.percent": 23.4,
+            "generated.bond_id": "C-H_2",
+            "generated.bd_enthalpy": 99.8,
+        },
+        {
+            "task_id": "1000.4_3",
+            "campaign_id": "c1",
+            "workflow_id": "w2",
+            "activity_id": "run_dft",
+            "status": "FAILED",
+            "hostname": "frontier00086",
+            "started_at": 1000.4,
+            "ended_at": 1000.9,
+            "duration": 0.5,
+            "telemetry_at_end.cpu.percent": 12.0,
+            "generated.bond_id": "O-H_1",
+            "generated.bd_enthalpy": 104.9,
+        },
+    ]
+
+
+@pytest.fixture
+def task_frame(task_records) -> DataFrame:
+    return DataFrame.from_records(task_records)

@@ -1,0 +1,198 @@
+"""Tests for Column: comparisons, aggregations, ordering, string ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe.column import Column
+from repro.errors import AggregationError
+
+
+class TestConstruction:
+    def test_infers_dtype(self):
+        assert Column("x", [1, 2]).dtype == "int64"
+        assert Column("x", [1.5]).dtype == "float64"
+        assert Column("x", ["a"]).dtype == "object"
+
+    def test_iteration_restores_python_values(self):
+        col = Column("x", [1.5, None, 2.5])
+        assert col.to_list() == [1.5, None, 2.5]
+
+    def test_getitem(self):
+        col = Column("x", [10, 20])
+        assert col[1] == 20
+        assert isinstance(col[1], int)
+
+    def test_rename_shares_storage(self):
+        a = Column("x", [1, 2])
+        b = a.rename("y")
+        assert b.name == "y"
+        assert b.to_numpy() is a.to_numpy()
+
+
+class TestComparisons:
+    def test_numeric_comparison(self):
+        col = Column("x", [1.0, 5.0, 3.0])
+        assert (col > 2.0).tolist() == [False, True, True]
+
+    def test_equality_on_strings(self):
+        col = Column("s", ["a", "b", "a"])
+        assert (col == "a").tolist() == [True, False, True]
+
+    def test_null_never_matches(self):
+        col = Column("x", [1.0, None])
+        assert (col > 0).tolist() == [True, False]
+        assert (col == 1.0).tolist() == [True, False]
+
+    def test_mixed_type_comparison_is_false_not_error(self):
+        col = Column("s", ["a", None, "b"])
+        assert (col > 5).tolist() == [False, False, False]
+
+    def test_isin(self):
+        col = Column("s", ["a", "b", "c"])
+        assert col.isin(["a", "c"]).tolist() == [True, False, True]
+
+    def test_between_inclusive(self):
+        col = Column("x", [1.0, 2.0, 3.0])
+        assert col.between(1.0, 2.0).tolist() == [True, True, False]
+
+    def test_column_vs_column(self):
+        a = Column("a", [1.0, 5.0])
+        b = Column("b", [2.0, 2.0])
+        assert (a > b).tolist() == [False, True]
+
+
+class TestAggregations:
+    def test_sum_mean_skip_nulls(self):
+        col = Column("x", [1.0, None, 3.0])
+        assert col.sum() == 4.0
+        assert col.mean() == 2.0
+
+    def test_median(self):
+        assert Column("x", [1.0, 9.0, 2.0]).median() == 2.0
+
+    def test_std_sample(self):
+        col = Column("x", [1.0, 2.0, 3.0])
+        assert col.std() == pytest.approx(1.0)
+
+    def test_std_of_single_value_is_none(self):
+        assert Column("x", [1.0]).std() is None
+
+    def test_min_max_on_strings(self):
+        col = Column("s", ["b", "a", "c"])
+        assert col.min() == "a"
+        assert col.max() == "c"
+
+    def test_count_ignores_nulls(self):
+        assert Column("x", [1.0, None, 2.0]).count() == 2
+
+    def test_nunique_and_unique_preserve_first_seen_order(self):
+        col = Column("s", ["b", "a", "b", None])
+        assert col.nunique() == 2
+        assert col.unique() == ["b", "a"]
+
+    def test_idxmin_idxmax(self):
+        col = Column("x", [3.0, 1.0, 2.0])
+        assert col.idxmin() == 1
+        assert col.idxmax() == 0
+
+    def test_idxmin_all_nan_is_none(self):
+        assert Column("x", [None, None]).idxmin() is None
+
+    def test_numeric_agg_on_object_column_raises(self):
+        with pytest.raises(AggregationError):
+            Column("s", ["a"]).mean()
+
+    def test_empty_aggregations(self):
+        col = Column("x", [])
+        assert col.sum() == 0.0
+        assert col.mean() is None
+        assert col.min() is None
+
+    def test_agg_dispatch(self):
+        col = Column("x", [2.0, 4.0])
+        assert col.agg("mean") == 3.0
+        with pytest.raises(AggregationError):
+            col.agg("frobnicate")
+
+
+class TestOrdering:
+    def test_argsort_ascending(self):
+        col = Column("x", [3.0, 1.0, 2.0])
+        assert col.argsort(True).tolist() == [1, 2, 0]
+
+    def test_argsort_descending(self):
+        col = Column("x", [3.0, 1.0, 2.0])
+        assert col.argsort(False).tolist() == [0, 2, 1]
+
+    def test_nulls_sort_last_both_directions(self):
+        col = Column("x", [None, 1.0, 2.0])
+        assert col.argsort(True).tolist()[-1] == 0
+        assert col.argsort(False).tolist()[-1] == 0
+
+    def test_string_sort(self):
+        col = Column("s", ["b", "a", "c"])
+        assert col.argsort(True).tolist() == [1, 0, 2]
+
+    def test_stable_on_ties(self):
+        col = Column("x", [1.0, 1.0, 0.0])
+        assert col.argsort(True).tolist() == [2, 0, 1]
+
+
+class TestStringAccessor:
+    def test_contains(self):
+        col = Column("s", ["C-H_1", "C-C_1", None])
+        assert col.str.contains("C-H").tolist() == [True, False, False]
+
+    def test_contains_case_insensitive(self):
+        col = Column("s", ["Run_DFT"])
+        assert col.str.contains("run_dft", case=False).tolist() == [True]
+
+    def test_startswith_endswith(self):
+        col = Column("s", ["frontier00084"])
+        assert col.str.startswith("frontier").tolist() == [True]
+        assert col.str.endswith("84").tolist() == [True]
+
+    def test_non_string_values_are_false(self):
+        col = Column("s", [1, "ab"])
+        assert col.str.contains("a").tolist() == [False, True]
+
+    def test_lower_upper(self):
+        col = Column("s", ["Ab"])
+        assert col.str.lower().to_list() == ["ab"]
+        assert col.str.upper().to_list() == ["AB"]
+
+
+class TestArithmetic:
+    def test_subtract_columns(self):
+        a = Column("end", [3.0, 5.0])
+        b = Column("start", [1.0, 2.0])
+        assert (a - b).to_list() == [2.0, 3.0]
+
+    def test_scalar_ops(self):
+        col = Column("x", [1.0, 2.0])
+        assert (col * 2).to_list() == [2.0, 4.0]
+        assert (col + 1).to_list() == [2.0, 3.0]
+
+    def test_arith_on_object_raises(self):
+        with pytest.raises(AggregationError):
+            Column("s", ["a"]) + 1
+
+    def test_null_propagates(self):
+        col = Column("x", [1.0, None])
+        assert (col + 1).to_list() == [2.0, None]
+
+
+class TestTakeMask:
+    def test_take(self):
+        col = Column("x", [10, 20, 30])
+        assert col.take([2, 0]).to_list() == [30, 10]
+
+    def test_mask(self):
+        col = Column("x", [10, 20, 30])
+        assert col.mask(np.array([True, False, True])).to_list() == [10, 30]
+
+    def test_apply(self):
+        col = Column("x", [1, None, 3])
+        assert col.apply(lambda v: v * 10).to_list() == [10, None, 30]

@@ -1,0 +1,67 @@
+"""Tests for dtype inference and storage."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataframe import dtypes as dt
+
+
+class TestInferDtype:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            ([1, 2, 3], dt.INT),
+            ([1.0, 2.5], dt.FLOAT),
+            ([1, 2.5], dt.FLOAT),
+            ([True, False], dt.BOOL),
+            (["a", "b"], dt.OBJECT),
+            ([1, None], dt.FLOAT),
+            ([None, None], dt.FLOAT),
+            ([], dt.OBJECT),
+            ([{"k": 1}], dt.OBJECT),
+            ([1, "a"], dt.OBJECT),
+            ([True, 1], dt.OBJECT),
+            ([True, None], dt.OBJECT),
+        ],
+    )
+    def test_inference_table(self, values, expected):
+        assert dt.infer_dtype(values) == expected
+
+    def test_nan_counts_as_null(self):
+        assert dt.infer_dtype([1, float("nan")]) == dt.FLOAT
+
+    def test_numpy_scalars_recognised(self):
+        assert dt.infer_dtype([np.int64(1), np.int64(2)]) == dt.INT
+        assert dt.infer_dtype([np.float64(1.5)]) == dt.FLOAT
+        assert dt.infer_dtype([np.bool_(True)]) == dt.BOOL
+
+
+class TestToStorage:
+    def test_float_storage_uses_nan_for_null(self):
+        arr = dt.to_storage([1.5, None], dt.FLOAT)
+        assert arr.dtype == np.float64
+        assert math.isnan(arr[1])
+
+    def test_int_storage(self):
+        arr = dt.to_storage([1, 2], dt.INT)
+        assert arr.dtype == np.int64
+
+    def test_object_storage_normalises_nan_to_none(self):
+        arr = dt.to_storage(["a", float("nan")], dt.OBJECT)
+        assert arr[1] is None
+
+
+class TestPromote:
+    def test_same_dtype_identity(self):
+        assert dt.promote(dt.INT, dt.INT) == dt.INT
+
+    def test_int_float_promotes_to_float(self):
+        assert dt.promote(dt.INT, dt.FLOAT) == dt.FLOAT
+
+    def test_mixed_promotes_to_object(self):
+        assert dt.promote(dt.BOOL, dt.FLOAT) == dt.OBJECT
+        assert dt.promote(dt.OBJECT, dt.INT) == dt.OBJECT

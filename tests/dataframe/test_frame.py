@@ -1,0 +1,195 @@
+"""Tests for DataFrame operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, concat, flatten_record
+from repro.errors import ColumnNotFoundError, LengthMismatchError
+
+
+class TestFlattenRecord:
+    def test_nested_dicts_get_dot_keys(self):
+        rec = {"used": {"frags": {"label": "C-H_3"}}, "status": "FINISHED"}
+        flat = flatten_record(rec)
+        assert flat == {"used.frags.label": "C-H_3", "status": "FINISHED"}
+
+    def test_lists_stay_opaque(self):
+        flat = flatten_record({"cpu": [1, 2, 3]})
+        assert flat == {"cpu": [1, 2, 3]}
+
+    def test_empty_dict_value_preserved(self):
+        assert flatten_record({"x": {}}) == {"x": {}}
+
+    def test_max_depth_stops_recursion(self):
+        rec = {"a": {"b": {"c": {"d": {"e": 1}}}}}
+        flat = flatten_record(rec, max_depth=2)
+        assert flat == {"a.b.c": {"d": {"e": 1}}}
+
+
+class TestConstruction:
+    def test_from_records_unions_keys(self):
+        df = DataFrame.from_records([{"a": 1}, {"b": 2}])
+        assert df.columns == ["a", "b"]
+        assert df.column("a").to_list() == [1, None]
+        assert df.column("b").to_list() == [None, 2]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_empty_frame(self):
+        df = DataFrame()
+        assert df.shape == (0, 0)
+        assert df.empty
+
+    def test_missing_column_raises_with_suggestions(self):
+        df = DataFrame({"activity_id": ["a"]})
+        with pytest.raises(ColumnNotFoundError) as err:
+            df.column("node")
+        assert "activity_id" in str(err.value)
+
+
+class TestIndexing:
+    def test_string_key_returns_column(self, task_frame):
+        assert task_frame["status"].name == "status"
+
+    def test_list_of_strings_projects(self, task_frame):
+        sub = task_frame[["task_id", "status"]]
+        assert sub.columns == ["task_id", "status"]
+
+    def test_boolean_mask_filters(self, task_frame):
+        out = task_frame[task_frame["status"] == "FINISHED"]
+        assert len(out) == 2
+
+    def test_bad_key_type(self, task_frame):
+        with pytest.raises(TypeError):
+            task_frame[42]
+
+
+class TestRowOps:
+    def test_head_tail(self, task_frame):
+        assert len(task_frame.head(2)) == 2
+        assert task_frame.tail(1).row(0)["task_id"] == "1000.4_3"
+
+    def test_head_beyond_length(self, task_frame):
+        assert len(task_frame.head(100)) == 4
+
+    def test_sort_values_single_key(self, task_frame):
+        out = task_frame.sort_values("duration")
+        durations = out.column("duration").to_list()
+        assert durations[:3] == [0.5, 0.5, 2.0]
+        assert durations[3] is None  # nulls last
+
+    def test_sort_descending_nulls_still_last(self, task_frame):
+        out = task_frame.sort_values("duration", ascending=False)
+        assert out.column("duration").to_list()[-1] is None
+
+    def test_multi_key_sort(self):
+        df = DataFrame({"a": [1, 1, 0], "b": [2.0, 1.0, 9.0]})
+        out = df.sort_values(["a", "b"], ascending=[True, False])
+        assert out.column("b").to_list() == [9.0, 2.0, 1.0]
+
+    def test_nlargest(self, task_frame):
+        out = task_frame.nlargest(1, "telemetry_at_end.cpu.percent")
+        assert out.row(0)["hostname"] == "frontier00085"
+
+    def test_drop_duplicates_subset(self, task_frame):
+        out = task_frame.drop_duplicates(subset="hostname")
+        assert len(out) == 3
+
+    def test_dropna_subset(self, task_frame):
+        out = task_frame.dropna(subset=["duration"])
+        assert len(out) == 3
+
+    def test_filter_mask_length_checked(self, task_frame):
+        with pytest.raises(LengthMismatchError):
+            task_frame.filter(np.array([True]))
+
+
+class TestAssignSelect:
+    def test_assign_adds_column(self, task_frame):
+        out = task_frame.assign(double=task_frame["duration"] * 2)
+        assert out.column("double").to_list()[0] == 4.0
+        assert "double" not in task_frame  # immutability
+
+    def test_assign_wrong_length(self, task_frame):
+        with pytest.raises(LengthMismatchError):
+            task_frame.assign(bad=[1])
+
+    def test_drop(self, task_frame):
+        out = task_frame.drop("status")
+        assert "status" not in out
+
+    def test_drop_missing_raises(self, task_frame):
+        with pytest.raises(ColumnNotFoundError):
+            task_frame.drop("nope")
+
+    def test_rename(self, task_frame):
+        out = task_frame.rename({"status": "state"})
+        assert "state" in out and "status" not in out
+
+
+class TestExport:
+    def test_to_dicts_roundtrip(self, task_records):
+        df = DataFrame.from_records(task_records)
+        assert df.to_dicts() == [
+            {k: r.get(k) for k in df.columns} for r in task_records
+        ]
+
+    def test_row_out_of_range(self, task_frame):
+        with pytest.raises(IndexError):
+            task_frame.row(99)
+
+    def test_to_string_contains_header_and_ellipsis(self, task_frame):
+        s = task_frame.to_string(max_rows=2)
+        assert "task_id" in s
+        assert "more rows" in s
+
+    def test_itertuples(self, task_frame):
+        rows = list(task_frame.itertuples())
+        assert len(rows) == 4
+        assert rows[0][0] == "1000.1_0"
+
+
+class TestEquals:
+    def test_equal_frames(self):
+        a = DataFrame({"x": [1.0, 2.0]})
+        b = DataFrame({"x": [1.0, 2.0 + 1e-15]})
+        assert a.equals(b)
+
+    def test_unequal_values(self):
+        assert not DataFrame({"x": [1]}).equals(DataFrame({"x": [2]}))
+
+    def test_unequal_columns(self):
+        assert not DataFrame({"x": [1]}).equals(DataFrame({"y": [1]}))
+
+
+class TestConcat:
+    def test_union_of_columns(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"y": [2]})
+        out = concat([a, b])
+        assert out.columns == ["x", "y"]
+        assert out.column("x").to_list() == [1, None]
+
+    def test_concat_empty_list(self):
+        assert concat([]).empty
+
+    def test_concat_preserves_order(self):
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"x": [3]})
+        assert concat([a, b]).column("x").to_list() == [1, 2, 3]
+
+
+class TestAggShortcuts:
+    def test_frame_agg_spec(self, task_frame):
+        out = task_frame.agg({"duration": ["min", "max"], "status": "count"})
+        assert out["duration"]["min"] == 0.5
+        assert out["status"] == 4
+
+    def test_count_per_column(self, task_frame):
+        counts = task_frame.count()
+        assert counts["duration"] == 3
+        assert counts["task_id"] == 4

@@ -1,0 +1,86 @@
+"""Tests for the group-by engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.errors import ColumnNotFoundError
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    return DataFrame(
+        {
+            "activity": ["a", "b", "a", "a", "b"],
+            "host": ["h1", "h1", "h2", "h2", "h1"],
+            "dur": [1.0, 2.0, 3.0, None, 4.0],
+        }
+    )
+
+
+class TestGroupBy:
+    def test_selected_column_mean(self, frame):
+        out = frame.groupby("activity")["dur"].mean()
+        assert out.to_dicts() == [
+            {"activity": "a", "dur": 2.0},
+            {"activity": "b", "dur": 3.0},
+        ]
+
+    def test_group_order_is_first_appearance(self, frame):
+        out = frame.groupby("host")["dur"].count()
+        assert out.column("host").to_list() == ["h1", "h2"]
+
+    def test_multi_key_grouping(self, frame):
+        # pairs: (a,h1), (b,h1), (a,h2), (a,h2), (b,h1) -> 3 distinct groups
+        out = frame.groupby(["activity", "host"])["dur"].sum()
+        assert len(out) == 3
+
+    def test_size(self, frame):
+        out = frame.groupby("activity").size()
+        assert out.to_dicts() == [
+            {"activity": "a", "size": 3},
+            {"activity": "b", "size": 2},
+        ]
+
+    def test_agg_spec_multiple(self, frame):
+        out = frame.groupby("activity").agg({"dur": ["min", "max"]})
+        row = out.to_dicts()[0]
+        assert row["dur_min"] == 1.0 and row["dur_max"] == 3.0
+
+    def test_count_skips_nulls(self, frame):
+        out = frame.groupby("activity")["dur"].count()
+        assert out.to_dicts()[0]["dur"] == 2
+
+    def test_missing_group_key_raises(self, frame):
+        with pytest.raises(ColumnNotFoundError):
+            frame.groupby("nope")
+
+    def test_missing_selected_column_raises(self, frame):
+        with pytest.raises(ColumnNotFoundError):
+            frame.groupby("activity")["nope"]
+
+    def test_frame_level_mean_aggregates_numeric_columns(self, frame):
+        out = frame.groupby("activity").mean()
+        assert "dur" in out.columns
+        assert "host" not in out.columns or out.column("host") is not None
+
+    def test_len_is_group_count(self, frame):
+        assert len(frame.groupby("activity")) == 2
+
+    def test_groups_mapping(self, frame):
+        groups = frame.groupby("activity").groups()
+        assert groups[("a",)] == [0, 2, 3]
+
+    def test_nunique(self, frame):
+        out = frame.groupby("activity")["host"].nunique()
+        assert out.to_dicts() == [
+            {"activity": "a", "host": 2},
+            {"activity": "b", "host": 1},
+        ]
+
+    def test_first_last(self, frame):
+        first = frame.groupby("activity")["dur"].first()
+        assert first.to_dicts()[0]["dur"] == 1.0
+        last = frame.groupby("activity")["dur"].last()
+        assert last.to_dicts()[1]["dur"] == 4.0

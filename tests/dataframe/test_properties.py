@@ -1,0 +1,121 @@
+"""Property-based tests for the DataFrame engine (hypothesis).
+
+The engine is checked against naive pure-Python reference implementations
+on randomly generated frames — filters, sorts and groupbys must agree
+with the obvious O(n^2) formulation for every input.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataframe import DataFrame, concat
+
+# Small alphabets keep group cardinality interesting.
+_keys = st.sampled_from(["a", "b", "c"])
+_values = st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False, width=32))
+
+
+@st.composite
+def frames(draw, min_rows=0, max_rows=30):
+    n = draw(st.integers(min_rows, max_rows))
+    return DataFrame(
+        {
+            "k": draw(st.lists(_keys, min_size=n, max_size=n)),
+            "v": draw(st.lists(_values, min_size=n, max_size=n)),
+        }
+    )
+
+
+class TestFilterProperties:
+    @given(frames(), st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_filter_matches_naive(self, df, threshold):
+        out = df[df["v"] > threshold]
+        expected = [
+            r for r in df.to_dicts() if r["v"] is not None and r["v"] > threshold
+        ]
+        assert out.to_dicts() == expected
+
+    @given(frames())
+    def test_filter_complement_partitions_rows(self, df):
+        mask = df["v"] > 0
+        assert len(df[mask]) + len(df[~mask]) == len(df)
+
+    @given(frames(), st.sampled_from(["a", "b", "c"]))
+    def test_eq_filter_only_keeps_matches(self, df, key):
+        out = df[df["k"] == key]
+        assert all(r["k"] == key for r in out.to_dicts())
+
+
+class TestSortProperties:
+    @given(frames())
+    def test_sort_is_permutation(self, df):
+        out = df.sort_values("v")
+        assert sorted(map(repr, out.to_dicts())) == sorted(map(repr, df.to_dicts()))
+
+    @given(frames())
+    def test_sorted_non_null_prefix_is_monotone(self, df):
+        out = df.sort_values("v").column("v").to_list()
+        non_null = [v for v in out if v is not None]
+        assert non_null == sorted(non_null)
+        # nulls must be a suffix
+        if None in out:
+            assert all(v is None for v in out[out.index(None):])
+
+    @given(frames())
+    def test_sort_desc_reverses_non_null_order(self, df):
+        asc = [v for v in df.sort_values("v").column("v").to_list() if v is not None]
+        desc = [
+            v
+            for v in df.sort_values("v", ascending=False).column("v").to_list()
+            if v is not None
+        ]
+        assert desc == list(reversed(asc))
+
+
+class TestGroupByProperties:
+    @given(frames())
+    def test_group_sizes_sum_to_total(self, df):
+        sizes = df.groupby("k").size()
+        assert sum(sizes.column("size").to_list()) == len(df)
+
+    @given(frames())
+    def test_group_sum_matches_naive(self, df):
+        out = {
+            r["k"]: r["v"] for r in df.groupby("k")["v"].sum().to_dicts()
+        }
+        naive: dict[str, float] = {}
+        for r in df.to_dicts():
+            naive.setdefault(r["k"], 0.0)
+            if r["v"] is not None:
+                naive[r["k"]] += r["v"]
+        for k, total in naive.items():
+            assert abs(out[k] - total) < 1e-6 * max(1.0, abs(total))
+
+    @given(frames())
+    def test_groupby_count_never_exceeds_size(self, df):
+        counts = {r["k"]: r["v"] for r in df.groupby("k")["v"].count().to_dicts()}
+        sizes = {r["k"]: r["size"] for r in df.groupby("k").size().to_dicts()}
+        for k in counts:
+            assert counts[k] <= sizes[k]
+
+
+class TestConcatProperties:
+    @given(frames(), frames())
+    @settings(max_examples=50)
+    def test_concat_length(self, a, b):
+        assert len(concat([a, b])) == len(a) + len(b)
+
+    @given(frames())
+    def test_concat_identity(self, df):
+        assert concat([df]).equals(df)
+
+
+class TestHeadProperties:
+    @given(frames(), st.integers(0, 40))
+    def test_head_length(self, df, n):
+        assert len(df.head(n)) == min(n, len(df))
+
+    @given(frames(), st.integers(0, 40))
+    def test_head_plus_tail_cover(self, df, n):
+        assert len(df.head(n)) + len(df.tail(max(0, len(df) - n))) == len(df)

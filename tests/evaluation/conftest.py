@@ -1,0 +1,25 @@
+"""Shared evaluation fixtures: a small campaign + the golden query set.
+
+Module-scoped to keep the evaluation test suite fast: the campaign and
+query-set construction are deterministic, so sharing is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.context_manager import ContextManager
+from repro.capture.context import CaptureContext
+from repro.evaluation.query_set import build_query_set
+from repro.evaluation.runner import ExperimentRunner
+from repro.workflows.synthetic import run_synthetic_campaign
+
+
+@pytest.fixture(scope="package")
+def eval_env():
+    ctx = CaptureContext()
+    cm = ContextManager(ctx.broker).start()
+    run_synthetic_campaign(ctx, n_inputs=10)
+    queries = build_query_set(cm.to_frame())
+    runner = ExperimentRunner(cm, queries)
+    return ctx, cm, queries, runner

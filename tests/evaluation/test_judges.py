@@ -1,0 +1,82 @@
+"""Tests for rule-based scoring and the simulated LLM judges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.judges import CLAUDE_JUDGE, GPT_JUDGE, LLMJudge, RuleBasedScorer
+from repro.query import parse_query
+
+
+GOLD = parse_query("df[df['status'] == 'FINISHED']")
+
+
+class TestRuleBasedScorer:
+    def test_exact_match_scores_one(self, task_frame):
+        scorer = RuleBasedScorer()
+        s = scorer.score(GOLD, "df[df['status'] == 'FINISHED']", frame=task_frame)
+        assert s == pytest.approx(1.0)
+
+    def test_syntax_error_scores_zero(self, task_frame):
+        assert RuleBasedScorer().score(GOLD, "SELECT * FROM t", frame=task_frame) == 0.0
+
+    def test_partial_credit_between(self, task_frame):
+        s = RuleBasedScorer().score(
+            GOLD, "df[df['status'] == 'FAILED']", frame=task_frame
+        )
+        assert 0.0 < s < 1.0
+
+
+class TestJudgePersonalities:
+    def test_gpt_more_lenient_than_claude_midrange(self, task_frame):
+        gpt = LLMJudge(GPT_JUDGE)
+        claude = LLMJudge(CLAUDE_JUDGE)
+        partially_wrong = "df[df['status'] == 'FAILED']"
+        s_gpt = gpt.score(GOLD, partially_wrong, frame=task_frame, query_id="x")
+        s_claude = claude.score(GOLD, partially_wrong, frame=task_frame, query_id="x")
+        assert s_gpt > s_claude
+
+    def test_self_preference(self, task_frame):
+        claude = LLMJudge(CLAUDE_JUDGE)
+        code = "df[df['status'] == 'FINISHED']"
+        s_own = claude.score(
+            GOLD, code, frame=task_frame, model_under_test="claude-opus-4", query_id="y"
+        )
+        s_other = claude.score(
+            GOLD, code, frame=task_frame, model_under_test="gpt-4", query_id="y"
+        )
+        assert s_own >= s_other
+
+    def test_hallucination_penalty_only_for_strict_judge(self, task_frame):
+        known = set(task_frame.columns)
+        code = "df[df['node'] == 'x']"
+        gpt = LLMJudge(GPT_JUDGE).score(
+            GOLD, code, frame=task_frame, known_fields=known, query_id="h"
+        )
+        claude = LLMJudge(CLAUDE_JUDGE).score(
+            GOLD, code, frame=task_frame, known_fields=known, query_id="h"
+        )
+        assert claude <= gpt
+
+    def test_syntax_floor(self, task_frame):
+        s = LLMJudge(GPT_JUDGE).score(GOLD, "not a query at all!", frame=task_frame)
+        assert 0.0 <= s <= 0.15
+
+    def test_deterministic_per_coordinates(self, task_frame):
+        j = LLMJudge(GPT_JUDGE)
+        a = j.score(GOLD, "df[df['status'] == 'FAILED']", frame=task_frame,
+                    model_under_test="gpt-4", query_id="q", rep=1)
+        b = j.score(GOLD, "df[df['status'] == 'FAILED']", frame=task_frame,
+                    model_under_test="gpt-4", query_id="q", rep=1)
+        assert a == b
+
+    def test_scores_bounded(self, task_frame):
+        for judge in (LLMJudge(GPT_JUDGE), LLMJudge(CLAUDE_JUDGE)):
+            for code in (
+                "df[df['status'] == 'FINISHED']",
+                "df[df['node'] == 'x']",
+                "garbage(",
+            ):
+                s = judge.score(GOLD, code, frame=task_frame,
+                                known_fields=set(task_frame.columns))
+                assert 0.0 <= s <= 1.0

@@ -1,0 +1,74 @@
+"""Tests for the §5.3 live chemistry interaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.live_demo import CHEMISTRY_QUERIES, run_live_demo
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return run_live_demo()
+
+
+class TestDemoStructure:
+    def test_ten_queries(self):
+        assert len(CHEMISTRY_QUERIES) == 10
+
+    def test_outcome_per_query(self, demo):
+        assert len(demo.outcomes) == 10
+
+    def test_over_80_percent_correct(self, demo):
+        # paper: "correctly or partially correctly answered over 80%"
+        assert demo.accuracy() >= 0.8
+
+    def test_full_agreement_with_paper(self, demo):
+        assert demo.paper_agreement() == 1.0
+
+
+class TestSpecificOutcomes:
+    def outcome(self, demo, qid):
+        return next(o for o in demo.outcomes if o.qid == qid)
+
+    def test_q1_highest_free_energy_is_oh(self, demo):
+        o = self.outcome(demo, "Q1")
+        assert o.correct
+        assert "O-H_1" in (o.reply.text + str(o.reply.table.to_dicts() if o.reply.table else ""))
+
+    def test_q2_functional_is_b3lyp(self, demo):
+        assert self.outcome(demo, "Q2").correct
+
+    def test_q5_sums_all_molecules(self, demo):
+        o = self.outcome(demo, "Q5")
+        assert not o.correct
+        assert "81" in o.reply.text  # the paper's exact wrong answer
+
+    def test_q6_enriched_with_chemical_terms(self, demo):
+        o = self.outcome(demo, "Q6")
+        assert o.correct
+        assert "singlet" in o.reply.text or "neutral" in o.reply.text
+
+    def test_q7_chart_has_all_bonds(self, demo):
+        o = self.outcome(demo, "Q7")
+        assert o.correct
+        assert o.reply.chart.count("C-H") == 5
+
+    def test_q8_fails_to_average(self, demo):
+        o = self.outcome(demo, "Q8")
+        assert not o.correct
+        assert o.reply.chart is not None  # a chart was made, just ungrouped
+
+    def test_q9_average_ch_despite_q8(self, demo):
+        # the paper highlights that Q9 works even though Q8 failed
+        assert self.outcome(demo, "Q9").correct
+
+    def test_q10_fragment_doublet(self, demo):
+        assert self.outcome(demo, "Q10").correct
+
+
+class TestDemoProvenance:
+    def test_workflow_report_consistent(self, demo):
+        assert demo.report.parent_n_atoms == 9
+        assert len(demo.report.bonds) == 8
+        assert demo.report.total_atoms_including_fragments() == 81

@@ -1,0 +1,78 @@
+"""Tests for the golden query set (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.errors import QuerySetError
+from repro.evaluation.query_set import QUERY_SET_SIZE, build_query_set
+from repro.evaluation.taxonomy import DataType, Workload
+from repro.query.executor import execute_query
+
+
+class TestDistribution:
+    def test_twenty_queries(self, eval_env):
+        _, _, queries, _ = eval_env
+        assert len(queries) == QUERY_SET_SIZE
+
+    def test_workload_balance(self, eval_env):
+        _, _, queries, _ = eval_env
+        workloads = [q.workload for q in queries]
+        assert workloads.count(Workload.OLAP) == 10
+        assert workloads.count(Workload.OLTP) == 10
+
+    def test_table1_totals(self, eval_env):
+        _, _, queries, _ = eval_env
+        totals = {dt: 0 for dt in DataType}
+        for q in queries:
+            for dt in q.data_types:
+                totals[dt] += 1
+        assert totals[DataType.CONTROL_FLOW] == 7
+        assert totals[DataType.DATAFLOW] == 7
+        assert totals[DataType.SCHEDULING] == 8
+        assert totals[DataType.TELEMETRY] == 9
+
+    def test_type_slots_exceed_query_count(self, eval_env):
+        _, _, queries, _ = eval_env
+        slots = sum(len(q.data_types) for q in queries)
+        assert slots == 31 > QUERY_SET_SIZE
+
+
+class TestGoldQueries:
+    def test_all_golds_execute_against_campaign(self, eval_env):
+        _, cm, queries, _ = eval_env
+        frame = cm.to_frame()
+        for q in queries:
+            execute_query(q.gold, frame)  # must not raise
+
+    def test_gold_fields_exist_in_schema(self, eval_env):
+        _, cm, queries, _ = eval_env
+        known = cm.known_fields()
+        for q in queries:
+            unknown = q.gold.fields_used() - known
+            assert not unknown, f"{q.qid} references unknown fields {unknown}"
+
+    def test_targeted_queries_hit_rows(self, eval_env):
+        _, cm, queries, _ = eval_env
+        frame = cm.to_frame()
+        q01 = next(q for q in queries if q.qid == "q01")
+        result = execute_query(q01.gold, frame)
+        assert len(result) == 1
+
+    def test_intents_registered(self, eval_env):
+        from repro.llm.intents import lookup_intent
+
+        _, _, queries, _ = eval_env
+        for q in queries:
+            assert lookup_intent(q.nl) == q.gold
+
+    def test_unique_qids(self, eval_env):
+        _, _, queries, _ = eval_env
+        assert len({q.qid for q in queries}) == QUERY_SET_SIZE
+
+
+class TestValidation:
+    def test_empty_frame_rejected(self):
+        with pytest.raises(QuerySetError):
+            build_query_set(DataFrame())

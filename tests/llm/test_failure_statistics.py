@@ -1,0 +1,171 @@
+"""Statistical tests on the failure-injection engine.
+
+The evaluation's validity rests on failure *rates* being ordered the way
+the profiles claim — weaker models fail more, OLAP penalises logic, and
+each context component suppresses its failure class.  These tests
+measure rates over many seeded draws rather than single outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.prompts import PromptBuilder, PromptConfig
+from repro.errors import QuerySyntaxError
+from repro.llm.generation import QueryTraits, generate_query_code
+from repro.llm.intents import register_intent
+from repro.llm.profiles import get_profile
+from repro.llm.prompt_reading import perceive
+from repro.query import parse_query
+
+SCHEMA = {
+    "fields": {
+        "task_id": {"type": "str"},
+        "status": {"type": "str"},
+        "started_at": {"type": "float"},
+        "duration": {"type": "float"},
+        "generated.value": {"type": "float"},
+        "used.value": {"type": "float"},
+        "telemetry_at_end.cpu.percent": {"type": "float"},
+        "telemetry_at_start.cpu.percent": {"type": "float"},
+    },
+    "activities": ["power"],
+}
+VALUES = {"status": ["FINISHED"], "activity_id": ["power"]}
+GUIDELINES = (
+    "- (recent-sort) For the most recent task, sort by started_at "
+    "descending (ascending=False) and take head(1).\n"
+    "- (group-by) Group with df.groupby(...) and pick the aggregation the "
+    "user names.\n"
+    "- (naming) Outputs under generated.value; telemetry at "
+    "telemetry_at_end.cpu.percent; durations in duration."
+)
+
+NL = "What is the average value produced per host?"
+GOLD = "df.groupby('hostname')['generated.value'].mean()"
+register_intent(NL, parse_query(GOLD))
+
+
+def perceived_for(cfg: PromptConfig, window: int = 200_000):
+    prompt = PromptBuilder(cfg).build(
+        NL,
+        schema_payload=SCHEMA,
+        values_payload=VALUES,
+        guidelines_text=GUIDELINES,
+    )
+    return perceive(prompt, window)
+
+
+FULL = PromptConfig(few_shot=True, schema=True, values=True, guidelines=True).with_baseline()
+NO_GUIDE = PromptConfig(few_shot=True, schema=True, values=True).with_baseline()
+
+N = 60
+
+
+def failure_rate(model: str, cfg: PromptConfig, traits=None, kind: str | None = None) -> float:
+    profile = get_profile(model)
+    ctx = perceived_for(cfg)
+    bad = 0
+    for rep in range(N):
+        result = generate_query_code(
+            profile, ctx, traits=traits, rep=rep, query_id="stat"
+        )
+        if kind is None:
+            try:
+                ok = parse_query(result.text) == parse_query(GOLD)
+            except QuerySyntaxError:
+                ok = False
+            bad += not ok
+        else:
+            bad += any(f.startswith(kind) for f in result.failures)
+    return bad / N
+
+
+class TestModelOrdering:
+    def test_weak_models_fail_more_at_full_context(self):
+        weak = failure_rate("llama3-8b", FULL)
+        strong = failure_rate("gpt-4", FULL)
+        assert weak > strong + 0.1
+
+    def test_guidelines_reduce_failures_for_all_models(self):
+        for model in ("gpt-4", "llama3-70b"):
+            with_g = failure_rate(model, FULL)
+            without = failure_rate(model, NO_GUIDE)
+            assert without > with_g
+
+
+class TestTrapGating:
+    def test_olap_penalty_raises_trap_rate(self):
+        oltp = failure_rate(
+            "gpt-4", NO_GUIDE, traits=QueryTraits(("group_logic",), "OLTP"),
+            kind="logic",
+        )
+        olap = failure_rate(
+            "gpt-4", NO_GUIDE, traits=QueryTraits(("group_logic",), "OLAP"),
+            kind="logic",
+        )
+        assert olap >= oltp
+
+    def test_guidelines_suppress_guarded_traps(self):
+        guarded = failure_rate(
+            "gpt-4", FULL, traits=QueryTraits(("group_logic",), "OLAP"),
+            kind="logic",
+        )
+        unguarded = failure_rate(
+            "gpt-4", NO_GUIDE, traits=QueryTraits(("group_logic",), "OLAP"),
+            kind="logic",
+        )
+        assert unguarded > guarded + 0.1
+
+    def test_misbinding_suppressed_by_guidelines(self):
+        with_g = failure_rate("gpt-4", FULL, kind="misbound")
+        without = failure_rate("gpt-4", NO_GUIDE, kind="misbound")
+        assert without > with_g
+
+
+class TestGeminiVariance:
+    def test_gemini_outcomes_more_dispersed_than_gpt(self):
+        """Gemini's per-draw wobble creates more outcome diversity."""
+
+        def distinct_outputs(model: str) -> int:
+            profile = get_profile(model)
+            ctx = perceived_for(NO_GUIDE)
+            return len(
+                {
+                    generate_query_code(
+                        profile, ctx, rep=rep, query_id="var",
+                        traits=QueryTraits(("group_logic",), "OLAP"),
+                    ).text
+                    for rep in range(N)
+                }
+            )
+
+        assert distinct_outputs("gemini-2.5-flash-lite") >= distinct_outputs("gpt-4")
+
+
+class TestContextWindowDegradation:
+    def test_truncation_raises_failure_rate(self):
+        profile = get_profile("llama3-8b")
+        wide = perceived_for(FULL, window=200_000)
+        # simulate the chemistry-style overflow by shrinking the window
+        prompt = PromptBuilder(FULL).build(
+            NL,
+            schema_payload=SCHEMA,
+            values_payload=VALUES,
+            guidelines_text=GUIDELINES,
+        )
+        narrow = perceive(prompt, max(200, len(prompt) // 8))
+        assert narrow.truncated
+
+        def rate(ctx):
+            bad = 0
+            for rep in range(N):
+                result = generate_query_code(profile, ctx, rep=rep, query_id="win")
+                try:
+                    ok = parse_query(result.text) == parse_query(GOLD)
+                except QuerySyntaxError:
+                    ok = False
+                bad += not ok
+            return bad / N
+
+        assert rate(narrow) >= rate(wide)

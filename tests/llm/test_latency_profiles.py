@@ -1,0 +1,89 @@
+"""Tests for the latency model and profile registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownModelError
+from repro.llm.latency import simulate_latency
+from repro.llm.profiles import MODEL_ORDER, MODEL_PROFILES, get_profile
+
+
+class TestProfiles:
+    def test_all_five_models_registered(self):
+        assert len(MODEL_ORDER) == 5
+        assert set(MODEL_ORDER) == set(MODEL_PROFILES)
+
+    def test_display_names_match_paper_axes(self):
+        names = [get_profile(m).display_name for m in MODEL_ORDER]
+        assert names == ["LLama 3-8B", "LLama 3-70B", "Gemini", "GPT", "Claude"]
+
+    def test_context_windows(self):
+        assert get_profile("llama3-8b").context_window == 8_192
+        assert get_profile("gpt-4").context_window == 128_000
+        assert get_profile("claude-opus-4").context_window == 200_000
+
+    def test_unknown_model(self):
+        with pytest.raises(UnknownModelError):
+            get_profile("gpt-7-turbo")
+
+    def test_probability_fields_in_unit_interval(self):
+        prob_fields = [
+            "format_fail_no_baseline",
+            "format_fail_with_baseline",
+            "syntax_fail_no_fs",
+            "syntax_fail_with_fs",
+            "misread_schema_field",
+            "prior_common_field",
+            "prior_app_field",
+            "value_error_no_values",
+            "value_error_with_values",
+            "logic_error_with_guidelines",
+            "logic_error_no_guidelines",
+            "ignores_guidelines",
+            "schema_misbind_no_guidelines",
+            "schema_misbind_with_guidelines",
+        ]
+        for model in MODEL_ORDER:
+            p = get_profile(model)
+            for fname in prob_fields:
+                v = getattr(p, fname)
+                assert 0.0 <= v <= 1.0, f"{model}.{fname}={v}"
+
+    def test_frontier_models_more_reliable(self):
+        weak, strong = get_profile("llama3-8b"), get_profile("gpt-4")
+        assert weak.misread_schema_field > strong.misread_schema_field
+        assert weak.ignores_guidelines > strong.ignores_guidelines
+        assert weak.prior_common_field < strong.prior_common_field
+
+    def test_effective_clamps(self):
+        p = get_profile("gpt-4")
+        assert p.effective(0.5, 10.0) == 1.0
+        assert p.effective(0.5, 0.0) == 0.0
+
+
+class TestLatency:
+    def test_deterministic_per_coordinates(self):
+        p = get_profile("gpt-4")
+        assert simulate_latency(p, 1000, 50, rep=0, key="q") == simulate_latency(
+            p, 1000, 50, rep=0, key="q"
+        )
+
+    def test_grows_with_prompt_and_output(self):
+        p = get_profile("gpt-4")
+        small = simulate_latency(p, 500, 10, key="a")
+        big = simulate_latency(p, 50_000, 10, key="a")
+        assert big > small
+        more_output = simulate_latency(p, 500, 400, key="a")
+        assert more_output > small
+
+    def test_floor(self):
+        p = get_profile("gemini-2.5-flash-lite")
+        for rep in range(20):
+            assert simulate_latency(p, 10, 1, rep=rep, key="f") >= 0.05
+
+    def test_full_context_within_interactive_bound(self):
+        for model in MODEL_ORDER:
+            p = get_profile(model)
+            lat = simulate_latency(p, 4000, 40, key="bound")
+            assert lat < 2.6, model

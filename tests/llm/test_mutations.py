@@ -1,0 +1,110 @@
+"""Tests for pipeline mutations (the shapes of model mistakes)."""
+
+from __future__ import annotations
+
+from repro.llm import mutations as mut
+from repro.query import parse_query
+from repro.query.render import render_query
+
+
+def pipe(code: str):
+    return parse_query(code)
+
+
+class TestFieldRewrite:
+    def test_rewrite_everywhere(self):
+        p = pipe(
+            "df[df['hostname'] == 'x'].sort_values('hostname')"
+            ".groupby('hostname')['duration'].mean()"
+        )
+        out = mut.rewrite_fields(p, {"hostname": "node"})
+        code = render_query(out)
+        assert "hostname" not in code
+        assert code.count("node") == 3
+
+    def test_identity_when_unmapped(self):
+        p = pipe("df[df['a'] == 1]")
+        assert mut.rewrite_fields(p, {"b": "c"}) == p
+
+
+class TestLogicMutations:
+    def test_flip_sort_direction(self):
+        p = pipe("df.sort_values('t', ascending=False)")
+        out = mut.flip_sort_direction(p)
+        assert out.sort().ascending == (True,)
+
+    def test_min_on_ids(self):
+        p = pipe("df.sort_values('started_at', ascending=False).head(1)")
+        out = mut.min_on_ids(p)
+        assert out.sort().keys == ("task_id",)
+
+    def test_drop_groupby_truncates_tail(self):
+        p = pipe(
+            "df.groupby('h')['v'].mean().sort_values('v', ascending=False).head(1)"
+        )
+        out = mut.drop_groupby(p)
+        assert render_query(out) == "df['v'].mean()"
+
+    def test_wrong_group_key_changes_key(self):
+        p = pipe("df.groupby('activity_id')['v'].mean()")
+        out = mut.wrong_group_key(p, 0)
+        assert out.terminal().keys != ("activity_id",)
+
+    def test_flip_time_comparison(self):
+        p = pipe("df[df['cpu'] > 50]")
+        out = mut.flip_time_comparison(p)
+        assert render_query(out) == "df[df['cpu'] < 50]"
+
+    def test_drop_filter_conjunct(self):
+        p = pipe("df[(df['a'] == 1) & (df['b'] == 2)]")
+        out = mut.drop_filter_conjunct(p, 0)
+        assert len(out.filters()[0].predicate.__dict__) >= 1
+        assert "b" not in render_query(out) or "a" not in render_query(out)
+
+    def test_swap_aggregation(self):
+        p = pipe("df['v'].mean()")
+        out = mut.swap_aggregation(p, 0)
+        assert out.terminal().agg != "mean"
+
+    def test_drop_limit(self):
+        p = pipe("df.sort_values('t').head(5)")
+        assert mut.drop_limit(p).limit() is None
+
+    def test_lowercase_string_literal(self):
+        p = pipe("df[df['status'] == 'FINISHED']")
+        assert "'finished'" in render_query(mut.lowercase_string_literal(p))
+
+    def test_rescale_threshold(self):
+        p = pipe("df[df['cpu'] > 80]")
+        assert "0.8" in render_query(mut.rescale_threshold(p))
+
+    def test_rescale_leaves_small_values(self):
+        p = pipe("df[df['frac'] > 0.5]")
+        assert mut.rescale_threshold(p) == p
+
+    def test_sum_across_entities_reproduces_q5(self):
+        p = pipe(
+            "df[(df['activity_id'] == 'run_dft') & "
+            "(df['used.molecule_name'] == 'parent')][['used.n_atoms']]"
+        )
+        out = mut.sum_across_entities(p)
+        code = render_query(out)
+        assert "molecule_name" not in code
+        assert ".sum()" in code
+
+    def test_projection_jitter(self):
+        p = pipe("df[['a', 'b']]")
+        out = mut.projection_jitter(p, 0)
+        assert out.projection().columns != ("a", "b")
+
+    def test_spurious_limit(self):
+        p = pipe("df[df['a'] == 1]")
+        assert mut.spurious_limit(p).limit() is not None
+
+    def test_spurious_limit_respects_existing(self):
+        p = pipe("df.head(3)")
+        assert mut.spurious_limit(p) == p
+
+    def test_every_trap_has_mutations(self):
+        for trap, candidates in mut.LOGIC_MUTATIONS.items():
+            assert candidates, f"trap {trap} has no mutations"

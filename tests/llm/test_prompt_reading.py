@@ -1,0 +1,99 @@
+"""Tests for prompt perception: models see exactly what the prompt holds."""
+
+from __future__ import annotations
+
+from repro.agent.prompts import PromptBuilder, PromptConfig
+from repro.llm.prompt_reading import perceive
+
+SCHEMA = {
+    "fields": {
+        "task_id": {"type": "str"},
+        "generated.value": {"type": "float"},
+    },
+    "activities": ["power"],
+}
+VALUES = {"activity_id": ["power", "average_results"], "status": ["FINISHED"]}
+GUIDELINES = "- (status-values) Status values are uppercase: FINISHED.\n- (x) Use started_at."
+
+
+def build(cfg: PromptConfig, query="How many tasks finished?") -> str:
+    return PromptBuilder(cfg).build(
+        query,
+        schema_payload=SCHEMA,
+        values_payload=VALUES,
+        guidelines_text=GUIDELINES,
+    )
+
+
+class TestPerception:
+    def test_nothing_config_sees_nothing(self):
+        ctx = perceive(build(PromptConfig()), 100_000)
+        assert not ctx.has_baseline
+        assert not ctx.has_few_shot
+        assert not ctx.schema_fields
+        assert not ctx.value_examples
+        assert not ctx.guidelines
+        assert ctx.user_query == "How many tasks finished?"
+
+    def test_baseline_components_detected(self):
+        ctx = perceive(build(PromptConfig().with_baseline()), 100_000)
+        assert ctx.has_baseline
+
+    def test_partial_baseline_is_not_baseline(self):
+        ctx = perceive(build(PromptConfig(role=True, job=True)), 100_000)
+        assert not ctx.has_baseline
+
+    def test_schema_fields_recovered_exactly(self):
+        cfg = PromptConfig(schema=True).with_baseline()
+        ctx = perceive(build(cfg), 100_000)
+        assert ctx.schema_fields == {"task_id", "generated.value"}
+        assert ctx.field_types["generated.value"] == "float"
+
+    def test_values_recovered(self):
+        cfg = PromptConfig(values=True).with_baseline()
+        ctx = perceive(build(cfg), 100_000)
+        assert ctx.value_examples["status"] == ["FINISHED"]
+        assert ctx.activity_names() == ("power", "average_results")
+
+    def test_guidelines_split_into_lines(self):
+        cfg = PromptConfig(guidelines=True).with_baseline()
+        ctx = perceive(build(cfg), 100_000)
+        assert len(ctx.guidelines) == 2
+        assert "uppercase" in ctx.guidelines[0]
+
+    def test_few_shot_fields_extracted(self):
+        cfg = PromptConfig(few_shot=True).with_baseline()
+        ctx = perceive(build(cfg), 100_000)
+        assert "status" in ctx.few_shot_fields
+        assert "activity_id" in ctx.few_shot_fields
+
+    def test_signature_reflects_components(self):
+        full = PromptConfig(
+            few_shot=True, schema=True, values=True, guidelines=True
+        ).with_baseline()
+        sig = perceive(build(full), 100_000).signature()
+        assert sig.startswith("B|F|S")
+
+
+class TestTruncation:
+    def test_small_window_truncates(self):
+        cfg = PromptConfig(
+            few_shot=True, schema=True, values=True, guidelines=True
+        ).with_baseline()
+        prompt = build(cfg)
+        ctx = perceive(prompt, 200)
+        assert ctx.truncated
+        # the user query survives truncation (providers keep it in-window)
+        assert ctx.user_query == "How many tasks finished?"
+
+    def test_truncation_loses_tail_sections(self):
+        cfg = PromptConfig(
+            few_shot=True, schema=True, values=True, guidelines=True
+        ).with_baseline()
+        full = perceive(build(cfg), 1_000_000)
+        tiny = perceive(build(cfg), 400)
+        assert len(tiny.guidelines) < len(full.guidelines) or not tiny.value_examples
+
+    def test_no_truncation_within_window(self):
+        ctx = perceive(build(PromptConfig().with_baseline()), 100_000)
+        assert not ctx.truncated

@@ -1,0 +1,107 @@
+"""Tests for adaptive LLM routing by query class (§5.4 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.taxonomy import DataType, Workload
+from repro.llm.routing import (
+    AdaptiveModelRouter,
+    RoutingPolicy,
+    classify_text,
+    learn_policy,
+)
+
+
+class TestClassifyText:
+    @pytest.mark.parametrize(
+        "text,workload",
+        [
+            ("What is the average duration per activity?", "OLAP"),
+            ("Which host ran task 't1'?", "OLTP"),
+            ("Give the breakdown of task counts by status.", "OLAP"),
+            ("What was the CPU at the end of task 't1'?", "OLTP"),
+        ],
+    )
+    def test_workload_guess(self, text, workload):
+        assert classify_text(text)[0] == workload
+
+    @pytest.mark.parametrize(
+        "text,dtype",
+        [
+            ("What was the CPU usage?", "Telemetry"),
+            ("Which node ran the task?", "Scheduling"),
+            ("What value was generated?", "Dataflow"),
+            ("Is the task finished?", "Control Flow"),
+        ],
+    )
+    def test_data_type_guess(self, text, dtype):
+        assert classify_text(text)[1] == dtype
+
+
+class TestPolicy:
+    def test_table_lookup_with_default(self):
+        policy = RoutingPolicy("gpt-4", {("OLAP", "Telemetry"): "claude-opus-4"})
+        assert policy.model_for("OLAP", "Telemetry") == "claude-opus-4"
+        assert policy.model_for("OLTP", "Dataflow") == "gpt-4"
+        assert policy.distinct_models() == {"gpt-4", "claude-opus-4"}
+
+
+class TestLearnPolicy:
+    def test_learned_policy_prefers_strong_models(self, eval_env_routing):
+        records, queries, policy = eval_env_routing
+        # every routed model must be one of the evaluated models
+        assert policy.distinct_models() <= {
+            "llama3-8b",
+            "llama3-70b",
+            "gemini-2.5-flash-lite",
+            "gpt-4",
+            "claude-opus-4",
+        }
+        # the weakest model never wins a class outright
+        assert "llama3-8b" not in policy.distinct_models()
+
+    def test_router_uses_labels_when_available(self, eval_env_routing):
+        _records, queries, policy = eval_env_routing
+        router = AdaptiveModelRouter(policy)
+        q = queries[0]
+        model = router.route(q.nl, query=q)
+        expected_candidates = {
+            policy.model_for(q.workload.value, dt.value) for dt in q.data_types
+        }
+        assert model in expected_candidates
+        assert router.decisions[-1] == (q.nl, model)
+
+    def test_router_falls_back_to_heuristics(self, eval_env_routing):
+        _records, _queries, policy = eval_env_routing
+        router = AdaptiveModelRouter(policy)
+        model = router.route("What is the average CPU per host?")
+        assert model in policy.distinct_models()
+
+
+@pytest.fixture(scope="module")
+def eval_env_routing():
+    from repro.agent.context_manager import ContextManager
+    from repro.capture.context import CaptureContext
+    from repro.evaluation.query_set import build_query_set
+    from repro.evaluation.runner import ExperimentRunner
+    from repro.workflows.synthetic import run_synthetic_campaign
+
+    ctx = CaptureContext()
+    cm = ContextManager(ctx.broker).start()
+    run_synthetic_campaign(ctx, n_inputs=10)
+    queries = build_query_set(cm.to_frame())
+    runner = ExperimentRunner(cm, queries)
+    records = runner.run(
+        models=[
+            "llama3-8b",
+            "llama3-70b",
+            "gemini-2.5-flash-lite",
+            "gpt-4",
+            "claude-opus-4",
+        ],
+        configs=["Full"],
+        n_reps=3,
+    )
+    policy = learn_policy(records, queries)
+    return records, queries, policy

@@ -1,0 +1,139 @@
+"""Tests for the rule-based semantic parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.semantics import SemanticParseError, parse_intent
+from repro.query import ast as q
+from repro.query.render import render_query
+
+ACTIVITIES = (
+    "scale_and_shift",
+    "power",
+    "average_results",
+    "run_dft",
+    "run_individual_bde",
+)
+
+
+def parse(nl: str, **kwargs):
+    kwargs.setdefault("activity_names", ACTIVITIES)
+    return parse_intent(nl, **kwargs)
+
+
+class TestCounting:
+    def test_how_many_with_status(self):
+        p = parse("How many tasks have failed?")
+        assert isinstance(p.steps[-1], q.RowCount)
+        assert "status" in p.fields_used()
+
+    def test_count_with_host_filter(self):
+        p = parse("How many tasks ran on node-2?")
+        code = render_query(p)
+        assert "hostname" in code and "len(" in code
+
+
+class TestAggregations:
+    def test_average_metric(self):
+        p = parse("What is the average duration of the tasks?")
+        t = p.terminal()
+        assert isinstance(t, q.Agg) and t.agg == "mean" and t.column == "duration"
+
+    def test_max_metric(self):
+        p = parse("What is the maximum CPU reached?")
+        t = p.terminal()
+        assert t.agg == "max"
+        assert t.column == "telemetry_at_end.cpu.percent"
+
+    def test_total_sum(self):
+        p = parse("What is the total duration of all tasks?")
+        assert p.terminal().agg == "sum"
+
+    def test_contains_filter_with_mean(self):
+        p = parse(
+            "What is the average bond dissociation enthalpy for the bond "
+            "labels that contain 'C-H'?"
+        )
+        code = render_query(p)
+        assert "str.contains('C-H')" in code
+        assert "generated.bd_enthalpy" in code and ".mean()" in code
+
+
+class TestGroupBy:
+    def test_per_activity_count(self):
+        p = parse("How many tasks were executed per activity?")
+        t = p.terminal()
+        assert isinstance(t, q.GroupAgg)
+        assert t.keys == ("activity_id",)
+        assert t.agg == "count"
+
+    def test_group_mean_metric(self):
+        p = parse("What is the average duration per activity?")
+        t = p.terminal()
+        assert t.agg == "mean" and t.column == "duration"
+
+    def test_groupby_metric_without_agg_verb_defaults_to_mean(self):
+        p = parse("Show the CPU per host.")
+        t = p.terminal()
+        assert isinstance(t, q.GroupAgg) and t.agg == "mean"
+
+
+class TestOrdering:
+    def test_most_recent(self):
+        p = parse("What is the status of the most recent task?")
+        s = p.sort()
+        assert s is not None and s.keys == ("started_at",) and s.ascending == (False,)
+        assert p.limit() is not None and p.limit().n == 1
+
+    def test_top_k(self):
+        p = parse("Show the top 3 longest-running tasks.")
+        assert p.limit().n == 3
+        assert p.sort().keys == ("duration",)
+
+    def test_first_task(self):
+        p = parse("What input x did the first task use?")
+        assert p.sort().ascending == (True,)
+
+
+class TestFilters:
+    def test_activity_mention(self):
+        p = parse("What value did the power activity generate?")
+        assert any(
+            isinstance(c, q.Compare) and c.value == "power"
+            for f in p.filters()
+            for c in q.conjuncts(f.predicate)
+        )
+
+    def test_status_word_uppercased(self):
+        p = parse("Which tasks are running right now?")
+        comps = [
+            c for f in p.filters() for c in q.conjuncts(f.predicate)
+            if isinstance(c, q.Compare) and c.field.name == "status"
+        ]
+        assert comps and comps[0].value == "RUNNING"
+
+    def test_threshold_above(self):
+        p = parse("How many tasks ended with CPU above 80 percent?")
+        comps = [
+            c for f in p.filters() for c in q.conjuncts(f.predicate)
+            if isinstance(c, q.Compare) and c.op == ">"
+        ]
+        assert comps and comps[0].value == 80
+
+    def test_known_id_resolution(self):
+        p = parse(
+            "Show tasks of workflow 'abc-123'.",
+            known_ids={"abc-123": "workflow_id"},
+        )
+        assert "workflow_id" in p.fields_used()
+
+
+class TestErrors:
+    def test_unparseable_raises(self):
+        with pytest.raises(SemanticParseError):
+            parse("tell me a story about dragons")
+
+    def test_empty_raises(self):
+        with pytest.raises(SemanticParseError):
+            parse("hmm")

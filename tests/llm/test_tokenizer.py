@@ -1,0 +1,53 @@
+"""Tests for the approximate tokenizer."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.llm.tokenizer import count_tokens, split_units
+
+
+class TestCountTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_short_words_cost_one(self):
+        assert count_tokens("the cat") == 2
+
+    def test_long_words_cost_more(self):
+        assert count_tokens("internationalization") >= 4
+
+    def test_punctuation_counts(self):
+        assert count_tokens("a.b") == 3
+
+    def test_code_like_text(self):
+        n = count_tokens("df[df['status'] == 'FINISHED']")
+        assert 8 <= n <= 16
+
+    def test_roughly_four_chars_per_token_on_prose(self):
+        text = (
+            "The provenance agent interprets natural language queries and "
+            "translates them into structured DataFrame operations for live "
+            "workflow monitoring across the computing continuum."
+        )
+        n = count_tokens(text)
+        assert len(text) / 6 <= n <= len(text) / 2.5
+
+    @given(st.text(max_size=300))
+    def test_property_nonnegative_and_deterministic(self, text):
+        assert count_tokens(text) >= 0
+        assert count_tokens(text) == count_tokens(text)
+
+    @given(st.text(max_size=120), st.text(max_size=120))
+    def test_property_subadditive_concat(self, a, b):
+        # concatenation can merge boundary units but never create many more
+        assert count_tokens(a + " " + b) <= count_tokens(a) + count_tokens(b) + 1
+
+
+class TestSplitUnits:
+    def test_mixed_content(self):
+        assert split_units("cpu=53.8%") == ["cpu", "=", "53.8", "%"]
+
+    def test_identifiers_split_on_punctuation(self):
+        units = split_units("telemetry_at_end.cpu.percent")
+        assert "telemetry" in units and "." in units

@@ -1,0 +1,164 @@
+"""Tests for the in-process broker."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import BrokerClosedError
+from repro.messaging.broker import (
+    InProcessBroker,
+    KAFKA_LIKE,
+    MOFKA_LIKE,
+    REDIS_LIKE,
+)
+
+
+@pytest.fixture
+def broker() -> InProcessBroker:
+    return InProcessBroker()
+
+
+class TestPublishSubscribe:
+    def test_delivery_to_matching_subscriber(self, broker):
+        got = []
+        broker.subscribe("provenance.task", got.append)
+        broker.publish("provenance.task", {"x": 1})
+        assert len(got) == 1
+        assert got[0].payload == {"x": 1}
+
+    def test_no_delivery_to_non_matching(self, broker):
+        got = []
+        broker.subscribe("provenance.anomaly", got.append)
+        broker.publish("provenance.task", {"x": 1})
+        assert got == []
+
+    def test_wildcard_subscription(self, broker):
+        got = []
+        broker.subscribe("provenance.#", got.append)
+        broker.publish("provenance.task", {"a": 1})
+        broker.publish("provenance.anomaly", {"b": 2})
+        assert len(got) == 2
+
+    def test_unsubscribe_stops_delivery(self, broker):
+        got = []
+        sub = broker.subscribe("provenance.task", got.append)
+        broker.unsubscribe(sub)
+        broker.publish("provenance.task", {})
+        assert got == []
+
+    def test_multiple_subscribers_all_receive(self, broker):
+        a, b = [], []
+        broker.subscribe("t.x", a.append)
+        broker.subscribe("t.#", b.append)
+        broker.publish("t.x", {})
+        assert len(a) == 1 and len(b) == 1
+
+    def test_headers_carried(self, broker):
+        got = []
+        broker.subscribe("t.x", got.append)
+        broker.publish("t.x", {}, anomaly="cpu-outlier")
+        assert got[0].headers["anomaly"] == "cpu-outlier"
+
+    def test_seq_monotone(self, broker):
+        got = []
+        broker.subscribe("t.#", got.append)
+        broker.publish("t.a", {})
+        broker.publish("t.b", {})
+        assert got[1].seq > got[0].seq
+
+
+class TestBatchAndCost:
+    def test_publish_batch_delivers_all(self, broker):
+        got = []
+        broker.subscribe("t.x", got.append)
+        broker.publish_batch("t.x", [{"i": i} for i in range(10)])
+        assert len(got) == 10
+
+    def test_batch_cheaper_than_singles_for_kafka(self):
+        payloads = [{"i": i, "blob": "x" * 50} for i in range(100)]
+        single = InProcessBroker(profile=KAFKA_LIKE)
+        for p in payloads:
+            single.publish("t.x", p)
+        batched = InProcessBroker(profile=KAFKA_LIKE)
+        batched.publish_batch("t.x", payloads)
+        assert batched.simulated_cost_s < single.simulated_cost_s
+
+    def test_mofka_cheapest_redis_middle(self):
+        payloads = [{"i": i} for i in range(50)]
+        costs = {}
+        for profile in (REDIS_LIKE, KAFKA_LIKE, MOFKA_LIKE):
+            b = InProcessBroker(profile=profile)
+            for p in payloads:
+                b.publish("t.x", p)
+            costs[profile.name] = b.simulated_cost_s
+        assert costs["mofka-like"] < costs["redis-like"] < costs["kafka-like"]
+
+
+class TestResilience:
+    def test_subscriber_exception_isolated(self, broker):
+        def bad(_env):
+            raise RuntimeError("consumer crashed")
+
+        got = []
+        broker.subscribe("t.x", bad)
+        broker.subscribe("t.x", got.append)
+        broker.publish("t.x", {})  # must not raise
+        assert len(got) == 1
+        assert len(broker.delivery_errors) == 1
+
+    def test_closed_broker_rejects_publish(self, broker):
+        broker.close()
+        with pytest.raises(BrokerClosedError):
+            broker.publish("t.x", {})
+
+    def test_thread_safety_counts(self, broker):
+        got = []
+        lock = threading.Lock()
+
+        def cb(env):
+            with lock:
+                got.append(env)
+
+        broker.subscribe("t.#", cb)
+
+        def publish_many(tid):
+            for i in range(200):
+                broker.publish(f"t.w{tid}", {"i": i})
+
+        threads = [threading.Thread(target=publish_many, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(got) == 800
+        assert broker.published_count == 800
+
+
+class TestHistoryReplay:
+    def test_history_filtered_by_pattern(self, broker):
+        broker.publish("t.a", {"i": 1})
+        broker.publish("t.b", {"i": 2})
+        assert len(broker.history("t.a")) == 1
+        assert len(broker.history("#")) == 2
+
+    def test_replay_to_late_subscriber(self, broker):
+        broker.publish("t.a", {"i": 1})
+        got = []
+        n = broker.replay("t.#", got.append)
+        assert n == 1 and got[0].payload == {"i": 1}
+
+
+class TestEnvelope:
+    def test_json_roundtrip(self, broker):
+        env = broker.publish("t.x", {"a": [1, 2], "b": "s"})
+        from repro.messaging.message import Envelope
+
+        back = Envelope.from_json(env.to_json())
+        assert back.topic == env.topic
+        assert back.payload == {"a": [1, 2], "b": "s"}
+
+    def test_size_bytes_positive(self, broker):
+        env = broker.publish("t.x", {"a": 1})
+        assert env.size_bytes() > 20

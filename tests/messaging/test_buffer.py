@@ -1,0 +1,102 @@
+"""Tests for client-side buffering and flush strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messaging.broker import InProcessBroker
+from repro.messaging.buffer import (
+    HybridFlush,
+    IntervalFlush,
+    MessageBuffer,
+    SizeFlush,
+)
+from repro.utils.clock import VirtualClock
+
+
+@pytest.fixture
+def broker():
+    return InProcessBroker()
+
+
+class TestSizeFlush:
+    def test_flushes_at_threshold(self, broker):
+        buf = MessageBuffer(broker, "t.x", SizeFlush(3))
+        assert buf.append({"i": 0}) is False
+        assert buf.append({"i": 1}) is False
+        assert buf.append({"i": 2}) is True
+        assert buf.pending == 0
+        assert broker.published_count == 3
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SizeFlush(0)
+
+
+class TestIntervalFlush:
+    def test_flushes_when_aged(self, broker):
+        clock = VirtualClock(start=0.0)
+        buf = MessageBuffer(broker, "t.x", IntervalFlush(5.0), clock=clock)
+        buf.append({"i": 0})
+        assert broker.published_count == 0
+        clock.advance(6.0)
+        assert buf.poll() is True
+        assert broker.published_count == 1
+
+    def test_poll_before_age_is_noop(self, broker):
+        clock = VirtualClock(start=0.0)
+        buf = MessageBuffer(broker, "t.x", IntervalFlush(5.0), clock=clock)
+        buf.append({"i": 0})
+        clock.advance(1.0)
+        assert buf.poll() is False
+
+    def test_age_resets_after_flush(self, broker):
+        clock = VirtualClock(start=0.0)
+        buf = MessageBuffer(broker, "t.x", IntervalFlush(5.0), clock=clock)
+        buf.append({"i": 0})
+        clock.advance(6.0)
+        buf.poll()
+        buf.append({"i": 1})
+        assert buf.poll() is False  # new epoch, not yet aged
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            IntervalFlush(0)
+
+
+class TestHybridFlush:
+    def test_size_triggers_first(self, broker):
+        clock = VirtualClock(start=0.0)
+        buf = MessageBuffer(broker, "t.x", HybridFlush(2, 100.0), clock=clock)
+        buf.append({})
+        assert buf.append({}) is True
+
+    def test_age_triggers_when_small(self, broker):
+        clock = VirtualClock(start=0.0)
+        buf = MessageBuffer(broker, "t.x", HybridFlush(100, 5.0), clock=clock)
+        buf.append({})
+        clock.advance(10.0)
+        assert buf.poll() is True
+
+
+class TestExplicitFlush:
+    def test_flush_returns_count(self, broker):
+        buf = MessageBuffer(broker, "t.x", SizeFlush(100))
+        buf.append({})
+        buf.append({})
+        assert buf.flush() == 2
+        assert buf.flush() == 0
+
+    def test_close_flushes_remainder(self, broker):
+        buf = MessageBuffer(broker, "t.x", SizeFlush(100))
+        buf.append({})
+        buf.close()
+        assert broker.published_count == 1
+
+    def test_counters(self, broker):
+        buf = MessageBuffer(broker, "t.x", SizeFlush(2))
+        for i in range(5):
+            buf.append({"i": i})
+        buf.flush()
+        assert buf.appended_count == 5
+        assert buf.flush_count == 3  # 2 + 2 + 1

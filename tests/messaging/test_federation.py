@@ -1,0 +1,76 @@
+"""Tests for the federated hub."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopicError
+from repro.messaging.broker import InProcessBroker, MOFKA_LIKE
+from repro.messaging.federation import FederatedHub
+
+
+@pytest.fixture
+def hub():
+    default = InProcessBroker()
+    hpc = InProcessBroker(profile=MOFKA_LIKE)
+    fed = FederatedHub(default)
+    fed.add_route("hpc", hpc)
+    return fed, default, hpc
+
+
+class TestRouting:
+    def test_prefixed_topic_goes_to_route(self, hub):
+        fed, default, hpc = hub
+        fed.publish("hpc.provenance", {"x": 1})
+        assert hpc.published_count == 1
+        assert default.published_count == 0
+
+    def test_exact_prefix_match(self, hub):
+        fed, default, hpc = hub
+        fed.publish("hpc", {"x": 1})
+        assert hpc.published_count == 1
+
+    def test_unrouted_goes_to_default(self, hub):
+        fed, default, hpc = hub
+        fed.publish("edge.provenance", {"x": 1})
+        assert default.published_count == 1
+
+    def test_prefix_is_segment_aware(self, hub):
+        fed, default, hpc = hub
+        fed.publish("hpcx.other", {"x": 1})  # 'hpcx' != 'hpc' prefix
+        assert default.published_count == 1
+        assert hpc.published_count == 0
+
+    def test_empty_prefix_rejected(self, hub):
+        fed, _, _ = hub
+        with pytest.raises(TopicError):
+            fed.add_route("", InProcessBroker())
+
+
+class TestFanout:
+    def test_subscription_spans_members(self, hub):
+        fed, default, hpc = hub
+        got = []
+        fed.subscribe("#", got.append)
+        fed.publish("hpc.task", {"a": 1})
+        fed.publish("edge.task", {"b": 2})
+        assert len(got) == 2
+
+    def test_unsubscribe_spans_members(self, hub):
+        fed, default, hpc = hub
+        got = []
+        sub = fed.subscribe("#", got.append)
+        fed.unsubscribe(sub)
+        fed.publish("hpc.task", {})
+        fed.publish("edge.task", {})
+        assert got == []
+
+    def test_batch_routed(self, hub):
+        fed, default, hpc = hub
+        fed.publish_batch("hpc.task", [{}, {}, {}])
+        assert hpc.published_count == 3
+
+    def test_close_closes_members(self, hub):
+        fed, default, hpc = hub
+        fed.close()
+        assert default.closed and hpc.closed

@@ -1,0 +1,48 @@
+"""Tests for topic matching and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopicError
+from repro.messaging.pubsub import topic_matches, validate_pattern, validate_topic
+
+
+class TestTopicMatches:
+    @pytest.mark.parametrize(
+        "pattern,topic,expected",
+        [
+            ("provenance.task", "provenance.task", True),
+            ("provenance.task", "provenance.anomaly", False),
+            ("provenance.*", "provenance.task", True),
+            ("provenance.*", "provenance.task.sub", False),
+            ("provenance.#", "provenance.task.sub", True),
+            ("#", "anything.at.all", True),
+            ("*.task", "provenance.task", True),
+            ("*.task", "task", False),
+            ("a.b", "a", False),
+            ("a", "a.b", False),
+        ],
+    )
+    def test_matrix(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+
+class TestValidation:
+    def test_valid_topic(self):
+        validate_topic("provenance.task")
+
+    @pytest.mark.parametrize("topic", ["", "a..b", ".a", "a.", "prov.*", "prov.#"])
+    def test_invalid_topics(self, topic):
+        with pytest.raises(TopicError):
+            validate_topic(topic)
+
+    def test_valid_patterns(self):
+        validate_pattern("provenance.*")
+        validate_pattern("provenance.#")
+        validate_pattern("#")
+
+    @pytest.mark.parametrize("pattern", ["", "a..b", "#.task", "pre*fix.a"])
+    def test_invalid_patterns(self, pattern):
+        with pytest.raises(TopicError):
+            validate_pattern(pattern)

@@ -1,0 +1,155 @@
+"""Tests for the in-memory provenance document store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.provenance.database import ProvenanceDatabase, get_path
+
+
+@pytest.fixture
+def db(task_records) -> ProvenanceDatabase:
+    database = ProvenanceDatabase()
+    # store nested docs (unflattened), as the keeper would
+    for r in task_records:
+        doc = {
+            k: v
+            for k, v in r.items()
+            if not k.startswith("telemetry_at_end.")
+        }
+        doc["telemetry_at_end"] = {
+            "cpu": {"percent": r["telemetry_at_end.cpu.percent"]}
+        }
+        doc["generated"] = {
+            "bond_id": r["generated.bond_id"],
+            "bd_enthalpy": r["generated.bd_enthalpy"],
+        }
+        del doc["generated.bond_id"], doc["generated.bd_enthalpy"]
+        database.insert(doc)
+    return database
+
+
+class TestGetPath:
+    def test_nested_access(self):
+        assert get_path({"a": {"b": {"c": 1}}}, "a.b.c") == 1
+
+    def test_missing_returns_none(self):
+        assert get_path({"a": 1}, "a.b") is None
+
+
+class TestFind:
+    def test_implicit_eq(self, db):
+        assert len(db.find({"status": "FINISHED"})) == 2
+
+    def test_range_operators(self, db):
+        assert len(db.find({"duration": {"$gt": 0.4, "$lte": 0.5}})) == 2
+
+    def test_in_operator(self, db):
+        assert len(db.find({"status": {"$in": ["FAILED", "RUNNING"]}})) == 2
+
+    def test_regex_on_nested_path(self, db):
+        assert len(db.find({"generated.bond_id": {"$regex": "^C-H"}})) == 2
+
+    def test_exists(self, db):
+        assert len(db.find({"agent_id": {"$exists": True}})) == 0
+        assert len(db.find({"agent_id": {"$exists": False}})) == 4
+
+    def test_or(self, db):
+        out = db.find({"$or": [{"status": "FAILED"}, {"status": "RUNNING"}]})
+        assert len(out) == 2
+
+    def test_sort_and_limit(self, db):
+        out = db.find({}, sort=[("duration", -1)], limit=1)
+        assert out[0]["task_id"] == "1000.1_0"
+
+    def test_sort_nulls_last(self, db):
+        out = db.find({}, sort=[("duration", 1)])
+        assert out[-1]["duration"] is None
+
+    def test_projection(self, db):
+        out = db.find({"status": "FAILED"}, projection=["task_id", "generated.bond_id"])
+        assert out == [{"task_id": "1000.4_3", "generated.bond_id": "O-H_1"}]
+
+    def test_unknown_operator_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.find({"duration": {"$frob": 1}})
+
+    def test_type_mismatch_is_no_match(self, db):
+        assert db.find({"status": {"$gt": 5}}) == []
+
+
+class TestUpsert:
+    def test_insert_then_replace(self):
+        db = ProvenanceDatabase()
+        assert db.upsert({"task_id": "t1", "status": "RUNNING"}) is False
+        assert db.upsert({"task_id": "t1", "status": "FINISHED"}) is True
+        assert len(db) == 1
+        assert db.find_one({"task_id": "t1"})["status"] == "FINISHED"
+
+    def test_merge_keeps_earlier_fields(self):
+        db = ProvenanceDatabase()
+        db.upsert({"task_id": "t1", "telemetry_at_start": {"cpu": 10}})
+        db.upsert({"task_id": "t1", "status": "FINISHED", "telemetry_at_start": None})
+        doc = db.find_one({"task_id": "t1"})
+        assert doc["telemetry_at_start"] == {"cpu": 10}
+
+    def test_upsert_requires_key(self):
+        with pytest.raises(DatabaseError):
+            ProvenanceDatabase().upsert({"status": "FINISHED"})
+
+
+class TestAggregate:
+    def test_group_avg(self, db):
+        rows = db.aggregate(
+            [
+                {"$group": {"_id": "$activity_id", "mean_dur": {"$avg": "$duration"}}},
+            ]
+        )
+        by_id = {r["_id"]: r["mean_dur"] for r in rows}
+        assert by_id["run_dft"] == pytest.approx(1.25)
+
+    def test_match_group_sort_limit(self, db):
+        rows = db.aggregate(
+            [
+                {"$match": {"status": "FINISHED"}},
+                {"$group": {"_id": "$hostname", "n": {"$sum": 1}}},
+                {"$sort": {"n": -1}},
+                {"$limit": 1},
+            ]
+        )
+        assert rows == [{"_id": "frontier00084", "n": 2}]
+
+    def test_count_stage(self, db):
+        rows = db.aggregate([{"$match": {"status": "FAILED"}}, {"$count": "failed"}])
+        assert rows == [{"failed": 1}]
+
+    def test_project_stage(self, db):
+        rows = db.aggregate(
+            [{"$match": {"status": "RUNNING"}}, {"$project": ["task_id"]}]
+        )
+        assert rows == [{"task_id": "1000.2_1"}]
+
+    def test_bad_stage_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.aggregate([{"$frobnicate": 1}])
+
+    def test_group_requires_id(self, db):
+        with pytest.raises(DatabaseError):
+            db.aggregate([{"$group": {"n": {"$sum": 1}}}])
+
+
+class TestMisc:
+    def test_distinct(self, db):
+        assert set(db.distinct("hostname")) == {
+            "frontier00084",
+            "frontier00085",
+            "frontier00086",
+        }
+
+    def test_count(self, db):
+        assert db.count({"workflow_id": "w1"}) == 3
+
+    def test_clear(self, db):
+        db.clear()
+        assert len(db) == 0

@@ -1,0 +1,101 @@
+"""Tests for the provenance graph view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.graph import ProvenanceGraph
+
+
+def docs_with_upstream():
+    """a -> b -> d ; a -> c -> d (diamond via explicit upstream links)."""
+    return [
+        {"task_id": "a", "activity_id": "gen", "used": {}, "generated": {}},
+        {
+            "task_id": "b",
+            "activity_id": "left",
+            "used": {"_upstream": ["a"]},
+            "generated": {},
+        },
+        {
+            "task_id": "c",
+            "activity_id": "right",
+            "used": {"_upstream": ["a"]},
+            "generated": {},
+        },
+        {
+            "task_id": "d",
+            "activity_id": "join",
+            "used": {"_upstream": ["b", "c"]},
+            "generated": {},
+        },
+    ]
+
+
+class TestExplicitLinks:
+    def test_upstream_downstream(self):
+        g = ProvenanceGraph(docs_with_upstream())
+        assert g.upstream("d") == {"a", "b", "c"}
+        assert g.downstream("a") == {"b", "c", "d"}
+
+    def test_parents_children(self):
+        g = ProvenanceGraph(docs_with_upstream())
+        assert set(g.parents("d")) == {"b", "c"}
+        assert g.children("a") == ["b", "c"]
+
+    def test_causal_chain(self):
+        g = ProvenanceGraph(docs_with_upstream())
+        chain = g.causal_chain("a", "d")
+        assert chain[0] == "a" and chain[-1] == "d" and len(chain) == 3
+
+    def test_unrelated_chain_is_none(self):
+        docs = docs_with_upstream() + [
+            {"task_id": "x", "activity_id": "iso", "used": {}, "generated": {}}
+        ]
+        g = ProvenanceGraph(docs)
+        assert g.causal_chain("x", "d") is None
+
+    def test_roots_and_leaves(self):
+        g = ProvenanceGraph(docs_with_upstream())
+        assert g.roots() == ["a"]
+        assert g.leaves() == ["d"]
+
+    def test_critical_path_spans_diamond(self):
+        g = ProvenanceGraph(docs_with_upstream())
+        path = g.critical_path()
+        assert path[0] == "a" and path[-1] == "d" and len(path) == 3
+
+    def test_unknown_task_raises(self):
+        g = ProvenanceGraph(docs_with_upstream())
+        with pytest.raises(ProvenanceError):
+            g.upstream("ghost")
+
+    def test_acyclic(self):
+        assert ProvenanceGraph(docs_with_upstream()).is_acyclic()
+
+
+class TestImplicitDataflowLinks:
+    def test_value_match_creates_edge(self):
+        docs = [
+            {"task_id": "p", "used": {}, "generated": {"conf": "mol-77"}},
+            {"task_id": "q", "used": {"conf": "mol-77"}, "generated": {}},
+        ]
+        g = ProvenanceGraph(docs)
+        assert g.children("p") == ["q"]
+
+    def test_trivial_values_not_linked(self):
+        docs = [
+            {"task_id": "p", "used": {}, "generated": {"flag": 1}},
+            {"task_id": "q", "used": {"flag": 1}, "generated": {}},
+        ]
+        g = ProvenanceGraph(docs)
+        assert g.children("p") == []
+
+    def test_string_upstream_accepted(self):
+        docs = [
+            {"task_id": "p", "used": {}, "generated": {}},
+            {"task_id": "q", "used": {"_upstream": "p"}, "generated": {}},
+        ]
+        g = ProvenanceGraph(docs)
+        assert g.children("p") == ["q"]

@@ -1,0 +1,122 @@
+"""Tests for the Provenance Keeper service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messaging.broker import InProcessBroker
+from repro.provenance.keeper import ProvenanceKeeper, TASK_TOPIC
+from repro.provenance.prov import RelationKind
+
+
+def task_payload(task_id="t1", **overrides):
+    doc = {
+        "task_id": task_id,
+        "campaign_id": "c1",
+        "workflow_id": "w1",
+        "activity_id": "square",
+        "used": {"x": 3},
+        "generated": {"y": 9},
+        "started_at": 1.0,
+        "ended_at": 2.0,
+        "hostname": "node-1",
+        "status": "FINISHED",
+        "type": "task",
+    }
+    doc.update(overrides)
+    return doc
+
+
+@pytest.fixture
+def setup():
+    broker = InProcessBroker()
+    keeper = ProvenanceKeeper(broker)
+    keeper.start()
+    return broker, keeper
+
+
+class TestIngestion:
+    def test_message_lands_in_database(self, setup):
+        broker, keeper = setup
+        broker.publish(TASK_TOPIC, task_payload())
+        assert keeper.processed_count == 1
+        assert keeper.database.find_one({"task_id": "t1"})["generated"] == {"y": 9}
+
+    def test_batch_ingestion(self, setup):
+        broker, keeper = setup
+        broker.publish_batch(TASK_TOPIC, [task_payload(f"t{i}") for i in range(5)])
+        assert len(keeper.database) == 5
+
+    def test_lifecycle_updates_collapse(self, setup):
+        broker, keeper = setup
+        broker.publish(TASK_TOPIC, task_payload(status="RUNNING", ended_at=None))
+        broker.publish(TASK_TOPIC, task_payload(status="FINISHED"))
+        assert len(keeper.database) == 1
+        assert keeper.database.find_one({"task_id": "t1"})["status"] == "FINISHED"
+
+    def test_invalid_message_rejected_not_fatal(self, setup):
+        broker, keeper = setup
+        broker.publish(TASK_TOPIC, {"task_id": "", "status": "FINISHED"})
+        assert keeper.processed_count == 0
+        assert len(keeper.rejected) == 1
+        assert not broker.delivery_errors  # rejection is not an exception
+
+    def test_stop_detaches(self, setup):
+        broker, keeper = setup
+        keeper.stop()
+        broker.publish(TASK_TOPIC, task_payload())
+        assert keeper.processed_count == 0
+
+    def test_context_manager(self):
+        broker = InProcessBroker()
+        with ProvenanceKeeper(broker) as keeper:
+            broker.publish(TASK_TOPIC, task_payload())
+            assert keeper.processed_count == 1
+        broker.publish(TASK_TOPIC, task_payload("t2"))
+        assert keeper.processed_count == 1
+
+
+class TestProvProjection:
+    def test_activity_and_entities_created(self, setup):
+        broker, keeper = setup
+        broker.publish(TASK_TOPIC, task_payload())
+        assert "t1" in keeper.prov
+        assert "t1/used/x" in keeper.prov
+        assert "t1/generated/y" in keeper.prov
+
+    def test_agent_association_recorded(self, setup):
+        broker, keeper = setup
+        broker.publish(
+            TASK_TOPIC,
+            task_payload(type="tool_execution", agent_id="prov-agent"),
+        )
+        assert keeper.prov.activities_of_agent("prov-agent") == ["t1"]
+
+    def test_informed_by_links_llm_to_tool(self, setup):
+        broker, keeper = setup
+        broker.publish(TASK_TOPIC, task_payload("tool-1", type="tool_execution"))
+        broker.publish(
+            TASK_TOPIC,
+            task_payload("llm-1", type="llm_interaction", informed_by="tool-1"),
+        )
+        rels = keeper.prov.relations(RelationKind.WAS_INFORMED_BY)
+        assert len(rels) == 1 and rels[0].subject == "llm-1"
+
+    def test_prov_document_optional(self):
+        broker = InProcessBroker()
+        keeper = ProvenanceKeeper(broker, build_prov_document=False)
+        keeper.start()
+        broker.publish(TASK_TOPIC, task_payload())
+        assert keeper.prov is None
+        assert keeper.processed_count == 1
+
+
+class TestDistributedKeepers:
+    def test_two_keepers_both_ingest(self):
+        broker = InProcessBroker()
+        k1 = ProvenanceKeeper(broker, keeper_id="k1")
+        k2 = ProvenanceKeeper(broker, keeper_id="k2")
+        k1.start(), k2.start()
+        broker.publish(TASK_TOPIC, task_payload())
+        assert k1.processed_count == 1
+        assert k2.processed_count == 1

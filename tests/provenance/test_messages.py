@@ -1,0 +1,108 @@
+"""Tests for the task provenance message schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaViolationError
+from repro.provenance.messages import (
+    COMMON_FIELDS,
+    TaskProvenanceMessage,
+)
+
+
+def make_message(**overrides) -> TaskProvenanceMessage:
+    base = dict(
+        task_id="1753457858.952133_0_3_973",
+        campaign_id="0552ae57",
+        workflow_id="4f2051b9",
+        activity_id="run_individual_bde",
+        used={"e0": -155.03, "frags": {"label": "C-H_3"}},
+        generated={"bond_id": "C-H_3", "bd_energy": 98.648},
+        started_at=1753457858.952133,
+        ended_at=1753457859.009404,
+        hostname="frontier00084",
+        status="FINISHED",
+        type="task",
+    )
+    base.update(overrides)
+    return TaskProvenanceMessage(**base)
+
+
+class TestValidation:
+    def test_valid_message_passes(self):
+        make_message().validate()
+
+    @pytest.mark.parametrize("field", ["task_id", "workflow_id", "activity_id"])
+    def test_missing_required_field(self, field):
+        with pytest.raises(SchemaViolationError):
+            make_message(**{field: ""}).validate()
+
+    def test_bad_status(self):
+        with pytest.raises(SchemaViolationError):
+            make_message(status="DONE").validate()
+
+    def test_bad_type(self):
+        with pytest.raises(SchemaViolationError):
+            make_message(type="banana").validate()
+
+    def test_time_travel_rejected(self):
+        with pytest.raises(SchemaViolationError):
+            make_message(started_at=10.0, ended_at=5.0).validate()
+
+    def test_agent_record_types_allowed(self):
+        make_message(type="tool_execution").validate()
+        make_message(type="llm_interaction").validate()
+
+
+class TestDerived:
+    def test_duration(self):
+        msg = make_message(started_at=1.0, ended_at=3.5)
+        assert msg.duration == 2.5
+
+    def test_duration_none_while_running(self):
+        msg = make_message(ended_at=None, status="RUNNING")
+        assert msg.duration is None
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        msg = make_message()
+        back = TaskProvenanceMessage.from_dict(msg.to_dict())
+        assert back.to_dict() == msg.to_dict()
+
+    def test_to_dict_includes_duration(self):
+        doc = make_message(started_at=0.0, ended_at=2.0).to_dict()
+        assert doc["duration"] == 2.0
+
+    def test_unknown_keys_preserved_as_tags(self):
+        doc = make_message().to_dict()
+        doc["custom_annotation"] = "keepme"
+        back = TaskProvenanceMessage.from_dict(doc)
+        assert back.tags["custom_annotation"] == "keepme"
+
+    def test_flatten_produces_dot_paths(self):
+        flat = make_message().flatten()
+        assert flat["used.frags.label"] == "C-H_3"
+        assert flat["generated.bd_energy"] == 98.648
+
+    def test_agent_links_serialised(self):
+        msg = make_message(
+            type="llm_interaction", agent_id="prov-agent", informed_by="tool-1"
+        )
+        doc = msg.to_dict()
+        assert doc["agent_id"] == "prov-agent"
+        assert doc["informed_by"] == "tool-1"
+
+
+class TestCommonFields:
+    def test_core_identifiers_documented(self):
+        for key in ("task_id", "campaign_id", "workflow_id", "activity_id"):
+            assert key in COMMON_FIELDS
+            assert COMMON_FIELDS[key]["description"]
+
+    def test_telemetry_paths_documented(self):
+        assert "telemetry_at_end.cpu.percent" in COMMON_FIELDS
+
+    def test_duration_documented(self):
+        assert "duration" in COMMON_FIELDS

@@ -1,0 +1,91 @@
+"""Tests for the W3C PROV extension model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.prov import ProvDocument, RelationKind
+
+
+@pytest.fixture
+def doc() -> ProvDocument:
+    d = ProvDocument()
+    d.add_activity("task-1", started_at=0.0, ended_at=1.0)
+    d.add_activity("task-2", started_at=1.0, ended_at=2.0)
+    d.add_entity("data-a")
+    d.add_entity("data-b")
+    d.add_agent("prov-agent", agent_type="ai-agent")
+    return d
+
+
+class TestNodes:
+    def test_membership(self, doc):
+        assert "task-1" in doc
+        assert "nope" not in doc
+        assert len(doc) == 5
+
+    def test_kind_conflict_rejected(self, doc):
+        with pytest.raises(ProvenanceError):
+            doc.add_entity("task-1")
+
+    def test_nodes_by_kind(self, doc):
+        assert {a.activity_id for a in doc.nodes("activity")} == {"task-1", "task-2"}
+
+
+class TestRelations:
+    def test_used_and_generated(self, doc):
+        doc.used("task-1", "data-a")
+        doc.was_generated_by("data-b", "task-1")
+        assert len(doc.relations(RelationKind.USED)) == 1
+        assert len(doc.relations(RelationKind.WAS_GENERATED_BY)) == 1
+
+    def test_domain_enforced(self, doc):
+        with pytest.raises(ProvenanceError):
+            doc.used("data-a", "task-1")  # subject must be an activity
+
+    def test_unknown_node_rejected(self, doc):
+        with pytest.raises(ProvenanceError):
+            doc.used("task-1", "ghost")
+
+    def test_was_informed_by_activity_chain(self, doc):
+        doc.was_informed_by("task-2", "task-1")
+        rels = doc.relations(RelationKind.WAS_INFORMED_BY)
+        assert rels[0].subject == "task-2"
+
+    def test_agent_association(self, doc):
+        doc.was_associated_with("task-1", "prov-agent")
+        assert doc.activities_of_agent("prov-agent") == ["task-1"]
+
+    def test_string_kind_accepted(self, doc):
+        doc.relate("used", "task-1", "data-a")
+
+    def test_validate_passes_on_well_formed(self, doc):
+        doc.used("task-1", "data-a")
+        doc.validate()
+
+
+class TestLineage:
+    def test_entity_lineage_walks_upstream(self, doc):
+        # task-1 used data-a, generated data-b; task-2 used data-b
+        doc.used("task-1", "data-a")
+        doc.was_generated_by("data-b", "task-1")
+        lineage = doc.lineage_of_entity("data-b")
+        assert lineage == ["task-1", "data-a"]
+
+    def test_unknown_entity_raises(self, doc):
+        with pytest.raises(ProvenanceError):
+            doc.lineage_of_entity("ghost")
+
+    def test_max_hops_limits_walk(self, doc):
+        doc.was_generated_by("data-b", "task-1")
+        assert doc.lineage_of_entity("data-b", max_hops=0) == []
+
+
+class TestNetworkxView:
+    def test_export_shapes(self, doc):
+        doc.used("task-1", "data-a")
+        g = doc.to_networkx()
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 1
+        assert g.nodes["task-1"]["kind"] == "activity"

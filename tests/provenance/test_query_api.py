@@ -1,0 +1,88 @@
+"""Tests for the Query API facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.provenance.database import ProvenanceDatabase
+from repro.provenance.query_api import QueryAPI
+
+
+@pytest.fixture
+def api() -> QueryAPI:
+    db = ProvenanceDatabase()
+    db.insert_many(
+        [
+            {
+                "task_id": "t1",
+                "workflow_id": "w1",
+                "campaign_id": "c1",
+                "activity_id": "square",
+                "status": "FINISHED",
+                "type": "task",
+                "used": {},
+                "generated": {"y": 4},
+                "duration": 1.0,
+            },
+            {
+                "task_id": "t2",
+                "workflow_id": "w1",
+                "campaign_id": "c1",
+                "activity_id": "average",
+                "status": "FAILED",
+                "type": "task",
+                "used": {"_upstream": ["t1"]},
+                "generated": {},
+                "duration": 2.0,
+            },
+            {
+                "task_id": "tool-1",
+                "workflow_id": "w1",
+                "campaign_id": "c1",
+                "activity_id": "in_memory_query",
+                "status": "FINISHED",
+                "type": "tool_execution",
+                "used": {"query": "..." },
+                "generated": {},
+            },
+        ]
+    )
+    return QueryAPI(db)
+
+
+class TestTaskReads:
+    def test_tasks_excludes_agent_records(self, api):
+        assert {t["task_id"] for t in api.tasks()} == {"t1", "t2"}
+
+    def test_tasks_with_filter(self, api):
+        assert api.tasks({"status": "FAILED"})[0]["task_id"] == "t2"
+
+    def test_single_task(self, api):
+        assert api.task("t1")["activity_id"] == "square"
+        assert api.task("ghost") is None
+
+    def test_workflows_campaigns_activities(self, api):
+        assert api.workflows() == ["w1"]
+        assert api.campaigns() == ["c1"]
+        assert set(api.activities("w1")) == {"square", "average", "in_memory_query"}
+
+    def test_status_counts(self, api):
+        counts = api.status_counts()
+        assert counts["FINISHED"] == 2 and counts["FAILED"] == 1
+
+    def test_failed_tasks(self, api):
+        assert [t["task_id"] for t in api.failed_tasks()] == ["t2"]
+
+    def test_agent_interactions(self, api):
+        assert [t["task_id"] for t in api.agent_interactions()] == ["tool-1"]
+
+
+class TestViews:
+    def test_to_frame_flattens(self, api):
+        frame = api.to_frame({"type": "task"})
+        assert "generated.y" in frame.columns
+        assert len(frame) == 2
+
+    def test_lineage_and_impact(self, api):
+        assert api.lineage("t2") == {"t1"}
+        assert api.impact("t1") == {"t2"}

@@ -1,0 +1,164 @@
+"""Tests for structural/functional query comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import parse_query
+from repro.query.compare import compare_queries, results_equivalent
+from repro.dataframe import DataFrame
+
+
+def diff(gold: str, gen: str, frame=None, known=None):
+    return compare_queries(
+        parse_query(gold), parse_query(gen), frame=frame, known_fields=known
+    )
+
+
+class TestIdentical:
+    def test_same_query_scores_one(self, task_frame):
+        d = diff(
+            "df[df['status'] == 'FINISHED']",
+            "df[df['status'] == 'FINISHED']",
+            frame=task_frame,
+        )
+        assert d.rubric_score() == pytest.approx(1.0)
+        assert d.results_match is True
+
+    def test_filter_order_is_irrelevant(self):
+        d = diff(
+            "df[(df['a'] == 1) & (df['b'] == 2)]",
+            "df[(df['b'] == 2) & (df['a'] == 1)]",
+        )
+        assert d.filter_exact
+        assert d.rubric_score() == pytest.approx(1.0)
+
+    def test_isin_singleton_equals_eq(self):
+        d = diff("df[df['a'] == 'x']", "df[df['a'].isin(['x'])]")
+        assert d.filter_exact
+
+
+class TestStructuralDifferences:
+    def test_wrong_filter_value_partial_credit(self):
+        d = diff("df[df['cpu'] > 50]", "df[df['cpu'] > 80]")
+        assert 0 < d.filter_jaccard < 1
+        assert d.value_mismatches == 1
+
+    def test_wrong_aggregation(self):
+        d = diff("df['v'].mean()", "df['v'].sum()")
+        assert not d.terminal_match
+        assert d.terminal_close  # sum/mean are "close"
+
+    def test_incompatible_aggregation(self):
+        d = diff("df['v'].mean()", "df['v'].min()")
+        assert not d.terminal_match
+        assert not d.terminal_close
+
+    def test_wrong_agg_column(self):
+        d = diff("df['a'].mean()", "df['b'].mean()")
+        assert d.terminal_match and not d.terminal_column_match
+
+    def test_wrong_groupby_keys(self):
+        d = diff(
+            "df.groupby('a')['v'].mean()",
+            "df.groupby('b')['v'].mean()",
+        )
+        assert not d.groupby_keys_match
+
+    def test_flipped_sort_direction(self):
+        d = diff(
+            "df.sort_values('t', ascending=False).head(1)",
+            "df.sort_values('t', ascending=True).head(1)",
+        )
+        assert d.sort_direction_flipped
+        assert d.rubric_score() < 0.95
+
+    def test_missing_limit(self):
+        d = diff("df.sort_values('t').head(5)", "df.sort_values('t')")
+        assert not d.limit_match
+
+    def test_projection_jaccard(self):
+        d = diff("df[['a', 'b']]", "df[['a', 'c']]")
+        assert d.projection_jaccard == pytest.approx(1 / 3)
+
+
+class TestHallucinations:
+    def test_unknown_field_flagged(self, task_frame):
+        d = diff(
+            "df[df['hostname'] == 'x']",
+            "df[df['node'] == 'x']",
+            known=set(task_frame.columns),
+        )
+        assert d.hallucinated_fields == {"node"}
+        assert d.rubric_score() < 0.5
+
+    def test_known_fields_not_flagged(self, task_frame):
+        d = diff(
+            "df[df['hostname'] == 'x']",
+            "df[df['hostname'] == 'y']",
+            known=set(task_frame.columns),
+        )
+        assert not d.hallucinated_fields
+
+
+class TestFunctionalEquivalence:
+    def test_sort_head_vs_max(self, task_frame):
+        d = diff(
+            "df['duration'].max()",
+            "df.sort_values('duration', ascending=False).head(1)",
+            frame=task_frame,
+        )
+        assert d.results_match is True
+        assert d.rubric_score() >= 0.9
+
+    def test_len_vs_count_agg(self, task_frame):
+        d = diff(
+            "len(df[df['status'] == 'FINISHED'])",
+            "df[df['status'] == 'FINISHED']['task_id'].count()",
+            frame=task_frame,
+        )
+        assert d.results_match is True
+
+    def test_execution_error_caps_score(self, task_frame):
+        d = diff(
+            "df[df['hostname'] == 'x']",
+            "df[df['node'] == 'x']",
+            frame=task_frame,
+        )
+        assert d.gen_execution_error is not None
+        assert d.rubric_score() <= 0.2
+
+    def test_different_results_cap(self, task_frame):
+        d = diff(
+            "df[df['status'] == 'FINISHED']",
+            "df[df['status'] == 'FAILED']",
+            frame=task_frame,
+        )
+        assert d.results_match is False
+        assert d.rubric_score() <= 0.75
+
+
+class TestResultsEquivalent:
+    def test_scalars_with_tolerance(self):
+        assert results_equivalent(1.0, 1.0 + 1e-12)
+        assert not results_equivalent(1.0, 1.1)
+
+    def test_scalar_vs_1x1_frame(self):
+        assert results_equivalent(5.0, DataFrame({"x": [5.0]}))
+
+    def test_unordered_frames(self):
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"x": [2, 1]})
+        assert results_equivalent(a, b, ordered=False)
+        assert not results_equivalent(a, b, ordered=True)
+
+    def test_lists_as_sets(self):
+        assert results_equivalent(["a", "b"], ["b", "a"], ordered=False)
+
+    def test_single_column_rename_ignored(self):
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"renamed": [1, 2]})
+        assert results_equivalent(a, b)
+
+    def test_row_count_mismatch(self):
+        assert not results_equivalent(DataFrame({"x": [1]}), DataFrame({"x": [1, 1]}))

@@ -1,0 +1,95 @@
+"""Tests for query execution against the DataFrame engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryExecutionError
+from repro.query import parse_query
+from repro.query.executor import execute_query
+
+
+def run(code: str, frame):
+    return execute_query(parse_query(code), frame)
+
+
+class TestExecution:
+    def test_filter(self, task_frame):
+        out = run("df[df['status'] == 'FINISHED']", task_frame)
+        assert len(out) == 2
+
+    def test_compound_filter(self, task_frame):
+        out = run(
+            "df[(df['status'] == 'FINISHED') & (df['telemetry_at_end.cpu.percent'] > 50)]",
+            task_frame,
+        )
+        assert out.column("task_id").to_list() == ["1000.1_0"]
+
+    def test_or_filter(self, task_frame):
+        out = run("df[(df['status'] == 'FAILED') | (df['status'] == 'RUNNING')]", task_frame)
+        assert len(out) == 2
+
+    def test_negation(self, task_frame):
+        out = run("df[~(df['status'] == 'FINISHED')]", task_frame)
+        assert len(out) == 2
+
+    def test_str_contains(self, task_frame):
+        out = run("df[df['generated.bond_id'].str.contains('C-H')]", task_frame)
+        assert len(out) == 2
+
+    def test_sort_and_head(self, task_frame):
+        out = run("df.sort_values('duration', ascending=False).head(1)", task_frame)
+        assert out.row(0)["task_id"] == "1000.1_0"
+
+    def test_projection(self, task_frame):
+        out = run("df[['task_id', 'status']]", task_frame)
+        assert out.columns == ["task_id", "status"]
+
+    def test_groupby_mean(self, task_frame):
+        out = run("df.groupby('activity_id')['duration'].mean()", task_frame)
+        rows = {r["activity_id"]: r["duration"] for r in out.to_dicts()}
+        assert rows["run_dft"] == pytest.approx(1.25)  # (2.0 + 0.5) / 2
+
+    def test_column_agg(self, task_frame):
+        assert run("df['generated.bd_enthalpy'].max()", task_frame) == pytest.approx(104.9)
+
+    def test_unique(self, task_frame):
+        assert run("df['hostname'].unique()", task_frame) == [
+            "frontier00084",
+            "frontier00085",
+            "frontier00086",
+        ]
+
+    def test_row_count(self, task_frame):
+        assert run("len(df[df['status'] == 'RUNNING'])", task_frame) == 1
+
+    def test_drop_duplicates(self, task_frame):
+        out = run("df.drop_duplicates(subset=['hostname'])", task_frame)
+        assert len(out) == 3
+
+    def test_between(self, task_frame):
+        out = run("df[df['telemetry_at_end.cpu.percent'].between(20, 60)]", task_frame)
+        assert len(out) == 2
+
+    def test_isna_notna(self, task_frame):
+        assert run("len(df[df['duration'].isna()])", task_frame) == 1
+        assert run("len(df[df['duration'].notna()])", task_frame) == 3
+
+
+class TestExecutionErrors:
+    def test_missing_column_becomes_query_error(self, task_frame):
+        with pytest.raises(QueryExecutionError) as err:
+            run("df[df['node'] == 'x']", task_frame)
+        assert "node" in str(err.value)
+
+    def test_bad_aggregation_target(self, task_frame):
+        with pytest.raises(QueryExecutionError):
+            run("df['status'].mean()", task_frame)
+
+    def test_missing_projection_column(self, task_frame):
+        with pytest.raises(QueryExecutionError):
+            run("df[['task_id', 'execution_id']]", task_frame)
+
+    def test_missing_sort_key(self, task_frame):
+        with pytest.raises(QueryExecutionError):
+            run("df.sort_values('wall_time')", task_frame)

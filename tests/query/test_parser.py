@@ -1,0 +1,182 @@
+"""Tests for the query-code parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query import ast as q
+from repro.query.parser import parse_query, tokenize
+
+
+class TestTokenizer:
+    def test_strings_numbers_ops(self):
+        toks = tokenize("df['a'] >= -1.5e3")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["NAME", "PUNCT", "STRING", "PUNCT", "OP", "NUMBER"]
+
+    def test_bad_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("df$x")
+
+    def test_escaped_quotes(self):
+        toks = tokenize(r"df['it\'s']")
+        assert toks[2].kind == "STRING"
+
+
+class TestParseBasics:
+    def test_simple_filter(self):
+        p = parse_query("df[df['status'] == 'FINISHED']")
+        assert p.steps == (
+            q.Filter(q.Compare(q.Field("status"), "==", "FINISHED")),
+        )
+
+    def test_numeric_comparison(self):
+        p = parse_query("df[df['cpu'] > 50]")
+        assert p.steps[0].predicate.value == 50
+
+    def test_float_literal(self):
+        p = parse_query("df[df['cpu'] >= 12.5]")
+        assert p.steps[0].predicate.value == 12.5
+
+    def test_and_or_precedence(self):
+        p = parse_query("df[(df['a'] == 1) & (df['b'] == 2) | (df['c'] == 3)]")
+        pred = p.steps[0].predicate
+        assert isinstance(pred, q.Or)
+        assert isinstance(pred.left, q.And)
+
+    def test_not_operator(self):
+        p = parse_query("df[~(df['a'] == 1)]")
+        assert isinstance(p.steps[0].predicate, q.Not)
+
+    def test_str_contains(self):
+        p = parse_query("df[df['bond_id'].str.contains('C-H')]")
+        assert p.steps[0].predicate == q.StrContains(q.Field("bond_id"), "C-H", True)
+
+    def test_str_contains_case_kwarg(self):
+        p = parse_query("df[df['s'].str.contains('x', case=False)]")
+        assert p.steps[0].predicate.case is False
+
+    def test_isin(self):
+        p = parse_query("df[df['a'].isin(['x', 'y'])]")
+        assert p.steps[0].predicate == q.IsIn(q.Field("a"), ("x", "y"))
+
+    def test_between(self):
+        p = parse_query("df[df['t'].between(0, 10)]")
+        assert p.steps[0].predicate == q.Between(q.Field("t"), 0, 10)
+
+    def test_notna_isna(self):
+        assert isinstance(
+            parse_query("df[df['x'].notna()]").steps[0].predicate, q.NotNull
+        )
+        assert isinstance(
+            parse_query("df[df['x'].isna()]").steps[0].predicate, q.IsNull
+        )
+
+
+class TestParseChains:
+    def test_sort_head_project(self):
+        p = parse_query(
+            "df.sort_values('started_at', ascending=False).head(5)[['task_id']]"
+        )
+        assert p.steps == (
+            q.Sort(("started_at",), (False,)),
+            q.Head(5),
+            q.Project(("task_id",)),
+        )
+
+    def test_multi_key_sort(self):
+        p = parse_query(
+            "df.sort_values(['a', 'b'], ascending=[True, False])"
+        )
+        assert p.steps[0] == q.Sort(("a", "b"), (True, False))
+
+    def test_groupby_agg(self):
+        p = parse_query("df.groupby('activity_id')['duration'].mean()")
+        assert p.steps == (q.GroupAgg(("activity_id",), "duration", "mean"),)
+
+    def test_groupby_multi_key(self):
+        p = parse_query("df.groupby(['a', 'b'])['v'].sum()")
+        assert p.steps[0].keys == ("a", "b")
+
+    def test_groupby_agg_string_form(self):
+        p = parse_query("df.groupby('a')['v'].agg('median')")
+        assert p.steps[0].agg == "median"
+
+    def test_column_agg(self):
+        p = parse_query("df['bd_energy'].max()")
+        assert p.steps == (q.Agg("bd_energy", "max"),)
+
+    def test_column_agg_via_agg_call(self):
+        p = parse_query("df['x'].agg('std')")
+        assert p.steps == (q.Agg("x", "std"),)
+
+    def test_unique(self):
+        p = parse_query("df['hostname'].unique()")
+        assert p.steps == (q.Unique("hostname"),)
+
+    def test_len_wrapper(self):
+        p = parse_query("len(df[df['status'] == 'RUNNING'])")
+        assert isinstance(p.steps[-1], q.RowCount)
+
+    def test_nlargest_desugars(self):
+        p = parse_query("df.nlargest(3, 'cpu')")
+        assert p.steps == (q.Sort(("cpu",), (False,)), q.Head(3))
+
+    def test_nsmallest_desugars(self):
+        p = parse_query("df.nsmallest(2, 'cpu')")
+        assert p.steps == (q.Sort(("cpu",), (True,)), q.Head(2))
+
+    def test_drop_duplicates_forms(self):
+        assert parse_query("df.drop_duplicates()").steps == (q.DropDuplicates(()),)
+        assert parse_query("df.drop_duplicates(subset='h')").steps == (
+            q.DropDuplicates(("h",)),
+        )
+        assert parse_query("df.drop_duplicates(subset=['h', 'i'])").steps == (
+            q.DropDuplicates(("h", "i")),
+        )
+
+    def test_bare_column_select_is_projection(self):
+        p = parse_query("df['task_id']")
+        assert p.steps == (q.Project(("task_id",)),)
+
+    def test_filter_then_column_agg(self):
+        p = parse_query("df[df['a'] == 1]['v'].mean()")
+        assert p.steps == (
+            q.Filter(q.Compare(q.Field("a"), "==", 1)),
+            q.Agg("v", "mean"),
+        )
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "",
+            "df.foo()",
+            "df[",
+            "df['a'] ==",
+            "notdf['x']",
+            "df[df['a'] = 1]",
+            "df.head('a')",
+            "df.head(2.5)",
+            "df.groupby('a').mean()",  # groupby needs a selected column
+            "df['x'].frobnicate()",
+            "df[df['a'] == 1] extra",
+            "len(df['x'].mean())",
+            "df.sort_values()",
+            "df[df['a'].isin('x')]",
+            "SELECT * FROM tasks",
+        ],
+    )
+    def test_rejects_bad_code(self, code):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(code)
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("df.groupby('a')['v'].frobnicate()")
+
+    def test_double_column_select_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("df['a']['b']")

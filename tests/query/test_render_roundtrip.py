@@ -1,0 +1,116 @@
+"""Render/parse round-trip tests, including property-based pipeline generation."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.query import ast as q
+from repro.query.parser import parse_query
+from repro.query.render import render_query
+
+_fields = st.sampled_from(
+    ["activity_id", "status", "duration", "telemetry_at_end.cpu.percent", "generated.bond_id"]
+)
+_strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_-. "),
+    min_size=1,
+    max_size=12,
+)
+_numbers = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32).map(float),
+)
+_literals = st.one_of(_strings, _numbers, st.booleans(), st.none())
+
+
+def _leaf_predicates():
+    field = _fields.map(q.Field)
+    return st.one_of(
+        st.builds(q.Compare, field, st.sampled_from(q.Compare.OPS), _literals),
+        st.builds(q.StrContains, field, _strings, st.just(True)),
+        st.builds(q.StrStartsWith, field, _strings),
+        st.builds(q.StrEndsWith, field, _strings),
+        st.builds(q.IsIn, field, st.lists(_strings, min_size=1, max_size=3).map(tuple)),
+        st.builds(q.Between, field, _numbers, _numbers),
+        st.builds(q.NotNull, field),
+        st.builds(q.IsNull, field),
+    )
+
+
+def _predicates():
+    return st.recursive(
+        _leaf_predicates(),
+        lambda children: st.one_of(
+            st.builds(q.And, children, children),
+            st.builds(q.Or, children, children),
+            st.builds(q.Not, children),
+        ),
+        max_leaves=5,
+    )
+
+
+_aggs = st.sampled_from(["mean", "sum", "min", "max", "count", "median", "std", "nunique"])
+
+
+def _nonterminal_steps():
+    return st.one_of(
+        st.builds(q.Filter, _predicates()),
+        st.builds(q.Project, st.lists(_fields, min_size=1, max_size=3, unique=True).map(tuple)),
+        st.lists(_fields, min_size=1, max_size=2, unique=True).flatmap(
+            lambda keys: st.lists(st.booleans(), min_size=len(keys), max_size=len(keys)).map(
+                lambda dirs: q.Sort(tuple(keys), tuple(dirs))
+            )
+        ),
+        st.builds(q.Head, st.integers(0, 100)),
+        st.builds(q.Tail, st.integers(0, 100)),
+        st.builds(q.DropDuplicates, st.lists(_fields, max_size=2, unique=True).map(tuple)),
+    )
+
+
+def _terminal_steps():
+    return st.one_of(
+        st.builds(q.GroupAgg, st.lists(_fields, min_size=1, max_size=2, unique=True).map(tuple), _fields, _aggs),
+        st.builds(q.Agg, _fields, _aggs),
+        st.builds(q.Unique, _fields),
+        st.just(q.RowCount()),
+    )
+
+
+@st.composite
+def pipelines(draw):
+    body = draw(st.lists(_nonterminal_steps(), max_size=4))
+    if draw(st.booleans()):
+        body.append(draw(_terminal_steps()))
+    return q.Pipeline(tuple(body))
+
+
+class TestRoundTrip:
+    @given(pipelines())
+    def test_parse_of_render_is_identity(self, pipeline):
+        code = render_query(pipeline)
+        assert parse_query(code) == pipeline
+
+    @given(pipelines())
+    def test_render_is_deterministic(self, pipeline):
+        assert render_query(pipeline) == render_query(pipeline)
+
+    def test_known_rendering(self):
+        p = q.Pipeline(
+            (
+                q.Filter(q.Compare(q.Field("status"), "==", "FINISHED")),
+                q.Sort(("started_at",), (False,)),
+                q.Head(5),
+            )
+        )
+        assert render_query(p) == (
+            "df[df['status'] == 'FINISHED']"
+            ".sort_values('started_at', ascending=False).head(5)"
+        )
+
+    def test_row_count_rendering(self):
+        p = q.Pipeline((q.Filter(q.Compare(q.Field("s"), "==", "R")), q.RowCount()))
+        assert render_query(p) == "len(df[df['s'] == 'R'])"
+
+    def test_groupby_rendering(self):
+        p = q.Pipeline((q.GroupAgg(("activity_id",), "duration", "mean"),))
+        assert render_query(p) == "df.groupby('activity_id')['duration'].mean()"

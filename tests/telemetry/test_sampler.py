@@ -1,0 +1,45 @@
+"""Tests for telemetry sampling."""
+
+from __future__ import annotations
+
+from repro.telemetry import TelemetrySampler
+
+
+class TestSyntheticSampling:
+    def test_values_in_range(self):
+        sampler = TelemetrySampler("node-1")
+        for _ in range(200):
+            snap = sampler.sample()
+            assert 0.0 <= snap.cpu_percent <= 100.0
+            assert 0.0 <= snap.mem_percent <= 100.0
+
+    def test_deterministic_per_hostname(self):
+        a = [TelemetrySampler("node-1").sample().cpu_percent for _ in range(1)]
+        b = [TelemetrySampler("node-1").sample().cpu_percent for _ in range(1)]
+        assert a == b
+
+    def test_different_hosts_differ(self):
+        a = TelemetrySampler("node-1").sample().cpu_percent
+        b = TelemetrySampler("node-2").sample().cpu_percent
+        assert a != b
+
+    def test_stream_varies_over_time(self):
+        sampler = TelemetrySampler("node-1")
+        values = {round(sampler.sample().cpu_percent, 3) for _ in range(50)}
+        assert len(values) > 10
+
+    def test_to_dict_matches_listing_shape(self):
+        snap = TelemetrySampler("n").sample()
+        doc = snap.to_dict()
+        assert set(doc) == {"cpu", "mem"}
+        assert "percent" in doc["cpu"]
+
+
+class TestProcMode:
+    def test_proc_fallback_never_crashes(self):
+        sampler = TelemetrySampler("node-1", synthetic=False)
+        snap = sampler.sample()
+        assert 0.0 <= snap.cpu_percent <= 100.0
+
+    def test_proc_availability_probe(self):
+        assert isinstance(TelemetrySampler.proc_available(), bool)

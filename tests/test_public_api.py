@@ -1,0 +1,31 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "0.9.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_flow_works_via_top_level_imports(self):
+        ctx = repro.CaptureContext()
+        agent = repro.ProvenanceAgent(ctx)
+
+        @repro.flow_task()
+        def square(x):
+            return {"y": x * x}
+
+        for x in range(10):
+            square(x, _ctx=ctx)
+        ctx.flush()
+
+        reply = agent.chat("How many tasks have finished?")
+        assert reply.ok
+        assert "10" in reply.text
+        assert reply.code.startswith("len(")

@@ -1,0 +1,59 @@
+"""Tests for the clock abstraction."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.utils.clock import SystemClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_given_epoch(self):
+        c = VirtualClock(start=100.0)
+        assert c.now() == 100.0
+
+    def test_sleep_advances(self):
+        c = VirtualClock(start=0.0)
+        c.sleep(2.5)
+        assert c.now() == 2.5
+
+    def test_advance_returns_new_time(self):
+        c = VirtualClock(start=10.0)
+        assert c.advance(5.0) == 15.0
+
+    def test_negative_advance_rejected(self):
+        c = VirtualClock()
+        with pytest.raises(ValueError):
+            c.advance(-1.0)
+
+    def test_thread_safe_advance(self):
+        c = VirtualClock(start=0.0)
+
+        def work():
+            for _ in range(1000):
+                c.advance(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert abs(c.now() - 4.0) < 1e-6
+
+    def test_default_epoch_matches_paper_listing(self):
+        # Listing 1 timestamps are around 1753457858.95
+        c = VirtualClock()
+        assert 1.75e9 < c.now() < 1.76e9
+
+
+class TestSystemClock:
+    def test_now_monotone_nondecreasing(self):
+        c = SystemClock()
+        a = c.now()
+        b = c.now()
+        assert b >= a
+
+    def test_zero_sleep_is_noop(self):
+        SystemClock().sleep(0)  # must not raise

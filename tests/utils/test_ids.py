@@ -1,0 +1,39 @@
+"""Tests for identifier generation."""
+
+from __future__ import annotations
+
+import uuid
+
+from repro.utils.ids import new_campaign_id, new_task_id, new_workflow_id
+
+
+class TestUuidLikeIds:
+    def test_random_ids_are_valid_uuid4(self):
+        u = uuid.UUID(new_campaign_id())
+        assert u.version == 4
+
+    def test_seeded_ids_are_deterministic(self):
+        assert new_workflow_id("bench", 1) == new_workflow_id("bench", 1)
+
+    def test_seeded_ids_differ_by_seed(self):
+        assert new_workflow_id("bench", 1) != new_workflow_id("bench", 2)
+
+    def test_campaign_and_workflow_streams_are_distinct(self):
+        assert new_campaign_id("s", 1) != new_workflow_id("s", 1)
+
+    def test_seeded_id_is_valid_uuid(self):
+        u = uuid.UUID(new_campaign_id("x"))
+        assert u.version == 4
+
+
+class TestTaskIds:
+    def test_matches_paper_format(self):
+        tid = new_task_id(1753457858.952133, 0, 3, 973)
+        assert tid == "1753457858.952133_0_3_973"
+
+    def test_no_discriminators(self):
+        assert new_task_id(12.5) == "12.5"
+
+    def test_integral_timestamp_keeps_decimal(self):
+        tid = new_task_id(100.0, 1)
+        assert tid.startswith("100.0_")

@@ -1,0 +1,80 @@
+"""Tests for ASCII chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz.ascii import bar_chart, boxplot_rows, scatter, series_table
+
+
+class TestBarChart:
+    def test_longest_bar_for_max_value(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0])
+        line_a, line_b = chart.splitlines()
+        assert line_b.count("█") > line_a.count("█")
+
+    def test_values_printed(self):
+        chart = bar_chart(["C-H_1"], [100.2], title="BDE")
+        assert "100.2" in chart and "C-H_1" in chart and "BDE" in chart
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(empty chart)"
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values_no_crash(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "a" in chart
+
+
+class TestBoxplotRows:
+    def test_median_marker_present(self):
+        out = boxplot_rows({"grp": [0.2, 0.5, 0.8]})
+        assert "┃" in out and "med=0.500" in out
+
+    def test_empty_group_handled(self):
+        out = boxplot_rows({"empty": []})
+        assert "no data" in out
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            boxplot_rows({"g": [0.5]}, lo=1.0, hi=0.0)
+
+    def test_single_value(self):
+        out = boxplot_rows({"one": [0.5]})
+        assert "med=0.500" in out
+
+
+class TestScatter:
+    def test_labels_legend(self):
+        out = scatter([1, 2], [3, 4], labels=["p", "q"])
+        assert "a = p" in out and "b = q" in out
+
+    def test_empty(self):
+        assert scatter([], []) == "(empty scatter)"
+
+    def test_axis_ranges_shown(self):
+        out = scatter([0, 10], [0, 1])
+        assert "x: 0 … 10" in out
+
+    def test_mismatched(self):
+        with pytest.raises(ValueError):
+            scatter([1], [1, 2])
+
+
+class TestSeriesTable:
+    def test_alignment_and_missing(self):
+        out = series_table(
+            [{"a": 1, "b": None}, {"a": 22.5}],
+            ["a", "b"],
+            title="t",
+        )
+        assert "t" in out
+        assert "·" in out  # missing marker
+        assert "22.5" in out
+
+    def test_empty_rows(self):
+        out = series_table([], ["col"])
+        assert "col" in out

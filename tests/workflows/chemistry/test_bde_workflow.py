@@ -1,0 +1,127 @@
+"""Integration tests for the BDE workflow (Figure 5-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture.context import CaptureContext
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.workflows.chemistry import run_bde_workflow
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = CaptureContext(hostname="frontier00084.frontier.olcf.ornl.gov")
+    keeper = ProvenanceKeeper(ctx.broker)
+    keeper.start()
+    report = run_bde_workflow("CCO", ctx, n_conformers=2)
+    return ctx, keeper, report
+
+
+class TestReport:
+    def test_parent_facts(self, setup):
+        _, _, report = setup
+        assert report.parent_formula == "C2H6O"
+        assert report.parent_n_atoms == 9
+        assert report.parent_charge == 0
+        assert report.parent_multiplicity == 1
+
+    def test_eight_bond_records(self, setup):
+        _, _, report = setup
+        assert len(report.bonds) == 8
+
+    def test_ch_bde_near_paper_value(self, setup):
+        # Listing 1: C-H_3 bd_energy = 98.65 kcal/mol
+        _, _, report = setup
+        ch3 = report.bond("C-H_3")
+        assert ch3.bd_energy == pytest.approx(98.6, abs=2.0)
+
+    def test_enthalpy_energy_offsets_match_listing(self, setup):
+        # Listing 1: enthalpy - energy = +1.58; free energy - energy = -6.26
+        _, _, report = setup
+        for b in report.bonds:
+            assert b.bd_enthalpy - b.bd_energy == pytest.approx(1.58, abs=0.8)
+            assert b.bd_free_energy - b.bd_energy == pytest.approx(-6.26, abs=0.8)
+
+    def test_cc_is_lowest_enthalpy(self, setup):
+        # paper §5.3 Q3: expected C-C
+        _, _, report = setup
+        assert report.lowest_enthalpy_bond().bond_id == "C-C_1"
+
+    def test_oh_is_highest_free_energy(self, setup):
+        # paper §5.3 Q1
+        _, _, report = setup
+        assert report.highest_free_energy_bond().bond_id == "O-H_1"
+
+    def test_q5_total_atoms_81(self, setup):
+        _, _, report = setup
+        assert report.total_atoms_including_fragments() == 81
+
+    def test_fragments_are_neutral_doublets(self, setup):
+        # paper §5.3 Q10
+        _, _, report = setup
+        for b in report.bonds:
+            assert b.fragment_multiplicity == 2
+            assert b.fragment_charge == 0
+
+    def test_mean_ch_bde(self, setup):
+        _, _, report = setup
+        mean = report.mean_bde_for("C-H")
+        values = [b.bd_enthalpy for b in report.bonds if "C-H" in b.bond_id]
+        assert mean == pytest.approx(sum(values) / len(values))
+
+    def test_unknown_bond_raises(self, setup):
+        _, _, report = setup
+        with pytest.raises(KeyError):
+            report.bond("Si-H_1")
+
+
+class TestProvenanceCapture:
+    def test_listing1_message_shape(self, setup):
+        _, keeper, _ = setup
+        doc = keeper.database.find_one(
+            {"activity_id": "run_individual_bde", "generated.bond_id": "C-H_3"}
+        )
+        assert doc is not None
+        used, gen = doc["used"], doc["generated"]
+        assert set(["e0", "frags", "h0", "outdir", "s0", "z0"]) <= set(used)
+        assert used["frags"]["label"] == "C-H_3"
+        assert set(gen) == {"bond_id", "bd_energy", "bd_enthalpy", "bd_free_energy"}
+        assert doc["hostname"].startswith("frontier")
+        assert doc["status"] == "FINISHED"
+
+    def test_all_figure_activities_present(self, setup):
+        _, keeper, _ = setup
+        activities = set(keeper.database.distinct("activity_id"))
+        for expected in (
+            "generate_conformer",
+            "geometry_minimization",
+            "get_lowest_energy",
+            "create_parent_structure",
+            "break_bond_generate_fragment",
+            "create_input_for_fragment",
+            "run_dft",
+            "postprocess",
+            "run_individual_bde",
+        ):
+            assert expected in activities
+
+    def test_task_count_matches_report(self, setup):
+        _, keeper, report = setup
+        assert keeper.database.count({"type": "task"}) == report.n_tasks
+
+    def test_dft_runs_one_parent_plus_two_per_bond(self, setup):
+        _, keeper, report = setup
+        n_dft = keeper.database.count({"activity_id": "run_dft"})
+        assert n_dft == 1 + 2 * len(report.bonds)
+
+    def test_clock_advanced_by_simulated_dft_time(self, setup):
+        ctx, _, _ = setup
+        # 17 DFT runs at ~2s each must have advanced the virtual clock
+        assert ctx.clock.now() > 1_753_457_858.0 + 10.0
+
+    def test_richer_schema_than_synthetic(self, setup):
+        """The chemistry workflow's dataflow schema is nested and wider."""
+        _, keeper, _ = setup
+        doc = keeper.database.find_one({"activity_id": "run_individual_bde"})
+        assert isinstance(doc["used"]["frags"], dict)  # nested structure

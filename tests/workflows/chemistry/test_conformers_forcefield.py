@@ -1,0 +1,103 @@
+"""Tests for conformer embedding and the toy force field."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workflows.chemistry.conformers import (
+    Conformer,
+    embed_molecule,
+    generate_conformers,
+    lowest_energy,
+)
+from repro.workflows.chemistry.forcefield import ForceField
+from repro.workflows.chemistry.molecule import Molecule
+from repro.workflows.chemistry.smiles import parse_smiles
+
+
+class TestEmbedding:
+    def test_shape(self):
+        mol = parse_smiles("CCO")
+        coords = embed_molecule(mol)
+        assert coords.shape == (9, 3)
+
+    def test_deterministic_per_seed(self):
+        mol = parse_smiles("CCO")
+        a = embed_molecule(mol, seed=1)
+        b = embed_molecule(mol, seed=1)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        mol = parse_smiles("CCO")
+        assert not np.allclose(embed_molecule(mol, seed=1), embed_molecule(mol, seed=2))
+
+    def test_bonded_atoms_nearby(self):
+        mol = parse_smiles("CC")
+        coords = embed_molecule(mol, seed=0)
+        for bond in mol.bonds():
+            d = np.linalg.norm(coords[bond.a] - coords[bond.b])
+            assert d < 3.0  # embedded roughly at bond length
+
+
+class TestForceField:
+    def test_minimisation_reduces_energy(self):
+        mol = parse_smiles("CCO")
+        ff = ForceField(mol)
+        coords = embed_molecule(mol, seed=3)
+        start = ff.energy(coords.reshape(-1))
+        result = ff.minimize(coords)
+        assert result.energy < start
+        assert result.coords.shape == (9, 3)
+
+    def test_minimised_bond_lengths_near_equilibrium(self):
+        mol = parse_smiles("CC")
+        ff = ForceField(mol)
+        result = ff.minimize(embed_molecule(mol, seed=1))
+        # C-C equilibrium = 2 * covalent radius = 1.52 A
+        d = np.linalg.norm(result.coords[0] - result.coords[1])
+        assert d == pytest.approx(1.52, abs=0.2)
+
+    def test_single_atom_trivial(self):
+        mol = Molecule()
+        mol.add_atom("H")
+        result = ForceField(mol).minimize(np.zeros((1, 3)))
+        assert result.converged and result.energy == 0.0
+
+    def test_energy_deterministic(self):
+        mol = parse_smiles("CCO")
+        ff = ForceField(mol)
+        coords = embed_molecule(mol, seed=1).reshape(-1)
+        assert ff.energy(coords) == ff.energy(coords)
+
+    def test_nonbonded_pairs_exclude_close_neighbours(self):
+        mol = parse_smiles("CCO")
+        ff = ForceField(mol)
+        # 1-2 and 1-3 pairs must not be in the LJ list
+        bonded = {b.key() for b in mol.bonds()}
+        for i, j in ff._nb.tolist():
+            assert (min(i, j), max(i, j)) not in bonded
+
+
+class TestConformerSearch:
+    def test_generates_requested_count(self):
+        mol = parse_smiles("CCO")
+        confs = generate_conformers(mol, n_conformers=4, seed=0)
+        assert len(confs) == 4
+        assert all(isinstance(c, Conformer) for c in confs)
+
+    def test_lowest_energy_selection(self):
+        mol = parse_smiles("CCO")
+        confs = generate_conformers(mol, n_conformers=4, seed=0)
+        best = lowest_energy(confs)
+        assert best.energy == min(c.energy for c in confs)
+
+    def test_lowest_energy_empty_raises(self):
+        with pytest.raises(ValueError):
+            lowest_energy([])
+
+    def test_deterministic_search(self):
+        mol = parse_smiles("CCO")
+        a = generate_conformers(mol, 3, seed="x")
+        b = generate_conformers(mol, 3, seed="x")
+        assert [c.energy for c in a] == [c.energy for c in b]

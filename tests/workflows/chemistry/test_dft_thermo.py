@@ -1,0 +1,146 @@
+"""Tests for the simulated DFT engine and thermochemistry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChemistryError
+from repro.workflows.chemistry.dft import HARTREE_KCAL, SimulatedDFT
+from repro.workflows.chemistry.molecule import Molecule
+from repro.workflows.chemistry.smiles import parse_smiles
+from repro.workflows.chemistry.thermo import (
+    thermochemistry,
+    vibrational_frequencies,
+)
+
+
+class TestSimulatedDFT:
+    def test_ethanol_energy_near_listing(self):
+        # paper Listing 1: e0 = -155.03 hartree
+        dft = SimulatedDFT()
+        result = dft.run(parse_smiles("CCO", name="parent"))
+        assert result.e0_hartree == pytest.approx(-155.0, abs=0.3)
+
+    def test_deterministic(self):
+        dft = SimulatedDFT()
+        a = dft.run(parse_smiles("CCO", name="x"))
+        b = dft.run(parse_smiles("CCO", name="x"))
+        assert a.e0_hartree == b.e0_hartree
+
+    def test_different_molecules_differ(self):
+        dft = SimulatedDFT()
+        a = dft.run(parse_smiles("CCO", name="x"))
+        b = dft.run(parse_smiles("CC", name="x"))
+        assert a.e0_hartree != b.e0_hartree
+
+    def test_scf_converges_for_small_molecules(self):
+        result = SimulatedDFT().run(parse_smiles("C"))
+        assert result.converged
+        assert 1 <= result.n_scf_iterations <= 50
+
+    def test_open_shell_converges_slower(self):
+        dft = SimulatedDFT()
+        closed = parse_smiles("CC", name="a")
+        radical = parse_smiles("CC", name="a")
+        radical.set_radical(0, 1)
+        # remove one H to keep valence sane
+        h = max(a.index for a in radical.atoms() if a.symbol == "H")
+        radical.graph.remove_node(h)
+        assert dft.run(radical).n_scf_iterations >= dft.run(closed).n_scf_iterations
+
+    def test_cost_scales_with_size(self):
+        dft = SimulatedDFT()
+        small = dft.run(parse_smiles("C"))
+        large = dft.run(parse_smiles("CCCCCC"))
+        assert large.simulated_seconds > small.simulated_seconds
+
+    def test_homo_lumo_gap_positive(self):
+        result = SimulatedDFT().run(parse_smiles("CCO"))
+        assert result.lumo_ev > result.homo_ev
+
+    def test_empty_molecule_rejected(self):
+        with pytest.raises(ChemistryError):
+            SimulatedDFT().run(Molecule())
+
+    def test_unparameterised_bond_raises(self):
+        mol = Molecule()
+        p1 = mol.add_atom("P")
+        p2 = mol.add_atom("P")
+        mol.add_bond(p1, p2)
+        with pytest.raises(ChemistryError):
+            SimulatedDFT().run(mol)
+
+    def test_environment_weakens_alpha_ch(self):
+        # the C-H bonds on the carbon bonded to O are weaker
+        mol = parse_smiles("CCO")
+        dft = SimulatedDFT()
+        energies = {}
+        for label, bond in mol.labeled_bonds():
+            if label.startswith("C-H"):
+                energies[label] = dft.bond_energy_kcal(mol, bond)
+        assert max(energies.values()) - min(energies.values()) > 0.2
+
+    def test_functional_recorded(self):
+        result = SimulatedDFT(functional="PBE0").run(parse_smiles("C"))
+        assert result.functional == "PBE0"
+        assert SimulatedDFT().run(parse_smiles("C")).functional == "B3LYP"
+
+
+class TestThermo:
+    def test_ethanol_matches_listing_scale(self):
+        # Listing 1: h0=0.0855, s0=0.0643, z0=0.0803
+        mol = parse_smiles("CCO", name="parent")
+        th = thermochemistry(mol)
+        assert th.zpe_hartree == pytest.approx(0.0803, abs=0.002)
+        assert th.thermal_enthalpy_hartree == pytest.approx(0.0855, abs=0.002)
+        assert th.ts_entropy_hartree == pytest.approx(0.0643, abs=0.002)
+
+    def test_frequency_count_3n_minus_6(self):
+        mol = parse_smiles("CCO")
+        assert len(vibrational_frequencies(mol)) == 3 * 9 - 6
+
+    def test_diatomic_has_one_mode(self):
+        mol = Molecule()
+        a, b = mol.add_atom("O"), mol.add_atom("O")
+        mol.add_bond(a, b, 1)
+        assert len(vibrational_frequencies(mol)) == 1
+
+    def test_atom_has_no_modes(self):
+        mol = Molecule()
+        mol.add_atom("H")
+        assert vibrational_frequencies(mol) == []
+
+    def test_enthalpy_and_free_energy_order(self):
+        mol = parse_smiles("CCO", name="parent")
+        th = thermochemistry(mol)
+        e0 = -155.0
+        assert th.enthalpy(e0) > e0
+        assert th.free_energy(e0) < th.enthalpy(e0)
+
+    def test_temperature_monotonicity(self):
+        mol = parse_smiles("CCO", name="parent")
+        low = thermochemistry(mol, 200.0)
+        high = thermochemistry(mol, 400.0)
+        assert high.ts_entropy_hartree > low.ts_entropy_hartree
+
+    def test_bad_temperature(self):
+        with pytest.raises(ValueError):
+            thermochemistry(parse_smiles("C"), -1.0)
+
+    def test_extensive_parts_cancel_for_bde(self):
+        """The fragment-pair minus parent h0 difference is the H constant."""
+        from repro.workflows.chemistry.fragments import break_bond
+        from repro.workflows.chemistry.thermo import H_CONST
+
+        mol = parse_smiles("CCO", name="parent")
+        labeled = dict(mol.labeled_bonds())
+        f1, f2 = break_bond(mol, labeled["C-C_1"])
+        th_p = thermochemistry(mol)
+        th_1 = thermochemistry(f1)
+        th_2 = thermochemistry(f2)
+        delta = (
+            th_1.thermal_enthalpy_hartree
+            + th_2.thermal_enthalpy_hartree
+            - th_p.thermal_enthalpy_hartree
+        )
+        assert delta == pytest.approx(H_CONST, abs=3 * 0.15 * 2 / HARTREE_KCAL * 627.5 / 627.5 + 0.001)

@@ -1,0 +1,79 @@
+"""Tests for homolytic bond breaking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChemistryError
+from repro.workflows.chemistry.fragments import break_bond, enumerate_breakable_bonds
+from repro.workflows.chemistry.smiles import parse_smiles
+
+
+class TestEnumeration:
+    def test_ethanol_has_eight_breakable_bonds(self):
+        mol = parse_smiles("CCO")
+        bonds = enumerate_breakable_bonds(mol)
+        assert len(bonds) == 8
+
+    def test_ring_bonds_excluded(self):
+        mol = parse_smiles("C1CC1")  # cyclopropane: 3 ring C-C + 6 C-H
+        bonds = enumerate_breakable_bonds(mol)
+        labels = [label for label, _ in bonds]
+        assert all(lb.startswith("C-H") for lb in labels)
+        assert len(bonds) == 6
+
+    def test_double_bonds_excluded(self):
+        mol = parse_smiles("C=C")
+        labels = [label for label, _ in enumerate_breakable_bonds(mol)]
+        assert all(lb.startswith("C-H") for lb in labels)
+
+
+class TestBreaking:
+    def test_fragments_partition_atoms(self):
+        mol = parse_smiles("CCO")
+        for label, bond in enumerate_breakable_bonds(mol):
+            f1, f2 = break_bond(mol, bond)
+            assert f1.n_atoms + f2.n_atoms == mol.n_atoms
+
+    def test_fragments_are_doublets(self):
+        mol = parse_smiles("CCO")
+        for _, bond in enumerate_breakable_bonds(mol):
+            f1, f2 = break_bond(mol, bond)
+            assert f1.multiplicity == 2
+            assert f2.multiplicity == 2
+
+    def test_cc_break_gives_methyl_and_methoxymethyl(self):
+        mol = parse_smiles("CCO")
+        labeled = dict(mol.labeled_bonds())
+        f1, f2 = break_bond(mol, labeled["C-C_1"])
+        assert sorted([f1.formula(), f2.formula()]) == ["CH3", "CH3O"]
+
+    def test_oh_break_gives_h_atom(self):
+        mol = parse_smiles("CCO")
+        labeled = dict(mol.labeled_bonds())
+        f1, f2 = break_bond(mol, labeled["O-H_1"])
+        formulas = sorted([f1.formula(), f2.formula()])
+        assert "H" in formulas
+
+    def test_fragment_charge_is_zero(self):
+        mol = parse_smiles("CCO")
+        for _, bond in enumerate_breakable_bonds(mol):
+            f1, f2 = break_bond(mol, bond)
+            assert f1.charge == 0 and f2.charge == 0
+
+    def test_breaking_missing_bond_raises(self):
+        # ethanol atoms: 0=C, 1=C, 2=O; C0 and O2 are not directly bonded
+        mol = parse_smiles("CCO")
+        from repro.workflows.chemistry.molecule import Bond
+
+        with pytest.raises(ChemistryError):
+            break_bond(mol, Bond(0, 2))
+
+    def test_total_fragment_atoms_for_q5(self):
+        # paper §5.3 Q5: parent (9) + 8 bonds x 9 atoms = 81
+        mol = parse_smiles("CCO")
+        total = mol.n_atoms
+        for _, bond in enumerate_breakable_bonds(mol):
+            f1, f2 = break_bond(mol, bond)
+            total += f1.n_atoms + f2.n_atoms
+        assert total == 81

@@ -1,0 +1,144 @@
+"""Tests for molecular graphs and SMILES parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SmilesParseError, ValenceError
+from repro.workflows.chemistry.molecule import Molecule
+from repro.workflows.chemistry.smiles import parse_smiles
+
+
+class TestMolecule:
+    def test_manual_construction(self):
+        mol = Molecule("methane")
+        c = mol.add_atom("C")
+        for _ in range(4):
+            h = mol.add_atom("H")
+            mol.add_bond(c, h)
+        assert mol.formula() == "CH4"
+        assert mol.n_atoms == 5
+
+    def test_valence_enforced(self):
+        mol = Molecule()
+        c = mol.add_atom("C")
+        others = [mol.add_atom("H") for _ in range(5)]
+        for h in others[:4]:
+            mol.add_bond(c, h)
+        with pytest.raises(ValenceError):
+            mol.add_bond(c, others[4])
+
+    def test_self_bond_rejected(self):
+        mol = Molecule()
+        c = mol.add_atom("C")
+        with pytest.raises(ValenceError):
+            mol.add_bond(c, c)
+
+    def test_fill_hydrogens(self):
+        mol = Molecule()
+        c1 = mol.add_atom("C")
+        c2 = mol.add_atom("C")
+        mol.add_bond(c1, c2)
+        added = mol.fill_hydrogens()
+        assert added == 6  # ethane
+        assert mol.formula() == "C2H6"
+
+    def test_multiplicity_counts_radicals(self):
+        mol = Molecule()
+        c = mol.add_atom("C", radical_electrons=1)
+        assert mol.multiplicity == 2
+
+    def test_unknown_element(self):
+        with pytest.raises(KeyError):
+            Molecule().add_atom("Xx")
+
+    def test_mass(self):
+        mol = parse_smiles("CCO")
+        assert mol.mass == pytest.approx(46.07, abs=0.05)
+
+
+class TestBondLabels:
+    def test_ethanol_labels(self):
+        mol = parse_smiles("CCO")
+        labels = [label for label, _ in mol.labeled_bonds()]
+        assert labels.count("C-C_1") == 1
+        assert labels.count("C-O_1") == 1
+        assert labels.count("O-H_1") == 1
+        assert sum(1 for lb in labels if lb.startswith("C-H")) == 5
+
+    def test_heavy_atom_first_in_label(self):
+        mol = parse_smiles("O")  # water
+        labels = [label for label, _ in mol.labeled_bonds()]
+        assert labels == ["O-H_1", "O-H_2"]
+
+
+class TestSmiles:
+    @pytest.mark.parametrize(
+        "smiles,formula,atoms",
+        [
+            ("C", "CH4", 5),
+            ("CC", "C2H6", 8),
+            ("CCO", "C2H6O", 9),
+            ("O", "H2O", 3),
+            ("C=C", "C2H4", 6),
+            ("C#N", "CHN", 3),
+            ("CC(C)C", "C4H10", 14),
+            ("C1CC1", "C3H6", 9),  # cyclopropane
+            ("ClC(Cl)(Cl)Cl", "CCl4", 5),
+        ],
+    )
+    def test_formulas(self, smiles, formula, atoms):
+        mol = parse_smiles(smiles)
+        assert mol.formula() == formula
+        assert mol.n_atoms == atoms
+
+    def test_bracket_atom_charge(self):
+        mol = parse_smiles("[NH4+]")
+        assert mol.charge == 1
+        assert mol.formula() == "H4N"
+
+    def test_bracket_no_implicit_h(self):
+        mol = parse_smiles("[OH]")  # hydroxyl radical fragment-style
+        assert mol.formula() == "HO"
+
+    def test_explicit_bond_orders(self):
+        mol = parse_smiles("C=O")
+        bond = mol.bonds()[0]
+        assert bond.order == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "C(", "C)", "C1CC", "[C", "C$", "[Xx]", "1CC"],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(SmilesParseError):
+            parse_smiles(bad)
+
+    def test_ring_closure_connects(self):
+        mol = parse_smiles("C1CCCCC1")  # cyclohexane
+        assert mol.formula() == "C6H12"
+        import networkx as nx
+
+        assert len(nx.cycle_basis(mol.graph.subgraph(
+            [a.index for a in mol.atoms() if a.symbol == "C"]
+        ))) == 1
+
+    def test_connected(self):
+        assert parse_smiles("CCO").is_connected()
+
+
+class TestSmilesLikeOutput:
+    def test_radical_atoms_bracketed(self):
+        mol = parse_smiles("CCO")
+        from repro.workflows.chemistry.fragments import break_bond
+
+        labeled = dict(mol.labeled_bonds())
+        f1, f2 = break_bond(mol, labeled["C-C_1"])
+        text = f1.to_smiles_like()
+        assert "[C]" in text  # radical carbon is bracketed
+
+    def test_subgraph_preserves_atoms(self):
+        mol = parse_smiles("CCO")
+        heavy = {a.index for a in mol.atoms() if a.symbol != "H"}
+        sub = mol.subgraph_molecule(heavy)
+        assert sub.formula() == "C2O"

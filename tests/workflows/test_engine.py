@@ -1,0 +1,176 @@
+"""Tests for the DAG workflow engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture.context import CaptureContext
+from repro.errors import CyclicDependencyError, TaskFailedError, WorkflowError
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.workflows.engine import Ref, TaskSpec, WorkflowEngine
+
+
+@pytest.fixture
+def ctx():
+    return CaptureContext()
+
+
+@pytest.fixture
+def keeper(ctx):
+    k = ProvenanceKeeper(ctx.broker)
+    k.start()
+    return k
+
+
+def add(a, b):
+    return {"sum": a + b}
+
+
+def double(value):
+    return {"sum": value * 2}
+
+
+class TestGraphBuilding:
+    def test_dependencies_from_refs(self):
+        tasks = [
+            TaskSpec("a", add, {"a": 1, "b": 2}),
+            TaskSpec("b", double, {"value": Ref("a", "sum")}),
+        ]
+        g = WorkflowEngine.build_graph(tasks)
+        assert list(g.successors("a")) == ["b"]
+
+    def test_after_edges(self):
+        tasks = [
+            TaskSpec("a", add, {"a": 1, "b": 2}),
+            TaskSpec("b", add, {"a": 1, "b": 1}, after=("a",)),
+        ]
+        g = WorkflowEngine.build_graph(tasks)
+        assert list(g.successors("a")) == ["b"]
+
+    def test_cycle_detected(self):
+        tasks = [
+            TaskSpec("a", double, {"value": Ref("b", "sum")}),
+            TaskSpec("b", double, {"value": Ref("a", "sum")}),
+        ]
+        with pytest.raises(CyclicDependencyError):
+            WorkflowEngine.build_graph(tasks)
+
+    def test_unknown_dependency(self):
+        with pytest.raises(WorkflowError):
+            WorkflowEngine.build_graph(
+                [TaskSpec("a", double, {"value": Ref("ghost", "x")})]
+            )
+
+    def test_duplicate_names(self):
+        with pytest.raises(WorkflowError):
+            WorkflowEngine.build_graph(
+                [TaskSpec("a", add, {"a": 1, "b": 1}), TaskSpec("a", add, {"a": 1, "b": 1})]
+            )
+
+
+class TestExecution:
+    def test_dataflow_through_refs(self, ctx):
+        engine = WorkflowEngine(ctx)
+        result = engine.execute(
+            [
+                TaskSpec("a", add, {"a": 1, "b": 2}),
+                TaskSpec("b", double, {"value": Ref("a", "sum")}),
+            ]
+        )
+        assert result["b"] == {"sum": 6}
+        assert result.order == ["a", "b"]
+
+    def test_whole_result_ref(self, ctx):
+        def passthrough(blob):
+            return {"got": blob["sum"]}
+
+        engine = WorkflowEngine(ctx)
+        result = engine.execute(
+            [
+                TaskSpec("a", add, {"a": 2, "b": 3}),
+                TaskSpec("b", passthrough, {"blob": Ref("a")}),
+            ]
+        )
+        assert result["b"] == {"got": 5}
+
+    def test_missing_field_in_ref(self, ctx):
+        engine = WorkflowEngine(ctx)
+        with pytest.raises(WorkflowError):
+            engine.execute(
+                [
+                    TaskSpec("a", add, {"a": 1, "b": 1}),
+                    TaskSpec("b", double, {"value": Ref("a", "nope")}),
+                ]
+            )
+
+    def test_task_failure_wrapped(self, ctx):
+        def boom():
+            raise RuntimeError("dead")
+
+        engine = WorkflowEngine(ctx)
+        with pytest.raises(TaskFailedError) as err:
+            engine.execute([TaskSpec("a", boom)])
+        assert err.value.task_id == "a"
+
+    def test_clock_advances_by_cost(self, ctx):
+        start = ctx.clock.now()
+        engine = WorkflowEngine(ctx)
+        engine.execute([TaskSpec("a", add, {"a": 1, "b": 1}, cost_s=5.0)])
+        assert ctx.clock.now() >= start + 5.0
+
+
+class TestProvenanceIntegration:
+    def test_upstream_edges_recorded(self, ctx, keeper):
+        engine = WorkflowEngine(ctx)
+        result = engine.execute(
+            [
+                TaskSpec("a", add, {"a": 1, "b": 2}),
+                TaskSpec("b", double, {"value": Ref("a", "sum")}),
+            ]
+        )
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "b"})
+        assert doc["used"]["_upstream"] == [result.task_ids["a"]]
+
+    def test_task_duration_matches_cost(self, ctx, keeper):
+        engine = WorkflowEngine(ctx)
+        engine.execute([TaskSpec("a", add, {"a": 1, "b": 1}, cost_s=2.0)])
+        ctx.flush()
+        doc = keeper.database.find_one({"activity_id": "a"})
+        assert doc["duration"] == pytest.approx(2.0, abs=1e-3)
+
+    def test_workflow_record_emitted(self, ctx, keeper):
+        engine = WorkflowEngine(ctx)
+        result = engine.execute(
+            [TaskSpec("a", add, {"a": 1, "b": 1})], workflow_name="wf_x"
+        )
+        ctx.flush()
+        doc = keeper.database.find_one({"type": "workflow"})
+        assert doc["activity_id"] == "wf_x"
+        assert doc["workflow_id"] == result.workflow_id
+
+
+class TestScheduling:
+    def test_hosts_assigned_from_cluster(self, ctx):
+        engine = WorkflowEngine(ctx, cluster_hosts=("h1", "h2"))
+        result = engine.execute(
+            [
+                TaskSpec("a", add, {"a": 1, "b": 1}),
+                TaskSpec("b", add, {"a": 1, "b": 1}),
+                TaskSpec("c", add, {"a": 1, "b": 1}),
+            ]
+        )
+        assert set(result.hosts.values()) <= {"h1", "h2"}
+        # least-loaded spreads work over both nodes
+        assert len(set(result.hosts.values())) == 2
+
+    def test_explicit_host_respected(self, ctx):
+        engine = WorkflowEngine(ctx, cluster_hosts=("h1",))
+        result = engine.execute(
+            [TaskSpec("a", add, {"a": 1, "b": 1}, host="special")]
+        )
+        assert result.hosts["a"] == "special"
+
+    def test_empty_cluster_rejected(self, ctx):
+        with pytest.raises(WorkflowError):
+            WorkflowEngine(ctx, cluster_hosts=())

@@ -1,0 +1,87 @@
+"""Tests for the additive manufacturing (LPBF) workflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.agent import ProvenanceAgent
+from repro.capture.context import CaptureContext
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.workflows.manufacturing import run_lpbf_build
+
+
+@pytest.fixture(scope="module")
+def build_env():
+    ctx = CaptureContext()
+    keeper = ProvenanceKeeper(ctx.broker)
+    keeper.start()
+    agent = ProvenanceAgent(ctx, model="gpt-4")
+    report = run_lpbf_build("bracket-A7", ctx, height_mm=1.0)
+    return ctx, keeper, agent, report
+
+
+class TestBuild:
+    def test_layer_count_from_geometry(self, build_env):
+        _, _, _, report = build_env
+        assert report.n_layers == 25  # 1.0 mm / 40 um
+
+    def test_task_count(self, build_env):
+        _, keeper, _, report = build_env
+        assert keeper.database.count({"type": "task"}) == report.n_tasks
+        assert report.n_tasks == 2 + 25 * 3 + 1
+
+    def test_deterministic(self):
+        a = run_lpbf_build("p", CaptureContext(), height_mm=0.5, seed="s")
+        b = run_lpbf_build("p", CaptureContext(), height_mm=0.5, seed="s")
+        assert a.porosity_percent == b.porosity_percent
+        assert a.defect_layers == b.defect_layers
+
+    def test_hot_process_creates_more_defects(self):
+        cool = run_lpbf_build(
+            "p", CaptureContext(), height_mm=1.0, laser_power_w=280.0
+        )
+        hot = run_lpbf_build(
+            "p", CaptureContext(), height_mm=1.0, laser_power_w=520.0
+        )
+        assert len(hot.defect_layers) > len(cool.defect_layers)
+
+    def test_qa_verdict_consistent(self, build_env):
+        _, _, _, report = build_env
+        assert report.passed_qa == (
+            report.porosity_percent < 1.0
+            and len(report.defect_layers) <= max(1, report.n_layers // 20)
+        )
+
+    def test_edge_hosts_used(self, build_env):
+        _, keeper, _, _ = build_env
+        hosts = set(keeper.database.distinct("hostname"))
+        assert "printer-edge-0" in hosts and "printer-edge-1" in hosts
+
+
+class TestAgentGeneralisation:
+    """The agent answers manufacturing questions with zero domain tuning."""
+
+    def test_schema_learned_from_stream(self, build_env):
+        _, _, agent, _ = build_env
+        fields = agent.context_manager.schema.dataflow_fields
+        assert "generated.melt_pool_temp_k" in fields
+        assert "generated.porosity_percent" in fields
+
+    def test_count_defective_layers(self, build_env):
+        _, _, agent, report = build_env
+        # register nothing: the semantic core must parse this cold
+        reply = agent.chat("How many tasks were executed per activity?")
+        assert reply.ok
+        rows = {r["activity_id"]: r["task_id"] for r in reply.table.to_dicts()}
+        assert rows["laser_melt"] == report.n_layers
+
+    def test_max_melt_pool_temperature(self, build_env):
+        _, _, agent, _ = build_env
+        from repro.llm.intents import register_intent
+        from repro.query import parse_query
+
+        nl = "What is the maximum melt pool temperature reached?"
+        register_intent(nl, parse_query("df['generated.melt_pool_temp_k'].max()"))
+        reply = agent.chat(nl)
+        assert reply.ok
+        assert "19" in reply.text or "20" in reply.text  # ~1900-2000 K

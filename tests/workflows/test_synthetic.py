@@ -1,0 +1,87 @@
+"""Tests for the synthetic math workflow (Figure 5-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture.context import CaptureContext
+from repro.provenance.graph import ProvenanceGraph
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.workflows.synthetic import (
+    SYNTHETIC_ACTIVITIES,
+    run_synthetic_campaign,
+    run_synthetic_workflow,
+    synthetic_dag,
+)
+
+
+@pytest.fixture
+def ctx():
+    return CaptureContext()
+
+
+@pytest.fixture
+def keeper(ctx):
+    k = ProvenanceKeeper(ctx.broker)
+    k.start()
+    return k
+
+
+class TestStructure:
+    def test_eight_activities(self):
+        dag = synthetic_dag(1.0)
+        assert [t.name for t in dag] == list(SYNTHETIC_ACTIVITIES)
+
+    def test_fan_out_fan_in(self):
+        from repro.workflows.engine import WorkflowEngine
+
+        g = WorkflowEngine.build_graph(synthetic_dag(1.0))
+        assert g.out_degree("scale_and_shift") == 3  # fan-out
+        assert g.in_degree("average_results") == 3  # fan-in
+
+    def test_deterministic_math(self, ctx):
+        a = run_synthetic_workflow(CaptureContext(), x=2.0)
+        b = run_synthetic_workflow(CaptureContext(), x=2.0)
+        assert a["average_results"]["value"] == b["average_results"]["value"]
+
+    def test_known_value(self, ctx):
+        # x=2: scale_and_shift -> 5; square_and_divide -> 6.25;
+        # sqrt branch -> 3*sqrt(5); subtract branch -> 5.5
+        result = run_synthetic_workflow(ctx, x=2.0)
+        assert result["scale_and_shift"]["value"] == 5.0
+        assert result["square_and_divide"]["value"] == pytest.approx(6.25)
+
+
+class TestProvenance:
+    def test_nine_messages_per_instance(self, ctx, keeper):
+        run_synthetic_workflow(ctx)
+        ctx.flush()
+        assert len(keeper.database) == 9  # 8 tasks + 1 workflow record
+
+    def test_graph_is_connected_dag(self, ctx, keeper):
+        run_synthetic_workflow(ctx)
+        ctx.flush()
+        g = ProvenanceGraph(keeper.database.find({"type": "task"}))
+        assert g.is_acyclic()
+        assert len(g.roots()) == 1
+        assert len(g.critical_path()) == 4  # scale -> square -> log -> average
+
+
+class TestCampaign:
+    def test_campaign_scales_messages(self, ctx, keeper):
+        run_synthetic_campaign(ctx, n_inputs=5)
+        assert keeper.database.count({"type": "task"}) == 40
+        assert keeper.database.count({"type": "workflow"}) == 5
+
+    def test_campaign_reproducible(self):
+        c1 = CaptureContext()
+        r1 = run_synthetic_campaign(c1, n_inputs=3)
+        c2 = CaptureContext()
+        r2 = run_synthetic_campaign(c2, n_inputs=3)
+        v1 = [r["average_results"]["value"] for r in r1]
+        v2 = [r["average_results"]["value"] for r in r2]
+        assert v1 == v2
+
+    def test_distinct_workflow_ids(self, ctx):
+        results = run_synthetic_campaign(ctx, n_inputs=4)
+        assert len({r.workflow_id for r in results}) == 4
