@@ -1,11 +1,39 @@
-"""Setup shim.
+"""Packaging metadata.
 
 This environment has no ``wheel`` package, so ``pip install -e .`` cannot
-use the PEP-517 editable path (it needs ``bdist_wheel``).  This shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
-legacy ``setup.py develop`` flow.  All metadata lives in ``pyproject.toml``.
+use the PEP-517 editable path (it needs ``bdist_wheel``).  Install with
+``pip install -e . --no-use-pep517 --no-build-isolation`` to fall back to
+the legacy ``setup.py develop`` flow, or just export ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_readme = Path(__file__).with_name("README.md")
+
+setup(
+    name="repro-workflow-provenance-agents",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'LLM Agents for Interactive Workflow Provenance: "
+        "Reference Architecture and Evaluation Methodology' (SC Workshops '25)"
+    ),
+    long_description=_readme.read_text(encoding="utf-8") if _readme.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

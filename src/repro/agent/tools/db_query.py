@@ -4,6 +4,15 @@ Same NL -> code -> execute pipeline as the in-memory tool, but the
 frame comes from the persistent provenance database through the Query
 API, so questions can span completed campaigns rather than the live
 buffer.
+
+Targeted questions stay fast at volume: the leading filters of the
+generated pipeline are translated into a Mongo-style prefilter
+(:func:`repro.query.pushdown.pipeline_prefilter`) and answered by the
+database's indexes, so the DataFrame is built only from candidate
+documents instead of the whole store.  If executing over the reduced
+frame fails (e.g. a column that only exists on excluded documents), the
+tool transparently retries against the unfiltered frame, so pushdown
+never changes observable behaviour.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from repro.errors import QueryExecutionError, QuerySyntaxError
 from repro.llm.service import ChatRequest, LLMServer
 from repro.provenance.query_api import QueryAPI
 from repro.query import execute_query, parse_query
+from repro.query.pushdown import merge_filters, pipeline_prefilter
 
 __all__ = ["DatabaseQueryTool"]
 
@@ -39,6 +49,7 @@ class DatabaseQueryTool(Tool):
         model: str = "gpt-4",
         prompt_config: PromptConfig = FULL_CONTEXT,
         base_filter: Mapping[str, Any] | None = None,
+        pushdown: bool = True,
     ):
         self.query_api = query_api
         self.context_manager = context_manager
@@ -46,6 +57,7 @@ class DatabaseQueryTool(Tool):
         self.model = model
         self.builder = PromptBuilder(prompt_config)
         self.base_filter = dict(base_filter or {"type": "task"})
+        self.pushdown = pushdown
 
     def input_schema(self) -> dict[str, Any]:
         return {
@@ -78,9 +90,19 @@ class DatabaseQueryTool(Tool):
                 code=code,
                 error=str(exc),
             )
-        frame = self.query_api.to_frame(self.base_filter)
+        prefilter = pipeline_prefilter(pipeline) if self.pushdown else {}
+        frame = self.query_api.to_frame(merge_filters(self.base_filter, prefilter))
         try:
-            result = execute_query(pipeline, frame)
+            try:
+                result = execute_query(pipeline, frame)
+            except QueryExecutionError:
+                if not prefilter:
+                    raise
+                # the reduced frame may lack columns that only appear on
+                # excluded documents; retry over the full document set so
+                # pushdown never changes observable behaviour
+                frame = self.query_api.to_frame(self.base_filter)
+                result = execute_query(pipeline, frame)
         except QueryExecutionError as exc:
             return ToolResult(
                 ok=False,

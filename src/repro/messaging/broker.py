@@ -70,11 +70,18 @@ MOFKA_LIKE = BrokerProfile("mofka-like", 5e-6, 0.2e-9, 2e-6)
 
 @dataclass
 class Subscription:
-    """Handle returned by :meth:`Broker.subscribe`; use to unsubscribe."""
+    """Handle returned by :meth:`Broker.subscribe`; use to unsubscribe.
+
+    ``batch_callback`` is optional: subscribers that can consume a whole
+    batch in one call (e.g. the Provenance Keeper's batched upsert path)
+    receive one ``batch_callback(envelopes)`` per matching batch publish
+    instead of N ``callback(envelope)`` invocations.
+    """
 
     pattern: str
     callback: Callable[[Envelope], None]
     sid: int
+    batch_callback: Callable[[list[Envelope]], None] | None = None
 
 
 class Broker(ABC):
@@ -89,7 +96,13 @@ class Broker(ABC):
         ...
 
     @abstractmethod
-    def subscribe(self, pattern: str, callback: Callable[[Envelope], None]) -> Subscription:
+    def subscribe(
+        self,
+        pattern: str,
+        callback: Callable[[Envelope], None],
+        *,
+        batch_callback: Callable[[list[Envelope]], None] | None = None,
+    ) -> Subscription:
         ...
 
     @abstractmethod
@@ -135,7 +148,7 @@ class InProcessBroker(Broker):
                 headers=headers,
             )
             self.simulated_cost_s += self.profile.batch_cost([env.size_bytes()])
-            self._record_and_deliver([env])
+            self._record_and_deliver([env], batched=False)
             return env
 
     def publish_batch(
@@ -151,30 +164,57 @@ class InProcessBroker(Broker):
             self.simulated_cost_s += self.profile.batch_cost(
                 e.size_bytes() for e in envs
             )
-            self._record_and_deliver(envs)
+            self._record_and_deliver(envs, batched=True)
             return envs
 
-    def _record_and_deliver(self, envs: list[Envelope]) -> None:
+    def _record_and_deliver(self, envs: list[Envelope], *, batched: bool) -> None:
         subs = list(self._subs.values())
         for env in envs:
             self.published_count += 1
             self._log.append(env)
-            for sub in subs:
-                if topic_matches(sub.pattern, env.topic):
-                    try:
-                        sub.callback(env)
-                        self.delivered_count += 1
-                    except Exception as exc:  # noqa: BLE001 - consumer isolation
-                        self.delivery_errors.append((env, exc))
+        if not batched:
+            # plain publish: deliver in subscriber registration order
+            for env in envs:
+                for sub in subs:
+                    if topic_matches(sub.pattern, env.topic):
+                        self._deliver_one(sub, env)
+            return
+        # batch publish: batch-capable subscribers get one call per batch,
+        # regardless of batch size
+        for sub in subs:
+            matched = [e for e in envs if topic_matches(sub.pattern, e.topic)]
+            if not matched:
+                continue
+            if sub.batch_callback is not None:
+                try:
+                    sub.batch_callback(matched)
+                    self.delivered_count += len(matched)
+                except Exception as exc:  # noqa: BLE001 - consumer isolation
+                    # every envelope in the failed batch is a lost message
+                    self.delivery_errors.extend((env, exc) for env in matched)
+            else:
+                for env in matched:
+                    self._deliver_one(sub, env)
+
+    def _deliver_one(self, sub: Subscription, env: Envelope) -> None:
+        try:
+            sub.callback(env)
+            self.delivered_count += 1
+        except Exception as exc:  # noqa: BLE001 - consumer isolation
+            self.delivery_errors.append((env, exc))
 
     # -- subscriptions ------------------------------------------------------------
     def subscribe(
-        self, pattern: str, callback: Callable[[Envelope], None]
+        self,
+        pattern: str,
+        callback: Callable[[Envelope], None],
+        *,
+        batch_callback: Callable[[list[Envelope]], None] | None = None,
     ) -> Subscription:
         validate_pattern(pattern)
         with self._lock:
             self._ensure_open()
-            sub = Subscription(pattern, callback, self._next_sid)
+            sub = Subscription(pattern, callback, self._next_sid, batch_callback)
             self._subs[self._next_sid] = sub
             self._next_sid += 1
             return sub

@@ -60,11 +60,18 @@ class FederatedHub(Broker):
         return self.route_for(topic).publish_batch(topic, payloads)
 
     def subscribe(
-        self, pattern: str, callback: Callable[[Envelope], None]
+        self,
+        pattern: str,
+        callback: Callable[[Envelope], None],
+        *,
+        batch_callback: Callable[[list[Envelope]], None] | None = None,
     ) -> Subscription:
         # Fan out to every member; the returned handle wraps them all.
-        subs = [b.subscribe(pattern, callback) for b in self.members()]
-        handle = Subscription(pattern, callback, sid=-1)
+        subs = [
+            b.subscribe(pattern, callback, batch_callback=batch_callback)
+            for b in self.members()
+        ]
+        handle = Subscription(pattern, callback, sid=-1, batch_callback=batch_callback)
         handle.fanout = subs  # type: ignore[attr-defined]
         handle.brokers = self.members()  # type: ignore[attr-defined]
         return handle

@@ -15,7 +15,7 @@ agent associations for the agent's own records.
 from __future__ import annotations
 
 import threading
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.errors import SchemaViolationError
 from repro.messaging.broker import Broker, Subscription
@@ -57,7 +57,9 @@ class ProvenanceKeeper:
     # -- lifecycle --------------------------------------------------------------
     def start(self) -> None:
         if self._subscription is None:
-            self._subscription = self.broker.subscribe(self._pattern, self._on_message)
+            self._subscription = self.broker.subscribe(
+                self._pattern, self._on_message, batch_callback=self._on_batch
+            )
 
     def stop(self) -> None:
         if self._subscription is not None:
@@ -75,14 +77,26 @@ class ProvenanceKeeper:
     def _on_message(self, envelope: Envelope) -> None:
         self.ingest(envelope.payload)
 
+    def _on_batch(self, envelopes: list[Envelope]) -> None:
+        self.ingest_batch([e.payload for e in envelopes])
+
     def ingest(self, payload: Mapping[str, Any]) -> bool:
-        """Normalise and store one raw payload; False if it was rejected."""
-        msg = TaskProvenanceMessage.from_dict(payload)
+        """Normalise and store one raw payload; False if it was rejected.
+
+        Structurally malformed payloads (``from_dict`` failures) are
+        rejected the same way schema violations are, so single and batch
+        delivery account identically in :attr:`rejected`.
+        """
         try:
+            msg = TaskProvenanceMessage.from_dict(payload)
             msg.validate()
         except SchemaViolationError as exc:
             with self._lock:
                 self.rejected.append((dict(payload), str(exc)))
+            return False
+        except Exception as exc:  # noqa: BLE001 - isolate malformed payloads
+            with self._lock:
+                self.rejected.append((dict(payload), f"malformed payload: {exc!r}"))
             return False
         with self._lock:
             self.database.upsert(msg.to_dict(), key_field="task_id")
@@ -90,6 +104,41 @@ class ProvenanceKeeper:
                 self._record_prov(msg)
             self.processed_count += 1
         return True
+
+    def ingest_batch(self, payloads: Iterable[Mapping[str, Any]]) -> int:
+        """Normalise and store a batch; returns the number accepted.
+
+        This is the buffer-flush fast path: validation happens outside
+        the lock, then the whole batch lands through
+        :meth:`ProvenanceDatabase.upsert_many` with one keeper-lock and
+        one database-lock acquisition instead of one per message.
+        """
+        accepted: list[TaskProvenanceMessage] = []
+        rejects: list[tuple[Mapping[str, Any], str]] = []
+        for payload in payloads:
+            try:
+                msg = TaskProvenanceMessage.from_dict(payload)
+                msg.validate()
+            except SchemaViolationError as exc:
+                rejects.append((dict(payload), str(exc)))
+                continue
+            except Exception as exc:  # noqa: BLE001 - isolate like per-message delivery
+                # from_dict can raise on structurally malformed payloads;
+                # one bad message must not discard the rest of the batch
+                rejects.append((dict(payload), f"malformed payload: {exc!r}"))
+                continue
+            accepted.append(msg)
+        with self._lock:
+            self.rejected.extend(rejects)
+            if accepted:
+                self.database.upsert_many(
+                    [m.to_dict() for m in accepted], key_field="task_id"
+                )
+                if self.prov is not None:
+                    for m in accepted:
+                        self._record_prov(m)
+                self.processed_count += len(accepted)
+        return len(accepted)
 
     # -- PROV projection -------------------------------------------------------------
     def _record_prov(self, msg: TaskProvenanceMessage) -> None:

@@ -6,6 +6,12 @@ Grafana, or ... via natural language" (paper §2.3).  The agent's post-hoc
 DB tool and the examples use this facade; it also converts result sets
 into the mini-DataFrame so the same query IR can execute over historical
 data.
+
+Every read funnels through :meth:`ProvenanceDatabase.find`, so targeted
+lookups (``task``, status filters, time ranges) automatically use the
+store's secondary indexes and query planner — see
+``docs/query_surface.md`` for the filter grammar and which shapes the
+planner accelerates, and :meth:`QueryAPI.explain` for per-filter plans.
 """
 
 from __future__ import annotations
@@ -61,6 +67,10 @@ class QueryAPI:
 
     def failed_tasks(self) -> list[dict[str, Any]]:
         return self.database.find({"status": "FAILED"})
+
+    def explain(self, filt: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Query plan the store would use for ``filt`` (index vs. scan)."""
+        return self.database.explain(filt)
 
     def agent_interactions(self) -> list[dict[str, Any]]:
         """Tool executions and LLM interactions the agent recorded (§4.2)."""

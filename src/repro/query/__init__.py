@@ -13,7 +13,12 @@ keeps token usage independent of provenance volume).  This package defines:
   :class:`~repro.dataframe.DataFrame`;
 * :mod:`repro.query.compare` — structural/semantic diff between two
   queries, the shared core of rule-based scoring and the simulated
-  LLM-as-a-judge.
+  LLM-as-a-judge;
+* :mod:`repro.query.pushdown` — leading pipeline filters -> Mongo-style
+  prefilters answered by the provenance store's indexes.
+
+The full step/predicate/aggregation grammar is documented in
+``docs/query_surface.md``.
 """
 
 from repro.query.ast import (

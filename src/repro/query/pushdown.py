@@ -1,0 +1,140 @@
+"""Predicate pushdown: query-IR pipelines -> Mongo-style prefilters.
+
+The agent's post-hoc database tool executes generated pipelines over a
+DataFrame built from *every* stored document.  Most generated queries
+start with row filters, and the provenance database can answer exactly
+those predicates through its indexes — so the leading filters are
+translated into a Mongo-style filter document and pushed down into
+:meth:`~repro.provenance.database.ProvenanceDatabase.find` before the
+frame is built.
+
+Correctness rules (see ``docs/query_surface.md``):
+
+* Only filters in the pipeline *prefix* are pushed — translation stops
+  at the first step that changes row membership semantics (``Head``,
+  ``Tail``, ``GroupAgg``, aggregations, ...).  ``Sort`` and ``Project``
+  are membership-neutral and do not stop the walk.
+* Only conjuncts with a faithful Mongo translation are pushed
+  (comparisons, ``isin``, ``between``, null checks).  ``$regex``-shaped
+  string predicates, OR/NOT trees, and ``None`` literals stay behind.
+* The full pipeline still executes unchanged over the reduced frame;
+  pushed predicates are re-applied there, so pushdown may only ever
+  *shrink* the scanned document set, never change the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.query import ast as q
+
+__all__ = ["pipeline_prefilter", "merge_filters"]
+
+#: Steps that do not change which rows exist; the pushdown walk may pass
+#: them.  Anything else ends the pushable prefix.
+_MEMBERSHIP_NEUTRAL = (q.Filter, q.Sort, q.Project)
+
+_COMPARE_TO_MONGO = {
+    "==": "$eq",
+    "!=": "$ne",
+    "<": "$lt",
+    "<=": "$lte",
+    ">": "$gt",
+    ">=": "$gte",
+}
+
+
+_FLOAT_EXACT_MAX = 2**53  # ints beyond this lose precision as float64
+
+
+def _unsafe_literal(v: Any) -> bool:
+    """True when the literal compares differently as doc value vs column.
+
+    ``None`` null semantics differ between the frame engine and the
+    document store, and ints at or beyond 2**53 are exact in the store
+    but rounded in a float64 column (2**53 + 1 rounds onto 2**53), so
+    either could prune rows the frame predicate would keep.
+    """
+    return v is None or (
+        isinstance(v, int) and not isinstance(v, bool) and abs(v) >= _FLOAT_EXACT_MAX
+    )
+
+
+def _conjunct_clause(pred: q.Predicate) -> dict[str, Any] | None:
+    """Translate one AND-conjunct into a Mongo clause, or None to skip."""
+    if isinstance(pred, q.Compare):
+        if _unsafe_literal(pred.value):
+            return None
+        return {pred.field.name: {_COMPARE_TO_MONGO[pred.op]: pred.value}}
+    if isinstance(pred, q.IsIn):
+        if any(_unsafe_literal(v) for v in pred.values):
+            return None
+        return {pred.field.name: {"$in": list(pred.values)}}
+    if isinstance(pred, q.Between):
+        if _unsafe_literal(pred.low) or _unsafe_literal(pred.high):
+            return None
+        return {pred.field.name: {"$gte": pred.low, "$lte": pred.high}}
+    if isinstance(pred, q.NotNull):
+        return {pred.field.name: {"$ne": None}}
+    # StrContains / StrStartsWith / StrEndsWith / IsNull / Or / Not:
+    # either no faithful document-store translation or not selective
+    # enough to be worth pushing — the executor re-applies them anyway.
+    return None
+
+
+def _contains_neq(pred: q.Predicate) -> bool:
+    if isinstance(pred, q.Compare):
+        return pred.op == "!="
+    if isinstance(pred, (q.And, q.Or)):
+        return _contains_neq(pred.left) or _contains_neq(pred.right)
+    if isinstance(pred, q.Not):
+        return _contains_neq(pred.operand)
+    return False
+
+
+def pipeline_prefilter(pipeline: q.Pipeline) -> dict[str, Any]:
+    """Mongo-style filter document implied by a pipeline's leading filters.
+
+    Returns ``{}`` when nothing can be pushed down.  The returned filter
+    is guaranteed to be a *superset* predicate: every row the pipeline
+    would keep satisfies it.
+
+    Pipelines containing any ``!=`` comparison are never pushed:
+    pruning documents can flip a column's inferred dtype (object vs
+    float), and ``!=`` is the one predicate whose missing-value rows
+    evaluate differently under each (NaN != x is kept, None is dropped),
+    so the same query could return different rows.
+    """
+    if any(
+        _contains_neq(step.predicate)
+        for step in pipeline.steps
+        if isinstance(step, q.Filter)
+    ):
+        return {}
+    clauses: list[dict[str, Any]] = []
+    for step in pipeline.steps:
+        if not isinstance(step, _MEMBERSHIP_NEUTRAL):
+            break
+        if isinstance(step, q.Filter):
+            for conj in q.conjuncts(step.predicate):
+                clause = _conjunct_clause(conj)
+                if clause:
+                    clauses.append(clause)
+    if not clauses:
+        return {}
+    if len(clauses) == 1:
+        return clauses[0]
+    return {"$and": clauses}
+
+
+def merge_filters(
+    base: Mapping[str, Any] | None, extra: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """AND-combine two Mongo-style filter documents."""
+    base = dict(base or {})
+    extra = dict(extra or {})
+    if not base:
+        return extra
+    if not extra:
+        return base
+    return {"$and": [base, extra]}

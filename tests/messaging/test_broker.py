@@ -136,6 +136,53 @@ class TestResilience:
         assert broker.published_count == 800
 
 
+class TestBatchSubscribers:
+    def test_batch_callback_gets_one_call_per_batch(self, broker):
+        singles, batches = [], []
+        broker.subscribe("t.#", singles.append, batch_callback=batches.append)
+        broker.publish_batch("t.a", [{"i": 1}, {"i": 2}, {"i": 3}])
+        assert singles == []
+        assert len(batches) == 1 and len(batches[0]) == 3
+        assert broker.delivered_count == 3
+
+    def test_single_publish_uses_plain_callback(self, broker):
+        singles, batches = [], []
+        broker.subscribe("t.#", singles.append, batch_callback=batches.append)
+        broker.publish("t.a", {"i": 1})
+        assert len(singles) == 1 and batches == []
+
+    def test_single_element_batch_still_uses_batch_callback(self, broker):
+        singles, batches = [], []
+        broker.subscribe("t.#", singles.append, batch_callback=batches.append)
+        broker.publish_batch("t.a", [{"i": 1}])
+        assert singles == []
+        assert len(batches) == 1 and len(batches[0]) == 1
+
+    def test_plain_subscriber_still_gets_per_message_delivery(self, broker):
+        singles = []
+        broker.subscribe("t.#", singles.append)
+        broker.publish_batch("t.a", [{"i": 1}, {"i": 2}])
+        assert [e.payload["i"] for e in singles] == [1, 2]
+
+    def test_batch_only_matching_envelopes(self, broker):
+        batches = []
+        broker.subscribe("t.a", lambda e: None, batch_callback=batches.append)
+        broker.publish_batch("t.b", [{"i": 1}, {"i": 2}])
+        assert batches == []
+
+    def test_batch_callback_error_is_isolated(self, broker):
+        def boom(envs):
+            raise RuntimeError("consumer died")
+
+        got = []
+        broker.subscribe("t.#", lambda e: None, batch_callback=boom)
+        broker.subscribe("t.#", got.append)
+        broker.publish_batch("t.a", [{"i": 1}, {"i": 2}])
+        assert len(got) == 2  # second subscriber unaffected
+        # every envelope of the failed batch is accounted as lost
+        assert len(broker.delivery_errors) == 2
+
+
 class TestHistoryReplay:
     def test_history_filtered_by_pattern(self, broker):
         broker.publish("t.a", {"i": 1})

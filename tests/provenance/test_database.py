@@ -139,6 +139,54 @@ class TestAggregate:
             db.aggregate([{"$group": {"n": {"$sum": 1}}}])
 
 
+class TestOperatorEdgeCases:
+    def test_in_with_non_container_argument_raises(self, db):
+        with pytest.raises(DatabaseError, match=r"\$in requires"):
+            db.find({"status": {"$in": "FINISHED"}})
+
+    def test_nin_with_non_container_argument_raises(self, db):
+        with pytest.raises(DatabaseError, match=r"\$nin requires"):
+            db.find({"status": {"$nin": 5}})
+
+    def test_in_with_set_argument_and_unhashable_value(self):
+        db = ProvenanceDatabase()
+        db.insert({"task_id": "t1", "tags": ["a", "b"]})
+        # unhashable stored value against a set argument must not raise
+        assert db.find({"tags": {"$in": {"x", "y"}}}) == []
+        assert db.find({"tags": {"$nin": {"x", "y"}}})[0]["task_id"] == "t1"
+
+    def test_in_matches_unhashable_stored_value(self):
+        db = ProvenanceDatabase()
+        db.insert({"task_id": "t1", "tags": ["a", "b"]})
+        assert db.find({"tags": {"$in": [["a", "b"]]}})[0]["task_id"] == "t1"
+
+    def test_in_has_no_substring_semantics(self):
+        db = ProvenanceDatabase()
+        db.insert({"task_id": "t1", "status": "FIN"})
+        with pytest.raises(DatabaseError):
+            db.find({"status": {"$in": "FINISHED"}})
+
+    def test_regex_non_string_pattern_raises(self, db):
+        with pytest.raises(DatabaseError, match=r"\$regex pattern must be a string"):
+            db.find({"generated.bond_id": {"$regex": 123}})
+
+    def test_regex_invalid_pattern_raises_database_error(self, db):
+        with pytest.raises(DatabaseError, match=r"invalid \$regex pattern"):
+            db.find({"generated.bond_id": {"$regex": "(unclosed"}})
+
+    def test_malformed_or_raises(self, db):
+        with pytest.raises(DatabaseError, match=r"\$or requires"):
+            db.find({"$or": {"status": "FAILED"}})
+
+    def test_bad_arguments_raise_even_without_matching_docs(self):
+        # validation must not depend on the planner reaching any document
+        db = ProvenanceDatabase()
+        with pytest.raises(DatabaseError):
+            db.find({"status": {"$in": "oops"}})
+        with pytest.raises(DatabaseError):
+            db.find({"status": {"$regex": 1}})
+
+
 class TestMisc:
     def test_distinct(self, db):
         assert set(db.distinct("hostname")) == {

@@ -47,6 +47,70 @@ class TestIngestion:
         broker.publish_batch(TASK_TOPIC, [task_payload(f"t{i}") for i in range(5)])
         assert len(keeper.database) == 5
 
+    def test_batch_flush_uses_batched_upsert_path(self, setup):
+        broker, keeper = setup
+        calls = []
+        original = keeper.database.upsert_many
+
+        def spy(docs, key_field="task_id"):
+            docs = list(docs)
+            calls.append(len(docs))
+            return original(docs, key_field=key_field)
+
+        keeper.database.upsert_many = spy
+        broker.publish_batch(TASK_TOPIC, [task_payload(f"t{i}") for i in range(8)])
+        assert calls == [8]
+        assert keeper.processed_count == 8
+        assert len(keeper.database) == 8
+
+    def test_batch_with_rejects_keeps_valid_messages(self, setup):
+        broker, keeper = setup
+        payloads = [
+            task_payload("t1"),
+            {"task_id": "", "status": "FINISHED"},  # schema violation
+            task_payload("t2"),
+        ]
+        broker.publish_batch(TASK_TOPIC, payloads)
+        assert keeper.processed_count == 2
+        assert len(keeper.rejected) == 1
+        assert {d["task_id"] for d in keeper.database.all()} == {"t1", "t2"}
+
+    def test_malformed_payload_rejected_same_on_single_path(self, setup):
+        broker, keeper = setup
+        broker.publish(TASK_TOPIC, task_payload("t-bad", used=5))
+        assert keeper.processed_count == 0
+        assert len(keeper.rejected) == 1 and "malformed" in keeper.rejected[0][1]
+        assert broker.delivery_errors == []
+
+    def test_structurally_malformed_payload_does_not_discard_batch(self, setup):
+        broker, keeper = setup
+        payloads = [
+            task_payload("t1"),
+            task_payload("t-bad", used=5),  # from_dict raises, not a schema error
+            task_payload("t2"),
+        ]
+        broker.publish_batch(TASK_TOPIC, payloads)
+        assert {d["task_id"] for d in keeper.database.all()} == {"t1", "t2"}
+        assert len(keeper.rejected) == 1
+        assert "malformed" in keeper.rejected[0][1]
+
+    def test_ingest_batch_direct(self):
+        keeper = ProvenanceKeeper(InProcessBroker())
+        accepted = keeper.ingest_batch(
+            [task_payload("a"), task_payload("a", status="FINISHED"), task_payload("b")]
+        )
+        assert accepted == 3
+        assert len(keeper.database) == 2  # lifecycle collapse inside the batch
+
+    def test_batch_prov_projection_still_built(self, setup):
+        broker, keeper = setup
+        broker.publish_batch(
+            TASK_TOPIC,
+            [task_payload("tool-9", type="tool_execution"), task_payload("t9")],
+        )
+        assert "tool-9" in keeper.prov
+        assert "t9/generated/y" in keeper.prov
+
     def test_lifecycle_updates_collapse(self, setup):
         broker, keeper = setup
         broker.publish(TASK_TOPIC, task_payload(status="RUNNING", ended_at=None))
