@@ -22,6 +22,7 @@ Subsystem packages (see DESIGN.md for the full inventory):
 - :mod:`repro.capture`     — instrumentation + observability adapters
 - :mod:`repro.messaging`   — streaming hub (brokers, buffering, federation)
 - :mod:`repro.provenance`  — message schema, W3C-PROV, database, Query API
+- :mod:`repro.lineage`     — live-maintained lineage graph + traversal API
 - :mod:`repro.agent`       — the provenance AI agent (paper §4)
 - :mod:`repro.llm`         — simulated LLM service + adaptive routing
 - :mod:`repro.evaluation`  — the §3/§5 evaluation methodology
@@ -34,6 +35,7 @@ from repro.agent.agent import AgentReply, ProvenanceAgent
 from repro.capture.context import CaptureContext, WorkflowRun
 from repro.capture.instrumentation import flow_task
 from repro.dataframe import DataFrame
+from repro.lineage import LineageIndex, LineageService
 from repro.llm.service import ChatRequest, ChatResponse, LLMServer
 from repro.messaging.broker import InProcessBroker
 from repro.provenance.database import ProvenanceDatabase
@@ -50,6 +52,8 @@ __all__ = [
     "DataFrame",
     "InProcessBroker",
     "LLMServer",
+    "LineageIndex",
+    "LineageService",
     "ProvenanceAgent",
     "ProvenanceDatabase",
     "ProvenanceKeeper",

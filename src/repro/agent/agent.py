@@ -16,18 +16,21 @@ from typing import Any
 
 from repro.agent.context_manager import ContextManager
 from repro.agent.monitor import ContextMonitor
+from repro.agent.nl_tokens import extract_ids, looks_id_shaped
 from repro.agent.prompts import PromptConfig
 from repro.agent.recorder import AgentProvenanceRecorder
 from repro.agent.router import Intent, ToolRouter
 from repro.agent.tools.anomaly import AnomalyDetectorTool
 from repro.agent.tools.base import Tool, ToolRegistry, ToolResult
 from repro.agent.tools.db_query import DatabaseQueryTool
+from repro.agent.tools.graph_query import GraphQueryTool
 from repro.agent.tools.in_memory_query import FULL_CONTEXT, InMemoryQueryTool
 from repro.agent.tools.plotting import PlottingTool
 from repro.agent.tools.summarize import SummaryTool, summarize
 from repro.agent.mcp.server import MCPServer
 from repro.capture.context import CaptureContext
 from repro.dataframe import DataFrame
+from repro.lineage import LineageIndex, LineageService
 from repro.llm.service import LLMServer
 from repro.provenance.query_api import QueryAPI
 
@@ -58,6 +61,7 @@ class ProvenanceAgent:
         llm: LLMServer | None = None,
         model: str = "gpt-4",
         query_api: QueryAPI | None = None,
+        lineage: LineageIndex | None = None,
         prompt_config: PromptConfig = FULL_CONTEXT,
         agent_id: str = "provenance-agent",
     ):
@@ -89,12 +93,28 @@ class ProvenanceAgent:
         else:
             self.db_tool = None
 
+        # live lineage: use the caller's index (e.g. one a keeper already
+        # feeds) or run our own broker-fed service, replaying retained
+        # history so lineage questions work on campaigns that ran before
+        # the agent attached
+        if lineage is not None:
+            self.lineage = lineage
+            self.lineage_service: LineageService | None = None
+        else:
+            self.lineage_service = LineageService(capture_context.broker).start(
+                replay=True
+            )
+            self.lineage = self.lineage_service.index
+        self.graph_tool = GraphQueryTool(self.lineage)
+        self.registry.register(self.graph_tool)
+
         self.monitor = ContextMonitor(self.context_manager)
         self.mcp = MCPServer(self.registry)
         self.mcp.add_resource(
             "dataflow-schema", self.context_manager.schema_payload
         )
         self.mcp.add_resource("example-values", self.context_manager.values_payload)
+        self.mcp.add_resource("lineage-stats", self.lineage.stats)
         self.mcp.add_resource(
             "guidelines",
             lambda: [g.text for g in self.context_manager.guidelines.all()],
@@ -131,6 +151,17 @@ class ProvenanceAgent:
             )
         elif intent == Intent.VISUALIZATION:
             reply = self._tool_turn(self.plot_tool, message, intent)
+        elif intent == Intent.LINEAGE_QUERY:
+            reply = self._tool_turn(self.graph_tool, message, intent)
+            if not reply.ok and not any(
+                looks_id_shaped(t) for t in extract_ids(message)
+            ):
+                # traversal vocabulary around quoted free text (activity
+                # names, guideline fragments) — not a real task id; the
+                # LLM-backed monitoring tool answered these before the
+                # lineage intent existed, so hand the question back to it
+                intent = Intent.MONITORING_QUERY
+                reply = self._tool_turn(self.query_tool, message, intent)
         elif intent == Intent.HISTORICAL_QUERY and self.db_tool is not None:
             reply = self._tool_turn(self.db_tool, message, intent)
         else:
@@ -141,6 +172,7 @@ class ProvenanceAgent:
             Intent.GREETING: "greeting",
             Intent.ADD_GUIDELINE: "add_guideline",
             Intent.VISUALIZATION: self.plot_tool.name,
+            Intent.LINEAGE_QUERY: self.graph_tool.name,
             Intent.HISTORICAL_QUERY: getattr(self.db_tool, "name", "db"),
             Intent.MONITORING_QUERY: self.query_tool.name,
         }[intent]
@@ -194,6 +226,12 @@ class ProvenanceAgent:
         if intent == Intent.VISUALIZATION:
             chart = data if isinstance(data, str) else None
             text = f"Here is the chart you asked for ({result.summary})."
+        elif intent == Intent.LINEAGE_QUERY:
+            # the graph tool's summary already names the traversal shape
+            # ("4 task(s) upstream of ..."), which beats a generic row dump
+            table = data if isinstance(data, DataFrame) else None
+            text = (result.summary or summarize(data, message)).rstrip(".") + "."
+            text = text[0].upper() + text[1:]
         else:
             table = data if isinstance(data, DataFrame) else None
             text = summarize(data, message)

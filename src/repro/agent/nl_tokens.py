@@ -1,0 +1,58 @@
+"""Shared id-token grammar for natural-language questions.
+
+The router (does this question name a task?) and the graph-query tool
+(which tasks does it name?) must agree on what counts as an id token —
+one definition lives here so the two can never drift.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "QUOTED_RE",
+    "BARE_ID_RE",
+    "TASK_ID_TOKEN_RE",
+    "extract_ids",
+    "looks_id_shaped",
+]
+
+#: 'single' or "double" quoted spans.
+QUOTED_RE = re.compile(r"'([^']+)'|\"([^\"]+)\"")
+
+#: unquoted tokens shaped like the system's ids: timestamp-derived task
+#: ids (``1753457858.95_4``) and UUID4 workflow/campaign ids, optionally
+#: with a ``/run`` suffix (workflow-run records).
+_ID_SHAPE = (
+    r"\d+\.\d+_[\w.-]+"
+    r"|[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}(?:/run)?"
+)
+BARE_ID_RE = re.compile(rf"\b({_ID_SHAPE})\b")
+
+#: anything the router should treat as "this question names an id".
+TASK_ID_TOKEN_RE = re.compile(rf"'[^']+'|\"[^\"]+\"|\b(?:{_ID_SHAPE})\b")
+
+_ID_SHAPED_FULL = re.compile(rf"^(?:{_ID_SHAPE})$")
+
+_TOKEN_RE = re.compile(rf"'([^']+)'|\"([^\"]+)\"|\b({_ID_SHAPE})\b")
+
+
+def extract_ids(text: str) -> list[str]:
+    """Candidate ids in the order the question names them.
+
+    Quoted spans and bare id-shaped tokens are collected together — a
+    question can mix a real task id with quoted free text ("downstream
+    of 1753458.95_4 in the 'alpha' workflow") and must not lose the id.
+    Duplicates collapse to their first position.
+    """
+    out: list[str] = []
+    for m in _TOKEN_RE.finditer(text):
+        token = m.group(1) or m.group(2) or m.group(3)
+        if token and token not in out:
+            out.append(token)
+    return out
+
+
+def looks_id_shaped(token: str) -> bool:
+    """True when a token has the system's id shape (vs free text)."""
+    return bool(_ID_SHAPED_FULL.match(token))

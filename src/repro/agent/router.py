@@ -13,6 +13,8 @@ from __future__ import annotations
 import enum
 import re
 
+from repro.agent.nl_tokens import TASK_ID_TOKEN_RE
+
 __all__ = ["Intent", "ToolRouter"]
 
 
@@ -20,6 +22,7 @@ class Intent(str, enum.Enum):
     GREETING = "greeting"
     ADD_GUIDELINE = "add_guideline"
     VISUALIZATION = "visualization"
+    LINEAGE_QUERY = "lineage_query"
     HISTORICAL_QUERY = "historical_query"
     MONITORING_QUERY = "monitoring_query"
 
@@ -41,6 +44,24 @@ _HISTORICAL_RE = re.compile(
     r"all time|offline|database)\b",
     re.IGNORECASE,
 )
+# traversal vocabulary (taxonomy scope "Graph Traversal"); checked after
+# visualization ("plot the lineage of ..." still renders a chart) and
+# after historical (database/past-run phrasing keeps its pre-lineage
+# route, so post-hoc agents are unaffected).  Whole-graph questions
+# route unconditionally; task-anchored vocabulary ("affected",
+# "depends on", ...) only routes when the text actually names an id —
+# id-less phrasings like "which tasks were affected by the failure?"
+# keep their LLM-answered monitoring route.
+_LINEAGE_GLOBAL_RE = re.compile(
+    r"\b(critical path|causal (chain|path)|root tasks?|leaf tasks?|"
+    r"dependency (path|chain))\b",
+    re.IGNORECASE,
+)
+_LINEAGE_RE = re.compile(
+    r"\b(upstream|downstream|lineage|ancestors?|descendants?|"
+    r"depends? on|impact|affected)\b",
+    re.IGNORECASE,
+)
 
 
 class ToolRouter:
@@ -60,6 +81,10 @@ class ToolRouter:
             return Intent.VISUALIZATION
         if _HISTORICAL_RE.search(text):
             return Intent.HISTORICAL_QUERY
+        if _LINEAGE_GLOBAL_RE.search(text) or (
+            _LINEAGE_RE.search(text) and TASK_ID_TOKEN_RE.search(text)
+        ):
+            return Intent.LINEAGE_QUERY
         if self._llm_classify is not None:
             try:
                 name = str(self._llm_classify(text)).strip().lower()

@@ -3,6 +3,7 @@
 from repro.agent.tools.base import Tool, ToolRegistry, ToolResult
 from repro.agent.tools.in_memory_query import InMemoryQueryTool
 from repro.agent.tools.db_query import DatabaseQueryTool
+from repro.agent.tools.graph_query import GraphQueryTool
 from repro.agent.tools.anomaly import AnomalyDetectorTool
 from repro.agent.tools.plotting import PlottingTool
 from repro.agent.tools.summarize import SummaryTool
@@ -13,6 +14,7 @@ __all__ = [
     "ToolResult",
     "InMemoryQueryTool",
     "DatabaseQueryTool",
+    "GraphQueryTool",
     "AnomalyDetectorTool",
     "PlottingTool",
     "SummaryTool",

@@ -1,0 +1,283 @@
+"""Graph traversal tool over the live lineage index (``graph_query``).
+
+The paper's taxonomy separates *targeted* lookups from *graph
+traversal* queries ("multi-step dependencies or causal chains", §2.1)
+and §5.4 names traversal an open challenge for the interactive path.
+This tool closes that gap: it answers lineage questions from the
+incrementally-maintained :class:`repro.lineage.LineageIndex`, so the
+cost is proportional to the answer, not to the store.
+
+Invocation is dual-mode, like MCP tools in general:
+
+* **structured** — ``invoke(operation="upstream", task_id=..., depth=2)``
+  for callers (LLM tool-use, scripts) that already know what they want;
+* **natural language** — ``invoke(question="what led to task '...'?")``
+  routed from chat; a deterministic parser extracts the operation,
+  task ids (quoted, or bare id-shaped tokens), and an optional hop
+  limit.  No LLM round trip is needed: traversal questions name their
+  operation far more reliably than tabular ones do.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.agent.nl_tokens import extract_ids
+from repro.agent.tools.base import Tool, ToolResult
+from repro.dataframe import DataFrame
+from repro.errors import ProvenanceError
+from repro.lineage.index import LineageIndex
+
+__all__ = ["GraphQueryTool", "OPERATIONS"]
+
+#: Structured operations the tool accepts (also the MCP enum).
+OPERATIONS = (
+    "upstream",
+    "downstream",
+    "parents",
+    "children",
+    "causal_chain",
+    "roots",
+    "leaves",
+    "critical_path",
+    "impact_size",
+)
+
+_DEPTH_RE = re.compile(r"\b(?:within|up to|at most|max(?:imum)?)\s+(\d+)\s+(?:hop|level|step|generation)s?\b", re.I)
+
+#: operation detection, first match wins (most specific phrasing first)
+_OP_PATTERNS: tuple[tuple[str, re.Pattern[str]], ...] = (
+    ("critical_path", re.compile(r"\b(critical path|longest (chain|path))\b", re.I)),
+    ("causal_chain", re.compile(r"\b(causal chain|path|chain|route|connection|how .*(reach|lead))\b", re.I)),
+    # downstream-direction words only: "how many ... depend on" is an
+    # upstream question and must fall through to the upstream pattern
+    ("impact_size", re.compile(r"\bhow many\b.*\b(downstream|descendant|affect|impact|influenc)", re.I)),
+    # "which/how many tasks depend on X" names the dependee: the asker
+    # wants X's dependents (downstream), not X's ancestors
+    ("downstream", re.compile(r"\b(which|what|how many)\s+(tasks?|ones?)\s+depends?\s+on\b", re.I)),
+    ("roots", re.compile(r"\b(roots?|entry tasks?|source tasks?|no (parents?|upstream))\b", re.I)),
+    ("leaves", re.compile(r"\b(leaves|leaf|sinks?|terminal tasks?|final tasks?)\b", re.I)),
+    ("parents", re.compile(r"\b(direct|immediate)\s+(parents?|predecessors?|upstream)\b", re.I)),
+    ("children", re.compile(r"\b(direct|immediate)\s+(children|successors?|downstream)\b", re.I)),
+    ("upstream", re.compile(r"\b(upstream|ancestor|lineage|led to|depends? on|derived from|came from|caused)\b", re.I)),
+    ("downstream", re.compile(r"\b(downstream|descendant|impact|affected|influenced|consumed)\b", re.I)),
+)
+
+
+class GraphQueryTool(Tool):
+    name = "provenance_graph_query"
+    description = (
+        "Traverse the live task-lineage graph: upstream/downstream sets, "
+        "causal chains between tasks, roots/leaves, per-workflow critical "
+        "path, and impact-set sizes. Answers from an incrementally "
+        "maintained index (no per-question graph rebuild)."
+    )
+    uses_llm = False
+
+    def __init__(self, index: LineageIndex):
+        self.index = index
+
+    def input_schema(self) -> dict[str, Any]:
+        return {
+            "type": "object",
+            "properties": {
+                "question": {
+                    "type": "string",
+                    "description": "Natural-language lineage question.",
+                },
+                "operation": {"type": "string", "enum": list(OPERATIONS)},
+                "task_id": {"type": "string"},
+                "target": {
+                    "type": "string",
+                    "description": "Destination task for causal_chain.",
+                },
+                "depth": {
+                    "type": "integer",
+                    "description": "Hop limit for upstream/downstream.",
+                },
+                "workflow_id": {
+                    "type": "string",
+                    "description": "Restrict critical_path to one workflow.",
+                },
+            },
+        }
+
+    # -- invocation ---------------------------------------------------------------
+    def invoke(self, **kwargs: Any) -> ToolResult:
+        operation = kwargs.get("operation")
+        task_id = kwargs.get("task_id")
+        target = kwargs.get("target")
+        depth = kwargs.get("depth")
+        workflow_id = kwargs.get("workflow_id")
+        question = str(kwargs.get("question", "")).strip()
+
+        if operation is None and question:
+            operation, parsed = self._parse(question)
+            task_id = task_id or parsed.get("task_id")
+            target = target or parsed.get("target")
+            depth = depth if depth is not None else parsed.get("depth")
+            workflow_id = workflow_id or parsed.get("workflow_id")
+        if operation is None:
+            return ToolResult(
+                ok=False,
+                summary="could not determine a graph operation",
+                error=(
+                    "pass operation= explicitly or phrase the question with "
+                    "upstream/downstream/path/roots/leaves/critical path"
+                ),
+            )
+        if operation not in OPERATIONS:
+            return ToolResult(
+                ok=False,
+                summary=f"unknown graph operation {operation!r}",
+                error=f"expected one of {', '.join(OPERATIONS)}",
+            )
+        try:
+            return self._run(operation, task_id, target, depth, workflow_id)
+        except ProvenanceError as exc:
+            return ToolResult(
+                ok=False, summary="graph query failed", error=str(exc)
+            )
+
+    def _run(
+        self,
+        operation: str,
+        task_id: str | None,
+        target: str | None,
+        depth: int | None,
+        workflow_id: str | None,
+    ) -> ToolResult:
+        idx = self.index
+        details: dict[str, Any] = {"operation": operation}
+        if operation in ("upstream", "downstream", "parents", "children", "impact_size"):
+            if not task_id:
+                return ToolResult(
+                    ok=False,
+                    summary=f"{operation} needs a task id",
+                    error="no task id found in the question",
+                )
+            details["task_id"] = task_id
+        if operation == "upstream":
+            ids = sorted(idx.upstream(task_id, max_depth=depth))
+            details["depth"] = depth
+            return self._task_set(ids, f"upstream of {task_id}", details)
+        if operation == "downstream":
+            ids = sorted(idx.downstream(task_id, max_depth=depth))
+            details["depth"] = depth
+            return self._task_set(ids, f"downstream of {task_id}", details)
+        if operation == "parents":
+            return self._task_set(
+                idx.parents(task_id), f"direct parents of {task_id}", details
+            )
+        if operation == "children":
+            return self._task_set(
+                idx.children(task_id), f"direct children of {task_id}", details
+            )
+        if operation == "impact_size":
+            n = len(idx.downstream(task_id))
+            return ToolResult(
+                ok=True,
+                summary=f"task {task_id} influenced {n} downstream task(s)",
+                data=n,
+                details=details,
+            )
+        if operation == "causal_chain":
+            if not task_id or not target:
+                return ToolResult(
+                    ok=False,
+                    summary="causal_chain needs two task ids",
+                    error="name both the source and the target task",
+                )
+            details.update(source=task_id, target=target)
+            chain = idx.causal_chain(task_id, target)
+            if chain is None:
+                return ToolResult(
+                    ok=True,
+                    summary=f"no dependency path from {task_id} to {target}",
+                    data=DataFrame.from_records([]),
+                    details=details,
+                )
+            return self._chain(chain, details)
+        if operation == "roots":
+            return self._task_set(idx.roots(), "root tasks (no upstream)", details)
+        if operation == "leaves":
+            return self._task_set(idx.leaves(), "leaf tasks (no downstream)", details)
+        # critical_path
+        details["workflow_id"] = workflow_id
+        return self._chain(idx.critical_path(workflow_id=workflow_id), details)
+
+    # -- NL parsing ---------------------------------------------------------------
+    def _parse(self, question: str) -> tuple[str | None, dict[str, Any]]:
+        parsed: dict[str, Any] = {}
+        ids = extract_ids(question)
+        depth_m = _DEPTH_RE.search(question)
+        if depth_m:
+            parsed["depth"] = int(depth_m.group(1))
+
+        operation = None
+        for op, pattern in _OP_PATTERNS:
+            if pattern.search(question):
+                operation = op
+                break
+        # workflow id: an id the index knows as a workflow, or — for an
+        # explicitly workflow-scoped critical path — the named id even if
+        # unknown (an empty path is honest; the whole graph is not)
+        workflows = set(self.index.workflows())
+        wf_ids = [i for i in ids if i in workflows]
+        if (
+            not wf_ids
+            and ids
+            and operation == "critical_path"
+            and re.search(r"\bworkflow\b", question, re.I)
+        ):
+            wf_ids = [ids[0]]
+        if wf_ids:
+            parsed["workflow_id"] = wf_ids[0]
+        # keep unknown ids: a typo'd task must surface as "unknown task",
+        # never be dropped and answered as a different question
+        task_ids = [i for i in ids if i != parsed.get("workflow_id")]
+        if task_ids:
+            parsed["task_id"] = task_ids[0]
+            if len(task_ids) > 1:
+                parsed["target"] = task_ids[1]
+        if operation == "causal_chain" and len(task_ids) == 1:
+            # "path" phrasing naming a single task makes no chain; answer
+            # its lineage instead
+            operation = "upstream"
+        return operation, parsed
+
+    # -- rendering ----------------------------------------------------------------
+    def _task_set(
+        self, ids: list[str], what: str, details: dict[str, Any]
+    ) -> ToolResult:
+        details["count"] = len(ids)
+        return ToolResult(
+            ok=True,
+            summary=f"{len(ids)} task(s) {what}",
+            data=self._frame(ids),
+            details=details,
+        )
+
+    def _chain(self, chain: list[str], details: dict[str, Any]) -> ToolResult:
+        details["length"] = len(chain)
+        return ToolResult(
+            ok=True,
+            summary=f"chain of {len(chain)} task(s)",
+            data=self._frame(chain, positions=True),
+            details=details,
+        )
+
+    def _frame(self, ids: list[str], *, positions: bool = False) -> DataFrame:
+        rows = []
+        for i, tid in enumerate(ids):
+            meta = self.index.node(tid) if tid in self.index else {}
+            row: dict[str, Any] = {"position": i} if positions else {}
+            row.update(
+                task_id=tid,
+                activity_id=meta.get("activity_id"),
+                workflow_id=meta.get("workflow_id"),
+                status=meta.get("status"),
+            )
+            rows.append(row)
+        return DataFrame.from_records(rows)

@@ -18,8 +18,13 @@ The six stages of Figure 3 map onto these modules:
    and table of §5.2.
 """
 
-from repro.evaluation.taxonomy import DataType, QueryClass, Workload
+from repro.evaluation.taxonomy import DataType, QueryClass, TraversalOp, Workload
 from repro.evaluation.query_set import EvalQuery, build_query_set
+from repro.evaluation.lineage_queries import (
+    LineageEvalQuery,
+    build_lineage_query_set,
+    evaluate_lineage_tool,
+)
 from repro.evaluation.configs import CONFIGURATIONS, config_for
 from repro.evaluation.judges import JudgeProfile, LLMJudge, RuleBasedScorer
 from repro.evaluation.runner import EvaluationRecord, ExperimentRunner
@@ -38,6 +43,10 @@ __all__ = [
     "QueryClass",
     "EvalQuery",
     "build_query_set",
+    "TraversalOp",
+    "LineageEvalQuery",
+    "build_lineage_query_set",
+    "evaluate_lineage_tool",
     "CONFIGURATIONS",
     "config_for",
     "LLMJudge",

@@ -1,0 +1,200 @@
+"""Lineage evaluation queries (graph-traversal scope).
+
+The golden 20 (:mod:`repro.evaluation.query_set`) cover the *targeted*
+scope of the Figure-1 taxonomy; this set covers the **Graph Traversal**
+scope the paper names as an open challenge for the interactive path
+(§5.4).  Each query is a natural-language lineage question with a
+machine-checkable gold answer computed from a scan-built
+:class:`ProvenanceGraph` oracle over the same documents — so the set
+simultaneously evaluates the agent's ``graph_query`` tool *and* serves
+as a live parity check between the incremental index and the
+rebuild-from-scratch graph.
+
+Like the golden set, questions reference concrete ids, so the set is
+instantiated against a live campaign (via a :class:`QueryAPI`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import networkx as nx
+
+from repro.agent.tools.base import Tool
+from repro.dataframe import DataFrame
+from repro.errors import QuerySetError
+from repro.evaluation.taxonomy import (
+    Consumer,
+    DataType,
+    QueryClass,
+    QueryScope,
+    TraversalOp,
+    Workload,
+)
+from repro.provenance.graph import ProvenanceGraph
+from repro.provenance.query_api import QueryAPI
+
+__all__ = [
+    "LineageEvalQuery",
+    "build_lineage_query_set",
+    "evaluate_lineage_tool",
+]
+
+
+@dataclass(frozen=True)
+class LineageEvalQuery:
+    """One traversal question with its oracle answer."""
+
+    qid: str
+    nl: str
+    op: TraversalOp
+    query_class: QueryClass
+    #: gold answer: set[str] for reachability ops, int for sizes/lengths
+    expected: Any
+    #: projects a graph_query ToolResult onto the ``expected`` shape
+    project: Callable[[Any], Any]
+
+
+def _ids(data: Any) -> set[str]:
+    if isinstance(data, DataFrame) and not data.empty:
+        return set(data.column("task_id").to_list())
+    return set()
+
+
+def _count(data: Any) -> int:
+    if isinstance(data, int):
+        return data
+    if isinstance(data, DataFrame):
+        return len(data)
+    return -1
+
+
+def build_lineage_query_set(query_api: QueryAPI) -> list[LineageEvalQuery]:
+    """Instantiate traversal questions against a completed campaign."""
+    oracle = ProvenanceGraph.from_database(query_api.database, {"type": "task"})
+    if len(oracle) == 0:
+        raise QuerySetError("lineage query set needs stored task provenance")
+    # pick a task with real ancestry and one with real impact
+    sink = max(oracle.graph.nodes, key=lambda n: len(oracle.upstream(n)))
+    source = max(oracle.graph.nodes, key=lambda n: len(oracle.downstream(n)))
+    if not oracle.upstream(sink) or not oracle.downstream(source):
+        raise QuerySetError("campaign has no task dependencies to traverse")
+    chain = oracle.causal_chain(source, sink)
+    workflow = oracle.graph.nodes[sink].get("workflow_id")
+    wf_nodes = [
+        n
+        for n, meta in oracle.graph.nodes(data=True)
+        if meta.get("workflow_id") == workflow
+    ]
+    wf_critical = _critical_path_length(oracle, wf_nodes)
+
+    cf, df_ = DataType.CONTROL_FLOW, DataType.DATAFLOW
+
+    def qc(
+        *data_types: DataType, workload: Workload = Workload.OLTP
+    ) -> QueryClass:
+        return QueryClass(
+            data_types=data_types or (cf,),
+            workload=workload,
+            scope=QueryScope.GRAPH_TRAVERSAL,
+            consumer=Consumer.AI,
+        )
+
+    return [
+        LineageEvalQuery(
+            "lq01",
+            f"What is the full upstream lineage of task '{sink}'?",
+            TraversalOp.UPSTREAM,
+            qc(cf, df_),
+            oracle.upstream(sink),
+            _ids,
+        ),
+        LineageEvalQuery(
+            "lq02",
+            f"Which tasks are downstream of '{source}'?",
+            TraversalOp.DOWNSTREAM,
+            qc(cf, df_),
+            oracle.downstream(source),
+            _ids,
+        ),
+        LineageEvalQuery(
+            "lq03",
+            f"Is there a causal chain from '{source}' to '{sink}'?",
+            TraversalOp.CAUSAL_CHAIN,
+            qc(cf),
+            len(chain) if chain else 0,
+            _count,
+        ),
+        LineageEvalQuery(
+            "lq04",
+            "Which tasks are root tasks with no upstream dependencies?",
+            TraversalOp.ROOTS,
+            qc(cf, workload=Workload.OLAP),
+            set(oracle.roots()),
+            _ids,
+        ),
+        LineageEvalQuery(
+            "lq05",
+            "List the leaf tasks nothing else depends on.",
+            TraversalOp.LEAVES,
+            qc(cf, workload=Workload.OLAP),
+            set(oracle.leaves()),
+            _ids,
+        ),
+        LineageEvalQuery(
+            "lq06",
+            f"Show the critical path of workflow '{workflow}'.",
+            TraversalOp.CRITICAL_PATH,
+            qc(cf, workload=Workload.OLAP),
+            wf_critical,
+            _count,
+        ),
+        LineageEvalQuery(
+            "lq07",
+            f"How many tasks were affected downstream of '{source}'?",
+            TraversalOp.IMPACT_SIZE,
+            qc(cf, df_, workload=Workload.OLAP),
+            len(oracle.downstream(source)),
+            _count,
+        ),
+    ]
+
+
+def _critical_path_length(oracle: ProvenanceGraph, nodes: list[str]) -> int:
+    """Longest dependent chain within a node subset of the oracle graph."""
+    sub = oracle.graph.subgraph(nodes)
+    return len(nx.dag_longest_path(sub)) if len(sub) else 0
+
+
+def evaluate_lineage_tool(
+    tool: Tool, queries: list[LineageEvalQuery]
+) -> dict[str, Any]:
+    """Run each question through ``graph_query``; score against the oracle.
+
+    Returns ``{"n", "correct", "accuracy", "per_query": [...]}`` — the
+    same shape the reporting layer aggregates for the golden set.
+    """
+    per_query: list[dict[str, Any]] = []
+    correct = 0
+    for q in queries:
+        result = tool.invoke(question=q.nl)
+        got = q.project(result.data) if result.ok else None
+        ok = result.ok and got == q.expected
+        correct += ok
+        per_query.append(
+            {
+                "qid": q.qid,
+                "op": q.op.value,
+                "class": q.query_class.label(),
+                "ok": ok,
+                "expected": q.expected,
+                "got": got,
+            }
+        )
+    return {
+        "n": len(queries),
+        "correct": correct,
+        "accuracy": correct / len(queries) if queries else 0.0,
+        "per_query": per_query,
+    }

@@ -46,6 +46,24 @@ class Consumer(str, enum.Enum):
     AI = "AI"
 
 
+class TraversalOp(str, enum.Enum):
+    """Graph-traversal operations (scope = Graph Traversal leaves).
+
+    The paper's taxonomy names graph traversal as a query scope but the
+    golden set only exercises targeted queries; the lineage subsystem's
+    evaluation set (:mod:`repro.evaluation.lineage_queries`) classifies
+    its questions by the traversal they require.
+    """
+
+    UPSTREAM = "Upstream"
+    DOWNSTREAM = "Downstream"
+    CAUSAL_CHAIN = "Causal Chain"
+    ROOTS = "Roots"
+    LEAVES = "Leaves"
+    CRITICAL_PATH = "Critical Path"
+    IMPACT_SIZE = "Impact Size"
+
+
 @dataclass(frozen=True)
 class QueryClass:
     """A taxonomy leaf: the label attached to each golden query."""

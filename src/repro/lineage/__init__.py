@@ -1,0 +1,13 @@
+"""Live-maintained lineage over streaming provenance (graph traversal).
+
+The interactive counterpart to :class:`repro.provenance.graph.ProvenanceGraph`:
+the graph is maintained *incrementally* as messages arrive instead of
+rebuilt from a full document scan per question.  See
+``docs/architecture.md`` ("Lineage subsystem") and
+``benchmarks/bench_lineage.py`` for the speedup/parity evidence.
+"""
+
+from repro.lineage.index import LineageIndex
+from repro.lineage.service import LineageService
+
+__all__ = ["LineageIndex", "LineageService"]

@@ -1,0 +1,103 @@
+"""Broker-fed live maintenance of a :class:`LineageIndex`.
+
+Two wiring styles keep the index current:
+
+* :class:`ProvenanceKeeper` accepts a ``lineage_index`` and folds every
+  accepted message in during (batch) ingest — index and database then
+  observe the *same* validated, normalised documents, which is what the
+  parity guarantees rest on;
+* :class:`LineageService` subscribes to the hub directly for
+  deployments that want lineage without a keeper (e.g. a monitoring
+  sidecar).  It applies the keeper's exact validation rules so both
+  paths accept and reject identically, and double-feeding (keeper +
+  service on one broker) is harmless because
+  :meth:`LineageIndex.apply` is idempotent for unchanged documents.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.lineage.index import LineageIndex
+from repro.messaging.broker import Broker, Subscription
+from repro.messaging.message import Envelope
+from repro.provenance.keeper import normalise_payload
+
+__all__ = ["LineageService"]
+
+
+class LineageService:
+    """Subscribes to provenance topics and streams them into an index."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        index: LineageIndex | None = None,
+        *,
+        pattern: str = "provenance.#",
+    ):
+        self.broker = broker
+        self.index = index or LineageIndex()
+        self._pattern = pattern
+        self._subscription: Subscription | None = None
+        self._lock = threading.Lock()
+        self.rejected_count = 0
+
+    # -- lifecycle --------------------------------------------------------------
+    def start(self, *, replay: bool = False) -> "LineageService":
+        """Subscribe; with ``replay=True`` also catch up on retained history.
+
+        Replay lets a late-started service (e.g. an agent attached to an
+        already-running campaign) reconstruct the graph from the broker's
+        log before live deliveries continue — re-delivered documents are
+        idempotent, so overlap with live traffic is safe.
+        """
+        if self._subscription is None:
+            self._subscription = self.broker.subscribe(
+                self._pattern, self._on_message, batch_callback=self._on_batch
+            )
+            replayer = getattr(self.broker, "replay", None)
+            if replay and replayer is not None:
+                replayer(self._pattern, self._on_message)
+        return self
+
+    def stop(self) -> None:
+        if self._subscription is not None:
+            self.broker.unsubscribe(self._subscription)
+            self._subscription = None
+
+    def __enter__(self) -> "LineageService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- ingestion ----------------------------------------------------------------
+    def _normalise(self, payload: Mapping[str, Any]) -> dict[str, Any] | None:
+        """Keeper-identical validation (shared helper); None for rejects."""
+        msg, _reason = normalise_payload(payload)
+        return None if msg is None else msg.to_dict()
+
+    def _on_message(self, envelope: Envelope) -> None:
+        doc = self._normalise(envelope.payload)
+        if doc is None:
+            with self._lock:
+                self.rejected_count += 1
+            return
+        self.index.apply(doc)
+
+    def _on_batch(self, envelopes: list[Envelope]) -> None:
+        docs = []
+        rejected = 0
+        for env in envelopes:
+            doc = self._normalise(env.payload)
+            if doc is None:
+                rejected += 1
+            else:
+                docs.append(doc)
+        if rejected:
+            with self._lock:
+                self.rejected_count += rejected
+        if docs:
+            self.index.apply_many(docs)

@@ -80,6 +80,7 @@ class MessageBuffer:
         self.clock = clock or VirtualClock()
         self._pending: list[Mapping[str, Any]] = []
         self._oldest_at: float | None = None
+        self._last_task_id: str | None = None
         self._lock = threading.Lock()
         self.flush_count = 0
         self.appended_count = 0
@@ -89,6 +90,9 @@ class MessageBuffer:
         with self._lock:
             self._pending.append(payload)
             self.appended_count += 1
+            task_id = payload.get("task_id")
+            if task_id is not None:
+                self._last_task_id = str(task_id)
             if self._oldest_at is None:
                 self._oldest_at = self.clock.now()
             if self.strategy.should_flush(len(self._pending), self._age()):
@@ -121,6 +125,16 @@ class MessageBuffer:
     def pending(self) -> int:
         with self._lock:
             return len(self._pending)
+
+    def last_task_id(self) -> str | None:
+        """``task_id`` of the most recently appended payload, if any.
+
+        Retained across flushes so producers (e.g. the workflow engine)
+        can correlate the task they just emitted without reaching into
+        the buffer's internals or depending on flush timing.
+        """
+        with self._lock:
+            return self._last_task_id
 
     def _age(self) -> float:
         if self._oldest_at is None:

@@ -43,9 +43,26 @@ from repro.errors import DatabaseError
 __all__ = [
     "ProvenanceDatabase",
     "get_path",
+    "merge_upsert_doc",
     "DEFAULT_EQUALITY_INDEX_FIELDS",
     "DEFAULT_RANGE_INDEX_FIELDS",
 ]
+
+
+def merge_upsert_doc(
+    old: Mapping[str, Any], new: Mapping[str, Any]
+) -> dict[str, Any]:
+    """The upsert merge rule: non-None fields win, None only fills gaps.
+
+    Shared with the lineage index (:mod:`repro.lineage`), whose parity
+    with scan-built graphs depends on merging re-delivered documents
+    exactly as the database does — keep one definition.
+    """
+    merged = dict(old)
+    for k, v in new.items():
+        if v is not None or k not in merged:
+            merged[k] = v
+    return merged
 
 #: Fields that get a hash index by default: the identifiers and lifecycle
 #: state the Query API and the agent's tools filter on constantly.
@@ -412,10 +429,7 @@ class ProvenanceDatabase:
             self._range_add(doc_id, stored)
             return False
         old = self._docs[idx]
-        merged = dict(old)
-        for k, v in doc.items():
-            if v is not None or k not in merged:
-                merged[k] = v
+        merged = merge_upsert_doc(old, doc)
         self._eq_unrecord(idx)
         self._docs[idx] = merged
         self._eq_vals[idx] = self._eq_record(idx, merged)

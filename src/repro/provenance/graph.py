@@ -129,11 +129,17 @@ class ProvenanceGraph:
 
 
 def _value_key(name: str, value: Any):
-    """Hashable identity for value-linking; None for unlinkable payloads."""
-    if isinstance(value, (str, int, float, bool)):
-        if isinstance(value, bool) or value is None:
-            return None  # too common to be a meaningful link
-        if isinstance(value, (int, float)) and value in (0, 1, -1):
-            return None
+    """Hashable identity for value-linking; None for unlinkable payloads.
+
+    Guard order matters: ``bool`` is a subclass of ``int``, so it must be
+    rejected *before* the trivial-number check (``True in (0, 1, -1)`` is
+    True) — flags would otherwise be considered for linking and then
+    silently dropped by the numeric guard.
+    """
+    if isinstance(value, bool):
+        return None  # flags are too common to be a meaningful link
+    if isinstance(value, (int, float)) and value in (0, 1, -1):
+        return None  # trivial numbers collide across unrelated tasks
+    if isinstance(value, (str, int, float)):
         return (name, value)
     return None

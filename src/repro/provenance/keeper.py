@@ -15,7 +15,7 @@ agent associations for the agent's own records.
 from __future__ import annotations
 
 import threading
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.errors import SchemaViolationError
 from repro.messaging.broker import Broker, Subscription
@@ -24,12 +24,37 @@ from repro.provenance.database import ProvenanceDatabase
 from repro.provenance.messages import TaskProvenanceMessage
 from repro.provenance.prov import ProvDocument, RelationKind
 
-__all__ = ["ProvenanceKeeper"]
+if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids import cycle
+    from repro.lineage.index import LineageIndex
+
+__all__ = ["ProvenanceKeeper", "normalise_payload"]
 
 #: Topic the capture layer publishes task messages to.
 TASK_TOPIC = "provenance.task"
 #: Topic the anomaly detector republishes tagged messages to.
 ANOMALY_TOPIC = "provenance.anomaly"
+
+
+def normalise_payload(
+    payload: Mapping[str, Any],
+) -> tuple[TaskProvenanceMessage | None, str | None]:
+    """Validate one raw payload: ``(message, None)`` or ``(None, reason)``.
+
+    The single definition of what the keeper accepts.  Every consumer
+    that must agree with the database's contents (the keeper's own
+    single and batch ingest, the standalone lineage service) goes
+    through here, so acceptance can never drift between them.
+    Structurally malformed payloads (``from_dict`` failures) reject the
+    same way schema violations do.
+    """
+    try:
+        msg = TaskProvenanceMessage.from_dict(payload)
+        msg.validate()
+    except SchemaViolationError as exc:
+        return None, str(exc)
+    except Exception as exc:  # noqa: BLE001 - isolate malformed payloads
+        return None, f"malformed payload: {exc!r}"
+    return msg, None
 
 
 class ProvenanceKeeper:
@@ -43,11 +68,15 @@ class ProvenanceKeeper:
         keeper_id: str = "keeper-0",
         pattern: str = "provenance.#",
         build_prov_document: bool = True,
+        lineage_index: "LineageIndex | None" = None,
     ):
         self.keeper_id = keeper_id
         self.broker = broker
         self.database = database or ProvenanceDatabase()
         self.prov = ProvDocument() if build_prov_document else None
+        #: optional live lineage index fed the same accepted documents
+        #: the database receives (see repro.lineage)
+        self.lineage_index = lineage_index
         self._subscription: Subscription | None = None
         self._pattern = pattern
         self._lock = threading.Lock()
@@ -87,19 +116,16 @@ class ProvenanceKeeper:
         rejected the same way schema violations are, so single and batch
         delivery account identically in :attr:`rejected`.
         """
-        try:
-            msg = TaskProvenanceMessage.from_dict(payload)
-            msg.validate()
-        except SchemaViolationError as exc:
+        msg, reason = normalise_payload(payload)
+        if msg is None:
             with self._lock:
-                self.rejected.append((dict(payload), str(exc)))
-            return False
-        except Exception as exc:  # noqa: BLE001 - isolate malformed payloads
-            with self._lock:
-                self.rejected.append((dict(payload), f"malformed payload: {exc!r}"))
+                self.rejected.append((dict(payload), reason))
             return False
         with self._lock:
-            self.database.upsert(msg.to_dict(), key_field="task_id")
+            doc = msg.to_dict()
+            self.database.upsert(doc, key_field="task_id")
+            if self.lineage_index is not None:
+                self.lineage_index.apply(doc)
             if self.prov is not None:
                 self._record_prov(msg)
             self.processed_count += 1
@@ -116,24 +142,19 @@ class ProvenanceKeeper:
         accepted: list[TaskProvenanceMessage] = []
         rejects: list[tuple[Mapping[str, Any], str]] = []
         for payload in payloads:
-            try:
-                msg = TaskProvenanceMessage.from_dict(payload)
-                msg.validate()
-            except SchemaViolationError as exc:
-                rejects.append((dict(payload), str(exc)))
-                continue
-            except Exception as exc:  # noqa: BLE001 - isolate like per-message delivery
-                # from_dict can raise on structurally malformed payloads;
+            msg, reason = normalise_payload(payload)
+            if msg is None:
                 # one bad message must not discard the rest of the batch
-                rejects.append((dict(payload), f"malformed payload: {exc!r}"))
+                rejects.append((dict(payload), reason))
                 continue
             accepted.append(msg)
         with self._lock:
             self.rejected.extend(rejects)
             if accepted:
-                self.database.upsert_many(
-                    [m.to_dict() for m in accepted], key_field="task_id"
-                )
+                docs = [m.to_dict() for m in accepted]
+                self.database.upsert_many(docs, key_field="task_id")
+                if self.lineage_index is not None:
+                    self.lineage_index.apply_many(docs)
                 if self.prov is not None:
                     for m in accepted:
                         self._record_prov(m)

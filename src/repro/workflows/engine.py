@@ -109,8 +109,16 @@ class WorkflowEngine:
     # -- scheduling ------------------------------------------------------------------
     def _assign_host(self, spec: TaskSpec) -> str:
         if spec.host is not None:
+            # pinned tasks still occupy their host: without this the
+            # least-loaded choice below under-counts any host that also
+            # runs pinned work
+            self._host_load[spec.host] = (
+                self._host_load.get(spec.host, 0.0) + spec.cost_s
+            )
             return spec.host
-        host = min(self._host_load, key=lambda h: (self._host_load[h], h))
+        host = min(
+            self.cluster_hosts, key=lambda h: (self._host_load.get(h, 0.0), h)
+        )
         self._host_load[host] += spec.cost_s
         return host
 
@@ -176,10 +184,11 @@ class WorkflowEngine:
         return timed
 
     def _last_emitted_task_id(self) -> str:
-        # the buffer may have flushed; check pending first, then broker log
-        pending = self.context.buffer._pending
-        if pending:
-            return pending[-1]["task_id"]
+        # the buffer remembers the last appended task id across flushes;
+        # fall back to the broker log for contexts with a foreign buffer
+        task_id = self.context.buffer.last_task_id()
+        if task_id is not None:
+            return task_id
         history = getattr(self.context.broker, "history", None)
         if history is not None:
             envs = self.context.broker.history("provenance.task")

@@ -1,0 +1,257 @@
+"""Tests for the graph_query tool, its routing, and agent integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.agent import ProvenanceAgent
+from repro.agent.router import Intent, ToolRouter
+from repro.agent.tools.graph_query import GraphQueryTool
+from repro.capture.context import CaptureContext
+from repro.dataframe import DataFrame
+from repro.lineage import LineageIndex
+from repro.workflows.engine import Ref, TaskSpec, WorkflowEngine
+
+
+@pytest.fixture
+def index():
+    idx = LineageIndex()
+    idx.apply_many(
+        [
+            {"task_id": "a", "activity_id": "gen", "workflow_id": "w1",
+             "used": {}, "generated": {"v": "x7"}},
+            {"task_id": "b", "activity_id": "use", "workflow_id": "w1",
+             "used": {"_upstream": ["a"], "v": "x7"}, "generated": {}},
+            {"task_id": "c", "activity_id": "join", "workflow_id": "w1",
+             "used": {"_upstream": ["b"]}, "generated": {}},
+        ]
+    )
+    return idx
+
+
+@pytest.fixture
+def tool(index):
+    return GraphQueryTool(index)
+
+
+class TestRouting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "What is the upstream lineage of task 'x'?",
+            "show me the ancestors of 'x'",
+            "which tasks are downstream of 'x'",
+            "what does 'x' depend on?",
+            "show the critical path of this workflow",
+            "is there a causal chain from 'x' to 'y'?",
+            "list the root tasks",
+        ],
+    )
+    def test_lineage_intent(self, text):
+        assert ToolRouter().classify(text) == Intent.LINEAGE_QUERY
+
+    def test_plot_requests_still_win(self):
+        # visualization phrasing outranks traversal vocabulary
+        assert (
+            ToolRouter().classify("plot the lineage of task 'x'")
+            == Intent.VISUALIZATION
+        )
+
+    def test_plain_queries_unaffected(self):
+        assert (
+            ToolRouter().classify("How many tasks failed?")
+            == Intent.MONITORING_QUERY
+        )
+
+    def test_impact_vocabulary_routes_to_lineage(self):
+        assert (
+            ToolRouter().classify("how many tasks were affected by task 'x'?")
+            == Intent.LINEAGE_QUERY
+        )
+
+    def test_idless_everyday_vocabulary_stays_with_monitoring(self):
+        # no task id named: the LLM query tool answered this before the
+        # lineage intent existed and must keep doing so
+        assert (
+            ToolRouter().classify("Which tasks were affected by the failure?")
+            == Intent.MONITORING_QUERY
+        )
+
+    def test_historical_phrasing_keeps_db_route(self):
+        # post-hoc agents answer database-phrased questions via db_query,
+        # exactly as before the lineage intent existed
+        assert (
+            ToolRouter().classify(
+                "show the lineage of task 'x' stored in the database"
+            )
+            == Intent.HISTORICAL_QUERY
+        )
+
+
+class TestStructuredInvocation:
+    def test_upstream(self, tool):
+        result = tool.invoke(operation="upstream", task_id="c")
+        assert result.ok
+        assert set(result.data.column("task_id").to_list()) == {"a", "b"}
+
+    def test_depth_limit(self, tool):
+        result = tool.invoke(operation="upstream", task_id="c", depth=1)
+        assert set(result.data.column("task_id").to_list()) == {"b"}
+
+    def test_causal_chain(self, tool):
+        result = tool.invoke(operation="causal_chain", task_id="a", target="c")
+        assert result.ok and result.details["length"] == 3
+        assert result.data.column("task_id").to_list() == ["a", "b", "c"]
+
+    def test_impact_size(self, tool):
+        result = tool.invoke(operation="impact_size", task_id="a")
+        assert result.ok and result.data == 2
+
+    def test_critical_path_scoped_to_workflow(self, tool):
+        result = tool.invoke(operation="critical_path", workflow_id="w1")
+        assert result.ok and result.details["length"] == 3
+
+    def test_unknown_task_is_an_error_result(self, tool):
+        result = tool.invoke(operation="upstream", task_id="ghost")
+        assert not result.ok and "ghost" in result.error
+
+    def test_unknown_operation(self, tool):
+        result = tool.invoke(operation="teleport", task_id="a")
+        assert not result.ok
+
+    def test_missing_task_id(self, tool):
+        result = tool.invoke(operation="upstream")
+        assert not result.ok
+
+
+class TestNaturalLanguage:
+    def test_quoted_task_id(self, tool):
+        result = tool.invoke(question="What is the upstream lineage of 'c'?")
+        assert result.ok
+        assert set(result.data.column("task_id").to_list()) == {"a", "b"}
+
+    def test_two_ids_make_a_chain(self, tool):
+        result = tool.invoke(question="Is there a causal chain from 'a' to 'c'?")
+        assert result.ok and result.details["operation"] == "causal_chain"
+        assert result.details["length"] == 3
+
+    def test_depth_phrase(self, tool):
+        result = tool.invoke(
+            question="Which tasks are upstream of 'c' within 1 hop?"
+        )
+        assert set(result.data.column("task_id").to_list()) == {"b"}
+
+    def test_roots_and_leaves(self, tool):
+        roots = tool.invoke(question="Which tasks are the root tasks?")
+        leaves = tool.invoke(question="List the leaf tasks of the run.")
+        assert set(roots.data.column("task_id").to_list()) == {"a"}
+        assert set(leaves.data.column("task_id").to_list()) == {"c"}
+
+    def test_workflow_scoped_critical_path(self, tool):
+        result = tool.invoke(question="Show the critical path of workflow 'w1'.")
+        assert result.ok and result.details["workflow_id"] == "w1"
+        assert result.details["length"] == 3
+
+    def test_impact_count_question(self, tool):
+        result = tool.invoke(question="How many tasks were affected downstream of 'a'?")
+        assert result.ok and result.data == 2
+
+    def test_depend_on_count_answers_upstream_not_impact(self, tool):
+        # "does X depend on" asks about X's ancestors; it must not be
+        # swallowed by the (downstream-direction) impact_size pattern
+        result = tool.invoke(question="How many tasks does 'c' depend on?")
+        assert result.ok and result.details["operation"] == "upstream"
+        assert set(result.data.column("task_id").to_list()) == {"a", "b"}
+
+    def test_tasks_depend_on_x_answers_dependents(self, tool):
+        # "which tasks depend on X" names the dependee: the asker wants
+        # X's dependents (downstream), not X's ancestors
+        result = tool.invoke(question="Which tasks depend on 'a'?")
+        assert result.ok and result.details["operation"] == "downstream"
+        assert set(result.data.column("task_id").to_list()) == {"b", "c"}
+
+    def test_unparseable_question(self, tool):
+        result = tool.invoke(question="tell me something nice")
+        assert not result.ok
+
+    def test_unknown_id_surfaces_as_error_not_other_answer(self, tool):
+        # a typo'd id must never be dropped and answered as a different
+        # question (e.g. upstream of the one recognised id)
+        result = tool.invoke(
+            question="show the causal chain from 'ghost' to 'c'"
+        )
+        assert not result.ok and "ghost" in result.error
+
+    def test_unknown_workflow_gives_empty_path_not_whole_graph(self, tool):
+        result = tool.invoke(
+            question="show the critical path of workflow 'wf-typo'"
+        )
+        assert result.ok
+        assert result.details["workflow_id"] == "wf-typo"
+        assert result.details["length"] == 0
+
+
+class TestAgentIntegration:
+    def test_chat_answers_lineage_and_records_provenance(self):
+        ctx = CaptureContext()
+        engine = WorkflowEngine(ctx)
+        result = engine.execute(
+            [
+                TaskSpec("gen", lambda: {"x": 5.5}),
+                TaskSpec("use", lambda x: {"y": x * 3},
+                         inputs={"x": Ref("gen", "x")}),
+            ],
+            workflow_name="demo",
+        )
+        ctx.flush()
+        agent = ProvenanceAgent(ctx)  # attaches late: replay must catch up
+        tid = result.task_ids["use"]
+        reply = agent.chat(f"What is the upstream lineage of task '{tid}'?")
+        assert reply.intent == Intent.LINEAGE_QUERY
+        assert reply.ok
+        assert isinstance(reply.table, DataFrame)
+        assert result.task_ids["gen"] in reply.table.column("task_id").to_list()
+        # the turn itself became provenance
+        agent.capture_context.flush()
+
+    def test_quoted_free_text_falls_back_to_monitoring(self):
+        # traversal vocabulary around a quoted activity name is not a
+        # lineage question the graph tool can answer; the agent must hand
+        # it back to the LLM-backed monitoring route instead of erroring
+        ctx = CaptureContext()
+        agent = ProvenanceAgent(ctx)
+        reply = agent.chat("Which tasks were affected by the 'relaxation' step?")
+        assert reply.intent == Intent.MONITORING_QUERY
+
+    def test_id_shaped_typo_still_surfaces_graph_error(self):
+        ctx = CaptureContext()
+        agent = ProvenanceAgent(ctx)
+        reply = agent.chat("What is the upstream lineage of task '123.456_9'?")
+        assert reply.intent == Intent.LINEAGE_QUERY
+        assert not reply.ok and "123.456_9" in reply.error
+
+    def test_live_updates_flow_into_agent_index(self):
+        ctx = CaptureContext()
+        agent = ProvenanceAgent(ctx)
+        engine = WorkflowEngine(ctx)
+        result = engine.execute(
+            [
+                TaskSpec("first", lambda: {"v": 9.25}),
+                TaskSpec("second", lambda v: {"w": v + 1},
+                         inputs={"v": Ref("first", "v")}),
+            ],
+            workflow_name="live",
+        )
+        ctx.flush()
+        reply = agent.chat(
+            f"How many tasks were affected downstream of '{result.task_ids['first']}'?"
+        )
+        assert reply.ok and "1" in reply.text
+
+    def test_graph_tool_listed_on_mcp(self):
+        from repro.agent.mcp.client import MCPClient
+
+        agent = ProvenanceAgent(CaptureContext())
+        assert "provenance_graph_query" in agent.registry.names()
+        client = MCPClient(agent.mcp)
+        assert client.read_resource("lineage-stats")["tasks"] == 0

@@ -1,0 +1,68 @@
+"""Tests for the graph-traversal evaluation query set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.tools.graph_query import GraphQueryTool
+from repro.capture.context import CaptureContext
+from repro.errors import QuerySetError
+from repro.evaluation.lineage_queries import (
+    build_lineage_query_set,
+    evaluate_lineage_tool,
+)
+from repro.evaluation.taxonomy import QueryScope, TraversalOp
+from repro.lineage import LineageIndex
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.provenance.query_api import QueryAPI
+from repro.workflows.synthetic import run_synthetic_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    ctx = CaptureContext()
+    index = LineageIndex()
+    keeper = ProvenanceKeeper(ctx.broker, lineage_index=index)
+    keeper.start()
+    run_synthetic_campaign(ctx, n_inputs=6)
+    ctx.flush()
+    keeper.stop()
+    return QueryAPI(keeper.database), index
+
+
+class TestBuild:
+    def test_covers_every_traversal_op(self, campaign):
+        api, _ = campaign
+        queries = build_lineage_query_set(api)
+        assert {q.op for q in queries} == set(TraversalOp)
+
+    def test_all_graph_traversal_scope(self, campaign):
+        api, _ = campaign
+        for q in build_lineage_query_set(api):
+            assert q.query_class.scope == QueryScope.GRAPH_TRAVERSAL
+            assert "OLTP" in q.query_class.label() or "OLAP" in q.query_class.label()
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(QuerySetError):
+            build_lineage_query_set(QueryAPI(ProvenanceKeeper(
+                CaptureContext().broker).database))
+
+
+class TestEvaluate:
+    def test_live_index_answers_match_oracle(self, campaign):
+        api, index = campaign
+        queries = build_lineage_query_set(api)
+        report = evaluate_lineage_tool(GraphQueryTool(index), queries)
+        failures = [r for r in report["per_query"] if not r["ok"]]
+        assert report["accuracy"] == 1.0, failures
+        assert report["n"] == len(queries)
+
+    def test_report_shape(self, campaign):
+        api, index = campaign
+        queries = build_lineage_query_set(api)[:2]
+        report = evaluate_lineage_tool(GraphQueryTool(index), queries)
+        assert set(report) == {"n", "correct", "accuracy", "per_query"}
+        assert all(
+            {"qid", "op", "class", "ok", "expected", "got"} <= set(r)
+            for r in report["per_query"]
+        )

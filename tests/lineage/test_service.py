@@ -1,0 +1,136 @@
+"""Broker/keeper wiring tests for live lineage maintenance."""
+
+from __future__ import annotations
+
+from repro.capture.context import CaptureContext
+from repro.lineage import LineageIndex, LineageService
+from repro.messaging.broker import InProcessBroker
+from repro.provenance.keeper import TASK_TOPIC, ProvenanceKeeper
+from repro.workflows.engine import Ref, TaskSpec, WorkflowEngine
+
+
+def _msg(tid, upstream=(), **extra):
+    doc = {
+        "task_id": tid,
+        "campaign_id": "c",
+        "workflow_id": "w",
+        "activity_id": "act",
+        "status": "FINISHED",
+        "type": "task",
+        "used": {"_upstream": list(upstream)} if upstream else {},
+        "generated": {},
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestKeeperHook:
+    def test_single_ingest_feeds_index(self):
+        broker = InProcessBroker()
+        index = LineageIndex()
+        with ProvenanceKeeper(broker, lineage_index=index):
+            broker.publish(TASK_TOPIC, _msg("a"))
+            broker.publish(TASK_TOPIC, _msg("b", upstream=["a"]))
+        assert index.downstream("a") == {"b"}
+
+    def test_batch_ingest_feeds_index(self):
+        broker = InProcessBroker()
+        index = LineageIndex()
+        with ProvenanceKeeper(broker, lineage_index=index) as keeper:
+            broker.publish_batch(
+                TASK_TOPIC,
+                [_msg("a"), _msg("b", upstream=["a"]), _msg("c", upstream=["b"])],
+            )
+            assert keeper.processed_count == 3
+        assert index.upstream("c") == {"a", "b"}
+
+    def test_rejected_messages_not_indexed(self):
+        broker = InProcessBroker()
+        index = LineageIndex()
+        with ProvenanceKeeper(broker, lineage_index=index) as keeper:
+            broker.publish_batch(
+                TASK_TOPIC,
+                [_msg("a"), {"task_id": "bad"}, _msg("b", upstream=["a"])],
+            )
+            assert len(keeper.rejected) == 1
+        assert len(index) == 2
+        assert "bad" not in index
+
+    def test_index_tracks_database_contents(self):
+        broker = InProcessBroker()
+        index = LineageIndex()
+        with ProvenanceKeeper(broker, lineage_index=index) as keeper:
+            broker.publish_batch(TASK_TOPIC, [_msg("a"), _msg("b", upstream=["a"])])
+            graph = keeper.database  # scan-built oracle over the same docs
+            from repro.provenance.graph import ProvenanceGraph
+
+            oracle = ProvenanceGraph.from_database(graph, {"type": "task"})
+            assert index.upstream("b") == oracle.upstream("b")
+
+
+class TestLineageService:
+    def test_subscribes_and_applies_batches(self):
+        broker = InProcessBroker()
+        with LineageService(broker) as service:
+            broker.publish_batch(TASK_TOPIC, [_msg("a"), _msg("b", upstream=["a"])])
+            broker.publish(TASK_TOPIC, _msg("c", upstream=["b"]))
+        assert service.index.upstream("c") == {"a", "b"}
+
+    def test_keeper_identical_rejection(self):
+        broker = InProcessBroker()
+        with LineageService(broker) as service:
+            broker.publish(TASK_TOPIC, {"task_id": "bad"})  # missing fields
+            broker.publish_batch(TASK_TOPIC, [{"nonsense": True}, _msg("ok")])
+        assert service.rejected_count == 2
+        assert len(service.index) == 1
+
+    def test_replay_catches_up_on_history(self):
+        broker = InProcessBroker()
+        broker.publish_batch(TASK_TOPIC, [_msg("a"), _msg("b", upstream=["a"])])
+        service = LineageService(broker).start(replay=True)
+        assert service.index.downstream("a") == {"b"}
+        # live traffic after replay keeps flowing into the same index
+        broker.publish(TASK_TOPIC, _msg("c", upstream=["b"]))
+        assert service.index.downstream("a") == {"b", "c"}
+        service.stop()
+
+    def test_double_feeding_with_keeper_is_idempotent(self):
+        broker = InProcessBroker()
+        index = LineageIndex()
+        with ProvenanceKeeper(broker, lineage_index=index):
+            with LineageService(broker, index):
+                broker.publish_batch(
+                    TASK_TOPIC, [_msg("a"), _msg("b", upstream=["a"])]
+                )
+        assert len(index) == 2
+        assert index.edge_count == 1
+
+    def test_stop_unsubscribes(self):
+        broker = InProcessBroker()
+        service = LineageService(broker).start()
+        service.stop()
+        broker.publish(TASK_TOPIC, _msg("late"))
+        assert len(service.index) == 0
+
+
+class TestEngineLineage:
+    def test_engine_run_builds_live_graph(self):
+        ctx = CaptureContext()
+        index = LineageIndex()
+        with ProvenanceKeeper(ctx.broker, lineage_index=index):
+            engine = WorkflowEngine(ctx)
+            result = engine.execute(
+                [
+                    TaskSpec("gen", lambda: {"x": 41.5}),
+                    TaskSpec("inc", lambda x: {"y": x + 1},
+                             inputs={"x": Ref("gen", "x")}),
+                    TaskSpec("dbl", lambda y: {"z": y * 2},
+                             inputs={"y": Ref("inc", "y")}),
+                ],
+                workflow_name="wf",
+            )
+            ctx.flush()
+        chain = [result.task_ids[n] for n in ("gen", "inc", "dbl")]
+        assert index.upstream(chain[2]) == set(chain[:2])
+        assert index.causal_chain(chain[0], chain[2]) == chain
+        assert len(index.critical_path(workflow_id=result.workflow_id)) == 3

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ProvenanceError
-from repro.provenance.graph import ProvenanceGraph
+from repro.provenance.graph import ProvenanceGraph, _value_key
 
 
 def docs_with_upstream():
@@ -99,3 +99,60 @@ class TestImplicitDataflowLinks:
         ]
         g = ProvenanceGraph(docs)
         assert g.children("p") == ["q"]
+
+    def test_self_link_suppressed(self):
+        # a task consuming the very value it generated is not its own parent
+        docs = [
+            {"task_id": "p", "used": {"v": "tok-1"}, "generated": {"v": "tok-1"}},
+        ]
+        g = ProvenanceGraph(docs)
+        assert g.parents("p") == [] and g.children("p") == []
+
+    def test_shared_value_links_all_producers(self):
+        docs = [
+            {"task_id": "p1", "used": {}, "generated": {"v": "tok-9"}},
+            {"task_id": "p2", "used": {}, "generated": {"v": "tok-9"}},
+            {"task_id": "q", "used": {"v": "tok-9"}, "generated": {}},
+        ]
+        g = ProvenanceGraph(docs)
+        assert set(g.parents("q")) == {"p1", "p2"}
+
+    def test_same_value_different_names_do_not_link(self):
+        # value identity is (name, value): a coincidental number under
+        # another field name is not dataflow
+        docs = [
+            {"task_id": "p", "used": {}, "generated": {"energy": 42.5}},
+            {"task_id": "q", "used": {"threshold": 42.5}, "generated": {}},
+        ]
+        g = ProvenanceGraph(docs)
+        assert g.parents("q") == []
+
+    def test_upstream_field_not_value_linked(self):
+        # used._upstream carries control ids; it must never be treated as
+        # a dataflow value even when a task "generates" the same string
+        docs = [
+            {"task_id": "p", "used": {}, "generated": {"_upstream": "x"}},
+            {"task_id": "q", "used": {"_upstream": "x"}, "generated": {}},
+        ]
+        g = ProvenanceGraph(docs)
+        assert g.parents("q") == []
+
+
+class TestValueKey:
+    def test_bools_rejected_before_numeric_check(self):
+        assert _value_key("flag", True) is None
+        assert _value_key("flag", False) is None
+
+    def test_trivial_numbers_rejected(self):
+        for trivial in (0, 1, -1, 0.0, 1.0, -1.0):
+            assert _value_key("n", trivial) is None
+
+    def test_meaningful_scalars_link(self):
+        assert _value_key("x", 2) == ("x", 2)
+        assert _value_key("x", -3.5) == ("x", -3.5)
+        assert _value_key("x", "mol-77") == ("x", "mol-77")
+
+    def test_unhashable_payloads_rejected(self):
+        assert _value_key("x", [1, 2]) is None
+        assert _value_key("x", {"a": 1}) is None
+        assert _value_key("x", None) is None

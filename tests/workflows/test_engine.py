@@ -174,3 +174,29 @@ class TestScheduling:
     def test_empty_cluster_rejected(self, ctx):
         with pytest.raises(WorkflowError):
             WorkflowEngine(ctx, cluster_hosts=())
+
+    def test_pinned_tasks_count_toward_host_load(self, ctx):
+        engine = WorkflowEngine(ctx, cluster_hosts=("h1", "h2"))
+        result = engine.execute(
+            [
+                # heavy work pinned to h1 must make the balancer prefer h2
+                TaskSpec("pinned", add, {"a": 1, "b": 1}, host="h1", cost_s=100.0),
+                TaskSpec("free", add, {"a": 1, "b": 1}, cost_s=1.0),
+            ]
+        )
+        assert result.hosts["pinned"] == "h1"
+        assert result.hosts["free"] == "h2"
+        assert engine._host_load["h1"] == pytest.approx(100.0)
+
+    def test_pinned_host_outside_cluster_tracked_but_not_schedulable(self, ctx):
+        engine = WorkflowEngine(ctx, cluster_hosts=("h1",))
+        result = engine.execute(
+            [
+                TaskSpec("a", add, {"a": 1, "b": 1}, host="gpu-9", cost_s=50.0),
+                TaskSpec("b", add, {"a": 1, "b": 1}),
+            ]
+        )
+        assert result.hosts["a"] == "gpu-9"
+        # the balancer never places free tasks on a host outside the cluster
+        assert result.hosts["b"] == "h1"
+        assert engine._host_load["gpu-9"] == pytest.approx(50.0)
