@@ -21,7 +21,8 @@ Subsystem packages (see DESIGN.md for the full inventory):
 
 - :mod:`repro.capture`     — instrumentation + observability adapters
 - :mod:`repro.messaging`   — streaming hub (brokers, buffering, federation)
-- :mod:`repro.provenance`  — message schema, W3C-PROV, database, Query API
+- :mod:`repro.provenance`  — message schema, W3C-PROV, keeper, Query API
+- :mod:`repro.storage`     — pluggable storage backends (single-node, sharded)
 - :mod:`repro.lineage`     — live-maintained lineage graph + traversal API
 - :mod:`repro.agent`       — the provenance AI agent (paper §4)
 - :mod:`repro.llm`         — simulated LLM service + adaptive routing
@@ -38,9 +39,13 @@ from repro.dataframe import DataFrame
 from repro.lineage import LineageIndex, LineageService
 from repro.llm.service import ChatRequest, ChatResponse, LLMServer
 from repro.messaging.broker import InProcessBroker
-from repro.provenance.database import ProvenanceDatabase
 from repro.provenance.keeper import ProvenanceKeeper
 from repro.provenance.query_api import QueryAPI
+from repro.storage import (
+    ProvenanceDatabase,
+    ShardedProvenanceStore,
+    StorageBackend,
+)
 
 __version__ = "0.9.0"
 
@@ -58,6 +63,8 @@ __all__ = [
     "ProvenanceDatabase",
     "ProvenanceKeeper",
     "QueryAPI",
+    "ShardedProvenanceStore",
+    "StorageBackend",
     "WorkflowRun",
     "flow_task",
     "__version__",

@@ -32,6 +32,7 @@ from repro.capture.context import CaptureContext
 from repro.dataframe import DataFrame
 from repro.lineage import LineageIndex, LineageService
 from repro.llm.service import LLMServer
+from repro.provenance.keeper import ProvenanceKeeper
 from repro.provenance.query_api import QueryAPI
 
 __all__ = ["ProvenanceAgent", "AgentReply"]
@@ -62,10 +63,14 @@ class ProvenanceAgent:
         model: str = "gpt-4",
         query_api: QueryAPI | None = None,
         lineage: LineageIndex | None = None,
+        keeper: "ProvenanceKeeper | None" = None,
         prompt_config: PromptConfig = FULL_CONTEXT,
         agent_id: str = "provenance-agent",
     ):
         self.capture_context = capture_context
+        #: optional keeper whose ingest stats the MCP surface exposes;
+        #: its lineage index is reused when no explicit one is given
+        self.keeper = keeper
         self.llm = llm or LLMServer()
         self.model = model
         self.context_manager = ContextManager(capture_context.broker).start()
@@ -97,6 +102,8 @@ class ProvenanceAgent:
         # feeds) or run our own broker-fed service, replaying retained
         # history so lineage questions work on campaigns that ran before
         # the agent attached
+        if lineage is None and keeper is not None:
+            lineage = keeper.lineage_index
         if lineage is not None:
             self.lineage = lineage
             self.lineage_service: LineageService | None = None
@@ -114,7 +121,13 @@ class ProvenanceAgent:
             "dataflow-schema", self.context_manager.schema_payload
         )
         self.mcp.add_resource("example-values", self.context_manager.values_payload)
-        self.mcp.add_resource("lineage-stats", self.lineage.stats)
+        self.mcp.add_resource("lineage-stats", self._lineage_stats)
+        if query_api is not None:
+            # shares QueryAPI.counts, the same indexed tally the
+            # monitoring surface uses for status breakdowns
+            self.mcp.add_resource(
+                "db-status-counts", lambda: query_api.counts("status")
+            )
         self.mcp.add_resource(
             "guidelines",
             lambda: [g.text for g in self.context_manager.guidelines.all()],
@@ -124,6 +137,14 @@ class ProvenanceAgent:
     # -- bring your own tool -----------------------------------------------------
     def register_tool(self, tool: Tool) -> None:
         self.registry.register(tool)
+
+    # -- MCP resources -----------------------------------------------------------
+    def _lineage_stats(self) -> dict[str, Any]:
+        """Live lineage stats, with keeper ingest accounting when wired."""
+        stats: dict[str, Any] = self.lineage.stats()
+        if self.keeper is not None:
+            stats["ingest"] = self.keeper.stats()
+        return stats
 
     # -- chat -----------------------------------------------------------------------
     def chat(self, message: str) -> AgentReply:

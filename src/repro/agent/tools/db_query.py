@@ -8,8 +8,9 @@ buffer.
 Targeted questions stay fast at volume: the leading filters of the
 generated pipeline are translated into a Mongo-style prefilter
 (:func:`repro.query.pushdown.pipeline_prefilter`) and answered by the
-database's indexes, so the DataFrame is built only from candidate
-documents instead of the whole store.  If executing over the reduced
+storage backend's indexes — and, on a sharded store, routed to the
+single shard a ``workflow_id`` equality names — so the DataFrame is
+built only from candidate documents instead of the whole store.  If executing over the reduced
 frame fails (e.g. a column that only exists on excluded documents), the
 tool transparently retries against the unfiltered frame, so pushdown
 never changes observable behaviour.

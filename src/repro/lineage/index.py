@@ -33,8 +33,8 @@ from collections import deque
 from typing import Any, Iterable, Mapping
 
 from repro.errors import ProvenanceError
-from repro.provenance.database import merge_upsert_doc
 from repro.provenance.graph import UPSTREAM_FIELD, ProvenanceGraph, _value_key
+from repro.storage.documents import merge_upsert_doc
 
 __all__ = ["LineageIndex"]
 

@@ -38,7 +38,8 @@ class LineageService:
         pattern: str = "provenance.#",
     ):
         self.broker = broker
-        self.index = index or LineageIndex()
+        # explicit None check: an empty index has len() == 0 and is falsy
+        self.index = LineageIndex() if index is None else index
         self._pattern = pattern
         self._subscription: Subscription | None = None
         self._lock = threading.Lock()

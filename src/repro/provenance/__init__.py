@@ -7,8 +7,9 @@ Implements the paper's provenance substrate (§2.3):
 * :mod:`repro.provenance.prov` — a W3C PROV extension: entities,
   activities, agents and their relations, used to record both workflow
   tasks and the agent's own tool/LLM interactions (§4.2);
-* :mod:`repro.provenance.database` — a backend-agnostic in-memory
-  document store with Mongo-style filtering and aggregation;
+* :mod:`repro.provenance.database` — compatibility alias for
+  :mod:`repro.storage`, the pluggable backend package (single-node
+  indexed store and the workflow-sharded store);
 * :mod:`repro.provenance.keeper` — the Provenance Keeper service that
   subscribes to the streaming hub, normalises messages into the unified
   schema, and persists them;
@@ -31,7 +32,11 @@ from repro.provenance.prov import (
     Relation,
     RelationKind,
 )
-from repro.provenance.database import ProvenanceDatabase
+from repro.storage import (
+    ProvenanceDatabase,
+    ShardedProvenanceStore,
+    StorageBackend,
+)
 from repro.provenance.keeper import ProvenanceKeeper
 from repro.provenance.graph import ProvenanceGraph
 from repro.provenance.query_api import QueryAPI
@@ -50,4 +55,6 @@ __all__ = [
     "ProvenanceKeeper",
     "ProvenanceGraph",
     "QueryAPI",
+    "ShardedProvenanceStore",
+    "StorageBackend",
 ]

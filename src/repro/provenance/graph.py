@@ -20,7 +20,7 @@ from typing import Any, Iterable, Mapping
 import networkx as nx
 
 from repro.errors import ProvenanceError
-from repro.provenance.database import ProvenanceDatabase, get_path
+from repro.storage import StorageBackend, get_path
 
 __all__ = ["ProvenanceGraph"]
 
@@ -71,7 +71,7 @@ class ProvenanceGraph:
 
     @classmethod
     def from_database(
-        cls, db: ProvenanceDatabase, filt: Mapping[str, Any] | None = None
+        cls, db: StorageBackend, filt: Mapping[str, Any] | None = None
     ) -> "ProvenanceGraph":
         return cls(db.find(filt))
 

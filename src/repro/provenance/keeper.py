@@ -1,4 +1,4 @@
-"""Provenance Keeper: hub subscriber -> unified schema -> database.
+"""Provenance Keeper: hub subscriber -> unified schema -> storage backend.
 
 "One or more distributed Provenance Keeper services subscribe to the
 streaming hub, convert incoming messages into a unified workflow
@@ -6,23 +6,35 @@ provenance schema based on a W3C PROV extension, and store them in a
 backend-agnostic provenance database" (paper §2.3).
 
 The keeper: validates and normalises raw payloads into
-:class:`TaskProvenanceMessage` form, upserts them into the database
-(lifecycle updates collapse per ``task_id``), and incrementally grows a
+:class:`TaskProvenanceMessage` form, upserts them into any
+:class:`~repro.storage.backend.StorageBackend` (lifecycle updates
+collapse per ``task_id``), and incrementally grows a
 :class:`ProvDocument` with activities, the used/generated entities, and
 agent associations for the agent's own records.
+
+Concurrency: backends are thread-safe, so ingest does **not** serialise
+on a keeper-wide lock — concurrent broker deliveries flow straight into
+the store (a :class:`~repro.storage.sharded.ShardedProvenanceStore`
+then groups each batch per shard and ingests the groups in parallel).
+The exception is a directly-attached ``lineage_index``: database and
+index must observe re-deliveries in the same merge order for their
+parity guarantee, so that pair is applied under one lock.  Ingest
+statistics are kept behind their own lock and exposed as a
+:meth:`stats` snapshot (the MCP ``lineage-stats`` resource embeds it).
 """
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.errors import SchemaViolationError
 from repro.messaging.broker import Broker, Subscription
 from repro.messaging.message import Envelope
-from repro.provenance.database import ProvenanceDatabase
 from repro.provenance.messages import TaskProvenanceMessage
 from repro.provenance.prov import ProvDocument, RelationKind
+from repro.storage import ProvenanceDatabase, StorageBackend
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only, avoids import cycle
     from repro.lineage.index import LineageIndex
@@ -57,13 +69,36 @@ def normalise_payload(
     return msg, None
 
 
+_QUOTED_VALUE = re.compile(r"'[^']*'|\"[^\"]*\"")
+_TASK_PREFIX = re.compile(r"^task \S+: ")
+
+#: Hard cap on distinct rejection-reason buckets; overflow folds into
+#: "other" so a hostile or broken producer cannot balloon the stats map.
+_MAX_REASON_BUCKETS = 64
+
+
+def _reason_key(reason: str) -> str:
+    """Bounded bucket for one rejection reason.
+
+    Schema-violation messages embed payload values (task ids, bad
+    statuses), so quoted values and the ``task <id>:`` prefix are
+    normalised away before bucketing; malformed-payload reasons embed
+    arbitrary reprs and collapse into one bucket.
+    """
+    if reason.startswith("malformed payload"):
+        return "malformed payload"
+    reason = _TASK_PREFIX.sub("task <id>: ", reason)
+    reason = _QUOTED_VALUE.sub("<value>", reason)
+    return reason[:120]
+
+
 class ProvenanceKeeper:
     """Consumes provenance messages and persists them."""
 
     def __init__(
         self,
         broker: Broker,
-        database: ProvenanceDatabase | None = None,
+        database: StorageBackend | None = None,
         *,
         keeper_id: str = "keeper-0",
         pattern: str = "provenance.#",
@@ -72,16 +107,26 @@ class ProvenanceKeeper:
     ):
         self.keeper_id = keeper_id
         self.broker = broker
-        self.database = database or ProvenanceDatabase()
+        # explicit None check: an empty store has len() == 0 and is falsy
+        self.database: StorageBackend = (
+            ProvenanceDatabase() if database is None else database
+        )
         self.prov = ProvDocument() if build_prov_document else None
         #: optional live lineage index fed the same accepted documents
         #: the database receives (see repro.lineage)
         self.lineage_index = lineage_index
         self._subscription: Subscription | None = None
         self._pattern = pattern
-        self._lock = threading.Lock()
+        # db+lineage must see identical merge order, so the pair is
+        # applied atomically; without an index the store's own locking
+        # suffices and ingest runs lock-free up to the backend
+        self._apply_lock = threading.Lock()
+        # the PROV projection is not thread-safe on its own
+        self._prov_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self.processed_count = 0
         self.rejected: list[tuple[Mapping[str, Any], str]] = []
+        self._reject_reasons: dict[str, int] = {}
 
     # -- lifecycle --------------------------------------------------------------
     def start(self) -> None:
@@ -118,26 +163,23 @@ class ProvenanceKeeper:
         """
         msg, reason = normalise_payload(payload)
         if msg is None:
-            with self._lock:
-                self.rejected.append((dict(payload), reason))
+            self._record_rejects([(dict(payload), reason or "rejected")])
             return False
-        with self._lock:
-            doc = msg.to_dict()
-            self.database.upsert(doc, key_field="task_id")
-            if self.lineage_index is not None:
-                self.lineage_index.apply(doc)
-            if self.prov is not None:
+        self._store([msg.to_dict()])
+        if self.prov is not None:
+            with self._prov_lock:
                 self._record_prov(msg)
+        with self._stats_lock:
             self.processed_count += 1
         return True
 
     def ingest_batch(self, payloads: Iterable[Mapping[str, Any]]) -> int:
         """Normalise and store a batch; returns the number accepted.
 
-        This is the buffer-flush fast path: validation happens outside
-        the lock, then the whole batch lands through
-        :meth:`ProvenanceDatabase.upsert_many` with one keeper-lock and
-        one database-lock acquisition instead of one per message.
+        This is the buffer-flush fast path: validation happens before
+        any lock, then the whole batch lands through the backend's
+        ``upsert_many`` — against a sharded store that means one
+        per-shard group per batch, ingested in parallel.
         """
         accepted: list[TaskProvenanceMessage] = []
         rejects: list[tuple[Mapping[str, Any], str]] = []
@@ -145,21 +187,59 @@ class ProvenanceKeeper:
             msg, reason = normalise_payload(payload)
             if msg is None:
                 # one bad message must not discard the rest of the batch
-                rejects.append((dict(payload), reason))
+                rejects.append((dict(payload), reason or "rejected"))
                 continue
             accepted.append(msg)
-        with self._lock:
-            self.rejected.extend(rejects)
-            if accepted:
-                docs = [m.to_dict() for m in accepted]
-                self.database.upsert_many(docs, key_field="task_id")
-                if self.lineage_index is not None:
-                    self.lineage_index.apply_many(docs)
-                if self.prov is not None:
+        if rejects:
+            self._record_rejects(rejects)
+        if accepted:
+            self._store([m.to_dict() for m in accepted])
+            if self.prov is not None:
+                with self._prov_lock:
                     for m in accepted:
                         self._record_prov(m)
+            with self._stats_lock:
                 self.processed_count += len(accepted)
         return len(accepted)
+
+    def _store(self, docs: list[dict[str, Any]]) -> None:
+        if self.lineage_index is not None:
+            with self._apply_lock:
+                self.database.upsert_many(docs, key_field="task_id")
+                self.lineage_index.apply_many(docs)
+        else:
+            self.database.upsert_many(docs, key_field="task_id")
+
+    def _record_rejects(
+        self, rejects: list[tuple[Mapping[str, Any], str]]
+    ) -> None:
+        with self._stats_lock:
+            self.rejected.extend(rejects)
+            for _, reason in rejects:
+                key = _reason_key(reason)
+                if (
+                    key not in self._reject_reasons
+                    and len(self._reject_reasons) >= _MAX_REASON_BUCKETS
+                ):
+                    key = "other"
+                self._reject_reasons[key] = self._reject_reasons.get(key, 0) + 1
+
+    # -- stats -------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Consistent snapshot of ingest accounting (thread-safe).
+
+        ``accepted``/``rejected`` are message counts;
+        ``rejection_reasons`` buckets rejects by
+        schema-violation message (bounded vocabulary) with all
+        structurally-malformed payloads folded into one bucket.
+        """
+        with self._stats_lock:
+            return {
+                "keeper_id": self.keeper_id,
+                "accepted": self.processed_count,
+                "rejected": len(self.rejected),
+                "rejection_reasons": dict(self._reject_reasons),
+            }
 
     # -- PROV projection -------------------------------------------------------------
     def _record_prov(self, msg: TaskProvenanceMessage) -> None:

@@ -1,4 +1,4 @@
-"""Language-agnostic Query API over the provenance database.
+"""Language-agnostic Query API over the provenance store.
 
 "Users can access provenance data through a language-agnostic Query API,
 either programmatically (e.g., via Jupyter), through dashboards such as
@@ -7,11 +7,17 @@ DB tool and the examples use this facade; it also converts result sets
 into the mini-DataFrame so the same query IR can execute over historical
 data.
 
-Every read funnels through :meth:`ProvenanceDatabase.find`, so targeted
-lookups (``task``, status filters, time ranges) automatically use the
-store's secondary indexes and query planner — see
-``docs/query_surface.md`` for the filter grammar and which shapes the
-planner accelerates, and :meth:`QueryAPI.explain` for per-filter plans.
+The facade depends only on the
+:class:`~repro.storage.backend.StorageBackend` protocol, so it works
+unchanged over the single-node store and the sharded store.  Every read
+funnels through the backend's ``find``, so targeted lookups (``task``,
+status filters, time ranges) automatically use secondary indexes, the
+query planner, and — on a sharded store — single-shard routing; see
+``docs/query_surface.md`` for the filter grammar and
+:meth:`QueryAPI.explain` for per-filter plans.  Catalogue reads
+(:meth:`workflows`, :meth:`campaigns`, :meth:`activities`,
+:meth:`counts`) answer from the store's indexed distinct-values path
+instead of materialising documents.
 """
 
 from __future__ import annotations
@@ -19,8 +25,8 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.dataframe import DataFrame
-from repro.provenance.database import ProvenanceDatabase
 from repro.provenance.graph import ProvenanceGraph
+from repro.storage import StorageBackend
 
 __all__ = ["QueryAPI"]
 
@@ -28,7 +34,7 @@ __all__ = ["QueryAPI"]
 class QueryAPI:
     """High-level read access to stored provenance."""
 
-    def __init__(self, database: ProvenanceDatabase):
+    def __init__(self, database: StorageBackend):
         self.database = database
 
     # -- task-level reads -----------------------------------------------------
@@ -57,19 +63,28 @@ class QueryAPI:
         filt = {"workflow_id": workflow_id} if workflow_id else None
         return self.database.distinct("activity_id", filt)
 
+    def counts(self, field: str, filt: Mapping[str, Any] | None = None) -> dict[Any, int]:
+        """Document count per value of ``field`` (indexed when possible).
+
+        The shared tally helper: :meth:`status_counts` and the agent's
+        monitoring surface both read this, and over an indexed field it
+        costs O(distinct values), not O(documents).
+        """
+        return self.database.field_counts(field, filt)
+
     def status_counts(self) -> dict[str, int]:
-        rows = self.database.aggregate(
-            [
-                {"$group": {"_id": "$status", "n": {"$sum": 1}}},
-            ]
-        )
-        return {r["_id"]: r["n"] for r in rows}
+        return self.counts("status")
 
     def failed_tasks(self) -> list[dict[str, Any]]:
         return self.database.find({"status": "FAILED"})
 
     def explain(self, filt: Mapping[str, Any] | None = None) -> dict[str, Any]:
-        """Query plan the store would use for ``filt`` (index vs. scan)."""
+        """Query plan the store would use for ``filt``.
+
+        Single-node stores report index-vs-scan; a sharded store
+        additionally reports its routing decision (targeted vs scatter,
+        the shards visited, and each shard's plan).
+        """
         return self.database.explain(filt)
 
     def agent_interactions(self) -> list[dict[str, Any]]:

@@ -2,11 +2,13 @@
 
 The agent's post-hoc database tool executes generated pipelines over a
 DataFrame built from *every* stored document.  Most generated queries
-start with row filters, and the provenance database can answer exactly
-those predicates through its indexes — so the leading filters are
-translated into a Mongo-style filter document and pushed down into
-:meth:`~repro.provenance.database.ProvenanceDatabase.find` before the
-frame is built.
+start with row filters, and any
+:class:`~repro.storage.backend.StorageBackend` can answer exactly those
+predicates through its indexes — so the leading filters are translated
+into a Mongo-style filter document and pushed down into the backend's
+``find`` before the frame is built.  Against a sharded store the same
+prefilter doubles as the shard router: an equality on ``workflow_id``
+sends the whole pipeline to a single shard.
 
 Correctness rules (see ``docs/query_surface.md``):
 

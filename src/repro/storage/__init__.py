@@ -1,0 +1,54 @@
+"""Pluggable provenance storage backends.
+
+The paper's provenance database is backend-agnostic (§2.3); this
+package is the seam that makes it so in code:
+
+* :mod:`repro.storage.backend` — :class:`StorageBackend`, the structural
+  protocol every consumer (keeper, Query API, lineage, agent tools,
+  query-IR pushdown) depends on;
+* :mod:`repro.storage.documents` — the document-level semantics every
+  backend shares (dotted-path access, the upsert merge rule, the stable
+  nulls-last sort);
+* :mod:`repro.storage.memory` — :class:`ProvenanceDatabase`, the
+  single-node indexed reference backend;
+* :mod:`repro.storage.sharded` — :class:`ShardedProvenanceStore`,
+  hash-partitioned by ``workflow_id`` with single-shard routing for
+  targeted queries and coordinator-merged scatter-gather for the rest.
+
+Single-node and sharded stores are drop-in interchangeable; the parity
+suites in ``tests/storage`` and ``benchmarks/bench_sharded_store.py``
+hold them to identical results.
+"""
+
+from repro.storage.backend import StorageBackend
+from repro.storage.documents import (
+    get_path,
+    merge_upsert_doc,
+    path_exists,
+    sort_documents,
+)
+from repro.storage.memory import (
+    DEFAULT_EQUALITY_INDEX_FIELDS,
+    DEFAULT_RANGE_INDEX_FIELDS,
+    ProvenanceDatabase,
+    apply_pipeline_stages,
+    matches_filter,
+    validate_filter,
+)
+from repro.storage.sharded import DEFAULT_NUM_SHARDS, ShardedProvenanceStore
+
+__all__ = [
+    "StorageBackend",
+    "ProvenanceDatabase",
+    "ShardedProvenanceStore",
+    "DEFAULT_EQUALITY_INDEX_FIELDS",
+    "DEFAULT_RANGE_INDEX_FIELDS",
+    "DEFAULT_NUM_SHARDS",
+    "get_path",
+    "path_exists",
+    "merge_upsert_doc",
+    "sort_documents",
+    "matches_filter",
+    "validate_filter",
+    "apply_pipeline_stages",
+]

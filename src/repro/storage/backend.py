@@ -1,0 +1,91 @@
+"""The storage seam: the protocol every provenance backend implements.
+
+The reference architecture's provenance database is backend-agnostic —
+MongoDB, LMDB, Neo4j, or anything else that can answer the Query API
+surface (paper §2.3).  :class:`StorageBackend` is that surface as a
+structural :class:`typing.Protocol`: the keeper, the Query API, the
+lineage subsystem, the agent's tools, and the query-IR pushdown all
+depend on *this*, never on a concrete store, so single-node
+(:class:`repro.storage.ProvenanceDatabase`) and sharded
+(:class:`repro.storage.ShardedProvenanceStore`) deployments are drop-in
+interchangeable — and a future persistent or remote backend only has to
+implement these methods.
+
+The protocol is ``runtime_checkable`` so wiring code (and the
+conformance tests) can assert ``isinstance(store, StorageBackend)``;
+being structural, third-party backends need no import of this module to
+conform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Protocol, runtime_checkable
+
+__all__ = ["StorageBackend"]
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Read/write surface a provenance store must provide.
+
+    Semantics every implementation must honour (the parity suites in
+    ``tests/storage`` assert them against the single-node reference):
+
+    * **upsert merge** — re-delivery of a key merges via
+      :func:`repro.storage.documents.merge_upsert_doc` (non-``None``
+      wins), so lifecycle updates collapse into one record;
+    * **insertion order** — ``find`` without ``sort`` returns documents
+      in global first-insertion order; sorts are stable with nulls last;
+    * **exactness** — indexes and routing are pure accelerators: every
+      result is verified against the full predicate, so no access path
+      may change *what* is returned, only how fast;
+    * **reserved field** — the key ``__shard_seq__`` belongs to the
+      storage layer (the sharded coordinator records global insertion
+      order in it and strips it on egress); documents must not use it.
+    """
+
+    # -- writes ---------------------------------------------------------------
+    def insert(self, doc: Mapping[str, Any]) -> None: ...
+
+    def insert_many(self, docs: Iterable[Mapping[str, Any]]) -> int: ...
+
+    def upsert(self, doc: Mapping[str, Any], key_field: str = "task_id") -> bool: ...
+
+    def upsert_many(
+        self, docs: Iterable[Mapping[str, Any]], key_field: str = "task_id"
+    ) -> int: ...
+
+    def clear(self) -> None: ...
+
+    # -- reads ----------------------------------------------------------------
+    def __len__(self) -> int: ...
+
+    def all(self) -> list[dict[str, Any]]: ...
+
+    def find(
+        self,
+        filt: Mapping[str, Any] | None = None,
+        *,
+        sort: list[tuple[str, int]] | None = None,
+        limit: int | None = None,
+        projection: list[str] | None = None,
+    ) -> list[dict[str, Any]]: ...
+
+    def find_one(
+        self, filt: Mapping[str, Any] | None = None
+    ) -> dict[str, Any] | None: ...
+
+    def count(self, filt: Mapping[str, Any] | None = None) -> int: ...
+
+    def distinct(
+        self, path: str, filt: Mapping[str, Any] | None = None
+    ) -> list[Any]: ...
+
+    def field_counts(
+        self, path: str, filt: Mapping[str, Any] | None = None
+    ) -> dict[Any, int]: ...
+
+    # -- aggregation / introspection -------------------------------------------
+    def aggregate(self, pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]: ...
+
+    def explain(self, filt: Mapping[str, Any] | None = None) -> dict[str, Any]: ...

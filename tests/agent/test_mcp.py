@@ -94,3 +94,70 @@ class TestServerClient:
         server = client._server
         resp = server.handle(MCPRequest(method="bogus/method"))
         assert not resp.ok
+
+
+class TestAgentStorageResources:
+    """Agent-level MCP wiring for keeper ingest stats and DB tallies."""
+
+    def _agent(self, with_keeper=True, with_query_api=True):
+        from repro.capture.context import CaptureContext
+        from repro.agent.agent import ProvenanceAgent
+        from repro.provenance.keeper import ProvenanceKeeper
+        from repro.provenance.query_api import QueryAPI
+
+        ctx = CaptureContext()
+        keeper = ProvenanceKeeper(ctx.broker) if with_keeper else None
+        if keeper is not None:
+            keeper.start()
+        agent = ProvenanceAgent(
+            ctx,
+            keeper=keeper,
+            query_api=QueryAPI(keeper.database) if with_query_api and keeper else None,
+        )
+        return ctx, keeper, agent
+
+    def test_lineage_stats_embeds_keeper_ingest_stats(self):
+        ctx, keeper, agent = self._agent()
+        ctx.broker.publish(
+            "provenance.task",
+            {
+                "task_id": "t1",
+                "campaign_id": "c1",
+                "workflow_id": "w1",
+                "activity_id": "a",
+                "status": "FINISHED",
+                "type": "task",
+            },
+        )
+        ctx.broker.publish("provenance.task", {"task_id": "", "status": "FINISHED"})
+        stats = MCPClient(agent.mcp).read_resource("lineage-stats")
+        assert stats["ingest"]["accepted"] == 1
+        assert stats["ingest"]["rejected"] == 1
+        assert "tasks" in stats  # the lineage half is still there
+
+    def test_lineage_stats_without_keeper_keeps_old_shape(self):
+        _, _, agent = self._agent(with_keeper=False, with_query_api=False)
+        stats = MCPClient(agent.mcp).read_resource("lineage-stats")
+        assert "ingest" not in stats
+        assert stats["tasks"] == 0
+
+    def test_db_status_counts_resource_uses_query_api(self):
+        ctx, keeper, agent = self._agent()
+        ctx.broker.publish(
+            "provenance.task",
+            {
+                "task_id": "t1",
+                "campaign_id": "c1",
+                "workflow_id": "w1",
+                "activity_id": "a",
+                "status": "FAILED",
+                "type": "task",
+            },
+        )
+        client = MCPClient(agent.mcp)
+        assert "db-status-counts" in client.list_resources()
+        assert client.read_resource("db-status-counts") == {"FAILED": 1}
+
+    def test_no_db_resource_without_query_api(self):
+        _, _, agent = self._agent(with_keeper=True, with_query_api=False)
+        assert "db-status-counts" not in MCPClient(agent.mcp).list_resources()

@@ -184,3 +184,93 @@ class TestDistributedKeepers:
         broker.publish(TASK_TOPIC, task_payload())
         assert k1.processed_count == 1
         assert k2.processed_count == 1
+
+
+class TestIngestStats:
+    def test_stats_snapshot_counts_accepted_and_rejected(self, setup):
+        broker, keeper = setup
+        broker.publish_batch(
+            TASK_TOPIC,
+            [
+                task_payload("t1"),
+                {"task_id": "", "status": "FINISHED"},  # schema violation
+                task_payload("t-bad", used=5),  # malformed
+                task_payload("t2"),
+            ],
+        )
+        stats = keeper.stats()
+        assert stats["keeper_id"] == keeper.keeper_id
+        assert stats["accepted"] == 2
+        assert stats["rejected"] == 2
+        assert stats["rejection_reasons"]["malformed payload"] == 1
+        assert sum(stats["rejection_reasons"].values()) == 2
+
+    def test_stats_is_a_snapshot_not_a_live_view(self, setup):
+        broker, keeper = setup
+        broker.publish(TASK_TOPIC, task_payload())
+        snap = keeper.stats()
+        broker.publish(TASK_TOPIC, task_payload("t2"))
+        assert snap["accepted"] == 1
+        assert keeper.stats()["accepted"] == 2
+
+    def test_schema_reasons_keep_their_message(self, setup):
+        broker, keeper = setup
+        broker.publish(TASK_TOPIC, {"task_id": "", "status": "FINISHED"})
+        reasons = keeper.stats()["rejection_reasons"]
+        assert len(reasons) == 1
+        (reason,) = reasons
+        assert "malformed" not in reason
+
+    def test_reason_buckets_fold_embedded_payload_values(self, setup):
+        # reasons embedding task ids / bad values must share one bucket,
+        # not mint a new one per rejected message
+        broker, keeper = setup
+        for i in range(20):
+            broker.publish(
+                TASK_TOPIC,
+                task_payload(f"skewed-{i}", started_at=10.0, ended_at=1.0),
+            )
+            broker.publish(TASK_TOPIC, task_payload(f"odd-{i}", status=f"BOGUS-{i}"))
+        reasons = keeper.stats()["rejection_reasons"]
+        assert len(reasons) == 2
+        assert sum(reasons.values()) == 40
+
+    def test_concurrent_batches_account_exactly(self):
+        import threading
+
+        keeper = ProvenanceKeeper(InProcessBroker())
+        n_threads, per_thread = 4, 60
+
+        def writer(worker):
+            for i in range(0, per_thread, 10):
+                keeper.ingest_batch(
+                    [
+                        task_payload(f"w{worker}-t{i + j}")
+                        for j in range(8)
+                    ]
+                    + [{"task_id": "", "status": "FINISHED"}] * 2
+                )
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = keeper.stats()
+        assert stats["accepted"] == n_threads * (per_thread // 10) * 8
+        assert stats["rejected"] == n_threads * (per_thread // 10) * 2
+        assert len(keeper.database) == stats["accepted"]
+
+    def test_keeper_over_sharded_store_groups_per_shard(self):
+        from repro.storage import ShardedProvenanceStore
+
+        store = ShardedProvenanceStore(4, ingest_parallel_min=1)
+        keeper = ProvenanceKeeper(InProcessBroker(), store)
+        keeper.ingest_batch(
+            [task_payload(f"t{i}", workflow_id=f"wf-{i % 6}") for i in range(30)]
+        )
+        assert len(store) == 30
+        assert sum(len(s) > 0 for s in store.shards) > 1  # actually spread
+        assert keeper.stats()["accepted"] == 30

@@ -77,6 +77,56 @@ class TestTaskReads:
         assert [t["task_id"] for t in api.agent_interactions()] == ["tool-1"]
 
 
+class TestCounts:
+    def test_counts_matches_group_aggregation(self, api):
+        assert api.counts("status") == {"FINISHED": 2, "FAILED": 1}
+        rows = api.database.aggregate(
+            [{"$group": {"_id": "$status", "n": {"$sum": 1}}}]
+        )
+        assert api.counts("status") == {r["_id"]: r["n"] for r in rows}
+
+    def test_counts_includes_null_bucket(self, api):
+        api.database.upsert({"task_id": "t9", "type": "task"})
+        assert api.counts("status")[None] == 1
+
+    def test_counts_with_filter(self, api):
+        assert api.counts("status", {"type": "task"}) == {
+            "FINISHED": 1,
+            "FAILED": 1,
+        }
+
+    def test_catalogue_reads_skip_materialisation(self, api, monkeypatch):
+        # workflows()/campaigns()/counts() must answer from the index,
+        # never by walking documents (the scan fallback and every find
+        # funnel through _execute_filter, so poisoning it proves the
+        # fast path was taken)
+        def boom(*a, **k):  # pragma: no cover - fails the test if called
+            raise AssertionError("scanned documents for a catalogue read")
+
+        monkeypatch.setattr(api.database, "_execute_filter", boom)
+        assert api.workflows() == ["w1"]
+        assert api.campaigns() == ["c1"]
+        assert api.counts("status")["FINISHED"] == 2
+        # a filtered read is allowed (and expected) to scan
+        with pytest.raises(AssertionError):
+            api.counts("status", {"type": "task"})
+
+    def test_counts_over_sharded_store(self):
+        from repro.storage import ShardedProvenanceStore
+
+        store = ShardedProvenanceStore(3)
+        store.upsert_many(
+            [
+                {"task_id": f"t{i}", "workflow_id": f"w{i % 4}", "type": "task",
+                 "status": "FINISHED" if i % 2 else "FAILED"}
+                for i in range(12)
+            ]
+        )
+        api = QueryAPI(store)
+        assert api.counts("status") == {"FAILED": 6, "FINISHED": 6}
+        assert set(api.workflows()) == {"w0", "w1", "w2", "w3"}
+
+
 class TestViews:
     def test_to_frame_flattens(self, api):
         frame = api.to_frame({"type": "task"})

@@ -1,0 +1,131 @@
+"""The StorageBackend seam: conformance, compat aliases, drop-in consumers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messaging.broker import InProcessBroker
+from repro.provenance.keeper import ProvenanceKeeper, TASK_TOPIC
+from repro.provenance.query_api import QueryAPI
+from repro.storage import (
+    ProvenanceDatabase,
+    ShardedProvenanceStore,
+    StorageBackend,
+)
+
+
+def task_payload(task_id="t1", workflow_id="w1", **overrides):
+    doc = {
+        "task_id": task_id,
+        "campaign_id": "c1",
+        "workflow_id": workflow_id,
+        "activity_id": "square",
+        "used": {"x": 3},
+        "generated": {"y": 9},
+        "started_at": 1.0,
+        "ended_at": 2.0,
+        "status": "FINISHED",
+        "type": "task",
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestProtocolConformance:
+    def test_single_node_conforms(self):
+        assert isinstance(ProvenanceDatabase(), StorageBackend)
+
+    def test_sharded_conforms(self):
+        assert isinstance(ShardedProvenanceStore(4), StorageBackend)
+
+    def test_non_backend_rejected(self):
+        assert not isinstance(object(), StorageBackend)
+
+    def test_every_protocol_method_present_on_both(self):
+        for method in (
+            "insert",
+            "insert_many",
+            "upsert",
+            "upsert_many",
+            "find",
+            "find_one",
+            "count",
+            "distinct",
+            "field_counts",
+            "aggregate",
+            "explain",
+            "all",
+            "clear",
+        ):
+            assert callable(getattr(ProvenanceDatabase(), method))
+            assert callable(getattr(ShardedProvenanceStore(2), method))
+
+
+class TestCompatAliases:
+    def test_provenance_database_module_still_imports(self):
+        from repro.provenance.database import (
+            DEFAULT_EQUALITY_INDEX_FIELDS,
+            DEFAULT_RANGE_INDEX_FIELDS,
+            ProvenanceDatabase as Legacy,
+            get_path,
+            merge_upsert_doc,
+        )
+
+        assert Legacy is ProvenanceDatabase
+        assert get_path({"a": {"b": 1}}, "a.b") == 1
+        assert merge_upsert_doc({"x": 1}, {"x": None})["x"] == 1
+        assert "task_id" in DEFAULT_EQUALITY_INDEX_FIELDS
+        assert "duration" in DEFAULT_RANGE_INDEX_FIELDS
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.ShardedProvenanceStore is ShardedProvenanceStore
+        assert repro.StorageBackend is StorageBackend
+
+
+@pytest.fixture(params=["single", "sharded"])
+def backend(request):
+    if request.param == "single":
+        return ProvenanceDatabase()
+    return ShardedProvenanceStore(3)
+
+
+class TestDropInConsumers:
+    def test_keeper_ingests_into_any_backend(self, backend):
+        broker = InProcessBroker()
+        keeper = ProvenanceKeeper(broker, backend)
+        keeper.start()
+        broker.publish_batch(
+            TASK_TOPIC,
+            [task_payload(f"t{i}", workflow_id=f"w{i % 3}") for i in range(9)],
+        )
+        broker.publish(TASK_TOPIC, task_payload("t0", status="FAILED"))
+        assert keeper.processed_count == 10
+        assert len(backend) == 9  # t0 re-delivery collapsed
+        assert backend.find_one({"task_id": "t0"})["status"] == "FAILED"
+
+    def test_query_api_over_any_backend(self, backend):
+        backend.upsert_many(
+            [task_payload(f"t{i}", workflow_id=f"w{i % 2}") for i in range(6)]
+        )
+        api = QueryAPI(backend)
+        assert {t["task_id"] for t in api.tasks()} == {f"t{i}" for i in range(6)}
+        assert set(api.workflows()) == {"w0", "w1"}
+        assert api.status_counts() == {"FINISHED": 6}
+        assert api.counts("workflow_id") == {"w0": 3, "w1": 3}
+        assert api.task("t3")["workflow_id"] == "w1"
+        # traversal views build from the same find() surface
+        assert api.graph().is_acyclic()
+
+    def test_explain_reports_a_plan_everywhere(self, backend):
+        backend.upsert_many([task_payload(f"t{i}") for i in range(4)])
+        plan = QueryAPI(backend).explain({"workflow_id": "w1"})
+        assert plan["total_docs"] == 4
+        assert plan["candidates"] == 4
+        if isinstance(backend, ShardedProvenanceStore):
+            assert plan["backend"] == "sharded"
+            assert plan["strategy"] in ("targeted", "scatter")
+            assert plan["shards"]
+        else:
+            assert plan["strategy"] == "index"
