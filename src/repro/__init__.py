@@ -33,6 +33,8 @@ Subsystem packages (see DESIGN.md for the full inventory):
 """
 
 from repro.agent.agent import AgentReply, ProvenanceAgent
+from repro.agent.service import AgentService
+from repro.agent.session import AgentSession
 from repro.capture.context import CaptureContext, WorkflowRun
 from repro.capture.instrumentation import flow_task
 from repro.dataframe import DataFrame
@@ -41,6 +43,7 @@ from repro.llm.service import ChatRequest, ChatResponse, LLMServer
 from repro.messaging.broker import InProcessBroker
 from repro.provenance.keeper import ProvenanceKeeper
 from repro.provenance.query_api import QueryAPI
+from repro.query.cache import QueryCache
 from repro.storage import (
     ProvenanceDatabase,
     ShardedProvenanceStore,
@@ -51,6 +54,9 @@ __version__ = "0.9.0"
 
 __all__ = [
     "AgentReply",
+    "AgentService",
+    "AgentSession",
+    "QueryCache",
     "CaptureContext",
     "ChatRequest",
     "ChatResponse",

@@ -16,14 +16,22 @@ Components map one-to-one onto Figure 4:
 * :mod:`recorder` — provenance *of* the agent: tool executions and LLM
   interactions recorded as W3C-PROV-style task messages (§4.2);
 * :mod:`mcp` — a minimal Model Context Protocol server/client pair;
-* :mod:`agent` — the facade: ``ProvenanceAgent.chat("which bond ...")``.
+* :mod:`session` — :class:`AgentSession`, one user's conversation state
+  (history, prompt config, guidelines, recorder identity);
+* :mod:`service` — :class:`AgentService`, the multi-session gateway:
+  shared tools/LLM/cache, worker-pool turn execution with per-session
+  ordering;
+* :mod:`agent` — the single-session facade:
+  ``ProvenanceAgent.chat("which bond ...")``.
 """
 
 from repro.agent.schema import DynamicDataflowSchema
 from repro.agent.guidelines import GuidelineStore, STATIC_GUIDELINES
 from repro.agent.context_manager import ContextManager
 from repro.agent.prompts import PromptBuilder, PromptConfig
-from repro.agent.agent import AgentReply, ProvenanceAgent
+from repro.agent.session import AgentReply, AgentSession
+from repro.agent.service import AgentService
+from repro.agent.agent import ProvenanceAgent
 
 __all__ = [
     "DynamicDataflowSchema",
@@ -33,5 +41,7 @@ __all__ = [
     "PromptBuilder",
     "PromptConfig",
     "ProvenanceAgent",
+    "AgentService",
+    "AgentSession",
     "AgentReply",
 ]

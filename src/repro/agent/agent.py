@@ -1,4 +1,4 @@
-"""ProvenanceAgent: the user-facing facade (paper Fig. 4, §5.3).
+"""ProvenanceAgent: the single-session facade (paper Fig. 4, §5.3).
 
 ``agent.chat("Which bond has the highest dissociation free energy?")``
 routes the message (greeting / guideline / plot / monitoring /
@@ -7,49 +7,36 @@ LLM interaction as provenance (§4.2), and returns an
 :class:`AgentReply` carrying the summary text, the generated code, the
 tabular result, and the chart when one was requested — the same answer
 anatomy as the paper's GUI.
+
+Since the serving-layer refactor the heavy lifting lives in
+:class:`~repro.agent.service.AgentService`, which serves many
+concurrent sessions over shared infrastructure.  ``ProvenanceAgent``
+is the thin single-user wrapper: it owns one service with one
+``"default"`` session and exposes the pre-refactor attribute surface
+(``context_manager``, ``query_tool``, ``mcp``, ``turns``, ...)
+unchanged.  Multi-user callers should hold an ``AgentService``
+directly and create one session per user.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
-from repro.agent.context_manager import ContextManager
-from repro.agent.monitor import ContextMonitor
-from repro.agent.nl_tokens import extract_ids, looks_id_shaped
 from repro.agent.prompts import PromptConfig
-from repro.agent.recorder import AgentProvenanceRecorder
-from repro.agent.router import Intent, ToolRouter
-from repro.agent.tools.anomaly import AnomalyDetectorTool
-from repro.agent.tools.base import Tool, ToolRegistry, ToolResult
-from repro.agent.tools.db_query import DatabaseQueryTool
-from repro.agent.tools.graph_query import GraphQueryTool
-from repro.agent.tools.in_memory_query import FULL_CONTEXT, InMemoryQueryTool
-from repro.agent.tools.plotting import PlottingTool
-from repro.agent.tools.summarize import SummaryTool, summarize
-from repro.agent.mcp.server import MCPServer
+from repro.agent.service import AgentService
+from repro.agent.session import AgentReply, AgentSession
+from repro.agent.tools.base import Tool
+from repro.agent.tools.in_memory_query import FULL_CONTEXT
 from repro.capture.context import CaptureContext
-from repro.dataframe import DataFrame
-from repro.lineage import LineageIndex, LineageService
+from repro.lineage import LineageIndex
 from repro.llm.service import LLMServer
 from repro.provenance.keeper import ProvenanceKeeper
 from repro.provenance.query_api import QueryAPI
 
 __all__ = ["ProvenanceAgent", "AgentReply"]
 
-
-@dataclass
-class AgentReply:
-    """Everything the GUI would show for one turn."""
-
-    text: str
-    intent: Intent
-    ok: bool = True
-    code: str | None = None
-    table: DataFrame | None = None
-    chart: str | None = None
-    error: str | None = None
-    details: dict[str, Any] = field(default_factory=dict)
+#: the facade's one session
+DEFAULT_SESSION_ID = "default"
 
 
 class ProvenanceAgent:
@@ -67,200 +54,114 @@ class ProvenanceAgent:
         prompt_config: PromptConfig = FULL_CONTEXT,
         agent_id: str = "provenance-agent",
     ):
-        self.capture_context = capture_context
-        #: optional keeper whose ingest stats the MCP surface exposes;
-        #: its lineage index is reused when no explicit one is given
-        self.keeper = keeper
-        self.llm = llm or LLMServer()
-        self.model = model
-        self.context_manager = ContextManager(capture_context.broker).start()
-        self.recorder = AgentProvenanceRecorder(capture_context, agent_id=agent_id)
-        self.router = ToolRouter()
-        self.registry = ToolRegistry()
-
-        self.query_tool = InMemoryQueryTool(
-            self.context_manager, self.llm, model=model, prompt_config=prompt_config
+        self.service = AgentService(
+            capture_context,
+            llm=llm,
+            model=model,
+            query_api=query_api,
+            lineage=lineage,
+            keeper=keeper,
+            prompt_config=prompt_config,
+            agent_id=agent_id,
         )
-        self.registry.register(self.query_tool)
-        self.plot_tool = PlottingTool(self.query_tool)
-        self.registry.register(self.plot_tool)
-        self.anomaly_tool = AnomalyDetectorTool(
-            self.context_manager, capture_context.broker
+        # the default session keeps the pre-refactor identities (plain
+        # agent_id / "agent-session" workflow) and shares the context
+        # manager's guideline store, which the MCP "guidelines" resource
+        # and prompt assembly historically read
+        self.session: AgentSession = self.service.create_session(
+            DEFAULT_SESSION_ID,
+            agent_id=agent_id,
+            workflow_id="agent-session",
+            guidelines=self.service.context_manager.guidelines,
         )
-        self.registry.register(self.anomaly_tool)
-        self.registry.register(SummaryTool())
-        if query_api is not None:
-            self.db_tool: DatabaseQueryTool | None = DatabaseQueryTool(
-                query_api, self.context_manager, self.llm, model=model,
-                prompt_config=prompt_config,
-            )
-            self.registry.register(self.db_tool)
-        else:
-            self.db_tool = None
-
-        # live lineage: use the caller's index (e.g. one a keeper already
-        # feeds) or run our own broker-fed service, replaying retained
-        # history so lineage questions work on campaigns that ran before
-        # the agent attached
-        if lineage is None and keeper is not None:
-            lineage = keeper.lineage_index
-        if lineage is not None:
-            self.lineage = lineage
-            self.lineage_service: LineageService | None = None
-        else:
-            self.lineage_service = LineageService(capture_context.broker).start(
-                replay=True
-            )
-            self.lineage = self.lineage_service.index
-        self.graph_tool = GraphQueryTool(self.lineage)
-        self.registry.register(self.graph_tool)
-
-        self.monitor = ContextMonitor(self.context_manager)
-        self.mcp = MCPServer(self.registry)
-        self.mcp.add_resource(
-            "dataflow-schema", self.context_manager.schema_payload
-        )
-        self.mcp.add_resource("example-values", self.context_manager.values_payload)
-        self.mcp.add_resource("lineage-stats", self._lineage_stats)
-        if query_api is not None:
-            # shares QueryAPI.counts, the same indexed tally the
-            # monitoring surface uses for status breakdowns
-            self.mcp.add_resource(
-                "db-status-counts", lambda: query_api.counts("status")
-            )
-        self.mcp.add_resource(
-            "guidelines",
-            lambda: [g.text for g in self.context_manager.guidelines.all()],
-        )
-        self.turns: list[AgentReply] = []
-
-    # -- bring your own tool -----------------------------------------------------
-    def register_tool(self, tool: Tool) -> None:
-        self.registry.register(tool)
-
-    # -- MCP resources -----------------------------------------------------------
-    def _lineage_stats(self) -> dict[str, Any]:
-        """Live lineage stats, with keeper ingest accounting when wired."""
-        stats: dict[str, Any] = self.lineage.stats()
-        if self.keeper is not None:
-            stats["ingest"] = self.keeper.stats()
-        return stats
 
     # -- chat -----------------------------------------------------------------------
     def chat(self, message: str) -> AgentReply:
-        intent = self.router.classify(message)
-        started = self.capture_context.clock.now()
+        return self.service.chat(DEFAULT_SESSION_ID, message)
 
-        if intent == Intent.GREETING:
-            reply = AgentReply(
-                text=(
-                    "Hello! I am the provenance agent. Ask me about running "
-                    "or completed workflow tasks, their data, telemetry, or "
-                    "where they ran."
-                ),
-                intent=intent,
-            )
-        elif intent == Intent.ADD_GUIDELINE:
-            self.context_manager.add_user_guideline(message)
-            reply = AgentReply(
-                text=(
-                    "Understood — I stored that as a session guideline and "
-                    "will apply it to future queries (it overrides any "
-                    "conflicting earlier guideline)."
-                ),
-                intent=intent,
-            )
-        elif intent == Intent.VISUALIZATION:
-            reply = self._tool_turn(self.plot_tool, message, intent)
-        elif intent == Intent.LINEAGE_QUERY:
-            reply = self._tool_turn(self.graph_tool, message, intent)
-            if not reply.ok and not any(
-                looks_id_shaped(t) for t in extract_ids(message)
-            ):
-                # traversal vocabulary around quoted free text (activity
-                # names, guideline fragments) — not a real task id; the
-                # LLM-backed monitoring tool answered these before the
-                # lineage intent existed, so hand the question back to it
-                intent = Intent.MONITORING_QUERY
-                reply = self._tool_turn(self.query_tool, message, intent)
-        elif intent == Intent.HISTORICAL_QUERY and self.db_tool is not None:
-            reply = self._tool_turn(self.db_tool, message, intent)
-        else:
-            reply = self._tool_turn(self.query_tool, message, intent)
+    # -- bring your own tool -----------------------------------------------------
+    def register_tool(self, tool: Tool) -> None:
+        self.service.register_tool(tool)
 
-        ended = self.capture_context.clock.now()
-        tool_name = {
-            Intent.GREETING: "greeting",
-            Intent.ADD_GUIDELINE: "add_guideline",
-            Intent.VISUALIZATION: self.plot_tool.name,
-            Intent.LINEAGE_QUERY: self.graph_tool.name,
-            Intent.HISTORICAL_QUERY: getattr(self.db_tool, "name", "db"),
-            Intent.MONITORING_QUERY: self.query_tool.name,
-        }[intent]
-        tool_task_id = self.recorder.record_tool_execution(
-            tool_name,
-            {"message": message},
-            {"ok": reply.ok, "summary": reply.text[:200]},
-            started_at=started,
-            ended_at=ended,
-            failed=not reply.ok,
-        )
-        if intent in (
-            Intent.VISUALIZATION,
-            Intent.HISTORICAL_QUERY,
-            Intent.MONITORING_QUERY,
-        ):
-            response = self.query_tool.last_response
-            if response is not None:
-                self.recorder.record_llm_interaction(
-                    response.model,
-                    message,
-                    response.text,
-                    started_at=started,
-                    ended_at=started + response.latency_s,
-                    informed_by=tool_task_id,
-                    prompt_tokens=response.prompt_tokens,
-                    output_tokens=response.output_tokens,
-                )
-        self.capture_context.flush()
-        self.turns.append(reply)
-        return reply
+    # -- pre-refactor attribute surface (delegation) -----------------------------
+    @property
+    def capture_context(self) -> CaptureContext:
+        return self.service.capture_context
 
-    # -- internals -----------------------------------------------------------------------
-    def _tool_turn(self, tool: Tool, message: str, intent: Intent) -> AgentReply:
-        result: ToolResult = tool.invoke(question=message)
-        if not result.ok:
-            return AgentReply(
-                text=(
-                    f"I could not answer that: {result.summary}. "
-                    f"The generated query was shown below so you can correct "
-                    f"it or add a guideline."
-                ),
-                intent=intent,
-                ok=False,
-                code=result.code,
-                error=result.error,
-            )
-        chart = None
-        table = None
-        data = result.data
-        if intent == Intent.VISUALIZATION:
-            chart = data if isinstance(data, str) else None
-            text = f"Here is the chart you asked for ({result.summary})."
-        elif intent == Intent.LINEAGE_QUERY:
-            # the graph tool's summary already names the traversal shape
-            # ("4 task(s) upstream of ..."), which beats a generic row dump
-            table = data if isinstance(data, DataFrame) else None
-            text = (result.summary or summarize(data, message)).rstrip(".") + "."
-            text = text[0].upper() + text[1:]
-        else:
-            table = data if isinstance(data, DataFrame) else None
-            text = summarize(data, message)
-        return AgentReply(
-            text=text,
-            intent=intent,
-            code=result.code,
-            table=table,
-            chart=chart,
-            details=result.details,
-        )
+    @property
+    def keeper(self) -> "ProvenanceKeeper | None":
+        return self.service.keeper
+
+    @property
+    def llm(self) -> LLMServer:
+        return self.service.llm
+
+    @property
+    def model(self) -> str:
+        return self.service.model
+
+    @property
+    def context_manager(self):
+        return self.service.context_manager
+
+    @property
+    def recorder(self):
+        return self.session.recorder
+
+    @property
+    def router(self):
+        return self.service.router
+
+    @property
+    def registry(self):
+        return self.service.registry
+
+    @property
+    def query_tool(self):
+        return self.service.query_tool
+
+    @property
+    def plot_tool(self):
+        return self.service.plot_tool
+
+    @property
+    def anomaly_tool(self):
+        return self.service.anomaly_tool
+
+    @property
+    def db_tool(self):
+        return self.service.db_tool
+
+    @property
+    def graph_tool(self):
+        return self.service.graph_tool
+
+    @property
+    def lineage(self):
+        return self.service.lineage
+
+    @property
+    def lineage_service(self):
+        return self.service.lineage_service
+
+    @property
+    def monitor(self):
+        return self.service.monitor
+
+    @property
+    def mcp(self):
+        return self.service.mcp
+
+    @property
+    def turns(self) -> list[AgentReply]:
+        return self.session.turns
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        self.service.close()
+
+    def __enter__(self) -> "ProvenanceAgent":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -9,6 +9,14 @@ Subscribes to the streaming hub and maintains (paper §4.2):
 
 The buffer is bounded (monitoring recent/active runs); the schema is
 not — it is already volume-independent by construction.
+
+The frame view is maintained **incrementally**: messages that arrive
+after a frame was built accumulate in a small pending list, and the
+next :meth:`ContextManager.to_frame` appends just those rows to the
+cached frame (numpy-level column concatenation when dtypes allow), so
+steady-state monitoring queries cost O(new messages) instead of
+rebuilding the whole buffer.  Only once the bounded deque starts
+evicting does the cache fall back to a full rebuild.
 """
 
 from __future__ import annotations
@@ -17,14 +25,50 @@ import threading
 from collections import deque
 from typing import Any, Mapping
 
+import numpy as np
+
 from repro.agent.guidelines import GuidelineStore
 from repro.agent.schema import DynamicDataflowSchema
 from repro.dataframe import DataFrame
+from repro.dataframe.column import Column
 from repro.messaging.broker import Broker, Subscription
 from repro.messaging.message import Envelope
 from repro.provenance.messages import TaskProvenanceMessage
 
 __all__ = ["ContextManager"]
+
+
+def _append_frames(cached: DataFrame, delta: DataFrame) -> DataFrame:
+    """Row-append ``delta`` to ``cached``, matching a full rebuild exactly.
+
+    Columns present on both sides with the *same* dtype concatenate at
+    the numpy storage level (null encodings agree, and dtype inference
+    is stable under concatenation of two same-dtype value sets).  Any
+    column missing on one side, or with differing dtypes, rebuilds from
+    Python values so the inferred dtype is identical to what
+    ``DataFrame.from_records`` over the combined rows would choose.
+    """
+    n_cached, n_delta = len(cached), len(delta)
+    if n_cached == 0:
+        return delta
+    if n_delta == 0:
+        return cached
+    cols: dict[str, Column] = {}
+    names = list(cached.columns)
+    names += [c for c in delta.columns if c not in cached]
+    for name in names:
+        a = cached.column(name) if name in cached else None
+        b = delta.column(name) if name in delta else None
+        if a is not None and b is not None and a.dtype == b.dtype:
+            cols[name] = Column._from_storage(
+                name, np.concatenate([a.values, b.values]), a.dtype
+            )
+        else:
+            vals = (a.to_list() if a is not None else [None] * n_cached) + (
+                b.to_list() if b is not None else [None] * n_delta
+            )
+            cols[name] = Column(name, vals)
+    return DataFrame._from_columns(cols, n_cached + n_delta)
 
 
 class ContextManager:
@@ -47,6 +91,11 @@ class ContextManager:
         self._subscription: Subscription | None = None
         self._lock = threading.RLock()
         self._frame_cache: DataFrame | None = None
+        #: flat records ingested since the cached frame was built; the
+        #: next to_frame() appends exactly these (bounded: once the
+        #: deque evicts, the cache is marked stale and this stays empty)
+        self._frame_pending: list[dict[str, Any]] = []
+        self._frame_stale = False
         self.messages_received = 0
 
     # -- lifecycle -------------------------------------------------------------
@@ -73,16 +122,35 @@ class ContextManager:
         flat = msg.flatten()
         with self._lock:
             self.messages_received += 1
+            evicting = len(self._buffer) == self._buffer.maxlen
             self._buffer.append(flat)
             self.schema.update(msg.to_dict())
-            self._frame_cache = None
+            if evicting:
+                # rows fell off the front: the cached frame can no
+                # longer be extended, only rebuilt
+                self._frame_stale = True
+                self._frame_pending.clear()
+            elif self._frame_cache is not None and not self._frame_stale:
+                self._frame_pending.append(flat)
 
     # -- views ------------------------------------------------------------------------
     def to_frame(self) -> DataFrame:
-        """The in-memory context as a flattened DataFrame (cached)."""
+        """The in-memory context as a flattened DataFrame.
+
+        Cached and maintained incrementally: new messages since the
+        last call are appended to the cached frame (O(new messages) of
+        Python work); a full rebuild happens only on the first call and
+        after buffer eviction.
+        """
         with self._lock:
-            if self._frame_cache is None:
+            if self._frame_cache is None or self._frame_stale:
                 self._frame_cache = DataFrame.from_records(list(self._buffer))
+                self._frame_stale = False
+                self._frame_pending.clear()
+            elif self._frame_pending:
+                delta = DataFrame.from_records(self._frame_pending)
+                self._frame_cache = _append_frames(self._frame_cache, delta)
+                self._frame_pending.clear()
             return self._frame_cache
 
     def recent(self, n: int = 10) -> list[dict[str, Any]]:

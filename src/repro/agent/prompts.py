@@ -14,7 +14,7 @@ from typing import Any, Mapping
 
 from repro.llm import prompt_format as pf
 
-__all__ = ["PromptConfig", "PromptBuilder", "FEW_SHOT_EXAMPLES"]
+__all__ = ["PromptConfig", "PromptBuilder", "FEW_SHOT_EXAMPLES", "cached_builder"]
 
 
 @dataclass(frozen=True)
@@ -145,3 +145,18 @@ class PromptBuilder:
             parts.append(pf.render_section(pf.SECTION_GUIDELINES, guidelines_text))
         parts.append(pf.render_section(pf.SECTION_USER_QUERY, user_query))
         return "\n".join(parts)
+
+
+#: process-wide builder cache; PromptBuilder is stateless (it holds only
+#: its frozen config), so instances are safely shared across sessions,
+#: tools, and threads.  Writes race benignly: two threads may build the
+#: same config once each, one wins the slot.
+_BUILDER_CACHE: dict[PromptConfig, PromptBuilder] = {}
+
+
+def cached_builder(config: PromptConfig) -> PromptBuilder:
+    """A shared :class:`PromptBuilder` for ``config`` (per-turn hot path)."""
+    builder = _BUILDER_CACHE.get(config)
+    if builder is None:
+        builder = _BUILDER_CACHE[config] = PromptBuilder(config)
+    return builder

@@ -1,0 +1,101 @@
+"""Per-session conversation state for the agent serving layer.
+
+The reference architecture (paper §5.3, Fig. 4) puts the agent behind a
+service boundary that many interactive users query concurrently.  What
+actually differs between those users is small: their conversation
+history, their prompt configuration, their session guidelines, and the
+identity their turns are recorded under.  :class:`AgentSession` holds
+exactly that — everything else (tools, router, LLM server, context
+manager, lineage, MCP) is shared infrastructure owned by
+:class:`~repro.agent.service.AgentService`.
+
+Sessions are cheap: creating one allocates a guideline store and a
+recorder identity, nothing else.  A session's turns execute strictly in
+submission order (the service guarantees per-session FIFO), so the
+mutable state here is only ever touched by one turn at a time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agent.guidelines import GuidelineStore
+from repro.agent.prompts import PromptConfig
+from repro.agent.recorder import AgentProvenanceRecorder
+from repro.agent.router import Intent
+from repro.dataframe import DataFrame
+
+__all__ = ["AgentReply", "AgentSession"]
+
+
+@dataclass
+class AgentReply:
+    """Everything the GUI would show for one turn."""
+
+    text: str
+    intent: Intent
+    ok: bool = True
+    code: str | None = None
+    table: DataFrame | None = None
+    chart: str | None = None
+    error: str | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class AgentSession:
+    """One user's conversation state behind the agent gateway.
+
+    Holds only what cannot be shared: history, prompt configuration,
+    session guidelines, and the provenance identity turns are recorded
+    under.  The serving queue fields (``_pending`` / ``_draining``) are
+    owned by the service and implement per-session FIFO ordering.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        *,
+        recorder: AgentProvenanceRecorder,
+        prompt_config: PromptConfig,
+        model: str,
+        guidelines: GuidelineStore | None = None,
+    ):
+        self.session_id = session_id
+        self.recorder = recorder
+        self.prompt_config = prompt_config
+        self.model = model
+        #: session guidelines (static set + this user's additions); NOT
+        #: shared across sessions — one user's "use the field lr ..."
+        #: must never steer another user's prompts
+        self.guidelines = guidelines if guidelines is not None else GuidelineStore()
+        #: every reply, in turn order (the facade's ``agent.turns``)
+        self.turns: list[AgentReply] = []
+        #: (user message, reply) pairs, in turn order
+        self.history: list[tuple[str, AgentReply]] = []
+
+        # -- serving queue (owned by AgentService) ---------------------------
+        self._pending: deque[tuple[str, Future]] = deque()
+        self._draining = False
+        self._queue_lock = threading.Lock()
+        self._drainer_thread: int | None = None
+
+    # -- convenience ----------------------------------------------------------
+    @property
+    def turn_count(self) -> int:
+        return len(self.turns)
+
+    def guidelines_text(self) -> str:
+        return self.guidelines.render()
+
+    def add_user_guideline(self, text: str) -> None:
+        self.guidelines.add_user_guideline(text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AgentSession({self.session_id!r}, turns={len(self.turns)}, "
+            f"model={self.model!r})"
+        )

@@ -14,6 +14,19 @@ built only from candidate documents instead of the whole store.  If executing ov
 frame fails (e.g. a column that only exists on excluded documents), the
 tool transparently retries against the unfiltered frame, so pushdown
 never changes observable behaviour.
+
+Repeated questions stay fast at traffic: a versioned
+:class:`~repro.query.QueryCache` (shared with the Query API) memoises
+the executed result keyed on ``(parsed query IR, base filter, store
+version)``.  Keying on the *IR* — not the question text — means every
+phrasing that parses to the same pipeline shares one entry across all
+sessions, and the store-version component invalidates exactly when new
+provenance arrives.  ``details["cache"]`` reports hit/miss per call.
+
+Like the in-memory tool, the instance is shared across sessions: turns
+pass ``prompt_config`` / ``guidelines_text`` / ``model`` as per-call
+overrides, and the LLM response rides in
+``details["llm_response"]``.
 """
 
 from __future__ import annotations
@@ -21,13 +34,14 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.agent.context_manager import ContextManager
-from repro.agent.prompts import PromptBuilder, PromptConfig
+from repro.agent.prompts import PromptConfig, cached_builder
 from repro.agent.tools.base import Tool, ToolResult
 from repro.agent.tools.in_memory_query import FULL_CONTEXT, _describe
 from repro.errors import QueryExecutionError, QuerySyntaxError
 from repro.llm.service import ChatRequest, LLMServer
-from repro.provenance.query_api import QueryAPI
+from repro.provenance.query_api import QueryAPI, store_version
 from repro.query import execute_query, parse_query
+from repro.query.cache import MISS, QueryCache, canonical_filter_key
 from repro.query.pushdown import merge_filters, pipeline_prefilter
 
 __all__ = ["DatabaseQueryTool"]
@@ -51,14 +65,19 @@ class DatabaseQueryTool(Tool):
         prompt_config: PromptConfig = FULL_CONTEXT,
         base_filter: Mapping[str, Any] | None = None,
         pushdown: bool = True,
+        cache: QueryCache | None = None,
     ):
         self.query_api = query_api
         self.context_manager = context_manager
         self.llm = llm
         self.model = model
-        self.builder = PromptBuilder(prompt_config)
+        self.builder = cached_builder(prompt_config)
         self.base_filter = dict(base_filter or {"type": "task"})
         self.pushdown = pushdown
+        #: result cache; defaults to the Query API's own, so tool and
+        #: facade share one hit accounting per store
+        self.cache = cache if cache is not None else query_api.cache
+        self._base_filter_key = canonical_filter_key(self.base_filter)
 
     def input_schema(self) -> dict[str, Any]:
         return {
@@ -72,14 +91,22 @@ class DatabaseQueryTool(Tool):
         if not question:
             return ToolResult(ok=False, summary="empty question", error="no question")
         cm = self.context_manager
-        prompt = self.builder.build(
+        guidelines_text = kwargs.get("guidelines_text")
+        if guidelines_text is None:
+            guidelines_text = cm.guidelines_text()
+        model = kwargs.get("model") or self.model
+        prompt_config = kwargs.get("prompt_config")
+        builder = (
+            self.builder if prompt_config is None else cached_builder(prompt_config)
+        )
+        prompt = builder.build(
             question,
             schema_payload=cm.schema_payload(),
             values_payload=cm.values_payload(),
-            guidelines_text=cm.guidelines_text(),
+            guidelines_text=guidelines_text,
         )
         response = self.llm.complete(
-            ChatRequest(model=self.model, prompt=prompt, query_id=question)
+            ChatRequest(model=model, prompt=prompt, query_id=question)
         )
         code = response.text.strip()
         try:
@@ -90,7 +117,32 @@ class DatabaseQueryTool(Tool):
                 summary="the model did not return a valid query",
                 code=code,
                 error=str(exc),
+                details={"llm_response": response},
             )
+        # version read BEFORE any store read: a write racing this turn
+        # strands the entry under a stamp that never matches again
+        version = store_version(self.query_api.database)
+        key = None
+        if version is not None and self._base_filter_key is not None:
+            key = ("db_query", self._base_filter_key, pipeline)
+            try:
+                hash(key)
+            except TypeError:
+                # the IR is frozen but its literals come from model
+                # output and may be unhashable (list comparisons);
+                # such queries bypass the cache instead of failing
+                key = None
+        if key is not None:
+            cached = self.cache.get(key, version)
+            if cached is not MISS:
+                summary, result = cached
+                return ToolResult(
+                    ok=True,
+                    summary=summary,
+                    data=list(result) if isinstance(result, list) else result,
+                    code=code,
+                    details={"cache": "hit", "llm_response": response},
+                )
         prefilter = pipeline_prefilter(pipeline) if self.pushdown else {}
         frame = self.query_api.to_frame(merge_filters(self.base_filter, prefilter))
         try:
@@ -110,7 +162,18 @@ class DatabaseQueryTool(Tool):
                 summary="the generated query failed against the database",
                 code=code,
                 error=str(exc),
+                details={"llm_response": response},
             )
+        summary = _describe(result)
+        if key is not None:
+            # copy list results so a caller mutating its answer cannot
+            # poison later hits (frames/scalars are immutable)
+            stored = list(result) if isinstance(result, list) else result
+            self.cache.put(key, version, (summary, stored))
         return ToolResult(
-            ok=True, summary=_describe(result), data=result, code=code
+            ok=True,
+            summary=summary,
+            data=result,
+            code=code,
+            details={"cache": "miss", "llm_response": response},
         )

@@ -5,6 +5,16 @@ execute on the Context Manager's live frame.  The generated code and
 any runtime error are part of the result, mirroring the paper's GUI
 that "displays the code generated and executed on the in-memory
 DataFrame, including any runtime errors".
+
+The tool instance is **shared infrastructure**: one instance serves
+every session behind :class:`~repro.agent.service.AgentService`, so a
+turn passes its session's context — ``prompt_config``,
+``guidelines_text``, ``model`` — as per-call overrides instead of the
+tool holding per-user state.  The LLM response that produced the
+answer rides along in ``ToolResult.details["llm_response"]`` so the
+caller can record the interaction without reaching into tool state
+(the legacy ``last_response`` attribute remains for single-session
+compatibility but is unreliable under concurrency).
 """
 
 from __future__ import annotations
@@ -12,7 +22,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.agent.context_manager import ContextManager
-from repro.agent.prompts import PromptBuilder, PromptConfig
+from repro.agent.prompts import PromptConfig, cached_builder
 from repro.agent.tools.base import Tool, ToolResult
 from repro.errors import QueryExecutionError, QuerySyntaxError
 from repro.llm.service import ChatRequest, LLMServer
@@ -46,7 +56,7 @@ class InMemoryQueryTool(Tool):
         self.context_manager = context_manager
         self.llm = llm
         self.model = model
-        self.builder = PromptBuilder(prompt_config)
+        self.builder = cached_builder(prompt_config)
         self.max_retries = max_retries
         self.last_response = None
 
@@ -63,11 +73,19 @@ class InMemoryQueryTool(Tool):
             return ToolResult(ok=False, summary="empty question", error="no question")
 
         cm = self.context_manager
-        prompt = self.builder.build(
+        prompt_config = kwargs.get("prompt_config")
+        builder = (
+            self.builder if prompt_config is None else cached_builder(prompt_config)
+        )
+        guidelines_text = kwargs.get("guidelines_text")
+        if guidelines_text is None:
+            guidelines_text = cm.guidelines_text()
+        model = kwargs.get("model") or self.model
+        prompt = builder.build(
             question,
             schema_payload=cm.schema_payload(),
             values_payload=cm.values_payload(),
-            guidelines_text=cm.guidelines_text(),
+            guidelines_text=guidelines_text,
         )
         frame = cm.to_frame()
 
@@ -80,7 +98,7 @@ class InMemoryQueryTool(Tool):
         for attempt in range(self.max_retries + 1):
             response = self.llm.complete(
                 ChatRequest(
-                    model=self.model, prompt=prompt, query_id=question, rep=attempt
+                    model=model, prompt=prompt, query_id=question, rep=attempt
                 )
             )
             self.last_response = response
@@ -93,7 +111,11 @@ class InMemoryQueryTool(Tool):
                     summary="the model did not return a valid query",
                     code=code,
                     error=str(exc),
-                    details={"latency_s": response.latency_s, "attempts": attempt + 1},
+                    details={
+                        "latency_s": response.latency_s,
+                        "attempts": attempt + 1,
+                        "llm_response": response,
+                    },
                 )
                 continue
             try:
@@ -104,7 +126,11 @@ class InMemoryQueryTool(Tool):
                     summary="the generated query failed at runtime",
                     code=code,
                     error=str(exc),
-                    details={"latency_s": response.latency_s, "attempts": attempt + 1},
+                    details={
+                        "latency_s": response.latency_s,
+                        "attempts": attempt + 1,
+                        "llm_response": response,
+                    },
                 )
                 continue
             if _degenerate(result) and attempt < self.max_retries:
@@ -119,6 +145,7 @@ class InMemoryQueryTool(Tool):
                     "prompt_tokens": response.prompt_tokens,
                     "output_tokens": response.output_tokens,
                     "attempts": attempt + 1,
+                    "llm_response": response,
                 },
             )
         assert last_error is not None

@@ -40,17 +40,27 @@ class PlottingTool(Tool):
 
     def invoke(self, **kwargs: Any) -> ToolResult:
         question = str(kwargs.get("question", ""))
+        # per-session context (prompt_config / guidelines_text / model)
+        # flows through to the data-retrieval tool untouched
+        session_kwargs = {
+            k: kwargs[k]
+            for k in ("prompt_config", "guidelines_text", "model")
+            if k in kwargs
+        }
         # pass the question as phrased (known phrasings resolve directly);
         # retry with the plot language stripped if the first pass fails
-        inner = self.query_tool.invoke(question=question)
+        inner = self.query_tool.invoke(question=question, **session_kwargs)
         if not inner.ok:
-            inner = self.query_tool.invoke(question=_strip_plot_language(question))
+            inner = self.query_tool.invoke(
+                question=_strip_plot_language(question), **session_kwargs
+            )
         if not inner.ok:
             return ToolResult(
                 ok=False,
                 summary="could not retrieve data for the plot",
                 code=inner.code,
                 error=inner.error,
+                details=_carry_llm(inner),
             )
         result = inner.data
         if not isinstance(result, DataFrame) or result.empty:
@@ -59,6 +69,7 @@ class PlottingTool(Tool):
                 summary="query did not return plottable rows",
                 code=inner.code,
                 error="need a non-empty tabular result",
+                details=_carry_llm(inner),
             )
         label_col, value_col = _pick_axes(result)
         if label_col is None or value_col is None:
@@ -67,6 +78,7 @@ class PlottingTool(Tool):
                 summary="result has no categorical/numeric column pair",
                 code=inner.code,
                 error="cannot infer plot axes",
+                details=_carry_llm(inner),
             )
         chart = bar_chart(
             labels=[str(v) for v in result.column(label_col).to_list()],
@@ -78,8 +90,16 @@ class PlottingTool(Tool):
             summary=f"bar chart of {value_col} by {label_col}",
             data=chart,
             code=inner.code,
-            details={"label_column": label_col, "value_column": value_col},
+            details=dict(
+                _carry_llm(inner), label_column=label_col, value_column=value_col
+            ),
         )
+
+
+def _carry_llm(inner: ToolResult) -> dict[str, Any]:
+    """Propagate the data tool's LLM response for provenance recording."""
+    response = inner.details.get("llm_response")
+    return {"llm_response": response} if response is not None else {}
 
 
 def _strip_plot_language(question: str) -> str:

@@ -9,10 +9,27 @@ interface fidelity; the paper pins it to zero, and reps still vary
 slightly through the seeded rep coordinate — matching the paper's
 observation that "LLMs can still produce slight variations even with
 the temperature set to zero".
+
+The server is **shared infrastructure**: one instance serves every
+session behind the agent gateway, with concurrent ``complete`` calls
+from the serving worker pool.  Request accounting (counts, token
+totals, a latency reservoir with percentiles) lives behind a lock and
+is exposed as a :meth:`stats` snapshot; the generation pipeline itself
+is pure, so no lock is held while a request is being served.
+
+``realtime_factor`` optionally *sleeps* a scaled fraction of each
+response's simulated latency, turning the virtual cost model into real
+wall-clock I/O wait — which is what a remote LLM endpoint looks like to
+the serving layer, and what lets the serving benchmark overlap turns
+across worker threads the way production would overlap network calls.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from bisect import bisect_left, insort
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -24,6 +41,10 @@ from repro.llm.prompt_reading import perceive
 from repro.llm.tokenizer import count_tokens
 
 __all__ = ["ChatRequest", "ChatResponse", "LLMServer"]
+
+#: latency reservoir bound: enough for stable tail percentiles, small
+#: enough that insort stays cheap on the request path
+_MAX_LATENCY_SAMPLES = 4096
 
 
 @dataclass
@@ -58,12 +79,29 @@ class ChatResponse:
 
 
 class LLMServer:
-    """Serves chat completions for all registered simulated models."""
+    """Serves chat completions for all registered simulated models.
 
-    def __init__(self) -> None:
+    Thread-safe: many sessions' turns may call :meth:`complete`
+    concurrently.  Generation is pure computation; only the accounting
+    update takes the stats lock.
+    """
+
+    def __init__(self, *, realtime_factor: float = 0.0) -> None:
+        if realtime_factor < 0:
+            raise ValueError(f"realtime_factor must be >= 0, got {realtime_factor}")
         self.request_count = 0
         self.history: list[tuple[ChatRequest, ChatResponse]] = []
         self.keep_history = False
+        #: sleep ``latency_s * realtime_factor`` per request (0 = off)
+        self.realtime_factor = realtime_factor
+        self._stats_lock = threading.Lock()
+        self._prompt_tokens_total = 0
+        self._output_tokens_total = 0
+        self._simulated_latency_total_s = 0.0
+        #: sorted reservoir of the most recent simulated latencies,
+        #: paired with a FIFO so eviction drops the oldest sample
+        self._latencies: list[float] = []
+        self._latency_fifo: deque[float] = deque()
 
     def complete(self, request: ChatRequest) -> ChatResponse:
         profile = get_profile(request.model)
@@ -98,10 +136,51 @@ class LLMServer:
             truncated=perceived.truncated,
             failures=list(result.failures),
         )
-        self.request_count += 1
-        if self.keep_history:
-            self.history.append((request, response))
+        with self._stats_lock:
+            self.request_count += 1
+            self._prompt_tokens_total += prompt_tokens
+            self._output_tokens_total += output_tokens
+            self._simulated_latency_total_s += latency
+            if len(self._latency_fifo) >= _MAX_LATENCY_SAMPLES:
+                oldest = self._latency_fifo.popleft()
+                i = bisect_left(self._latencies, oldest)
+                if i < len(self._latencies) and self._latencies[i] == oldest:
+                    self._latencies.pop(i)
+            self._latency_fifo.append(latency)
+            insort(self._latencies, latency)
+            if self.keep_history:
+                self.history.append((request, response))
+        if self.realtime_factor:
+            # outside the lock: this is the (simulated) network wait, and
+            # it is exactly what concurrent sessions overlap
+            time.sleep(latency * self.realtime_factor)
         return response
+
+    # -- stats -----------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Consistent snapshot of request accounting (thread-safe).
+
+        Latency percentiles are over the simulated per-request
+        latencies (seconds) in a bounded most-recent reservoir; token
+        totals and request counts are exact since construction.
+        """
+        with self._stats_lock:
+            lat = self._latencies
+            n = len(lat)
+            return {
+                "requests": self.request_count,
+                "prompt_tokens": self._prompt_tokens_total,
+                "output_tokens": self._output_tokens_total,
+                "total_tokens": (
+                    self._prompt_tokens_total + self._output_tokens_total
+                ),
+                "simulated_latency_total_s": self._simulated_latency_total_s,
+                "latency_p50_s": lat[int(0.50 * (n - 1))] if n else None,
+                "latency_p90_s": lat[int(0.90 * (n - 1))] if n else None,
+                "latency_p99_s": lat[int(0.99 * (n - 1))] if n else None,
+                "latency_max_s": lat[-1] if n else None,
+                "realtime_factor": self.realtime_factor,
+            }
 
     # -- convenience ----------------------------------------------------------
     def models(self) -> list[str]:

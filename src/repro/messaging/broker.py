@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import BrokerClosedError
@@ -76,12 +77,24 @@ class Subscription:
     batch in one call (e.g. the Provenance Keeper's batched upsert path)
     receive one ``batch_callback(envelopes)`` per matching batch publish
     instead of N ``callback(envelope)`` invocations.
+
+    The private fields implement out-of-lock delivery: matching
+    envelopes are *enqueued* to ``_pending`` under the broker lock
+    (which fixes the per-subscription order), then delivered outside it
+    by whichever publisher thread owns the ``_delivering`` flag — so a
+    slow consumer convoys neither other publishers nor other
+    subscriptions.
     """
 
     pattern: str
     callback: Callable[[Envelope], None]
     sid: int
     batch_callback: Callable[[list[Envelope]], None] | None = None
+    #: FIFO of ("single", Envelope) / ("batch", [Envelope, ...]) items
+    _pending: deque = field(default_factory=deque, repr=False)
+    #: True while one thread is draining ``_pending`` (others enqueue only)
+    _delivering: bool = field(default=False, repr=False)
+    _dlock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
 class Broker(ABC):
@@ -137,6 +150,28 @@ class InProcessBroker(Broker):
         self._log: list[Envelope] = []
 
     # -- publishing ------------------------------------------------------------
+    #
+    # Publish is split in two so the global lock is held only for
+    # bookkeeping, never through subscriber code: under the lock the
+    # envelopes are logged and *enqueued* onto each matching
+    # subscription's FIFO (which pins the per-subscription delivery
+    # order to the global publish order); outside the lock the caller
+    # drains those queues, with a per-subscription ``_delivering`` flag
+    # guaranteeing one drainer at a time.  Concurrent publishers
+    # therefore serialise only on the cheap enqueue — a slow subscriber
+    # blocks neither other publishers nor other subscriptions — while
+    # each subscriber still observes every message exactly once, in
+    # order, and (in the single-threaded case) synchronously within the
+    # publish call, exactly as before.
+    #
+    # Consistency caveat: when ANOTHER thread currently owns a
+    # subscription's drain, publish() returns after enqueueing and that
+    # thread completes the delivery moments later.  Concurrent
+    # publishers therefore get per-subscription ordered, at-most-
+    # briefly-deferred delivery rather than strict read-your-writes —
+    # the trade the paper's asynchronous bulk-streaming hub makes
+    # anyway (capture must never block on consumers).  Single-threaded
+    # publishers keep the old synchronous behaviour.
     def publish(self, topic: str, payload: Mapping[str, Any], **headers: Any) -> Envelope:
         validate_topic(topic)
         with self._lock:
@@ -148,8 +183,10 @@ class InProcessBroker(Broker):
                 headers=headers,
             )
             self.simulated_cost_s += self.profile.batch_cost([env.size_bytes()])
-            self._record_and_deliver([env], batched=False)
-            return env
+            targets = self._enqueue([env], batched=False)
+        for sub in targets:
+            self._drain(sub)
+        return env
 
     def publish_batch(
         self, topic: str, payloads: Iterable[Mapping[str, Any]]
@@ -164,44 +201,86 @@ class InProcessBroker(Broker):
             self.simulated_cost_s += self.profile.batch_cost(
                 e.size_bytes() for e in envs
             )
-            self._record_and_deliver(envs, batched=True)
-            return envs
+            targets = self._enqueue(envs, batched=True)
+        for sub in targets:
+            self._drain(sub)
+        return envs
 
-    def _record_and_deliver(self, envs: list[Envelope], *, batched: bool) -> None:
-        subs = list(self._subs.values())
+    def _enqueue(
+        self, envs: list[Envelope], *, batched: bool
+    ) -> list[Subscription]:
+        """Log the envelopes and queue matching delivery work (under lock).
+
+        Returns the subscriptions that received new work, in
+        registration order.  Batch publishes enqueue one ``("batch",
+        envelopes)`` item for batch-capable subscribers — one callback
+        per batch, regardless of size — and per-envelope items
+        otherwise.
+        """
         for env in envs:
             self.published_count += 1
             self._log.append(env)
-        if not batched:
-            # plain publish: deliver in subscriber registration order
-            for env in envs:
-                for sub in subs:
-                    if topic_matches(sub.pattern, env.topic):
-                        self._deliver_one(sub, env)
-            return
-        # batch publish: batch-capable subscribers get one call per batch,
-        # regardless of batch size
-        for sub in subs:
+        targets: list[Subscription] = []
+        for sub in self._subs.values():
             matched = [e for e in envs if topic_matches(sub.pattern, e.topic)]
             if not matched:
                 continue
-            if sub.batch_callback is not None:
-                try:
-                    sub.batch_callback(matched)
-                    self.delivered_count += len(matched)
-                except Exception as exc:  # noqa: BLE001 - consumer isolation
-                    # every envelope in the failed batch is a lost message
-                    self.delivery_errors.extend((env, exc) for env in matched)
+            if batched and sub.batch_callback is not None:
+                sub._pending.append(("batch", matched))
             else:
-                for env in matched:
-                    self._deliver_one(sub, env)
+                sub._pending.extend(("single", e) for e in matched)
+            targets.append(sub)
+        return targets
+
+    def _drain(self, sub: Subscription) -> None:
+        """Deliver ``sub``'s queued items until empty (outside the lock).
+
+        The ``_delivering`` flag admits one drainer at a time; losing
+        the race is fine because the winner cannot observe the queue
+        empty (and release ownership) without seeing items we enqueued
+        first — emptiness check and flag release happen in one
+        ``_dlock`` section, and every enqueue precedes its ``_drain``
+        call.
+        """
+        with sub._dlock:
+            if sub._delivering or not sub._pending:
+                return
+            sub._delivering = True
+        try:
+            while True:
+                with sub._dlock:
+                    if not sub._pending:
+                        sub._delivering = False
+                        return
+                    item = sub._pending.popleft()
+                self._deliver_item(sub, item)
+        except BaseException:  # pragma: no cover - interpreter shutdown paths
+            with sub._dlock:
+                sub._delivering = False
+            raise
+
+    def _deliver_item(self, sub: Subscription, item: tuple[str, Any]) -> None:
+        kind, data = item
+        if kind == "batch":
+            try:
+                sub.batch_callback(data)  # type: ignore[misc]
+                with self._lock:
+                    self.delivered_count += len(data)
+            except Exception as exc:  # noqa: BLE001 - consumer isolation
+                # every envelope in the failed batch is a lost message
+                with self._lock:
+                    self.delivery_errors.extend((env, exc) for env in data)
+        else:
+            self._deliver_one(sub, data)
 
     def _deliver_one(self, sub: Subscription, env: Envelope) -> None:
         try:
             sub.callback(env)
-            self.delivered_count += 1
+            with self._lock:
+                self.delivered_count += 1
         except Exception as exc:  # noqa: BLE001 - consumer isolation
-            self.delivery_errors.append((env, exc))
+            with self._lock:
+                self.delivery_errors.append((env, exc))
 
     # -- subscriptions ------------------------------------------------------------
     def subscribe(

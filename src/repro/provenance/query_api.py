@@ -18,6 +18,17 @@ query planner, and — on a sharded store — single-shard routing; see
 (:meth:`workflows`, :meth:`campaigns`, :meth:`activities`,
 :meth:`counts`) answer from the store's indexed distinct-values path
 instead of materialising documents.
+
+**Result caching**: frame materialisation (:meth:`to_frame`) is the
+expensive read on the interactive path, and interactive questions
+repeat.  A versioned :class:`~repro.query.QueryCache` fronts it, keyed
+on ``(canonical filter, store version)`` — repeated questions answer
+from cache until new provenance bumps the store's
+:meth:`~repro.storage.backend.StorageBackend.version`.  The same cache
+instance is shared with the agent's database tool (which keys on parsed
+query IR), and :meth:`explain` reports its hit accounting.  Stores that
+do not implement ``version()`` (minimal third-party backends) simply
+bypass the cache.
 """
 
 from __future__ import annotations
@@ -26,16 +37,36 @@ from typing import Any, Mapping
 
 from repro.dataframe import DataFrame
 from repro.provenance.graph import ProvenanceGraph
+from repro.query.cache import MISS, QueryCache, canonical_filter_key
 from repro.storage import StorageBackend
 
-__all__ = ["QueryAPI"]
+__all__ = ["QueryAPI", "store_version"]
+
+
+def store_version(database: Any) -> int | None:
+    """The backend's monotonic write stamp, or None when unsupported."""
+    reader = getattr(database, "version", None)
+    if reader is None:
+        return None
+    try:
+        return int(reader())
+    except Exception:  # noqa: BLE001 - a broken stamp must only disable caching
+        return None
 
 
 class QueryAPI:
     """High-level read access to stored provenance."""
 
-    def __init__(self, database: StorageBackend):
+    def __init__(
+        self,
+        database: StorageBackend,
+        *,
+        cache: QueryCache | None = None,
+    ):
         self.database = database
+        #: versioned result cache shared with the agent's database tool;
+        #: pass an explicit QueryCache to share one across facades
+        self.cache = cache or QueryCache(max_entries=128)
 
     # -- task-level reads -----------------------------------------------------
     def tasks(
@@ -83,9 +114,16 @@ class QueryAPI:
 
         Single-node stores report index-vs-scan; a sharded store
         additionally reports its routing decision (targeted vs scatter,
-        the shards visited, and each shard's plan).
+        the shards visited, and each shard's plan).  When result caching
+        is active the plan also carries the cache's hit accounting under
+        ``"cache"`` (hits, misses, hit_rate, invalidations) and the
+        store version cache keys are pinned to.
         """
-        return self.database.explain(filt)
+        plan = dict(self.database.explain(filt))
+        version = store_version(self.database)
+        if version is not None:
+            plan["cache"] = dict(self.cache.stats(), store_version=version)
+        return plan
 
     def agent_interactions(self) -> list[dict[str, Any]]:
         """Tool executions and LLM interactions the agent recorded (§4.2)."""
@@ -95,9 +133,30 @@ class QueryAPI:
 
     # -- frame / graph views ------------------------------------------------------
     def to_frame(self, filt: Mapping[str, Any] | None = None) -> DataFrame:
-        """Flattened DataFrame view so the query IR can run on history."""
+        """Flattened DataFrame view so the query IR can run on history.
+
+        Cached per ``(canonical filter, store version)``: the version is
+        read *before* the find, so a write racing the materialisation
+        can only strand the entry under a stamp that never matches again
+        (see :mod:`repro.query.cache`), never serve stale rows.
+        DataFrames are immutable, so cache hits share one object safely.
+        """
+        version = store_version(self.database)
+        key = None
+        if version is not None:
+            filter_key = canonical_filter_key(filt)
+            # unhashable filter leaves (sets, arrays) cannot be keyed
+            # distinctly — bypass rather than collapse onto one entry
+            if filter_key is not None:
+                key = ("to_frame", filter_key)
+                frame = self.cache.get(key, version)
+                if frame is not MISS:
+                    return frame
         docs = self.database.find(filt)
-        return DataFrame.from_records(docs, flatten=True)
+        frame = DataFrame.from_records(docs, flatten=True)
+        if key is not None:
+            self.cache.put(key, version, frame)
+        return frame
 
     def graph(self, filt: Mapping[str, Any] | None = None) -> ProvenanceGraph:
         return ProvenanceGraph.from_database(self.database, filt)

@@ -15,7 +15,9 @@ keeps token usage independent of provenance volume).  This package defines:
   queries, the shared core of rule-based scoring and the simulated
   LLM-as-a-judge;
 * :mod:`repro.query.pushdown` — leading pipeline filters -> Mongo-style
-  prefilters answered by the provenance store's indexes.
+  prefilters answered by the provenance store's indexes;
+* :mod:`repro.query.cache` — :class:`QueryCache`, the versioned query
+  result cache fronting the Query API and the agent's database tool.
 
 The full step/predicate/aggregation grammar is documented in
 ``docs/query_surface.md``.
@@ -46,6 +48,7 @@ from repro.query.ast import (
     Tail,
     Unique,
 )
+from repro.query.cache import MISS, QueryCache, canonical_filter_key
 from repro.query.parser import parse_query
 from repro.query.render import render_query
 from repro.query.executor import execute_query
@@ -80,4 +83,7 @@ __all__ = [
     "execute_query",
     "compare_queries",
     "QueryDiff",
+    "QueryCache",
+    "canonical_filter_key",
+    "MISS",
 ]

@@ -1,0 +1,151 @@
+"""Versioned query-result cache for interactive serving.
+
+Interactive provenance analysis is extremely repetitive: many sessions
+ask the same handful of questions ("how many tasks failed?", "average
+duration per activity") against a store that only changes when new
+provenance arrives.  :class:`QueryCache` memoises query results keyed on
+``(normalized query key, store version)``:
+
+* the **key** canonicalises the query — a parsed query-IR
+  :class:`~repro.query.ast.Pipeline` (frozen dataclasses, hashes
+  structurally) or a Mongo-style filter document via
+  :func:`canonical_filter_key` — so textual re-phrasings that parse to
+  the same IR share one entry;
+* the **version** is the storage backend's monotonic
+  :meth:`~repro.storage.backend.StorageBackend.version` stamp.  New
+  provenance bumps it, so every entry cached before the write misses
+  from then on — invalidation is free and exact, with no TTLs and no
+  write hooks.
+
+Usage discipline (what makes this race-free against concurrent
+writers): read ``store.version()`` **before** executing the query and
+store the result under that pre-read stamp.  A write that lands during
+execution bumps the version, so the (possibly torn) result is cached
+under a stamp that can never match again — stale entries are
+unreachable by construction, at worst a superfluous re-execution.
+
+The cache is shared infrastructure (one per served store, many
+sessions), so it is thread-safe and LRU-bounded.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+__all__ = ["QueryCache", "canonical_filter_key", "MISS"]
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<cache miss>"
+
+
+MISS = _Miss()
+
+
+def canonical_filter_key(filt: Mapping[str, Any] | None) -> Hashable | None:
+    """Order-insensitive hashable form of a Mongo-style filter document.
+
+    ``{"a": 1, "b": 2}`` and ``{"b": 2, "a": 1}`` collapse to the same
+    key; ``$and``/``$or`` argument *order* is preserved (it is
+    semantically order-free but normalising it is not worth the cost).
+    Returns ``None`` for filters containing unhashable leaf values
+    (regex patterns compare by identity, sets are unordered) — such
+    queries simply bypass the cache.
+    """
+    try:
+        return _canon(dict(filt) if filt else {})
+    except TypeError:
+        return None
+
+
+def _canon(value: Any) -> Hashable:
+    if isinstance(value, Mapping):
+        return ("d",) + tuple(
+            sorted(((str(k), _canon(v)) for k, v in value.items()))
+        )
+    if isinstance(value, (list, tuple)):
+        return ("l",) + tuple(_canon(v) for v in value)
+    hash(value)  # raises TypeError for sets, patterns, arrays, ...
+    # type-tag scalars so 1, 1.0 and True (equal, same hash) cannot
+    # collide into one entry while rendering different results
+    return (type(value).__name__, value)
+
+
+class QueryCache:
+    """Thread-safe LRU cache of query results keyed by (key, version).
+
+    One instance fronts one store.  ``get``/``put`` take the store
+    version explicitly so the caller controls the read-before-execute
+    ordering (see module docstring).  A stale entry (same key, older
+    version) is evicted on sight and counted as an invalidation.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, tuple[int, Any]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    # -- core ------------------------------------------------------------------
+    def get(self, key: Hashable | None, version: int) -> Any:
+        """Cached value for ``key`` at ``version``, or :data:`MISS`."""
+        if key is None:
+            return MISS
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == version:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry[1]
+            if entry is not None:
+                # new provenance arrived since this was cached
+                del self._entries[key]
+                self._invalidations += 1
+            self._misses += 1
+            return MISS
+
+    def put(self, key: Hashable | None, version: int, value: Any) -> None:
+        if key is None:
+            return
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing[0] > version:
+                # a fresher result landed while we executed; keep it
+                return
+            self._entries[key] = (version, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- introspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot: hits, misses, hit rate, invalidations, size."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / total) if total else 0.0,
+                "invalidations": self._invalidations,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }

@@ -111,4 +111,9 @@ def execute_query(pipeline: q.Pipeline, frame: DataFrame) -> Any:
         raise QueryExecutionError(str(exc)) from exc
     except DataFrameError as exc:
         raise QueryExecutionError(str(exc)) from exc
+    except (TypeError, ValueError) as exc:
+        # e.g. numpy refusing to broadcast a column against a list
+        # literal the model emitted — an execution failure the agent
+        # must surface in the reply, not an escaping crash
+        raise QueryExecutionError(str(exc)) from exc
     return current

@@ -41,7 +41,14 @@ class StorageBackend(Protocol):
       may change *what* is returned, only how fast;
     * **reserved field** — the key ``__shard_seq__`` belongs to the
       storage layer (the sharded coordinator records global insertion
-      order in it and strips it on egress); documents must not use it.
+      order in it and strips it on egress); documents must not use it;
+    * **versioning** — :meth:`version` is monotonically non-decreasing
+      and changes whenever a write *may* have changed store contents
+      (including ``clear``; it must never reset).  Two calls returning
+      the same value guarantee the store's readable contents did not
+      change in between, which is what lets the query-result cache
+      (:class:`repro.query.QueryCache`) serve repeated reads without
+      re-executing them.
     """
 
     # -- writes ---------------------------------------------------------------
@@ -89,3 +96,5 @@ class StorageBackend(Protocol):
     def aggregate(self, pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]: ...
 
     def explain(self, filt: Mapping[str, Any] | None = None) -> dict[str, Any]: ...
+
+    def version(self) -> int: ...

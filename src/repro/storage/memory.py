@@ -315,6 +315,9 @@ class ProvenanceDatabase:
         self._docs: list[dict[str, Any]] = []
         self._by_key: dict[str, int] = {}
         self._lock = threading.RLock()
+        # monotonic write stamp: bumped by every mutating call (including
+        # clear), never reset — (key, version) cache entries stay correct
+        self._version = 0
         #: with copy_docs=False the caller transfers ownership of every
         #: ingested dict (the sharded coordinator does: it stamps a
         #: fresh copy per document before handing it to a shard), which
@@ -467,6 +470,7 @@ class ProvenanceDatabase:
     # -- writes -----------------------------------------------------------------
     def insert(self, doc: Mapping[str, Any]) -> None:
         with self._lock:
+            self._version += 1
             stored = dict(doc) if self._copy_docs else doc  # type: ignore[assignment]
             doc_id = len(self._docs)
             self._docs.append(stored)
@@ -475,6 +479,7 @@ class ProvenanceDatabase:
 
     def insert_many(self, docs: Iterable[Mapping[str, Any]]) -> int:
         with self._lock:
+            self._version += 1
             n = 0
             for d in docs:
                 stored = dict(d) if self._copy_docs else d  # type: ignore[assignment]
@@ -496,6 +501,7 @@ class ProvenanceDatabase:
         FINISHED update cannot erase telemetry captured at start.
         """
         with self._lock:
+            self._version += 1
             return self._upsert_locked(doc, key_field)
 
     def upsert_many(
@@ -508,6 +514,7 @@ class ProvenanceDatabase:
         trip instead of N.
         """
         with self._lock:
+            self._version += 1
             replaced = 0
             for d in docs:
                 if self._upsert_locked(d, key_field):
@@ -535,8 +542,14 @@ class ProvenanceDatabase:
         self._range_update(idx, old, merged)
         return True
 
+    def version(self) -> int:
+        """Monotonic write stamp; unchanged iff contents are unchanged."""
+        with self._lock:
+            return self._version
+
     def clear(self) -> None:
         with self._lock:
+            self._version += 1
             self._docs.clear()
             self._by_key.clear()
             self._eq_vals.clear()

@@ -546,6 +546,19 @@ class ShardedProvenanceStore:
                 return apply_pipeline_stages(self.find(arg), stages[1:])
         return apply_pipeline_stages(self.all(), stages)
 
+    def version(self) -> int:
+        """Monotonic write stamp: the sum of all shard versions.
+
+        Every write lands in exactly one shard (and bumps it), and shard
+        versions never reset — including on :meth:`clear`, which bumps
+        each shard — so the sum is monotonic and unchanged iff no shard
+        accepted a write.  Reading the shards in order without a global
+        lock is safe for cache use: a concurrent write can only make the
+        sum *larger* than the value a cached result was stored under,
+        never reproduce it.
+        """
+        return sum(shard.version() for shard in self.shards)
+
     def explain(self, filt: Mapping[str, Any] | None = None) -> dict[str, Any]:
         """The coordinator's routing decision plus each shard's plan."""
         filt = filt or {}

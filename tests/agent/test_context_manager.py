@@ -90,3 +90,74 @@ class TestPromptMaterial:
         cm.add_user_guideline("use the field lr to filter learning rates")
         assert "lr" in cm.guidelines_text()
         assert "override" in cm.guidelines_text()
+
+
+class TestIncrementalFrame:
+    """to_frame() appends only the delta; results match a full rebuild."""
+
+    def _rebuild(self, cm):
+        from repro.dataframe import DataFrame
+
+        return DataFrame.from_records(list(cm._buffer))
+
+    def _assert_matches_rebuild(self, cm):
+        frame, rebuilt = cm.to_frame(), self._rebuild(cm)
+        assert frame.columns == rebuilt.columns
+        for name in frame.columns:
+            a, b = frame.column(name), rebuilt.column(name)
+            assert a.dtype == b.dtype, name
+            assert a.to_list() == b.to_list(), name
+
+    def test_incremental_append_matches_full_rebuild(self, setup):
+        ctx, cm = setup
+        for i in range(3):
+            emit_task(ctx, i)
+        cm.to_frame()  # prime the cache
+        for i in range(3, 7):
+            emit_task(ctx, i)
+        self._assert_matches_rebuild(cm)
+        assert len(cm.to_frame()) == 7
+
+    def test_unchanged_buffer_returns_same_object(self, setup):
+        ctx, cm = setup
+        emit_task(ctx, 1)
+        f1 = cm.to_frame()
+        assert cm.to_frame() is f1  # no new messages: cache reused as-is
+
+    def test_new_columns_in_delta_backfill_nulls(self, setup):
+        ctx, cm = setup
+        emit_task(ctx, 1)
+        cm.to_frame()
+
+        @flow_task(context=ctx)
+        def cube(x):
+            return {"z": x ** 3}  # new generated.* column
+
+        cube(2)
+        ctx.flush()
+        self._assert_matches_rebuild(cm)
+        col = cm.to_frame().column("generated.z").to_list()
+        assert col[0] is None and col[1] == 8
+
+    def test_eviction_falls_back_to_full_rebuild(self):
+        ctx = CaptureContext()
+        cm = ContextManager(ctx.broker, buffer_size=4).start()
+        for i in range(3):
+            emit_task(ctx, i)
+        cm.to_frame()
+        for i in range(3, 9):  # overflows the deque: rows fall off
+            emit_task(ctx, i)
+        frame = cm.to_frame()
+        assert len(frame) == 4
+        assert frame.column("used.x").to_list() == [5, 6, 7, 8]
+
+    def test_many_increments_stay_consistent(self, setup):
+        ctx, cm = setup
+        for i in range(2):
+            emit_task(ctx, i)
+        cm.to_frame()
+        for i in range(2, 10):
+            emit_task(ctx, i)
+            cm.to_frame()  # append one row at a time
+        self._assert_matches_rebuild(cm)
+        assert cm.to_frame().column("used.x").to_list() == list(range(10))

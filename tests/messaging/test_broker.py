@@ -209,3 +209,102 @@ class TestEnvelope:
     def test_size_bytes_positive(self, broker):
         env = broker.publish("t.x", {"a": 1})
         assert env.size_bytes() > 20
+
+
+class TestOutOfLockDelivery:
+    """Publish must not hold the broker lock through subscriber code."""
+
+    def test_slow_subscriber_does_not_convoy_other_publishers(self, broker):
+        import time
+
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow(env):
+            started.set()
+            release.wait(5)
+
+        broker.subscribe("slow.#", slow)
+        got_fast = []
+        broker.subscribe("fast.#", got_fast.append)
+
+        t = threading.Thread(target=lambda: broker.publish("slow.1", {}))
+        t.start()
+        try:
+            assert started.wait(5), "slow delivery never started"
+            # pre-refactor this publish blocked on the broker lock until
+            # the slow callback returned; now it completes immediately
+            t0 = time.perf_counter()
+            broker.publish("fast.1", {"i": 1})
+            elapsed = time.perf_counter() - t0
+            assert elapsed < 2.0, f"publisher convoyed for {elapsed:.1f}s"
+            assert len(got_fast) == 1
+            assert not release.is_set()
+        finally:
+            release.set()
+            t.join(5)
+        assert not t.is_alive()
+
+    def test_racing_publishers_preserve_per_subscription_order(self, broker):
+        received = []
+        broker.subscribe("t.#", received.append)
+        n_each = 300
+
+        def publisher(pid: int) -> None:
+            for i in range(n_each):
+                broker.publish(f"t.p{pid}", {"pid": pid, "i": i})
+
+        threads = [threading.Thread(target=publisher, args=(p,)) for p in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(received) == 4 * n_each
+        assert broker.delivered_count == 4 * n_each
+        # delivery order equals the broker's global log order...
+        log_keys = [(e.payload["pid"], e.payload["i"]) for e in broker.history("t.#")]
+        got_keys = [(e.payload["pid"], e.payload["i"]) for e in received]
+        assert got_keys == log_keys
+        # ...and therefore each publisher's stream arrives in order
+        for pid in range(4):
+            stream = [i for p, i in got_keys if p == pid]
+            assert stream == list(range(n_each))
+
+    def test_racing_batch_publishers_keep_batches_intact(self, broker):
+        batches = []
+        broker.subscribe(
+            "t.#", lambda e: None, batch_callback=batches.append
+        )
+
+        def publisher(pid: int) -> None:
+            for i in range(50):
+                broker.publish_batch(
+                    f"t.p{pid}", [{"pid": pid, "i": i, "k": k} for k in range(4)]
+                )
+
+        threads = [threading.Thread(target=publisher, args=(p,)) for p in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(batches) == 200  # one callback per publish_batch call
+        assert all(len(b) == 4 for b in batches)
+        # batches from one publisher arrive in publish order
+        for pid in range(4):
+            seq = [b[0].payload["i"] for b in batches if b[0].payload["pid"] == pid]
+            assert seq == sorted(seq)
+        assert broker.delivered_count == 800
+
+    def test_callback_publishing_reentrantly_still_delivers_in_order(self, broker):
+        got = []
+
+        def chain(env):
+            got.append(env.topic)
+            if env.payload.get("hop", 0) < 3:
+                broker.publish("t.chain", {"hop": env.payload.get("hop", 0) + 1})
+
+        broker.subscribe("t.#", chain)
+        broker.publish("t.chain", {"hop": 0})
+        assert got == ["t.chain"] * 4
