@@ -10,12 +10,17 @@ anatomy as the paper's GUI.
 
 Since the serving-layer refactor the heavy lifting lives in
 :class:`~repro.agent.service.AgentService`, which serves many
-concurrent sessions over shared infrastructure.  ``ProvenanceAgent``
-is the thin single-user wrapper: it owns one service with one
-``"default"`` session and exposes the pre-refactor attribute surface
-(``context_manager``, ``query_tool``, ``mcp``, ``turns``, ...)
-unchanged.  Multi-user callers should hold an ``AgentService``
-directly and create one session per user.
+concurrent sessions over shared infrastructure, and since the gateway
+refactor every turn rides through the
+:class:`~repro.api.gateway.ProvenanceGateway` — the same versioned
+front door remote clients use — so facade traffic shows up in gateway
+stats and exercises the same code path as ``/v1/sessions/{id}/chat``.
+``ProvenanceAgent`` is the thin single-user wrapper: it owns one
+service + gateway with one ``"default"`` session and exposes the
+pre-refactor attribute surface (``context_manager``, ``query_tool``,
+``mcp``, ``turns``, ...) unchanged.  Multi-user callers should hold an
+``AgentService`` directly (or a :class:`~repro.api.GatewayClient`) and
+create one session per user.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.agent.service import AgentService
 from repro.agent.session import AgentReply, AgentSession
 from repro.agent.tools.base import Tool
 from repro.agent.tools.in_memory_query import FULL_CONTEXT
+from repro.api.gateway import ProvenanceGateway
 from repro.capture.context import CaptureContext
 from repro.lineage import LineageIndex
 from repro.llm.service import LLMServer
@@ -64,6 +70,9 @@ class ProvenanceAgent:
             prompt_config=prompt_config,
             agent_id=agent_id,
         )
+        #: the versioned front door; remote transports and this facade
+        #: share it, so all traffic lands in one stats surface
+        self.gateway = ProvenanceGateway(self.service)
         # the default session keeps the pre-refactor identities (plain
         # agent_id / "agent-session" workflow) and shares the context
         # manager's guideline store, which the MCP "guidelines" resource
@@ -77,7 +86,7 @@ class ProvenanceAgent:
 
     # -- chat -----------------------------------------------------------------------
     def chat(self, message: str) -> AgentReply:
-        return self.service.chat(DEFAULT_SESSION_ID, message)
+        return self.gateway.chat_native(DEFAULT_SESSION_ID, message)
 
     # -- bring your own tool -----------------------------------------------------
     def register_tool(self, tool: Tool) -> None:

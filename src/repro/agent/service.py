@@ -187,6 +187,8 @@ class AgentService:
         tool executions and LLM interactions of different users stay
         attributable (§4.2).
         """
+        if self._closed:
+            raise RuntimeError("AgentService is closed")
         with self._sessions_lock:
             if session_id is None:
                 session_id = f"session-{next(self._session_counter)}"
@@ -347,12 +349,37 @@ class AgentService:
             return self._pool
 
     def close(self) -> None:
-        """Stop serving: drain the pool and detach from the broker."""
+        """Stop serving: drain in-flight turns, then detach from the broker.
+
+        Close is graceful and idempotent: turns accepted before close
+        (their futures are out) complete — first the pool finishes every
+        drain already submitted to it, then a final inline sweep serves
+        any queue whose pool drain lost the race with shutdown — and
+        only then do the broker subscriptions detach.  New work is
+        rejected from the moment the closed flag flips.  A second
+        ``close()`` finds nothing to do and returns immediately.
+        """
         with self._pool_lock:
-            self._closed = True
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
+            # waits for every drain submitted before the flag flipped,
+            # i.e. all pool-queued turns execute to completion
             pool.shutdown(wait=True)
+        if already:
+            return
+        # sweep: a submit() that enqueued its turn but lost the
+        # pool.submit race withdraws it and raises -- unless an active
+        # drainer claimed it first; any turn still queued here is one
+        # the service accepted, so serve it rather than strand a future
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        for session in sessions:
+            self._drain(session)
         self.context_manager.stop()
         if self.lineage_service is not None:
             self.lineage_service.stop()

@@ -1,0 +1,76 @@
+"""The provenance gateway: one versioned API surface over the stack.
+
+The paper's reference architecture (§2.3, Fig. 1) puts the agent and the
+Query API behind a service boundary that users and programs reach
+remotely.  This package is that boundary:
+
+* :mod:`repro.api.schemas` — frozen request/response dataclasses with
+  strict canonical-JSON round-tripping, stable error codes, and
+  cursor-based pagination types;
+* :mod:`repro.api.gateway` — :class:`ProvenanceGateway`, routing schema
+  requests onto the serving layer (:class:`~repro.agent.service.AgentService`),
+  the Query API / versioned query cache, and the lineage index — with
+  all three query dialects (``filter`` / ``pipeline`` / ``graph``)
+  behind one ``execute_query``;
+* :mod:`repro.api.http` — a stdlib ``ThreadingHTTPServer`` transport
+  (``/v1/sessions``, ``/v1/sessions/{id}/chat``, ``/v1/query``,
+  ``/v1/lineage/{task_id}``, ``/v1/stats``) with JSON/CSV content
+  negotiation and keep-alive;
+* :mod:`repro.api.client` — :class:`GatewayClient` (in-process) and
+  :class:`RemoteClient` (HTTP) with identical interfaces and
+  byte-identical JSON responses.
+
+See ``docs/api_gateway.md`` for endpoint reference and curl examples.
+"""
+
+from repro.api.client import GatewayClient, GatewayConnectionError, RemoteClient
+from repro.api.gateway import ProvenanceGateway
+from repro.api.http import GatewayHTTPServer
+from repro.api.schemas import (
+    API_VERSION,
+    ChatReply,
+    ChatRequest,
+    CreateSessionRequest,
+    Cursor,
+    DIALECTS,
+    ErrorCode,
+    ErrorEnvelope,
+    FramePayload,
+    LineageReply,
+    LineageRequest,
+    Page,
+    QueryReply,
+    QueryRequest,
+    SchemaViolation,
+    SessionInfo,
+    StatsReply,
+    from_json,
+    to_json,
+)
+
+__all__ = [
+    "API_VERSION",
+    "DIALECTS",
+    "ChatReply",
+    "ChatRequest",
+    "CreateSessionRequest",
+    "Cursor",
+    "ErrorCode",
+    "ErrorEnvelope",
+    "FramePayload",
+    "GatewayClient",
+    "GatewayConnectionError",
+    "GatewayHTTPServer",
+    "LineageReply",
+    "LineageRequest",
+    "Page",
+    "ProvenanceGateway",
+    "QueryReply",
+    "QueryRequest",
+    "RemoteClient",
+    "SchemaViolation",
+    "SessionInfo",
+    "StatsReply",
+    "from_json",
+    "to_json",
+]

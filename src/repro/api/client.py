@@ -1,0 +1,226 @@
+"""Gateway clients: one interface, two transports.
+
+:class:`GatewayClient` calls a :class:`~repro.api.gateway.ProvenanceGateway`
+in-process; :class:`RemoteClient` speaks the HTTP transport
+(:mod:`repro.api.http`) over a keep-alive connection.  Both expose the
+*same* methods with the same signatures and return the same schema
+instances — and their ``*_json`` forms return the same canonical JSON
+text byte-for-byte (``tests/api/test_client_parity.py`` and
+``benchmarks/bench_gateway.py`` assert it).  Code written against one
+transport runs unchanged against the other, which is the property the
+paper's "programmatically (e.g., via Jupyter) ... or via natural
+language" access modes need.
+
+Neither client raises for API-level failures: those come back as
+:class:`~repro.api.schemas.ErrorEnvelope` values with stable codes.
+:class:`RemoteClient` raises :class:`GatewayConnectionError` only for
+transport failures (server unreachable, connection dropped).
+"""
+
+from __future__ import annotations
+
+import http.client
+from typing import Any, TYPE_CHECKING
+from urllib.parse import quote
+
+from repro.api import schemas as s
+from repro.api.schemas import (
+    ChatReply,
+    ChatRequest,
+    CreateSessionRequest,
+    ErrorEnvelope,
+    LineageReply,
+    LineageRequest,
+    QueryReply,
+    QueryRequest,
+    SessionInfo,
+    StatsReply,
+)
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.gateway import ProvenanceGateway
+
+__all__ = ["GatewayClient", "RemoteClient", "GatewayConnectionError"]
+
+
+class GatewayConnectionError(ReproError):
+    """The HTTP transport failed below the API layer."""
+
+
+class GatewayClient:
+    """In-process client: the gateway surface with zero transport cost."""
+
+    def __init__(self, gateway: "ProvenanceGateway"):
+        self.gateway = gateway
+
+    # -- sessions ----------------------------------------------------------------
+    def create_session(
+        self, session_id: str | None = None, *, model: str | None = None
+    ) -> SessionInfo | ErrorEnvelope:
+        return self.gateway.create_session(
+            CreateSessionRequest(session_id=session_id, model=model)
+        )
+
+    # -- chat --------------------------------------------------------------------
+    def chat(self, session_id: str, message: str) -> ChatReply | ErrorEnvelope:
+        return self.gateway.chat(
+            ChatRequest(session_id=session_id, message=message)
+        )
+
+    def chat_json(self, session_id: str, message: str) -> str:
+        return s.to_json(self.chat(session_id, message))
+
+    # -- query -------------------------------------------------------------------
+    def query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
+        return self.gateway.execute_query(request)
+
+    def query_json(self, request: QueryRequest) -> str:
+        return s.to_json(self.query(request))
+
+    def query_csv(self, request: QueryRequest) -> str:
+        _content_type, text = self.gateway.render_csv(self.query(request))
+        return text
+
+    # -- lineage -----------------------------------------------------------------
+    def lineage(
+        self, task_id: str, *, direction: str = "both", depth: int | None = None
+    ) -> LineageReply | ErrorEnvelope:
+        return self.gateway.lineage_view(
+            LineageRequest(task_id=task_id, direction=direction, depth=depth)
+        )
+
+    def lineage_json(
+        self, task_id: str, *, direction: str = "both", depth: int | None = None
+    ) -> str:
+        return s.to_json(self.lineage(task_id, direction=direction, depth=depth))
+
+    # -- stats -------------------------------------------------------------------
+    def stats(self) -> StatsReply:
+        return self.gateway.stats()
+
+
+class RemoteClient:
+    """HTTP client over one keep-alive connection (stdlib only).
+
+    Method-for-method identical to :class:`GatewayClient`.  Not
+    thread-safe (one underlying connection): concurrent callers hold
+    one ``RemoteClient`` each, which is also how real HTTP load looks.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    @classmethod
+    def for_server(cls, server: Any, **kwargs: Any) -> "RemoteClient":
+        """Client for a :class:`~repro.api.http.GatewayHTTPServer`."""
+        host, port = server.address
+        return cls(host, port, **kwargs)
+
+    # -- transport ---------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: str | None = None,
+        *,
+        accept: str = "application/json",
+    ) -> str:
+        headers = {"Accept": accept}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                return response.read().decode()
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                # a dropped keep-alive connection gets one clean retry
+                self.close()
+                if attempt:
+                    raise GatewayConnectionError(
+                        f"{method} {path} failed: {exc!r}"
+                    ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call(self, method: str, path: str, body: str | None = None) -> Any:
+        text = self._request(method, path, body)
+        try:
+            return s.from_json(text)
+        except s.SchemaViolation as exc:
+            raise GatewayConnectionError(
+                f"unparseable response from {method} {path}: {exc}"
+            ) from exc
+
+    # -- sessions ----------------------------------------------------------------
+    def create_session(
+        self, session_id: str | None = None, *, model: str | None = None
+    ) -> SessionInfo | ErrorEnvelope:
+        request = CreateSessionRequest(session_id=session_id, model=model)
+        return self._call("POST", "/v1/sessions", s.to_json(request))
+
+    # -- chat --------------------------------------------------------------------
+    def chat(self, session_id: str, message: str) -> ChatReply | ErrorEnvelope:
+        return s.from_json(self.chat_json(session_id, message))
+
+    def chat_json(self, session_id: str, message: str) -> str:
+        import json as _json
+
+        body = _json.dumps({"message": message})
+        return self._request(
+            "POST", f"/v1/sessions/{quote(session_id, safe='')}/chat", body
+        )
+
+    # -- query -------------------------------------------------------------------
+    def query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
+        return self._call("POST", "/v1/query", s.to_json(request))
+
+    def query_json(self, request: QueryRequest) -> str:
+        return self._request("POST", "/v1/query", s.to_json(request))
+
+    def query_csv(self, request: QueryRequest) -> str:
+        return self._request(
+            "POST", "/v1/query", s.to_json(request), accept="text/csv"
+        )
+
+    # -- lineage -----------------------------------------------------------------
+    def lineage(
+        self, task_id: str, *, direction: str = "both", depth: int | None = None
+    ) -> LineageReply | ErrorEnvelope:
+        return s.from_json(
+            self.lineage_json(task_id, direction=direction, depth=depth)
+        )
+
+    def lineage_json(
+        self, task_id: str, *, direction: str = "both", depth: int | None = None
+    ) -> str:
+        path = f"/v1/lineage/{quote(task_id, safe='')}?direction={quote(direction)}"
+        if depth is not None:
+            path += f"&depth={depth}"
+        return self._request("GET", path)
+
+    # -- stats -------------------------------------------------------------------
+    def stats(self) -> StatsReply | ErrorEnvelope:
+        return self._call("GET", "/v1/stats")

@@ -1,0 +1,559 @@
+"""ProvenanceGateway: one versioned surface over agent, query, lineage.
+
+Before this layer, every consumer bound to in-process objects and three
+disjoint query dialects: Mongo-style filter documents on
+:class:`~repro.provenance.query_api.QueryAPI`, pandas-like pipeline
+strings through the agent's database tool, and method calls on
+:class:`~repro.lineage.LineageIndex`.  The gateway redesigns that into
+one request/response schema layer (:mod:`repro.api.schemas`) routed here:
+
+* **chat** — :class:`~repro.api.schemas.ChatRequest` onto
+  :meth:`AgentService.chat`, replies reduced to their deterministic
+  anatomy (text / code / table / chart) so transports are comparable
+  byte-for-byte;
+* **query** — :meth:`execute_query` accepts all three dialects through
+  one entry point, compiling each onto the *existing* query
+  infrastructure: ``filter`` hits the Query API's cached frame
+  materialisation, ``pipeline`` parses through the query IR with
+  predicate pushdown and shares the versioned
+  :class:`~repro.query.QueryCache` entries with the NL database tool
+  (same key shape, so a programmatic query warms the cache for chat and
+  vice versa), ``graph`` routes onto the structured
+  :class:`~repro.agent.tools.graph_query.GraphQueryTool` surface;
+* **pagination** — frame-shaped results page through
+  :class:`~repro.api.schemas.Cursor` tokens pinned to the query
+  fingerprint *and* the store version: a write between pages makes the
+  cursor stale (:data:`ErrorCode.CURSOR_STALE`) instead of silently
+  shifting rows;
+* **stats** — per-endpoint request/error counters merged with the
+  serving layer's snapshot, published as the MCP ``serving-stats``
+  resource.
+
+Every public method returns a schema instance — on failure an
+:class:`~repro.api.schemas.ErrorEnvelope` with a stable code, never an
+exception — which is what lets the stdlib HTTP transport
+(:mod:`repro.api.http`) and the in-process client stay trivially thin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, TYPE_CHECKING
+
+from repro.api import schemas as s
+from repro.api.schemas import (
+    ChatReply,
+    ChatRequest,
+    CreateSessionRequest,
+    Cursor,
+    DIALECTS,
+    ErrorCode,
+    ErrorEnvelope,
+    FramePayload,
+    LineageReply,
+    LineageRequest,
+    Page,
+    QueryReply,
+    QueryRequest,
+    SessionInfo,
+    StatsReply,
+)
+from repro.dataframe import DataFrame
+from repro.errors import ProvenanceError, QueryExecutionError, QuerySyntaxError
+from repro.provenance.query_api import store_version
+from repro.query import execute_query as run_pipeline
+from repro.query import parse_query
+from repro.query.pushdown import merge_filters, pipeline_prefilter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agent.service import AgentService
+    from repro.agent.session import AgentReply
+    from repro.provenance.query_api import QueryAPI
+
+__all__ = ["ProvenanceGateway", "DEFAULT_PAGE_SIZE"]
+
+#: page size used when a cursor continues a query that never set one
+DEFAULT_PAGE_SIZE = 100
+
+#: per-dialect request fields that belong to the OTHER dialects; their
+#: presence is a BAD_REQUEST, never a silent no-op
+_FOREIGN_FIELDS: dict[str, tuple[str, ...]] = {
+    "filter": ("code", "operation", "task_id", "target", "depth", "workflow_id"),
+    "pipeline": (
+        "filter", "sort", "limit", "operation", "task_id", "target",
+        "depth", "workflow_id",
+    ),
+    "graph": ("filter", "sort", "limit", "code"),
+}
+
+
+class ProvenanceGateway:
+    """Transport-agnostic front door over one :class:`AgentService`."""
+
+    def __init__(
+        self,
+        service: "AgentService",
+        *,
+        query_api: "QueryAPI | None" = None,
+        base_filter: dict[str, Any] | None = None,
+        default_page_size: int = DEFAULT_PAGE_SIZE,
+        publish_mcp: bool = True,
+    ):
+        self.service = service
+        db_tool = service.db_tool
+        self.query_api = query_api or (
+            db_tool.query_api if db_tool is not None else None
+        )
+        #: documents the pipeline dialect executes over, mirroring the
+        #: database tool so both surfaces share cache entries
+        self.base_filter = dict(
+            base_filter
+            or (db_tool.base_filter if db_tool is not None else {"type": "task"})
+        )
+        self.default_page_size = default_page_size
+        self._lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        if publish_mcp:
+            # the serving snapshot now includes gateway traffic; the MCP
+            # resource follows the front door
+            service.mcp.add_resource("serving-stats", self.stats_payload)
+            service.mcp.add_resource("gateway-stats", self.stats_payload)
+
+    # -- accounting ------------------------------------------------------------
+    def _count(self, endpoint: str) -> None:
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+
+    def _error(self, envelope: ErrorEnvelope) -> ErrorEnvelope:
+        with self._lock:
+            self._errors[envelope.code] = self._errors.get(envelope.code, 0) + 1
+        return envelope
+
+    def _fail(
+        self, code: str, message: str, detail: dict[str, Any] | None = None
+    ) -> ErrorEnvelope:
+        return self._error(ErrorEnvelope(code=code, message=message, detail=detail))
+
+    # -- sessions ----------------------------------------------------------------
+    def create_session(
+        self, request: CreateSessionRequest
+    ) -> SessionInfo | ErrorEnvelope:
+        self._count("sessions")
+        try:
+            session = self.service.create_session(
+                request.session_id, model=request.model
+            )
+        except ValueError as exc:
+            return self._fail(ErrorCode.SESSION_EXISTS, str(exc))
+        except RuntimeError as exc:
+            return self._fail(ErrorCode.SERVICE_CLOSED, str(exc))
+        except Exception as exc:  # noqa: BLE001 - API boundary
+            return self._fail(ErrorCode.INTERNAL, repr(exc))
+        return SessionInfo(
+            session_id=session.session_id,
+            model=session.model,
+            turn_count=session.turn_count,
+        )
+
+    def session_info(self, session_id: str) -> SessionInfo | ErrorEnvelope:
+        try:
+            session = self.service.session(session_id)
+        except KeyError as exc:
+            return self._fail(ErrorCode.UNKNOWN_SESSION, str(exc.args[0]))
+        return SessionInfo(
+            session_id=session.session_id,
+            model=session.model,
+            turn_count=session.turn_count,
+        )
+
+    # -- chat --------------------------------------------------------------------
+    def chat_native(self, session_id: str, message: str) -> "AgentReply":
+        """One turn through the gateway, returning the rich in-process
+        reply (DataFrame table, tool details).
+
+        This is the path the :class:`~repro.agent.agent.ProvenanceAgent`
+        facade rides; remote transports use :meth:`chat`, which reduces
+        the same reply to its wire form.
+        """
+        self._count("chat")
+        return self.service.chat(session_id, message)
+
+    def chat(self, request: ChatRequest) -> ChatReply | ErrorEnvelope:
+        try:
+            reply = self.chat_native(request.session_id, request.message)
+        except KeyError as exc:
+            return self._fail(ErrorCode.UNKNOWN_SESSION, str(exc.args[0]))
+        except RuntimeError as exc:
+            return self._fail(ErrorCode.SERVICE_CLOSED, str(exc))
+        except Exception as exc:  # noqa: BLE001 - API boundary
+            return self._fail(ErrorCode.INTERNAL, repr(exc))
+        return ChatReply(
+            session_id=request.session_id,
+            text=reply.text,
+            intent=reply.intent.value,
+            ok=reply.ok,
+            code=reply.code,
+            error=reply.error,
+            chart=reply.chart,
+            table=(
+                FramePayload.from_frame(reply.table)
+                if reply.table is not None
+                else None
+            ),
+        )
+
+    # -- the unified query surface ----------------------------------------------
+    def execute_query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
+        """Execute one :class:`QueryRequest` in any dialect.
+
+        All three dialects land on the same versioned infrastructure;
+        the dialect only chooses the *compiler*, never the store or the
+        cache.
+        """
+        self._count("query")
+        try:
+            if request.dialect not in DIALECTS:
+                return self._fail(
+                    ErrorCode.UNKNOWN_DIALECT,
+                    f"unknown dialect {request.dialect!r}; "
+                    f"expected one of {', '.join(DIALECTS)}",
+                )
+            if request.page_size is not None and request.page_size < 1:
+                return self._fail(
+                    ErrorCode.BAD_REQUEST,
+                    f"page_size must be >= 1, got {request.page_size}",
+                )
+            if request.limit is not None and request.limit < 0:
+                return self._fail(
+                    ErrorCode.BAD_REQUEST,
+                    f"limit must be >= 0, got {request.limit}",
+                )
+            # fields from another dialect are rejected, not silently
+            # ignored: a client sending limit= with a pipeline query
+            # must not believe the limit was applied
+            stray = [
+                name
+                for name in _FOREIGN_FIELDS[request.dialect]
+                if getattr(request, name) is not None
+            ]
+            if stray:
+                return self._fail(
+                    ErrorCode.BAD_REQUEST,
+                    f"field(s) {', '.join(stray)} do not apply to the "
+                    f"{request.dialect!r} dialect",
+                )
+            if request.dialect == "filter":
+                return self._filter_query(request)
+            if request.dialect == "pipeline":
+                return self._pipeline_query(request)
+            return self._graph_query(request)
+        except Exception as exc:  # noqa: BLE001 - API boundary: no tracebacks
+            return self._fail(ErrorCode.INTERNAL, repr(exc))
+
+    # filter dialect: Mongo-style documents over the Query API
+    def _filter_query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
+        if self.query_api is None:
+            return self._fail(
+                ErrorCode.BAD_REQUEST,
+                "no historical store attached; filter/pipeline dialects "
+                "need a QueryAPI",
+            )
+        version = self._version()
+        frame = self.query_api.to_frame(request.filter or {})
+        if request.sort:
+            keys = [k for k, _ in request.sort]
+            ascending = [direction >= 0 for _, direction in request.sort]
+            try:
+                frame = frame.sort_values(keys, ascending)
+            except Exception as exc:  # noqa: BLE001 - bad sort column
+                return self._fail(ErrorCode.QUERY_EXECUTION, str(exc))
+        if request.limit is not None:
+            frame = frame.head(request.limit)
+        return self._frame_reply(request, frame, version, summary=None)
+
+    # pipeline dialect: pandas-like code through the query IR
+    def _pipeline_query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
+        if self.query_api is None:
+            return self._fail(
+                ErrorCode.BAD_REQUEST,
+                "no historical store attached; filter/pipeline dialects "
+                "need a QueryAPI",
+            )
+        if not request.code:
+            return self._fail(
+                ErrorCode.BAD_REQUEST, "pipeline dialect needs a 'code' field"
+            )
+        try:
+            pipeline = parse_query(request.code)
+        except QuerySyntaxError as exc:
+            return self._fail(ErrorCode.QUERY_SYNTAX, str(exc))
+        # version BEFORE the read, the cache's race-free discipline
+        version = self._version()
+        cache = self.service.query_cache
+        # the SAME key shape the NL database tool uses, so programmatic
+        # and chat-phrased queries share one cache entry per pipeline
+        base_key = _filter_cache_key(self.base_filter)
+        key: Any = None
+        if base_key is not None and version is not None:
+            key = ("db_query", base_key, pipeline)
+            try:
+                hash(key)
+            except TypeError:
+                key = None
+        result: Any = None
+        summary = None
+        if key is not None:
+            from repro.query.cache import MISS
+
+            cached = cache.get(key, version)
+            if cached is not MISS:
+                summary, result = cached
+                result = list(result) if isinstance(result, list) else result
+        if summary is None:
+            prefilter = pipeline_prefilter(pipeline)
+            frame = self.query_api.to_frame(
+                merge_filters(self.base_filter, prefilter)
+            )
+            try:
+                try:
+                    result = run_pipeline(pipeline, frame)
+                except QueryExecutionError:
+                    if not prefilter:
+                        raise
+                    # pushdown must never change observable behaviour:
+                    # retry over the full document set (same discipline
+                    # as the NL database tool)
+                    frame = self.query_api.to_frame(self.base_filter)
+                    result = run_pipeline(pipeline, frame)
+            except QueryExecutionError as exc:
+                return self._fail(ErrorCode.QUERY_EXECUTION, str(exc))
+            from repro.agent.tools.in_memory_query import _describe
+
+            summary = _describe(result)
+            if key is not None:
+                stored = list(result) if isinstance(result, list) else result
+                cache.put(key, version, (summary, stored))
+        if isinstance(result, DataFrame):
+            return self._frame_reply(request, result, version, summary=summary)
+        if isinstance(result, list):
+            return QueryReply(
+                dialect=request.dialect,
+                kind="scalar",
+                summary=summary,
+                scalar=[s._plain(v) for v in result],
+            )
+        return QueryReply(
+            dialect=request.dialect,
+            kind="scalar",
+            summary=summary,
+            scalar=s._plain(result),
+        )
+
+    # graph dialect: structured traversal over the lineage index
+    def _graph_query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
+        if not request.operation:
+            return self._fail(
+                ErrorCode.BAD_REQUEST, "graph dialect needs an 'operation' field"
+            )
+        # graph answers come from the lineage index, so graph cursors
+        # pin to ITS monotonic applied-document counter: an index update
+        # between pages goes CURSOR_STALE exactly like a store write
+        # does for the other dialects
+        version = self._graph_version()
+        result = self.service.graph_tool.invoke(
+            operation=request.operation,
+            task_id=request.task_id,
+            target=request.target,
+            depth=request.depth,
+            workflow_id=request.workflow_id,
+        )
+        if not result.ok:
+            error = result.error or result.summary
+            if "unknown task" in (error or ""):
+                return self._fail(ErrorCode.UNKNOWN_TASK, error)
+            return self._fail(ErrorCode.BAD_REQUEST, f"{result.summary}: {error}")
+        if isinstance(result.data, DataFrame):
+            return self._frame_reply(
+                request, result.data, version, summary=result.summary
+            )
+        return QueryReply(
+            dialect=request.dialect,
+            kind="scalar",
+            summary=result.summary,
+            scalar=s._plain(result.data),
+        )
+
+    # -- lineage view -------------------------------------------------------------
+    def lineage_view(self, request: LineageRequest) -> LineageReply | ErrorEnvelope:
+        self._count("lineage")
+        if request.direction not in ("upstream", "downstream", "both"):
+            return self._fail(
+                ErrorCode.BAD_REQUEST,
+                f"direction must be upstream|downstream|both, "
+                f"got {request.direction!r}",
+            )
+        index = self.service.lineage
+        try:
+            upstream: tuple[str, ...] = ()
+            downstream: tuple[str, ...] = ()
+            if request.direction in ("upstream", "both"):
+                upstream = tuple(
+                    sorted(index.upstream(request.task_id, max_depth=request.depth))
+                )
+            if request.direction in ("downstream", "both"):
+                downstream = tuple(
+                    sorted(index.downstream(request.task_id, max_depth=request.depth))
+                )
+        except ProvenanceError as exc:
+            return self._fail(ErrorCode.UNKNOWN_TASK, str(exc))
+        except Exception as exc:  # noqa: BLE001 - API boundary
+            return self._fail(ErrorCode.INTERNAL, repr(exc))
+        node = {
+            k: s._plain(v) for k, v in index.node(request.task_id).items()
+        } or None
+        return LineageReply(
+            task_id=request.task_id,
+            upstream=upstream,
+            downstream=downstream,
+            node=node,
+        )
+
+    # -- stats -------------------------------------------------------------------
+    def stats(self) -> StatsReply:
+        self._count("stats")
+        service_stats = self.service.stats()
+        with self._lock:
+            requests = dict(self._requests)
+            errors = dict(self._errors)
+        return StatsReply(
+            sessions=service_stats["sessions"],
+            turns_completed=service_stats["turns_completed"],
+            requests=requests,
+            errors=errors,
+            query_cache=service_stats["query_cache"],
+            llm=service_stats["llm"],
+        )
+
+    def stats_payload(self) -> dict[str, Any]:
+        """Plain-dict stats for MCP resource reads."""
+        return s.to_jsonable(self.stats())
+
+    # -- content negotiation -----------------------------------------------------
+    def render_csv(self, reply: Any) -> tuple[str, str]:
+        """``(content_type, body)`` for a CSV-negotiated query outcome.
+
+        Both transports route through here so a ``NOT_ACCEPTABLE``
+        rendering (CSV of a non-frame result) lands in the gateway's
+        per-code error counters like every other failure.
+        """
+        content_type, text = s.render_query_csv(reply)
+        if (
+            content_type == "application/json"
+            and isinstance(reply, QueryReply)
+        ):
+            with self._lock:
+                self._errors[ErrorCode.NOT_ACCEPTABLE] = (
+                    self._errors.get(ErrorCode.NOT_ACCEPTABLE, 0) + 1
+                )
+        return content_type, text
+
+    # -- pagination --------------------------------------------------------------
+    def _version(self) -> int | None:
+        if self.query_api is None:
+            return None
+        return store_version(self.query_api.database)
+
+    def _graph_version(self) -> int | None:
+        counter = getattr(self.service.lineage, "applied_count", None)
+        return int(counter) if counter is not None else None
+
+    def _fingerprint(self, request: QueryRequest) -> str:
+        pinned = QueryRequest(
+            dialect=request.dialect,
+            filter=request.filter,
+            sort=request.sort,
+            limit=request.limit,
+            code=request.code,
+            operation=request.operation,
+            task_id=request.task_id,
+            target=request.target,
+            depth=request.depth,
+            workflow_id=request.workflow_id,
+        )
+        return hashlib.sha256(s.to_json(pinned).encode()).hexdigest()[:16]
+
+    def _frame_reply(
+        self,
+        request: QueryRequest,
+        frame: DataFrame,
+        version: int | None,
+        *,
+        summary: str | None,
+    ) -> QueryReply | ErrorEnvelope:
+        total = len(frame)
+        fingerprint = self._fingerprint(request)
+        pinned_version = version if version is not None else 0
+        offset = 0
+        if request.cursor is not None:
+            try:
+                cursor = Cursor.decode(request.cursor)
+            except s.SchemaViolation as exc:
+                return self._fail(ErrorCode.CURSOR_INVALID, str(exc))
+            if cursor.fingerprint != fingerprint:
+                return self._fail(
+                    ErrorCode.CURSOR_INVALID,
+                    "cursor does not belong to this query",
+                )
+            if cursor.version != pinned_version:
+                return self._fail(
+                    ErrorCode.CURSOR_STALE,
+                    "the store changed since this cursor was issued; "
+                    "restart the query from the first page",
+                    detail={
+                        "cursor_version": cursor.version,
+                        "store_version": pinned_version,
+                    },
+                )
+            offset = cursor.offset
+        if request.page_size is None and request.cursor is None:
+            # unpaginated: the whole result in one reply
+            return QueryReply(
+                dialect=request.dialect,
+                kind="frame",
+                summary=summary,
+                frame=FramePayload.from_frame(frame),
+                page=Page(offset=0, total=total, returned=total),
+            )
+        size = request.page_size or self.default_page_size
+        end = min(offset + size, total)
+        window = (
+            frame.take(list(range(offset, end))) if offset < total else frame.head(0)
+        )
+        returned = len(window)
+        next_cursor = None
+        if offset + returned < total:
+            next_cursor = Cursor(
+                fingerprint=fingerprint,
+                offset=offset + returned,
+                version=pinned_version,
+            ).encode()
+        return QueryReply(
+            dialect=request.dialect,
+            kind="frame",
+            summary=summary,
+            frame=FramePayload.from_frame(window),
+            page=Page(
+                offset=offset,
+                total=total,
+                returned=returned,
+                next_cursor=next_cursor,
+            ),
+        )
+
+
+def _filter_cache_key(filt: dict[str, Any]) -> Any:
+    from repro.query.cache import canonical_filter_key
+
+    return canonical_filter_key(filt)

@@ -1,0 +1,307 @@
+"""Stdlib HTTP transport for the provenance gateway.
+
+A :class:`~http.server.ThreadingHTTPServer` (one thread per in-flight
+request — which is exactly the concurrency grain of
+:meth:`AgentService.chat`, whose calling thread drains its session's
+queue) exposing the versioned surface:
+
+====== ============================== ===============================
+Method Path                           Body / reply
+====== ============================== ===============================
+POST   ``/v1/sessions``               CreateSessionRequest -> SessionInfo
+POST   ``/v1/sessions/{id}/chat``     ``{"message": ...}`` -> ChatReply
+POST   ``/v1/query``                  QueryRequest -> QueryReply
+GET    ``/v1/lineage/{task_id}``      ``?direction=&depth=`` -> LineageReply
+GET    ``/v1/stats``                  -> StatsReply
+====== ============================== ===============================
+
+Transport rules:
+
+* **canonical JSON** — every body is exactly
+  :func:`repro.api.schemas.to_json` of the schema object the gateway
+  returned, so the HTTP transport is byte-identical to the in-process
+  client (the parity contract ``benchmarks/bench_gateway.py`` asserts);
+* **content negotiation** — ``Accept: text/csv`` on ``/v1/query``
+  renders frame-shaped replies as CSV; anything else is JSON.
+  ``text/csv`` against a non-frame reply is ``406`` with a
+  ``NOT_ACCEPTABLE`` envelope;
+* **keep-alive** — HTTP/1.1 with explicit ``Content-Length`` on every
+  response, so one client connection serves a whole conversation;
+* **errors** — always an :class:`~repro.api.schemas.ErrorEnvelope`
+  body; :data:`STATUS_BY_CODE` maps its stable code to the HTTP status.
+  No request can produce a traceback response.
+
+No third-party dependencies: ``http.server`` only.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, TYPE_CHECKING
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.api import schemas as s
+from repro.api.schemas import (
+    ChatRequest,
+    CreateSessionRequest,
+    ErrorCode,
+    ErrorEnvelope,
+    LineageRequest,
+    QueryReply,
+    QueryRequest,
+    SchemaViolation,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.gateway import ProvenanceGateway
+
+__all__ = ["GatewayHTTPServer", "STATUS_BY_CODE"]
+
+#: stable error code -> HTTP status
+STATUS_BY_CODE: dict[str, int] = {
+    ErrorCode.MALFORMED_JSON: 400,
+    ErrorCode.SCHEMA_VIOLATION: 400,
+    ErrorCode.BAD_REQUEST: 400,
+    ErrorCode.UNKNOWN_DIALECT: 400,
+    ErrorCode.UNKNOWN_SESSION: 404,
+    ErrorCode.SESSION_EXISTS: 409,
+    ErrorCode.QUERY_SYNTAX: 400,
+    ErrorCode.QUERY_EXECUTION: 422,
+    ErrorCode.UNKNOWN_TASK: 404,
+    ErrorCode.CURSOR_INVALID: 400,
+    ErrorCode.CURSOR_STALE: 410,
+    ErrorCode.NOT_FOUND: 404,
+    ErrorCode.METHOD_NOT_ALLOWED: 405,
+    ErrorCode.NOT_ACCEPTABLE: 406,
+    ErrorCode.SERVICE_CLOSED: 503,
+    ErrorCode.INTERNAL: 500,
+}
+
+_CHAT_PATH = re.compile(r"^/v1/sessions/([^/]+)/chat$")
+_LINEAGE_PATH = re.compile(r"^/v1/lineage/([^/]+)$")
+
+#: request body size guard (a gateway, not a file server)
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _GatewayRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"  # keep-alive by default
+    server_version = "repro-gateway/1.0"
+
+    # the owning GatewayHTTPServer injects .gateway via the server object
+    @property
+    def gateway(self) -> "ProvenanceGateway":
+        return self.server.gateway  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # tests and benchmarks must not spam stderr
+
+    # -- plumbing ----------------------------------------------------------------
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_schema(self, obj: Any, *, status: int | None = None) -> None:
+        if isinstance(obj, ErrorEnvelope):
+            status = STATUS_BY_CODE.get(obj.code, 500)
+        body = s.to_json(obj).encode()
+        self._send(status or 200, body, "application/json")
+
+    def _send_error(self, code: str, message: str) -> None:
+        self._send_schema(ErrorEnvelope(code=code, message=message))
+
+    def _read_body(self) -> bytes | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error(ErrorCode.BAD_REQUEST, "bad Content-Length")
+            return None
+        if length < 0 or length > MAX_BODY_BYTES:
+            self._send_error(
+                ErrorCode.BAD_REQUEST, f"body too large (> {MAX_BODY_BYTES} bytes)"
+            )
+            return None
+        return self.rfile.read(length)
+
+    def _wants_csv(self) -> bool:
+        accept = self.headers.get("Accept", "")
+        return "text/csv" in accept.lower()
+
+    # -- routes ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_post()
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - transport must not crash
+            try:
+                self._send_error(ErrorCode.INTERNAL, repr(exc))
+            except Exception:  # noqa: BLE001 - socket already gone
+                pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_get()
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - transport must not crash
+            try:
+                self._send_error(ErrorCode.INTERNAL, repr(exc))
+            except Exception:  # noqa: BLE001 - socket already gone
+                pass
+
+    def _route_post(self) -> None:
+        path = urlparse(self.path).path
+        body = self._read_body()
+        if body is None:
+            return
+        chat = _CHAT_PATH.match(path)
+        if path == "/v1/sessions":
+            self._handle_parsed(body, CreateSessionRequest,
+                                self.gateway.create_session)
+        elif chat is not None:
+            session_id = unquote(chat.group(1))
+
+            def run(payload: dict[str, Any]) -> Any:
+                message = payload.get("message")
+                if not isinstance(message, str):
+                    raise SchemaViolation("field 'message' must be a string")
+                return self.gateway.chat(
+                    ChatRequest(session_id=session_id, message=message)
+                )
+
+            self._handle_raw(body, run)
+        elif path == "/v1/query":
+            self._handle_parsed(body, QueryRequest, self._run_query)
+        elif path in ("/v1/stats", "/v1/lineage") or _LINEAGE_PATH.match(path):
+            self._send_error(ErrorCode.METHOD_NOT_ALLOWED, f"GET {path}")
+        else:
+            self._send_error(ErrorCode.NOT_FOUND, f"no route for POST {path}")
+
+    def _route_get(self) -> None:
+        parsed = urlparse(self.path)
+        path = parsed.path
+        lineage = _LINEAGE_PATH.match(path)
+        if path == "/v1/stats":
+            self._send_schema(self.gateway.stats())
+        elif lineage is not None:
+            params = parse_qs(parsed.query)
+            direction = params.get("direction", ["both"])[0]
+            depth_raw = params.get("depth", [None])[0]
+            depth: int | None = None
+            if depth_raw is not None:
+                try:
+                    depth = int(depth_raw)
+                except ValueError:
+                    self._send_error(
+                        ErrorCode.BAD_REQUEST, f"bad depth {depth_raw!r}"
+                    )
+                    return
+            request = LineageRequest(
+                task_id=unquote(lineage.group(1)), direction=direction, depth=depth
+            )
+            self._send_schema(self.gateway.lineage_view(request))
+        elif path in ("/v1/sessions", "/v1/query") or _CHAT_PATH.match(path):
+            self._send_error(ErrorCode.METHOD_NOT_ALLOWED, f"POST {path}")
+        else:
+            self._send_error(ErrorCode.NOT_FOUND, f"no route for GET {path}")
+
+    def _run_query(self, request: QueryRequest) -> Any:
+        return self.gateway.execute_query(request)
+
+    # -- body handling -----------------------------------------------------------
+    def _handle_parsed(self, body: bytes, schema: type, handler: Any) -> None:
+        try:
+            request = s.from_json(body or b"{}", schema)
+        except SchemaViolation as exc:
+            code = (
+                ErrorCode.MALFORMED_JSON
+                if "malformed JSON" in str(exc)
+                else ErrorCode.SCHEMA_VIOLATION
+            )
+            self._send_error(code, str(exc))
+            return
+        reply = handler(request)
+        if isinstance(reply, QueryReply) and self._wants_csv():
+            content_type, text = self.gateway.render_csv(reply)
+            if content_type == "text/csv":
+                self._send(200, text.encode(), "text/csv")
+            else:
+                self._send(406, text.encode(), content_type)
+            return
+        self._send_schema(reply)
+
+    def _handle_raw(self, body: bytes, run: Any) -> None:
+        try:
+            payload = json.loads(body or b"{}")
+            if not isinstance(payload, dict):
+                raise SchemaViolation("payload must be a JSON object")
+        except (ValueError, TypeError) as exc:
+            self._send_error(ErrorCode.MALFORMED_JSON, f"malformed JSON: {exc}")
+            return
+        try:
+            reply = run(payload)
+        except SchemaViolation as exc:
+            self._send_error(ErrorCode.SCHEMA_VIOLATION, str(exc))
+            return
+        self._send_schema(reply)
+
+
+class GatewayHTTPServer:
+    """Lifecycle wrapper: a threaded HTTP server on a daemon thread.
+
+    ``port=0`` binds an ephemeral port (the default for tests and
+    benchmarks); :attr:`address` reports the bound ``(host, port)``.
+    """
+
+    def __init__(
+        self,
+        gateway: "ProvenanceGateway",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.gateway = gateway
+        self._httpd = ThreadingHTTPServer((host, port), _GatewayRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.gateway = gateway  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "GatewayHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="gateway-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "GatewayHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.agent.agent import AgentReply, ProvenanceAgent
+from repro.agent.agent import ProvenanceAgent
+from repro.api.client import GatewayClient
+from repro.api.schemas import ChatReply
 from repro.capture.context import CaptureContext
-from repro.dataframe import DataFrame
 from repro.llm.generation import QueryTraits
 from repro.llm.intents import register_intent
 from repro.llm.service import LLMServer
@@ -145,7 +146,7 @@ CHEMISTRY_QUERIES: tuple[DemoQuery, ...] = (
 class DemoOutcome:
     qid: str
     nl: str
-    reply: AgentReply
+    reply: ChatReply
     correct: bool
     paper_outcome: str
     matches_paper: bool
@@ -176,15 +177,22 @@ def run_live_demo(
     smiles: str = "CCO",
     n_conformers: int = 2,
 ) -> DemoReport:
-    """Run the workflow + agent conversation; grade every answer."""
+    """Run the workflow + agent conversation; grade every answer.
+
+    The conversation rides the versioned gateway API — the same
+    schema-typed surface remote users hit over HTTP — through an
+    in-process :class:`~repro.api.client.GatewayClient`, so graded
+    replies are exactly what the paper's GUI would receive on the wire.
+    """
     register_demo_intents()
     ctx = CaptureContext(hostname="frontier00084.frontier.olcf.ornl.gov")
     agent = ProvenanceAgent(ctx, llm=LLMServer(), model=model)
+    client = GatewayClient(agent.gateway)
     bde = run_bde_workflow(smiles, ctx, n_conformers=n_conformers)
     demo = DemoReport(report=bde)
 
     for dq in CHEMISTRY_QUERIES:
-        reply = agent.chat(dq.nl)
+        reply = client.chat("default", dq.nl)
         correct, detail = _grade(dq, reply, bde)
         expected_correct = dq.paper_outcome != "incorrect"
         demo.outcomes.append(
@@ -206,7 +214,7 @@ def run_live_demo(
 # ---------------------------------------------------------------------------
 
 
-def _grade(dq: DemoQuery, reply: AgentReply, bde: BDEReport) -> tuple[bool, str]:
+def _grade(dq: DemoQuery, reply: ChatReply, bde: BDEReport) -> tuple[bool, str]:
     if not reply.ok:
         return False, f"agent failed: {reply.error}"
     text = reply.text
@@ -222,7 +230,7 @@ def _grade(dq: DemoQuery, reply: AgentReply, bde: BDEReport) -> tuple[bool, str]
         return _mentions_number(reply, want, tol=0.5), f"expected {want:.2f}"
     if dq.qid == "Q4":
         ok = _mentions_number(reply, bde.parent_n_atoms, tol=0.0) or (
-            table is not None and len(table) >= 1
+            table is not None and len(table.rows) >= 1
         )
         return ok, "expected atom counts listed"
     if dq.qid == "Q5":
@@ -253,7 +261,7 @@ def _grade(dq: DemoQuery, reply: AgentReply, bde: BDEReport) -> tuple[bool, str]
     return False, "unknown query"
 
 
-def _mentions(reply: AgentReply, needle: str) -> bool:
+def _mentions(reply: ChatReply, needle: str) -> bool:
     if needle in reply.text:
         return True
     if reply.table is not None:
@@ -263,7 +271,7 @@ def _mentions(reply: AgentReply, needle: str) -> bool:
     return False
 
 
-def _mentions_number(reply: AgentReply, value: float, tol: float) -> bool:
+def _mentions_number(reply: ChatReply, value: float, tol: float) -> bool:
     import re
 
     candidates: list[float] = []

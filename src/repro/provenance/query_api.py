@@ -99,15 +99,47 @@ class QueryAPI:
 
         The shared tally helper: :meth:`status_counts` and the agent's
         monitoring surface both read this, and over an indexed field it
-        costs O(distinct values), not O(documents).
+        costs O(distinct values), not O(documents).  Results are cached
+        per ``(field, canonical filter, store version)``: monitoring
+        dashboards poll these tallies far more often than provenance
+        arrives, and a version bump invalidates exactly on write.
         """
-        return self.database.field_counts(field, filt)
+        version = store_version(self.database)
+        key = None
+        if version is not None:
+            filter_key = canonical_filter_key(filt)
+            if filter_key is not None:
+                key = ("counts", field, filter_key)
+                cached = self.cache.get(key, version)
+                if cached is not MISS:
+                    return dict(cached)
+        result = self.database.field_counts(field, filt)
+        if key is not None:
+            self.cache.put(key, version, dict(result))
+        return result
 
     def status_counts(self) -> dict[str, int]:
         return self.counts("status")
 
     def failed_tasks(self) -> list[dict[str, Any]]:
-        return self.database.find({"status": "FAILED"})
+        """Failure triage read, cached like :meth:`to_frame`.
+
+        The cached list is copied per call so a caller appending to its
+        answer cannot poison later hits; the documents themselves follow
+        the store's own copy discipline.
+        """
+        version = store_version(self.database)
+        key = ("failed_tasks",) if version is not None else None
+        if key is not None:
+            cached = self.cache.get(key, version)
+            if cached is not MISS:
+                # fresh dict per document, matching find()'s own copy
+                # discipline — mutating an answer must not poison hits
+                return [dict(doc) for doc in cached]
+        result = self.database.find({"status": "FAILED"})
+        if key is not None:
+            self.cache.put(key, version, [dict(doc) for doc in result])
+        return result
 
     def explain(self, filt: Mapping[str, Any] | None = None) -> dict[str, Any]:
         """Query plan the store would use for ``filt``.

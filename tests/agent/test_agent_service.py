@@ -323,3 +323,103 @@ class TestGetOrCreateRace:
             t.join()
         assert not errors
         assert len({id(s) for s in results}) == 1
+
+
+class TestGracefulClose:
+    """close() drains accepted turns, rejects new work, and is idempotent."""
+
+    def _service(self):
+        store = ProvenanceDatabase()
+        docs = _task_docs(40)
+        store.upsert_many(docs)
+        ctx = CaptureContext()
+        svc = AgentService(ctx, query_api=QueryAPI(store))
+        ctx.broker.publish_batch("provenance.task", docs)
+        return svc
+
+    def test_submit_just_before_close_resolves(self):
+        """The regression: a turn accepted right before close() must
+        resolve its future with a real reply, never dangle."""
+        svc = self._service()
+        svc.create_session("alice")
+        futures = [
+            svc.submit("alice", "How many tasks have finished?")
+            for _ in range(4)
+        ]
+        svc.close()
+        replies = [f.result(timeout=10) for f in futures]
+        assert all(r.ok for r in replies)
+        assert svc.stats()["turns_completed"] == 4
+        assert svc.stats()["turns_queued"] == 0
+
+    def test_many_sessions_drain_on_close(self):
+        svc = self._service()
+        futures = []
+        for i in range(5):
+            svc.create_session(f"s{i}")
+            futures.extend(
+                svc.submit(f"s{i}", "How many tasks have finished?")
+                for _ in range(3)
+            )
+        svc.close()
+        assert all(f.result(timeout=10).ok for f in futures)
+        assert svc.stats()["turns_queued"] == 0
+
+    def test_double_close_is_idempotent(self):
+        svc = self._service()
+        svc.create_session("alice")
+        svc.chat("alice", "How many tasks have finished?")
+        svc.close()
+        svc.close()  # second close: no error, nothing left to do
+        svc.close()
+
+    def test_submit_after_close_rejected_without_dangling(self):
+        svc = self._service()
+        svc.create_session("alice")
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.submit("alice", "hello")
+        with pytest.raises(RuntimeError):
+            svc.chat("alice", "hello")
+        assert len(svc.session("alice")._pending) == 0
+
+    def test_create_session_after_close_rejected(self):
+        svc = self._service()
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.create_session("late")
+
+    def test_racing_submits_against_close(self):
+        """Hammer close() with concurrent submitters: every future either
+        resolves or its submit raised; nothing hangs."""
+        svc = self._service()
+        for i in range(4):
+            svc.create_session(f"s{i}")
+        accepted, rejected = [], []
+        lock = threading.Lock()
+        start = threading.Barrier(5)
+
+        def submitter(sid: str) -> None:
+            start.wait()
+            for _ in range(6):
+                try:
+                    f = svc.submit(sid, "How many tasks have finished?")
+                except RuntimeError:
+                    with lock:
+                        rejected.append(sid)
+                    return
+                with lock:
+                    accepted.append(f)
+
+        threads = [
+            threading.Thread(target=submitter, args=(f"s{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        svc.close()
+        for t in threads:
+            t.join(timeout=10)
+        for f in accepted:
+            assert f.result(timeout=10).ok
+        assert svc.stats()["turns_queued"] == 0

@@ -1,0 +1,355 @@
+"""ProvenanceGateway: one query surface, three dialects, stable errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.schemas import (
+    ChatRequest,
+    CreateSessionRequest,
+    ErrorCode,
+    ErrorEnvelope,
+    LineageRequest,
+    QueryReply,
+    QueryRequest,
+    SessionInfo,
+)
+
+
+class TestSessions:
+    def test_create_and_chat(self, client):
+        info = client.create_session("alice")
+        assert isinstance(info, SessionInfo)
+        assert info.session_id == "alice"
+        reply = client.chat("alice", "How many tasks have finished?")
+        assert reply.ok
+        assert reply.intent == "monitoring_query"
+        assert "1" in reply.text or "task" in reply.text.lower()
+
+    def test_auto_named_session(self, client):
+        info = client.create_session()
+        assert info.session_id.startswith("session-")
+
+    def test_duplicate_session_is_stable_code(self, client):
+        client.create_session("bob")
+        err = client.create_session("bob")
+        assert isinstance(err, ErrorEnvelope)
+        assert err.code == ErrorCode.SESSION_EXISTS
+
+    def test_chat_unknown_session(self, client):
+        err = client.chat("nobody", "hello")
+        assert isinstance(err, ErrorEnvelope)
+        assert err.code == ErrorCode.UNKNOWN_SESSION
+
+    def test_chat_after_close_is_service_closed(self, stack):
+        service, gateway, client = stack
+        client.create_session("alice")
+        service.close()
+        err = client.create_session("late")
+        assert err.code == ErrorCode.SERVICE_CLOSED
+
+
+class TestFilterDialect:
+    def test_basic_filter(self, client):
+        reply = client.query(
+            QueryRequest(dialect="filter", filter={"status": "FAILED"})
+        )
+        assert isinstance(reply, QueryReply)
+        assert reply.kind == "frame"
+        statuses = {row["status"] for row in reply.frame.to_dicts()}
+        assert statuses == {"FAILED"}
+
+    def test_sort_and_limit(self, client):
+        reply = client.query(
+            QueryRequest(
+                dialect="filter",
+                filter={},
+                sort=(("started_at", -1),),
+                limit=3,
+            )
+        )
+        starts = [row["started_at"] for row in reply.frame.to_dicts()]
+        assert starts == sorted(starts, reverse=True)
+        assert len(starts) == 3
+
+    def test_operator_filter(self, client):
+        reply = client.query(
+            QueryRequest(
+                dialect="filter", filter={"used.x": {"$gte": 18}}
+            )
+        )
+        assert {r["task_id"] for r in reply.frame.to_dicts()} == {"t18", "t19"}
+
+    def test_bad_sort_column_is_query_execution(self, client):
+        err = client.query(
+            QueryRequest(dialect="filter", filter={}, sort=(("nope", 1),))
+        )
+        assert err.code == ErrorCode.QUERY_EXECUTION
+
+
+class TestPipelineDialect:
+    def test_frame_result(self, client):
+        reply = client.query(
+            QueryRequest(
+                dialect="pipeline",
+                code="df[df['status'] == 'FAILED'][['task_id', 'status']]",
+            )
+        )
+        assert reply.kind == "frame"
+        assert all(r["status"] == "FAILED" for r in reply.frame.to_dicts())
+
+    def test_scalar_result(self, client):
+        reply = client.query(
+            QueryRequest(dialect="pipeline", code="df['duration'].mean()")
+        )
+        assert reply.kind == "scalar"
+        assert isinstance(reply.scalar, float)
+
+    def test_list_result(self, client):
+        reply = client.query(
+            QueryRequest(dialect="pipeline", code="df['status'].unique()")
+        )
+        assert reply.kind == "scalar"
+        assert set(reply.scalar) == {"FINISHED", "FAILED"}
+
+    def test_syntax_error_code(self, client):
+        err = client.query(QueryRequest(dialect="pipeline", code="df.!!!"))
+        assert err.code == ErrorCode.QUERY_SYNTAX
+
+    def test_execution_error_code(self, client):
+        err = client.query(
+            QueryRequest(dialect="pipeline", code="df['no_such_column'].mean()")
+        )
+        assert err.code == ErrorCode.QUERY_EXECUTION
+
+    def test_missing_code(self, client):
+        err = client.query(QueryRequest(dialect="pipeline"))
+        assert err.code == ErrorCode.BAD_REQUEST
+
+    def test_matches_filter_dialect(self, client):
+        """The same question through two dialects gives the same rows."""
+        by_filter = client.query(
+            QueryRequest(dialect="filter", filter={"status": "FAILED"})
+        )
+        by_pipeline = client.query(
+            QueryRequest(
+                dialect="pipeline", code="df[df['status'] == 'FAILED']"
+            )
+        )
+        assert (
+            {r["task_id"] for r in by_filter.frame.to_dicts()}
+            == {r["task_id"] for r in by_pipeline.frame.to_dicts()}
+        )
+
+    def test_repeated_pipeline_hits_shared_cache(self, stack):
+        """Pipeline queries share the versioned cache (same key shape as
+        the NL database tool), so a repeat answers without re-executing."""
+        service, gateway, client = stack
+        request = QueryRequest(
+            dialect="pipeline", code="df[df['status'] == 'FINISHED']"
+        )
+        first = client.query(request)
+        before = service.query_cache.stats()["hits"]
+        second = client.query(request)
+        assert second == first
+        assert service.query_cache.stats()["hits"] == before + 1
+
+
+class TestGraphDialect:
+    def test_upstream(self, client):
+        reply = client.query(
+            QueryRequest(dialect="graph", operation="upstream", task_id="t3")
+        )
+        assert reply.kind == "frame"
+        ids = {r["task_id"] for r in reply.frame.to_dicts()}
+        assert ids == {"t0", "t1", "t2"}
+
+    def test_depth_limited_downstream(self, client):
+        reply = client.query(
+            QueryRequest(
+                dialect="graph", operation="downstream", task_id="t0", depth=2
+            )
+        )
+        ids = {r["task_id"] for r in reply.frame.to_dicts()}
+        assert ids == {"t1", "t2"}
+
+    def test_impact_size_scalar(self, client):
+        reply = client.query(
+            QueryRequest(dialect="graph", operation="impact_size", task_id="t17")
+        )
+        assert reply.kind == "scalar"
+        assert reply.scalar == 2
+
+    def test_causal_chain(self, client):
+        reply = client.query(
+            QueryRequest(
+                dialect="graph",
+                operation="causal_chain",
+                task_id="t1",
+                target="t4",
+            )
+        )
+        chain = [r["task_id"] for r in reply.frame.to_dicts()]
+        assert chain == ["t1", "t2", "t3", "t4"]
+
+    def test_unknown_task_code(self, client):
+        err = client.query(
+            QueryRequest(dialect="graph", operation="upstream", task_id="zzz")
+        )
+        assert err.code == ErrorCode.UNKNOWN_TASK
+
+    def test_unknown_operation(self, client):
+        err = client.query(
+            QueryRequest(dialect="graph", operation="teleport", task_id="t1")
+        )
+        assert err.code == ErrorCode.BAD_REQUEST
+
+    def test_missing_operation(self, client):
+        err = client.query(QueryRequest(dialect="graph"))
+        assert err.code == ErrorCode.BAD_REQUEST
+
+
+class TestDialectValidation:
+    def test_unknown_dialect(self, client):
+        err = client.query(QueryRequest(dialect="sql"))
+        assert err.code == ErrorCode.UNKNOWN_DIALECT
+
+    def test_negative_limit(self, client):
+        err = client.query(QueryRequest(dialect="filter", limit=-1))
+        assert err.code == ErrorCode.BAD_REQUEST
+
+
+class TestLineageView:
+    def test_both_directions(self, client):
+        reply = client.lineage("t2", depth=1)
+        assert reply.upstream == ("t1",)
+        assert reply.downstream == ("t3",)
+        assert reply.node["workflow_id"] == "wf-2"
+
+    def test_unknown_task(self, client):
+        err = client.lineage("missing")
+        assert err.code == ErrorCode.UNKNOWN_TASK
+
+    def test_bad_direction(self, gateway):
+        err = gateway.lineage_view(
+            LineageRequest(task_id="t1", direction="sideways")
+        )
+        assert err.code == ErrorCode.BAD_REQUEST
+
+
+class TestStats:
+    def test_requests_and_errors_accounted(self, stack):
+        service, gateway, client = stack
+        client.create_session("alice")
+        client.chat("alice", "How many tasks have finished?")
+        client.query(QueryRequest(dialect="filter", filter={}))
+        client.query(QueryRequest(dialect="sql"))
+        stats = client.stats()
+        assert stats.requests["chat"] == 1
+        assert stats.requests["query"] == 2
+        assert stats.requests["sessions"] == 1
+        assert stats.errors[ErrorCode.UNKNOWN_DIALECT] == 1
+        assert stats.turns_completed == 1
+        assert "hit_rate" in stats.query_cache
+
+    def test_serving_stats_mcp_resource_routes_through_gateway(self, stack):
+        from repro.agent.mcp.client import MCPClient
+
+        service, gateway, client = stack
+        client.query(QueryRequest(dialect="filter", filter={}))
+        payload = MCPClient(service.mcp).read_resource("serving-stats")
+        assert payload["requests"]["query"] >= 1
+        assert payload["type"] == "v1/stats_reply"
+        gw_payload = MCPClient(service.mcp).read_resource("gateway-stats")
+        assert gw_payload["requests"]["query"] >= 1
+
+
+class TestNoTracebacks:
+    """Whatever the input, the gateway answers with a schema object."""
+
+    @pytest.mark.parametrize(
+        "request_obj",
+        [
+            QueryRequest(dialect=""),
+            QueryRequest(dialect="filter", filter={"$bogus_op": 1}),
+            QueryRequest(dialect="pipeline", code="x" * 10_000),
+            QueryRequest(dialect="graph", operation="", task_id=""),
+            QueryRequest(dialect="filter", cursor="garbage"),
+        ],
+    )
+    def test_gateway_never_raises(self, client, request_obj):
+        reply = client.query(request_obj)
+        assert isinstance(reply, (QueryReply, ErrorEnvelope))
+        if isinstance(reply, ErrorEnvelope):
+            assert reply.code in ErrorCode.ALL
+
+    def test_facade_chat_rides_gateway(self, store):
+        """ProvenanceAgent.chat counts as gateway chat traffic."""
+        from repro.agent.agent import ProvenanceAgent
+        from repro.capture.context import CaptureContext
+        from repro.llm.service import LLMServer
+        from repro.provenance.query_api import QueryAPI
+
+        ctx = CaptureContext()
+        agent = ProvenanceAgent(ctx, llm=LLMServer(), query_api=QueryAPI(store))
+        try:
+            ctx.broker.publish_batch("provenance.task", store.all())
+            reply = agent.chat("How many tasks have finished?")
+            assert reply.ok
+            assert agent.gateway.stats().requests["chat"] == 1
+        finally:
+            agent.close()
+
+
+class TestForeignDialectFields:
+    """Fields from another dialect are rejected, never silently ignored."""
+
+    @pytest.mark.parametrize(
+        "request_obj,stray",
+        [
+            (QueryRequest(dialect="pipeline", code="df", limit=5), "limit"),
+            (
+                QueryRequest(dialect="pipeline", code="df", filter={"a": 1}),
+                "filter",
+            ),
+            (
+                QueryRequest(
+                    dialect="filter", filter={}, operation="upstream"
+                ),
+                "operation",
+            ),
+            (
+                QueryRequest(dialect="filter", filter={}, code="df"),
+                "code",
+            ),
+            (
+                QueryRequest(
+                    dialect="graph", operation="roots", limit=3
+                ),
+                "limit",
+            ),
+            (
+                QueryRequest(
+                    dialect="graph", operation="roots", sort=(("a", 1),)
+                ),
+                "sort",
+            ),
+        ],
+    )
+    def test_stray_field_is_bad_request(self, client, request_obj, stray):
+        err = client.query(request_obj)
+        assert err.code == ErrorCode.BAD_REQUEST
+        assert stray in err.message
+
+    def test_pagination_fields_apply_everywhere(self, client):
+        reply = client.query(
+            QueryRequest(dialect="pipeline", code="df[['task_id']]", page_size=4)
+        )
+        assert reply.page.returned == 4
+
+
+class TestCsvErrorAccounting:
+    def test_not_acceptable_lands_in_gateway_errors(self, stack):
+        service, gateway, client = stack
+        client.query_csv(QueryRequest(dialect="pipeline", code="len(df)"))
+        assert client.stats().errors[ErrorCode.NOT_ACCEPTABLE] == 1

@@ -1,0 +1,195 @@
+"""HTTP transport: routes, status codes, negotiation, keep-alive."""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.api.http import GatewayHTTPServer, STATUS_BY_CODE
+from repro.api.schemas import ErrorCode, from_json
+
+
+@pytest.fixture
+def server(gateway):
+    srv = GatewayHTTPServer(gateway).start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def conn(server):
+    host, port = server.address
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    yield connection
+    connection.close()
+
+
+def call(conn, method, path, body=None, accept="application/json"):
+    headers = {"Accept": accept}
+    if body is not None:
+        headers["Content-Type"] = "application/json"
+    conn.request(method, path, body=body, headers=headers)
+    response = conn.getresponse()
+    return response.status, response.getheader("Content-Type"), response.read()
+
+
+class TestRoutes:
+    def test_create_session_and_chat(self, conn):
+        status, ctype, body = call(
+            conn, "POST", "/v1/sessions", '{"session_id": "alice"}'
+        )
+        assert status == 200
+        assert ctype == "application/json"
+        info = from_json(body)
+        assert info.session_id == "alice"
+
+        status, _, body = call(
+            conn,
+            "POST",
+            "/v1/sessions/alice/chat",
+            '{"message": "How many tasks have finished?"}',
+        )
+        assert status == 200
+        reply = from_json(body)
+        assert reply.ok
+        assert reply.session_id == "alice"
+
+    def test_query_roundtrip(self, conn):
+        status, _, body = call(
+            conn,
+            "POST",
+            "/v1/query",
+            '{"dialect": "filter", "filter": {"status": "FAILED"}}',
+        )
+        assert status == 200
+        reply = from_json(body)
+        assert reply.kind == "frame"
+        assert all(r["status"] == "FAILED" for r in reply.frame.to_dicts())
+
+    def test_lineage_route_with_params(self, conn):
+        status, _, body = call(
+            conn, "GET", "/v1/lineage/t2?direction=upstream&depth=1"
+        )
+        assert status == 200
+        reply = from_json(body)
+        assert reply.upstream == ("t1",)
+        assert reply.downstream == ()
+
+    def test_stats_route(self, conn):
+        call(conn, "POST", "/v1/query", '{"dialect": "filter"}')
+        status, _, body = call(conn, "GET", "/v1/stats")
+        assert status == 200
+        stats = from_json(body)
+        assert stats.requests["query"] >= 1
+
+
+class TestStatusCodes:
+    @pytest.mark.parametrize(
+        "method,path,body,expected_code",
+        [
+            ("POST", "/v1/nope", "{}", ErrorCode.NOT_FOUND),
+            ("GET", "/v1/nope", None, ErrorCode.NOT_FOUND),
+            ("GET", "/v1/query", None, ErrorCode.METHOD_NOT_ALLOWED),
+            ("GET", "/v1/sessions", None, ErrorCode.METHOD_NOT_ALLOWED),
+            ("POST", "/v1/stats", "{}", ErrorCode.METHOD_NOT_ALLOWED),
+            ("POST", "/v1/lineage/t1", "{}", ErrorCode.METHOD_NOT_ALLOWED),
+            ("POST", "/v1/query", "{not json", ErrorCode.MALFORMED_JSON),
+            ("POST", "/v1/query", "[]", ErrorCode.SCHEMA_VIOLATION),
+            (
+                "POST",
+                "/v1/query",
+                '{"dialect": "filter", "surprise": 1}',
+                ErrorCode.SCHEMA_VIOLATION,
+            ),
+            ("POST", "/v1/query", '{"dialect": "sql"}', ErrorCode.UNKNOWN_DIALECT),
+            (
+                "POST",
+                "/v1/sessions/ghost/chat",
+                '{"message": "hi"}',
+                ErrorCode.UNKNOWN_SESSION,
+            ),
+            (
+                "POST",
+                "/v1/sessions/ghost/chat",
+                '{"message": 7}',
+                ErrorCode.SCHEMA_VIOLATION,
+            ),
+            ("GET", "/v1/lineage/ghost", None, ErrorCode.UNKNOWN_TASK),
+            ("GET", "/v1/lineage/t1?depth=x", None, ErrorCode.BAD_REQUEST),
+        ],
+    )
+    def test_error_envelope_and_status(self, conn, method, path, body, expected_code):
+        status, ctype, raw = call(conn, method, path, body)
+        assert ctype == "application/json"
+        envelope = from_json(raw)
+        assert envelope.code == expected_code
+        assert status == STATUS_BY_CODE[expected_code]
+
+    def test_cursor_stale_maps_to_410(self, conn, store):
+        from tests.api.conftest import task_doc
+
+        status, _, raw = call(
+            conn, "POST", "/v1/query",
+            '{"dialect": "filter", "filter": {}, "page_size": 5}',
+        )
+        first = from_json(raw)
+        store.upsert(task_doc(55))
+        status, _, raw = call(
+            conn, "POST", "/v1/query",
+            json.dumps(
+                {
+                    "dialect": "filter",
+                    "filter": {},
+                    "page_size": 5,
+                    "cursor": first.page.next_cursor,
+                }
+            ),
+        )
+        assert status == 410
+        assert from_json(raw).code == ErrorCode.CURSOR_STALE
+
+
+class TestContentNegotiation:
+    def test_csv_for_frames(self, conn):
+        status, ctype, body = call(
+            conn, "POST", "/v1/query",
+            '{"dialect": "filter", "filter": {"status": "FAILED"}}',
+            accept="text/csv",
+        )
+        assert status == 200
+        assert ctype == "text/csv"
+        lines = body.decode().split("\r\n")
+        assert lines[0].startswith("type,task_id,")
+
+    def test_csv_for_scalar_is_406(self, conn):
+        status, ctype, body = call(
+            conn, "POST", "/v1/query",
+            '{"dialect": "pipeline", "code": "len(df)"}',
+            accept="text/csv",
+        )
+        assert status == 406
+        assert from_json(body).code == ErrorCode.NOT_ACCEPTABLE
+
+    def test_json_stays_default(self, conn):
+        status, ctype, _ = call(
+            conn, "POST", "/v1/query", '{"dialect": "filter"}',
+            accept="*/*",
+        )
+        assert status == 200
+        assert ctype == "application/json"
+
+
+class TestKeepAlive:
+    def test_many_requests_one_connection(self, conn):
+        """HTTP/1.1 keep-alive: the same socket serves a conversation."""
+        for i in range(5):
+            status, _, body = call(
+                conn, "POST", "/v1/query",
+                json.dumps({"dialect": "filter", "filter": {"used.x": i}}),
+            )
+            assert status == 200
+            assert from_json(body).page.total == 1
+        sock_after = conn.sock
+        assert sock_after is not None  # never dropped to reconnect

@@ -1,0 +1,208 @@
+"""Cursor pagination: walking pages, edge cases, staleness.
+
+The satellite contract: empty result sets, cursors past the end,
+``limit=0``, and cursor reuse across a store write (which must return
+the stable ``CURSOR_STALE`` code, never silently shifted rows) all have
+defined behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.api.schemas import Cursor, ErrorCode, ErrorEnvelope, QueryRequest
+from tests.api.conftest import task_doc
+
+ALL_TASKS = QueryRequest(dialect="filter", filter={}, page_size=6)
+
+
+def walk(client, request: QueryRequest) -> list:
+    """Collect every page, asserting the envelope stays consistent."""
+    pages = []
+    cursor = None
+    while True:
+        reply = client.query(replace(request, cursor=cursor))
+        assert not isinstance(reply, ErrorEnvelope), reply
+        pages.append(reply)
+        cursor = reply.page.next_cursor
+        if cursor is None:
+            return pages
+
+
+class TestWalking:
+    def test_pages_tile_the_result(self, client):
+        pages = walk(client, ALL_TASKS)
+        assert [p.page.offset for p in pages] == [0, 6, 12, 18]
+        assert [p.page.returned for p in pages] == [6, 6, 6, 2]
+        assert all(p.page.total == 20 for p in pages)
+        ids = [r["task_id"] for p in pages for r in p.frame.to_dicts()]
+        assert ids == [f"t{i}" for i in range(20)]
+
+    def test_last_page_has_no_cursor(self, client):
+        pages = walk(client, ALL_TASKS)
+        assert pages[-1].page.next_cursor is None
+        assert all(p.page.next_cursor is not None for p in pages[:-1])
+
+    def test_pipeline_dialect_paginates(self, client):
+        request = QueryRequest(
+            dialect="pipeline",
+            code="df.sort_values('task_id')[['task_id']]",
+            page_size=8,
+        )
+        pages = walk(client, request)
+        assert [p.page.returned for p in pages] == [8, 8, 4]
+
+    def test_graph_dialect_paginates(self, client):
+        request = QueryRequest(
+            dialect="graph",
+            operation="downstream",
+            task_id="t0",
+            page_size=7,
+        )
+        pages = walk(client, request)
+        assert sum(p.page.returned for p in pages) == 19
+
+    def test_unpaginated_returns_everything(self, client):
+        reply = client.query(QueryRequest(dialect="filter", filter={}))
+        assert reply.page.offset == 0
+        assert reply.page.total == 20
+        assert reply.page.returned == 20
+        assert reply.page.next_cursor is None
+
+
+class TestEdgeCases:
+    def test_empty_result_set(self, client):
+        reply = client.query(
+            QueryRequest(
+                dialect="filter", filter={"status": "NO_SUCH"}, page_size=5
+            )
+        )
+        assert reply.page.total == 0
+        assert reply.page.returned == 0
+        assert reply.page.next_cursor is None
+        assert reply.frame.rows == ()
+
+    def test_limit_zero(self, client):
+        reply = client.query(
+            QueryRequest(dialect="filter", filter={}, limit=0)
+        )
+        assert reply.page.total == 0
+        assert reply.frame.rows == ()
+
+    def test_page_size_zero_is_bad_request(self, client):
+        err = client.query(
+            QueryRequest(dialect="filter", filter={}, page_size=0)
+        )
+        assert err.code == ErrorCode.BAD_REQUEST
+
+    def test_cursor_past_end_is_empty_page(self, client):
+        first = client.query(ALL_TASKS)
+        cursor = Cursor.decode(first.page.next_cursor)
+        past_end = Cursor(
+            fingerprint=cursor.fingerprint, offset=999, version=cursor.version
+        )
+        reply = client.query(
+            QueryRequest(
+                dialect="filter", filter={}, page_size=6,
+                cursor=past_end.encode(),
+            )
+        )
+        assert not isinstance(reply, ErrorEnvelope)
+        assert reply.page.returned == 0
+        assert reply.page.offset == 999
+        assert reply.page.next_cursor is None
+
+    def test_garbage_cursor_is_invalid(self, client):
+        err = client.query(
+            QueryRequest(
+                dialect="filter", filter={}, page_size=6, cursor="!!bogus!!"
+            )
+        )
+        assert err.code == ErrorCode.CURSOR_INVALID
+
+    def test_cursor_from_other_query_is_invalid(self, client):
+        first = client.query(ALL_TASKS)
+        err = client.query(
+            QueryRequest(
+                dialect="filter",
+                filter={"status": "FAILED"},
+                page_size=6,
+                cursor=first.page.next_cursor,
+            )
+        )
+        assert err.code == ErrorCode.CURSOR_INVALID
+
+
+class TestStaleness:
+    def test_cursor_reuse_after_write_is_stale(self, stack, store):
+        service, gateway, client = stack
+        first = client.query(ALL_TASKS)
+        assert first.page.next_cursor is not None
+        # new provenance lands between page reads
+        store.upsert(task_doc(99))
+        err = client.query(
+            QueryRequest(
+                dialect="filter", filter={}, page_size=6,
+                cursor=first.page.next_cursor,
+            )
+        )
+        assert isinstance(err, ErrorEnvelope)
+        assert err.code == ErrorCode.CURSOR_STALE
+        assert err.detail["cursor_version"] < err.detail["store_version"]
+
+    def test_restarting_after_stale_sees_new_rows(self, stack, store):
+        service, gateway, client = stack
+        first = client.query(ALL_TASKS)
+        store.upsert(task_doc(99))
+        stale = client.query(
+            QueryRequest(
+                dialect="filter", filter={}, page_size=6,
+                cursor=first.page.next_cursor,
+            )
+        )
+        assert stale.code == ErrorCode.CURSOR_STALE
+        pages = walk(client, ALL_TASKS)
+        assert sum(p.page.returned for p in pages) == 21
+
+    def test_same_version_cursor_stays_valid(self, client):
+        first = client.query(ALL_TASKS)
+        # reads do not bump the version: the cursor survives any number
+        # of interleaved queries
+        client.query(QueryRequest(dialect="filter", filter={"used.x": 3}))
+        second = client.query(
+            QueryRequest(
+                dialect="filter", filter={}, page_size=6,
+                cursor=first.page.next_cursor,
+            )
+        )
+        assert second.page.offset == 6
+
+
+class TestForgedCursors:
+    def test_negative_offset_cursor_is_invalid(self, client):
+        """Cursor tokens are client-forgeable: a negative offset must be
+        rejected, never wrap python slicing around the result set."""
+        first = client.query(ALL_TASKS)
+        good = Cursor.decode(first.page.next_cursor)
+        forged = Cursor(
+            fingerprint=good.fingerprint, offset=-2, version=good.version
+        )
+        err = client.query(replace(ALL_TASKS, cursor=forged.encode()))
+        assert err.code == ErrorCode.CURSOR_INVALID
+
+    def test_graph_cursor_goes_stale_on_lineage_update(self, stack):
+        """Graph cursors pin to the lineage index's applied counter: new
+        provenance arriving between pages returns CURSOR_STALE."""
+        service, gateway, client = stack
+        request = QueryRequest(
+            dialect="graph", operation="downstream", task_id="t0", page_size=5
+        )
+        first = client.query(request)
+        assert first.page.next_cursor is not None
+        # stream one more task through the broker; the live lineage
+        # service applies it and bumps the index's applied counter
+        service.capture_context.broker.publish(
+            "provenance.task", task_doc(50)
+        )
+        err = client.query(replace(request, cursor=first.page.next_cursor))
+        assert err.code == ErrorCode.CURSOR_STALE

@@ -1,0 +1,349 @@
+"""Schema layer: strict round-tripping, canonical JSON, stable errors.
+
+The acceptance contract: every request/response schema survives
+``from_json(to_json(x)) == x`` (hypothesis property tests below), and
+malformed payloads raise :class:`SchemaViolation` — which the gateway
+maps to :class:`ErrorEnvelope` codes — never anything else.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import schemas as s
+from repro.api.schemas import (
+    ChatReply,
+    ChatRequest,
+    CreateSessionRequest,
+    Cursor,
+    ErrorCode,
+    ErrorEnvelope,
+    FramePayload,
+    LineageReply,
+    LineageRequest,
+    Page,
+    QueryReply,
+    QueryRequest,
+    SchemaViolation,
+    SessionInfo,
+    StatsReply,
+    from_json,
+    to_json,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=24),
+)
+
+plain = st.one_of(
+    scalars,
+    st.lists(scalars, max_size=3),
+    st.dictionaries(st.text(max_size=8), scalars, max_size=3),
+)
+
+json_objects = st.dictionaries(st.text(max_size=8), plain, max_size=4)
+opt_text = st.none() | st.text(max_size=24)
+opt_int = st.none() | st.integers(min_value=0, max_value=10**6)
+
+
+@st.composite
+def frames(draw):
+    columns = draw(
+        st.lists(st.text(max_size=10), max_size=4, unique=True)
+    )
+    n_rows = draw(st.integers(min_value=0, max_value=4)) if columns else 0
+    rows = tuple(
+        tuple(draw(plain) for _ in columns) for _ in range(n_rows)
+    )
+    return FramePayload(columns=tuple(columns), rows=rows)
+
+
+@st.composite
+def pages(draw):
+    return Page(
+        offset=draw(st.integers(min_value=0, max_value=10**6)),
+        total=draw(st.integers(min_value=0, max_value=10**6)),
+        returned=draw(st.integers(min_value=0, max_value=10**6)),
+        next_cursor=draw(opt_text),
+    )
+
+
+@st.composite
+def query_requests(draw):
+    sort = draw(
+        st.none()
+        | st.lists(
+            st.tuples(st.text(max_size=10), st.sampled_from([1, -1])),
+            max_size=3,
+        ).map(tuple)
+    )
+    return QueryRequest(
+        dialect=draw(st.sampled_from(["filter", "pipeline", "graph", "weird"])),
+        filter=draw(st.none() | json_objects),
+        sort=sort,
+        limit=draw(opt_int),
+        code=draw(opt_text),
+        operation=draw(opt_text),
+        task_id=draw(opt_text),
+        target=draw(opt_text),
+        depth=draw(opt_int),
+        workflow_id=draw(opt_text),
+        page_size=draw(opt_int),
+        cursor=draw(opt_text),
+    )
+
+
+@st.composite
+def query_replies(draw):
+    return QueryReply(
+        dialect=draw(st.text(max_size=10)),
+        kind=draw(st.sampled_from(["frame", "scalar"])),
+        summary=draw(opt_text),
+        frame=draw(st.none() | frames()),
+        scalar=draw(plain),
+        records=draw(st.none() | st.lists(json_objects, max_size=3).map(tuple)),
+        page=draw(st.none() | pages()),
+    )
+
+
+@st.composite
+def chat_replies(draw):
+    return ChatReply(
+        session_id=draw(st.text(max_size=16)),
+        text=draw(st.text(max_size=64)),
+        intent=draw(st.text(max_size=16)),
+        ok=draw(st.booleans()),
+        code=draw(opt_text),
+        error=draw(opt_text),
+        chart=draw(opt_text),
+        table=draw(st.none() | frames()),
+    )
+
+
+@st.composite
+def stats_replies(draw):
+    str_ints = st.dictionaries(
+        st.text(max_size=8), st.integers(min_value=0, max_value=10**9), max_size=3
+    )
+    return StatsReply(
+        sessions=draw(st.integers(min_value=0, max_value=10**6)),
+        turns_completed=draw(st.integers(min_value=0, max_value=10**6)),
+        requests=draw(str_ints),
+        errors=draw(str_ints),
+        query_cache=draw(json_objects),
+        llm=draw(json_objects),
+    )
+
+
+SCHEMA_STRATEGIES = [
+    st.builds(CreateSessionRequest, session_id=opt_text, model=opt_text),
+    st.builds(
+        SessionInfo,
+        session_id=st.text(max_size=16),
+        model=st.text(max_size=16),
+        turn_count=st.integers(min_value=0, max_value=10**6),
+    ),
+    st.builds(
+        ChatRequest, session_id=st.text(max_size=16), message=st.text(max_size=64)
+    ),
+    chat_replies(),
+    query_requests(),
+    query_replies(),
+    st.builds(
+        LineageRequest,
+        task_id=st.text(max_size=16),
+        direction=st.sampled_from(["upstream", "downstream", "both"]),
+        depth=opt_int,
+    ),
+    st.builds(
+        LineageReply,
+        task_id=st.text(max_size=16),
+        upstream=st.lists(st.text(max_size=10), max_size=4).map(tuple),
+        downstream=st.lists(st.text(max_size=10), max_size=4).map(tuple),
+        node=st.none() | json_objects,
+    ),
+    stats_replies(),
+    st.builds(
+        ErrorEnvelope,
+        code=st.sampled_from(ErrorCode.ALL),
+        message=st.text(max_size=64),
+        detail=st.none() | json_objects,
+    ),
+    frames(),
+    pages(),
+]
+
+any_schema = st.one_of(SCHEMA_STRATEGIES)
+
+
+# ---------------------------------------------------------------------------
+# round-trip properties
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=300, deadline=None)
+    @given(obj=any_schema)
+    def test_json_round_trip_is_identity(self, obj):
+        assert from_json(to_json(obj)) == obj
+
+    @settings(max_examples=100, deadline=None)
+    @given(obj=any_schema)
+    def test_canonical_json_is_deterministic(self, obj):
+        text = to_json(obj)
+        assert to_json(from_json(text)) == text
+        # canonical form: sorted keys, no whitespace
+        assert text == json.dumps(
+            json.loads(text), sort_keys=True, separators=(",", ":")
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(obj=any_schema)
+    def test_type_tag_dispatches(self, obj):
+        data = json.loads(to_json(obj))
+        assert data["type"].startswith("v1/")
+        assert isinstance(from_json(to_json(obj)), type(obj))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        fingerprint=st.text(max_size=32),
+        offset=st.integers(min_value=0, max_value=10**9),
+        version=st.integers(min_value=0, max_value=10**12),
+    )
+    def test_cursor_round_trip(self, fingerprint, offset, version):
+        cursor = Cursor(fingerprint=fingerprint, offset=offset, version=version)
+        assert Cursor.decode(cursor.encode()) == cursor
+
+
+# ---------------------------------------------------------------------------
+# malformed payloads: SchemaViolation, never anything else
+# ---------------------------------------------------------------------------
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "not json",
+            "[1, 2, 3]",
+            '"just a string"',
+            "{}",
+            '{"type": "v1/nope"}',
+            '{"type": 7}',
+            '{"type": "v1/chat_request"}',  # missing required fields
+            '{"type": "v1/chat_request", "session_id": 5, "message": "hi"}',
+            '{"type": "v1/chat_request", "session_id": "s", "message": "m", '
+            '"extra": 1}',
+            '{"type": "v1/query_request"}',  # dialect missing
+            '{"type": "v1/query_request", "dialect": "filter", "sort": "x"}',
+            '{"type": "v1/query_request", "dialect": "filter", '
+            '"sort": [["f", 2]]}',
+            '{"type": "v1/query_request", "dialect": "filter", "limit": true}',
+            '{"type": "v1/frame", "columns": ["a"], "rows": [[1, 2]]}',
+            '{"type": "v1/frame", "columns": "a", "rows": []}',
+            '{"type": "v1/error", "code": "NO_SUCH_CODE", "message": "m"}',
+            '{"type": "v1/error", "code": "INTERNAL"}',  # message missing
+            '{"type": "v1/stats_reply", "sessions": "many", '
+            '"turns_completed": 0}',
+            '{"type": "v1/page", "offset": 0, "total": 0, "returned": 0.5}',
+        ],
+    )
+    def test_bad_payload_raises_schema_violation(self, text):
+        with pytest.raises(SchemaViolation):
+            from_json(text)
+
+    def test_expected_type_mismatch(self):
+        text = to_json(ChatRequest(session_id="s", message="m"))
+        with pytest.raises(SchemaViolation):
+            from_json(text, QueryRequest)
+
+    def test_tagless_payload_with_expected_type(self):
+        # route-implied parsing: the body of a typed endpoint may omit the tag
+        req = from_json('{"dialect": "filter"}', QueryRequest)
+        assert req == QueryRequest(dialect="filter")
+
+    def test_tagless_payload_without_expected_type(self):
+        with pytest.raises(SchemaViolation):
+            from_json('{"dialect": "filter"}')
+
+    @pytest.mark.parametrize("token", ["", "!!!", "eyJ4IjoxfQ", "abc=="])
+    def test_bad_cursor_tokens(self, token):
+        with pytest.raises(SchemaViolation):
+            Cursor.decode(token)
+
+    def test_booleans_are_not_integers(self):
+        with pytest.raises(SchemaViolation):
+            from_json(
+                '{"type": "v1/session_info", "session_id": "s", '
+                '"model": "m", "turn_count": true}'
+            )
+
+
+# ---------------------------------------------------------------------------
+# frame payloads
+# ---------------------------------------------------------------------------
+
+
+class TestFramePayload:
+    def test_from_frame_makes_values_plain(self):
+        from repro.dataframe import DataFrame
+
+        frame = DataFrame.from_records(
+            [
+                {"a": 1, "b": 1.5, "c": "x", "d": None},
+                {"a": 2, "b": None, "c": "y", "d": None},
+            ]
+        )
+        payload = FramePayload.from_frame(frame)
+        assert payload.columns == ("a", "b", "c", "d")
+        # NaN (the frame's missing-float marker) maps to null on the wire
+        assert payload.rows[1][1] is None
+        text = to_json(payload)
+        assert from_json(text) == payload
+
+    def test_to_dicts_matches_frame(self):
+        from repro.dataframe import DataFrame
+
+        records = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        payload = FramePayload.from_frame(DataFrame.from_records(records))
+        assert payload.to_dicts() == records
+
+    def test_csv_rendering_quotes_specials(self):
+        payload = FramePayload(
+            columns=("name", "note"),
+            rows=(("plain", 'say "hi"'), ("with,comma", None)),
+        )
+        lines = payload.to_csv().split("\r\n")
+        assert lines[0] == "name,note"
+        assert lines[1] == 'plain,"say ""hi"""'
+        assert lines[2] == '"with,comma",'
+
+    def test_csv_of_query_reply(self):
+        reply = QueryReply(
+            dialect="filter",
+            kind="frame",
+            frame=FramePayload(columns=("a",), rows=((1,), (2,))),
+        )
+        content_type, text = s.render_query_csv(reply)
+        assert content_type == "text/csv"
+        assert text == "a\r\n1\r\n2\r\n"
+
+    def test_csv_of_scalar_reply_is_not_acceptable(self):
+        reply = QueryReply(dialect="pipeline", kind="scalar", scalar=4)
+        content_type, text = s.render_query_csv(reply)
+        assert content_type == "application/json"
+        envelope = from_json(text)
+        assert envelope.code == ErrorCode.NOT_ACCEPTABLE

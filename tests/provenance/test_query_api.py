@@ -136,3 +136,102 @@ class TestViews:
     def test_lineage_and_impact(self, api):
         assert api.lineage("t2") == {"t1"}
         assert api.impact("t1") == {"t2"}
+
+
+class TestCachedTallies:
+    """counts()/status_counts()/failed_tasks() ride the versioned cache."""
+
+    def _monitored(self):
+        db = ProvenanceDatabase()
+        db.upsert_many(
+            [
+                {"task_id": f"t{i}", "workflow_id": "w1", "type": "task",
+                 "status": "FAILED" if i % 4 == 1 else "FINISHED"}
+                for i in range(16)
+            ]
+        )
+        return QueryAPI(db), db
+
+    def test_repeated_counts_hit_cache(self):
+        api, db = self._monitored()
+        first = api.counts("status")
+        before = api.cache.stats()
+        second = api.counts("status")
+        after = api.cache.stats()
+        assert second == first
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_status_counts_shares_the_counts_entry(self):
+        api, db = self._monitored()
+        api.counts("status")
+        before = api.cache.stats()["hits"]
+        assert api.status_counts() == {"FINISHED": 12, "FAILED": 4}
+        assert api.cache.stats()["hits"] == before + 1
+
+    def test_version_bump_invalidates_counts(self):
+        api, db = self._monitored()
+        assert api.counts("status")["FAILED"] == 4
+        db.upsert({"task_id": "t-new", "workflow_id": "w1", "type": "task",
+                   "status": "FAILED"})
+        invalidations = api.cache.stats()["invalidations"]
+        # the very next read re-executes against the bumped version ...
+        assert api.counts("status")["FAILED"] == 5
+        assert api.cache.stats()["invalidations"] == invalidations + 1
+        # ... and repeats hit again
+        before = api.cache.stats()["hits"]
+        assert api.counts("status")["FAILED"] == 5
+        assert api.cache.stats()["hits"] == before + 1
+
+    def test_failed_tasks_cached_and_invalidated(self):
+        api, db = self._monitored()
+        first = api.failed_tasks()
+        before = api.cache.stats()["hits"]
+        second = api.failed_tasks()
+        assert second == first
+        assert api.cache.stats()["hits"] == before + 1
+        # a caller mutating its answer must not poison later reads —
+        # neither the list itself nor the documents inside it
+        second.append({"task_id": "bogus"})
+        second[0]["acknowledged"] = True
+        third = api.failed_tasks()
+        assert len(third) == len(first)
+        assert "acknowledged" not in third[0]
+        # new provenance invalidates exactly once
+        db.upsert({"task_id": "t-bad", "workflow_id": "w1", "type": "task",
+                   "status": "FAILED"})
+        assert {t["task_id"] for t in api.failed_tasks()} == (
+            {t["task_id"] for t in first} | {"t-bad"}
+        )
+
+    def test_filtered_counts_key_separately(self):
+        api, db = self._monitored()
+        all_counts = api.counts("status")
+        filtered = api.counts("status", {"status": "FAILED"})
+        assert filtered == {"FAILED": 4}
+        assert all_counts != filtered
+        # both entries live side by side and both hit on repeat
+        before = api.cache.stats()["hits"]
+        api.counts("status")
+        api.counts("status", {"status": "FAILED"})
+        assert api.cache.stats()["hits"] == before + 2
+
+    def test_unversioned_store_bypasses_cache(self):
+        class Min:
+            """A minimal backend without version(): no caching possible."""
+
+            def __init__(self, db):
+                self._db = db
+
+            def field_counts(self, field, filt=None):
+                return self._db.field_counts(field, filt)
+
+            def find(self, filt=None, **kw):
+                return self._db.find(filt, **kw)
+
+        api, db = self._monitored()
+        bare = QueryAPI(Min(db))
+        assert bare.counts("status")["FINISHED"] == 12
+        assert bare.failed_tasks()
+        assert bare.cache.stats()["hits"] == 0
+        assert bare.cache.stats()["misses"] == 0
