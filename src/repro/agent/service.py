@@ -100,8 +100,11 @@ class AgentService:
         self.router = ToolRouter()
         self.registry = ToolRegistry()
         #: shared versioned result cache fronting the historical store
-        self.query_cache = query_cache or (
-            query_api.cache if query_api is not None else QueryCache()
+        # explicit None check: an empty cache has len() == 0 and is falsy
+        self.query_cache = (
+            query_cache
+            if query_cache is not None
+            else (query_api.cache if query_api is not None else QueryCache())
         )
 
         self.query_tool = InMemoryQueryTool(

@@ -24,7 +24,11 @@ one request/response schema layer (:mod:`repro.api.schemas`) routed here:
   :class:`~repro.api.schemas.Cursor` tokens pinned to the query
   fingerprint *and* the store version: a write between pages makes the
   cursor stale (:data:`ErrorCode.CURSOR_STALE`) instead of silently
-  shifting rows;
+  shifting rows.  Cursors live client-side, so they survive a server
+  restart; against a durable store
+  (:class:`repro.storage.DurableStore`) the recovery epoch bump makes
+  every pre-restart cursor come back ``CURSOR_STALE`` — never a
+  silently wrong page over recovered contents;
 * **stats** — per-endpoint request/error counters merged with the
   serving layer's snapshot, published as the MCP ``serving-stats``
   resource.

@@ -74,6 +74,34 @@ class LineageService:
     def __exit__(self, *exc_info: Any) -> None:
         self.stop()
 
+    # -- cold-start recovery -------------------------------------------------------
+    def replay_store(self, store: Any) -> int:
+        """Rebuild the index from a recovered storage backend's contents.
+
+        The broker-log replay (``start(replay=True)``) only covers
+        history the *broker* retained; after a restart on a durable
+        store (:class:`repro.storage.DurableStore`), the authoritative
+        history is the store itself.  Every stored document goes through
+        the keeper's exact validation (:func:`normalise_payload`) so the
+        index accepts precisely what ingest accepted — and application
+        is idempotent, so overlap with live deliveries or a broker
+        replay is harmless.  Returns the number of documents applied.
+        """
+        accepted: list[dict[str, Any]] = []
+        rejected = 0
+        for doc in store.all():
+            normalised = self._normalise(doc)
+            if normalised is None:
+                rejected += 1
+            else:
+                accepted.append(normalised)
+        if rejected:
+            with self._lock:
+                self.rejected_count += rejected
+        if accepted:
+            self.index.apply_many(accepted)
+        return len(accepted)
+
     # -- ingestion ----------------------------------------------------------------
     def _normalise(self, payload: Mapping[str, Any]) -> dict[str, Any] | None:
         """Keeper-identical validation (shared helper); None for rejects."""

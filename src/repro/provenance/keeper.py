@@ -202,6 +202,31 @@ class ProvenanceKeeper:
                 self.processed_count += len(accepted)
         return len(accepted)
 
+    def rebuild_lineage(self) -> int:
+        """Cold-start recovery: re-feed stored history into the index.
+
+        A keeper attached to a durable store
+        (:class:`repro.storage.DurableStore`) recovers the *database*
+        for free, but the :class:`~repro.lineage.LineageIndex` is
+        in-memory and restarts empty.  This replays the store's current
+        contents through the keeper's own validation into the index —
+        under the same apply lock live ingest uses, so a replay racing
+        fresh deliveries still observes one merge order.  Idempotent
+        (re-applying unchanged documents is a no-op for the index);
+        returns the number of documents applied.
+        """
+        if self.lineage_index is None:
+            return 0
+        accepted: list[dict[str, Any]] = []
+        for doc in self.database.all():
+            msg, _reason = normalise_payload(doc)
+            if msg is not None:
+                accepted.append(msg.to_dict())
+        if accepted:
+            with self._apply_lock:
+                self.lineage_index.apply_many(accepted)
+        return len(accepted)
+
     def _store(self, docs: list[dict[str, Any]]) -> None:
         if self.lineage_index is not None:
             with self._apply_lock:

@@ -66,7 +66,9 @@ class QueryAPI:
         self.database = database
         #: versioned result cache shared with the agent's database tool;
         #: pass an explicit QueryCache to share one across facades
-        self.cache = cache or QueryCache(max_entries=128)
+        # explicit None check: an empty cache has len() == 0 and is falsy,
+        # and a shared cache is usually handed over empty
+        self.cache = QueryCache(max_entries=128) if cache is None else cache
 
     # -- task-level reads -----------------------------------------------------
     def tasks(

@@ -26,6 +26,14 @@ unreachable by construction, at worst a superfluous re-execution.
 
 The cache is shared infrastructure (one per served store, many
 sessions), so it is thread-safe and LRU-bounded.
+
+Restart semantics: the same discipline survives crashes.  A persistent
+backend (:class:`repro.storage.DurableStore`) restores ``version()``
+monotonically across reopen and bumps it once per recovery, so an entry
+cached against the pre-crash store can never match the post-recovery
+version — a cache object outliving its store (same process, reopened
+backend) re-executes instead of serving pre-crash results
+(``tests/api/test_restart_semantics.py`` holds it to that).
 """
 
 from __future__ import annotations

@@ -13,14 +13,26 @@ package is the seam that makes it so in code:
   single-node indexed reference backend;
 * :mod:`repro.storage.sharded` — :class:`ShardedProvenanceStore`,
   hash-partitioned by ``workflow_id`` with single-shard routing for
-  targeted queries and coordinator-merged scatter-gather for the rest.
+  targeted queries and coordinator-merged scatter-gather for the rest;
+* :mod:`repro.storage.durable` — :class:`DurableStore`, the
+  crash-recoverable backend: CRC-framed write-ahead-log segments plus
+  compacting snapshots around the in-memory reference store, with
+  :func:`open_durable_sharded` composing one WAL per shard under the
+  sharded coordinator.
 
-Single-node and sharded stores are drop-in interchangeable; the parity
-suites in ``tests/storage`` and ``benchmarks/bench_sharded_store.py``
-hold them to identical results.
+All stores are drop-in interchangeable; the parity suites in
+``tests/storage`` and ``benchmarks/bench_sharded_store.py`` /
+``benchmarks/bench_durable_store.py`` hold them to identical results —
+the durability suite additionally proves crash recovery by injecting a
+kill at every write boundary.
 """
 
 from repro.storage.backend import StorageBackend
+from repro.storage.durable import (
+    DurableStore,
+    FileOps,
+    open_durable_sharded,
+)
 from repro.storage.documents import (
     get_path,
     merge_upsert_doc,
@@ -41,6 +53,9 @@ __all__ = [
     "StorageBackend",
     "ProvenanceDatabase",
     "ShardedProvenanceStore",
+    "DurableStore",
+    "FileOps",
+    "open_durable_sharded",
     "DEFAULT_EQUALITY_INDEX_FIELDS",
     "DEFAULT_RANGE_INDEX_FIELDS",
     "DEFAULT_NUM_SHARDS",

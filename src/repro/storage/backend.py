@@ -49,6 +49,16 @@ class StorageBackend(Protocol):
       change in between, which is what lets the query-result cache
       (:class:`repro.query.QueryCache`) serve repeated reads without
       re-executing them.
+
+      **Persistence clause:** the stamp must be monotonic across the
+      store's whole lifetime, *including reopen* — a persistent backend
+      persists it alongside the data and must never restart it at 0 (a
+      reused stamp could pair a pre-restart cache entry or pagination
+      cursor with a post-restart store that holds different contents).
+      The durable backend additionally bumps the stamp once on every
+      recovery (the *recovery epoch bump*), so a version observed
+      before a crash is guaranteed never to be observed again after
+      one, even when every acknowledged write survived.
     """
 
     # -- writes ---------------------------------------------------------------

@@ -543,9 +543,60 @@ class ProvenanceDatabase:
         return True
 
     def version(self) -> int:
-        """Monotonic write stamp; unchanged iff contents are unchanged."""
+        """Monotonic write stamp; unchanged iff contents are unchanged.
+
+        Contract notes (the :class:`~repro.storage.backend.StorageBackend`
+        persistence clause): the stamp never resets — ``clear`` bumps it
+        like any other write.  This backend is process-local, so its
+        stamp dies with the process; a *persistent* backend must carry
+        the stamp across reopen and restore it monotonically (see
+        :meth:`repro.storage.durable.DurableStore.version`), because
+        cached results and cursors keyed on a pre-restart stamp must
+        never pair with a post-restart store.
+        """
         with self._lock:
             return self._version
+
+    # -- state transfer ----------------------------------------------------------
+    def export_state(self) -> tuple[list[dict[str, Any]], dict[str, int]]:
+        """Consistent copy of ``(documents, upsert-key -> doc index)``.
+
+        The durable backend's snapshot writer and the sharded
+        coordinator's routing rebuild both need the store's *full*
+        logical state — the documents in insertion order plus which of
+        them are addressable by an upsert key — without reaching into
+        internals.  Documents are copied; mutating the result never
+        touches the store.
+        """
+        with self._lock:
+            return [dict(d) for d in self._docs], dict(self._by_key)
+
+    def import_state(
+        self, docs: Iterable[Mapping[str, Any]], keys: Mapping[str, int]
+    ) -> None:
+        """Replace contents with an :meth:`export_state`-shaped state.
+
+        Rebuilds every index; counts as one write (version bumps, never
+        resets).  ``keys`` maps upsert keys to positions in ``docs`` —
+        exactly what a later ``upsert`` needs to find its merge target.
+        """
+        with self._lock:
+            self.clear()  # one version bump covers the whole swap
+            for doc in docs:
+                doc_id = len(self._docs)
+                stored = dict(doc)
+                self._docs.append(stored)
+                self._eq_vals.append(self._eq_record(doc_id, stored))
+            n = len(self._docs)
+            for key, idx in keys.items():
+                if not 0 <= idx < n:
+                    raise DatabaseError(
+                        f"import_state: key {key!r} points at document "
+                        f"{idx}, store has {n}"
+                    )
+                self._by_key[key] = idx
+            # bulk load: sorted range indexes rebuild on first range query
+            self._range_dirty.update(self._range_fields)
 
     def clear(self) -> None:
         with self._lock:

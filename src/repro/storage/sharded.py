@@ -109,25 +109,35 @@ class ShardedProvenanceStore:
         range_index_fields: Iterable[str] = DEFAULT_RANGE_INDEX_FIELDS,
         scatter_parallel_min: int = 250_000,
         ingest_parallel_min: int = 64,
+        shard_factory: Callable[[int], Any] | None = None,
     ) -> None:
         if num_shards < 1:
             raise DatabaseError(f"num_shards must be >= 1, got {num_shards}")
         self._shard_key = shard_key
         self._shard_key_plain = "." not in shard_key
-        #: the shards are ordinary single-node stores; tests and the
-        #: benchmark may *inspect* them, but all traffic goes through
-        #: the coordinator so routing state stays consistent
-        self.shards: tuple[ProvenanceDatabase, ...] = tuple(
-            ProvenanceDatabase(
-                equality_index_fields=equality_index_fields,
-                range_index_fields=range_index_fields,
-                # the coordinator stamps a fresh copy of every document
-                # (_stamp), so shards take ownership instead of copying
-                # again inside their write lock
-                copy_docs=False,
+        #: the shards are single-node backends; tests and the benchmark
+        #: may *inspect* them, but all traffic goes through the
+        #: coordinator so routing state stays consistent.  A
+        #: ``shard_factory`` swaps the shard implementation — e.g. one
+        #: :class:`~repro.storage.durable.DurableStore` per shard for a
+        #: WAL-file-per-shard deployment; the factory's backend must
+        #: expose the protocol plus ``_lock`` (an RLock guarding its
+        #: write path, used for sequence stamping) and ``export_state``
+        #: (used by :meth:`rebuild_routing` after recovery).
+        if shard_factory is not None:
+            self.shards = tuple(shard_factory(i) for i in range(num_shards))
+        else:
+            self.shards = tuple(
+                ProvenanceDatabase(
+                    equality_index_fields=equality_index_fields,
+                    range_index_fields=range_index_fields,
+                    # the coordinator stamps a fresh copy of every
+                    # document, so shards take ownership instead of
+                    # copying again inside their write lock
+                    copy_docs=False,
+                )
+                for _ in range(num_shards)
             )
-            for _ in range(num_shards)
-        )
         # scatter queries run shards inline below this store size: the
         # in-memory shards hold the GIL while scanning, so pool dispatch
         # buys latency jitter, not parallelism, until per-shard work is
@@ -167,6 +177,12 @@ class ShardedProvenanceStore:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        for shard in self.shards:
+            # durable shards flush their WAL on close; plain in-memory
+            # shards have nothing to release
+            closer = getattr(shard, "close", None)
+            if closer is not None:
+                closer()
 
     def __enter__(self) -> "ShardedProvenanceStore":
         return self
@@ -352,6 +368,65 @@ class ShardedProvenanceStore:
         self._seq_counter = itertools.count(1)
         for shard in self.shards:
             shard.clear()
+
+    def rebuild_routing(self) -> int:
+        """Reconstruct coordinator state from shard contents (cold start).
+
+        The key→home-shard table, stray tracking, unroutable-shard set,
+        and global sequence counter live only in coordinator memory; when
+        the shards are *durable* backends recovered from disk, this
+        rebuilds all four from what the shards actually hold, so routing
+        decisions after a restart match the placement decisions made
+        before it.  Returns the number of keyed documents re-registered.
+        Like :meth:`clear`, not safe against concurrent writers.
+        """
+        for stripe, lock in zip(self._key_stripes, self._stripe_locks):
+            with lock:
+                stripe.clear()
+        with self._stray_lock:
+            self._stray.clear()
+            self._unroutable_shards.clear()
+        max_seq = 0
+        keyed = 0
+        for shard_idx, shard in enumerate(self.shards):
+            exporter = getattr(shard, "export_state", None)
+            if exporter is None:
+                raise DatabaseError(
+                    f"shard {shard_idx} backend "
+                    f"({type(shard).__name__}) does not expose "
+                    "export_state(); cannot rebuild routing"
+                )
+            docs, keys = exporter()
+            by_index = {idx: key for key, idx in keys.items()}
+            for idx, doc in enumerate(docs):
+                seq = doc.get(_SEQ_FIELD)
+                if isinstance(seq, int) and seq > max_seq:
+                    max_seq = seq
+                wf = (
+                    doc.get(self._shard_key)
+                    if self._shard_key_plain
+                    else get_path(doc, self._shard_key)
+                )
+                key = by_index.get(idx)
+                if key is not None:
+                    stripe = hash(key) & (_N_STRIPES - 1)
+                    with self._stripe_locks[stripe]:
+                        self._key_stripes[stripe][key] = [shard_idx, wf]
+                    keyed += 1
+                if wf is None:
+                    continue
+                rk = _route_key(wf)
+                with self._stray_lock:
+                    if rk is None:
+                        self._unroutable_shards.add(shard_idx)
+                    elif self._shard_of(rk) != shard_idx:
+                        # the document's current shard-key value hashes
+                        # elsewhere (it changed after placement, or the
+                        # key itself routed the doc): targeted queries
+                        # for that value must still visit this shard
+                        self._stray.setdefault(rk, set()).add(shard_idx)
+        self._seq_counter = itertools.count(max_seq + 1)
+        return keyed
 
     # -- routing -----------------------------------------------------------------
     def _routing_values(self, filt: Mapping[str, Any]) -> set[Any] | None:
@@ -556,6 +631,12 @@ class ShardedProvenanceStore:
         lock is safe for cache use: a concurrent write can only make the
         sum *larger* than the value a cached result was stored under,
         never reproduce it.
+
+        Persistence contract: with in-memory shards the stamp is
+        process-local; with durable shards (``shard_factory`` +
+        :func:`repro.storage.durable.open_durable_sharded`) each shard
+        restores its own stamp across reopen — monotonic, never reset
+        to 0 — so the sum inherits both properties.
         """
         return sum(shard.version() for shard in self.shards)
 

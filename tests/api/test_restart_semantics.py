@@ -1,0 +1,224 @@
+"""Restart semantics: caches, cursors, and lineage across a recovery.
+
+A durable backend makes the *store* survive a crash — these tests pin
+down what happens to everything layered on top of it when the process
+comes back:
+
+* a :class:`QueryCache` outliving its store (same process, reopened
+  backend) must never serve pre-crash entries — the recovery epoch bump
+  guarantees the post-recovery version can never equal a pre-crash one,
+  so stale entries are unreachable, not merely unlikely;
+* gateway cursors minted before the restart live client-side and *do*
+  survive — replaying one must come back ``CURSOR_STALE`` (version
+  pinned pre-crash) or ``CURSOR_INVALID`` (undecodable), never a
+  silently wrong page;
+* the in-memory :class:`LineageIndex` restarts empty and is rebuilt
+  from the recovered store through keeper-identical validation
+  (:meth:`ProvenanceKeeper.rebuild_lineage`,
+  :meth:`LineageService.replay_store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.agent.service import AgentService
+from repro.api.client import GatewayClient
+from repro.api.gateway import ProvenanceGateway
+from repro.api.schemas import ErrorCode, ErrorEnvelope, QueryRequest
+from repro.capture.context import CaptureContext
+from repro.lineage.index import LineageIndex
+from repro.lineage.service import LineageService
+from repro.llm.service import LLMServer
+from repro.messaging.broker import InProcessBroker
+from repro.provenance.keeper import ProvenanceKeeper
+from repro.provenance.query_api import QueryAPI
+from repro.query.cache import MISS, QueryCache
+from repro.storage import DurableStore
+from tests.api.conftest import task_doc
+
+ALL_TASKS = QueryRequest(dialect="filter", filter={}, page_size=6)
+
+
+def _populated(path: str, n: int = 20) -> DurableStore:
+    store = DurableStore(path)
+    store.upsert_many([task_doc(i) for i in range(n)])
+    return store
+
+
+# ---------------------------------------------------------------------------
+# QueryCache
+# ---------------------------------------------------------------------------
+
+
+class TestCacheAcrossRestart:
+    def test_pre_crash_entries_never_hit_after_recovery(self, tmp_path):
+        path = str(tmp_path / "store")
+        cache = QueryCache()
+        store = _populated(path)
+        api = QueryAPI(store, cache=cache)
+        before = api.counts("status")
+        assert cache.stats()["entries"] >= 1
+        # the repeat answers from cache while the store is untouched
+        assert api.counts("status") == before
+        hits_pre = cache.stats()["hits"]
+        assert hits_pre >= 1
+
+        # crash: the store object is abandoned un-closed; same cache,
+        # recovered backend
+        del store, api
+        recovered = DurableStore(path)
+        recovered.upsert(task_doc(99, status="FAILED"))
+        api = QueryAPI(recovered, cache=cache)
+
+        after = api.counts("status")
+        assert after["FAILED"] == before.get("FAILED", 0) + 1
+        # the pre-crash entry was invalidated, not served: zero new hits
+        assert cache.stats()["hits"] == hits_pre
+        assert cache.stats()["invalidations"] >= 1
+        recovered.close()
+
+    def test_recovery_epoch_bump_makes_stale_versions_unreachable(self, tmp_path):
+        """version() after recovery is strictly past every pre-crash
+        observation, even when recovery replays zero new writes."""
+        path = str(tmp_path / "store")
+        store = _populated(path, n=5)
+        v_pre = store.version()
+        del store  # crash
+        recovered = DurableStore(path)
+        assert recovered.version() > v_pre
+        # and a same-process cache keyed on the old version cannot match
+        cache = QueryCache()
+        cache.put("k", v_pre, "pre-crash rows")
+        assert cache.get("k", recovered.version()) is MISS
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# gateway cursors
+# ---------------------------------------------------------------------------
+
+
+def _stack(store):
+    ctx = CaptureContext()
+    service = AgentService(ctx, llm=LLMServer(), query_api=QueryAPI(store))
+    ctx.broker.publish_batch("provenance.task", store.all())
+    return service, GatewayClient(ProvenanceGateway(service))
+
+
+class TestCursorsAcrossRestart:
+    def test_pre_restart_cursor_returns_stale_not_wrong_page(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = _populated(path)
+        service, client = _stack(store)
+        first = client.query(ALL_TASKS)
+        assert first.page.next_cursor is not None
+        pre_cursor = first.page.next_cursor
+        service.close()
+        del store  # crash
+
+        recovered = DurableStore(path)
+        service, client = _stack(recovered)
+        try:
+            err = client.query(replace(ALL_TASKS, cursor=pre_cursor))
+            assert isinstance(err, ErrorEnvelope)
+            assert err.code == ErrorCode.CURSOR_STALE
+            assert err.detail["cursor_version"] < err.detail["store_version"]
+            # restarting the walk sees the recovered rows, fully
+            reply = client.query(ALL_TASKS)
+            assert reply.page.total == 20
+        finally:
+            service.close()
+            recovered.close()
+
+    def test_pre_restart_cursor_stale_even_with_identical_contents(self, tmp_path):
+        """The dangerous case: recovery reproduces byte-identical rows,
+        so a silently-accepted cursor would LOOK right — the epoch bump
+        is what forces the client through a fresh first page anyway."""
+        path = str(tmp_path / "store")
+        store = _populated(path)
+        service, client = _stack(store)
+        pages_pre = client.query(ALL_TASKS)
+        service.close()
+        store.close()  # clean shutdown: still a restart
+
+        recovered = DurableStore(path)
+        service, client = _stack(recovered)
+        try:
+            assert client.query(ALL_TASKS).frame == pages_pre.frame
+            err = client.query(
+                replace(ALL_TASKS, cursor=pages_pre.page.next_cursor)
+            )
+            assert err.code == ErrorCode.CURSOR_STALE
+        finally:
+            service.close()
+            recovered.close()
+
+    def test_garbage_cursor_still_invalid_after_restart(self, tmp_path):
+        path = str(tmp_path / "store")
+        _populated(path).close()
+        recovered = DurableStore(path)
+        service, client = _stack(recovered)
+        try:
+            err = client.query(replace(ALL_TASKS, cursor="!!pre-crash junk!!"))
+            assert err.code == ErrorCode.CURSOR_INVALID
+        finally:
+            service.close()
+            recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# lineage rebuild
+# ---------------------------------------------------------------------------
+
+
+class TestLineageRebuild:
+    def test_keeper_rebuild_lineage_restores_the_graph(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = DurableStore(path)
+        broker = InProcessBroker()
+        index = LineageIndex()
+        keeper = ProvenanceKeeper(broker, store, lineage_index=index)
+        keeper.ingest_batch([task_doc(i) for i in range(12)])
+        downstream_pre = index.downstream("t0")
+        assert downstream_pre  # linear chain: t0 reaches everything
+        del store, keeper, index  # crash: index state is gone
+
+        recovered = DurableStore(path)
+        fresh_index = LineageIndex()
+        keeper = ProvenanceKeeper(broker, recovered, lineage_index=fresh_index)
+        assert len(fresh_index) == 0
+        applied = keeper.rebuild_lineage()
+        assert applied == 12
+        assert fresh_index.downstream("t0") == downstream_pre
+        # rebuild is idempotent: running it again changes nothing
+        keeper.rebuild_lineage()
+        assert len(fresh_index) == 12
+        # and live ingest keeps working on top of the rebuilt graph
+        keeper.ingest(task_doc(12))
+        assert "t12" in fresh_index.downstream("t0")
+        recovered.close()
+
+    def test_keeper_rebuild_without_index_is_a_noop(self, tmp_path):
+        store = _populated(str(tmp_path / "store"), n=3)
+        keeper = ProvenanceKeeper(InProcessBroker(), store)
+        assert keeper.rebuild_lineage() == 0
+        store.close()
+
+    def test_service_replay_store_validates_like_ingest(self, tmp_path):
+        """replay_store applies keeper-identical validation: documents
+        live ingest would reject are rejected on replay too."""
+        path = str(tmp_path / "store")
+        store = DurableStore(path)
+        store.upsert_many([task_doc(i) for i in range(6)])
+        store.insert({"type": "note", "msg": "not a task"})  # schema-invalid
+        store.close()
+
+        recovered = DurableStore(path)
+        service = LineageService(InProcessBroker())
+        applied = service.replay_store(recovered)
+        assert applied == 6
+        assert service.rejected_count == 1
+        assert len(service.index) == 6
+        assert service.index.downstream("t0") == {f"t{i}" for i in range(1, 6)}
+        recovered.close()

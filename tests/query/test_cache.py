@@ -316,3 +316,31 @@ class TestUnhashableFilterToFrame:
         assert fb.column("task_id").to_list() == ["t1"]  # not A's cached frame
         # and nothing was cached for either
         assert api.cache.stats()["entries"] == 0
+
+
+class TestExplicitEmptyCacheIsKept:
+    def test_query_api_keeps_a_shared_empty_cache(self):
+        """Regression: ``cache or QueryCache()`` dropped an explicitly
+        shared cache whenever it was (still) empty — len() == 0 is falsy
+        — silently unsharing every facade handed a fresh cache (the
+        normal way one is shared, e.g. across a durable-store restart)."""
+        shared = QueryCache()
+        api = QueryAPI(ProvenanceDatabase(), cache=shared)
+        assert api.cache is shared
+
+    def test_agent_service_keeps_a_shared_empty_cache(self):
+        from repro.agent.service import AgentService
+        from repro.llm.service import LLMServer
+
+        shared = QueryCache()
+        ctx = CaptureContext()
+        service = AgentService(
+            ctx,
+            llm=LLMServer(),
+            query_api=QueryAPI(ProvenanceDatabase()),
+            query_cache=shared,
+        )
+        try:
+            assert service.query_cache is shared
+        finally:
+            service.close()

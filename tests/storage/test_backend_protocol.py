@@ -129,3 +129,105 @@ class TestDropInConsumers:
             assert plan["shards"]
         else:
             assert plan["strategy"] == "index"
+
+
+class TestDurableConformance:
+    def test_durable_conforms(self, tmp_path):
+        from repro.storage import DurableStore
+
+        store = DurableStore(str(tmp_path / "store"))
+        try:
+            assert isinstance(store, StorageBackend)
+        finally:
+            store.close()
+
+    def test_durable_sharded_conforms(self, tmp_path):
+        from repro.storage import open_durable_sharded
+
+        store = open_durable_sharded(str(tmp_path / "store"), 3)
+        try:
+            assert isinstance(store, StorageBackend)
+        finally:
+            store.close()
+
+
+class TestVersionContract:
+    """The version() persistence clause every backend must honour.
+
+    Monotonic within a process for every backend; for persistent
+    backends additionally monotonic *across* reopen and never reset to
+    zero — the property QueryCache keys and gateway cursors lean on.
+    """
+
+    def _all_backends(self, tmp_path):
+        from repro.storage import DurableStore, open_durable_sharded
+
+        return [
+            ProvenanceDatabase(),
+            ShardedProvenanceStore(3),
+            DurableStore(str(tmp_path / "durable")),
+            open_durable_sharded(str(tmp_path / "durable-sharded"), 2),
+        ]
+
+    def test_every_write_bumps_every_backend(self, tmp_path):
+        for backend in self._all_backends(tmp_path):
+            seen = [backend.version()]
+            backend.upsert(task_payload("t1"))
+            seen.append(backend.version())
+            backend.upsert(task_payload("t1", status="FAILED"))  # re-delivery
+            seen.append(backend.version())
+            backend.insert_many([{"type": "note"}])
+            seen.append(backend.version())
+            backend.clear()  # a wipe is a write: cached results go stale
+            seen.append(backend.version())
+            assert seen == sorted(seen) and len(set(seen)) == len(seen), backend
+            if hasattr(backend, "close"):
+                backend.close()
+
+    def test_reads_never_bump(self, tmp_path):
+        for backend in self._all_backends(tmp_path):
+            backend.upsert_many([task_payload(f"t{i}") for i in range(4)])
+            v = backend.version()
+            backend.find({"workflow_id": "w1"}, sort=[("started_at", 1)])
+            backend.count({})
+            backend.distinct("workflow_id")
+            backend.aggregate([{"$count": "n"}])
+            backend.explain({})
+            assert backend.version() == v, backend
+            if hasattr(backend, "close"):
+                backend.close()
+
+    def test_durable_version_survives_reopen_never_resets(self, tmp_path):
+        from repro.storage import DurableStore
+
+        path = str(tmp_path / "store")
+        store = DurableStore(path)
+        assert store.version() == 0  # brand-new directory only
+        for i in range(5):
+            store.upsert(task_payload(f"t{i}"))
+        v_pre = store.version()
+        store.close()
+        observed = [v_pre]
+        for _ in range(3):  # every reopen stays past all prior observations
+            store = DurableStore(path)
+            assert store.version() > observed[-1]
+            observed.append(store.version())
+            store.upsert(task_payload("t9"))
+            observed.append(store.version())
+            store.close()
+        assert observed == sorted(observed)
+
+    def test_durable_sharded_version_survives_reopen(self, tmp_path):
+        from repro.storage import open_durable_sharded
+
+        path = str(tmp_path / "store")
+        store = open_durable_sharded(path, 2)
+        store.upsert_many([task_payload(f"t{i}", workflow_id=f"w{i % 3}") for i in range(8)])
+        v_pre = store.version()
+        store.close()
+        store = open_durable_sharded(path, 2)
+        try:
+            assert store.version() > v_pre
+            assert store.version() > 0
+        finally:
+            store.close()
