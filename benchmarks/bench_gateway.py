@@ -2,8 +2,9 @@
 
 The gateway contract has two legs, each asserted here:
 
-* **parity** — for a matrix of requests spanning all three query
-  dialects (``filter`` / ``pipeline`` / ``graph``), chat, lineage, CSV
+* **parity** — for a matrix of requests spanning all four query
+  dialects (``filter`` / ``pipeline`` / ``sql`` / ``graph``), chat,
+  lineage, CSV
   rendering, and error envelopes, the in-process
   :class:`~repro.api.client.GatewayClient` and the HTTP
   :class:`~repro.api.client.RemoteClient` return **byte-identical**
@@ -74,10 +75,22 @@ PARITY_QUERIES = (
         dialect="pipeline",
         code="df.groupby('activity_id')['duration'].mean()",
     ),
+    QueryRequest(
+        dialect="sql",
+        sql="SELECT task_id, duration FROM tasks "
+        "WHERE status = 'FINISHED' ORDER BY task_id LIMIT 20",
+    ),
+    QueryRequest(dialect="sql", sql="SELECT AVG(duration) FROM tasks"),
+    QueryRequest(
+        dialect="sql",
+        sql="SELECT COUNT(*) FROM tasks GROUP BY activity_id",
+        page_size=4,
+    ),
     QueryRequest(dialect="graph", operation="upstream", task_id="t64"),
     QueryRequest(dialect="graph", operation="impact_size", task_id="t0"),
     QueryRequest(dialect="graph", operation="roots", page_size=5),
-    QueryRequest(dialect="sql"),
+    QueryRequest(dialect="sql"),  # missing statement -> BAD_REQUEST
+    QueryRequest(dialect="sql", sql="SELECT * FROM tasks WHERE"),
     QueryRequest(dialect="pipeline", code="df.!!!"),
     QueryRequest(dialect="graph", operation="upstream", task_id="ghost"),
 )
@@ -176,7 +189,7 @@ def test_transport_parity(results_dir):
             series_table(
                 [
                     {
-                        "surface": "query json (3 dialects + errors)",
+                        "surface": "query json (4 dialects + errors)",
                         "requests": len(PARITY_QUERIES),
                         "byte_identical": "yes",
                     },

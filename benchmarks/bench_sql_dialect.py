@@ -1,0 +1,168 @@
+"""SQL dialect: compile overhead and cross-dialect cache behaviour.
+
+The SQL front end is a *compiler* onto the existing query IR, so its
+runtime story must be "parse + lower, then exactly the filter dialect's
+execution path".  Two properties are asserted:
+
+* **compile overhead** — median cold-cache latency of a SQL request is
+  within 10% of the equivalent filter-dialect request over the same
+  store (the lexer/parser/checker/compiler account for microseconds;
+  execution dominates at volume);
+* **cache-hit parity** — an equivalent query warmed through one dialect
+  answers from the shared versioned cache in every other dialect that
+  compiles to the same IR, and a repeated SQL request is itself a hit.
+
+``SQL_BENCH_N`` scales the document count (default 100k; CI smoke runs
+use 3k).  The overhead ceiling is asserted at full scale only — at
+smoke scale execution is too fast for a stable ratio and the run just
+reports the measurements.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import write_result
+from repro.agent.service import AgentService
+from repro.api.client import GatewayClient
+from repro.api.gateway import ProvenanceGateway
+from repro.api.schemas import QueryRequest
+from repro.capture.context import CaptureContext
+from repro.llm.service import LLMServer
+from repro.provenance.query_api import QueryAPI
+from repro.storage import ProvenanceDatabase
+from repro.viz.ascii import series_table
+
+N_TASKS = int(os.environ.get("SQL_BENCH_N", "100000"))
+ROUNDS = 9
+MAX_OVERHEAD = 1.10
+FULL_SCALE = N_TASKS >= 100_000
+
+SQL = (
+    "SELECT task_id, duration FROM tasks "
+    "WHERE status = 'FAILED' ORDER BY duration DESC LIMIT 25"
+)
+# the sql dialect scopes 'FROM tasks' to type=task via the gateway's
+# base filter; the equivalent filter request must carry that clause too
+FILTER_REQUEST = QueryRequest(
+    dialect="filter",
+    filter={"type": "task", "status": "FAILED"},
+    sort=(("duration", -1),),
+    limit=25,
+)
+PIPELINE_CODE = (
+    "df[df['status'] == 'FAILED']"
+    ".sort_values('duration', ascending=False).head(25)"
+    "[['task_id', 'duration']]"
+)
+
+
+def _task_docs(n_tasks: int) -> list[dict]:
+    docs = []
+    for i in range(n_tasks):
+        started = 1000.0 + (i % 977) * 3.1
+        docs.append(
+            {
+                "type": "task",
+                "task_id": f"t{i}",
+                "workflow_id": f"wf-{i % 16:02d}",
+                "campaign_id": "sql-bench",
+                "activity_id": f"a{i % 6}",
+                "status": "FINISHED" if i % 19 else "FAILED",
+                "started_at": started,
+                "ended_at": started + 1.0 + (i % 7) * 0.25,
+                "duration": 1.0 + (i % 7) * 0.25,
+                "hostname": f"node-{i % 4}",
+                "used": {"x": i},
+                "generated": {"y": i % 97},
+            }
+        )
+    return docs
+
+
+def _median(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def _timed(client, request, *, cache, rounds: int) -> float:
+    """Median cold-cache seconds per request (cache cleared between reps)."""
+    samples = []
+    for _ in range(rounds):
+        cache.clear()
+        start = time.perf_counter()
+        reply = client.query(request)
+        samples.append(time.perf_counter() - start)
+        assert reply.frame.to_dicts(), "benchmark query must return rows"
+    return _median(samples)
+
+
+def test_sql_dialect_overhead_and_cache_parity(results_dir, benchmark):
+    docs = _task_docs(N_TASKS)
+    store = ProvenanceDatabase()
+    store.upsert_many(docs)
+    ctx = CaptureContext()
+    service = AgentService(ctx, llm=LLMServer(), query_api=QueryAPI(store))
+    gateway = ProvenanceGateway(service)
+    client = GatewayClient(gateway)
+    cache = service.query_cache
+    sql_request = QueryRequest(dialect="sql", sql=SQL)
+
+    def workload():
+        filter_s = _timed(client, FILTER_REQUEST, cache=cache, rounds=ROUNDS)
+        sql_s = _timed(client, sql_request, cache=cache, rounds=ROUNDS)
+        return filter_s, sql_s
+
+    try:
+        filter_s, sql_s = benchmark.pedantic(workload, rounds=1, iterations=1)
+        ratio = sql_s / filter_s if filter_s else float("inf")
+
+        # -- cache-hit parity across dialects --------------------------------
+        cache.clear()
+        client.query(sql_request)  # miss: executes and warms the shared cache
+        hits0 = cache.stats()["hits"]
+        client.query(sql_request)
+        assert cache.stats()["hits"] == hits0 + 1, "repeat SQL must hit"
+        client.query(QueryRequest(dialect="pipeline", code=PIPELINE_CODE))
+        assert cache.stats()["hits"] == hits0 + 2, (
+            "an equivalent pipeline request must reuse the SQL-warmed entry"
+        )
+
+        if FULL_SCALE:
+            assert ratio <= MAX_OVERHEAD, (
+                f"sql dialect is {ratio:.3f}x the filter dialect "
+                f"({sql_s * 1e3:.2f} ms vs {filter_s * 1e3:.2f} ms); "
+                f"ceiling is {MAX_OVERHEAD}x"
+            )
+    finally:
+        service.close()
+
+    write_result(
+        results_dir,
+        "sql_dialect_overhead.txt",
+        series_table(
+            [
+                {
+                    "dialect": "filter",
+                    "median_ms": round(filter_s * 1e3, 3),
+                    "docs": N_TASKS,
+                },
+                {
+                    "dialect": "sql (parse+compile+execute)",
+                    "median_ms": round(sql_s * 1e3, 3),
+                    "docs": N_TASKS,
+                },
+                {
+                    "dialect": "sql/filter ratio",
+                    "median_ms": round(ratio, 3),
+                    "docs": N_TASKS,
+                },
+            ],
+            ["dialect", "median_ms", "docs"],
+            title=(
+                f"SQL dialect compile overhead over {N_TASKS} documents "
+                f"(cold cache, median of {ROUNDS})"
+            ),
+        ),
+    )

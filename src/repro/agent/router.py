@@ -22,11 +22,17 @@ class Intent(str, enum.Enum):
     GREETING = "greeting"
     ADD_GUIDELINE = "add_guideline"
     VISUALIZATION = "visualization"
+    SQL_QUERY = "sql_query"
     LINEAGE_QUERY = "lineage_query"
     HISTORICAL_QUERY = "historical_query"
     MONITORING_QUERY = "monitoring_query"
 
 
+# a message that *is* a SELECT statement skips classification entirely:
+# it is already a query, checked before every NL rule so vocabulary
+# overlap ("select ... where status = 'FAILED' ... upstream") cannot
+# reroute it to an LLM tool
+_SQL_RE = re.compile(r"^\s*select\b", re.IGNORECASE)
 _GREETING_RE = re.compile(
     r"^\s*(hi|hello|hey|good (morning|afternoon|evening)|thanks|thank you|bye)\b[\s!.,]*$",
     re.IGNORECASE,
@@ -73,6 +79,8 @@ class ToolRouter:
         self._llm_classify = llm_classify
 
     def classify(self, text: str) -> Intent:
+        if text and _SQL_RE.match(text):
+            return Intent.SQL_QUERY
         if not text or _GREETING_RE.match(text):
             return Intent.GREETING
         if _GUIDELINE_RE.search(text):

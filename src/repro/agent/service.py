@@ -52,6 +52,7 @@ from repro.agent.tools.db_query import DatabaseQueryTool
 from repro.agent.tools.graph_query import GraphQueryTool
 from repro.agent.tools.in_memory_query import FULL_CONTEXT, InMemoryQueryTool
 from repro.agent.tools.plotting import PlottingTool
+from repro.agent.tools.sql_query import SqlQueryTool
 from repro.agent.tools.summarize import SummaryTool, summarize
 from repro.agent.mcp.server import MCPServer
 from repro.capture.context import CaptureContext
@@ -91,7 +92,9 @@ class AgentService:
         #: optional keeper whose ingest stats the MCP surface exposes;
         #: its lineage index is reused when no explicit one is given
         self.keeper = keeper
-        self.llm = llm or LLMServer()
+        # explicit None check: a fresh LLMServer with zero recorded
+        # interactions can compare falsy, and must not be replaced
+        self.llm = llm if llm is not None else LLMServer()
         self.model = model
         self.prompt_config = prompt_config
         self.agent_id = agent_id
@@ -124,8 +127,15 @@ class AgentService:
                 prompt_config=prompt_config, cache=self.query_cache,
             )
             self.registry.register(self.db_tool)
+            # SQL arrives pre-written (no LLM, no prompt context), so the
+            # tool needs only the store and the shared cache
+            self.sql_tool: SqlQueryTool | None = SqlQueryTool(
+                query_api, cache=self.query_cache
+            )
+            self.registry.register(self.sql_tool)
         else:
             self.db_tool = None
+            self.sql_tool = None
 
         # live lineage: use the caller's index (e.g. one a keeper already
         # feeds) or run our own broker-fed service, replaying retained
@@ -466,9 +476,14 @@ class AgentService:
                 # lineage intent existed, so hand the question back to it
                 intent = Intent.MONITORING_QUERY
                 reply = self._tool_turn(session, self.query_tool, message, intent)
+        elif intent == Intent.SQL_QUERY and self.sql_tool is not None:
+            reply = self._tool_turn(session, self.sql_tool, message, intent)
         elif intent == Intent.HISTORICAL_QUERY and self.db_tool is not None:
             reply = self._tool_turn(session, self.db_tool, message, intent)
         else:
+            if intent == Intent.SQL_QUERY:
+                # no historical store attached: the monitoring tool answers
+                intent = Intent.MONITORING_QUERY
             reply = self._tool_turn(session, self.query_tool, message, intent)
 
         ended = self.capture_context.clock.now()
@@ -477,6 +492,7 @@ class AgentService:
             Intent.ADD_GUIDELINE: "add_guideline",
             Intent.VISUALIZATION: self.plot_tool.name,
             Intent.LINEAGE_QUERY: self.graph_tool.name,
+            Intent.SQL_QUERY: getattr(self.sql_tool, "name", "sql"),
             Intent.HISTORICAL_QUERY: getattr(self.db_tool, "name", "db"),
             Intent.MONITORING_QUERY: self.query_tool.name,
         }[intent]

@@ -36,13 +36,13 @@ from typing import Any, Mapping
 from repro.agent.context_manager import ContextManager
 from repro.agent.prompts import PromptConfig, cached_builder
 from repro.agent.tools.base import Tool, ToolResult
-from repro.agent.tools.in_memory_query import FULL_CONTEXT, _describe
+from repro.agent.tools.in_memory_query import FULL_CONTEXT
 from repro.errors import QueryExecutionError, QuerySyntaxError
 from repro.llm.service import ChatRequest, LLMServer
-from repro.provenance.query_api import QueryAPI, store_version
-from repro.query import execute_query, parse_query
-from repro.query.cache import MISS, QueryCache, canonical_filter_key
-from repro.query.pushdown import merge_filters, pipeline_prefilter
+from repro.provenance.query_api import QueryAPI
+from repro.query import parse_query
+from repro.query.cache import QueryCache, canonical_filter_key
+from repro.query.engine import run_cached_pipeline
 
 __all__ = ["DatabaseQueryTool"]
 
@@ -119,43 +119,15 @@ class DatabaseQueryTool(Tool):
                 error=str(exc),
                 details={"llm_response": response},
             )
-        # version read BEFORE any store read: a write racing this turn
-        # strands the entry under a stamp that never matches again
-        version = store_version(self.query_api.database)
-        key = None
-        if version is not None and self._base_filter_key is not None:
-            key = ("db_query", self._base_filter_key, pipeline)
-            try:
-                hash(key)
-            except TypeError:
-                # the IR is frozen but its literals come from model
-                # output and may be unhashable (list comparisons);
-                # such queries bypass the cache instead of failing
-                key = None
-        if key is not None:
-            cached = self.cache.get(key, version)
-            if cached is not MISS:
-                summary, result = cached
-                return ToolResult(
-                    ok=True,
-                    summary=summary,
-                    data=list(result) if isinstance(result, list) else result,
-                    code=code,
-                    details={"cache": "hit", "llm_response": response},
-                )
-        prefilter = pipeline_prefilter(pipeline) if self.pushdown else {}
-        frame = self.query_api.to_frame(merge_filters(self.base_filter, prefilter))
         try:
-            try:
-                result = execute_query(pipeline, frame)
-            except QueryExecutionError:
-                if not prefilter:
-                    raise
-                # the reduced frame may lack columns that only appear on
-                # excluded documents; retry over the full document set so
-                # pushdown never changes observable behaviour
-                frame = self.query_api.to_frame(self.base_filter)
-                result = execute_query(pipeline, frame)
+            run = run_cached_pipeline(
+                self.query_api,
+                pipeline,
+                base_filter=self.base_filter,
+                base_filter_key=self._base_filter_key,
+                cache=self.cache,
+                pushdown=self.pushdown,
+            )
         except QueryExecutionError as exc:
             return ToolResult(
                 ok=False,
@@ -164,16 +136,10 @@ class DatabaseQueryTool(Tool):
                 error=str(exc),
                 details={"llm_response": response},
             )
-        summary = _describe(result)
-        if key is not None:
-            # copy list results so a caller mutating its answer cannot
-            # poison later hits (frames/scalars are immutable)
-            stored = list(result) if isinstance(result, list) else result
-            self.cache.put(key, version, (summary, stored))
         return ToolResult(
             ok=True,
-            summary=summary,
-            data=result,
+            summary=run.summary,
+            data=run.result,
             code=code,
-            details={"cache": "miss", "llm_response": response},
+            details={"cache": run.cache_state, "llm_response": response},
         )

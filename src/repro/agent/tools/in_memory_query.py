@@ -27,6 +27,7 @@ from repro.agent.tools.base import Tool, ToolResult
 from repro.errors import QueryExecutionError, QuerySyntaxError
 from repro.llm.service import ChatRequest, LLMServer
 from repro.query import execute_query, parse_query
+from repro.query.engine import describe_result
 
 __all__ = ["InMemoryQueryTool", "FULL_CONTEXT"]
 
@@ -164,11 +165,5 @@ def _degenerate(result: Any) -> bool:
     return False
 
 
-def _describe(result: Any) -> str:
-    from repro.dataframe import DataFrame
-
-    if isinstance(result, DataFrame):
-        return f"{len(result)} row(s), columns: {', '.join(result.columns)}"
-    if isinstance(result, list):
-        return f"{len(result)} distinct value(s)"
-    return f"result: {result}"
+# shared with the database tool and the gateway's pipeline/sql dialects
+_describe = describe_result

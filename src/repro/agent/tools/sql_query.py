@@ -1,0 +1,108 @@
+"""SQL query tool: typed SELECT statements over the historical store.
+
+The agent's other query tools translate natural language into the
+pipeline IR via an LLM.  This tool takes the *same* IR from the other
+direction: a user (or an upstream agent) hands it a SQL SELECT, the
+:mod:`repro.sql` front end compiles it, and execution rides the exact
+machinery the database tool uses — shared
+:func:`~repro.query.engine.run_cached_pipeline`, the same pushdown and
+shard routing, and the same versioned :class:`~repro.query.QueryCache`.
+Because cache keys are the compiled IR (never the SQL text), a SQL
+question and an equivalent natural-language question answered by the
+database tool share one cache entry.
+
+No LLM is involved (``uses_llm = False``): compile failures are
+deterministic, positioned diagnostics (``details["diagnostic"]`` has
+line/column and a caret snippet), never a model retry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.agent.tools.base import Tool, ToolResult
+from repro.errors import QueryExecutionError
+from repro.provenance.query_api import QueryAPI
+from repro.query import render_query
+from repro.query.cache import QueryCache, canonical_filter_key
+from repro.query.engine import run_cached_pipeline
+from repro.sql import SqlError, compile_sql
+
+__all__ = ["SqlQueryTool"]
+
+
+class SqlQueryTool(Tool):
+    name = "provenance_sql_query"
+    description = (
+        "Run a SQL SELECT statement against the persistent provenance "
+        "database (compiled to the same query IR as the other dialects)."
+    )
+    uses_llm = False
+
+    def __init__(
+        self,
+        query_api: QueryAPI,
+        *,
+        base_filter: Mapping[str, Any] | None = None,
+        pushdown: bool = True,
+        cache: QueryCache | None = None,
+    ):
+        self.query_api = query_api
+        self.base_filter = dict(base_filter) if base_filter is not None else {
+            "type": "task"
+        }
+        self.pushdown = pushdown
+        #: result cache; defaults to the Query API's own, so SQL and NL
+        #: questions over one store share hits
+        self.cache = cache if cache is not None else query_api.cache
+        self._base_filter_key = canonical_filter_key(self.base_filter)
+
+    def input_schema(self) -> dict[str, Any]:
+        return {
+            "type": "object",
+            "properties": {"sql": {"type": "string"}},
+            "required": ["sql"],
+        }
+
+    def invoke(self, **kwargs: Any) -> ToolResult:
+        # router turns arrive as question=<message>; direct/MCP calls say sql=
+        sql = str(kwargs.get("sql") or kwargs.get("question") or "").strip()
+        if not sql:
+            return ToolResult(
+                ok=False, summary="empty statement", error="no sql statement"
+            )
+        try:
+            pipeline = compile_sql(sql)
+        except SqlError as exc:
+            return ToolResult(
+                ok=False,
+                summary="the SQL statement did not compile",
+                code=sql,
+                error=str(exc),
+                details={"diagnostic": exc.diagnostic(), "dialect": "sql"},
+            )
+        code = render_query(pipeline)
+        try:
+            run = run_cached_pipeline(
+                self.query_api,
+                pipeline,
+                base_filter=self.base_filter,
+                base_filter_key=self._base_filter_key,
+                cache=self.cache,
+                pushdown=self.pushdown,
+            )
+        except QueryExecutionError as exc:
+            return ToolResult(
+                ok=False,
+                summary="the compiled query failed against the database",
+                code=code,
+                error=str(exc),
+                details={"sql": sql, "dialect": "sql"},
+            )
+        return ToolResult(
+            ok=True,
+            summary=run.summary,
+            data=run.result,
+            code=code,
+            details={"cache": run.cache_state, "sql": sql, "dialect": "sql"},
+        )

@@ -82,6 +82,23 @@ class GatewayClient:
         _content_type, text = self.gateway.render_csv(self.query(request))
         return text
 
+    def sql(
+        self,
+        statement: str,
+        *,
+        explain: bool = False,
+        page_size: int | None = None,
+        cursor: str | None = None,
+    ) -> QueryReply | ErrorEnvelope:
+        """Run one SELECT through the gateway's sql dialect."""
+        return self.query(QueryRequest(
+            dialect="sql",
+            sql=statement,
+            explain=explain or None,
+            page_size=page_size,
+            cursor=cursor,
+        ))
+
     # -- lineage -----------------------------------------------------------------
     def lineage(
         self, task_id: str, *, direction: str = "both", depth: int | None = None
@@ -204,6 +221,23 @@ class RemoteClient:
         return self._request(
             "POST", "/v1/query", s.to_json(request), accept="text/csv"
         )
+
+    def sql(
+        self,
+        statement: str,
+        *,
+        explain: bool = False,
+        page_size: int | None = None,
+        cursor: str | None = None,
+    ) -> QueryReply | ErrorEnvelope:
+        """Run one SELECT through the gateway's sql dialect."""
+        return self.query(QueryRequest(
+            dialect="sql",
+            sql=statement,
+            explain=explain or None,
+            page_size=page_size,
+            cursor=cursor,
+        ))
 
     # -- lineage -----------------------------------------------------------------
     def lineage(

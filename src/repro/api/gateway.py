@@ -11,14 +11,17 @@ one request/response schema layer (:mod:`repro.api.schemas`) routed here:
   :meth:`AgentService.chat`, replies reduced to their deterministic
   anatomy (text / code / table / chart) so transports are comparable
   byte-for-byte;
-* **query** — :meth:`execute_query` accepts all three dialects through
+* **query** — :meth:`execute_query` accepts all four dialects through
   one entry point, compiling each onto the *existing* query
   infrastructure: ``filter`` hits the Query API's cached frame
   materialisation, ``pipeline`` parses through the query IR with
   predicate pushdown and shares the versioned
   :class:`~repro.query.QueryCache` entries with the NL database tool
   (same key shape, so a programmatic query warms the cache for chat and
-  vice versa), ``graph`` routes onto the structured
+  vice versa), ``sql`` compiles a SELECT statement
+  (:mod:`repro.sql`) onto the *same* IR — same executor, same pushdown,
+  same cache entries as ``pipeline``, plus ``explain=True`` for the
+  compiled plan — and ``graph`` routes onto the structured
   :class:`~repro.agent.tools.graph_query.GraphQueryTool` surface;
 * **pagination** — frame-shaped results page through
   :class:`~repro.api.schemas.Cursor` tokens pinned to the query
@@ -66,9 +69,11 @@ from repro.api.schemas import (
 from repro.dataframe import DataFrame
 from repro.errors import ProvenanceError, QueryExecutionError, QuerySyntaxError
 from repro.provenance.query_api import store_version
-from repro.query import execute_query as run_pipeline
-from repro.query import parse_query
+from repro.query import parse_query, render_query
+from repro.query import ast as qast
+from repro.query.engine import pipeline_cache_key, run_cached_pipeline
 from repro.query.pushdown import merge_filters, pipeline_prefilter
+from repro.sql import SqlError, SqlSyntaxError, compile_sql
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.service import AgentService
@@ -83,12 +88,19 @@ DEFAULT_PAGE_SIZE = 100
 #: per-dialect request fields that belong to the OTHER dialects; their
 #: presence is a BAD_REQUEST, never a silent no-op
 _FOREIGN_FIELDS: dict[str, tuple[str, ...]] = {
-    "filter": ("code", "operation", "task_id", "target", "depth", "workflow_id"),
-    "pipeline": (
-        "filter", "sort", "limit", "operation", "task_id", "target",
+    "filter": (
+        "code", "sql", "explain", "operation", "task_id", "target",
         "depth", "workflow_id",
     ),
-    "graph": ("filter", "sort", "limit", "code"),
+    "pipeline": (
+        "filter", "sort", "limit", "sql", "explain", "operation",
+        "task_id", "target", "depth", "workflow_id",
+    ),
+    "graph": ("filter", "sort", "limit", "code", "sql", "explain"),
+    "sql": (
+        "filter", "sort", "limit", "code", "operation", "task_id",
+        "target", "depth", "workflow_id",
+    ),
 }
 
 
@@ -252,6 +264,8 @@ class ProvenanceGateway:
                 return self._filter_query(request)
             if request.dialect == "pipeline":
                 return self._pipeline_query(request)
+            if request.dialect == "sql":
+                return self._sql_query(request)
             return self._graph_query(request)
         except Exception as exc:  # noqa: BLE001 - API boundary: no tracebacks
             return self._fail(ErrorCode.INTERNAL, repr(exc))
@@ -293,66 +307,99 @@ class ProvenanceGateway:
             pipeline = parse_query(request.code)
         except QuerySyntaxError as exc:
             return self._fail(ErrorCode.QUERY_SYNTAX, str(exc))
-        # version BEFORE the read, the cache's race-free discipline
-        version = self._version()
-        cache = self.service.query_cache
-        # the SAME key shape the NL database tool uses, so programmatic
-        # and chat-phrased queries share one cache entry per pipeline
-        base_key = _filter_cache_key(self.base_filter)
-        key: Any = None
-        if base_key is not None and version is not None:
-            key = ("db_query", base_key, pipeline)
-            try:
-                hash(key)
-            except TypeError:
-                key = None
-        result: Any = None
-        summary = None
-        if key is not None:
-            from repro.query.cache import MISS
+        return self._run_pipeline(request, pipeline)
 
-            cached = cache.get(key, version)
-            if cached is not MISS:
-                summary, result = cached
-                result = list(result) if isinstance(result, list) else result
-        if summary is None:
-            prefilter = pipeline_prefilter(pipeline)
-            frame = self.query_api.to_frame(
-                merge_filters(self.base_filter, prefilter)
+    # sql dialect: SELECT text compiled onto the same query IR, so it
+    # shares the pipeline dialect's executor, pushdown and cache entries
+    def _sql_query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
+        if self.query_api is None:
+            return self._fail(
+                ErrorCode.BAD_REQUEST,
+                "no historical store attached; the sql dialect needs a "
+                "QueryAPI",
             )
-            try:
-                try:
-                    result = run_pipeline(pipeline, frame)
-                except QueryExecutionError:
-                    if not prefilter:
-                        raise
-                    # pushdown must never change observable behaviour:
-                    # retry over the full document set (same discipline
-                    # as the NL database tool)
-                    frame = self.query_api.to_frame(self.base_filter)
-                    result = run_pipeline(pipeline, frame)
-            except QueryExecutionError as exc:
-                return self._fail(ErrorCode.QUERY_EXECUTION, str(exc))
-            from repro.agent.tools.in_memory_query import _describe
+        if not request.sql:
+            return self._fail(
+                ErrorCode.BAD_REQUEST, "sql dialect needs a 'sql' field"
+            )
+        try:
+            pipeline = compile_sql(request.sql)
+        except SqlSyntaxError as exc:
+            return self._fail(
+                ErrorCode.QUERY_SYNTAX, str(exc), detail=exc.diagnostic()
+            )
+        except SqlError as exc:
+            # resolution / unsupported-feature failures: the statement is
+            # well-formed SQL the subset rejects, with a pointed reason
+            return self._fail(
+                ErrorCode.BAD_REQUEST, str(exc), detail=exc.diagnostic()
+            )
+        if request.explain:
+            return self._sql_explain(request, pipeline)
+        return self._run_pipeline(request, pipeline)
 
-            summary = _describe(result)
-            if key is not None:
-                stored = list(result) if isinstance(result, list) else result
-                cache.put(key, version, (summary, stored))
-        if isinstance(result, DataFrame):
-            return self._frame_reply(request, result, version, summary=summary)
-        if isinstance(result, list):
+    def _sql_explain(
+        self, request: QueryRequest, pipeline: "qast.Pipeline"
+    ) -> QueryReply | ErrorEnvelope:
+        """Compile-then-plan without executing: the compiled IR, the
+        pushdown prefilter, the store's routing-aware plan for it, and
+        whether the shared cache already holds this pipeline's result."""
+        version = self._version()
+        prefilter = pipeline_prefilter(pipeline)
+        merged = merge_filters(self.base_filter, prefilter)
+        key = pipeline_cache_key(_filter_cache_key(self.base_filter), pipeline)
+        cached = (
+            key is not None
+            and version is not None
+            and self.service.query_cache.peek(key, version)
+        )
+        detail: dict[str, Any] = {
+            "sql": request.sql,
+            "pipeline": render_query(pipeline),
+            "steps": pipeline.describe(),
+            "pushdown": s._plain(prefilter),
+            "plan": s._plain(self.query_api.explain(merged)),
+            "cache": "hit" if cached else "miss",
+            "store_version": version,
+        }
+        return QueryReply(
+            dialect=request.dialect,
+            kind="explain",
+            summary=f"explain: {pipeline.describe()}",
+            scalar=detail,
+        )
+
+    def _run_pipeline(
+        self, request: QueryRequest, pipeline: "qast.Pipeline"
+    ) -> QueryReply | ErrorEnvelope:
+        """Execute a compiled pipeline through the shared engine and
+        shape the reply.  The pipeline and sql dialects both land here,
+        which is what makes their cache entries identical."""
+        try:
+            run = run_cached_pipeline(
+                self.query_api,
+                pipeline,
+                base_filter=self.base_filter,
+                cache=self.service.query_cache,
+            )
+        except QueryExecutionError as exc:
+            return self._fail(ErrorCode.QUERY_EXECUTION, str(exc))
+        if isinstance(run.result, DataFrame):
+            return self._frame_reply(
+                request, run.result, run.version, summary=run.summary
+            )
+        if isinstance(run.result, list):
             return QueryReply(
                 dialect=request.dialect,
                 kind="scalar",
-                summary=summary,
-                scalar=[s._plain(v) for v in result],
+                summary=run.summary,
+                scalar=[s._plain(v) for v in run.result],
             )
         return QueryReply(
             dialect=request.dialect,
             kind="scalar",
-            summary=summary,
-            scalar=s._plain(result),
+            summary=run.summary,
+            scalar=s._plain(run.result),
         )
 
     # graph dialect: structured traversal over the lineage index
@@ -480,6 +527,8 @@ class ProvenanceGateway:
             sort=request.sort,
             limit=request.limit,
             code=request.code,
+            sql=request.sql,
+            explain=request.explain,
             operation=request.operation,
             task_id=request.task_id,
             target=request.target,

@@ -59,7 +59,7 @@ __all__ = [
 API_VERSION = "v1"
 
 #: query dialects the unified ``/v1/query`` surface accepts
-DIALECTS = ("filter", "pipeline", "graph")
+DIALECTS = ("filter", "pipeline", "graph", "sql")
 
 
 class SchemaViolation(ReproError):
@@ -175,6 +175,14 @@ def _opt_str(data: Mapping[str, Any], name: str) -> str | None:
 def _bool(data: Mapping[str, Any], name: str, default: bool | None = None) -> bool:
     v = data.get(name, default)
     _expect(isinstance(v, bool), f"field {name!r} must be a boolean")
+    return v
+
+
+def _opt_bool(data: Mapping[str, Any], name: str) -> bool | None:
+    v = data.get(name)
+    if v is None:
+        return None
+    _expect(isinstance(v, bool), f"field {name!r} must be a boolean or null")
     return v
 
 
@@ -428,14 +436,17 @@ class ChatReply:
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One query, in one of three dialects, through one surface.
+    """One query, in one of four dialects, through one surface.
 
     * ``dialect="filter"`` — a Mongo-style ``filter`` document plus
       optional ``sort`` / ``limit`` (the Query API surface);
     * ``dialect="pipeline"`` — pandas-like query ``code`` compiled
       through the query IR (the agent's generated-code surface);
     * ``dialect="graph"`` — a lineage traversal named by ``operation``
-      (+ ``task_id`` / ``target`` / ``depth`` / ``workflow_id``).
+      (+ ``task_id`` / ``target`` / ``depth`` / ``workflow_id``);
+    * ``dialect="sql"`` — a SELECT statement in ``sql``, compiled onto
+      the same query IR as the pipeline dialect (shared cache entries);
+      ``explain=True`` returns the compiled plan instead of executing.
 
     ``page_size`` / ``cursor`` paginate frame-shaped results in any
     dialect.
@@ -446,6 +457,8 @@ class QueryRequest:
     sort: tuple[tuple[str, int], ...] | None = None
     limit: int | None = None
     code: str | None = None
+    sql: str | None = None
+    explain: bool | None = None
     operation: str | None = None
     task_id: str | None = None
     target: str | None = None
@@ -478,6 +491,8 @@ class QueryRequest:
             sort=parsed_sort,
             limit=_opt_int(data, "limit"),
             code=_opt_str(data, "code"),
+            sql=_opt_str(data, "sql"),
+            explain=_opt_bool(data, "explain"),
             operation=_opt_str(data, "operation"),
             task_id=_opt_str(data, "task_id"),
             target=_opt_str(data, "target"),

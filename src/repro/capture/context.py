@@ -40,8 +40,12 @@ class CaptureContext:
         flush_strategy: FlushStrategy | None = None,
         seed: Any = None,
     ):
-        self.clock = clock or VirtualClock()
-        self.broker = broker or InProcessBroker(clock=self.clock)
+        # explicit None checks: an injected clock at time zero or an
+        # empty broker can compare falsy and must not be replaced
+        self.clock = clock if clock is not None else VirtualClock()
+        self.broker = (
+            broker if broker is not None else InProcessBroker(clock=self.clock)
+        )
         self.campaign_id = campaign_id or (
             new_campaign_id(seed) if seed is not None else new_campaign_id()
         )
@@ -49,7 +53,9 @@ class CaptureContext:
         self.buffer = MessageBuffer(
             self.broker,
             TASK_TOPIC,
-            strategy=flush_strategy or SizeFlush(16),
+            strategy=(
+                flush_strategy if flush_strategy is not None else SizeFlush(16)
+            ),
             clock=self.clock,
         )
         self._samplers: dict[str, TelemetrySampler] = {}

@@ -25,6 +25,11 @@ from repro.evaluation.lineage_queries import (
     build_lineage_query_set,
     evaluate_lineage_tool,
 )
+from repro.evaluation.sql_variants import (
+    SqlEvalQuery,
+    build_sql_query_set,
+    sql_variant,
+)
 from repro.evaluation.configs import CONFIGURATIONS, config_for
 from repro.evaluation.judges import JudgeProfile, LLMJudge, RuleBasedScorer
 from repro.evaluation.runner import EvaluationRecord, ExperimentRunner
@@ -47,6 +52,9 @@ __all__ = [
     "LineageEvalQuery",
     "build_lineage_query_set",
     "evaluate_lineage_tool",
+    "SqlEvalQuery",
+    "build_sql_query_set",
+    "sql_variant",
     "CONFIGURATIONS",
     "config_for",
     "LLMJudge",

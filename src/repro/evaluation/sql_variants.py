@@ -1,0 +1,51 @@
+"""SQL variants of the golden query set.
+
+Every gold query in :mod:`repro.evaluation.query_set` is a pipeline-IR
+value, and the SQL front end's renderer is a faithful inverse of its
+compiler — so the golden set can be re-expressed as SQL *derived from
+the gold IR itself*: ``compile_sql(render_sql(gold)) == gold`` by
+construction, and any drift between the dialects shows up as a variant
+that no longer compiles back to its gold pipeline.
+
+The variants are graded against the same oracles as the NL set: the
+compiled pipeline must equal the gold IR exactly, and executing both
+against a campaign frame must produce equivalent results
+(``tests/evaluation/test_sql_variants.py`` asserts both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataframe import DataFrame
+from repro.evaluation.query_set import EvalQuery, build_query_set
+from repro.sql import render_sql
+
+__all__ = ["SqlEvalQuery", "sql_variant", "build_sql_query_set"]
+
+
+@dataclass(frozen=True)
+class SqlEvalQuery:
+    """One golden query re-expressed as SQL.
+
+    ``base`` carries the original :class:`EvalQuery` — its gold IR is
+    the oracle the SQL text must compile back to, and its class labels
+    keep the Table-1 taxonomy attached to the SQL form.
+    """
+
+    qid: str
+    sql: str
+    base: EvalQuery
+
+
+def sql_variant(query: EvalQuery) -> str:
+    """The SQL spelling of one gold query, derived from its gold IR."""
+    return render_sql(query.gold)
+
+
+def build_sql_query_set(frame: DataFrame) -> list[SqlEvalQuery]:
+    """SQL variants of all 20 golden queries against a live frame."""
+    return [
+        SqlEvalQuery(qid=q.qid, sql=sql_variant(q), base=q)
+        for q in build_query_set(frame)
+    ]

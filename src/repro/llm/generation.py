@@ -109,7 +109,7 @@ def generate_query_code(
         from repro.llm.intents import lookup_traits
 
         traits = lookup_traits(perceived.user_query)
-    traits = traits or QueryTraits()
+    traits = traits if traits is not None else QueryTraits()
     rng = derive_rng(
         "llm-gen", profile.name, query_id or perceived.user_query,
         perceived.signature(), rep,

@@ -171,7 +171,7 @@ def parse_intent(
         Maps literal id strings appearing in the text to their id field,
         e.g. ``{"4f2051b9": "workflow_id"}``.
     """
-    r = resolver or OracleResolver()
+    r = resolver if resolver is not None else OracleResolver()
     low = " " + text.lower().strip().rstrip("?.!") + " "
     intent = _Intent()
 

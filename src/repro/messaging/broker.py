@@ -138,7 +138,8 @@ class InProcessBroker(Broker):
 
     def __init__(self, profile: BrokerProfile = REDIS_LIKE, clock: Clock | None = None):
         self.profile = profile
-        self.clock = clock or VirtualClock()
+        # explicit None check: a clock at time zero compares falsy
+        self.clock = clock if clock is not None else VirtualClock()
         self._subs: dict[int, Subscription] = {}
         self._next_sid = 0
         self._lock = threading.RLock()

@@ -76,8 +76,10 @@ class MessageBuffer:
     ):
         self.broker = broker
         self.topic = topic
-        self.strategy = strategy or SizeFlush(64)
-        self.clock = clock or VirtualClock()
+        # explicit None checks: a caller's strategy/clock may compare
+        # falsy (e.g. a clock at time zero) and must not be replaced
+        self.strategy = strategy if strategy is not None else SizeFlush(64)
+        self.clock = clock if clock is not None else VirtualClock()
         self._pending: list[Mapping[str, Any]] = []
         self._oldest_at: float | None = None
         self._last_task_id: str | None = None

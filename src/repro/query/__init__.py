@@ -41,6 +41,7 @@ from repro.query.ast import (
     Pipeline,
     Project,
     RowCount,
+    Skip,
     Sort,
     StrContains,
     StrEndsWith,
@@ -72,6 +73,7 @@ __all__ = [
     "Pipeline",
     "Project",
     "RowCount",
+    "Skip",
     "Sort",
     "StrContains",
     "StrEndsWith",

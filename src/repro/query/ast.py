@@ -212,6 +212,13 @@ class Tail:
 
 
 @dataclass(frozen=True)
+class Skip:
+    """Drop the first ``n`` rows: ``df.iloc[n:]`` (SQL OFFSET)."""
+
+    n: int
+
+
+@dataclass(frozen=True)
 class GroupAgg:
     """``df.groupby(keys)[column].agg()`` — one aggregated value per group.
 
@@ -251,7 +258,8 @@ class RowCount:
 
 
 Step = Union[
-    Filter, Project, Sort, Head, Tail, GroupAgg, Agg, Unique, DropDuplicates, RowCount
+    Filter, Project, Sort, Head, Tail, Skip, GroupAgg, Agg, Unique,
+    DropDuplicates, RowCount,
 ]
 
 #: Steps that terminate a pipeline (their output is no longer a frame).
@@ -346,7 +354,7 @@ class Pipeline:
                 bits.append(f"{s.agg}({s.column})")
             elif isinstance(s, Sort):
                 bits.append(f"sort({','.join(s.keys)})")
-            elif isinstance(s, (Head, Tail)):
+            elif isinstance(s, (Head, Tail, Skip)):
                 bits.append(f"{name.lower()}({s.n})")
             else:
                 bits.append(name.lower())

@@ -123,6 +123,15 @@ class QueryCache:
             self._misses += 1
             return MISS
 
+    def peek(self, key: Hashable | None, version: int) -> bool:
+        """Whether ``key`` is cached at ``version`` — no counter or LRU
+        mutation, so explain-style introspection doesn't distort stats."""
+        if key is None:
+            return False
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry[0] == version
+
     def put(self, key: Hashable | None, version: int, value: Any) -> None:
         if key is None:
             return

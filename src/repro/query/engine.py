@@ -1,0 +1,127 @@
+"""Shared cached-pipeline execution core.
+
+Three surfaces execute query-IR pipelines over the historical store:
+the gateway's ``pipeline`` dialect, its ``sql`` dialect (which compiles
+to the same IR), and the agent's NL database tool.  All of them must
+observe the same discipline — store version read *before* the store
+read, cache key shape ``("db_query", base_filter_key, pipeline)``,
+prefilter pushdown with a full-frame retry, list results copied on both
+sides of the cache — or they stop sharing entries and the versioned
+invalidation guarantees silently erode.  :func:`run_cached_pipeline` is
+that discipline in one place.
+
+Not exported from :mod:`repro.query`: this module reaches into
+:mod:`repro.provenance` and is serving infrastructure, not part of the
+IR itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping
+
+from repro.query import ast as q
+from repro.query.cache import MISS, QueryCache, canonical_filter_key
+from repro.query.executor import execute_query
+from repro.query.pushdown import merge_filters, pipeline_prefilter
+
+__all__ = [
+    "PipelineRun",
+    "run_cached_pipeline",
+    "pipeline_cache_key",
+    "describe_result",
+]
+
+
+def describe_result(result: Any) -> str:
+    """One-line human summary of an executed pipeline's result."""
+    from repro.dataframe import DataFrame
+
+    if isinstance(result, DataFrame):
+        return f"{len(result)} row(s), columns: {', '.join(result.columns)}"
+    if isinstance(result, list):
+        return f"{len(result)} distinct value(s)"
+    return f"result: {result}"
+
+
+def pipeline_cache_key(
+    base_filter_key: Hashable | None, pipeline: q.Pipeline,
+) -> Hashable | None:
+    """The shared cache key, or ``None`` when the query must bypass.
+
+    The IR is frozen but its literals come from model or client input
+    and may be unhashable (e.g. list comparisons); such queries bypass
+    the cache instead of failing.
+    """
+    if base_filter_key is None:
+        return None
+    key = ("db_query", base_filter_key, pipeline)
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+@dataclass(frozen=True)
+class PipelineRun:
+    """One executed pipeline: what happened and under which store stamp."""
+
+    summary: str
+    result: Any
+    cache_state: str  # "hit" | "miss"
+    version: int | None  # store version the result is pinned to
+
+
+def run_cached_pipeline(
+    query_api: Any,
+    pipeline: q.Pipeline,
+    *,
+    base_filter: Mapping[str, Any],
+    base_filter_key: Hashable | None = None,
+    cache: QueryCache | None = None,
+    pushdown: bool = True,
+) -> PipelineRun:
+    """Execute ``pipeline`` over the store with caching and pushdown.
+
+    Raises :class:`~repro.errors.QueryExecutionError` on failure (never
+    caches one).
+    """
+    from repro.provenance.query_api import store_version
+
+    if cache is None:
+        cache = query_api.cache
+    if base_filter_key is None:
+        base_filter_key = canonical_filter_key(base_filter)
+    # version BEFORE the read: a write racing this call strands the
+    # entry under a stamp that never matches again
+    version = store_version(query_api.database)
+    key = pipeline_cache_key(base_filter_key, pipeline) \
+        if version is not None else None
+    if key is not None:
+        cached = cache.get(key, version)
+        if cached is not MISS:
+            summary, result = cached
+            # copy list results so a caller mutating its answer cannot
+            # poison later hits (frames/scalars are immutable)
+            result = list(result) if isinstance(result, list) else result
+            return PipelineRun(summary, result, "hit", version)
+    prefilter = pipeline_prefilter(pipeline) if pushdown else {}
+    frame = query_api.to_frame(merge_filters(base_filter, prefilter))
+    from repro.errors import QueryExecutionError
+
+    try:
+        result = execute_query(pipeline, frame)
+    except QueryExecutionError:
+        if not prefilter:
+            raise
+        # the reduced frame may lack columns that only appear on
+        # excluded documents; retry over the full document set so
+        # pushdown never changes observable behaviour
+        frame = query_api.to_frame(dict(base_filter))
+        result = execute_query(pipeline, frame)
+    summary = describe_result(result)
+    if key is not None:
+        stored = list(result) if isinstance(result, list) else result
+        cache.put(key, version, (summary, stored))
+    return PipelineRun(summary, result, "miss", version)

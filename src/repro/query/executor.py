@@ -92,6 +92,8 @@ def execute_query(pipeline: q.Pipeline, frame: DataFrame) -> Any:
                 current = current.head(step.n)
             elif isinstance(step, q.Tail):
                 current = current.tail(step.n)
+            elif isinstance(step, q.Skip):
+                current = current.take(list(range(step.n, len(current))))
             elif isinstance(step, q.GroupAgg):
                 gb = current.groupby(list(step.keys))
                 current = gb[step.column].agg(step.agg)

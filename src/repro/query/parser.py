@@ -12,7 +12,7 @@ Supported grammar (informally)::
     chain    := "df" postfix*
     postfix  := "[" ( STRING | strlist | predicate ) "]"
               | ".sort_values(" sortargs ")"
-              | ".head(" INT ")" | ".tail(" INT ")"
+              | ".head(" INT ")" | ".tail(" INT ")" | ".iloc[" INT ":]"
               | ".groupby(" keys ")" "[" STRING "]" "." AGG "()"
               | ".drop_duplicates(" ["subset=" strlist] ")"
               | ".nlargest(" INT "," STRING ")"     (desugars to sort+head)
@@ -49,7 +49,7 @@ _TOKEN_RE = re.compile(
   | (?P<NUMBER>-?\d+\.\d*(?:[eE][+-]?\d+)?|-?\.\d+|-?\d+(?:[eE][+-]?\d+)?)
   | (?P<OP>==|!=|<=|>=|<|>)
   | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
-  | (?P<PUNCT>[()\[\].,&|~=])
+  | (?P<PUNCT>[()\[\].,&|~=:])
     """,
     re.VERBOSE,
 )
@@ -209,6 +209,8 @@ class _Parser:
                     steps.append(q.Head(self.parse_single_int()))
                 elif name == "tail":
                     steps.append(q.Tail(self.parse_single_int()))
+                elif name == "iloc":
+                    steps.append(self.parse_iloc())
                 elif name == "groupby":
                     steps.append(self.parse_groupby())
                 elif name == "drop_duplicates":
@@ -245,6 +247,19 @@ class _Parser:
             raise QuerySyntaxError(f"expected integer at position {tok.pos}")
         self.expect(")")
         return int(tok.text)
+
+    def parse_iloc(self) -> q.Skip:
+        # only the row-skip slice form df.iloc[n:] is part of the grammar
+        self.expect("[")
+        tok = self.next()
+        if tok.kind != "NUMBER" or "." in tok.text or "e" in tok.text.lower() \
+                or tok.text.startswith("-"):
+            raise QuerySyntaxError(
+                f".iloc expects a non-negative integer at position {tok.pos}"
+            )
+        self.expect(":")
+        self.expect("]")
+        return q.Skip(int(tok.text))
 
     def parse_n_and_column(self) -> tuple[int, str]:
         self.expect("(")

@@ -49,6 +49,18 @@ _COMPARE_TO_MONGO = {
 _FLOAT_EXACT_MAX = 2**53  # ints beyond this lose precision as float64
 
 
+def _operator_shaped(v: Any) -> bool:
+    """True when a literal would be misread as an operator document.
+
+    ``{"f": {"$gt": 5}}`` is a range clause, so an equality against a
+    mapping that *contains* ``$``-keys must keep the explicit ``$eq``
+    wrapper to stay a literal comparison.
+    """
+    return isinstance(v, Mapping) and any(
+        isinstance(k, str) and k.startswith("$") for k in v
+    )
+
+
 def _unsafe_literal(v: Any) -> bool:
     """True when the literal compares differently as doc value vs column.
 
@@ -67,6 +79,10 @@ def _conjunct_clause(pred: q.Predicate) -> dict[str, Any] | None:
     if isinstance(pred, q.Compare):
         if _unsafe_literal(pred.value):
             return None
+        if pred.op == "==" and not _operator_shaped(pred.value):
+            # bare form: same semantics as {"$eq": v} but the cheapest
+            # clause for the store to verify per candidate document
+            return {pred.field.name: pred.value}
         return {pred.field.name: {_COMPARE_TO_MONGO[pred.op]: pred.value}}
     if isinstance(pred, q.IsIn):
         if any(_unsafe_literal(v) for v in pred.values):
@@ -132,11 +148,23 @@ def pipeline_prefilter(pipeline: q.Pipeline) -> dict[str, Any]:
 def merge_filters(
     base: Mapping[str, Any] | None, extra: Mapping[str, Any] | None
 ) -> dict[str, Any]:
-    """AND-combine two Mongo-style filter documents."""
+    """AND-combine two Mongo-style filter documents.
+
+    A filter document is already a conjunction of its entries, so when
+    the two sides constrain disjoint keys they merge *flat* instead of
+    under ``$and``.  The flat form is cheaper to verify per candidate
+    document (one clause walk instead of a nested conjunction per doc),
+    which matters because every pushed-down pipeline/sql query pays this
+    on its ``find``.  Colliding keys — including both sides carrying a
+    ``$and``/``$or`` — fall back to the nested form, which preserves
+    both constraints.
+    """
     base = dict(base or {})
     extra = dict(extra or {})
     if not base:
         return extra
     if not extra:
         return base
-    return {"$and": [base, extra]}
+    if base.keys() & extra.keys():
+        return {"$and": [base, extra]}
+    return {**base, **extra}

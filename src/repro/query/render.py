@@ -104,6 +104,8 @@ def render_query(pipeline: q.Pipeline) -> str:
             code += f".head({step.n})"
         elif isinstance(step, q.Tail):
             code += f".tail({step.n})"
+        elif isinstance(step, q.Skip):
+            code += f".iloc[{step.n}:]"
         elif isinstance(step, q.GroupAgg):
             if len(step.keys) == 1:
                 key_part = render_literal(step.keys[0])

@@ -1,0 +1,54 @@
+"""SQL front-end for the provenance query surface.
+
+A hand-rolled SELECT subset (projection, WHERE, GROUP BY + aggregates,
+HAVING, ORDER BY, LIMIT/OFFSET, DISTINCT) that compiles onto the
+existing query IR (:mod:`repro.query`) — parse → typed AST → semantic
+check → lower.  Nothing executes here: a SQL query and its pandas-like
+equivalent compile to *equal* pipelines, so they share one executor,
+one pushdown path and one :class:`~repro.query.QueryCache` entry.
+
+Stages:
+
+* :mod:`repro.sql.lexer` — positioned tokens;
+* :mod:`repro.sql.parser` — recursive descent -> :mod:`repro.sql.ast`;
+* :mod:`repro.sql.semantics` — column/alias resolution against the
+  flattened ``tasks`` document schema, type-checked predicates;
+* :mod:`repro.sql.compiler` — lowering to a query-IR ``Pipeline``;
+* :mod:`repro.sql.render` — gold IR -> SQL text (the inverse, used by
+  the evaluation harness and round-trip property tests);
+* :mod:`repro.sql.errors` — positioned diagnostics with caret snippets.
+
+The supported grammar is documented in ``docs/query_surface.md``.
+"""
+
+from repro.sql.ast import AGGREGATE_FUNCS, SelectStatement
+from repro.sql.compiler import compile_sql, compile_statement
+from repro.sql.errors import (
+    SqlError,
+    SqlResolutionError,
+    SqlSyntaxError,
+    SqlUnsupportedError,
+    caret_snippet,
+)
+from repro.sql.lexer import SqlToken, tokenize_sql
+from repro.sql.parser import parse_sql
+from repro.sql.render import SqlRenderError, render_sql
+from repro.sql.semantics import check_statement
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "SelectStatement",
+    "SqlError",
+    "SqlRenderError",
+    "SqlResolutionError",
+    "SqlSyntaxError",
+    "SqlToken",
+    "SqlUnsupportedError",
+    "caret_snippet",
+    "check_statement",
+    "compile_sql",
+    "compile_statement",
+    "parse_sql",
+    "render_sql",
+    "tokenize_sql",
+]

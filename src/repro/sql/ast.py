@@ -1,0 +1,197 @@
+"""Typed AST for the supported SELECT subset.
+
+All nodes are frozen dataclasses (structural equality, like the query
+IR).  Source positions ride along for diagnostics but are excluded from
+comparison, so two parses of equivalent text with different whitespace
+produce equal trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+__all__ = [
+    "Pos",
+    "ColumnRef",
+    "Star",
+    "FuncCall",
+    "SelectItem",
+    "Comparison",
+    "InList",
+    "LikePredicate",
+    "BetweenPredicate",
+    "NullTest",
+    "NotExpr",
+    "AndExpr",
+    "OrExpr",
+    "SqlPredicate",
+    "OrderItem",
+    "SelectStatement",
+    "AGGREGATE_FUNCS",
+]
+
+#: SQL aggregate function name -> query-IR aggregation name.  AVG maps
+#: to "mean" (the IR's canonical name), so a SQL query compiles to the
+#: *same* pipeline — hence the same cache entry and the same gold-IR
+#: comparison — as its pandas-like equivalent.
+AGGREGATE_FUNCS: dict[str, str] = {
+    "COUNT": "count",
+    "SUM": "sum",
+    "AVG": "mean",
+    "MIN": "min",
+    "MAX": "max",
+}
+
+
+@dataclass(frozen=True)
+class Pos:
+    """1-based source position (excluded from node equality)."""
+
+    line: int = 1
+    column: int = 1
+
+
+def _pos_field() -> Any:
+    return field(default=Pos(), compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly dotted) column reference, table prefix already split off."""
+
+    path: str
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` (only valid in ``SELECT *`` and ``COUNT(*)``)."""
+
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """An aggregate call ``FUNC(column)`` or ``COUNT(*)``."""
+
+    func: str  # uppercased SQL name, a key of AGGREGATE_FUNCS
+    arg: Union[ColumnRef, Star]
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Union[ColumnRef, FuncCall]
+    alias: str | None = None
+    pos: Pos = _pos_field()
+
+
+# -- predicates --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``operand <op> literal`` with op in == != < <= > >=.
+
+    ``left`` is a :class:`FuncCall` only inside HAVING (e.g.
+    ``HAVING COUNT(task_id) > 3``); the checker enforces that.
+    """
+
+    left: Union[ColumnRef, FuncCall]
+    op: str
+    value: Any
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class InList:
+    column: ColumnRef
+    values: tuple
+    negated: bool = False
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class LikePredicate:
+    column: ColumnRef
+    pattern: str
+    negated: bool = False
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    column: ColumnRef
+    low: Any
+    high: Any
+    negated: bool = False
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class NullTest:
+    """``col IS NULL`` (negated: ``IS NOT NULL``)."""
+
+    column: ColumnRef
+    negated: bool = False
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    operand: "SqlPredicate"
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    left: "SqlPredicate"
+    right: "SqlPredicate"
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    left: "SqlPredicate"
+    right: "SqlPredicate"
+    pos: Pos = _pos_field()
+
+
+SqlPredicate = Union[
+    Comparison,
+    InList,
+    LikePredicate,
+    BetweenPredicate,
+    NullTest,
+    NotExpr,
+    AndExpr,
+    OrExpr,
+]
+
+
+# -- statement ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Union[ColumnRef, FuncCall]
+    ascending: bool = True
+    pos: Pos = _pos_field()
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """One SELECT over the ``tasks`` document table."""
+
+    items: tuple[SelectItem, ...]  # empty means SELECT *
+    table: str = "tasks"
+    alias: str | None = None
+    distinct: bool = False
+    where: SqlPredicate | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    having: SqlPredicate | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    pos: Pos = _pos_field()

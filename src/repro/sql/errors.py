@@ -1,0 +1,79 @@
+"""Structured diagnostics for the SQL dialect.
+
+Every failure the SQL front end can produce — lexing, parsing, name
+resolution, type checking, or an out-of-subset feature — carries the
+1-based line/column of the offending token and renders a caret snippet
+pointing at it.  The gateway forwards :meth:`SqlError.diagnostic`
+verbatim as the :class:`~repro.api.schemas.ErrorEnvelope` detail, so a
+BI client (or a human in curl) sees::
+
+    SELECT * FROM runs
+                  ^
+    line 1, column 15: unknown table 'runs'; only 'tasks' is queryable
+
+never a traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryError
+
+__all__ = [
+    "SqlError",
+    "SqlSyntaxError",
+    "SqlResolutionError",
+    "SqlUnsupportedError",
+    "caret_snippet",
+]
+
+
+def caret_snippet(source: str, line: int, column: int) -> str:
+    """The offending source line with a ``^`` under (line, column), 1-based."""
+    lines = source.splitlines() or [""]
+    idx = min(max(line, 1), len(lines)) - 1
+    text = lines[idx]
+    caret_at = min(max(column, 1), len(text) + 1) - 1
+    return f"{text}\n{' ' * caret_at}^"
+
+
+class SqlError(QueryError):
+    """Base class: any SQL front-end failure, positioned in the source."""
+
+    def __init__(self, message: str, *, source: str = "", line: int = 1,
+                 column: int = 1):
+        self.reason = message
+        self.source = source
+        self.line = line
+        self.column = column
+        super().__init__(f"line {line}, column {column}: {message}")
+
+    def snippet(self) -> str:
+        return caret_snippet(self.source, self.line, self.column)
+
+    def diagnostic(self) -> dict[str, Any]:
+        """JSON-plain detail payload for the gateway's error envelope."""
+        return {
+            "line": self.line,
+            "column": self.column,
+            "message": self.reason,
+            "snippet": self.snippet(),
+        }
+
+
+class SqlSyntaxError(SqlError):
+    """The text is not a well-formed statement of the supported grammar."""
+
+
+class SqlResolutionError(SqlError):
+    """A well-formed statement references names or types incoherently."""
+
+
+class SqlUnsupportedError(SqlError):
+    """Recognisably SQL, but outside the compiled SELECT subset.
+
+    These carry an explicit message naming the unsupported feature
+    (JOIN, subqueries, multiple aggregates, ...) so clients learn the
+    boundary instead of guessing from a generic parse error.
+    """

@@ -1,0 +1,190 @@
+"""Hand-rolled SQL lexer with line/column-positioned tokens.
+
+Case-insensitive keywords, single-quoted strings with ``''`` escaping,
+double-quoted identifiers (the only way to name the flattened dotted
+provenance columns like ``"telemetry_at_end.cpu.percent"``), ints,
+floats and exponent literals.  Every token remembers its 1-based
+line/column so downstream stages can point a caret at it
+(:mod:`repro.sql.errors`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.errors import SqlSyntaxError
+
+__all__ = ["SqlToken", "tokenize_sql", "KEYWORDS"]
+
+#: reserved words (matched case-insensitively, token text is uppercased)
+KEYWORDS = frozenset({
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT", "IN",
+    "LIKE", "BETWEEN", "IS", "NULL", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "LIMIT", "OFFSET", "AS", "TRUE", "FALSE",
+    # recognised so the parser can name them in unsupported-feature
+    # diagnostics instead of emitting a generic syntax error
+    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "UNION",
+    "EXCEPT", "INTERSECT", "INSERT", "UPDATE", "DELETE", "CREATE",
+    "DROP", "CASE", "EXISTS", "WITH",
+})
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_PUNCT = frozenset("(),.*;")
+
+
+@dataclass(frozen=True)
+class SqlToken:
+    """One lexical token.
+
+    ``kind`` is one of KEYWORD / NAME / QNAME (double-quoted identifier)
+    / STRING / NUMBER / OP / PUNCT / EOF.  ``value`` is the cooked form
+    (unquoted string body, numeric value); ``text`` the raw source text.
+    """
+
+    kind: str
+    text: str
+    value: object
+    line: int
+    column: int
+
+
+def tokenize_sql(source: str) -> list[SqlToken]:
+    """Tokenise ``source``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[SqlToken] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def err(message: str, at_line: int, at_col: int) -> SqlSyntaxError:
+        return SqlSyntaxError(message, source=source, line=at_line, column=at_col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("--", i):
+            # line comment: skip to end of line
+            while i < n and source[i] != "\n":
+                i += 1
+                col += 1
+            continue
+        start_line, start_col = line, col
+        if ch in _IDENT_START:
+            j = i
+            while j < n and source[j] in _IDENT_CONT:
+                j += 1
+            text = source[i:j]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(SqlToken("KEYWORD", upper, upper, start_line, start_col))
+            else:
+                tokens.append(SqlToken("NAME", text, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and source[i + 1] in _DIGITS):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c in _DIGITS:
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    # exponent must be followed by [+-]?digit
+                    k = j + 1
+                    if k < n and source[k] in "+-":
+                        k += 1
+                    if k < n and source[k] in _DIGITS:
+                        seen_exp = True
+                        j = k + 1
+                    else:
+                        break
+                else:
+                    break
+            text = source[i:j]
+            value: object
+            if seen_dot or seen_exp:
+                value = float(text)
+            else:
+                value = int(text)
+            tokens.append(SqlToken("NUMBER", text, value, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch == "'":
+            body: list[str] = []
+            j = i + 1
+            while True:
+                if j >= n:
+                    raise err("unterminated string literal", start_line, start_col)
+                c = source[j]
+                if c == "'":
+                    if j + 1 < n and source[j + 1] == "'":
+                        body.append("'")  # '' escapes a quote
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                if c == "\n":
+                    raise err("unterminated string literal", start_line, start_col)
+                body.append(c)
+                j += 1
+            text = source[i:j]
+            tokens.append(SqlToken("STRING", text, "".join(body), start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] not in '"\n':
+                j += 1
+            if j >= n or source[j] != '"':
+                raise err("unterminated quoted identifier", start_line, start_col)
+            body_text = source[i + 1:j]
+            if not body_text:
+                raise err("empty quoted identifier", start_line, start_col)
+            j += 1
+            tokens.append(
+                SqlToken("QNAME", source[i:j], body_text, start_line, start_col)
+            )
+            col += j - i
+            i = j
+            continue
+        for op in ("<>", "!=", "<=", ">="):
+            if source.startswith(op, i):
+                # <> is the standard spelling of !=; normalise here
+                norm = "!=" if op == "<>" else op
+                tokens.append(SqlToken("OP", norm, norm, start_line, start_col))
+                i += 2
+                col += 2
+                break
+        else:
+            if ch in "<>=":
+                norm = "==" if ch == "=" else ch
+                tokens.append(SqlToken("OP", norm, norm, start_line, start_col))
+                i += 1
+                col += 1
+            elif ch in _PUNCT or ch == "-" or ch == "+":
+                tokens.append(SqlToken("PUNCT", ch, ch, start_line, start_col))
+                i += 1
+                col += 1
+            else:
+                raise err(f"unexpected character {ch!r}", start_line, start_col)
+    tokens.append(SqlToken("EOF", "", None, line, col))
+    return tokens

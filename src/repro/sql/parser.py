@@ -1,0 +1,460 @@
+"""Recursive-descent parser: SQL text -> typed AST.
+
+One SELECT statement per input (an optional trailing ``;``).  Anything
+that *is* SQL but falls outside the compiled subset — JOINs, subqueries,
+set operations, DML/DDL, CASE, expression arithmetic — raises
+:class:`~repro.sql.errors.SqlUnsupportedError` with a message naming the
+feature, so clients learn the subset's boundary; malformed text raises
+:class:`~repro.sql.errors.SqlSyntaxError`.  Both carry line/column and a
+caret snippet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.sql import ast as sa
+from repro.sql.errors import SqlSyntaxError, SqlUnsupportedError
+from repro.sql.lexer import SqlToken, tokenize_sql
+
+__all__ = ["parse_sql"]
+
+#: statement-starting keywords we recognise but do not compile
+_UNSUPPORTED_STATEMENTS = {
+    "INSERT": "INSERT statements are not supported; this is a read-only "
+              "query surface",
+    "UPDATE": "UPDATE statements are not supported; this is a read-only "
+              "query surface",
+    "DELETE": "DELETE statements are not supported; this is a read-only "
+              "query surface",
+    "CREATE": "DDL statements are not supported",
+    "DROP": "DDL statements are not supported",
+    "WITH": "common table expressions (WITH) are not supported",
+}
+
+_UNSUPPORTED_JOINS = ("JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS")
+_UNSUPPORTED_SET_OPS = ("UNION", "EXCEPT", "INTERSECT")
+
+
+class _SqlParser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize_sql(source)
+        self.i = 0
+
+    # -- token utilities -----------------------------------------------------
+    def peek(self, offset: int = 0) -> SqlToken:
+        j = min(self.i + offset, len(self.tokens) - 1)
+        return self.tokens[j]
+
+    def next(self) -> SqlToken:
+        tok = self.peek()
+        if tok.kind != "EOF":
+            self.i += 1
+        return tok
+
+    def error(self, message: str, tok: SqlToken | None = None) -> SqlSyntaxError:
+        tok = tok or self.peek()
+        return SqlSyntaxError(
+            message, source=self.source, line=tok.line, column=tok.column
+        )
+
+    def unsupported(
+        self, message: str, tok: SqlToken | None = None
+    ) -> SqlUnsupportedError:
+        tok = tok or self.peek()
+        return SqlUnsupportedError(
+            message, source=self.source, line=tok.line, column=tok.column
+        )
+
+    def at_keyword(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "KEYWORD" and tok.text in words
+
+    def expect_keyword(self, word: str) -> SqlToken:
+        tok = self.next()
+        if tok.kind != "KEYWORD" or tok.text != word:
+            what = tok.text or "end of input"
+            raise self.error(f"expected {word}, found {what!r}", tok)
+        return tok
+
+    def expect_punct(self, ch: str) -> SqlToken:
+        tok = self.next()
+        if tok.kind != "PUNCT" or tok.text != ch:
+            what = tok.text or "end of input"
+            raise self.error(f"expected {ch!r}, found {what!r}", tok)
+        return tok
+
+    def at_punct(self, ch: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "PUNCT" and tok.text == ch
+
+    def pos(self, tok: SqlToken) -> sa.Pos:
+        return sa.Pos(tok.line, tok.column)
+
+    # -- entry ---------------------------------------------------------------
+    def parse(self) -> sa.SelectStatement:
+        tok = self.peek()
+        if tok.kind == "KEYWORD" and tok.text in _UNSUPPORTED_STATEMENTS:
+            raise self.unsupported(_UNSUPPORTED_STATEMENTS[tok.text], tok)
+        statement = self.parse_select()
+        if self.at_punct(";"):
+            self.next()
+        tail = self.peek()
+        if tail.kind != "EOF":
+            if tail.kind == "KEYWORD" and tail.text in _UNSUPPORTED_SET_OPS:
+                raise self.unsupported(
+                    f"set operations ({tail.text}) are not supported", tail
+                )
+            raise self.error(
+                f"unexpected trailing content {tail.text!r} after statement", tail
+            )
+        return statement
+
+    def parse_select(self) -> sa.SelectStatement:
+        start = self.expect_keyword("SELECT")
+        distinct = False
+        if self.at_keyword("DISTINCT"):
+            self.next()
+            distinct = True
+        items = self.parse_select_items()
+        self.expect_keyword("FROM")
+        table, alias = self.parse_table_ref()
+        where = None
+        if self.at_keyword("WHERE"):
+            self.next()
+            where = self.parse_predicate()
+        group_by: tuple[sa.ColumnRef, ...] = ()
+        if self.at_keyword("GROUP"):
+            self.next()
+            self.expect_keyword("BY")
+            group_by = tuple(self.parse_column_list())
+        having = None
+        if self.at_keyword("HAVING"):
+            self.next()
+            having = self.parse_predicate()
+        order_by: tuple[sa.OrderItem, ...] = ()
+        if self.at_keyword("ORDER"):
+            self.next()
+            self.expect_keyword("BY")
+            order_by = tuple(self.parse_order_items())
+        limit = None
+        offset = None
+        if self.at_keyword("LIMIT"):
+            self.next()
+            limit = self.parse_nonneg_int("LIMIT")
+            if self.at_keyword("OFFSET"):
+                self.next()
+                offset = self.parse_nonneg_int("OFFSET")
+        elif self.at_keyword("OFFSET"):
+            self.next()
+            offset = self.parse_nonneg_int("OFFSET")
+        return sa.SelectStatement(
+            items=items,
+            table=table,
+            alias=alias,
+            distinct=distinct,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            pos=self.pos(start),
+        )
+
+    # -- select list ---------------------------------------------------------
+    def parse_select_items(self) -> tuple[sa.SelectItem, ...]:
+        if self.at_punct("*"):
+            self.next()
+            if self.at_punct(","):
+                raise self.unsupported(
+                    "mixing * with other select items is not supported"
+                )
+            return ()
+        items: list[sa.SelectItem] = []
+        while True:
+            items.append(self.parse_select_item())
+            if self.at_punct(","):
+                self.next()
+                continue
+            break
+        return tuple(items)
+
+    def parse_select_item(self) -> sa.SelectItem:
+        tok = self.peek()
+        expr = self.parse_value_expr()
+        alias = None
+        if self.at_keyword("AS"):
+            self.next()
+            alias_tok = self.next()
+            if alias_tok.kind not in ("NAME", "QNAME"):
+                raise self.error("expected alias name after AS", alias_tok)
+            alias = str(alias_tok.value)
+        elif self.peek().kind in ("NAME", "QNAME"):
+            alias = str(self.next().value)
+        return sa.SelectItem(expr=expr, alias=alias, pos=self.pos(tok))
+
+    def parse_value_expr(self) -> Union[sa.ColumnRef, sa.FuncCall]:
+        """A column reference or an aggregate call."""
+        tok = self.peek()
+        if tok.kind == "NAME" and self.peek(1).kind == "PUNCT" \
+                and self.peek(1).text == "(":
+            func = tok.text.upper()
+            self.next()
+            self.next()  # '('
+            if func not in sa.AGGREGATE_FUNCS:
+                raise self.unsupported(
+                    f"function {tok.text}() is not supported; available "
+                    f"aggregates: {', '.join(sorted(sa.AGGREGATE_FUNCS))}",
+                    tok,
+                )
+            if self.at_keyword("DISTINCT"):
+                raise self.unsupported(
+                    f"{func}(DISTINCT ...) is not supported"
+                )
+            arg: Union[sa.ColumnRef, sa.Star]
+            if self.at_punct("*"):
+                star = self.next()
+                if func != "COUNT":
+                    raise self.error(f"{func}(*) is not valid; name a column",
+                                     star)
+                arg = sa.Star(pos=self.pos(star))
+            else:
+                arg = self.parse_column_ref()
+            self.expect_punct(")")
+            return sa.FuncCall(func=func, arg=arg, pos=self.pos(tok))
+        if tok.kind == "KEYWORD" and tok.text == "CASE":
+            raise self.unsupported("CASE expressions are not supported", tok)
+        column = self.parse_column_ref()
+        nxt = self.peek()
+        if nxt.kind == "PUNCT" and nxt.text in "+-*":
+            raise self.unsupported(
+                "arithmetic in expressions is not supported", nxt
+            )
+        return column
+
+    def parse_column_ref(self) -> sa.ColumnRef:
+        tok = self.next()
+        if tok.kind not in ("NAME", "QNAME"):
+            what = tok.text or "end of input"
+            raise self.error(f"expected a column name, found {what!r}", tok)
+        parts = [str(tok.value)]
+        # bare dotted paths: tasks.status, used.x — quoted identifiers
+        # may also continue a dotted chain ("used"."x")
+        while self.at_punct("."):
+            self.next()
+            part = self.next()
+            if part.kind not in ("NAME", "QNAME"):
+                raise self.error("expected identifier after '.'", part)
+            parts.append(str(part.value))
+        return sa.ColumnRef(path=".".join(parts), pos=self.pos(tok))
+
+    def parse_column_list(self) -> list[sa.ColumnRef]:
+        out = [self.parse_column_ref()]
+        while self.at_punct(","):
+            self.next()
+            out.append(self.parse_column_ref())
+        return out
+
+    # -- FROM ----------------------------------------------------------------
+    def parse_table_ref(self) -> tuple[str, str | None]:
+        tok = self.next()
+        if tok.kind == "PUNCT" and tok.text == "(":
+            raise self.unsupported(
+                "subqueries in FROM are not supported", tok
+            )
+        if tok.kind not in ("NAME", "QNAME"):
+            what = tok.text or "end of input"
+            raise self.error(f"expected a table name, found {what!r}", tok)
+        table = str(tok.value)
+        alias = None
+        if self.at_keyword("AS"):
+            self.next()
+            alias_tok = self.next()
+            if alias_tok.kind not in ("NAME", "QNAME"):
+                raise self.error("expected alias name after AS", alias_tok)
+            alias = str(alias_tok.value)
+        elif self.peek().kind == "NAME":
+            alias = str(self.next().value)
+        nxt = self.peek()
+        if nxt.kind == "KEYWORD" and nxt.text in _UNSUPPORTED_JOINS:
+            raise self.unsupported(
+                "JOINs are not supported; the provenance documents are one "
+                "flattened 'tasks' table",
+                nxt,
+            )
+        if self.at_punct(","):
+            raise self.unsupported(
+                "multiple tables in FROM (implicit join) are not supported"
+            )
+        return table, alias
+
+    # -- predicates ----------------------------------------------------------
+    def parse_predicate(self) -> sa.SqlPredicate:
+        return self.parse_or()
+
+    def parse_or(self) -> sa.SqlPredicate:
+        left = self.parse_and()
+        while self.at_keyword("OR"):
+            tok = self.next()
+            right = self.parse_and()
+            left = sa.OrExpr(left, right, pos=self.pos(tok))
+        return left
+
+    def parse_and(self) -> sa.SqlPredicate:
+        left = self.parse_not()
+        while self.at_keyword("AND"):
+            tok = self.next()
+            right = self.parse_not()
+            left = sa.AndExpr(left, right, pos=self.pos(tok))
+        return left
+
+    def parse_not(self) -> sa.SqlPredicate:
+        if self.at_keyword("NOT"):
+            tok = self.next()
+            return sa.NotExpr(self.parse_not(), pos=self.pos(tok))
+        if self.at_punct("("):
+            open_tok = self.next()
+            if self.at_keyword("SELECT"):
+                raise self.unsupported("subqueries are not supported")
+            inner = self.parse_or()
+            self.expect_punct(")")
+            _ = open_tok
+            return inner
+        if self.at_keyword("EXISTS"):
+            raise self.unsupported("EXISTS subqueries are not supported")
+        return self.parse_predicate_atom()
+
+    def parse_predicate_atom(self) -> sa.SqlPredicate:
+        tok = self.peek()
+        left = self.parse_value_expr()
+        nxt = self.peek()
+        if nxt.kind == "OP":
+            op = self.next().text
+            value = self.parse_literal()
+            return sa.Comparison(left=left, op=op, value=value,
+                                 pos=self.pos(tok))
+        negated = False
+        if self.at_keyword("NOT"):
+            self.next()
+            negated = True
+            nxt = self.peek()
+        if not isinstance(left, sa.ColumnRef) and nxt.kind == "KEYWORD" \
+                and nxt.text in ("IN", "LIKE", "BETWEEN", "IS"):
+            raise self.error(
+                f"{nxt.text} applies to a column, not an aggregate", nxt
+            )
+        if self.at_keyword("IN"):
+            self.next()
+            self.expect_punct("(")
+            if self.at_keyword("SELECT"):
+                raise self.unsupported("subqueries are not supported")
+            values = [self.parse_literal()]
+            while self.at_punct(","):
+                self.next()
+                values.append(self.parse_literal())
+            self.expect_punct(")")
+            return sa.InList(column=left, values=tuple(values),
+                             negated=negated, pos=self.pos(tok))
+        if self.at_keyword("LIKE"):
+            like_tok = self.next()
+            pat = self.next()
+            if pat.kind != "STRING":
+                raise self.error("LIKE expects a string pattern", pat)
+            return sa.LikePredicate(column=left, pattern=str(pat.value),
+                                    negated=negated, pos=self.pos(like_tok))
+        if self.at_keyword("BETWEEN"):
+            self.next()
+            low = self.parse_literal()
+            self.expect_keyword("AND")
+            high = self.parse_literal()
+            return sa.BetweenPredicate(column=left, low=low, high=high,
+                                       negated=negated, pos=self.pos(tok))
+        if negated:
+            raise self.error("expected IN, LIKE or BETWEEN after NOT")
+        if self.at_keyword("IS"):
+            self.next()
+            is_not = False
+            if self.at_keyword("NOT"):
+                self.next()
+                is_not = True
+            null_tok = self.next()
+            if null_tok.kind != "KEYWORD" or null_tok.text != "NULL":
+                raise self.error("expected NULL after IS", null_tok)
+            return sa.NullTest(column=left, negated=is_not, pos=self.pos(tok))
+        what = nxt.text or "end of input"
+        raise self.error(
+            f"expected a comparison operator, IN, LIKE, BETWEEN or IS "
+            f"after column, found {what!r}",
+            nxt,
+        )
+
+    # -- literals ------------------------------------------------------------
+    def parse_literal(self) -> Any:
+        tok = self.next()
+        if tok.kind == "STRING":
+            return tok.value
+        if tok.kind == "NUMBER":
+            return tok.value
+        if tok.kind == "PUNCT" and tok.text in "+-":
+            num = self.next()
+            if num.kind != "NUMBER":
+                raise self.error("expected a number after sign", num)
+            value = num.value
+            return -value if tok.text == "-" else value
+        if tok.kind == "KEYWORD":
+            if tok.text == "TRUE":
+                return True
+            if tok.text == "FALSE":
+                return False
+            if tok.text == "NULL":
+                return None
+            if tok.text == "SELECT":
+                raise self.unsupported("subqueries are not supported", tok)
+        if tok.kind in ("NAME", "QNAME"):
+            raise self.error(
+                f"expected a literal, found identifier {tok.text!r} "
+                "(string literals use single quotes)",
+                tok,
+            )
+        what = tok.text or "end of input"
+        raise self.error(f"expected a literal, found {what!r}", tok)
+
+    def parse_nonneg_int(self, clause: str) -> int:
+        tok = self.next()
+        if tok.kind != "NUMBER" or not isinstance(tok.value, int) \
+                or tok.value < 0:
+            raise self.error(f"{clause} expects a non-negative integer", tok)
+        return tok.value
+
+    def parse_order_items(self) -> list[sa.OrderItem]:
+        out: list[sa.OrderItem] = []
+        while True:
+            tok = self.peek()
+            expr = self.parse_value_expr()
+            ascending = True
+            if self.at_keyword("ASC"):
+                self.next()
+            elif self.at_keyword("DESC"):
+                self.next()
+                ascending = False
+            out.append(sa.OrderItem(expr=expr, ascending=ascending,
+                                    pos=self.pos(tok)))
+            if self.at_punct(","):
+                self.next()
+                continue
+            break
+        return out
+
+
+def parse_sql(source: str) -> sa.SelectStatement:
+    """Parse one SELECT statement, or raise a positioned :class:`SqlError`."""
+    if not source or not source.strip():
+        raise SqlSyntaxError("empty SQL statement", source=source or "")
+    parser = _SqlParser(source)
+    first = parser.peek()
+    if not (first.kind == "KEYWORD" and first.text == "SELECT") \
+            and first.kind == "KEYWORD" and first.text in _UNSUPPORTED_STATEMENTS:
+        raise parser.unsupported(_UNSUPPORTED_STATEMENTS[first.text], first)
+    return parser.parse()

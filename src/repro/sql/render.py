@@ -1,0 +1,334 @@
+"""Render a query-IR pipeline back to SQL text.
+
+Inverse of :func:`~repro.sql.compiler.compile_sql` for SQL-expressible
+pipelines: ``compile_sql(render_sql(p)) == p`` (property-tested).  Used
+by the evaluation harness to derive the SQL variant of each gold query
+from its gold IR, so both dialects are graded against the same oracle.
+
+Pipelines outside the compiler's canonical shapes — ``Tail``, uncommon
+aggregations (median/std/...), case-insensitive contains, steps in
+non-SQL order — raise :class:`SqlRenderError`; callers treat that as
+"this query has no SQL spelling", not as a failure.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.query import ast as q
+from repro.sql.ast import AGGREGATE_FUNCS
+from repro.sql.lexer import KEYWORDS
+
+__all__ = ["render_sql", "SqlRenderError"]
+
+#: query-IR aggregation name -> SQL function name
+_SQL_AGGS = {ir: sql for sql, ir in AGGREGATE_FUNCS.items()}
+
+_PLAIN_IDENT = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
+
+
+class SqlRenderError(ValueError):
+    """The pipeline has no exact SQL spelling in the supported subset."""
+
+
+def _column(name: str) -> str:
+    if '"' in name or "\n" in name:
+        raise SqlRenderError(f"column name {name!r} cannot be quoted in SQL")
+    first = name.split(".", 1)[0]
+    if first == "tasks" or first == "":
+        # the checker would strip a leading "tasks." as a table prefix
+        raise SqlRenderError(f"column name {name!r} collides with the table name")
+    if _PLAIN_IDENT.match(name) and name.upper() not in KEYWORDS:
+        return name
+    return f'"{name}"'
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    raise SqlRenderError(f"literal {value!r} has no SQL spelling")
+
+
+def _like_pattern(text: str, what: str) -> str:
+    if not text or "%" in text or "_" in text:
+        raise SqlRenderError(
+            f"{what} {text!r} cannot round-trip through a LIKE pattern"
+        )
+    return text
+
+
+def _agg_call(agg: str, column: str) -> str:
+    if agg not in _SQL_AGGS:
+        raise SqlRenderError(f"aggregation {agg!r} has no SQL function")
+    return f"{_SQL_AGGS[agg]}({_column(column)})"
+
+
+def _predicate(pred: q.Predicate, *, agg: tuple[str, str] | None = None,
+               group_keys: tuple[str, ...] = ()) -> str:
+    """Render one predicate; AND/OR/NOT operands get explicit parens so
+    the parse tree (and hence the recompiled IR) matches exactly.
+
+    ``agg`` is (SQL function name, source column) when rendering a
+    HAVING predicate — a Compare on the source column IS the aggregate
+    test in the grouped frame, so it renders as ``FUNC(col) op value``.
+    """
+    if isinstance(pred, q.And):
+        return (f"({_predicate(pred.left, agg=agg, group_keys=group_keys)}) "
+                f"AND ({_predicate(pred.right, agg=agg, group_keys=group_keys)})")
+    if isinstance(pred, q.Or):
+        return (f"({_predicate(pred.left, agg=agg, group_keys=group_keys)}) "
+                f"OR ({_predicate(pred.right, agg=agg, group_keys=group_keys)})")
+    if isinstance(pred, q.Not):
+        inner = pred.operand
+        # NOT IN / NOT LIKE / NOT BETWEEN have first-class negated forms
+        if isinstance(inner, q.IsIn):
+            return _in_list(inner, negated=True)
+        if isinstance(inner, (q.StrContains, q.StrStartsWith, q.StrEndsWith)):
+            return _like(inner, negated=True)
+        if isinstance(inner, q.Between):
+            return _between(inner, negated=True)
+        return f"NOT ({_predicate(inner, agg=agg, group_keys=group_keys)})"
+    if isinstance(pred, q.Compare):
+        op = {"==": "=", "!=": "<>"}.get(pred.op, pred.op)
+        name = pred.field.name
+        if agg is not None and name == agg[1] and name not in group_keys:
+            left = f"{agg[0]}({_column(name)})"
+        else:
+            left = _column(name)
+        return f"{left} {op} {_literal(pred.value)}"
+    if isinstance(pred, q.StrContains):
+        return _like(pred, negated=False)
+    if isinstance(pred, q.StrStartsWith):
+        return _like(pred, negated=False)
+    if isinstance(pred, q.StrEndsWith):
+        return _like(pred, negated=False)
+    if isinstance(pred, q.IsIn):
+        return _in_list(pred, negated=False)
+    if isinstance(pred, q.Between):
+        return _between(pred, negated=False)
+    if isinstance(pred, q.NotNull):
+        return f"{_column(pred.field.name)} IS NOT NULL"
+    if isinstance(pred, q.IsNull):
+        return f"{_column(pred.field.name)} IS NULL"
+    raise SqlRenderError(f"predicate {type(pred).__name__} has no SQL spelling")
+
+
+def _in_list(pred: q.IsIn, *, negated: bool) -> str:
+    if not pred.values:
+        raise SqlRenderError("empty IN list has no SQL spelling")
+    body = ", ".join(_literal(v) for v in pred.values)
+    kw = "NOT IN" if negated else "IN"
+    return f"{_column(pred.field.name)} {kw} ({body})"
+
+
+def _like(pred: q.Predicate, *, negated: bool) -> str:
+    if isinstance(pred, q.StrContains):
+        if not pred.case:
+            raise SqlRenderError(
+                "case-insensitive contains has no LIKE spelling"
+            )
+        pattern = "%" + _like_pattern(pred.pattern, "contains pattern") + "%"
+    elif isinstance(pred, q.StrStartsWith):
+        pattern = _like_pattern(pred.prefix, "prefix") + "%"
+    else:
+        pattern = "%" + _like_pattern(pred.suffix, "suffix")
+    kw = "NOT LIKE" if negated else "LIKE"
+    return f"{_column(pred.field.name)} {kw} '{pattern}'"
+
+
+def _between(pred: q.Between, *, negated: bool) -> str:
+    kw = "NOT BETWEEN" if negated else "BETWEEN"
+    return (f"{_column(pred.field.name)} {kw} "
+            f"{_literal(pred.low)} AND {_literal(pred.high)}")
+
+
+def render_sql(pipeline: q.Pipeline) -> str:
+    """Render a pipeline as one SELECT, or raise :class:`SqlRenderError`."""
+    steps = list(pipeline.steps)
+    i = 0
+    where_parts: list[q.Predicate] = []
+    while i < len(steps) and isinstance(steps[i], q.Filter):
+        where_parts.append(steps[i].predicate)
+        i += 1
+    where = where_parts[0] if where_parts else None
+    for extra in where_parts[1:]:
+        where = q.And(where, extra)
+
+    rest = steps[i:]
+    if not rest:
+        return _assemble(["*"], where=where)
+
+    head = rest[0]
+    if isinstance(head, q.RowCount):
+        _expect_end(rest, 1)
+        return _assemble(["COUNT(*)"], where=where)
+    if isinstance(head, q.Agg):
+        _expect_end(rest, 1)
+        return _assemble([_agg_call(head.agg, head.column)], where=where)
+    if isinstance(head, q.Unique):
+        _expect_end(rest, 1)
+        return _assemble([_column(head.column)], where=where, distinct=True)
+    if isinstance(head, q.GroupAgg):
+        return _grouped(head, rest[1:], where)
+    if isinstance(head, q.Project) and len(rest) > 1 \
+            and isinstance(rest[1], q.DropDuplicates):
+        return _distinct(head, rest[1], rest[2:], where)
+    return _plain(rest, where)
+
+
+def _expect_end(rest: list, n: int) -> None:
+    if len(rest) > n:
+        extra = type(rest[n]).__name__
+        raise SqlRenderError(f"unexpected step {extra} after a terminal step")
+
+
+def _tail_clauses(rest: list, *, sort_render) -> list[str]:
+    """Consume optional Sort, Skip, Head (in that order) into SQL clauses."""
+    clauses: list[str] = []
+    j = 0
+    if j < len(rest) and isinstance(rest[j], q.Sort):
+        clauses.append("ORDER BY " + sort_render(rest[j]))
+        j += 1
+    offset = None
+    if j < len(rest) and isinstance(rest[j], q.Skip):
+        if rest[j].n < 1:
+            raise SqlRenderError("OFFSET 0 does not round-trip; drop the Skip")
+        offset = rest[j].n
+        j += 1
+    if j < len(rest) and isinstance(rest[j], q.Head):
+        clauses.append(f"LIMIT {rest[j].n}")
+        j += 1
+    if offset is not None:
+        clauses.append(f"OFFSET {offset}")
+    if j < len(rest):
+        raise SqlRenderError(
+            f"step {type(rest[j]).__name__} is out of SQL clause order"
+        )
+    return clauses
+
+
+def _order_items(sort: q.Sort, render_key) -> str:
+    return ", ".join(
+        render_key(k) + ("" if asc else " DESC")
+        for k, asc in zip(sort.keys, sort.ascending)
+    )
+
+
+def _assemble(items: list[str], *, where: q.Predicate | None,
+              distinct: bool = False, group_by: str = "",
+              having: str = "", tail: list[str] | None = None) -> str:
+    parts = ["SELECT " + ("DISTINCT " if distinct else "") + ", ".join(items),
+             "FROM tasks"]
+    if where is not None:
+        parts.append("WHERE " + _predicate(where))
+    if group_by:
+        parts.append("GROUP BY " + group_by)
+    if having:
+        parts.append("HAVING " + having)
+    parts.extend(tail or [])
+    return " ".join(parts)
+
+
+def _plain(rest: list, where: q.Predicate | None) -> str:
+    project = None
+    if rest and isinstance(rest[-1], q.Project):
+        project = rest[-1]
+        rest = rest[:-1]
+    tail = _tail_clauses(rest, sort_render=lambda s: _order_items(s, _column))
+    items = [_column(c) for c in project.columns] if project else ["*"]
+    return _assemble(items, where=where, tail=tail)
+
+
+def _distinct(project: q.Project, dd: q.DropDuplicates, rest: list,
+              where: q.Predicate | None) -> str:
+    if dd.subset:
+        raise SqlRenderError(
+            "drop_duplicates with a subset has no DISTINCT spelling"
+        )
+    projected = set(project.columns)
+
+    def key(name: str) -> str:
+        if name not in projected:
+            raise SqlRenderError(
+                f"DISTINCT cannot order by unselected column {name!r}"
+            )
+        return _column(name)
+
+    tail = _tail_clauses(rest, sort_render=lambda s: _order_items(s, key))
+    if not tail:
+        # the compiler lowers a bare single-column DISTINCT to Unique,
+        # so this Project+DropDuplicates shape would not round-trip
+        if len(project.columns) == 1:
+            raise SqlRenderError(
+                "bare single-column DISTINCT lowers to Unique, not "
+                "drop_duplicates"
+            )
+    items = [_column(c) for c in project.columns]
+    return _assemble(items, where=where, distinct=True, tail=tail)
+
+
+def _grouped(group: q.GroupAgg, rest: list,
+             where: q.Predicate | None) -> str:
+    if group.agg not in _SQL_AGGS:
+        raise SqlRenderError(f"aggregation {group.agg!r} has no SQL function")
+    keys = group.keys
+    agg_item = _agg_call(group.agg, group.column)
+
+    having = ""
+    if rest and isinstance(rest[0], q.Filter):
+        having = _predicate(rest[0].predicate,
+                            agg=(_SQL_AGGS[group.agg], group.column),
+                            group_keys=keys)
+        rest = rest[1:]
+
+    project = None
+    if rest and isinstance(rest[-1], q.Project):
+        project = rest[-1]
+        rest = rest[:-1]
+
+    def sort_key(name: str) -> str:
+        if name == group.column and name not in keys:
+            return agg_item
+        if name in keys:
+            return _column(name)
+        raise SqlRenderError(
+            f"grouped ORDER BY column {name!r} is neither a grouping key "
+            "nor the aggregate"
+        )
+
+    tail = _tail_clauses(rest, sort_render=lambda s: _order_items(s, sort_key))
+
+    if project is None:
+        items = [_column(k) for k in keys] + [agg_item]
+    else:
+        items = []
+        saw_agg = False
+        for col in project.columns:
+            if col == group.column and col not in keys:
+                items.append(agg_item)
+                saw_agg = True
+            elif col in keys:
+                items.append(_column(col))
+            else:
+                raise SqlRenderError(
+                    f"grouped projection column {col!r} is neither a "
+                    "grouping key nor the aggregate"
+                )
+        if not saw_agg:
+            raise SqlRenderError(
+                "a grouped SELECT without its aggregate has no SQL spelling"
+            )
+        natural = list(keys) + [group.column]
+        if list(project.columns) == natural:
+            raise SqlRenderError(
+                "projection equal to the natural grouped output does not "
+                "round-trip; the compiler omits it"
+            )
+    return _assemble(items, where=where,
+                     group_by=", ".join(_column(k) for k in keys),
+                     having=having, tail=tail)

@@ -1,0 +1,429 @@
+"""Semantic checker: resolve names and type-check predicates.
+
+The checker normalises a parsed :class:`~repro.sql.ast.SelectStatement`
+into the shape the compiler lowers:
+
+* the FROM table must be ``tasks`` (the flattened provenance document
+  set); its name or alias is stripped from dotted column paths, so
+  ``t.status`` and ``status`` resolve identically;
+* SELECT aliases are resolved in GROUP BY and ORDER BY
+  (``SELECT duration AS d ... ORDER BY d``);
+* predicates are type-checked against a static catalog of the
+  well-known provenance fields — ``LIKE`` on a numeric field, ordering
+  comparisons between a string field and a number, and comparisons
+  against ``NULL`` are rejected with positioned diagnostics.  Columns
+  outside the catalog (the open ``used.* / generated.* / telemetry_*``
+  document schema) pass the checker and fail at execution time exactly
+  like the other dialects;
+* aggregate placement follows SQL rules (none in WHERE, grouped selects
+  list only grouping columns or the aggregate), restricted to the one
+  aggregate per query the IR's :class:`~repro.query.ast.GroupAgg`
+  carries — a second aggregate raises an explicit unsupported-feature
+  error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Union
+
+from repro.sql import ast as sa
+from repro.sql.errors import (
+    SqlResolutionError,
+    SqlUnsupportedError,
+)
+
+__all__ = ["check_statement", "STRING_FIELDS", "NUMERIC_FIELDS"]
+
+#: the one queryable table (the provenance document set, flattened)
+TABLE_NAME = "tasks"
+
+#: well-known string-typed task-document fields
+STRING_FIELDS = frozenset({
+    "task_id", "workflow_id", "campaign_id", "activity_id", "status",
+    "hostname", "type", "agent_id", "stdout", "stderr",
+})
+
+#: well-known numeric task-document fields
+NUMERIC_FIELDS = frozenset({
+    "started_at", "ended_at", "duration",
+})
+
+
+class _Checker:
+    def __init__(self, source: str):
+        self.source = source
+
+    def fail(self, message: str, pos: sa.Pos,
+             cls: type = SqlResolutionError) -> Exception:
+        return cls(message, source=self.source, line=pos.line,
+                   column=pos.column)
+
+    # -- column normalisation ------------------------------------------------
+    def strip_prefix(self, column: sa.ColumnRef,
+                     names: tuple[str, ...]) -> sa.ColumnRef:
+        head, dot, rest = column.path.partition(".")
+        if dot and head in names:
+            return replace(column, path=rest)
+        return column
+
+    def field_type(self, path: str) -> str:
+        if path in STRING_FIELDS:
+            return "string"
+        if path in NUMERIC_FIELDS:
+            return "numeric"
+        return "unknown"
+
+    # -- predicate walk ------------------------------------------------------
+    def check_predicate(
+        self,
+        pred: sa.SqlPredicate,
+        names: tuple[str, ...],
+        *,
+        clause: str,
+        agg_ok: bool = False,
+    ) -> sa.SqlPredicate:
+        if isinstance(pred, sa.AndExpr):
+            return replace(
+                pred,
+                left=self.check_predicate(pred.left, names, clause=clause,
+                                          agg_ok=agg_ok),
+                right=self.check_predicate(pred.right, names, clause=clause,
+                                           agg_ok=agg_ok),
+            )
+        if isinstance(pred, sa.OrExpr):
+            return replace(
+                pred,
+                left=self.check_predicate(pred.left, names, clause=clause,
+                                          agg_ok=agg_ok),
+                right=self.check_predicate(pred.right, names, clause=clause,
+                                           agg_ok=agg_ok),
+            )
+        if isinstance(pred, sa.NotExpr):
+            return replace(
+                pred,
+                operand=self.check_predicate(pred.operand, names,
+                                             clause=clause, agg_ok=agg_ok),
+            )
+        if isinstance(pred, sa.Comparison):
+            left = pred.left
+            if isinstance(left, sa.FuncCall):
+                if not agg_ok:
+                    raise self.fail(
+                        f"aggregate {left.func}() is not allowed in "
+                        f"{clause}; use HAVING",
+                        left.pos,
+                    )
+                left = self.check_func(left, names)
+            else:
+                left = self.strip_prefix(left, names)
+                self.check_comparison_types(left, pred.op, pred.value,
+                                            pred.pos)
+            return replace(pred, left=left)
+        if isinstance(pred, sa.InList):
+            column = self.strip_prefix(pred.column, names)
+            ftype = self.field_type(column.path)
+            for v in pred.values:
+                if v is None:
+                    raise self.fail(
+                        "NULL inside IN (...) never matches; use IS NULL",
+                        pred.pos,
+                    )
+                self.check_literal_type(column, ftype, v, pred.pos,
+                                        context="IN list")
+            return replace(pred, column=column)
+        if isinstance(pred, sa.LikePredicate):
+            column = self.strip_prefix(pred.column, names)
+            if self.field_type(column.path) == "numeric":
+                raise self.fail(
+                    f"LIKE needs a string column; {column.path!r} is numeric",
+                    pred.pos,
+                )
+            return replace(pred, column=column)
+        if isinstance(pred, sa.BetweenPredicate):
+            column = self.strip_prefix(pred.column, names)
+            ftype = self.field_type(column.path)
+            for bound in (pred.low, pred.high):
+                if bound is None:
+                    raise self.fail(
+                        "BETWEEN bounds cannot be NULL", pred.pos
+                    )
+                self.check_literal_type(column, ftype, bound, pred.pos,
+                                        context="BETWEEN bound")
+            return replace(pred, column=column)
+        if isinstance(pred, sa.NullTest):
+            return replace(pred, column=self.strip_prefix(pred.column, names))
+        raise self.fail(f"unknown predicate node {type(pred).__name__}",
+                        sa.Pos(), SqlUnsupportedError)
+
+    def check_comparison_types(self, column: sa.ColumnRef, op: str,
+                               value: object, pos: sa.Pos) -> None:
+        if value is None:
+            raise self.fail(
+                "comparisons with NULL are always unknown; use IS NULL "
+                "or IS NOT NULL",
+                pos,
+            )
+        self.check_literal_type(column, self.field_type(column.path), value,
+                                pos, context=f"{op} comparison")
+
+    def check_literal_type(self, column: sa.ColumnRef, ftype: str,
+                           value: object, pos: sa.Pos, *,
+                           context: str) -> None:
+        if ftype == "string" and not isinstance(value, str):
+            raise self.fail(
+                f"{column.path!r} is a string field; {context} against "
+                f"{value!r} can never match",
+                pos,
+            )
+        if ftype == "numeric" and (
+            isinstance(value, bool) or not isinstance(value, (int, float))
+        ):
+            raise self.fail(
+                f"{column.path!r} is a numeric field; {context} against "
+                f"{value!r} can never match",
+                pos,
+            )
+
+    # -- aggregates ----------------------------------------------------------
+    def check_func(self, func: sa.FuncCall,
+                   names: tuple[str, ...]) -> sa.FuncCall:
+        if isinstance(func.arg, sa.ColumnRef):
+            arg = self.strip_prefix(func.arg, names)
+            if func.func != "COUNT" \
+                    and self.field_type(arg.path) == "string":
+                raise self.fail(
+                    f"{func.func}() needs a numeric column; "
+                    f"{arg.path!r} is a string field",
+                    func.pos,
+                )
+            return replace(func, arg=arg)
+        return func
+
+    def collect_aggregates(
+        self, pred: sa.SqlPredicate | None
+    ) -> list[sa.FuncCall]:
+        if pred is None:
+            return []
+        if isinstance(pred, (sa.AndExpr, sa.OrExpr)):
+            return self.collect_aggregates(pred.left) \
+                + self.collect_aggregates(pred.right)
+        if isinstance(pred, sa.NotExpr):
+            return self.collect_aggregates(pred.operand)
+        if isinstance(pred, sa.Comparison) \
+                and isinstance(pred.left, sa.FuncCall):
+            return [pred.left]
+        return []
+
+
+def check_statement(statement: sa.SelectStatement,
+                    source: str = "") -> sa.SelectStatement:
+    """Validate and normalise a parsed statement; raises positioned errors."""
+    ck = _Checker(source)
+
+    # -- table ---------------------------------------------------------------
+    if statement.table != TABLE_NAME:
+        raise ck.fail(
+            f"unknown table {statement.table!r}; only {TABLE_NAME!r} is "
+            "queryable",
+            statement.pos,
+        )
+    names = (statement.table,)
+    if statement.alias:
+        names = names + (statement.alias,)
+
+    # -- select list + aliases ----------------------------------------------
+    items: list[sa.SelectItem] = []
+    aliases: dict[str, Union[sa.ColumnRef, sa.FuncCall]] = {}
+    select_aggs: list[sa.FuncCall] = []
+    plain_columns: list[sa.ColumnRef] = []
+    for item in statement.items:
+        expr: Union[sa.ColumnRef, sa.FuncCall]
+        if isinstance(item.expr, sa.FuncCall):
+            expr = ck.check_func(item.expr, names)
+            select_aggs.append(expr)
+        else:
+            expr = ck.strip_prefix(item.expr, names)
+            plain_columns.append(expr)
+        if item.alias is not None:
+            if item.alias in aliases:
+                raise ck.fail(f"duplicate alias {item.alias!r}", item.pos)
+            aliases[item.alias] = expr
+        items.append(replace(item, expr=expr))
+
+    def resolve(expr: Union[sa.ColumnRef, sa.FuncCall]
+                ) -> Union[sa.ColumnRef, sa.FuncCall]:
+        """Alias -> select expression; other columns pass through."""
+        if isinstance(expr, sa.ColumnRef) and expr.path in aliases:
+            return aliases[expr.path]
+        if isinstance(expr, sa.ColumnRef):
+            return ck.strip_prefix(expr, names)
+        return ck.check_func(expr, names)
+
+    # -- WHERE ---------------------------------------------------------------
+    where = None
+    if statement.where is not None:
+        where = ck.check_predicate(statement.where, names, clause="WHERE",
+                                   agg_ok=False)
+
+    # -- GROUP BY ------------------------------------------------------------
+    group_by: list[sa.ColumnRef] = []
+    for key in statement.group_by:
+        resolved = resolve(key)
+        if isinstance(resolved, sa.FuncCall):
+            raise ck.fail("cannot GROUP BY an aggregate", key.pos)
+        group_by.append(resolved)
+    group_paths = {c.path for c in group_by}
+
+    # -- HAVING --------------------------------------------------------------
+    having = None
+    if statement.having is not None:
+        if not group_by:
+            raise ck.fail("HAVING requires GROUP BY", statement.pos)
+        having = ck.check_predicate(statement.having, names, clause="HAVING",
+                                    agg_ok=True)
+        having_aggs = ck.collect_aggregates(having)
+        for leaf in _predicate_columns(having):
+            if leaf.path not in group_paths \
+                    and not _matches_agg_column(leaf, having_aggs) \
+                    and not _matches_agg_column(leaf, select_aggs):
+                raise ck.fail(
+                    f"HAVING column {leaf.path!r} must be a grouping column "
+                    "or the aggregate",
+                    leaf.pos,
+                )
+
+    # -- ORDER BY ------------------------------------------------------------
+    order_by: list[sa.OrderItem] = []
+    for item in statement.order_by:
+        resolved = resolve(item.expr)
+        if isinstance(resolved, sa.FuncCall) and not group_by:
+            raise ck.fail(
+                "ORDER BY an aggregate requires GROUP BY", item.pos
+            )
+        order_by.append(replace(item, expr=resolved))
+
+    # -- aggregate placement -------------------------------------------------
+    all_aggs = (
+        select_aggs
+        + ck.collect_aggregates(having)
+        + [o.expr for o in order_by if isinstance(o.expr, sa.FuncCall)]
+    )
+    agg_signatures = {(a.func, getattr(a.arg, "path", "*")) for a in all_aggs}
+    if len(agg_signatures) > 1:
+        described = ", ".join(
+            sorted(f"{f}({p})" for f, p in agg_signatures)
+        )
+        raise ck.fail(
+            f"only one aggregate per query is supported, found: {described}",
+            all_aggs[0].pos,
+            SqlUnsupportedError,
+        )
+    if group_by:
+        if not select_aggs and statement.items:
+            # plain GROUP BY without an aggregate is DISTINCT in disguise;
+            # keep the subset small and the intent explicit
+            raise ck.fail(
+                "GROUP BY without an aggregate in the select list is not "
+                "supported; use SELECT DISTINCT",
+                statement.pos,
+                SqlUnsupportedError,
+            )
+        if not statement.items:
+            raise ck.fail(
+                "SELECT * cannot be combined with GROUP BY; list the "
+                "grouping columns and the aggregate",
+                statement.pos,
+            )
+        for col in plain_columns:
+            if col.path not in group_paths:
+                raise ck.fail(
+                    f"column {col.path!r} must appear in GROUP BY or inside "
+                    "an aggregate",
+                    col.pos,
+                )
+        for item in order_by:
+            if isinstance(item.expr, sa.ColumnRef) \
+                    and item.expr.path not in group_paths \
+                    and not _matches_agg_column(item.expr, all_aggs):
+                raise ck.fail(
+                    f"ORDER BY column {item.expr.path!r} must be a grouping "
+                    "column or the aggregate",
+                    item.pos,
+                )
+    else:
+        if select_aggs and plain_columns:
+            raise ck.fail(
+                "mixing aggregates and plain columns needs GROUP BY",
+                statement.pos,
+            )
+        if select_aggs and len(statement.items) > 1:
+            raise ck.fail(
+                "a scalar aggregate query selects exactly one value",
+                statement.pos,
+            )
+        if select_aggs and (statement.order_by or statement.distinct):
+            raise ck.fail(
+                "ORDER BY / DISTINCT do not apply to a scalar aggregate",
+                statement.pos,
+            )
+        if select_aggs and (statement.limit is not None
+                            or statement.offset is not None):
+            raise ck.fail(
+                "LIMIT / OFFSET do not apply to a scalar aggregate",
+                statement.pos,
+            )
+
+    if statement.distinct and group_by:
+        raise ck.fail(
+            "SELECT DISTINCT with GROUP BY is not supported",
+            statement.pos,
+            SqlUnsupportedError,
+        )
+    if statement.distinct and not statement.items:
+        raise ck.fail("SELECT DISTINCT * is not supported; name columns",
+                      statement.pos, SqlUnsupportedError)
+    if statement.distinct:
+        selected = {c.path for c in plain_columns}
+        for item in order_by:
+            if isinstance(item.expr, sa.ColumnRef) \
+                    and item.expr.path not in selected:
+                raise ck.fail(
+                    f"ORDER BY column {item.expr.path!r} must appear in the "
+                    "SELECT DISTINCT list",
+                    item.pos,
+                )
+
+    return replace(
+        statement,
+        items=tuple(items),
+        where=where,
+        group_by=tuple(group_by),
+        having=having,
+        order_by=tuple(order_by),
+    )
+
+
+def _predicate_columns(pred: sa.SqlPredicate) -> list[sa.ColumnRef]:
+    """All plain column leaves referenced by a predicate tree."""
+    if isinstance(pred, (sa.AndExpr, sa.OrExpr)):
+        return _predicate_columns(pred.left) + _predicate_columns(pred.right)
+    if isinstance(pred, sa.NotExpr):
+        return _predicate_columns(pred.operand)
+    if isinstance(pred, sa.Comparison):
+        return [pred.left] if isinstance(pred.left, sa.ColumnRef) else []
+    return [pred.column]
+
+
+def _matches_agg_column(column: sa.ColumnRef,
+                        aggs: list[sa.FuncCall]) -> bool:
+    """True when an ORDER BY column names the aggregate's output column.
+
+    A grouped pipeline's output frame keeps the aggregated column under
+    its *source* name (``groupby(keys)[col].mean()`` yields
+    ``[*keys, col]``), so ``ORDER BY col`` addresses the aggregate.
+    """
+    for agg in aggs:
+        if isinstance(agg.arg, sa.ColumnRef) and agg.arg.path == column.path:
+            return True
+    return False

@@ -220,7 +220,7 @@ class DurableStore:
         self._fsync = fsync
         self._segment_max_bytes = segment_max_bytes
         self._snapshot_every = snapshot_every_ops
-        self._files = file_ops or FileOps()
+        self._files = file_ops if file_ops is not None else FileOps()
         self._inner = ProvenanceDatabase(
             equality_index_fields=equality_index_fields,
             range_index_fields=range_index_fields,

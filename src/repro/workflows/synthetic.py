@@ -160,7 +160,7 @@ def run_synthetic_workflow(
 ) -> WorkflowResult:
     """Run one synthetic workflow instance with provenance capture."""
     context = context or CaptureContext.default()
-    engine = engine or WorkflowEngine(context)
+    engine = engine if engine is not None else WorkflowEngine(context)
     return engine.execute(
         synthetic_dag(x, params), workflow_name="synthetic_math_workflow"
     )

@@ -211,8 +211,12 @@ class TestGraphDialect:
 
 class TestDialectValidation:
     def test_unknown_dialect(self, client):
-        err = client.query(QueryRequest(dialect="sql"))
+        err = client.query(QueryRequest(dialect="sparql"))
         assert err.code == ErrorCode.UNKNOWN_DIALECT
+
+    def test_sql_dialect_needs_sql_field(self, client):
+        err = client.query(QueryRequest(dialect="sql"))
+        assert err.code == ErrorCode.BAD_REQUEST
 
     def test_negative_limit(self, client):
         err = client.query(QueryRequest(dialect="filter", limit=-1))
@@ -243,7 +247,7 @@ class TestStats:
         client.create_session("alice")
         client.chat("alice", "How many tasks have finished?")
         client.query(QueryRequest(dialect="filter", filter={}))
-        client.query(QueryRequest(dialect="sql"))
+        client.query(QueryRequest(dialect="sparql"))
         stats = client.stats()
         assert stats.requests["chat"] == 1
         assert stats.requests["query"] == 2

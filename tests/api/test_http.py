@@ -103,7 +103,7 @@ class TestStatusCodes:
                 '{"dialect": "filter", "surprise": 1}',
                 ErrorCode.SCHEMA_VIOLATION,
             ),
-            ("POST", "/v1/query", '{"dialect": "sql"}', ErrorCode.UNKNOWN_DIALECT),
+            ("POST", "/v1/query", '{"dialect": "sparql"}', ErrorCode.UNKNOWN_DIALECT),
             (
                 "POST",
                 "/v1/sessions/ghost/chat",

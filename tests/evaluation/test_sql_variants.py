@@ -1,0 +1,53 @@
+"""SQL variants of the golden set: same oracles, fourth dialect.
+
+Every gold pipeline renders to SQL and compiles back to the *identical*
+IR, so SQL-graded evaluation shares the NL set's oracles — and the
+compiled query executes to the same answer over a live campaign frame.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.query_set import QUERY_SET_SIZE
+from repro.evaluation.sql_variants import (
+    SqlEvalQuery,
+    build_sql_query_set,
+    sql_variant,
+)
+from repro.query import execute_query
+from repro.query.compare import results_equivalent
+from repro.sql import compile_sql
+
+
+@pytest.fixture(scope="module")
+def sql_set(eval_env):
+    ctx, cm, queries, runner = eval_env
+    return build_sql_query_set(cm.to_frame())
+
+
+class TestSqlVariants:
+    def test_all_twenty_have_variants(self, sql_set):
+        assert len(sql_set) == QUERY_SET_SIZE
+        assert all(isinstance(v, SqlEvalQuery) for v in sql_set)
+        assert all(v.qid == v.base.qid for v in sql_set)
+
+    def test_every_variant_compiles_back_to_gold(self, sql_set):
+        for variant in sql_set:
+            assert compile_sql(variant.sql) == variant.base.gold, variant.qid
+
+    def test_every_variant_executes_to_gold_answer(self, sql_set, eval_env):
+        ctx, cm, queries, runner = eval_env
+        frame = cm.to_frame()
+        for variant in sql_set:
+            got = execute_query(compile_sql(variant.sql), frame)
+            want = execute_query(variant.base.gold, frame)
+            assert results_equivalent(got, want), variant.qid
+
+    def test_variants_are_select_statements(self, sql_set):
+        for variant in sql_set:
+            assert variant.sql.upper().startswith("SELECT "), variant.qid
+
+    def test_variant_matches_helper(self, sql_set):
+        for variant in sql_set:
+            assert sql_variant(variant.base) == variant.sql

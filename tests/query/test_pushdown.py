@@ -13,13 +13,16 @@ import pytest
 from repro.dataframe import DataFrame
 from repro.provenance.database import ProvenanceDatabase
 from repro.query import execute_query, parse_query
+from repro.query import ast as q
 from repro.query.pushdown import merge_filters, pipeline_prefilter
 
 
 class TestPrefilterTranslation:
     def test_equality(self):
+        # equality pushes in the bare form: identical match semantics
+        # to {"$eq": v}, cheapest per-candidate verification
         p = parse_query("df[df['status'] == 'FINISHED']")
-        assert pipeline_prefilter(p) == {"status": {"$eq": "FINISHED"}}
+        assert pipeline_prefilter(p) == {"status": "FINISHED"}
 
     def test_conjunction_and_ranges(self):
         p = parse_query(
@@ -27,7 +30,7 @@ class TestPrefilterTranslation:
         )
         assert pipeline_prefilter(p) == {
             "$and": [
-                {"status": {"$eq": "FINISHED"}},
+                {"status": "FINISHED"},
                 {"duration": {"$gt": 2.0}},
             ]
         }
@@ -75,7 +78,7 @@ class TestPrefilterTranslation:
         p = parse_query(f"df[df['t_ns'] == {2**53}]")
         assert pipeline_prefilter(p) == {}
         p = parse_query("df[df['duration'] == 5]")
-        assert pipeline_prefilter(p) == {"duration": {"$eq": 5}}
+        assert pipeline_prefilter(p) == {"duration": 5}
 
     def test_literal_dotted_key_docs_match_pushed_prefilter(self):
         # flattened and nested documents must satisfy the same prefilter
@@ -94,14 +97,31 @@ class TestPrefilterTranslation:
         p = parse_query(
             "df.sort_values('duration')[df['status'] == 'FINISHED'].head(1)"
         )
-        assert pipeline_prefilter(p) == {"status": {"$eq": "FINISHED"}}
+        assert pipeline_prefilter(p) == {"status": "FINISHED"}
+
+    def test_operator_shaped_literal_keeps_eq_wrapper(self):
+        # a mapping literal containing $-keys must not be mistaken for
+        # an operator document when pushed
+        pipeline = q.Pipeline(
+            (q.Filter(q.Compare(q.Field("meta"), "==", {"$gt": 5})),)
+        )
+        assert pipeline_prefilter(pipeline) == {"meta": {"$eq": {"$gt": 5}}}
 
     def test_merge_filters(self):
         assert merge_filters({"type": "task"}, {}) == {"type": "task"}
         assert merge_filters(None, {"a": 1}) == {"a": 1}
+        # disjoint keys merge flat: a filter document is already an AND
         assert merge_filters({"type": "task"}, {"a": 1}) == {
-            "$and": [{"type": "task"}, {"a": 1}]
+            "type": "task",
+            "a": 1,
         }
+        # colliding keys keep both constraints via $and
+        assert merge_filters({"a": 1}, {"a": {"$gt": 0}}) == {
+            "$and": [{"a": 1}, {"a": {"$gt": 0}}]
+        }
+        assert merge_filters(
+            {"$and": [{"a": 1}]}, {"$and": [{"b": 2}]}
+        ) == {"$and": [{"$and": [{"a": 1}]}, {"$and": [{"b": 2}]}]}
 
 
 @pytest.fixture

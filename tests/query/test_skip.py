@@ -1,0 +1,72 @@
+"""Skip: the OFFSET step added for the SQL dialect, on the pandas surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.errors import QuerySyntaxError
+from repro.query import Skip, execute_query, parse_query, render_query
+from repro.query import ast as q
+from repro.query.pushdown import pipeline_prefilter
+
+
+@pytest.fixture
+def frame():
+    return DataFrame.from_records(
+        [{"task_id": f"t{i}", "duration": float(i)} for i in range(10)]
+    )
+
+
+class TestParse:
+    def test_iloc_parses_to_skip(self):
+        assert parse_query("df.iloc[3:]") == q.Pipeline((Skip(3),))
+
+    def test_chained(self):
+        pipeline = parse_query(
+            "df.sort_values('duration', ascending=False).iloc[2:].head(3)"
+        )
+        assert pipeline.steps[1] == Skip(2)
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "df.iloc[:3]",     # slice-stop form is head, not skip
+            "df.iloc[-2:]",    # negative offsets are not supported
+            "df.iloc[1.5:]",
+            "df.iloc[3]",
+        ],
+    )
+    def test_unsupported_iloc_forms(self, code):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(code)
+
+
+class TestRender:
+    def test_roundtrip(self):
+        code = "df.iloc[4:]"
+        assert render_query(parse_query(code)) == code
+
+    def test_describe(self):
+        assert q.Pipeline((Skip(4),)).describe() == "skip(4)"
+
+
+class TestExecute:
+    def test_drops_leading_rows(self, frame):
+        result = execute_query(parse_query("df.iloc[3:]"), frame)
+        assert [r["task_id"] for r in result.to_dicts()] == [
+            f"t{i}" for i in range(3, 10)
+        ]
+
+    def test_offset_past_end_is_empty(self, frame):
+        assert len(execute_query(parse_query("df.iloc[99:]"), frame)) == 0
+
+    def test_offset_then_limit_windows(self, frame):
+        result = execute_query(parse_query("df.iloc[2:].head(3)"), frame)
+        assert [r["task_id"] for r in result.to_dicts()] == ["t2", "t3", "t4"]
+
+
+class TestPushdown:
+    def test_leading_filter_before_skip_still_pushes_down(self):
+        pipeline = parse_query("df[df['duration'] > 2].iloc[1:]")
+        assert pipeline_prefilter(pipeline) == {"duration": {"$gt": 2}}

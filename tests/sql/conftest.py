@@ -1,0 +1,65 @@
+"""Shared fixtures: a provenance stack behind a gateway, for SQL tests.
+
+Mirrors ``tests/api/conftest.py`` so cross-dialect parity assertions run
+over the same documents the filter/pipeline/graph dialect tests use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.service import AgentService
+from repro.api.client import GatewayClient
+from repro.api.gateway import ProvenanceGateway
+from repro.capture.context import CaptureContext
+from repro.llm.service import LLMServer
+from repro.provenance.query_api import QueryAPI
+from repro.storage import ProvenanceDatabase
+
+
+def task_doc(i: int, **extra) -> dict:
+    return dict(
+        {
+            "type": "task",
+            "task_id": f"t{i}",
+            "workflow_id": f"wf-{i % 3}",
+            "campaign_id": "sql-tests",
+            "activity_id": f"a{i % 4}",
+            "status": "FAILED" if i % 7 == 3 else "FINISHED",
+            "started_at": 1000.0 + i,
+            "ended_at": 1001.0 + i,
+            "duration": 1.0 + (i % 5) * 0.5,
+            "hostname": f"node-{i % 2}",
+            "used": {"x": i, "_upstream": [f"t{i - 1}"] if i else []},
+            "generated": {"y": i * i},
+        },
+        **extra,
+    )
+
+
+@pytest.fixture
+def store() -> ProvenanceDatabase:
+    db = ProvenanceDatabase()
+    db.upsert_many([task_doc(i) for i in range(20)])
+    return db
+
+
+@pytest.fixture
+def stack(store):
+    ctx = CaptureContext()
+    service = AgentService(ctx, llm=LLMServer(), query_api=QueryAPI(store))
+    ctx.broker.publish_batch("provenance.task", store.all())
+    gateway = ProvenanceGateway(service)
+    client = GatewayClient(gateway)
+    yield service, gateway, client
+    service.close()
+
+
+@pytest.fixture
+def gateway(stack):
+    return stack[1]
+
+
+@pytest.fixture
+def client(stack):
+    return stack[2]

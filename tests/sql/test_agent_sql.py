@@ -1,0 +1,113 @@
+"""Agent integration: SELECT messages route to the SQL tool, no LLM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.router import Intent, ToolRouter
+from repro.agent.service import AgentService
+from repro.agent.tools.sql_query import SqlQueryTool
+from repro.capture.context import CaptureContext
+from repro.llm.service import LLMServer
+from repro.provenance.query_api import QueryAPI
+
+
+class TestRouting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT * FROM tasks",
+            "select count(*) from tasks",
+            "  SELECT task_id FROM tasks WHERE status = 'FAILED'",
+        ],
+    )
+    def test_select_statements_route_to_sql(self, text):
+        assert ToolRouter().classify(text) == Intent.SQL_QUERY
+
+    def test_sql_wins_over_nl_vocabulary(self):
+        # traversal/plot/historical words inside a SELECT must not reroute
+        assert (
+            ToolRouter().classify(
+                "SELECT * FROM tasks WHERE stderr LIKE '%graph history%'"
+            )
+            == Intent.SQL_QUERY
+        )
+
+    def test_nl_questions_keep_their_routes(self):
+        router = ToolRouter()
+        assert router.classify("how many tasks failed?") == Intent.MONITORING_QUERY
+        assert router.classify("hello") == Intent.GREETING
+
+
+class TestSqlQueryTool:
+    @pytest.fixture
+    def tool(self, store):
+        return SqlQueryTool(QueryAPI(store))
+
+    def test_frame_result(self, tool):
+        result = tool.invoke(sql="SELECT task_id FROM tasks WHERE status = 'FAILED'")
+        assert result.ok
+        assert result.details["dialect"] == "sql"
+        assert result.code == "df[df['status'] == 'FAILED'][['task_id']]"
+        assert len(result.data) == 3
+
+    def test_question_keyword_also_accepted(self, tool):
+        # router turns arrive as question=<chat message>
+        result = tool.invoke(question="SELECT COUNT(*) FROM tasks")
+        assert result.ok
+        assert result.data == 20
+
+    def test_cache_states(self, tool):
+        assert tool.invoke(sql="SELECT COUNT(*) FROM tasks").details["cache"] in {
+            "hit", "miss"
+        }
+        assert (
+            tool.invoke(sql="SELECT COUNT(*) FROM tasks").details["cache"] == "hit"
+        )
+
+    def test_compile_failure_is_a_diagnostic(self, tool):
+        result = tool.invoke(sql="SELECT * FROM tasks WHERE")
+        assert not result.ok
+        assert result.details["diagnostic"]["column"] == 26
+        assert result.error.startswith("line 1, column 26")
+
+    def test_empty_statement(self, tool):
+        assert not tool.invoke(sql="   ").ok
+
+    def test_no_llm_involved(self, tool):
+        assert tool.uses_llm is False
+
+
+class TestServiceIntegration:
+    def test_chat_select_answers_without_llm(self, stack):
+        service, gateway, client = stack
+        before = service.llm.stats().get("requests", 0)
+        service.create_session("sql-user")
+        turn = service.chat(
+            "sql-user", "SELECT task_id FROM tasks WHERE status = 'FAILED'"
+        )
+        assert turn.ok
+        assert turn.intent == Intent.SQL_QUERY
+        assert service.llm.stats().get("requests", 0) == before
+
+    def test_tool_is_on_mcp_surface(self, stack):
+        service, gateway, client = stack
+        assert "provenance_sql_query" in service.registry.names()
+
+    def test_without_store_select_falls_back_to_monitoring(self):
+        ctx = CaptureContext()
+        service = AgentService(ctx, llm=LLMServer())
+        try:
+            service.create_session("u")
+            reply = service.chat("u", "SELECT COUNT(*) FROM tasks")
+            assert reply.intent == Intent.MONITORING_QUERY
+        finally:
+            service.close()
+
+    def test_turn_records_tool_name(self, stack):
+        service, gateway, client = stack
+        service.create_session("audit")
+        service.chat("audit", "SELECT COUNT(*) FROM tasks")
+        # the recorded tool execution carries the sql tool's name
+        session = service.session("audit")
+        assert session.turns[-1].intent == Intent.SQL_QUERY

@@ -1,0 +1,83 @@
+"""Lexer: token kinds, operator normalisation, positions, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import SqlSyntaxError, tokenize_sql
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize_sql(source)]
+
+
+class TestTokens:
+    def test_kind_stream(self):
+        toks = tokenize_sql("SELECT a, \"b.c\" FROM tasks WHERE x <> 'v'")
+        assert [t.kind for t in toks] == [
+            "KEYWORD", "NAME", "PUNCT", "QNAME", "KEYWORD", "NAME",
+            "KEYWORD", "NAME", "OP", "STRING", "EOF",
+        ]
+
+    def test_keywords_are_case_insensitive(self):
+        lower = tokenize_sql("select a from tasks")
+        assert [t.kind for t in lower][:2] == ["KEYWORD", "NAME"]
+        assert lower[0].value == "SELECT"
+
+    def test_sql_operators_normalise_to_ir_spelling(self):
+        toks = {t.text: t for t in tokenize_sql("a = 1 <> 2 != 3 <= >=")}
+        assert "==" in toks  # SQL '=' is the IR's '=='
+        assert toks["!="].value == "!="
+        ops = [t.value for t in tokenize_sql("a = b <> c") if t.kind == "OP"]
+        assert ops == ["==", "!="]
+
+    def test_quoted_name_value_strips_quotes(self):
+        tok = tokenize_sql('SELECT "telemetry_at_end.cpu.percent"')[1]
+        assert tok.kind == "QNAME"
+        assert tok.value == "telemetry_at_end.cpu.percent"
+
+    def test_string_escape_doubles_quote(self):
+        tok = tokenize_sql("SELECT 'it''s'")[1]
+        assert tok.value == "it's"
+
+    def test_number_values(self):
+        values = [t.value for t in tokenize_sql("SELECT 1, 2.5") if t.kind == "NUMBER"]
+        assert values == [1, 2.5]
+        assert isinstance(values[0], int)
+        assert isinstance(values[1], float)
+
+    def test_positions_are_one_based(self):
+        toks = tokenize_sql("SELECT a\nFROM tasks")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        from_tok = next(t for t in toks if t.value == "FROM")
+        assert (from_tok.line, from_tok.column) == (2, 1)
+
+
+class TestLexErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize_sql("SELECT 'oops FROM tasks")
+        assert "unterminated string" in str(exc.value)
+        assert exc.value.column == 8
+
+    def test_unexpected_character_is_positioned(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize_sql("SELECT a FROM tasks WHERE a @ 1")
+        assert "'@'" in str(exc.value)
+        assert exc.value.line == 1
+        assert exc.value.column == 29
+
+    def test_snippet_points_a_caret_at_the_column(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize_sql("SELECT a FROM tasks WHERE a @ 1")
+        snippet = exc.value.snippet()
+        text, caret = snippet.splitlines()
+        assert text == "SELECT a FROM tasks WHERE a @ 1"
+        assert caret.index("^") == exc.value.column - 1
+
+    def test_diagnostic_payload_is_json_plain(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize_sql("SELECT 'oops")
+        diag = exc.value.diagnostic()
+        assert set(diag) == {"line", "column", "message", "snippet"}
+        assert diag["line"] == 1

@@ -1,0 +1,152 @@
+"""Parser: AST shapes, precedence, and positioned rejections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import SqlSyntaxError, SqlUnsupportedError, parse_sql
+from repro.sql.ast import (
+    AndExpr,
+    BetweenPredicate,
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InList,
+    LikePredicate,
+    NotExpr,
+    NullTest,
+    OrExpr,
+    Star,
+)
+
+
+class TestSelectShape:
+    def test_star_is_empty_items(self):
+        st = parse_sql("SELECT * FROM tasks")
+        assert st.items == ()
+        assert st.table == "tasks"
+
+    def test_clauses_land_in_fields(self):
+        st = parse_sql(
+            "SELECT DISTINCT a, b FROM tasks t "
+            "ORDER BY a DESC, b LIMIT 5 OFFSET 2"
+        )
+        assert st.distinct is True
+        assert st.alias == "t"
+        assert [i.expr.path for i in st.items] == ["a", "b"]
+        assert [(o.expr.path, o.ascending) for o in st.order_by] == [
+            ("a", False),
+            ("b", True),
+        ]
+        assert st.limit == 5
+        assert st.offset == 2
+
+    def test_aliased_item(self):
+        st = parse_sql("SELECT task_id AS id FROM tasks")
+        assert st.items[0].alias == "id"
+
+    def test_count_star(self):
+        st = parse_sql("SELECT COUNT(*) FROM tasks")
+        call = st.items[0].expr
+        assert isinstance(call, FuncCall)
+        assert call.func == "COUNT"
+        assert isinstance(call.arg, Star)
+
+    def test_group_by_and_having(self):
+        st = parse_sql(
+            "SELECT status, COUNT(*) FROM tasks GROUP BY status "
+            "HAVING COUNT(*) > 2"
+        )
+        assert [c.path for c in st.group_by] == ["status"]
+        assert isinstance(st.having, Comparison)
+        assert isinstance(st.having.left, FuncCall)
+
+
+class TestPredicates:
+    def where(self, clause: str):
+        return parse_sql(f"SELECT * FROM tasks WHERE {clause}").where
+
+    def test_and_binds_tighter_than_or(self):
+        pred = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(pred, OrExpr)
+        assert isinstance(pred.right, AndExpr)
+
+    def test_parens_override_precedence(self):
+        pred = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert isinstance(pred, AndExpr)
+        assert isinstance(pred.left, OrExpr)
+
+    def test_not_wraps_a_predicate(self):
+        pred = self.where("NOT status = 'FAILED'")
+        assert isinstance(pred, NotExpr)
+        assert isinstance(pred.operand, Comparison)
+
+    def test_first_class_negated_forms(self):
+        assert self.where("a NOT IN (1, 2)").negated is True
+        assert self.where("a NOT LIKE 'x%'").negated is True
+        assert self.where("a NOT BETWEEN 1 AND 2").negated is True
+        null_test = self.where("a IS NOT NULL")
+        assert isinstance(null_test, NullTest)
+        assert null_test.negated is True
+
+    def test_membership_and_range_forms(self):
+        assert isinstance(self.where("a IN (1, 2, 3)"), InList)
+        assert isinstance(self.where("a LIKE '%x%'"), LikePredicate)
+        assert isinstance(self.where("a BETWEEN 1 AND 2"), BetweenPredicate)
+        assert isinstance(self.where("a IS NULL"), NullTest)
+
+    def test_signed_numbers_and_booleans(self):
+        pred = self.where("a > -2.5")
+        assert pred.value == -2.5
+        assert self.where("a = TRUE").value is True
+        assert self.where("a = NULL").value is None
+
+    def test_dotted_column_via_quotes(self):
+        pred = self.where("\"used.x\" >= 18")
+        assert isinstance(pred.left, ColumnRef)
+        assert pred.left.path == "used.x"
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "sql,fragment",
+        [
+            ("INSERT INTO tasks VALUES (1)", "read-only"),
+            ("UPDATE tasks SET a = 1", "read-only"),
+            ("DELETE FROM tasks", "read-only"),
+            ("SELECT * FROM tasks JOIN other ON 1", "JOIN"),
+            ("SELECT * FROM tasks UNION SELECT * FROM tasks", "UNION"),
+        ],
+    )
+    def test_recognised_but_unsupported(self, sql, fragment):
+        with pytest.raises(SqlUnsupportedError) as exc:
+            parse_sql(sql)
+        assert fragment in str(exc.value)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT a FROM",
+            "SELECT a FROM tasks WHERE",
+            "SELECT a FROM tasks GROUP BY",
+            "SELECT a FROM tasks ORDER BY LIMIT 1",
+            "FROM tasks SELECT a",
+            "SELECT a b c FROM tasks",
+        ],
+    )
+    def test_malformed_is_syntax_error(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(sql)
+
+    def test_error_carries_position_and_snippet(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            parse_sql("SELECT * FROM tasks WHERE")
+        assert exc.value.line == 1
+        assert exc.value.column == 26
+        assert exc.value.snippet().endswith("^")
+
+    def test_aggregate_membership_form_is_explained(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            parse_sql("SELECT * FROM tasks WHERE COUNT(a) IN (1)")
+        assert "not an aggregate" in str(exc.value)

@@ -1,0 +1,97 @@
+"""Semantic checker: name resolution, typing, aggregate placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import render_query
+from repro.sql import SqlResolutionError, SqlUnsupportedError, compile_sql
+
+
+class TestResolution:
+    def test_alias_prefix_strips(self):
+        p = compile_sql("SELECT t.task_id FROM tasks t WHERE t.duration > 2")
+        assert render_query(p) == "df[df['duration'] > 2][['task_id']]"
+
+    def test_table_prefix_strips(self):
+        p = compile_sql("SELECT tasks.status FROM tasks")
+        assert render_query(p) == "df[['status']]"
+
+    def test_unknown_table_is_rejected(self):
+        with pytest.raises(SqlResolutionError) as exc:
+            compile_sql("SELECT a FROM runs")
+        assert "only 'tasks' is queryable" in str(exc.value)
+
+    def test_unknown_columns_pass_open_schema(self):
+        # provenance documents are open maps; unseen fields are legal
+        p = compile_sql("SELECT custom_field FROM tasks WHERE other_field = 1")
+        assert render_query(p) == "df[df['other_field'] == 1][['custom_field']]"
+
+    def test_aggregate_in_where_points_to_having(self):
+        with pytest.raises(SqlResolutionError) as exc:
+            compile_sql("SELECT * FROM tasks WHERE COUNT(a) > 1")
+        assert "use HAVING" in str(exc.value)
+
+
+class TestTyping:
+    @pytest.mark.parametrize(
+        "sql,fragment",
+        [
+            (
+                "SELECT a FROM tasks WHERE status = 5",
+                "'status' is a string field",
+            ),
+            (
+                "SELECT a FROM tasks WHERE started_at = 'five'",
+                "'started_at' is a numeric field",
+            ),
+            (
+                "SELECT a FROM tasks WHERE duration BETWEEN 'x' AND 2",
+                "BETWEEN bound",
+            ),
+            (
+                "SELECT a FROM tasks WHERE status IN ('A', 5)",
+                "IN list",
+            ),
+        ],
+    )
+    def test_impossible_comparisons_are_named(self, sql, fragment):
+        with pytest.raises(SqlResolutionError) as exc:
+            compile_sql(sql)
+        assert fragment in str(exc.value)
+        assert "can never match" in str(exc.value)
+
+    def test_well_typed_comparisons_pass(self):
+        compile_sql("SELECT a FROM tasks WHERE status = 'FAILED'")
+        compile_sql("SELECT a FROM tasks WHERE duration > 2.5")
+
+
+class TestAggregateRules:
+    def test_mixing_aggregate_and_plain_needs_group_by(self):
+        with pytest.raises(SqlResolutionError) as exc:
+            compile_sql("SELECT status, COUNT(*) FROM tasks")
+        assert "GROUP BY" in str(exc.value)
+
+    def test_having_requires_group_by(self):
+        with pytest.raises(SqlResolutionError) as exc:
+            compile_sql("SELECT status FROM tasks HAVING COUNT(*) > 1")
+        assert "HAVING requires GROUP BY" in str(exc.value)
+
+    def test_grouped_order_by_must_use_output_columns(self):
+        with pytest.raises(SqlResolutionError) as exc:
+            compile_sql(
+                "SELECT status, COUNT(*) FROM tasks GROUP BY status "
+                "ORDER BY hostname"
+            )
+        assert "grouping column or the aggregate" in str(exc.value)
+
+    def test_single_aggregate_restriction_lists_offenders(self):
+        with pytest.raises(SqlUnsupportedError) as exc:
+            compile_sql("SELECT COUNT(a), SUM(b) FROM tasks")
+        assert "COUNT(a)" in str(exc.value)
+        assert "SUM(b)" in str(exc.value)
+
+    def test_unknown_function_names_the_alternatives(self):
+        with pytest.raises(SqlUnsupportedError) as exc:
+            compile_sql("SELECT MEDIAN(duration) FROM tasks")
+        assert "AVG, COUNT, MAX, MIN, SUM" in str(exc.value)
