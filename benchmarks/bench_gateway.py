@@ -4,11 +4,13 @@ The gateway contract has two legs, each asserted here:
 
 * **parity** — for a matrix of requests spanning all four query
   dialects (``filter`` / ``pipeline`` / ``sql`` / ``graph``), chat,
-  lineage, CSV
-  rendering, and error envelopes, the in-process
+  lineage, CSV rendering, and error envelopes, the in-process
   :class:`~repro.api.client.GatewayClient` and the HTTP
   :class:`~repro.api.client.RemoteClient` return **byte-identical**
-  payloads.  The transport may change latency, never bytes;
+  payloads — against *both* transports (the threaded
+  :class:`~repro.api.http.GatewayHTTPServer` and the asyncio
+  :class:`~repro.api.aio.AsyncGatewayServer`).  The transport may
+  change latency, never bytes;
 * **throughput** — with the shared LLM server sleeping its (scaled)
   simulated latency like a real remote endpoint, 8 concurrent HTTP
   clients (one keep-alive connection each, one session each) complete
@@ -29,8 +31,11 @@ import os
 import threading
 import time
 
+import pytest
+
 from benchmarks.conftest import write_result
 from repro.agent.service import AgentService
+from repro.api.aio import AsyncGatewayServer
 from repro.api.client import GatewayClient, RemoteClient
 from repro.api.gateway import ProvenanceGateway
 from repro.api.http import GatewayHTTPServer
@@ -145,13 +150,23 @@ def _session_script(i: int, turns: int) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
-# parity: HTTP and in-process transports are byte-identical
+# parity: both HTTP transports and the in-process client are byte-identical
 # ---------------------------------------------------------------------------
 
 
-def test_transport_parity(results_dir):
+def make_server(transport: str, gateway):
+    """A started gateway server of either transport flavor."""
+    if transport == "threaded":
+        return GatewayHTTPServer(gateway).start()
+    if transport == "asyncio":
+        return AsyncGatewayServer(gateway).start()
+    raise ValueError(f"unknown transport {transport!r}")
+
+
+@pytest.mark.parametrize("transport", ["threaded", "asyncio"])
+def test_transport_parity(results_dir, transport):
     service, gateway = _make_stack(realtime_factor=0.0)
-    server = GatewayHTTPServer(gateway).start()
+    server = make_server(transport, gateway)
     local = GatewayClient(gateway)
     remote = RemoteClient.for_server(server)
     checked = 0
@@ -185,7 +200,7 @@ def test_transport_parity(results_dir):
     if FULL_SCALE:
         write_result(
             results_dir,
-            "gateway_parity.txt",
+            f"gateway_parity_{transport}.txt",
             series_table(
                 [
                     {
@@ -211,8 +226,8 @@ def test_transport_parity(results_dir):
                 ],
                 ["surface", "requests", "byte_identical"],
                 title=(
-                    f"GatewayClient vs RemoteClient transport parity "
-                    f"({checked} paired requests)"
+                    f"GatewayClient vs RemoteClient[{transport}] transport "
+                    f"parity ({checked} paired requests)"
                 ),
             ),
         )

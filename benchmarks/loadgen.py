@@ -1,0 +1,359 @@
+"""Minimal closed-loop HTTP load generator for the gateway benchmarks.
+
+``http.client`` costs a measurable fraction of a millisecond per request
+in header plumbing — on the single-CPU boxes these benchmarks run on,
+that client-side overhead would drown the transport difference being
+measured.  This module is the lean alternative the load benchmarks use:
+
+* **pre-encoded requests** — :func:`http_request_bytes` builds the full
+  request once; the hot loop is ``sendall`` + a tiny response parse;
+* **closed-loop clients** — each :class:`LoadClient` holds one
+  keep-alive connection and has at most one request in flight, so
+  offered load is ``n_clients / latency`` and queueing at the server is
+  entirely the server's doing;
+* **shed-aware accounting** — per-request latency and status are
+  recorded for every reply, including 429/503 shed responses (which
+  keep the connection alive and carry ``Retry-After``);
+* **resource watching** — :class:`ResourceMonitor` samples the serving
+  process's RSS (``/proc/self/status``, no psutil) and thread count
+  while a run is in flight, for the soak leg's bounded-footprint check.
+
+Run standalone against a live gateway::
+
+    PYTHONPATH=src:. python -m benchmarks.loadgen --port 8080 \
+        --clients 32 --requests 200
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = [
+    "LoadClient",
+    "LoadReport",
+    "ResourceMonitor",
+    "http_request_bytes",
+    "percentiles",
+    "rss_kib",
+    "run_load",
+]
+
+
+def http_request_bytes(
+    method: str,
+    path: str,
+    body: str | bytes | None = None,
+    *,
+    accept: str = "application/json",
+    client_id: str | None = None,
+) -> bytes:
+    """One fully encoded HTTP/1.1 request, ready for ``sendall``."""
+    payload = body.encode() if isinstance(body, str) else (body or b"")
+    head = f"{method} {path} HTTP/1.1\r\nHost: loadgen\r\nAccept: {accept}\r\n"
+    if client_id is not None:
+        head += f"X-Client-Id: {client_id}\r\n"
+    if payload or method == "POST":
+        head += f"Content-Type: application/json\r\nContent-Length: {len(payload)}\r\n"
+    head += "\r\n"
+    return head.encode() + payload
+
+
+def rss_kib() -> int | None:
+    """Resident set size of this process in KiB (Linux), else None."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def percentiles(samples: Sequence[float]) -> dict[str, float | None]:
+    """p50/p90/p99/max over ``samples``, same convention as the
+    gateway's latency reservoirs (nearest-rank on the sorted list)."""
+    ordered = sorted(samples)
+    n = len(ordered)
+    if not n:
+        return {"p50": None, "p90": None, "p99": None, "max": None}
+    return {
+        "p50": ordered[int(0.50 * (n - 1))],
+        "p90": ordered[int(0.90 * (n - 1))],
+        "p99": ordered[int(0.99 * (n - 1))],
+        "max": ordered[-1],
+    }
+
+
+class LoadClient:
+    """One keep-alive connection with a minimal HTTP/1.1 response parser.
+
+    Reconnects transparently when the server closed the connection
+    (``Connection: close`` reply or a dropped socket between requests).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._rfile: Any = None
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def request(self, raw: bytes) -> tuple[int, bytes, str | None]:
+        """Send one pre-encoded request: ``(status, body, retry_after)``."""
+        for attempt in (0, 1):
+            if self._sock is None:
+                self._connect()
+            try:
+                self._sock.sendall(raw)
+                return self._read_response()
+            except (OSError, EOFError):
+                # server idled out the keep-alive socket: one clean retry
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _read_response(self) -> tuple[int, bytes, str | None]:
+        status_line = self._rfile.readline()
+        if not status_line:
+            raise EOFError("connection closed by server")
+        status = int(status_line.split(b" ", 2)[1])
+        content_length = 0
+        keep_alive = True
+        retry_after: str | None = None
+        while True:
+            line = self._rfile.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.partition(b":")
+            name = name.strip().lower()
+            if name == b"content-length":
+                content_length = int(value.strip())
+            elif name == b"connection" and value.strip().lower() == b"close":
+                keep_alive = False
+            elif name == b"retry-after":
+                retry_after = value.strip().decode("latin-1")
+        body = self._rfile.read(content_length) if content_length else b""
+        if not keep_alive:
+            self.close()
+        return status, body, retry_after
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` measured."""
+
+    n_clients: int
+    n_requests: int
+    elapsed_s: float
+    latencies_s: list[float] = field(default_factory=list)
+    status_counts: dict[int, int] = field(default_factory=dict)
+    retry_after_seen: int = 0
+
+    @property
+    def req_per_s(self) -> float:
+        return self.n_requests / self.elapsed_s if self.elapsed_s else 0.0
+
+    def ok_count(self) -> int:
+        return sum(
+            count for status, count in self.status_counts.items()
+            if status < 400
+        )
+
+    def shed_count(self) -> int:
+        return sum(
+            count for status, count in self.status_counts.items()
+            if status in (429, 503)
+        )
+
+    def latency(self) -> dict[str, float | None]:
+        return percentiles(self.latencies_s)
+
+    def row(self) -> dict[str, Any]:
+        lat = self.latency()
+        return {
+            "clients": self.n_clients,
+            "requests": self.n_requests,
+            "req_per_s": round(self.req_per_s, 1),
+            "p50_ms": _ms(lat["p50"]),
+            "p90_ms": _ms(lat["p90"]),
+            "p99_ms": _ms(lat["p99"]),
+            "shed": self.shed_count(),
+        }
+
+
+def _ms(seconds: float | None) -> float | None:
+    return round(seconds * 1000, 2) if seconds is not None else None
+
+
+class ResourceMonitor:
+    """Background sampler of this process's RSS and thread count."""
+
+    def __init__(self, interval_s: float = 0.05):
+        self.interval_s = interval_s
+        self.max_rss_kib: int | None = None
+        self.max_threads = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _sample(self) -> None:
+        rss = rss_kib()
+        if rss is not None and (self.max_rss_kib is None or rss > self.max_rss_kib):
+            self.max_rss_kib = rss
+        threads = threading.active_count()
+        if threads > self.max_threads:
+            self.max_threads = threads
+
+    def start(self) -> "ResourceMonitor":
+        self._sample()
+        self._thread = threading.Thread(
+            target=self._run, name="loadgen-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._sample()
+
+    def stop(self) -> "ResourceMonitor":
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._sample()
+        return self
+
+
+def run_load(
+    host: str,
+    port: int,
+    scripts: Sequence[Sequence[bytes]],
+    requests_per_client: int,
+    *,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive ``len(scripts)`` closed-loop clients against ``host:port``.
+
+    Client ``i`` cycles through ``scripts[i]`` for
+    ``requests_per_client`` requests on one keep-alive connection.  All
+    clients start together (barrier) so the measured window is fully
+    loaded.
+    """
+    n_clients = len(scripts)
+    barrier = threading.Barrier(n_clients + 1)
+    results: list[tuple[list[float], dict[int, int], int]] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def worker(i: int) -> None:
+        client = LoadClient(host, port, timeout=timeout)
+        latencies: list[float] = []
+        counts: dict[int, int] = {}
+        retry_after_seen = 0
+        try:
+            barrier.wait()
+            script = scripts[i]
+            for k in range(requests_per_client):
+                t0 = time.perf_counter()
+                status, _, retry_after = client.request(script[k % len(script)])
+                latencies.append(time.perf_counter() - t0)
+                counts[status] = counts.get(status, 0) + 1
+                if retry_after is not None:
+                    retry_after_seen += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced by caller
+            with lock:
+                errors.append(exc)
+        finally:
+            client.close()
+            with lock:
+                results.append((latencies, counts, retry_after_seen))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+
+    report = LoadReport(
+        n_clients=n_clients,
+        n_requests=sum(len(lat) for lat, _, _ in results),
+        elapsed_s=elapsed,
+    )
+    for latencies, counts, retry_after_seen in results:
+        report.latencies_s.extend(latencies)
+        report.retry_after_seen += retry_after_seen
+        for status, count in counts.items():
+            report.status_counts[status] = (
+                report.status_counts.get(status, 0) + count
+            )
+    return report
+
+
+def _main() -> None:  # pragma: no cover - manual tool
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="closed-loop load against a running gateway"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=100,
+                        help="requests per client")
+    parser.add_argument("--path", default="/v1/stats")
+    parser.add_argument("--method", default="GET")
+    parser.add_argument("--body", default=None)
+    args = parser.parse_args()
+
+    raw = http_request_bytes(args.method, args.path, args.body)
+    monitor = ResourceMonitor().start()
+    report = run_load(
+        args.host, args.port,
+        [[raw]] * args.clients, args.requests,
+    )
+    monitor.stop()
+    print(f"{report.n_requests} requests in {report.elapsed_s:.2f}s "
+          f"= {report.req_per_s:.1f} req/s")
+    print(f"latency: { {k: _ms(v) for k, v in report.latency().items()} } ms")
+    print(f"status counts: {dict(sorted(report.status_counts.items()))}")
+    print(f"max rss: {monitor.max_rss_kib} KiB, "
+          f"max threads: {monitor.max_threads}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _main()

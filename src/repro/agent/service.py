@@ -36,7 +36,7 @@ from __future__ import annotations
 import itertools
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any
+from typing import Any, Callable
 
 from repro.agent.context_manager import ContextManager
 from repro.agent.guidelines import GuidelineStore
@@ -181,6 +181,7 @@ class AgentService:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        self._close_hooks: list[Callable[[], None]] = []
 
     # -- session management ------------------------------------------------------
     def create_session(
@@ -361,17 +362,44 @@ class AgentService:
                 )
             return self._pool
 
-    def close(self) -> None:
-        """Stop serving: drain in-flight turns, then detach from the broker.
+    def add_close_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` at the *start* of :meth:`close`, before new work
+        is rejected.
 
-        Close is graceful and idempotent: turns accepted before close
-        (their futures are out) complete — first the pool finishes every
-        drain already submitted to it, then a final inline sweep serves
-        any queue whose pool drain lost the race with shutdown — and
-        only then do the broker subscriptions detach.  New work is
-        rejected from the moment the closed flag flips.  A second
-        ``close()`` finds nothing to do and returns immediately.
+        Transports register their drain/stop here: a draining server's
+        in-flight requests may still call :meth:`chat`, which must find
+        the service open.  Hooks must be idempotent (both gateway
+        transports' ``stop`` methods are); re-registering the same bound
+        method is a no-op.
         """
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("AgentService is closed")
+            if hook not in self._close_hooks:
+                self._close_hooks.append(hook)
+
+    def close(self) -> None:
+        """Stop serving: drain transports and in-flight turns, then
+        detach from the broker.
+
+        Close is graceful and idempotent: first the registered close
+        hooks run (transports drain — their in-flight requests finish
+        against a still-open service, new ones are shed with 503), then
+        turns accepted before close (their futures are out) complete —
+        the pool finishes every drain already submitted to it, then a
+        final inline sweep serves any queue whose pool drain lost the
+        race with shutdown — and only then do the broker subscriptions
+        detach.  New work is rejected from the moment the closed flag
+        flips.  A second ``close()`` finds nothing to do and returns
+        immediately.
+        """
+        with self._pool_lock:
+            hooks, self._close_hooks = list(self._close_hooks), []
+        for hook in hooks:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - a transport's failure to
+                pass  # drain must not stop the service from closing
         with self._pool_lock:
             if self._closed:
                 already = True

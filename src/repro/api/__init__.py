@@ -12,17 +12,26 @@ remotely.  This package is that boundary:
   the Query API / versioned query cache, and the lineage index — with
   all three query dialects (``filter`` / ``pipeline`` / ``graph``)
   behind one ``execute_query``;
-* :mod:`repro.api.http` — a stdlib ``ThreadingHTTPServer`` transport
+* :mod:`repro.api.routing` — the transport-neutral routing core
   (``/v1/sessions``, ``/v1/sessions/{id}/chat``, ``/v1/query``,
   ``/v1/lineage/{task_id}``, ``/v1/stats``) with JSON/CSV content
-  negotiation and keep-alive;
+  negotiation, shared byte-for-byte by both transports;
+* :mod:`repro.api.http` — the stdlib ``ThreadingHTTPServer`` transport
+  (compatibility baseline, one thread per connection);
+* :mod:`repro.api.aio` — the asyncio transport: one event-loop thread,
+  a sized executor pool, and admission control
+  (:mod:`repro.api.admission`: per-client/per-session token buckets,
+  a bounded admission queue, graceful drain);
 * :mod:`repro.api.client` — :class:`GatewayClient` (in-process) and
-  :class:`RemoteClient` (HTTP) with identical interfaces and
-  byte-identical JSON responses.
+  :class:`RemoteClient` (HTTP, optional 429/503 retries honoring
+  ``Retry-After``) with identical interfaces and byte-identical JSON
+  responses.
 
 See ``docs/api_gateway.md`` for endpoint reference and curl examples.
 """
 
+from repro.api.admission import AdmissionController, TokenBucket
+from repro.api.aio import AsyncGatewayServer
 from repro.api.client import GatewayClient, GatewayConnectionError, RemoteClient
 from repro.api.gateway import ProvenanceGateway
 from repro.api.http import GatewayHTTPServer
@@ -51,6 +60,8 @@ from repro.api.schemas import (
 __all__ = [
     "API_VERSION",
     "DIALECTS",
+    "AdmissionController",
+    "AsyncGatewayServer",
     "ChatReply",
     "ChatRequest",
     "CreateSessionRequest",
@@ -71,6 +82,7 @@ __all__ = [
     "SchemaViolation",
     "SessionInfo",
     "StatsReply",
+    "TokenBucket",
     "from_json",
     "to_json",
 ]

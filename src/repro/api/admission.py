@@ -1,0 +1,296 @@
+"""Admission control for the gateway transports: shed early, shed cheap.
+
+The asyncio transport (:mod:`repro.api.aio`) dispatches request handling
+onto a sized executor pool, because gateway/tool execution is
+synchronous CPU-bound Python.  That pool is the resource under
+contention, so this module bounds it *before any gateway work happens*:
+
+* **token-bucket rate limiting**, per client and per session — a noisy
+  client (or one noisy session of a well-behaved client) gets
+  ``RATE_LIMITED`` (HTTP 429) with a ``Retry-After`` telling it when a
+  token will be available, and every other identity is untouched;
+* **a bounded admission queue** — at most ``max_concurrency`` requests
+  execute while ``max_queue_depth`` more wait for an executor slot;
+  anything beyond that is shed with ``OVERLOADED`` (HTTP 503)
+  immediately, which is what keeps queue depth (and therefore tail
+  latency) bounded past saturation instead of collapsing;
+* **graceful drain** — :meth:`AdmissionController.begin_drain` flips the
+  controller into reject-new mode (``SERVICE_CLOSED``, HTTP 503) while
+  :meth:`wait_idle` lets the transport hold the listener open until
+  every admitted request has finished.
+
+Decisions are O(1) under one lock, and the hot accept path allocates a
+single :class:`AdmissionDecision`.  Clocks are injectable so refill
+behavior is testable under a frozen clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.api.schemas import ErrorCode
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "ADMITTED",
+]
+
+
+class TokenBucket:
+    """A token bucket with monotonic refill.
+
+    ``rate`` tokens accrue per second up to ``burst``.  :meth:`try_take`
+    returns ``0.0`` when a token was taken, else the seconds until one
+    becomes available (the ``Retry-After`` hint).  Refill is computed
+    lazily from the injected monotonic ``clock``; a clock that stalls
+    (frozen test clock) accrues nothing, and a clock that jumps
+    backwards is treated as zero elapsed time — tokens never accrue
+    retroactively and never go negative.
+
+    Not thread-safe on its own: the :class:`AdmissionController` holds
+    its lock across bucket access.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        # a backwards clock contributes nothing, but the watermark moves
+        # so a later recovery does not refill the lost interval twice
+        self._last = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token at time ``now``; 0.0 on success, else wait (s)."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check.
+
+    ``admitted=True`` means the caller owns one concurrency slot and
+    MUST :meth:`AdmissionController.release` it when the request
+    finishes.  Otherwise ``code`` carries the stable shed reason
+    (``RATE_LIMITED`` / ``OVERLOADED`` / ``SERVICE_CLOSED``) and
+    ``retry_after_s`` the backoff hint.
+    """
+
+    admitted: bool
+    code: str | None = None
+    message: str | None = None
+    retry_after_s: float | None = None
+
+
+#: the one admitted decision (no per-request allocation on the happy path)
+ADMITTED = AdmissionDecision(admitted=True)
+
+
+class AdmissionController:
+    """Bounds what the transport lets through to the executor pool.
+
+    ``max_concurrency`` is the executor width (requests actually
+    running); ``max_queue_depth`` is how many admitted requests may wait
+    for a slot.  Per-client/per-session token buckets are created on
+    first sight of an identity and pruned beyond ``max_tracked``
+    identities (oldest first), so a scan of short-lived clients cannot
+    grow memory without bound.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_concurrency: int,
+        max_queue_depth: int = 128,
+        client_rate: float | None = None,
+        client_burst: float = 10.0,
+        session_rate: float | None = None,
+        session_burst: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+        max_tracked: int = 4096,
+    ):
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        self.max_concurrency = max_concurrency
+        self.max_queue_depth = max_queue_depth
+        self.client_rate = client_rate
+        self.client_burst = client_burst
+        self.session_rate = session_rate
+        self.session_burst = session_burst
+        self._clock = clock
+        self._max_tracked = max_tracked
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._clients: dict[str, TokenBucket] = {}
+        self._sessions: dict[str, TokenBucket] = {}
+        self._active = 0
+        self._draining = False
+        # counters (under _lock)
+        self._accepted = 0
+        self._rate_limited = 0
+        self._overloaded = 0
+        self._drained = 0
+        self._queued_high_watermark = 0
+
+    # -- the accept path ---------------------------------------------------------
+    def admit(
+        self, *, client: str | None = None, session: str | None = None
+    ) -> AdmissionDecision:
+        """Decide one request's fate; O(1), before any gateway work."""
+        now = self._clock()
+        with self._lock:
+            if self._draining:
+                self._drained += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    code=ErrorCode.SERVICE_CLOSED,
+                    message="gateway is draining; no new requests accepted",
+                    retry_after_s=None,
+                )
+            # rate limits first: a limited identity must see 429 even
+            # when capacity is free, or a noisy client learns nothing
+            if self.session_rate is not None and session is not None:
+                wait = self._bucket(
+                    self._sessions, session, self.session_rate,
+                    self.session_burst,
+                ).try_take(now)
+                if wait > 0:
+                    self._rate_limited += 1
+                    return AdmissionDecision(
+                        admitted=False,
+                        code=ErrorCode.RATE_LIMITED,
+                        message=f"session {session!r} is over its rate limit",
+                        retry_after_s=wait,
+                    )
+            if self.client_rate is not None and client is not None:
+                wait = self._bucket(
+                    self._clients, client, self.client_rate, self.client_burst
+                ).try_take(now)
+                if wait > 0:
+                    self._rate_limited += 1
+                    return AdmissionDecision(
+                        admitted=False,
+                        code=ErrorCode.RATE_LIMITED,
+                        message=f"client {client!r} is over its rate limit",
+                        retry_after_s=wait,
+                    )
+            if self._active >= self.max_concurrency + self.max_queue_depth:
+                self._overloaded += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    code=ErrorCode.OVERLOADED,
+                    message=(
+                        f"admission queue full "
+                        f"({self._active} in flight, "
+                        f"limit {self.max_concurrency}+{self.max_queue_depth})"
+                    ),
+                    retry_after_s=None,
+                )
+            self._active += 1
+            self._accepted += 1
+            queued = self._active - self.max_concurrency
+            if queued > self._queued_high_watermark:
+                self._queued_high_watermark = queued
+            return ADMITTED
+
+    def release(self) -> None:
+        """Return one admitted request's slot (call exactly once)."""
+        with self._lock:
+            if self._active <= 0:  # pragma: no cover - caller bug guard
+                raise RuntimeError("release() without a matching admit()")
+            self._active -= 1
+            if self._active == 0:
+                self._idle.notify_all()
+
+    def _bucket(
+        self,
+        buckets: dict[str, TokenBucket],
+        key: str,
+        rate: float,
+        burst: float,
+    ) -> TokenBucket:
+        bucket = buckets.get(key)
+        if bucket is None:
+            if len(buckets) >= self._max_tracked:
+                # dicts iterate in insertion order: drop the oldest
+                # identity, which a live client simply re-creates full
+                buckets.pop(next(iter(buckets)))
+            bucket = TokenBucket(rate, burst, clock=self._clock)
+            buckets[key] = bucket
+        return bucket
+
+    # -- drain -------------------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Reject new requests from now on; in-flight ones keep their slots."""
+        with self._lock:
+            self._draining = True
+
+    def end_drain(self) -> None:
+        """Accept new requests again (a restarted transport reuses its
+        controller, which must not stay wedged in reject-new mode)."""
+        with self._lock:
+            self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request released its slot."""
+        with self._idle:
+            return self._idle.wait_for(lambda: self._active == 0, timeout)
+
+    # -- observability -----------------------------------------------------------
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters for the gateway-stats resource (plain JSON values)."""
+        with self._lock:
+            return {
+                "accepted": self._accepted,
+                "rate_limited": self._rate_limited,
+                "overloaded": self._overloaded,
+                "drained": self._drained,
+                "in_flight": self._active,
+                "queued": max(0, self._active - self.max_concurrency),
+                "queued_high_watermark": self._queued_high_watermark,
+                "max_concurrency": self.max_concurrency,
+                "max_queue_depth": self.max_queue_depth,
+                "draining": self._draining,
+            }

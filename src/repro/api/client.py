@@ -20,7 +20,8 @@ transport failures (server unreachable, connection dropped).
 from __future__ import annotations
 
 import http.client
-from typing import Any, TYPE_CHECKING
+import time
+from typing import Any, Callable, TYPE_CHECKING
 from urllib.parse import quote
 
 from repro.api import schemas as s
@@ -117,34 +118,67 @@ class GatewayClient:
         return self.gateway.stats()
 
 
+def _parse_retry_after(value: str | None) -> float | None:
+    """Seconds from a ``Retry-After`` header, or None when absent/odd."""
+    if value is None:
+        return None
+    try:
+        parsed = float(value)
+    except ValueError:
+        return None
+    return parsed if parsed >= 0 else None
+
+
 class RemoteClient:
     """HTTP client over one keep-alive connection (stdlib only).
 
-    Method-for-method identical to :class:`GatewayClient`.  Not
-    thread-safe (one underlying connection): concurrent callers hold
-    one ``RemoteClient`` each, which is also how real HTTP load looks.
+    Method-for-method identical to :class:`GatewayClient`, against
+    either gateway transport (threaded or asyncio).  Not thread-safe
+    (one underlying connection): concurrent callers hold one
+    ``RemoteClient`` each, which is also how real HTTP load looks.
+
+    Resilience, both opt-in by degrees:
+
+    * a request that fails on a *reused* keep-alive socket (the server
+      idled it out: ``ECONNRESET`` / ``BrokenPipeError`` on reuse) gets
+      exactly one clean reconnect-and-resend; a fresh connection's
+      failure surfaces immediately as :class:`GatewayConnectionError`;
+    * with ``retries=N``, a 429/503 reply (``RATE_LIMITED`` /
+      ``OVERLOADED`` / ``SERVICE_CLOSED`` shedding) is retried up to N
+      times, honoring the server's ``Retry-After`` hint under a capped
+      exponential backoff.  The default ``retries=0`` returns the
+      :class:`~repro.api.schemas.ErrorEnvelope` to the caller untouched.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff_base_s: float = 0.1,
+        backoff_cap_s: float = 5.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
         self._conn: http.client.HTTPConnection | None = None
 
     @classmethod
     def for_server(cls, server: Any, **kwargs: Any) -> "RemoteClient":
-        """Client for a :class:`~repro.api.http.GatewayHTTPServer`."""
+        """Client for a started gateway server (threaded or asyncio)."""
         host, port = server.address
         return cls(host, port, **kwargs)
 
     # -- transport ---------------------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
-        return self._conn
-
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()
@@ -155,6 +189,37 @@ class RemoteClient:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+    def _send(
+        self, method: str, path: str, body: str | None, headers: dict[str, str]
+    ) -> tuple[int, float | None, str]:
+        """One request/response exchange: ``(status, retry_after_s, body)``."""
+        for attempt in (0, 1):
+            conn = self._conn
+            reused = conn is not None
+            if conn is None:
+                conn = self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                text = response.read().decode()
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                # a stale keep-alive socket earns one reconnect-and-resend;
+                # a fresh connection failing is a real transport error
+                self.close()
+                if attempt or not reused:
+                    raise GatewayConnectionError(
+                        f"{method} {path} failed: {exc!r}"
+                    ) from exc
+                continue
+            return (
+                response.status,
+                _parse_retry_after(response.getheader("Retry-After")),
+                text,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _request(
         self,
@@ -167,20 +232,18 @@ class RemoteClient:
         headers = {"Accept": accept}
         if body is not None:
             headers["Content-Type"] = "application/json"
-        for attempt in (0, 1):
-            conn = self._connection()
-            try:
-                conn.request(method, path, body=body, headers=headers)
-                response = conn.getresponse()
-                return response.read().decode()
-            except (ConnectionError, http.client.HTTPException, OSError) as exc:
-                # a dropped keep-alive connection gets one clean retry
-                self.close()
-                if attempt:
-                    raise GatewayConnectionError(
-                        f"{method} {path} failed: {exc!r}"
-                    ) from exc
-        raise AssertionError("unreachable")  # pragma: no cover
+        shed_retries = 0
+        while True:
+            status, retry_after, text = self._send(method, path, body, headers)
+            if status not in (429, 503) or shed_retries >= self.retries:
+                return text
+            # the server's hint dominates the exponential schedule, and
+            # the cap dominates both
+            delay = self.backoff_base_s * (2 ** shed_retries)
+            if retry_after is not None:
+                delay = max(delay, retry_after)
+            self._sleep(min(delay, self.backoff_cap_s))
+            shed_retries += 1
 
     def _call(self, method: str, path: str, body: str | None = None) -> Any:
         text = self._request(method, path, body)

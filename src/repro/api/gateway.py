@@ -46,6 +46,9 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from bisect import bisect_left, insort
+from collections import deque
+from time import perf_counter
 from typing import Any, TYPE_CHECKING
 
 from repro.api import schemas as s
@@ -78,9 +81,51 @@ from repro.sql import SqlError, SqlSyntaxError, compile_sql
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.service import AgentService
     from repro.agent.session import AgentReply
+    from repro.api.admission import AdmissionController
     from repro.provenance.query_api import QueryAPI
 
 __all__ = ["ProvenanceGateway", "DEFAULT_PAGE_SIZE"]
+
+#: per-endpoint latency reservoir bound (same rationale as the
+#: LLM server's: stable tails, cheap insort on the request path)
+_MAX_LATENCY_SAMPLES = 4096
+
+
+class _LatencyReservoir:
+    """Bounded most-recent latency samples with percentile snapshots.
+
+    Same shape as :meth:`repro.llm.service.LLMServer.stats`: a sorted
+    reservoir paired with a FIFO so eviction drops the oldest sample.
+    Not thread-safe on its own — the gateway holds its stats lock.
+    """
+
+    __slots__ = ("_sorted", "_fifo", "_count")
+
+    def __init__(self) -> None:
+        self._sorted: list[float] = []
+        self._fifo: deque[float] = deque()
+        self._count = 0
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        if len(self._fifo) >= _MAX_LATENCY_SAMPLES:
+            oldest = self._fifo.popleft()
+            i = bisect_left(self._sorted, oldest)
+            if i < len(self._sorted) and self._sorted[i] == oldest:
+                self._sorted.pop(i)
+        self._fifo.append(value)
+        insort(self._sorted, value)
+
+    def snapshot(self) -> dict[str, Any]:
+        lat = self._sorted
+        n = len(lat)
+        return {
+            "requests": self._count,
+            "latency_p50_s": lat[int(0.50 * (n - 1))] if n else None,
+            "latency_p90_s": lat[int(0.90 * (n - 1))] if n else None,
+            "latency_p99_s": lat[int(0.99 * (n - 1))] if n else None,
+            "latency_max_s": lat[-1] if n else None,
+        }
 
 #: page size used when a cursor continues a query that never set one
 DEFAULT_PAGE_SIZE = 100
@@ -131,6 +176,10 @@ class ProvenanceGateway:
         self._lock = threading.Lock()
         self._requests: dict[str, int] = {}
         self._errors: dict[str, int] = {}
+        self._latency: dict[str, _LatencyReservoir] = {}
+        #: admission controller of the serving transport, when one is
+        #: attached — its shed/queue counters ride the stats reply
+        self._admission: "AdmissionController | None" = None
         if publish_mcp:
             # the serving snapshot now includes gateway traffic; the MCP
             # resource follows the front door
@@ -141,6 +190,22 @@ class ProvenanceGateway:
     def _count(self, endpoint: str) -> None:
         with self._lock:
             self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+
+    def _observe(self, endpoint: str, elapsed_s: float) -> None:
+        with self._lock:
+            reservoir = self._latency.get(endpoint)
+            if reservoir is None:
+                reservoir = self._latency[endpoint] = _LatencyReservoir()
+            reservoir.add(elapsed_s)
+
+    def attach_admission(self, admission: "AdmissionController") -> None:
+        """Surface a transport's admission counters in :meth:`stats`.
+
+        Called by :meth:`repro.api.aio.AsyncGatewayServer.start`; the
+        last transport to attach wins (one serving transport per gateway
+        is the deployment shape).
+        """
+        self._admission = admission
 
     def _error(self, envelope: ErrorEnvelope) -> ErrorEnvelope:
         with self._lock:
@@ -157,6 +222,7 @@ class ProvenanceGateway:
         self, request: CreateSessionRequest
     ) -> SessionInfo | ErrorEnvelope:
         self._count("sessions")
+        started = perf_counter()
         try:
             session = self.service.create_session(
                 request.session_id, model=request.model
@@ -167,6 +233,8 @@ class ProvenanceGateway:
             return self._fail(ErrorCode.SERVICE_CLOSED, str(exc))
         except Exception as exc:  # noqa: BLE001 - API boundary
             return self._fail(ErrorCode.INTERNAL, repr(exc))
+        finally:
+            self._observe("sessions", perf_counter() - started)
         return SessionInfo(
             session_id=session.session_id,
             model=session.model,
@@ -194,7 +262,11 @@ class ProvenanceGateway:
         the same reply to its wire form.
         """
         self._count("chat")
-        return self.service.chat(session_id, message)
+        started = perf_counter()
+        try:
+            return self.service.chat(session_id, message)
+        finally:
+            self._observe("chat", perf_counter() - started)
 
     def chat(self, request: ChatRequest) -> ChatReply | ErrorEnvelope:
         try:
@@ -229,6 +301,7 @@ class ProvenanceGateway:
         cache.
         """
         self._count("query")
+        started = perf_counter()
         try:
             if request.dialect not in DIALECTS:
                 return self._fail(
@@ -269,6 +342,8 @@ class ProvenanceGateway:
             return self._graph_query(request)
         except Exception as exc:  # noqa: BLE001 - API boundary: no tracebacks
             return self._fail(ErrorCode.INTERNAL, repr(exc))
+        finally:
+            self._observe("query", perf_counter() - started)
 
     # filter dialect: Mongo-style documents over the Query API
     def _filter_query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
@@ -439,6 +514,13 @@ class ProvenanceGateway:
     # -- lineage view -------------------------------------------------------------
     def lineage_view(self, request: LineageRequest) -> LineageReply | ErrorEnvelope:
         self._count("lineage")
+        started = perf_counter()
+        try:
+            return self._lineage_view(request)
+        finally:
+            self._observe("lineage", perf_counter() - started)
+
+    def _lineage_view(self, request: LineageRequest) -> LineageReply | ErrorEnvelope:
         if request.direction not in ("upstream", "downstream", "both"):
             return self._fail(
                 ErrorCode.BAD_REQUEST,
@@ -474,18 +556,28 @@ class ProvenanceGateway:
     # -- stats -------------------------------------------------------------------
     def stats(self) -> StatsReply:
         self._count("stats")
+        started = perf_counter()
         service_stats = self.service.stats()
+        admission = self._admission
         with self._lock:
             requests = dict(self._requests)
             errors = dict(self._errors)
-        return StatsReply(
+            endpoints = {
+                name: reservoir.snapshot()
+                for name, reservoir in sorted(self._latency.items())
+            }
+        reply = StatsReply(
             sessions=service_stats["sessions"],
             turns_completed=service_stats["turns_completed"],
             requests=requests,
             errors=errors,
             query_cache=service_stats["query_cache"],
             llm=service_stats["llm"],
+            endpoints=endpoints,
+            admission=admission.snapshot() if admission is not None else {},
         )
+        self._observe("stats", perf_counter() - started)
+        return reply
 
     def stats_payload(self) -> dict[str, Any]:
         """Plain-dict stats for MCP resource reads."""

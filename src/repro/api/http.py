@@ -1,7 +1,7 @@
-"""Stdlib HTTP transport for the provenance gateway.
+"""Stdlib threaded HTTP transport for the provenance gateway.
 
 A :class:`~http.server.ThreadingHTTPServer` (one thread per in-flight
-request — which is exactly the concurrency grain of
+connection — which is exactly the concurrency grain of
 :meth:`AgentService.chat`, whose calling thread drains its session's
 queue) exposing the versioned surface:
 
@@ -15,76 +15,47 @@ GET    ``/v1/lineage/{task_id}``      ``?direction=&depth=`` -> LineageReply
 GET    ``/v1/stats``                  -> StatsReply
 ====== ============================== ===============================
 
-Transport rules:
+All routing, content negotiation, and error mapping live in the
+transport-neutral :mod:`repro.api.routing` core, shared byte-for-byte
+with the asyncio transport (:mod:`repro.api.aio`).  This module only
+owns the threaded socket lifecycle:
 
-* **canonical JSON** — every body is exactly
-  :func:`repro.api.schemas.to_json` of the schema object the gateway
-  returned, so the HTTP transport is byte-identical to the in-process
-  client (the parity contract ``benchmarks/bench_gateway.py`` asserts);
-* **content negotiation** — ``Accept: text/csv`` on ``/v1/query``
-  renders frame-shaped replies as CSV; anything else is JSON.
-  ``text/csv`` against a non-frame reply is ``406`` with a
-  ``NOT_ACCEPTABLE`` envelope;
+* **race-free startup** — the listening socket binds inside
+  :meth:`GatewayHTTPServer.start`, which returns only after the serving
+  thread is actually polling (``ready`` event set from inside
+  ``serve_forever``), so a connect immediately after ``start()``
+  is always served;
+* **idempotent shutdown** — :meth:`stop` (alias :meth:`close`) is safe
+  to call twice, from any thread, including via the
+  :meth:`AgentService.close` hook the server registers on start;
 * **keep-alive** — HTTP/1.1 with explicit ``Content-Length`` on every
-  response, so one client connection serves a whole conversation;
-* **errors** — always an :class:`~repro.api.schemas.ErrorEnvelope`
-  body; :data:`STATUS_BY_CODE` maps its stable code to the HTTP status.
-  No request can produce a traceback response.
+  response, so one client connection serves a whole conversation.
 
-No third-party dependencies: ``http.server`` only.
+This transport is the compatibility baseline: fine for tens of clients,
+measured against (and outperformed by) the asyncio transport in
+``benchmarks/bench_async_gateway.py``.  No third-party dependencies.
 """
 
 from __future__ import annotations
 
-import json
-import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, TYPE_CHECKING
-from urllib.parse import parse_qs, unquote, urlparse
 
-from repro.api import schemas as s
-from repro.api.schemas import (
-    ChatRequest,
-    CreateSessionRequest,
-    ErrorCode,
-    ErrorEnvelope,
-    LineageRequest,
-    QueryReply,
-    QueryRequest,
-    SchemaViolation,
+from repro.api.routing import (
+    MAX_BODY_BYTES,
+    STATUS_BY_CODE,
+    WireRequest,
+    WireResponse,
+    error_response,
+    handle_request,
 )
+from repro.api.schemas import ErrorCode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.gateway import ProvenanceGateway
 
-__all__ = ["GatewayHTTPServer", "STATUS_BY_CODE"]
-
-#: stable error code -> HTTP status
-STATUS_BY_CODE: dict[str, int] = {
-    ErrorCode.MALFORMED_JSON: 400,
-    ErrorCode.SCHEMA_VIOLATION: 400,
-    ErrorCode.BAD_REQUEST: 400,
-    ErrorCode.UNKNOWN_DIALECT: 400,
-    ErrorCode.UNKNOWN_SESSION: 404,
-    ErrorCode.SESSION_EXISTS: 409,
-    ErrorCode.QUERY_SYNTAX: 400,
-    ErrorCode.QUERY_EXECUTION: 422,
-    ErrorCode.UNKNOWN_TASK: 404,
-    ErrorCode.CURSOR_INVALID: 400,
-    ErrorCode.CURSOR_STALE: 410,
-    ErrorCode.NOT_FOUND: 404,
-    ErrorCode.METHOD_NOT_ALLOWED: 405,
-    ErrorCode.NOT_ACCEPTABLE: 406,
-    ErrorCode.SERVICE_CLOSED: 503,
-    ErrorCode.INTERNAL: 500,
-}
-
-_CHAT_PATH = re.compile(r"^/v1/sessions/([^/]+)/chat$")
-_LINEAGE_PATH = re.compile(r"^/v1/lineage/([^/]+)$")
-
-#: request body size guard (a gateway, not a file server)
-MAX_BODY_BYTES = 4 * 1024 * 1024
+__all__ = ["GatewayHTTPServer", "STATUS_BY_CODE", "MAX_BODY_BYTES"]
 
 
 class _GatewayRequestHandler(BaseHTTPRequestHandler):
@@ -100,164 +71,101 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
         pass  # tests and benchmarks must not spam stderr
 
     # -- plumbing ----------------------------------------------------------------
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
+    def _send_wire(self, response: WireResponse) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        if response.retry_after is not None:
+            self.send_header("Retry-After", str(response.retry_after))
         self.end_headers()
-        self.wfile.write(body)
-
-    def _send_schema(self, obj: Any, *, status: int | None = None) -> None:
-        if isinstance(obj, ErrorEnvelope):
-            status = STATUS_BY_CODE.get(obj.code, 500)
-        body = s.to_json(obj).encode()
-        self._send(status or 200, body, "application/json")
-
-    def _send_error(self, code: str, message: str) -> None:
-        self._send_schema(ErrorEnvelope(code=code, message=message))
+        self.wfile.write(response.body)
 
     def _read_body(self) -> bytes | None:
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._send_error(ErrorCode.BAD_REQUEST, "bad Content-Length")
+            self._send_wire(
+                error_response(ErrorCode.BAD_REQUEST, "bad Content-Length")
+            )
             return None
         if length < 0 or length > MAX_BODY_BYTES:
-            self._send_error(
-                ErrorCode.BAD_REQUEST, f"body too large (> {MAX_BODY_BYTES} bytes)"
+            self._send_wire(
+                error_response(
+                    ErrorCode.BAD_REQUEST,
+                    f"body too large (> {MAX_BODY_BYTES} bytes)",
+                )
             )
             return None
         return self.rfile.read(length)
 
-    def _wants_csv(self) -> bool:
-        accept = self.headers.get("Accept", "")
-        return "text/csv" in accept.lower()
-
     # -- routes ------------------------------------------------------------------
+    def _serve(self, body: bytes) -> None:
+        request = WireRequest(
+            method=self.command,
+            target=self.path,
+            body=body,
+            accept=self.headers.get("Accept", ""),
+        )
+        self._send_wire(handle_request(self.gateway, request))
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:
-            self._route_post()
+            body = self._read_body()
+            if body is None:
+                return
+            self._serve(body)
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
         except Exception as exc:  # noqa: BLE001 - transport must not crash
             try:
-                self._send_error(ErrorCode.INTERNAL, repr(exc))
+                self._send_wire(
+                    error_response(ErrorCode.INTERNAL, repr(exc))
+                )
             except Exception:  # noqa: BLE001 - socket already gone
                 pass
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         try:
-            self._route_get()
+            self._serve(b"")
         except BrokenPipeError:  # pragma: no cover - client went away
             pass
         except Exception as exc:  # noqa: BLE001 - transport must not crash
             try:
-                self._send_error(ErrorCode.INTERNAL, repr(exc))
+                self._send_wire(
+                    error_response(ErrorCode.INTERNAL, repr(exc))
+                )
             except Exception:  # noqa: BLE001 - socket already gone
                 pass
 
-    def _route_post(self) -> None:
-        path = urlparse(self.path).path
-        body = self._read_body()
-        if body is None:
-            return
-        chat = _CHAT_PATH.match(path)
-        if path == "/v1/sessions":
-            self._handle_parsed(body, CreateSessionRequest,
-                                self.gateway.create_session)
-        elif chat is not None:
-            session_id = unquote(chat.group(1))
 
-            def run(payload: dict[str, Any]) -> Any:
-                message = payload.get("message")
-                if not isinstance(message, str):
-                    raise SchemaViolation("field 'message' must be a string")
-                return self.gateway.chat(
-                    ChatRequest(session_id=session_id, message=message)
-                )
+class _ReadyHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that signals when it is actually polling."""
 
-            self._handle_raw(body, run)
-        elif path == "/v1/query":
-            self._handle_parsed(body, QueryRequest, self._run_query)
-        elif path in ("/v1/stats", "/v1/lineage") or _LINEAGE_PATH.match(path):
-            self._send_error(ErrorCode.METHOD_NOT_ALLOWED, f"GET {path}")
-        else:
-            self._send_error(ErrorCode.NOT_FOUND, f"no route for POST {path}")
+    daemon_threads = True
 
-    def _route_get(self) -> None:
-        parsed = urlparse(self.path)
-        path = parsed.path
-        lineage = _LINEAGE_PATH.match(path)
-        if path == "/v1/stats":
-            self._send_schema(self.gateway.stats())
-        elif lineage is not None:
-            params = parse_qs(parsed.query)
-            direction = params.get("direction", ["both"])[0]
-            depth_raw = params.get("depth", [None])[0]
-            depth: int | None = None
-            if depth_raw is not None:
-                try:
-                    depth = int(depth_raw)
-                except ValueError:
-                    self._send_error(
-                        ErrorCode.BAD_REQUEST, f"bad depth {depth_raw!r}"
-                    )
-                    return
-            request = LineageRequest(
-                task_id=unquote(lineage.group(1)), direction=direction, depth=depth
-            )
-            self._send_schema(self.gateway.lineage_view(request))
-        elif path in ("/v1/sessions", "/v1/query") or _CHAT_PATH.match(path):
-            self._send_error(ErrorCode.METHOD_NOT_ALLOWED, f"POST {path}")
-        else:
-            self._send_error(ErrorCode.NOT_FOUND, f"no route for GET {path}")
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.ready = threading.Event()
 
-    def _run_query(self, request: QueryRequest) -> Any:
-        return self.gateway.execute_query(request)
-
-    # -- body handling -----------------------------------------------------------
-    def _handle_parsed(self, body: bytes, schema: type, handler: Any) -> None:
-        try:
-            request = s.from_json(body or b"{}", schema)
-        except SchemaViolation as exc:
-            code = (
-                ErrorCode.MALFORMED_JSON
-                if "malformed JSON" in str(exc)
-                else ErrorCode.SCHEMA_VIOLATION
-            )
-            self._send_error(code, str(exc))
-            return
-        reply = handler(request)
-        if isinstance(reply, QueryReply) and self._wants_csv():
-            content_type, text = self.gateway.render_csv(reply)
-            if content_type == "text/csv":
-                self._send(200, text.encode(), "text/csv")
-            else:
-                self._send(406, text.encode(), content_type)
-            return
-        self._send_schema(reply)
-
-    def _handle_raw(self, body: bytes, run: Any) -> None:
-        try:
-            payload = json.loads(body or b"{}")
-            if not isinstance(payload, dict):
-                raise SchemaViolation("payload must be a JSON object")
-        except (ValueError, TypeError) as exc:
-            self._send_error(ErrorCode.MALFORMED_JSON, f"malformed JSON: {exc}")
-            return
-        try:
-            reply = run(payload)
-        except SchemaViolation as exc:
-            self._send_error(ErrorCode.SCHEMA_VIOLATION, str(exc))
-            return
-        self._send_schema(reply)
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        # set from the serving thread, immediately before the poll loop:
+        # start() returning therefore means requests are being served,
+        # not merely queued in the listen backlog
+        self.ready.set()
+        super().serve_forever(poll_interval)
 
 
 class GatewayHTTPServer:
     """Lifecycle wrapper: a threaded HTTP server on a daemon thread.
 
-    ``port=0`` binds an ephemeral port (the default for tests and
-    benchmarks); :attr:`address` reports the bound ``(host, port)``.
+    The socket binds inside :meth:`start` (``port=0`` picks an ephemeral
+    port — the default for tests and benchmarks); :attr:`address`
+    reports the bound ``(host, port)`` once started.  ``start`` blocks
+    until the serving thread is polling, and registers a close hook on
+    the owning :class:`~repro.agent.service.AgentService` so
+    ``service.close()`` stops the transport first.  ``stop``/``close``
+    are idempotent; a stopped server may be started again (re-binding,
+    possibly on a new ephemeral port).
     """
 
     def __init__(
@@ -268,14 +176,18 @@ class GatewayHTTPServer:
         port: int = 0,
     ):
         self.gateway = gateway
-        self._httpd = ThreadingHTTPServer((host, port), _GatewayRequestHandler)
-        self._httpd.daemon_threads = True
-        self._httpd.gateway = gateway  # type: ignore[attr-defined]
+        self.host = host
+        self.port = port
+        self._httpd: _ReadyHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        self._lifecycle = threading.Lock()
 
     @property
     def address(self) -> tuple[str, int]:
-        host, port = self._httpd.server_address[:2]
+        httpd = self._httpd
+        if httpd is None:
+            raise RuntimeError("server is not started")
+        host, port = httpd.server_address[:2]
         return str(host), int(port)
 
     @property
@@ -284,21 +196,39 @@ class GatewayHTTPServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "GatewayHTTPServer":
-        if self._thread is None:
+        with self._lifecycle:
+            if self._thread is not None:
+                return self
+            httpd = _ReadyHTTPServer(
+                (self.host, self.port), _GatewayRequestHandler
+            )
+            httpd.gateway = self.gateway  # type: ignore[attr-defined]
+            self._httpd = httpd
             self._thread = threading.Thread(
-                target=self._httpd.serve_forever,
+                target=httpd.serve_forever,
                 name="gateway-http",
                 daemon=True,
             )
             self._thread.start()
+            httpd.ready.wait()
+        service = getattr(self.gateway, "service", None)
+        if service is not None and hasattr(service, "add_close_hook"):
+            service.add_close_hook(self.stop)
         return self
 
     def stop(self) -> None:
-        if self._thread is not None:
-            self._httpd.shutdown()
-            self._thread.join(timeout=5)
-            self._thread = None
-        self._httpd.server_close()
+        with self._lifecycle:
+            httpd, self._httpd = self._httpd, None
+            thread, self._thread = self._thread, None
+            if httpd is None:
+                return  # never started, or already stopped
+            httpd.shutdown()
+            if thread is not None:
+                thread.join(timeout=5)
+            httpd.server_close()
+
+    #: drain-hook-friendly alias, mirroring the asyncio transport
+    close = stop
 
     def __enter__(self) -> "GatewayHTTPServer":
         return self.start()

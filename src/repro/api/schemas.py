@@ -88,6 +88,8 @@ class ErrorCode:
     NOT_FOUND = "NOT_FOUND"
     METHOD_NOT_ALLOWED = "METHOD_NOT_ALLOWED"
     NOT_ACCEPTABLE = "NOT_ACCEPTABLE"
+    RATE_LIMITED = "RATE_LIMITED"
+    OVERLOADED = "OVERLOADED"
     SERVICE_CLOSED = "SERVICE_CLOSED"
     INTERNAL = "INTERNAL"
 
@@ -106,6 +108,8 @@ class ErrorCode:
         NOT_FOUND,
         METHOD_NOT_ALLOWED,
         NOT_ACCEPTABLE,
+        RATE_LIMITED,
+        OVERLOADED,
         SERVICE_CLOSED,
         INTERNAL,
     )
@@ -605,7 +609,15 @@ class LineageReply:
 
 @dataclass(frozen=True)
 class StatsReply:
-    """Gateway-level serving snapshot (also the MCP serving resource)."""
+    """Gateway-level serving snapshot (also the MCP serving resource).
+
+    ``endpoints`` carries per-endpoint latency percentiles (same shape
+    as ``LLMServer.stats()``: ``requests`` / ``latency_p50_s`` /
+    ``latency_p90_s`` / ``latency_p99_s`` / ``latency_max_s``);
+    ``admission`` carries the transport's admission-control counters
+    (accepted / rate_limited / overloaded / queued high watermark) when
+    an :class:`~repro.api.admission.AdmissionController` is attached.
+    """
 
     sessions: int
     turns_completed: int
@@ -613,6 +625,8 @@ class StatsReply:
     errors: dict[str, int] = field(default_factory=dict)
     query_cache: dict[str, Any] = field(default_factory=dict)
     llm: dict[str, Any] = field(default_factory=dict)
+    endpoints: dict[str, Any] = field(default_factory=dict)
+    admission: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def _parse(cls, data: Mapping[str, Any]) -> "StatsReply":
@@ -624,6 +638,8 @@ class StatsReply:
             errors=_dict(data, "errors") if "errors" in data else {},
             query_cache=_dict(data, "query_cache") if "query_cache" in data else {},
             llm=_dict(data, "llm") if "llm" in data else {},
+            endpoints=_dict(data, "endpoints") if "endpoints" in data else {},
+            admission=_dict(data, "admission") if "admission" in data else {},
         )
 
 

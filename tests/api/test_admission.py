@@ -1,0 +1,169 @@
+"""Admission control units: buckets under a controlled clock, bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.admission import ADMITTED, AdmissionController, TokenBucket
+from repro.api.schemas import ErrorCode
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_limit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) == pytest.approx(1.0)
+
+    def test_refill_is_monotonic_under_frozen_clock(self):
+        """A stalled clock accrues nothing: the wait hint never shrinks."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_take(clock()) == 0.0
+        first_wait = bucket.try_take(clock())
+        assert first_wait == pytest.approx(0.5)
+        for _ in range(5):
+            # polls under the frozen clock must not mint tokens
+            assert bucket.try_take(clock()) == pytest.approx(first_wait)
+
+    def test_partial_refill_shrinks_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.try_take(clock())
+        clock.now = 0.25
+        assert bucket.try_take(clock()) == pytest.approx(0.75)
+        clock.now = 1.25
+        assert bucket.try_take(clock()) == 0.0
+
+    def test_backwards_clock_never_refills_retroactively(self):
+        clock = FakeClock(now=10.0)
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.try_take(clock())  # empty at t=10
+        clock.now = 2.0  # clock jumps back
+        assert bucket.try_take(clock()) == pytest.approx(1.0)
+        # the watermark moved with the jump: recovering the lost
+        # interval does not refill it twice
+        clock.now = 2.5
+        assert bucket.try_take(clock()) == pytest.approx(0.5)
+        clock.now = 3.0
+        assert bucket.try_take(clock()) == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.now = 1e6  # eons pass
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) == 0.0
+        assert bucket.try_take(clock()) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_admit_release_and_watermark(self):
+        controller = AdmissionController(max_concurrency=2, max_queue_depth=1)
+        decisions = [controller.admit() for _ in range(3)]
+        assert all(d.admitted for d in decisions)
+        shed = controller.admit()
+        assert not shed.admitted
+        assert shed.code == ErrorCode.OVERLOADED
+        snapshot = controller.snapshot()
+        assert snapshot["in_flight"] == 3
+        assert snapshot["queued"] == 1
+        assert snapshot["queued_high_watermark"] == 1
+        assert snapshot["overloaded"] == 1
+        for _ in range(3):
+            controller.release()
+        assert controller.active == 0
+        # the watermark is a high-watermark: it survives the drain
+        assert controller.snapshot()["queued_high_watermark"] == 1
+
+    def test_queue_depth_zero_sheds_at_concurrency(self):
+        controller = AdmissionController(max_concurrency=1, max_queue_depth=0)
+        assert controller.admit().admitted
+        assert controller.admit().code == ErrorCode.OVERLOADED
+
+    def test_admitted_is_shared_singleton(self):
+        controller = AdmissionController(max_concurrency=4)
+        assert controller.admit() is ADMITTED
+
+    def test_per_session_limit_isolates_noisy_session(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_concurrency=64,
+            session_rate=1.0,
+            session_burst=2.0,
+            clock=clock,
+        )
+        noisy = [
+            controller.admit(session="noisy") for _ in range(5)
+        ]
+        limited = [d for d in noisy if not d.admitted]
+        assert len(limited) == 3
+        assert all(d.code == ErrorCode.RATE_LIMITED for d in limited)
+        assert all(d.retry_after_s and d.retry_after_s > 0 for d in limited)
+        # a different session on the same controller is untouched
+        assert controller.admit(session="calm").admitted
+        assert controller.admit(session="calm").admitted
+
+    def test_per_client_limit(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_concurrency=64, client_rate=1.0, client_burst=1.0, clock=clock
+        )
+        assert controller.admit(client="a").admitted
+        shed = controller.admit(client="a")
+        assert shed.code == ErrorCode.RATE_LIMITED
+        assert controller.admit(client="b").admitted
+        clock.now = 1.0
+        assert controller.admit(client="a").admitted
+
+    def test_rate_limit_checked_before_capacity(self):
+        """A limited identity sees 429 even when the queue is full: the
+        client must learn its own budget, not the server's load."""
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_concurrency=1, max_queue_depth=0,
+            client_rate=1.0, client_burst=1.0, clock=clock,
+        )
+        assert controller.admit(client="a").admitted  # slot taken
+        assert controller.admit(client="b").code == ErrorCode.OVERLOADED
+        assert controller.admit(client="a").code == ErrorCode.RATE_LIMITED
+
+    def test_drain_rejects_new_and_waits_for_active(self):
+        controller = AdmissionController(max_concurrency=4)
+        assert controller.admit().admitted
+        controller.begin_drain()
+        shed = controller.admit()
+        assert shed.code == ErrorCode.SERVICE_CLOSED
+        assert not controller.wait_idle(timeout=0.05)  # one still active
+        controller.release()
+        assert controller.wait_idle(timeout=1.0)
+        assert controller.snapshot()["drained"] == 1
+
+    def test_bucket_tracking_is_bounded(self):
+        controller = AdmissionController(
+            max_concurrency=10_000, client_rate=1000.0, max_tracked=8
+        )
+        for i in range(50):
+            controller.admit(client=f"c{i}")
+        assert len(controller._clients) <= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=1, max_queue_depth=-1)
