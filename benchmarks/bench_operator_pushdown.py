@@ -1,0 +1,230 @@
+"""Operator pushdown vs gather-everything on the sharded scatter path.
+
+The classic path answers every analytical query by shipping *all*
+matching documents from every shard to the coordinator and building a
+full-width frame before a single pipeline step runs.  Operator pushdown
+ships *answers* instead: per-shard partial aggregation states, local
+top-k candidates, or column-pruned documents, merged exactly at the
+coordinator.  This benchmark measures both paths over the same 4-shard
+store on wide (~24 leaf fields) nested task documents and asserts:
+
+* **parity** — the pushed result is byte-identical to the classic path
+  *and* to a single-node store fed the same stream, for every query;
+* **speedup** — at full scale (>= 100k docs), GROUP BY / aggregate /
+  top-k queries run >= 2x faster pushed than gathered (floor asserted;
+  the target the results file documents is 3x);
+* **payload** — the scatter payload (cells crossing the shard ->
+  coordinator boundary) shrinks by orders of magnitude; the measured
+  reduction is reported per query in the results file.
+
+``PUSHDOWN_BENCH_N`` scales the document count down for CI smoke runs;
+parity is asserted at any scale, the speedup floor only at full scale.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from benchmarks.conftest import write_result
+from repro.dataframe import DataFrame
+from repro.provenance.query_api import QueryAPI
+from repro.query import parse_query
+from repro.query.engine import run_cached_pipeline
+from repro.storage import ProvenanceDatabase, ShardedProvenanceStore
+from repro.viz.ascii import series_table
+
+N_DOCS = int(os.environ.get("PUSHDOWN_BENCH_N", "100000"))
+N_SHARDS = 4
+ROUNDS = 3
+MIN_SPEEDUP = 2.0  # asserted floor at full scale
+TARGET_SPEEDUP = 3.0  # documented target, reported in the results file
+FULL_SCALE = N_DOCS >= 100_000
+N_WORKFLOWS = max(8, min(128, N_DOCS // 500))
+
+BASE = {"type": "task"}
+
+#: name -> pipeline code; every plan mode the planner can choose
+QUERIES = [
+    ("groupby-count", "df.groupby('status')['task_id'].count()"),
+    ("groupby-mean", "df.groupby('workflow_id')['duration'].mean()"),
+    (
+        "top-k-projected",
+        "df.sort_values('duration', ascending=False)"
+        ".head(10)[['task_id', 'duration']]",
+    ),
+    ("scalar-mean", "df['telemetry.cpu'].mean()"),
+    ("filtered-rowcount", "len(df[df['status'] == 'FAILED'])"),
+]
+
+
+def _docs(n: int, seed: int = 11) -> list[dict]:
+    """Wide nested task documents: ~24 leaf fields after flattening."""
+    rng = random.Random(seed)
+    docs = []
+    for i in range(n):
+        started = 1000.0 + rng.random() * 10_000
+        docs.append(
+            {
+                "type": "task",
+                "task_id": f"t{i}",
+                "workflow_id": f"wf-{i % N_WORKFLOWS:04d}",
+                "campaign_id": "bench",
+                "activity_id": f"act-{i % 9}",
+                "status": "FAILED" if i % 13 == 0 else "FINISHED",
+                "hostname": f"node-{i % 16}",
+                "rank": i % 64,
+                "attempt": rng.randrange(3),
+                "started_at": started,
+                "ended_at": started + rng.random() * 100,
+                "duration": rng.random() * 100,
+                "used": {
+                    "x": rng.randrange(1000),
+                    "y": rng.random(),
+                    "path": f"/data/in/{i % 512}.dat",
+                    "bytes": rng.randrange(1 << 20),
+                },
+                "generated": {
+                    "out": f"/data/out/{i}.dat",
+                    "bytes": rng.randrange(1 << 20),
+                    "checksum": f"{rng.getrandbits(64):016x}",
+                },
+                "telemetry": {
+                    "cpu": rng.random() * 100,
+                    "mem": rng.random() * 64,
+                    "io_read": rng.randrange(1 << 16),
+                    "io_write": rng.randrange(1 << 16),
+                    "gpu": rng.random(),
+                },
+            }
+        )
+    return docs
+
+
+def _build_stores() -> tuple[ProvenanceDatabase, ShardedProvenanceStore, int]:
+    docs = _docs(N_DOCS)
+    single = ProvenanceDatabase()
+    sharded = ShardedProvenanceStore(N_SHARDS)
+    single.upsert_many(docs)
+    sharded.upsert_many(docs)
+    # width as the coordinator sees it: to_frame flattens nested dicts
+    leaf_fields = len(QueryAPI(single).to_frame({"task_id": "t0"}).columns)
+    return single, sharded, leaf_fields
+
+
+def _normalise(result):
+    if isinstance(result, DataFrame):
+        return (
+            tuple(result.columns),
+            tuple(result.column(c).dtype for c in result.columns),
+            tuple(
+                tuple((type(v).__name__, repr(v)) for v in row.values())
+                for row in result.to_dicts()
+            ),
+        )
+    if isinstance(result, list):
+        return tuple((type(v).__name__, repr(v)) for v in result)
+    return (type(result).__name__, repr(result))
+
+
+def _once(store, pipeline, operator_pushdown: bool):
+    # fresh QueryAPI = fresh cache: every round pays full execution
+    api = QueryAPI(store)
+    t0 = time.perf_counter()
+    run = run_cached_pipeline(
+        api, pipeline, base_filter=BASE, operator_pushdown=operator_pushdown
+    )
+    return time.perf_counter() - t0, run
+
+
+def test_operator_pushdown_speedup_and_parity(results_dir):
+    single, sharded, leaf_fields = _build_stores()
+    rows: list[dict] = []
+    speedups: dict[str, float] = {}
+    for name, code in QUERIES:
+        pipeline = parse_query(code)
+        classic_s, pushed_s = float("inf"), float("inf")
+        pushed_run = classic_run = None
+        for _ in range(ROUNDS):  # interleaved so machine drift hits both
+            t, classic_run = _once(sharded, pipeline, False)
+            classic_s = min(classic_s, t)
+            t, pushed_run = _once(sharded, pipeline, True)
+            pushed_s = min(pushed_s, t)
+        _, reference = _once(single, pipeline, False)
+
+        # parity: pushed == classic gather == single-node store
+        assert pushed_run.pushdown is not None
+        assert "fallback" not in pushed_run.pushdown, pushed_run.pushdown
+        assert _normalise(pushed_run.result) == _normalise(classic_run.result)
+        assert _normalise(pushed_run.result) == _normalise(reference.result)
+
+        info = pushed_run.pushdown
+        scanned = info["rows_scanned"]
+        # the classic scatter ships every matching document whole; the
+        # pushed scatter ships partial states / candidates / pruned docs
+        classic_cells = scanned * leaf_fields
+        pushed_cells = max(1, info["payload_cells"])
+        speedups[name] = classic_s / pushed_s
+        rows.append(
+            {
+                "query": name,
+                "mode": info["mode"],
+                "classic_ms": round(classic_s * 1e3, 1),
+                "pushed_ms": round(pushed_s * 1e3, 1),
+                "speedup_x": round(speedups[name], 2),
+                "scatter_cells_classic": classic_cells,
+                "scatter_cells_pushed": pushed_cells,
+                "payload_reduction_x": round(classic_cells / pushed_cells, 1),
+            }
+        )
+
+    if FULL_SCALE:  # smoke runs must not overwrite the published numbers
+        write_result(
+            results_dir,
+            "operator_pushdown.txt",
+            series_table(
+                rows,
+                [
+                    "query",
+                    "mode",
+                    "classic_ms",
+                    "pushed_ms",
+                    "speedup_x",
+                    "scatter_cells_classic",
+                    "scatter_cells_pushed",
+                    "payload_reduction_x",
+                ],
+                title=(
+                    f"Operator pushdown vs gather-everything, "
+                    f"{N_DOCS:,} docs x {N_SHARDS} shards, "
+                    f"~{leaf_fields} leaf fields/doc "
+                    f"(target {TARGET_SPEEDUP}x, floor {MIN_SPEEDUP}x)"
+                ),
+            ),
+        )
+        worst = min(speedups, key=speedups.get)
+        assert speedups[worst] >= MIN_SPEEDUP, (
+            f"{worst}: {speedups[worst]:.2f}x < {MIN_SPEEDUP}x floor "
+            f"(all: { {k: round(v, 2) for k, v in speedups.items()} })"
+        )
+
+
+def test_unsupported_pipeline_falls_back_with_identical_results():
+    """A pipeline the combine refuses must answer via the classic path."""
+    docs = _docs(min(N_DOCS, 3000))
+    single = ProvenanceDatabase()
+    sharded = ShardedProvenanceStore(N_SHARDS)
+    single.upsert_many(docs)
+    sharded.upsert_many(docs)
+    # median has no per-shard decomposition: planned as projection, and
+    # still answered exactly
+    pipeline = parse_query("df['duration'].median()")
+    _, pushed = _once(sharded, pipeline, True)
+    _, reference = _once(single, pipeline, False)
+    assert _normalise(pushed.result) == _normalise(reference.result)
+    # zero matching rows: combine refuses, classic path answers
+    pipeline = parse_query("len(df[df['status'] == 'NO-SUCH'])")
+    _, pushed = _once(sharded, pipeline, True)
+    assert pushed.pushdown is not None and "fallback" in pushed.pushdown
+    assert pushed.result == 0

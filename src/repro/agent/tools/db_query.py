@@ -136,10 +136,16 @@ class DatabaseQueryTool(Tool):
                 error=str(exc),
                 details={"llm_response": response},
             )
+        details: dict[str, Any] = {
+            "cache": run.cache_state,
+            "llm_response": response,
+        }
+        if run.pushdown is not None:
+            details["pushdown"] = run.pushdown
         return ToolResult(
             ok=True,
             summary=run.summary,
             data=run.result,
             code=code,
-            details={"cache": run.cache_state, "llm_response": response},
+            details=details,
         )

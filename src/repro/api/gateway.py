@@ -75,7 +75,8 @@ from repro.provenance.query_api import store_version
 from repro.query import parse_query, render_query
 from repro.query import ast as qast
 from repro.query.engine import pipeline_cache_key, run_cached_pipeline
-from repro.query.pushdown import merge_filters, pipeline_prefilter
+from repro.query.partial import step_label
+from repro.query.pushdown import merge_filters, pipeline_prefilter, plan_pushdown
 from repro.sql import SqlError, SqlSyntaxError, compile_sql
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -134,14 +135,14 @@ DEFAULT_PAGE_SIZE = 100
 #: presence is a BAD_REQUEST, never a silent no-op
 _FOREIGN_FIELDS: dict[str, tuple[str, ...]] = {
     "filter": (
-        "code", "sql", "explain", "operation", "task_id", "target",
+        "code", "sql", "operation", "task_id", "target",
         "depth", "workflow_id",
     ),
     "pipeline": (
-        "filter", "sort", "limit", "sql", "explain", "operation",
+        "filter", "sort", "limit", "sql", "operation",
         "task_id", "target", "depth", "workflow_id",
     ),
-    "graph": ("filter", "sort", "limit", "code", "sql", "explain"),
+    "graph": ("filter", "sort", "limit", "code", "sql"),
     "sql": (
         "filter", "sort", "limit", "code", "operation", "task_id",
         "target", "depth", "workflow_id",
@@ -177,6 +178,14 @@ class ProvenanceGateway:
         self._requests: dict[str, int] = {}
         self._errors: dict[str, int] = {}
         self._latency: dict[str, _LatencyReservoir] = {}
+        #: operator-pushdown decisions for pipeline/sql executions:
+        #: counters keyed pushed:<mode> / fallback:<mode> / classic /
+        #: cache-hit, plus scatter-payload totals and the last decision
+        self._pushdown_decisions: dict[str, int] = {}
+        self._pushdown_totals: dict[str, int] = {
+            "rows_scanned": 0, "payload_docs": 0, "payload_cells": 0,
+        }
+        self._pushdown_last: dict[str, Any] | None = None
         #: admission controller of the serving transport, when one is
         #: attached — its shed/queue counters ride the stats reply
         self._admission: "AdmissionController | None" = None
@@ -353,6 +362,20 @@ class ProvenanceGateway:
                 "no historical store attached; filter/pipeline dialects "
                 "need a QueryAPI",
             )
+        if request.explain:
+            # the filter dialect has no pipeline to push; its explain is
+            # the store's own access plan (index/scan + shard routing)
+            detail: dict[str, Any] = {
+                "filter": s._plain(dict(request.filter or {})),
+                "plan": s._plain(self.query_api.explain(request.filter or {})),
+                "store_version": self._version(),
+            }
+            return QueryReply(
+                dialect=request.dialect,
+                kind="explain",
+                summary="explain: filter access plan",
+                scalar=detail,
+            )
         version = self._version()
         frame = self.query_api.to_frame(request.filter or {})
         if request.sort:
@@ -382,6 +405,8 @@ class ProvenanceGateway:
             pipeline = parse_query(request.code)
         except QuerySyntaxError as exc:
             return self._fail(ErrorCode.QUERY_SYNTAX, str(exc))
+        if request.explain:
+            return self._ir_explain(request, pipeline)
         return self._run_pipeline(request, pipeline)
 
     # sql dialect: SELECT text compiled onto the same query IR, so it
@@ -410,15 +435,18 @@ class ProvenanceGateway:
                 ErrorCode.BAD_REQUEST, str(exc), detail=exc.diagnostic()
             )
         if request.explain:
-            return self._sql_explain(request, pipeline)
+            return self._ir_explain(request, pipeline)
         return self._run_pipeline(request, pipeline)
 
-    def _sql_explain(
+    def _ir_explain(
         self, request: QueryRequest, pipeline: "qast.Pipeline"
     ) -> QueryReply | ErrorEnvelope:
         """Compile-then-plan without executing: the compiled IR, the
-        pushdown prefilter, the store's routing-aware plan for it, and
-        whether the shared cache already holds this pipeline's result."""
+        pushdown prefilter, the operator-pushdown plan (which steps run
+        shard-side vs at the coordinator), the store's routing-aware
+        plan, and whether the shared cache already holds this
+        pipeline's result.  Shared by the sql and pipeline dialects —
+        they compile onto the same IR, so they plan identically."""
         version = self._version()
         prefilter = pipeline_prefilter(pipeline)
         merged = merge_filters(self.base_filter, prefilter)
@@ -429,7 +457,6 @@ class ProvenanceGateway:
             and self.service.query_cache.peek(key, version)
         )
         detail: dict[str, Any] = {
-            "sql": request.sql,
             "pipeline": render_query(pipeline),
             "steps": pipeline.describe(),
             "pushdown": s._plain(prefilter),
@@ -437,6 +464,25 @@ class ProvenanceGateway:
             "cache": "hit" if cached else "miss",
             "store_version": version,
         }
+        if request.sql is not None:
+            detail["sql"] = request.sql
+        if request.code is not None:
+            detail["code"] = request.code
+        plan = (
+            plan_pushdown(pipeline, self.base_filter)
+            if getattr(self.query_api.database, "execute_partial", None)
+            else None
+        )
+        if plan is not None:
+            detail["pushdown_mode"] = plan.mode
+            detail["pushed_steps"] = list(plan.pushed_steps)
+            detail["coordinator_steps"] = list(plan.coordinator_steps)
+        else:
+            detail["pushdown_mode"] = None
+            detail["pushed_steps"] = []
+            detail["coordinator_steps"] = [
+                step_label(step) for step in pipeline.steps
+            ]
         return QueryReply(
             dialect=request.dialect,
             kind="explain",
@@ -459,6 +505,7 @@ class ProvenanceGateway:
             )
         except QueryExecutionError as exc:
             return self._fail(ErrorCode.QUERY_EXECUTION, str(exc))
+        self._record_pushdown(run)
         if isinstance(run.result, DataFrame):
             return self._frame_reply(
                 request, run.result, run.version, summary=run.summary
@@ -477,11 +524,46 @@ class ProvenanceGateway:
             scalar=s._plain(run.result),
         )
 
+    def _record_pushdown(self, run: Any) -> None:
+        """Fold one execution's pushdown decision into the stats counters."""
+        info = run.pushdown
+        if info is None:
+            key = "cache-hit" if run.cache_state == "hit" else "classic"
+        elif "fallback" in info:
+            key = f"fallback:{info['mode']}"
+        else:
+            key = f"pushed:{info['mode']}"
+        with self._lock:
+            self._pushdown_decisions[key] = (
+                self._pushdown_decisions.get(key, 0) + 1
+            )
+            if info is not None:
+                for stat in self._pushdown_totals:
+                    if stat in info:
+                        self._pushdown_totals[stat] += int(info[stat])
+                self._pushdown_last = dict(info)
+
     # graph dialect: structured traversal over the lineage index
     def _graph_query(self, request: QueryRequest) -> QueryReply | ErrorEnvelope:
         if not request.operation:
             return self._fail(
                 ErrorCode.BAD_REQUEST, "graph dialect needs an 'operation' field"
+            )
+        if request.explain:
+            # graph answers come straight from the in-memory lineage
+            # index — there is no scatter path and nothing to push down
+            return QueryReply(
+                dialect=request.dialect,
+                kind="explain",
+                summary=f"explain: graph {request.operation}",
+                scalar={
+                    "operation": request.operation,
+                    "source": "lineage-index",
+                    "pushdown_mode": None,
+                    "pushed_steps": [],
+                    "coordinator_steps": [f"graph:{request.operation}"],
+                    "index_version": self._graph_version(),
+                },
             )
         # graph answers come from the lineage index, so graph cursors
         # pin to ITS monotonic applied-document counter: an index update
@@ -566,6 +648,15 @@ class ProvenanceGateway:
                 name: reservoir.snapshot()
                 for name, reservoir in sorted(self._latency.items())
             }
+            pushdown = {
+                "decisions": dict(self._pushdown_decisions),
+                "totals": dict(self._pushdown_totals),
+                "last": (
+                    dict(self._pushdown_last)
+                    if self._pushdown_last is not None
+                    else None
+                ),
+            }
         reply = StatsReply(
             sessions=service_stats["sessions"],
             turns_completed=service_stats["turns_completed"],
@@ -575,6 +666,7 @@ class ProvenanceGateway:
             llm=service_stats["llm"],
             endpoints=endpoints,
             admission=admission.snapshot() if admission is not None else {},
+            pushdown=pushdown,
         )
         self._observe("stats", perf_counter() - started)
         return reply

@@ -616,7 +616,11 @@ class StatsReply:
     ``latency_p90_s`` / ``latency_p99_s`` / ``latency_max_s``);
     ``admission`` carries the transport's admission-control counters
     (accepted / rate_limited / overloaded / queued high watermark) when
-    an :class:`~repro.api.admission.AdmissionController` is attached.
+    an :class:`~repro.api.admission.AdmissionController` is attached;
+    ``pushdown`` carries per-query operator-pushdown decisions for the
+    pipeline/sql dialects (``decisions`` counters keyed
+    ``pushed:<mode>`` / ``fallback:<mode>`` / ``classic`` /
+    ``cache-hit``, scan/payload totals, and the ``last`` decision).
     """
 
     sessions: int
@@ -627,6 +631,7 @@ class StatsReply:
     llm: dict[str, Any] = field(default_factory=dict)
     endpoints: dict[str, Any] = field(default_factory=dict)
     admission: dict[str, Any] = field(default_factory=dict)
+    pushdown: dict[str, Any] = field(default_factory=dict)
 
     @classmethod
     def _parse(cls, data: Mapping[str, Any]) -> "StatsReply":
@@ -640,6 +645,7 @@ class StatsReply:
             llm=_dict(data, "llm") if "llm" in data else {},
             endpoints=_dict(data, "endpoints") if "endpoints" in data else {},
             admission=_dict(data, "admission") if "admission" in data else {},
+            pushdown=_dict(data, "pushdown") if "pushdown" in data else {},
         )
 
 

@@ -98,6 +98,10 @@ class Column:
         m = np.asarray(mask, dtype=bool)
         return Column._from_storage(self.name, self._data[m], self.dtype)
 
+    def slice(self, start: int, stop: int | None = None) -> "Column":
+        """Contiguous row window as a storage-level slice (no index list)."""
+        return Column._from_storage(self.name, self._data[start:stop], self.dtype)
+
     # -- null handling ---------------------------------------------------------
     def isna(self) -> np.ndarray:
         if self.dtype == dt.FLOAT:
@@ -214,11 +218,11 @@ class Column:
 
     def sum(self) -> float:
         v = self._valid("sum")
-        return float(v.sum()) if v.size else 0.0
+        return _exact_sum(v) if v.size else 0.0
 
     def mean(self) -> float | None:
         v = self._valid("mean")
-        return float(v.mean()) if v.size else None
+        return _exact_sum(v) / v.size if v.size else None
 
     def median(self) -> float | None:
         v = self._valid("median")
@@ -377,6 +381,23 @@ class StringAccessor:
 
     def len(self) -> Column:
         return self._col.apply(lambda v: len(v) if isinstance(v, str) else None)
+
+
+def _exact_sum(v: np.ndarray) -> float:
+    """Correctly rounded sum, independent of partitioning and order.
+
+    ``math.fsum`` makes SUM/AVG reproducible whether a column is summed
+    whole at the coordinator or as per-shard partials that are merged
+    later — numpy's pairwise summation rounds differently depending on
+    how the values are split.  Infinities (and the pathological case of
+    an exact total overflowing float64) keep numpy's answer.
+    """
+    if not np.isfinite(v).all():
+        return float(v.sum())
+    try:
+        return math.fsum(v)
+    except OverflowError:
+        return float(v.sum())
 
 
 def _hashable(v: Any) -> Any:

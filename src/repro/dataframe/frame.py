@@ -184,6 +184,17 @@ class DataFrame:
         cols = {n: c.take(idx) for n, c in self._cols.items()}
         return DataFrame._from_columns(cols, len(idx))
 
+    def islice(self, start: int, stop: int | None = None) -> "DataFrame":
+        """Contiguous row window ``[start:stop)`` as storage slices.
+
+        Cheaper than :meth:`take` for pagination-shaped access: no index
+        array is materialised and every column shares a slice view.
+        """
+        start = max(0, int(start))
+        stop = self._nrows if stop is None else max(start, int(stop))
+        cols = {n: c.slice(start, stop) for n, c in self._cols.items()}
+        return DataFrame._from_columns(cols, min(stop, self._nrows) - min(start, self._nrows))
+
     def head(self, n: int = 5) -> "DataFrame":
         n = max(0, int(n))
         return self.take(np.arange(min(n, self._nrows)))

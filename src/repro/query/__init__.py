@@ -15,7 +15,12 @@ keeps token usage independent of provenance volume).  This package defines:
   queries, the shared core of rule-based scoring and the simulated
   LLM-as-a-judge;
 * :mod:`repro.query.pushdown` — leading pipeline filters -> Mongo-style
-  prefilters answered by the provenance store's indexes;
+  prefilters answered by the provenance store's indexes, plus
+  :func:`~repro.query.pushdown.plan_pushdown`, which upgrades eligible
+  pipelines to full operator pushdown;
+* :mod:`repro.query.partial` — shard-side operator execution: partial
+  aggregation states, local top-k, projected payloads, and the exact
+  coordinator merge with its guarded fallback;
 * :mod:`repro.query.cache` — :class:`QueryCache`, the versioned query
   result cache fronting the Query API and the agent's database tool.
 
@@ -50,6 +55,14 @@ from repro.query.ast import (
     Unique,
 )
 from repro.query.cache import MISS, QueryCache, canonical_filter_key
+from repro.query.partial import (
+    Combined,
+    PushPlan,
+    ShardPartial,
+    combine_partials,
+    execute_plan_on_docs,
+)
+from repro.query.pushdown import plan_pushdown
 from repro.query.parser import parse_query
 from repro.query.render import render_query
 from repro.query.executor import execute_query
@@ -88,4 +101,10 @@ __all__ = [
     "QueryCache",
     "canonical_filter_key",
     "MISS",
+    "PushPlan",
+    "ShardPartial",
+    "Combined",
+    "plan_pushdown",
+    "combine_partials",
+    "execute_plan_on_docs",
 ]

@@ -334,6 +334,42 @@ class Pipeline:
                 out |= set(s.subset)
         return out
 
+    def required_fields(self) -> set[str] | None:
+        """Columns the *source* frame must provide, or ``None`` for all.
+
+        A backward pass over the steps: each step's referenced columns
+        are added to the need-set, and steps that *replace* the frame's
+        column space (``Project``, ``GroupAgg``, terminals) reset it to
+        exactly what they consume.  ``None`` means the final result
+        exposes whatever columns the source has (no projection narrows
+        it), so nothing can be pruned.  Used by projection pushdown:
+        shards may drop any column outside this set without changing
+        the pipeline's observable behaviour.
+        """
+        need: set[str] | None = None  # None = every source column
+        for s in reversed(self.steps):
+            if isinstance(s, Filter):
+                if need is not None:
+                    need |= predicate_fields(s.predicate)
+            elif isinstance(s, Sort):
+                if need is not None:
+                    need |= set(s.keys)
+            elif isinstance(s, Project):
+                need = set(s.columns)
+            elif isinstance(s, GroupAgg):
+                need = set(s.keys) | {s.column}
+            elif isinstance(s, (Agg, Unique)):
+                need = {s.column}
+            elif isinstance(s, RowCount):
+                need = set()
+            elif isinstance(s, DropDuplicates):
+                if not s.subset:
+                    need = None  # dedup over all columns: nothing prunable
+                elif need is not None:
+                    need |= set(s.subset)
+            # Head/Tail/Skip reference no columns
+        return need
+
     def combined_predicate_normal_form(self) -> frozenset:
         """All filters folded together, order-insensitively."""
         parts: frozenset = frozenset()

@@ -23,7 +23,8 @@ from typing import Any, Hashable, Mapping
 from repro.query import ast as q
 from repro.query.cache import MISS, QueryCache, canonical_filter_key
 from repro.query.executor import execute_query
-from repro.query.pushdown import merge_filters, pipeline_prefilter
+from repro.query.partial import combine_partials
+from repro.query.pushdown import merge_filters, pipeline_prefilter, plan_pushdown
 
 __all__ = [
     "PipelineRun",
@@ -71,6 +72,12 @@ class PipelineRun:
     result: Any
     cache_state: str  # "hit" | "miss"
     version: int | None  # store version the result is pinned to
+    #: operator-pushdown decision for this execution: ``None`` when the
+    #: backend has no ``execute_partial`` / the query hit the cache /
+    #: pushdown was disabled; otherwise ``mode``/``pushed_steps``/
+    #: ``coordinator_steps`` plus merge stats, with a ``fallback``
+    #: reason when the classic path had to answer instead
+    pushdown: dict[str, Any] | None = None
 
 
 def run_cached_pipeline(
@@ -81,8 +88,16 @@ def run_cached_pipeline(
     base_filter_key: Hashable | None = None,
     cache: QueryCache | None = None,
     pushdown: bool = True,
+    operator_pushdown: bool = True,
 ) -> PipelineRun:
     """Execute ``pipeline`` over the store with caching and pushdown.
+
+    ``pushdown`` controls predicate pushdown (prefilter + shard
+    routing); ``operator_pushdown`` additionally lets backends exposing
+    ``execute_partial`` fold terminal aggregations, top-k selection,
+    and column projection shard-side, with a guarded fallback to the
+    classic gather-everything path whenever the merge cannot reproduce
+    the single-store answer exactly.
 
     Raises :class:`~repro.errors.QueryExecutionError` on failure (never
     caches one).
@@ -106,6 +121,30 @@ def run_cached_pipeline(
             # poison later hits (frames/scalars are immutable)
             result = list(result) if isinstance(result, list) else result
             return PipelineRun(summary, result, "hit", version)
+    push_info: dict[str, Any] | None = None
+    if pushdown and operator_pushdown:
+        runner = getattr(query_api.database, "execute_partial", None)
+        plan = plan_pushdown(pipeline, base_filter) if runner else None
+        if plan is not None:
+            push_info = {
+                "mode": plan.mode,
+                "pushed_steps": list(plan.pushed_steps),
+                "coordinator_steps": list(plan.coordinator_steps),
+            }
+            try:
+                combined = combine_partials(plan, runner(plan))
+            except Exception:  # noqa: BLE001 - classic path reproduces errors
+                combined, push_info["fallback"] = None, "scatter failed"
+            if combined is not None and combined.ok:
+                result = combined.result
+                push_info.update(combined.stats)
+                summary = describe_result(result)
+                if key is not None:
+                    stored = list(result) if isinstance(result, list) else result
+                    cache.put(key, version, (summary, stored))
+                return PipelineRun(summary, result, "miss", version, push_info)
+            if combined is not None:
+                push_info["fallback"] = combined.reason or "unsupported"
     prefilter = pipeline_prefilter(pipeline) if pushdown else {}
     frame = query_api.to_frame(merge_filters(base_filter, prefilter))
     from repro.errors import QueryExecutionError
@@ -124,4 +163,4 @@ def run_cached_pipeline(
     if key is not None:
         stored = list(result) if isinstance(result, list) else result
         cache.put(key, version, (summary, stored))
-    return PipelineRun(summary, result, "miss", version)
+    return PipelineRun(summary, result, "miss", version, push_info)

@@ -93,7 +93,7 @@ def execute_query(pipeline: q.Pipeline, frame: DataFrame) -> Any:
             elif isinstance(step, q.Tail):
                 current = current.tail(step.n)
             elif isinstance(step, q.Skip):
-                current = current.take(list(range(step.n, len(current))))
+                current = current.islice(max(0, step.n))
             elif isinstance(step, q.GroupAgg):
                 gb = current.groupby(list(step.keys))
                 current = gb[step.column].agg(step.agg)

@@ -30,7 +30,7 @@ from typing import Any, Mapping
 
 from repro.query import ast as q
 
-__all__ = ["pipeline_prefilter", "merge_filters"]
+__all__ = ["pipeline_prefilter", "merge_filters", "plan_pushdown"]
 
 #: Steps that do not change which rows exist; the pushdown walk may pass
 #: them.  Anything else ends the pushable prefix.
@@ -168,3 +168,252 @@ def merge_filters(
     if base.keys() & extra.keys():
         return {"$and": [base, extra]}
     return {**base, **extra}
+
+
+# ---------------------------------------------------------------------------
+# Operator pushdown planning
+# ---------------------------------------------------------------------------
+#
+# Beyond the prefilter, three pipeline shapes can run (mostly) shard-side
+# and ship partials instead of documents:
+#
+# * ``partial``  — ``(Filter|Project|Sort)* (RowCount|Agg|Unique|GroupAgg)
+#   suffix*``: shards fold the terminal into a partial state (count,
+#   exact sum partials, min/max, seq-stamped first/last, per-group
+#   states) and the coordinator merges them exactly;
+# * ``topk``     — ``(Filter|Project|Sort)* Skip* (Head|Tail) suffix*``:
+#   shards replay filters+sorts and return only their local top
+#   ``sum(skips)+n`` rows; the coordinator k-way-merges candidates by
+#   global sequence and re-runs the full pipeline over them;
+# * ``project``  — anything with a non-trivial ``required_fields()``:
+#   shards strip documents to the columns the pipeline can observe.
+#
+# Planning is purely structural; all data-dependent hazards (dtype
+# divergence, 2**53 ints, missing columns) are guarded at combine time
+# by :func:`repro.query.partial.combine_partials`, which falls back to
+# the classic path rather than risk a divergent answer.
+
+from repro.query.partial import (  # noqa: E402  (import cycle: none — partial never imports pushdown)
+    DECOMPOSABLE_AGGS,
+    ORDER_INSENSITIVE_AGGS,
+    PushPlan,
+    step_label,
+)
+
+_PREFIX_STEPS = (q.Filter, q.Project, q.Sort)
+
+
+def _statically_resolvable(pipeline: q.Pipeline) -> bool:
+    """False when a step references a column an earlier step removed.
+
+    Those pipelines raise on the classic path; the shard-side plans
+    would silently skip the offending step, so they are never planned.
+    """
+    avail: set[str] | None = None  # None = unknown source columns
+    for s in pipeline.steps:
+        if isinstance(s, q.Filter):
+            refs = q.predicate_fields(s.predicate)
+        elif isinstance(s, q.Sort):
+            refs = set(s.keys)
+        elif isinstance(s, q.Project):
+            refs = set(s.columns)
+        elif isinstance(s, q.GroupAgg):
+            refs = set(s.keys) | {s.column}
+        elif isinstance(s, (q.Agg, q.Unique)):
+            refs = {s.column}
+        elif isinstance(s, q.DropDuplicates):
+            refs = set(s.subset)
+        else:
+            refs = set()
+        if avail is not None and not refs <= avail:
+            return False
+        if isinstance(s, q.Project):
+            avail = set(s.columns)
+        elif isinstance(s, q.GroupAgg):
+            avail = set(s.keys) | {s.column}
+    return True
+
+
+def _plan_partial(
+    pipeline: q.Pipeline, filt: dict[str, Any]
+) -> PushPlan | None:
+    steps = pipeline.steps
+    term_at = next(
+        (
+            i
+            for i, s in enumerate(steps)
+            if isinstance(s, (q.RowCount, q.Agg, q.Unique, q.GroupAgg))
+        ),
+        None,
+    )
+    if term_at is None:
+        return None
+    term = steps[term_at]
+    prefix, suffix = steps[:term_at], steps[term_at + 1 :]
+    if not all(isinstance(s, _PREFIX_STEPS) for s in prefix):
+        return None
+    # a Sort in the prefix is skippable only when the terminal ignores
+    # row order entirely (Unique, GroupAgg emission order, and
+    # first/last are all order-sensitive)
+    sorts = [s for s in prefix if isinstance(s, q.Sort)]
+    if sorts and not (
+        isinstance(term, q.RowCount)
+        or (isinstance(term, q.Agg) and term.agg in ORDER_INSENSITIVE_AGGS)
+    ):
+        return None
+    agg = getattr(term, "agg", None)
+    if agg is not None and agg not in DECOMPOSABLE_AGGS:
+        return None
+
+    filters = [s for s in prefix if isinstance(s, q.Filter)]
+    filter_fields: set[str] = set()
+    for f in filters:
+        filter_fields |= q.predicate_fields(f.predicate)
+    if isinstance(term, q.GroupAgg):
+        term_fields = set(term.keys) | {term.column}
+        guard_types = tuple(sorted(term_fields))
+    elif isinstance(term, (q.Agg, q.Unique)):
+        term_fields = {term.column}
+        guard_types = (term.column,)
+    else:
+        term_fields, guard_types = set(), ()
+    # columns only touched by steps that are *skipped* shard-side:
+    # their absence must still raise via the classic path
+    present: set[str] = {k for s in sorts for k in s.keys}
+    for s in prefix:
+        if isinstance(s, q.Project):
+            present |= set(s.columns)
+    local_columns = tuple(sorted(filter_fields | term_fields))
+    fields = tuple(sorted(filter_fields | term_fields | present))
+
+    pushed = tuple(step_label(s) for s in filters) + (
+        f"partial:{step_label(term)}",
+    )
+    coordinator = (f"merge:{step_label(term)}",) + tuple(
+        step_label(s) for s in suffix
+    )
+    return PushPlan(
+        mode="partial",
+        filter=filt,
+        pipeline=pipeline,
+        fields=fields,
+        local_columns=local_columns,
+        local_steps=tuple(filters),
+        terminal=term,
+        suffix=tuple(suffix),
+        guard_types=guard_types,
+        filter_fields=tuple(sorted(filter_fields)),
+        present_fields=tuple(sorted(present - filter_fields - term_fields)),
+        group_fields=tuple(term.keys) if isinstance(term, q.GroupAgg) else (),
+        value_field=getattr(term, "column", None),
+        agg=agg,
+        pushed_steps=pushed,
+        coordinator_steps=coordinator,
+    )
+
+
+def _plan_topk(pipeline: q.Pipeline, filt: dict[str, Any]) -> PushPlan | None:
+    steps = pipeline.steps
+    i = 0
+    while i < len(steps) and isinstance(steps[i], _PREFIX_STEPS):
+        i += 1
+    skip_total = 0
+    j = i
+    while j < len(steps) and isinstance(steps[j], q.Skip):
+        skip_total += max(0, steps[j].n)
+        j += 1
+    if j >= len(steps):
+        return None
+    limit = steps[j]
+    if isinstance(limit, q.Head):
+        fetch = ("head", skip_total + max(0, limit.n))
+    elif isinstance(limit, q.Tail) and j == i:
+        # Skip-then-Tail needs the global row count to resolve; not pushed
+        fetch = ("tail", max(0, limit.n))
+    else:
+        return None
+    if not any(isinstance(s, q.Sort) for s in steps[:i]):
+        # unsorted Head/Tail is pure pagination — the project plan (or
+        # classic path) handles it; shipping per-shard candidates would
+        # still be correct but saves nothing over projection
+        return None
+
+    prefix = steps[:i]
+    local_steps = tuple(
+        s for s in prefix if isinstance(s, (q.Filter, q.Sort))
+    )
+    filter_fields: set[str] = set()
+    sort_fields: set[str] = set()
+    for s in prefix:
+        if isinstance(s, q.Filter):
+            filter_fields |= q.predicate_fields(s.predicate)
+        elif isinstance(s, q.Sort):
+            sort_fields |= set(s.keys)
+    req = pipeline.required_fields()
+    fields = tuple(sorted(req)) if req else None
+    present: set[str] = set()
+    for s in prefix:
+        if isinstance(s, q.Project):
+            present |= set(s.columns)
+
+    pushed = tuple(step_label(s) for s in local_steps) + (
+        f"local-{fetch[0]}({fetch[1]})",
+    )
+    coordinator = ("k-way-merge",) + tuple(step_label(s) for s in steps)
+    return PushPlan(
+        mode="topk",
+        filter=filt,
+        pipeline=pipeline,
+        fields=fields,
+        local_columns=tuple(sorted(filter_fields | sort_fields)),
+        local_steps=local_steps,
+        fetch=fetch,
+        guard_types=tuple(sorted(sort_fields)),
+        filter_fields=tuple(sorted(filter_fields)),
+        present_fields=tuple(
+            sorted(present - filter_fields - sort_fields)
+        ),
+        sort_fields=tuple(sorted(sort_fields)),
+        pushed_steps=pushed,
+        coordinator_steps=coordinator,
+    )
+
+
+def _plan_project(
+    pipeline: q.Pipeline, filt: dict[str, Any]
+) -> PushPlan | None:
+    req = pipeline.required_fields()
+    if not req:
+        # None: every source column is observable; empty set would ship
+        # zero-column documents that cannot rebuild a row count
+        return None
+    fields = tuple(sorted(req))
+    return PushPlan(
+        mode="project",
+        filter=filt,
+        pipeline=pipeline,
+        fields=fields,
+        pushed_steps=(f"project[{len(fields)} cols]",),
+        coordinator_steps=tuple(step_label(s) for s in pipeline.steps),
+    )
+
+
+def plan_pushdown(
+    pipeline: q.Pipeline, base_filter: Mapping[str, Any] | None = None
+) -> PushPlan | None:
+    """Choose the best shard-side plan for a pipeline, or ``None``.
+
+    Preference order: fold to partials (smallest payload), then local
+    top-k (k docs per shard), then projection (all docs, fewer
+    columns).  ``None`` means the classic gather-everything path is the
+    only correct strategy; callers must also treat it as the universal
+    fallback whenever a returned plan's combine refuses.
+    """
+    if not pipeline.steps or not _statically_resolvable(pipeline):
+        return None
+    filt = merge_filters(base_filter, pipeline_prefilter(pipeline))
+    return (
+        _plan_partial(pipeline, filt)
+        or _plan_topk(pipeline, filt)
+        or _plan_project(pipeline, filt)
+    )

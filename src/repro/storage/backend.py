@@ -59,6 +59,19 @@ class StorageBackend(Protocol):
       recovery (the *recovery epoch bump*), so a version observed
       before a crash is guaranteed never to be observed again after
       one, even when every acknowledged write survived.
+
+    **Optional capability — operator pushdown.**  A backend *may*
+    additionally expose ``execute_partial(plan) -> list[ShardPartial]``
+    (see :mod:`repro.query.partial`): given a
+    :class:`~repro.query.partial.PushPlan` it runs the plan's filters
+    and terminal decomposition locally and returns partial states
+    instead of documents.  The query engine probes for the method with
+    ``getattr`` and silently uses the classic ``find`` + gather path
+    when it is absent, so third-party backends keep working unchanged;
+    the sharded coordinator likewise falls back per shard via
+    :func:`repro.query.partial.execute_plan_on_docs` over ``find``.
+    Implementations must answer for exactly the documents ``find``
+    would return for ``plan.filter``.
     """
 
     # -- writes ---------------------------------------------------------------

@@ -575,6 +575,10 @@ class DurableStore:
     def aggregate(self, pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
         return self._inner.aggregate(pipeline)
 
+    def execute_partial(self, plan: Any) -> list[Any]:
+        """Delegated pushdown execution — reads live in the inner store."""
+        return self._inner.execute_partial(plan)
+
     def export_state(self) -> tuple[list[dict[str, Any]], dict[str, int]]:
         """Delegated state export (snapshots, sharded routing rebuild)."""
         return self._inner.export_state()

@@ -815,6 +815,21 @@ class ProvenanceDatabase:
         out = self.find(filt, limit=1)
         return out[0] if out else None
 
+    def execute_partial(self, plan: Any) -> list[Any]:
+        """Run a pushdown plan locally: one partial for the whole store.
+
+        Optional-capability entry point (see ``StorageBackend``): the
+        query engine folds terminal aggregations, local top-k, and
+        column projection into the store instead of gathering full
+        documents.  Documents are snapshotted by reference under the
+        lock exactly like :meth:`find`, then processed outside it.
+        """
+        from repro.query.partial import execute_plan_on_docs
+
+        with self._lock:
+            docs = self._execute_filter(plan.filter or {})
+        return [execute_plan_on_docs(docs, plan)]
+
     def count(self, filt: Mapping[str, Any] | None = None) -> int:
         with self._lock:
             return len(self._execute_filter(filt or {}))

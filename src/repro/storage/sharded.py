@@ -580,6 +580,34 @@ class ShardedProvenanceStore:
         targets, _ = self._targets(filt)
         return sum(self._map_shards(lambda s: self.shards[s].count(filt), targets))
 
+    def execute_partial(self, plan: Any) -> list[Any]:
+        """Scatter a pushdown plan: one ``ShardPartial`` per targeted shard.
+
+        The plan's filter routes exactly like :meth:`find` (an equality
+        on the routing key still prunes shards), and each shard folds
+        its terminal aggregation / local top-k / projection locally so
+        only partial states or candidate documents cross the gather
+        boundary.  Shards without a native ``execute_partial`` — e.g. a
+        third-party backend mounted as a shard — are driven through
+        plain ``find()``, the documented capability fallback.
+        """
+        from repro.query.partial import execute_plan_on_docs
+
+        filt = plan.filter or {}
+        validate_filter(filt)
+        targets, _ = self._targets(filt)
+
+        def run(s: int) -> Any:
+            shard = self.shards[s]
+            native = getattr(shard, "execute_partial", None)
+            if native is not None:
+                parts = native(plan)
+                if parts:
+                    return parts[0]
+            return execute_plan_on_docs(shard.find(filt), plan)
+
+        return self._map_shards(run, targets)
+
     def distinct(self, path: str, filt: Mapping[str, Any] | None = None) -> list[Any]:
         """Distinct non-null values (same set as single-node; emission
         order groups by shard rather than global insertion)."""

@@ -1,0 +1,166 @@
+"""Per-query operator-pushdown decisions in the gateway's stats surface.
+
+Every executed pipeline/sql query records one decision —
+``pushed:<mode>``, ``fallback:<mode>``, ``classic``, or ``cache-hit`` —
+plus scatter-payload totals and the last decision's detail, all
+published through ``stats()`` and the ``gateway-stats`` MCP resource.
+Explain requests plan without executing, so they must never move the
+counters; the filter and graph dialects gained routing-aware explains
+of their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.mcp.client import MCPClient
+from repro.agent.service import AgentService
+from repro.api.client import GatewayClient
+from repro.api.gateway import ProvenanceGateway
+from repro.api.schemas import QueryRequest
+from repro.capture.context import CaptureContext
+from repro.llm.service import LLMServer
+from repro.provenance.query_api import QueryAPI
+from repro.storage import ShardedProvenanceStore
+from tests.api.conftest import task_doc
+
+MEAN = "df['duration'].mean()"
+
+
+@pytest.fixture
+def sharded_stack():
+    """The api-test stack, but over a 4-shard store."""
+    store = ShardedProvenanceStore(4)
+    store.upsert_many([task_doc(i) for i in range(20)])
+    ctx = CaptureContext()
+    service = AgentService(ctx, llm=LLMServer(), query_api=QueryAPI(store))
+    ctx.broker.publish_batch("provenance.task", store.all())
+    gateway = ProvenanceGateway(service)
+    client = GatewayClient(gateway)
+    yield service, gateway, client
+    service.close()
+
+
+class TestDecisionCounters:
+    def test_pushed_execution_is_counted_with_totals_and_last(
+        self, sharded_stack
+    ):
+        _, _, client = sharded_stack
+        reply = client.query(QueryRequest(dialect="pipeline", code=MEAN))
+        assert reply.kind == "scalar"
+        pushdown = client.stats().pushdown
+        assert pushdown["decisions"] == {"pushed:partial": 1}
+        assert pushdown["totals"]["rows_scanned"] == 20
+        assert pushdown["last"]["mode"] == "partial"
+        assert pushdown["last"]["pushed_steps"]
+
+    def test_repeat_query_counts_a_cache_hit(self, sharded_stack):
+        _, _, client = sharded_stack
+        client.query(QueryRequest(dialect="pipeline", code=MEAN))
+        client.query(QueryRequest(dialect="pipeline", code=MEAN))
+        decisions = client.stats().pushdown["decisions"]
+        assert decisions.get("pushed:partial") == 1
+        assert decisions.get("cache-hit") == 1
+
+    def test_unplannable_pipeline_counts_classic(self, sharded_stack):
+        _, _, client = sharded_stack
+        client.query(
+            QueryRequest(dialect="pipeline", code="df.sort_values('duration')")
+        )
+        assert client.stats().pushdown["decisions"].get("classic") == 1
+
+    def test_refused_combine_counts_a_fallback_with_reason(
+        self, sharded_stack
+    ):
+        _, _, client = sharded_stack
+        # zero matching rows: the combine refuses and the classic path
+        # answers (with 0), so the reply is still correct
+        reply = client.query(
+            QueryRequest(
+                dialect="pipeline",
+                code="len(df[df['status'] == 'NO-SUCH-STATUS'])",
+            )
+        )
+        assert reply.scalar == 0
+        pushdown = client.stats().pushdown
+        assert pushdown["decisions"].get("fallback:partial") == 1
+        assert pushdown["last"]["fallback"] == "no matching rows"
+
+    def test_sql_dialect_shares_the_same_counters(self, sharded_stack):
+        _, _, client = sharded_stack
+        client.sql("SELECT COUNT(*) FROM tasks")
+        client.sql("SELECT status, COUNT(task_id) FROM tasks GROUP BY status")
+        decisions = client.stats().pushdown["decisions"]
+        assert decisions.get("pushed:partial") == 2
+
+    def test_explain_never_moves_the_counters(self, sharded_stack):
+        _, _, client = sharded_stack
+        client.sql("SELECT COUNT(*) FROM tasks", explain=True)
+        client.query(
+            QueryRequest(dialect="pipeline", code=MEAN, explain=True)
+        )
+        assert client.stats().pushdown["decisions"] == {}
+
+    def test_single_node_stack_pushes_down_too(self, client):
+        # the default api-test stack runs the in-memory store, which
+        # also exposes execute_partial (shards == 1)
+        client.query(QueryRequest(dialect="pipeline", code=MEAN))
+        pushdown = client.stats().pushdown
+        assert pushdown["decisions"].get("pushed:partial") == 1
+        assert pushdown["last"]["shards"] == 1
+
+
+class TestStatsResource:
+    def test_gateway_stats_resource_carries_pushdown(self, sharded_stack):
+        service, _, client = sharded_stack
+        client.query(QueryRequest(dialect="pipeline", code=MEAN))
+        payload = MCPClient(service.mcp).read_resource("gateway-stats")
+        assert payload["pushdown"]["decisions"]["pushed:partial"] == 1
+        assert payload["pushdown"]["totals"]["rows_scanned"] == 20
+        # the serving snapshot follows the front door and agrees
+        serving = MCPClient(service.mcp).read_resource("serving-stats")
+        assert serving["pushdown"] == payload["pushdown"]
+
+
+class TestDialectExplains:
+    def test_pipeline_explain_reports_the_plan_split(self, sharded_stack):
+        _, _, client = sharded_stack
+        reply = client.query(
+            QueryRequest(
+                dialect="pipeline",
+                code="df.groupby('status')['duration'].mean()",
+                explain=True,
+            )
+        )
+        assert reply.kind == "explain"
+        detail = reply.scalar
+        assert detail["pushdown_mode"] == "partial"
+        assert any(s.startswith("partial:") for s in detail["pushed_steps"])
+        assert any(
+            s.startswith("merge:") for s in detail["coordinator_steps"]
+        )
+
+    def test_filter_explain_is_the_store_access_plan(self, sharded_stack):
+        _, _, client = sharded_stack
+        reply = client.query(
+            QueryRequest(
+                dialect="filter",
+                filter={"workflow_id": "wf-1"},
+                explain=True,
+            )
+        )
+        assert reply.kind == "explain"
+        detail = reply.scalar
+        assert detail["filter"] == {"workflow_id": "wf-1"}
+        assert "plan" in detail and "store_version" in detail
+
+    def test_graph_explain_names_the_lineage_index(self, sharded_stack):
+        _, _, client = sharded_stack
+        reply = client.query(
+            QueryRequest(dialect="graph", operation="roots", explain=True)
+        )
+        assert reply.kind == "explain"
+        detail = reply.scalar
+        assert detail["source"] == "lineage-index"
+        assert detail["pushdown_mode"] is None
+        assert detail["coordinator_steps"] == ["graph:roots"]

@@ -70,3 +70,36 @@ class TestPushdown:
     def test_leading_filter_before_skip_still_pushes_down(self):
         pipeline = parse_query("df[df['duration'] > 2].iloc[1:]")
         assert pipeline_prefilter(pipeline) == {"duration": {"$gt": 2}}
+
+
+class TestSliceSemantics:
+    """The executor takes skips as storage slices (frame.islice), not
+    index arrays; clamping must match the iloc[n:] contract exactly."""
+
+    def test_skip_zero_is_identity(self, frame):
+        result = execute_query(q.Pipeline((Skip(0),)), frame)
+        assert [r["task_id"] for r in result.to_dicts()] == [
+            f"t{i}" for i in range(10)
+        ]
+
+    def test_negative_skip_clamps_to_zero(self, frame):
+        # the parser rejects iloc[-2:], but SQL OFFSET and hand-built
+        # IR can still carry a negative n
+        result = execute_query(q.Pipeline((Skip(-3),)), frame)
+        assert len(result) == 10
+
+    def test_islice_window(self, frame):
+        window = frame.islice(2, 5)
+        assert [r["task_id"] for r in window.to_dicts()] == ["t2", "t3", "t4"]
+
+    def test_islice_open_end_and_clamps(self, frame):
+        assert len(frame.islice(8)) == 2
+        assert len(frame.islice(0)) == 10
+        assert len(frame.islice(-4)) == 10      # start clamps up to 0
+        assert len(frame.islice(5, 3)) == 0     # stop clamps up to start
+        assert len(frame.islice(99)) == 0
+
+    def test_islice_preserves_dtypes(self, frame):
+        window = frame.islice(3, 7)
+        assert window.column("duration").dtype == frame.column("duration").dtype
+        assert window.column("duration").to_list() == [3.0, 4.0, 5.0, 6.0]

@@ -217,8 +217,8 @@ class TestForeignFields:
                 "sql",
             ),
             (
-                QueryRequest(dialect="filter", filter={}, explain=True),
-                "explain",
+                QueryRequest(dialect="filter", filter={}, code="df"),
+                "code",
             ),
         ],
     )
@@ -241,6 +241,11 @@ class TestExplain:
         assert detail["cache"] == "miss"
         assert "store_version" in detail
         assert detail["pushdown"] == {"workflow_id": "wf-1"}
+        # operator pushdown: the projection plan runs shard-side, the
+        # pipeline itself replays at the coordinator over pruned docs
+        assert detail["pushdown_mode"] == "project"
+        assert detail["pushed_steps"]
+        assert detail["coordinator_steps"]
 
     def test_explain_is_cache_aware_and_non_distorting(self, stack):
         service, gateway, client = stack
