@@ -27,6 +27,9 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["provlint=repro.analysis.__main__:main"],
+    },
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
     },

@@ -95,7 +95,9 @@ class GuidelineStore:
         self._user: list[Guideline] = []
 
     def add_user_guideline(self, text: str, key: str | None = None) -> Guideline:
-        g = Guideline(key or f"user-{len(self._user) + 1}", text.strip(), True)
+        if key is None:
+            key = f"user-{len(self._user) + 1}"
+        g = Guideline(key, text.strip(), True)
         self._user.append(g)
         return g
 

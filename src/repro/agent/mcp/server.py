@@ -128,6 +128,6 @@ def _jsonable(value: Any) -> Any:
 
             if is_dataclass(value):
                 return asdict(value)
-        except Exception:  # noqa: BLE001
+        except Exception:  # noqa: BLE001; provlint: disable=exception-contract - close() is best-effort
             pass
     return value

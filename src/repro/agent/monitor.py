@@ -57,7 +57,7 @@ class ContextMonitor:
             return False
 
         rule = MonitorRule(
-            name=name or f"every-{n}-messages:{tool.name}",
+            name=name if name is not None else f"every-{n}-messages:{tool.name}",
             condition=condition,
             tool=tool,
             kwargs=kwargs,

@@ -99,6 +99,6 @@ class ToolRouter:
                 for intent in Intent:
                     if intent.value == name:
                         return intent
-            except Exception:  # noqa: BLE001 - fall back to rules
+            except Exception:  # noqa: BLE001; provlint: disable=exception-contract - fall back to rules
                 pass
         return Intent.MONITORING_QUERY

@@ -229,8 +229,16 @@ class AgentService:
     ) -> AgentSession:
         recorder = AgentProvenanceRecorder(
             self.capture_context,
-            agent_id=agent_id or f"{self.agent_id}/{session_id}",
-            workflow_id=workflow_id or f"agent-session/{session_id}",
+            agent_id=(
+                agent_id
+                if agent_id is not None
+                else f"{self.agent_id}/{session_id}"
+            ),
+            workflow_id=(
+                workflow_id
+                if workflow_id is not None
+                else f"agent-session/{session_id}"
+            ),
         )
         session = AgentSession(
             session_id,
@@ -398,7 +406,7 @@ class AgentService:
         for hook in hooks:
             try:
                 hook()
-            except Exception:  # noqa: BLE001 - a transport's failure to
+            except Exception:  # noqa: BLE001; provlint: disable=exception-contract - a transport's failure to
                 pass  # drain must not stop the service from closing
         with self._pool_lock:
             if self._closed:
@@ -586,6 +594,7 @@ class AgentService:
             # the graph tool's summary already names the traversal shape
             # ("4 task(s) upstream of ..."), which beats a generic row dump
             table = data if isinstance(data, DataFrame) else None
+            # provlint: disable=falsy-or-default - an empty summary means "compute one"
             text = (result.summary or summarize(data, message)).rstrip(".") + "."
             text = text[0].upper() + text[1:]
         else:

@@ -1,0 +1,48 @@
+"""provlint: project-invariant static analysis for this codebase.
+
+Generic linters check style; this package checks the *invariants this
+repository's history proved it needs*.  Two real bugs came from the
+``x or Default()`` falsy-default idiom (the PR 6 ``QueryCache`` sharing
+bug, re-audited across eight sites in PR 7), and the broker /
+sharded-store / admission layers all depend on a hand-enforced "never
+call out while holding a lock" discipline (PR 4's broker restructure).
+Reviewer memory does not scale with the codebase; these rules do.
+
+The framework is ~stdlib-``ast`` only:
+
+* a rule registry (:mod:`repro.analysis.registry`) — each rule is a
+  class with a stable id, a rationale, and a ``check(project)`` hook;
+* a project model (:mod:`repro.analysis.project`) — every file parsed
+  once, shared by all rules;
+* a cross-module call graph (:mod:`repro.analysis.callgraph`) — so the
+  lock-discipline rule sees a blocking call *reachable through helper
+  functions*, not just lexically inside a ``with self._lock:`` body;
+* structured findings with ``file:line``, rule id and a fix hint
+  (:mod:`repro.analysis.findings`);
+* inline suppressions — ``# provlint: disable=RULE`` — with an
+  unused-suppression check (:mod:`repro.analysis.suppressions`);
+* a committed baseline for grandfathered findings
+  (:mod:`repro.analysis.baseline`).
+
+Run it as ``python -m repro.analysis --check src`` (the CI gate) or via
+the ``provlint`` console script.  See ``docs/static_analysis.md`` for
+the rule catalogue and the historical bug each rule encodes.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import AnalysisResult, run_analysis
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "Project",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "run_analysis",
+]

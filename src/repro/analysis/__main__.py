@@ -1,0 +1,189 @@
+"""provlint CLI: ``python -m repro.analysis [--check] <paths>``.
+
+Modes:
+
+* default — report all new findings; exit 1 if there are any;
+* ``--check`` — the CI gate: additionally fail on unused suppressions,
+  stale baseline entries and unparseable files, so the suppression and
+  baseline machinery can never silently rot;
+* ``--update-baseline`` — rewrite the baseline file to grandfather the
+  current findings (notes on surviving entries are preserved);
+* ``--list-rules`` — print the rule catalogue with the historical bug
+  each rule encodes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import AnalysisResult, run_analysis
+from repro.analysis.registry import all_rules
+
+DEFAULT_BASELINE = "provlint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="provlint",
+        description=(
+            "project-invariant static analysis: lock discipline, falsy "
+            "defaults, exception contracts, schema discipline, WAL writes"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyse"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "strict gate: also fail on unused suppressions, stale "
+            "baseline entries and parse errors (the CI mode)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather the current findings",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="PATH",
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules(out) -> int:
+    for rule in all_rules():
+        print(f"{rule.id}", file=out)
+        print(f"    {rule.summary}", file=out)
+        if rule.rationale:
+            print(f"    history: {rule.rationale}", file=out)
+    return 0
+
+
+def _report_text(result: AnalysisResult, check: bool, out) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=out)
+    for path, error in result.parse_errors:
+        print(f"{path}:0:0: [parse-error] {error}", file=out)
+    if check:
+        for sup, rule_id in result.unused_suppressions:
+            print(
+                f"{sup.path}:{sup.comment_line}:0: [unused-suppression] "
+                f"'disable={rule_id}' silenced nothing — remove it or fix "
+                f"the marker placement",
+                file=out,
+            )
+        for entry in result.stale_baseline:
+            print(
+                f"{entry.path}:{entry.line}:0: [stale-baseline] "
+                f"[{entry.rule}] {entry.snippet!r} no longer fires — "
+                f"remove the entry (or run --update-baseline)",
+                file=out,
+            )
+    counts = (
+        f"provlint: {len(result.findings)} finding(s), "
+        f"{len(result.grandfathered)} baselined, "
+        f"{len(result.suppressed)} suppressed"
+    )
+    if check:
+        counts += (
+            f", {len(result.unused_suppressions)} unused suppression(s), "
+            f"{len(result.stale_baseline)} stale baseline entr(ies)"
+        )
+    print(counts, file=out)
+
+
+def _report_json(result: AnalysisResult, check: bool, out) -> None:
+    def finding_dict(finding):
+        data = {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "hint": finding.hint,
+            "snippet": finding.snippet,
+        }
+        if finding.detail.get("chain"):
+            data["chain"] = list(finding.detail["chain"])
+        return data
+
+    data = {
+        "findings": [finding_dict(f) for f in result.findings],
+        "grandfathered": [finding_dict(f) for f in result.grandfathered],
+        "suppressed": [finding_dict(f) for f in result.suppressed],
+        "parse_errors": [
+            {"path": p, "error": e} for p, e in result.parse_errors
+        ],
+        "unused_suppressions": [
+            {"path": s.path, "line": s.comment_line, "rule": r}
+            for s, r in result.unused_suppressions
+        ],
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "snippet": e.snippet}
+            for e in result.stale_baseline
+        ],
+        "ok": result.ok if check else not result.findings,
+    }
+    json.dump(data, out, indent=2)
+    out.write("\n")
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules(out)
+    if not args.paths:
+        print("provlint: no paths given (try: provlint src)", file=out)
+        return 2
+    try:
+        baseline = Baseline.load(args.baseline)
+    except ValueError as exc:
+        print(f"provlint: {exc}", file=out)
+        return 2
+
+    result = run_analysis(args.paths, baseline=baseline)
+
+    if args.update_baseline:
+        updated = Baseline.from_findings(
+            result.findings + result.grandfathered, previous=baseline
+        )
+        updated.dump(args.baseline)
+        print(
+            f"provlint: baseline {args.baseline} rewritten with "
+            f"{len(updated.entries)} entr(ies)",
+            file=out,
+        )
+        return 0
+
+    if args.format == "json":
+        _report_json(result, args.check, out)
+    else:
+        _report_text(result, args.check, out)
+
+    if args.check:
+        return 0 if result.ok else 1
+    return 0 if not (result.findings or result.parse_errors) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

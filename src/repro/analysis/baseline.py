@@ -1,0 +1,155 @@
+"""Committed baseline for grandfathered findings.
+
+The baseline is the migration path for turning a rule on against an
+existing codebase: findings recorded in it do not fail the gate, but
+*new* occurrences of the same rule do.  Entries match findings by
+``(rule, path, stripped source line)`` — never by line number — so a
+baselined site survives unrelated edits but stops matching the moment
+its code changes (at which point it must be fixed or re-baselined,
+deliberately, with ``--update-baseline``).
+
+Every entry carries a ``note`` explaining *why* the site is
+grandfathered rather than fixed; ``--update-baseline`` preserves notes
+for entries that still match.  Stale entries (matching nothing — the
+code was fixed or deleted) fail ``--check`` so the baseline can only
+shrink by being edited, never by silently rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    line: int = 0  # informational only; refreshed by --update-baseline
+    note: str = ""
+    matched: int = field(default=0, compare=False)
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+
+class Baseline:
+    """Load, match and rewrite the grandfathered-findings file."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None):
+        self.entries = entries if entries is not None else []
+
+    # -- persistence ----------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, encoding="utf-8") as fobj:
+                data = json.load(fobj)
+        except FileNotFoundError:
+            return cls([])
+        except (ValueError, OSError) as exc:
+            raise ValueError(f"unreadable baseline {path!r}: {exc}") from None
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"baseline {path!r} is not a version-{_FORMAT_VERSION} "
+                f"provlint baseline"
+            )
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                snippet=item["snippet"],
+                line=int(item.get("line", 0)),
+                note=item.get("note", ""),
+            )
+            for item in data.get("findings", [])
+        ]
+        return cls(entries)
+
+    def dump(self, path: str) -> None:
+        data = {
+            "version": _FORMAT_VERSION,
+            "findings": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "line": e.line,
+                    "snippet": e.snippet,
+                    "note": e.note,
+                }
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.line, e.rule)
+                )
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fobj:
+            json.dump(data, fobj, indent=2, sort_keys=False)
+            fobj.write("\n")
+
+    # -- matching -------------------------------------------------------------
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, baselined).
+
+        N entries with the same key absorb at most N findings with that
+        key, so duplicating a baselined pattern still fails the gate.
+        """
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            entry.matched = 0
+            budget[entry.key()] = budget.get(entry.key(), 0) + 1
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            remaining = budget.get(finding.key(), 0)
+            if remaining > 0:
+                budget[finding.key()] = remaining - 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        matched_per_key: dict[tuple[str, str, str], int] = {}
+        for finding in grandfathered:
+            matched_per_key[finding.key()] = (
+                matched_per_key.get(finding.key(), 0) + 1
+            )
+        for entry in self.entries:
+            take = matched_per_key.get(entry.key(), 0)
+            if take > 0:
+                entry.matched = 1
+                matched_per_key[entry.key()] = take - 1
+        return new, grandfathered
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries whose code no longer produces a finding (call after
+        :meth:`partition`)."""
+        return [e for e in self.entries if not e.matched]
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Baseline for the current findings, keeping existing notes."""
+        notes: dict[tuple[str, str, str], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                if entry.note:
+                    notes.setdefault(entry.key(), entry.note)
+        entries = [
+            BaselineEntry(
+                rule=f.rule,
+                path=f.path,
+                snippet=f.snippet,
+                line=f.line,
+                note=notes.get(f.key(), "TODO: justify or fix"),
+            )
+            for f in sorted(findings, key=Finding.sort_key)
+        ]
+        return cls(entries)

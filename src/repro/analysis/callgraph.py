@@ -1,0 +1,518 @@
+"""Cross-module, lock-aware call graph.
+
+The lock-discipline rules need more than lexical inspection: the PR 4
+broker restructure exists precisely because a blocking call *two helper
+frames below* a ``with self._lock:`` body is still a call under the
+lock.  This pass builds, for every function and method in the project:
+
+* the calls it makes, with the set of locks held at each call site
+  (tracked statement-accurately through nested ``with`` blocks,
+  including ``ExitStack.enter_context(lock)`` acquisitions);
+* the locks it acquires, again with the locks already held (the edges
+  the lock-ordering check runs cycle detection over);
+* best-effort resolution of each call to a project function, so
+  reachability ("publish is reachable from this lock body via
+  ``_flush_locked``") works across modules.
+
+Resolution is deliberately conservative — ``self.method()``, local and
+imported functions, ``module.func()``, class constructors, and
+``self.attr.method()`` where ``attr``'s class is inferable from
+``__init__`` (assignment of a constructor call or an annotated
+parameter).  Anything else stays unresolved: the rules then fall back
+to *name-category* matching (a call spelled ``.publish_batch(...)`` is
+broker traffic no matter what object it lands on), which is what
+catches calls through ``StorageBackend``-style protocols.
+
+Lock identity is ``ClassName.attr`` for ``self``-rooted locks (with
+subscripts collapsed: every ``self._stripe_locks[i]`` is one identity —
+conservative for ordering, exact for "a lock is held").  Locks rooted
+in locals or parameters get a per-function identity, which can never
+produce a false ordering cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.project import ModuleInfo, Project
+
+__all__ = ["CallGraph", "FunctionInfo", "CallSite", "LockAcquire"]
+
+#: attribute/variable names that denote a lock even without seeing the
+#: ``threading.Lock()`` assignment (suffix match on the terminal name)
+_LOCKISH_NAME = re.compile(r"(^|_)(lock|locks|dlock|rlock|mutex)e?s?$", re.I)
+
+#: constructors whose result is a lock-like object
+_LOCK_CTORS = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+}
+
+#: Condition methods that are safe on the lock you are holding (wait
+#: releases it; notify never blocks)
+_CONDITION_METHODS = {"wait", "wait_for", "notify", "notify_all"}
+
+
+def dotted(expr: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains (subscripts collapsed), else None."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        base = dotted(expr.value)
+        return f"{base}.{expr.attr}" if base else None
+    if isinstance(expr, ast.Subscript):
+        return dotted(expr.value)
+    if isinstance(expr, ast.Call):
+        return None
+    return None
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    name: str  # terminal name: "publish_batch"
+    dotted: str  # full chain: "self.broker.publish_batch"
+    line: int
+    #: qualnames of project functions this call may land on
+    resolved: tuple[str, ...]
+    #: lock identities held when the call executes
+    held: tuple[str, ...]
+
+
+@dataclass
+class LockAcquire:
+    """One lock acquisition (``with`` item, ``.acquire()``, or
+    ``enter_context(lock)``)."""
+
+    lock_id: str
+    line: int
+    held: tuple[str, ...]  # locks already held at this acquisition
+    #: constructor name if the declaration was seen ("Lock", "RLock", ...)
+    ctor: str | None = None
+
+
+@dataclass
+class FunctionInfo:
+    """Static summary of one function/method."""
+
+    qualname: str  # "repro.messaging.buffer.MessageBuffer._flush_locked"
+    module: ModuleInfo
+    node: ast.AST
+    cls: str | None
+    calls: list[CallSite] = field(default_factory=list)
+    acquires: list[LockAcquire] = field(default_factory=list)
+
+    @property
+    def short(self) -> str:
+        """Readable name for chains: ``ClassName.method`` or ``func``."""
+        parts = self.qualname.split(".")
+        return ".".join(parts[-2:]) if self.cls else parts[-1]
+
+
+class _ClassInfo:
+    def __init__(self, name: str, module: ModuleInfo):
+        self.name = name
+        self.module = module
+        self.methods: dict[str, str] = {}  # method name -> qualname
+        self.lock_attrs: dict[str, str] = {}  # attr -> ctor name
+        self.attr_types: dict[str, str] = {}  # attr -> class dotted name
+
+
+class CallGraph:
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, _ClassInfo] = {}  # "module.Class" -> info
+        self._effects: dict[str, tuple] = {}
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls()
+        for module in project.modules:
+            graph._index_module(module)
+        for module in project.modules:
+            graph._analyse_module(module)
+        return graph
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        """First pass: classes, methods, lock attrs, attribute types."""
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = _ClassInfo(node.name, module)
+                qual = f"{module.name}.{node.name}"
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info.methods[item.name] = f"{qual}.{item.name}"
+                        self._index_self_assignments(info, item)
+                self.classes[qual] = info
+
+    def _index_self_assignments(
+        self, info: _ClassInfo, func: ast.AST
+    ) -> None:
+        """Record ``self.x = <lock ctor>()`` and ``self.x = <Class>()`` /
+        ``self.x = annotated_param`` so locks and collaborator types
+        resolve later."""
+        ann: dict[str, str] = {}
+        args = getattr(func, "args", None)
+        if args is not None:
+            for a in list(args.posonlyargs) + list(args.args) + list(
+                args.kwonlyargs
+            ):
+                if a.annotation is not None:
+                    name = dotted(a.annotation)
+                    if name:
+                        ann[a.arg] = name.removesuffix(" | None")
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                value = node.value
+                ctor = self._lock_ctor_of(value)
+                if ctor is not None:
+                    info.lock_attrs[target.attr] = ctor
+                elif isinstance(value, ast.Call):
+                    name = dotted(value.func)
+                    if name and name[:1].isupper() or (
+                        name and "." in name and name.split(".")[-1][:1].isupper()
+                    ):
+                        info.attr_types[target.attr] = name
+                elif isinstance(value, ast.Name) and value.id in ann:
+                    info.attr_types[target.attr] = ann[value.id]
+
+    @staticmethod
+    def _lock_ctor_of(value: ast.AST) -> str | None:
+        """Ctor name if ``value`` builds a lock (or a list/dict of locks)."""
+        if isinstance(value, ast.Call):
+            name = dotted(value.func)
+            if name in _LOCK_CTORS:
+                return name.split(".")[-1]
+        if isinstance(value, (ast.ListComp, ast.SetComp)):
+            return CallGraph._lock_ctor_of(value.elt)
+        if isinstance(value, (ast.List, ast.Tuple)) and value.elts:
+            return CallGraph._lock_ctor_of(value.elts[0])
+        return None
+
+    # -- second pass: function bodies -----------------------------------------
+    def _analyse_module(self, module: ModuleInfo) -> None:
+        imports = self._imports_of(module)
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyse_function(module, node, None, imports)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self._analyse_function(
+                            module, item, node.name, imports
+                        )
+
+    @staticmethod
+    def _imports_of(module: ModuleInfo) -> dict[str, str]:
+        """local name -> dotted target ("InProcessBroker" ->
+        "repro.messaging.broker.InProcessBroker")."""
+        out: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    out[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                base = node.module
+                if node.level:  # relative import: anchor on this package
+                    pkg = module.name.split(".")
+                    pkg = pkg[: len(pkg) - node.level]
+                    base = ".".join(pkg + [node.module])
+                for alias in node.names:
+                    out[alias.asname or alias.name] = f"{base}.{alias.name}"
+        return out
+
+    def _analyse_function(
+        self,
+        module: ModuleInfo,
+        func: ast.AST,
+        cls_name: str | None,
+        imports: dict[str, str],
+    ) -> None:
+        qual = (
+            f"{module.name}.{cls_name}.{func.name}"
+            if cls_name
+            else f"{module.name}.{func.name}"
+        )
+        info = FunctionInfo(qual, module, func, cls_name)
+        self.functions[qual] = info
+        walker = _BodyWalker(self, info, imports)
+        for stmt in func.body:
+            walker.visit_stmt(stmt)
+
+    # -- resolution -----------------------------------------------------------
+    def resolve_call(
+        self,
+        call_dotted: str,
+        module: ModuleInfo,
+        cls_name: str | None,
+        imports: dict[str, str],
+    ) -> tuple[str, ...]:
+        """Project qualnames a call chain may land on (possibly empty)."""
+        parts = call_dotted.split(".")
+        # self.method() / self.attr.method()
+        if parts[0] == "self" and cls_name:
+            cls = self.classes.get(f"{module.name}.{cls_name}")
+            if cls is None:
+                return ()
+            if len(parts) == 2:
+                target = cls.methods.get(parts[1])
+                return (target,) if target else ()
+            if len(parts) == 3:
+                attr_type = cls.attr_types.get(parts[1])
+                if attr_type:
+                    target_cls = self._resolve_class(
+                        attr_type, module, imports
+                    )
+                    if target_cls is not None:
+                        target = target_cls.methods.get(parts[2])
+                        return (target,) if target else ()
+            return ()
+        # bare name: local function, imported function, or constructor
+        if len(parts) == 1:
+            name = parts[0]
+            target = self.functions.get(f"{module.name}.{name}")
+            if target:
+                return (target.qualname,)
+            cls = self._resolve_class(name, module, imports)
+            if cls is not None:
+                init = cls.methods.get("__init__")
+                return (init,) if init else ()
+            imported = imports.get(name)
+            if imported and imported in self.functions:
+                return (imported,)
+            return ()
+        # module.func() through an import
+        head = imports.get(parts[0])
+        if head:
+            candidate = ".".join([head] + parts[1:])
+            if candidate in self.functions:
+                return (candidate,)
+            cls = self.classes.get(".".join([head] + parts[1:-1]))
+            if cls is not None:
+                target = cls.methods.get(parts[-1])
+                return (target,) if target else ()
+        return ()
+
+    def _resolve_class(
+        self, name: str, module: ModuleInfo, imports: dict[str, str]
+    ) -> _ClassInfo | None:
+        if f"{module.name}.{name}" in self.classes:
+            return self.classes[f"{module.name}.{name}"]
+        imported = imports.get(name.split(".")[0])
+        if imported is None:
+            return None
+        if "." in name:
+            imported = ".".join([imported] + name.split(".")[1:])
+        return self.classes.get(imported)
+
+    # -- transitive effects ---------------------------------------------------
+    def effects(self, qualname: str, _depth: int = 0, _seen=None):
+        """(blocking_callsites, lock_acquires) transitively reachable by
+        *calling* ``qualname`` — each paired with the call chain that
+        reaches it.  Internal lock regions of callees are irrelevant
+        here: their code still runs while the caller's lock is held.
+        """
+        if qualname in self._effects:
+            return self._effects[qualname]
+        if _seen is None:
+            _seen = set()
+        if qualname in _seen or _depth > 8:
+            return ((), ())
+        _seen = _seen | {qualname}
+        info = self.functions.get(qualname)
+        if info is None:
+            return ((), ())
+        calls: list[tuple[CallSite, tuple[str, ...]]] = []
+        acquires: list[tuple[LockAcquire, tuple[str, ...]]] = []
+        for site in info.calls:
+            calls.append((site, (info.short,)))
+            for target in site.resolved:
+                sub_calls, sub_acquires = self.effects(
+                    target, _depth + 1, _seen
+                )
+                for sub, chain in sub_calls:
+                    calls.append((sub, (info.short,) + chain))
+                for sub, chain in sub_acquires:
+                    acquires.append((sub, (info.short,) + chain))
+        for acq in info.acquires:
+            acquires.append((acq, (info.short,)))
+        result = (tuple(calls), tuple(acquires))
+        if _depth == 0:
+            self._effects[qualname] = result
+        return result
+
+
+class _BodyWalker:
+    """Statement-accurate walk of one function body, tracking held locks."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        imports: dict[str, str],
+    ):
+        self.graph = graph
+        self.info = info
+        self.imports = imports
+        self.held: list[str] = []
+
+    # -- lock identity --------------------------------------------------------
+    def lock_id_of(self, expr: ast.AST) -> tuple[str, str | None] | None:
+        """(lock identity, ctor) if ``expr`` denotes a lock, else None."""
+        chain = dotted(expr)
+        if chain is None:
+            ctor = CallGraph._lock_ctor_of(expr)
+            if ctor is not None:  # e.g. ``with threading.Lock():``
+                return (f"{self.info.qualname}:<anonymous>", ctor)
+            return None
+        parts = chain.split(".")
+        cls_info = None
+        if parts[0] == "self" and self.info.cls:
+            cls_info = self.graph.classes.get(
+                f"{self.info.module.name}.{self.info.cls}"
+            )
+        terminal = parts[-1]
+        declared = None
+        if cls_info is not None and len(parts) == 2:
+            declared = cls_info.lock_attrs.get(terminal)
+        if declared is None and not _LOCKISH_NAME.search(terminal):
+            return None
+        if parts[0] == "self" and self.info.cls:
+            ident = ".".join([self.info.cls] + parts[1:])
+        elif cls_info is None and len(parts) == 1:
+            # a bare local: unique per function, can't create false cycles
+            ident = f"{self.info.qualname}:{chain}"
+        else:
+            # rooted in a local/parameter: scope the identity to the function
+            ident = f"{self.info.qualname}:{chain}"
+        return (ident, declared)
+
+    # -- statement walk -------------------------------------------------------
+    def visit_stmt(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: list[str] = []
+            for item in node.items:
+                lock = self.lock_id_of(item.context_expr)
+                self.visit_expr(item.context_expr)
+                if lock is not None:
+                    ident, ctor = lock
+                    self.info.acquires.append(
+                        LockAcquire(
+                            ident,
+                            item.context_expr.lineno,
+                            tuple(self.held),
+                            ctor,
+                        )
+                    )
+                    self.held.append(ident)
+                    acquired.append(ident)
+            # enter_context(lock) anywhere in this body holds the lock
+            # until the with exits: treat the whole body as covered
+            for extra in self._enter_context_locks(node):
+                self.info.acquires.append(extra)
+                self.held.append(extra.lock_id)
+                acquired.append(extra.lock_id)
+            for stmt in node.body:
+                self.visit_stmt(stmt)
+            for _ in acquired:
+                self.held.pop()
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested def does not run here; analyse it as its own
+            # function (resolvable by bare name within this module)
+            self.graph._analyse_function(
+                self.info.module,
+                node,
+                self.info.cls,
+                self.imports,
+            )
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.stmt, ast.ExceptHandler, ast.match_case)
+            ):
+                self.visit_stmt(child)
+            else:
+                self.visit_expr(child)
+
+    def _enter_context_locks(
+        self, with_node: ast.AST
+    ) -> list[LockAcquire]:
+        out: list[LockAcquire] = []
+        for sub in ast.walk(with_node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "enter_context"
+                and sub.args
+            ):
+                lock = self.lock_id_of(sub.args[0])
+                if lock is not None:
+                    ident, ctor = lock
+                    out.append(
+                        LockAcquire(
+                            ident, sub.lineno, tuple(self.held), ctor
+                        )
+                    )
+        return out
+
+    def visit_expr(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            chain = dotted(sub.func)
+            if chain is None:
+                continue
+            name = chain.split(".")[-1]
+            if name == "acquire":
+                base = dotted(
+                    sub.func.value
+                ) if isinstance(sub.func, ast.Attribute) else None
+                if base is not None:
+                    lock = self.lock_id_of(sub.func.value)
+                    if lock is not None:
+                        ident, ctor = lock
+                        self.info.acquires.append(
+                            LockAcquire(
+                                ident, sub.lineno, tuple(self.held), ctor
+                            )
+                        )
+                        continue
+            resolved = self.graph.resolve_call(
+                chain, self.info.module, self.info.cls, self.imports
+            )
+            self.info.calls.append(
+                CallSite(
+                    name=name,
+                    dotted=chain,
+                    line=sub.lineno,
+                    resolved=resolved,
+                    held=tuple(self.held),
+                )
+            )

@@ -1,0 +1,130 @@
+"""Analysis pipeline: rules -> suppressions -> baseline -> result.
+
+:func:`run_analysis` is the one entry point both the CLI and the test
+suite use.  It loads the project, runs every registered rule, filters
+findings through the per-file suppression indexes, partitions the
+remainder against the committed baseline, and returns an
+:class:`AnalysisResult` that also carries the gate's side conditions:
+unused suppressions, stale baseline entries and files that failed to
+parse.  ``result.ok`` is exactly the CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.registry import all_rules, rule_ids
+from repro.analysis.suppressions import Suppression
+
+__all__ = ["AnalysisResult", "run_analysis"]
+
+#: synthetic rule id for malformed suppression comments (a typo in a
+#: ``disable=`` list must not silently disable nothing)
+BAD_SUPPRESSION = "bad-suppression"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced, already triaged."""
+
+    #: gate-failing findings (not suppressed, not baselined)
+    findings: list[Finding] = field(default_factory=list)
+    #: findings absorbed by the committed baseline
+    grandfathered: list[Finding] = field(default_factory=list)
+    #: findings silenced by an inline ``provlint: disable=`` marker
+    suppressed: list[Finding] = field(default_factory=list)
+    #: ``disable=`` entries that silenced nothing — strict-mode failures
+    unused_suppressions: list[tuple[Suppression, str]] = field(
+        default_factory=list
+    )
+    #: baseline entries whose code no longer fires — strict-mode failures
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    #: (path, error) for files the analyser could not parse
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    project: Project | None = field(default=None, repr=False)
+    baseline: Baseline | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """The strict (``--check``) gate: nothing new, nothing rotting."""
+        return not (
+            self.findings
+            or self.unused_suppressions
+            or self.stale_baseline
+            or self.parse_errors
+        )
+
+
+def run_analysis(
+    paths: Iterable[str], baseline: Baseline | None = None
+) -> AnalysisResult:
+    project = Project.load(paths)
+    known = set(rule_ids())
+    raw: list[Finding] = []
+    for rule in all_rules():
+        raw.extend(rule.check(project))
+    raw.extend(_bad_suppression_findings(project, known))
+
+    by_path = {m.path: m for m in project.modules}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in sorted(raw, key=Finding.sort_key):
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressions.is_suppressed(
+            finding.line, finding.rule
+        ):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    baseline = baseline if baseline is not None else Baseline([])
+    new, grandfathered = baseline.partition(kept)
+
+    unused: list[tuple[Suppression, str]] = []
+    for module in project.modules:
+        for sup, rule_id in module.suppressions.unused():
+            # unknown ids are already reported as bad-suppression findings
+            if rule_id in known:
+                unused.append((sup, rule_id))
+
+    return AnalysisResult(
+        findings=new,
+        grandfathered=grandfathered,
+        suppressed=suppressed,
+        unused_suppressions=unused,
+        stale_baseline=baseline.stale_entries(),
+        parse_errors=list(project.parse_errors),
+        project=project,
+        baseline=baseline,
+    )
+
+
+def _bad_suppression_findings(
+    project: Project, known: set[str]
+) -> list[Finding]:
+    out: list[Finding] = []
+    for module in project.modules:
+        for sup in module.suppressions.suppressions:
+            for rule_id in sup.rules:
+                if rule_id not in known:
+                    out.append(
+                        Finding(
+                            rule=BAD_SUPPRESSION,
+                            path=module.path,
+                            line=sup.comment_line,
+                            message=(
+                                f"suppression names unknown rule "
+                                f"{rule_id!r} — it disables nothing"
+                            ),
+                            hint=(
+                                "known rules: "
+                                + ", ".join(sorted(known))
+                            ),
+                            snippet=module.snippet(sup.comment_line),
+                        )
+                    )
+    return out

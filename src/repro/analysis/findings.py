@@ -1,0 +1,47 @@
+"""Structured lint findings.
+
+A :class:`Finding` is the one currency every layer of the analyser
+trades in: rules emit them, suppressions filter them, the baseline
+grandfathers them, and the CLI renders them as ``path:line: [rule]
+message (hint)``.  The identity used for baseline matching is
+deliberately *line-number free* (rule id + path + stripped source
+text), so unrelated edits that shift a file do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix-style path as given to the analyser
+    line: int  # 1-based line of the offending node
+    message: str
+    hint: str = ""  # how to fix (or how to suppress, for intended sites)
+    col: int = 0
+    #: stripped text of the offending source line (baseline identity)
+    snippet: str = ""
+    #: extra context, e.g. the call chain for reachability findings
+    detail: dict = field(default_factory=dict, compare=False)
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        chain = self.detail.get("chain")
+        if chain:
+            text += f"\n    via: {' -> '.join(chain)}"
+        return text

@@ -1,0 +1,143 @@
+"""Project model: every analysed file, parsed once, shared by all rules.
+
+A :class:`ModuleInfo` pairs a file's AST with everything the rules need
+per file — source lines (for snippets), the suppression index, a parent
+map (child AST node -> parent, for context-sensitive rules like
+falsy-or-default), and the dotted module name used by the call graph.
+A :class:`Project` aggregates the modules and lazily builds the
+cross-module :class:`~repro.analysis.callgraph.CallGraph`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import SuppressionIndex, scan_suppressions
+
+__all__ = ["ModuleInfo", "Project", "collect_files"]
+
+
+def _module_name(relpath: str) -> str:
+    """Dotted module name from a posix relpath, rooted past ``src/``."""
+    parts = relpath.split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str  # posix-style path as given on the command line
+    name: str  # dotted module name ("repro.messaging.buffer")
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: SuppressionIndex
+    #: child node -> parent node, for context-sensitive checks
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleInfo":
+        tree = ast.parse(source, filename=path)
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        return cls(
+            path=path,
+            name=_module_name(path),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            suppressions=scan_suppressions(path, source),
+            parents=parents,
+        )
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        **detail: Any,
+    ) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=hint,
+            snippet=self.snippet(line),
+            detail=dict(detail),
+        )
+
+
+class Project:
+    """The full set of modules under analysis plus shared passes."""
+
+    def __init__(self, modules: list[ModuleInfo]):
+        self.modules = sorted(modules, key=lambda m: m.path)
+        self.by_name = {m.name: m for m in self.modules}
+        self._callgraph = None
+        #: files that failed to parse: (path, error) — reported, not fatal
+        self.parse_errors: list[tuple[str, str]] = []
+
+    @classmethod
+    def load(cls, paths: Iterable[str]) -> "Project":
+        modules: list[ModuleInfo] = []
+        project = cls([])
+        for path in collect_files(paths):
+            try:
+                with open(path, encoding="utf-8") as fobj:
+                    source = fobj.read()
+                modules.append(ModuleInfo.parse(path, source))
+            except (OSError, SyntaxError, ValueError) as exc:
+                project.parse_errors.append((path, str(exc)))
+        project.modules = sorted(modules, key=lambda m: m.path)
+        project.by_name = {m.name: m for m in project.modules}
+        return project
+
+    @property
+    def callgraph(self):
+        """The cross-module call graph, built on first use."""
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._callgraph = CallGraph.build(self)
+        return self._callgraph
+
+
+def collect_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` paths."""
+    out: list[str] = []
+    for path in paths:
+        norm = path.replace(os.sep, "/").rstrip("/")
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for fname in sorted(filenames):
+                    if fname.endswith(".py"):
+                        full = os.path.join(dirpath, fname)
+                        out.append(full.replace(os.sep, "/"))
+        elif norm.endswith(".py"):
+            out.append(norm)
+    return sorted(dict.fromkeys(out))

@@ -1,0 +1,89 @@
+"""Rule registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+:mod:`repro.analysis.rules` imports every rule module, so importing it
+once populates the registry.  Each rule carries a stable kebab-case id
+(the name used in ``# provlint: disable=<id>`` suppressions and in the
+baseline file), a one-line summary, and the historical bug it encodes —
+``python -m repro.analysis --list-rules`` prints the catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import Project
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "rule_ids"]
+
+
+class Rule:
+    """Base class every provlint rule extends.
+
+    Subclasses set :attr:`id`, :attr:`summary` and :attr:`rationale`
+    (the historical bug the rule encodes) and implement
+    :meth:`check`, yielding :class:`Finding` objects.  ``check``
+    receives the whole :class:`~repro.analysis.project.Project` so
+    cross-module rules (the lock race detector) and single-file rules
+    share one interface.
+    """
+
+    id: str = ""
+    summary: str = ""
+    #: the concrete bug in this repo's history that motivates the rule
+    rationale: str = ""
+
+    def check(self, project: "Project") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by path-scoped rules ----------------------------------
+    @staticmethod
+    def modules_named(project: "Project", basename: str):
+        """Modules whose file name is exactly ``basename`` (rule scoping).
+
+        Scoped rules (WAL discipline, schema discipline) key on the file
+        name, not an absolute path, so the fixture suites can exercise
+        them on miniature trees.
+        """
+        for module in project.modules:
+            if module.path.rsplit("/", 1)[-1] == basename:
+                yield module
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    instance = cls()
+    if not instance.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if instance.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.id!r}")
+    _REGISTRY[instance.id] = instance
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, ordered by id (imports the rule modules)."""
+    import repro.analysis.rules  # noqa: F401 - side effect: registration
+
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def rule_ids() -> list[str]:
+    import repro.analysis.rules  # noqa: F401 - side effect: registration
+
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.analysis.rules  # noqa: F401 - side effect: registration
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}") from None

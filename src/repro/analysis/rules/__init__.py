@@ -1,0 +1,9 @@
+"""Rule modules — importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401 - registration side effects
+    exceptions,
+    falsy_or,
+    locks,
+    schemas,
+    wal,
+)

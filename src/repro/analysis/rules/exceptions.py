@@ -1,0 +1,158 @@
+"""exception-contract: failures must be handled or envelope-coded.
+
+The gateway's wire contract (PR 5) is "never a traceback on the wire":
+every failure crossing the API boundary is an
+:class:`~repro.api.schemas.ErrorEnvelope` carrying one of the stable
+``ErrorCode`` values that clients branch on.  Inside the system, a
+handler that swallows everything silently (``except Exception: pass``)
+erases the evidence the next incident needs.
+
+Checks:
+
+* bare ``except:`` anywhere — catches ``SystemExit``/
+  ``KeyboardInterrupt`` and hides typos in exception names;
+* ``except Exception``/``except BaseException`` whose body is *only*
+  ``pass``/``...`` — a silent swallow.  Sites where ignoring is the
+  contract (a peer that already hung up) keep the ``except`` and add a
+  justified suppression;
+* in ``api/`` modules: ``ErrorEnvelope(code=...)`` built from a string
+  literal that is not one of the stable codes (the codes themselves are
+  read from the project's ``schemas.py``, so the rule tracks the real
+  enum, not a copy), and ``raise Exception(...)`` / ``raise
+  BaseException(...)`` which no boundary can map to an envelope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import Rule, register
+
+
+def _stable_codes(project: Project) -> set[str] | None:
+    """The ErrorCode constants, read from the project's api schemas."""
+    for module in project.modules:
+        if not module.path.endswith("schemas.py"):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "ErrorCode":
+                codes = set()
+                for stmt in node.body:
+                    if isinstance(stmt, ast.Assign) and isinstance(
+                        stmt.value, ast.Constant
+                    ):
+                        if isinstance(stmt.value.value, str):
+                            codes.add(stmt.value.value)
+                return codes or None
+    return None
+
+
+def _is_swallow_body(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ``...``
+        return False
+    return True
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    def broad(expr: ast.AST) -> bool:
+        return isinstance(expr, ast.Name) and expr.id in (
+            "Exception",
+            "BaseException",
+        )
+
+    if handler.type is None:
+        return False  # the bare-except check covers it
+    if broad(handler.type):
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(broad(e) for e in handler.type.elts)
+    return False
+
+
+@register
+class ExceptionContractRule(Rule):
+    id = "exception-contract"
+    summary = "bare/silent excepts; API errors outside the stable codes"
+    rationale = (
+        "PR 5: the gateway promises 'never a traceback on the wire' — 16 "
+        "stable ErrorEnvelope codes that clients branch on"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        codes = _stable_codes(project)
+        for module in project.modules:
+            in_api = "api" in module.path.split("/")
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ExceptHandler):
+                    yield from self._check_handler(module, node)
+                elif in_api and isinstance(node, ast.Call):
+                    yield from self._check_api_call(module, node, codes)
+                elif in_api and isinstance(node, ast.Raise):
+                    yield from self._check_api_raise(module, node)
+
+    def _check_handler(self, module: ModuleInfo, node: ast.ExceptHandler):
+        if node.type is None:
+            yield module.finding(
+                self.id,
+                node,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt and "
+                "hides misspelled exception names",
+                hint="name the exceptions this site can actually handle",
+            )
+            return
+        if _catches_everything(node) and _is_swallow_body(node.body):
+            yield module.finding(
+                self.id,
+                node,
+                "'except Exception' with a pass-only body silently erases "
+                "the failure",
+                hint=(
+                    "handle it, narrow it, or — where ignoring is the "
+                    "contract — suppress with '# provlint: "
+                    "disable=exception-contract - <why>'"
+                ),
+            )
+
+    def _check_api_call(
+        self, module: ModuleInfo, node: ast.Call, codes: set[str] | None
+    ):
+        name = node.func.attr if isinstance(node.func, ast.Attribute) else (
+            node.func.id if isinstance(node.func, ast.Name) else None
+        )
+        if name != "ErrorEnvelope" or codes is None:
+            return
+        for kw in node.keywords:
+            if (
+                kw.arg == "code"
+                and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+                and kw.value.value not in codes
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"ErrorEnvelope code {kw.value.value!r} is not one of "
+                    f"the stable ErrorCode values — clients cannot branch "
+                    f"on it",
+                    hint="use an ErrorCode.<NAME> constant",
+                )
+
+    def _check_api_raise(self, module: ModuleInfo, node: ast.Raise):
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in ("Exception", "BaseException"):
+            yield module.finding(
+                self.id,
+                node,
+                f"raising bare {exc.id} in an api/ module — no boundary "
+                f"can map it to a stable ErrorEnvelope code",
+                hint="raise a typed error the gateway maps to an ErrorCode",
+            )

@@ -1,0 +1,159 @@
+"""falsy-or-default: ``x or Default()`` silently replaces falsy values.
+
+The PR 6 bug: ``self.cache = cache or QueryCache()`` discarded an
+*explicitly shared, currently empty* ``QueryCache`` and silently built
+a private one — the gateway and the agent stopped sharing cache
+entries, and nothing failed loudly.  PR 7 re-audited eight more sites.
+The pattern is only correct when every falsy value of ``x`` (empty
+container, empty string, zero, a collaborator whose ``__bool__`` says
+idle) genuinely means "use the default" — which is almost never what a
+dependency-injection default intends.
+
+Flagged shapes (outside boolean-test positions, where ``or`` is genuine
+logic):
+
+* ``<parameter> or <call>``  — the injected-collaborator bug class;
+* ``<parameter> or <literal>`` — collapses legitimate falsy arguments;
+* ``<attr chain> or <call or literal>`` — same bug on stored state.
+
+Fix with an explicit None test::
+
+    cache if cache is not None else QueryCache()
+
+or, where collapsing falsy *is* the contract (an empty request body
+means an empty JSON object), keep the ``or`` and suppress with a
+justification::
+
+    body = request.body or b"{}"  # provlint: disable=falsy-or-default - empty body == empty object
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import Rule, register
+
+#: right-hand shapes that read as "the default": construct/compute a
+#: fresh value, or a literal
+_DEFAULT_RHS = (
+    ast.Call,
+    ast.Dict,
+    ast.List,
+    ast.Tuple,
+    ast.Set,
+    ast.JoinedStr,
+)
+
+_HINT = (
+    "use 'x if x is not None else <default>' so falsy-but-valid values "
+    "survive; if collapsing falsy is the contract, suppress with "
+    "'# provlint: disable=falsy-or-default - <why>'"
+)
+
+
+def _parameters(func: ast.AST) -> set[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+def _walk_own_body(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func`` without descending into nested defs (which get
+    their own pass, with their own parameter set)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _in_test_position(node: ast.AST, parents: dict) -> bool:
+    """True when the ``or`` feeds a boolean context (genuine logic)."""
+    parent = parents.get(node)
+    if isinstance(parent, (ast.If, ast.While)) and parent.test is node:
+        return True
+    if isinstance(parent, ast.IfExp) and parent.test is node:
+        return True
+    if isinstance(parent, ast.UnaryOp) and isinstance(parent.op, ast.Not):
+        return True
+    if isinstance(parent, ast.BoolOp):
+        return True
+    if isinstance(parent, ast.Assert):
+        return True
+    if isinstance(parent, ast.comprehension):  # an ``if`` filter clause
+        return node in parent.ifs
+    return False
+
+
+@register
+class FalsyOrDefaultRule(Rule):
+    id = "falsy-or-default"
+    summary = "'x or Default()' replaces legitimately-falsy values"
+    rationale = (
+        "PR 6: 'cache or QueryCache()' silently discarded a shared empty "
+        "cache in QueryAPI/AgentService; PR 7 re-audited 8 more sites"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = _parameters(func)
+            for node in _walk_own_body(func):
+                if not (
+                    isinstance(node, ast.BoolOp)
+                    and isinstance(node.op, ast.Or)
+                    and len(node.values) == 2
+                ):
+                    continue
+                left, right = node.values
+                finding = self._classify(module, func, params, node, left, right)
+                if finding is not None:
+                    yield finding
+
+    def _classify(
+        self,
+        module: ModuleInfo,
+        func: ast.AST,
+        params: set[str],
+        node: ast.BoolOp,
+        left: ast.AST,
+        right: ast.AST,
+    ) -> Finding | None:
+        if _in_test_position(node, module.parents):
+            return None
+        is_param = isinstance(left, ast.Name) and left.id in params
+        is_attr = isinstance(left, ast.Attribute)
+        if not (is_param or is_attr):
+            return None
+        if isinstance(right, ast.Constant):
+            # ``x or None`` normalises falsy to None — not a default
+            # substitution, and the None survives later ``is None`` checks
+            if right.value is None:
+                return None
+        elif not isinstance(right, _DEFAULT_RHS):
+            return None
+        left_src = ast.unparse(left)
+        right_src = ast.unparse(right)
+        kind = "parameter" if is_param else "attribute"
+        return module.finding(
+            self.id,
+            node,
+            f"'{left_src} or {right_src}' replaces every falsy value of "
+            f"{kind} '{left_src}' with the default, not just None "
+            f"(the PR 6 QueryCache-sharing bug class)",
+            hint=_HINT,
+        )

@@ -1,0 +1,277 @@
+"""Lock-discipline rules: the race/deadlock detector.
+
+PR 4 restructured :class:`~repro.messaging.broker.InProcessBroker` so
+subscriber callbacks run *outside* the broker lock — a slow or
+re-entrant consumer must convoy neither publishers nor other
+subscriptions, and a callback that calls back into the broker must not
+deadlock.  The sharded store, admission controller and LLM server all
+follow the same hand-enforced discipline: never call out (publish, I/O,
+executor traffic, user callbacks, sleeps) while holding a lock.  These
+rules machine-check it through the call graph, so a blocking call three
+helper frames below a ``with self._lock:`` body is still caught.
+
+``blocking-call-under-lock``
+    A call that can block or re-enter user code is reachable while a
+    lock is held.  Blocking is classified by *name category* (a call
+    spelled ``.publish_batch(...)`` is broker traffic no matter what
+    object it lands on — that is what catches protocol-typed
+    collaborators) plus callback-shaped names (``callback``, ``on_*``,
+    ``*_hook``).
+
+``lock-ordering``
+    Nested lock acquisition is fine *if the order is globally
+    consistent*.  This rule builds the held->acquired edge set across
+    the whole project (through the call graph) and flags cycles — and
+    re-acquisition of a lock known to be a non-reentrant
+    ``threading.Lock``, the ``MessageBuffer`` deadlock class.
+
+``storage/durable.py`` is excluded from ``blocking-call-under-lock`` by
+design: the WAL write happening under the store lock is the durability
+contract (one record, one syscall, ack inside the critical section) and
+is policed by ``wal-write-discipline`` instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.analysis.callgraph import _CONDITION_METHODS, CallSite, LockAcquire
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+from repro.analysis.registry import Rule, register
+
+#: call names that block, do I/O, or hand control to foreign code
+BLOCKING_NAMES: dict[str, str] = {
+    "publish": "broker publish: delivers to subscriber callbacks",
+    "publish_batch": "broker publish: delivers to subscriber callbacks",
+    "replay": "broker replay: delivers retained history to a callback",
+    "submit": "executor handoff: queues work and can wake workers",
+    "result": "future wait: blocks until another thread finishes",
+    "shutdown": "executor shutdown: joins worker threads",
+    "sleep": "timed sleep",
+    "fsync": "disk flush: blocks on storage hardware",
+    "fsync_dir": "disk flush: blocks on storage hardware",
+    "write": "file/socket write: blocks on the kernel buffer",
+    "writelines": "file/socket write: blocks on the kernel buffer",
+    "flush": "flush: blocks on the kernel buffer or re-enters a buffer",
+    "sendall": "socket send: blocks on the peer",
+    "recv": "socket receive: blocks on the peer",
+    "connect": "socket connect: blocks on the network",
+    "accept": "socket accept: blocks on the network",
+    "join": "thread join: blocks until the thread exits",
+    "wait": "blocking wait",
+    "wait_for": "blocking wait",
+}
+
+#: call targets that re-enter user code by shape of their name
+_CALLBACK_NAME = re.compile(r"(^|_)(callback|hook)s?$|^on_[a-z0-9_]+$")
+
+#: files whose under-lock writes are the *point* (policed by
+#: wal-write-discipline instead of this rule)
+_BLOCKING_EXEMPT_FILES = ("durable.py",)
+
+_BLOCK_HINT = (
+    "restructure so the lock covers only bookkeeping: snapshot state "
+    "under the lock, release it, then call out (see InProcessBroker's "
+    "enqueue-then-drain split, PR 4)"
+)
+
+
+def _is_condition_idiom(site: CallSite) -> bool:
+    """``with self._cond: self._cond.wait()`` — wait releases the lock,
+    notify never blocks: the designed Condition usage, not a violation."""
+    if site.name not in _CONDITION_METHODS:
+        return False
+    base = site.dotted.rsplit(".", 1)[0]
+    return any(held.endswith(base.replace("self.", ".")) for held in site.held)
+
+
+def _blocking_reason(site: CallSite) -> str | None:
+    reason = BLOCKING_NAMES.get(site.name)
+    if reason is not None:
+        return reason
+    if _CALLBACK_NAME.search(site.name):
+        return "callback invocation: re-enters arbitrary user code"
+    return None
+
+
+@register
+class BlockingCallUnderLockRule(Rule):
+    id = "blocking-call-under-lock"
+    summary = "a blocking/re-entrant call is reachable while a lock is held"
+    rationale = (
+        "PR 4: broker delivery had to move outside the lock so slow or "
+        "re-entrant subscribers cannot convoy publishers or deadlock"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        graph = project.callgraph
+        for qualname, info in sorted(graph.functions.items()):
+            fname = info.module.path.rsplit("/", 1)[-1]
+            if fname in _BLOCKING_EXEMPT_FILES:
+                continue
+            for site in info.calls:
+                if not site.held:
+                    continue
+                # direct blocking call inside the lock body
+                reason = _blocking_reason(site)
+                if reason is not None and not _is_condition_idiom(site):
+                    yield info.module.finding(
+                        self.id,
+                        _At(site.line),
+                        f"'{site.dotted}(...)' while holding "
+                        f"{_fmt_locks(site.held)} — {reason}",
+                        hint=_BLOCK_HINT,
+                        chain=[info.short],
+                    )
+                    continue
+                # blocking call reachable through resolved callees
+                for target in site.resolved:
+                    sub_calls, _ = graph.effects(target)
+                    for sub, chain in sub_calls:
+                        sub_reason = _blocking_reason(sub)
+                        if sub_reason is None or _is_condition_idiom(sub):
+                            continue
+                        yield info.module.finding(
+                            self.id,
+                            _At(site.line),
+                            f"'{sub.dotted}(...)' (via '{site.dotted}') is "
+                            f"reachable while holding "
+                            f"{_fmt_locks(site.held)} — {sub_reason}",
+                            hint=_BLOCK_HINT,
+                            chain=[info.short, *chain, sub.dotted],
+                        )
+                        break  # one finding per reachable callee is enough
+                    else:
+                        continue
+                    break
+
+
+@register
+class LockOrderingRule(Rule):
+    id = "lock-ordering"
+    summary = "inconsistent lock acquisition order, or non-reentrant re-acquire"
+    rationale = (
+        "the sharded store holds stripe -> shard -> stray locks in one "
+        "global order (PR 3); an edge against that order is a deadlock"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        graph = project.callgraph
+        # edge (held -> acquired) -> first witnessing (module, line, chain)
+        edges: dict[tuple[str, str], tuple] = {}
+        ctor_of: dict[str, str] = {}
+        for qualname, info in sorted(graph.functions.items()):
+            for acq in info.acquires:
+                if acq.ctor:
+                    ctor_of.setdefault(acq.lock_id, acq.ctor)
+                for held in acq.held:
+                    edges.setdefault(
+                        (held, acq.lock_id),
+                        (info.module, acq.line, [info.short]),
+                    )
+            # locks acquired inside callees while this function holds one
+            for site in info.calls:
+                if not site.held:
+                    continue
+                for target in site.resolved:
+                    _, sub_acquires = graph.effects(target)
+                    for sub, chain in sub_acquires:
+                        if sub.ctor:
+                            ctor_of.setdefault(sub.lock_id, sub.ctor)
+                        for held in site.held:
+                            edges.setdefault(
+                                (held, sub.lock_id),
+                                (
+                                    info.module,
+                                    site.line,
+                                    [info.short, *chain],
+                                ),
+                            )
+        # self-edges: re-acquiring a known non-reentrant lock deadlocks
+        reported: set[tuple[str, str]] = set()
+        for (held, acquired), (module, line, chain) in sorted(
+            edges.items(), key=lambda kv: (kv[1][0].path, kv[1][1])
+        ):
+            if held == acquired and ctor_of.get(held) == "Lock":
+                if (held, acquired) in reported:
+                    continue
+                reported.add((held, acquired))
+                yield module.finding(
+                    self.id,
+                    _At(line),
+                    f"re-acquisition of non-reentrant threading.Lock "
+                    f"'{held}' while already held — guaranteed deadlock",
+                    hint=(
+                        "split the locked section so the re-entrant path "
+                        "runs outside the lock, or make the lock an RLock "
+                        "if re-entry is genuinely intended"
+                    ),
+                    chain=chain,
+                )
+        # cycles among distinct locks
+        adjacency: dict[str, set[str]] = {}
+        for held, acquired in edges:
+            if held != acquired:
+                adjacency.setdefault(held, set()).add(acquired)
+        for cycle in _find_cycles(adjacency):
+            first_edge = (cycle[0], cycle[1 % len(cycle)])
+            module, line, chain = edges[first_edge]
+            if (cycle[0], cycle[-1]) in reported:
+                continue
+            reported.add((cycle[0], cycle[-1]))
+            pretty = " -> ".join(list(cycle) + [cycle[0]])
+            yield module.finding(
+                self.id,
+                _At(line),
+                f"lock-ordering cycle: {pretty} — two threads entering "
+                f"from different ends deadlock",
+                hint=(
+                    "pick one global acquisition order (the sharded store "
+                    "sorts shard indices before taking their locks) and "
+                    "restructure the path that violates it"
+                ),
+                chain=chain,
+            )
+
+
+class _At:
+    """Minimal location shim for :meth:`ModuleInfo.finding`."""
+
+    def __init__(self, line: int, col: int = 0):
+        self.lineno = line
+        self.col_offset = col
+
+
+def _fmt_locks(held: tuple[str, ...]) -> str:
+    pretty = ", ".join(f"'{_short_lock(h)}'" for h in held)
+    return f"lock {pretty}" if len(held) == 1 else f"locks {pretty}"
+
+
+def _short_lock(lock_id: str) -> str:
+    # function-scoped ids look like "pkg.mod.Cls.fn:obj._lock" — show
+    # only the readable tail
+    return lock_id.rsplit(":", 1)[-1]
+
+
+def _find_cycles(adjacency: dict[str, set[str]]) -> list[tuple[str, ...]]:
+    """Small deterministic cycle enumeration (one witness per cycle set)."""
+    cycles: list[tuple[str, ...]] = []
+    seen_sets: set[frozenset] = set()
+
+    def dfs(start: str, node: str, path: list[str], visited: set[str]):
+        for nxt in sorted(adjacency.get(node, ())):
+            if nxt == start and len(path) > 0:
+                key = frozenset(path + [start])
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(tuple([start] + path))
+            elif nxt not in visited and len(path) < 6:
+                visited.add(nxt)
+                dfs(start, nxt, path + [nxt], visited)
+                visited.discard(nxt)
+
+    for start in sorted(adjacency):
+        dfs(start, start, [], {start})
+    return cycles

@@ -1,0 +1,153 @@
+"""schema-discipline: wire dataclasses stay frozen, paired, immutable.
+
+The gateway's schema layer (PR 5) promises ``from_json(to_json(x)) ==
+x`` for every wire type, canonical bytes, and hashable requests (the
+query cache keys on them).  That only holds while every schema
+dataclass in ``api/schemas.py``:
+
+* is ``@dataclass(frozen=True)`` — a mutable schema instance breaks
+  hashing and lets a handler mutate a request mid-flight;
+* has no mutable literal default (``= {}`` / ``= []`` is shared across
+  *all* instances; use ``field(default_factory=...)``);
+* keeps its serialisation pair complete — a class with a ``_jsonable``
+  (the ``to_json`` half) must be registered in ``SCHEMA_TYPES`` and
+  every registered class must define ``_parse`` (the ``from_json``
+  half), or payloads serialise but can never be read back.
+
+Scoped to files named ``schemas.py`` (the wire-schema module and its
+test fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import Rule, register
+
+_MUTABLE_DEFAULTS = (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp)
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.AST | None:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else getattr(target, "id", None)
+        )
+        if name == "dataclass":
+            return dec
+    return None
+
+
+def _is_frozen(dec: ast.AST) -> bool:
+    if not isinstance(dec, ast.Call):
+        return False
+    for kw in dec.keywords:
+        if kw.arg == "frozen":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return False
+
+
+def _method_names(cls: ast.ClassDef) -> set[str]:
+    return {
+        item.name
+        for item in cls.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _registered_classes(module: ModuleInfo) -> set[str] | None:
+    """Class names registered in the SCHEMA_TYPES dispatch table."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "SCHEMA_TYPES" in targets and isinstance(node.value, ast.Dict):
+                names = set()
+                for value in node.value.values:
+                    if isinstance(value, ast.Name):
+                        names.add(value.id)
+                return names
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                isinstance(node.target, ast.Name)
+                and node.target.id == "SCHEMA_TYPES"
+                and isinstance(node.value, ast.Dict)
+            ):
+                return {
+                    v.id
+                    for v in node.value.values
+                    if isinstance(v, ast.Name)
+                }
+    return None
+
+
+@register
+class SchemaDisciplineRule(Rule):
+    id = "schema-discipline"
+    summary = "wire dataclasses: frozen, no mutable defaults, parse/json pairs"
+    rationale = (
+        "PR 5: round-trip exactness and cache-key hashability depend on "
+        "frozen, fully-paired schema dataclasses"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in self.modules_named(project, "schemas.py"):
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        registered = _registered_classes(module)
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            dec = _dataclass_decorator(node)
+            if dec is None:
+                continue
+            if not _is_frozen(dec):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"schema dataclass {node.name} is not frozen — wire "
+                    f"payloads must be immutable and hashable",
+                    hint="@dataclass(frozen=True)",
+                )
+            yield from self._check_defaults(module, node)
+            methods = _method_names(node)
+            if registered is not None:
+                if "_jsonable" in methods and node.name not in registered:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"{node.name} defines _jsonable (the to_json half) "
+                        f"but is not registered in SCHEMA_TYPES — it can "
+                        f"serialise but from_json can never dispatch to it",
+                        hint="register the class in SCHEMA_TYPES",
+                    )
+                if node.name in registered and "_parse" not in methods:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"{node.name} is registered in SCHEMA_TYPES but has "
+                        f"no _parse classmethod — its to_json has no "
+                        f"from_json partner",
+                        hint="add a _parse(cls, data) classmethod",
+                    )
+
+    def _check_defaults(self, module: ModuleInfo, cls: ast.ClassDef):
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                continue
+            if isinstance(stmt.value, _MUTABLE_DEFAULTS):
+                target = getattr(stmt.target, "id", "?")
+                yield module.finding(
+                    self.id,
+                    stmt,
+                    f"field {target!r} has a mutable literal default — the "
+                    f"one instance is shared by every payload",
+                    hint="use dataclasses.field(default_factory=...)",
+                )

@@ -1,0 +1,146 @@
+"""wal-write-discipline: one record, one syscall, in the append path.
+
+The durable store's crash contract (PR 6) is that the bytes a crash can
+tear are exactly the bytes of one framed record: the active WAL segment
+is opened **unbuffered** and every logical record is emitted as **one
+``write()`` call** of one pre-framed buffer.  Two writes per record (or
+a buffered file object) create a window where a crash persists half a
+record *ahead of* the frame length that says it is whole — recovery
+would then truncate a record the caller was told was acked, violating
+the 111-point crash-injection matrix's invariant.
+
+Checks, scoped to files named ``durable.py``:
+
+* any function with more than one ``write()`` call on the active
+  segment handle (``*_seg_file.write``), or such a write inside a
+  ``for``/``while`` loop — multi-write record emission;
+* ``.writelines(...)`` anywhere — inherently multi-buffer;
+* ``open(path, "ab"/"wb", ...)`` without ``buffering=0`` — a buffered
+  handle turns "ack means bytes reached the file" into "ack means bytes
+  reached a Python buffer".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.registry import Rule, register
+
+#: attribute names that denote the active WAL segment handle
+_SEGMENT_ATTR_SUFFIX = "_seg_file"
+
+
+def _is_segment_write(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "write"
+        and isinstance(node.func.value, ast.Attribute)
+        and node.func.value.attr.endswith(_SEGMENT_ATTR_SUFFIX)
+    )
+
+
+def _loop_ancestors(node: ast.AST, parents: dict) -> bool:
+    cur = parents.get(node)
+    while cur is not None and not isinstance(
+        cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+    ):
+        if isinstance(cur, (ast.For, ast.While, ast.AsyncFor)):
+            return True
+        cur = parents.get(cur)
+    return False
+
+
+@register
+class WalWriteDisciplineRule(Rule):
+    id = "wal-write-discipline"
+    summary = "WAL appends: one record, one unbuffered write syscall"
+    rationale = (
+        "PR 6: the crash-injection matrix's recovery guarantee assumes a "
+        "torn write can only tear one framed record"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in self.modules_named(project, "durable.py"):
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for func in ast.walk(module.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, func)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_open(module, node)
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "writelines"
+                ):
+                    yield module.finding(
+                        self.id,
+                        node,
+                        "writelines() emits multiple buffers — a crash can "
+                        "tear between them, ahead of the frame header",
+                        hint="frame the record and emit one write() call",
+                    )
+
+    def _check_function(self, module: ModuleInfo, func: ast.AST):
+        writes = [
+            node
+            for node in ast.walk(func)
+            if isinstance(node, ast.Call) and _is_segment_write(node)
+        ]
+        if len(writes) > 1:
+            yield module.finding(
+                self.id,
+                writes[1],
+                f"{func.name}() writes the active WAL segment "
+                f"{len(writes)} times — a crash between the writes "
+                f"persists a torn record the caller saw acked",
+                hint="build the full framed record, then write once",
+            )
+        for node in writes:
+            if _loop_ancestors(node, module.parents):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{func.name}() writes the WAL segment inside a loop — "
+                    f"multi-write record emission",
+                    hint="accumulate into one framed buffer, write once",
+                )
+
+    def _check_open(self, module: ModuleInfo, node: ast.Call):
+        name = (
+            node.func.id
+            if isinstance(node.func, ast.Name)
+            else node.func.attr
+            if isinstance(node.func, ast.Attribute)
+            else None
+        )
+        if name != "open" or len(node.args) < 2:
+            return
+        mode = node.args[1]
+        if not (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and "b" in mode.value
+            and any(m in mode.value for m in ("a", "w"))
+        ):
+            return
+        buffering = None
+        if len(node.args) >= 3:
+            buffering = node.args[2]
+        for kw in node.keywords:
+            if kw.arg == "buffering":
+                buffering = kw.value
+        if not (
+            isinstance(buffering, ast.Constant) and buffering.value == 0
+        ):
+            yield module.finding(
+                self.id,
+                node,
+                f"binary {mode.value!r} open without buffering=0 — 'acked' "
+                f"bytes would sit in a Python buffer a crash erases",
+                hint="open(path, mode, buffering=0)",
+            )

@@ -1,0 +1,112 @@
+"""Inline suppressions: ``# provlint: disable=rule-a,rule-b``.
+
+A suppression comment silences the named rules on its own physical
+line; a comment that stands alone on a line silences the *next* code
+line instead (so long statements can carry the marker above them).
+Suppressions are a contract, not an escape hatch: every one must
+actually silence a finding, or the ``--check`` gate reports it as
+*unused* and fails — stale suppressions are how disabled rules quietly
+rot (the same reasoning as the unused-``noqa`` check in flake8).
+
+Put the justification in the same comment, after the rule list::
+
+    self.body = body or b"{}"  # provlint: disable=falsy-or-default - empty body means empty JSON object
+
+Unknown rule ids in a suppression are reported as findings themselves
+(a typo must not silently disable nothing).
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+
+__all__ = ["Suppression", "scan_suppressions", "SuppressionIndex"]
+
+# rule ids are kebab-case, comma-separated; anything after the id list
+# (the " - justification" tail) is commentary, not part of the list
+_MARKER = re.compile(
+    r"provlint:\s*disable=([A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``disable=`` marker: where it sits and what it silences."""
+
+    path: str
+    comment_line: int  # line the comment physically occupies
+    target_line: int  # line whose findings it silences
+    rules: tuple[str, ...]
+    used: set = field(default_factory=set)  # rule ids that matched a finding
+
+
+class SuppressionIndex:
+    """Per-file lookup: is (line, rule) suppressed, and was it ever used?"""
+
+    def __init__(self, suppressions: list[Suppression]):
+        self.suppressions = suppressions
+        self._by_line: dict[int, list[Suppression]] = {}
+        for sup in suppressions:
+            self._by_line.setdefault(sup.target_line, []).append(sup)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True (and marks the suppression used) if ``rule_id`` is
+        disabled on ``line``."""
+        for sup in self._by_line.get(line, ()):
+            if rule_id in sup.rules:
+                sup.used.add(rule_id)
+                return True
+        return False
+
+    def unused(self) -> list[tuple[Suppression, str]]:
+        """(suppression, rule id) pairs that silenced nothing."""
+        out = []
+        for sup in self.suppressions:
+            for rule_id in sup.rules:
+                if rule_id not in sup.used:
+                    out.append((sup, rule_id))
+        return out
+
+
+def scan_suppressions(path: str, source: str) -> SuppressionIndex:
+    """Tokenize ``source`` and collect every ``provlint: disable=`` marker."""
+    suppressions: list[Suppression] = []
+    #: comment-only lines, so a standalone marker can bind forward
+    standalone: list[Suppression] = []
+    code_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return SuppressionIndex([])
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            match = _MARKER.search(tok.string)
+            if not match:
+                continue
+            rules = tuple(
+                r.strip() for r in match.group(1).split(",") if r.strip()
+            )
+            line = tok.start[0]
+            sup = Suppression(path, line, line, rules)
+            suppressions.append(sup)
+            if tok.start[1] == 0 or not tok.line[: tok.start[1]].strip():
+                standalone.append(sup)
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(tok.start[0])
+    # a standalone comment binds to the next line that holds code
+    for sup in standalone:
+        nxt = sup.comment_line + 1
+        while nxt <= sup.comment_line + 5 and nxt not in code_lines:
+            nxt += 1
+        if nxt in code_lines:
+            sup.target_line = nxt
+    return SuppressionIndex(suppressions)

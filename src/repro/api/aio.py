@@ -162,8 +162,10 @@ class AsyncGatewayServer:
         self.host = host
         self.port = port
         self.executor_workers = executor_workers or DEFAULT_EXECUTOR_WORKERS
-        self.admission = admission or AdmissionController(
-            max_concurrency=self.executor_workers
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(max_concurrency=self.executor_workers)
         )
         self.drain_timeout = drain_timeout
         self._lifecycle = threading.Lock()
@@ -204,12 +206,12 @@ class AsyncGatewayServer:
                 target=self._run_loop, name="gateway-aio-loop", daemon=True
             )
             self._thread.start()
-            self._ready.wait()
+            self._ready.wait()  # provlint: disable=blocking-call-under-lock - lifecycle mutex serialises slow start/stop; request paths never take it
             if self._startup_error is not None:
                 error, self._startup_error = self._startup_error, None
                 thread, self._thread = self._thread, None
-                thread.join(timeout=5)
-                self._executor.shutdown(wait=False)
+                thread.join(timeout=5)  # provlint: disable=blocking-call-under-lock - lifecycle mutex serialises slow start/stop
+                self._executor.shutdown(wait=False)  # provlint: disable=blocking-call-under-lock - lifecycle mutex serialises slow start/stop
                 self._executor = None
                 raise error
         service = getattr(self.gateway, "service", None)
@@ -258,7 +260,7 @@ class AsyncGatewayServer:
             self._server.close()
             try:
                 await asyncio.wait_for(self._server.wait_closed(), timeout=5)
-            except (asyncio.TimeoutError, Exception):  # noqa: BLE001
+            except (asyncio.TimeoutError, Exception):  # noqa: BLE001; provlint: disable=exception-contract - best-effort close during shutdown
                 pass
         # idle keep-alive connections (no request in flight) are parked
         # in readuntil(): cancel them so the loop can close cleanly
@@ -284,9 +286,9 @@ class AsyncGatewayServer:
             self.admission.wait_idle(self.drain_timeout)
             if loop is not None and not loop.is_closed():
                 loop.call_soon_threadsafe(loop.stop)
-            thread.join(timeout=max(5.0, self.drain_timeout))
+            thread.join(timeout=max(5.0, self.drain_timeout))  # provlint: disable=blocking-call-under-lock - lifecycle mutex serialises slow start/stop
             if executor is not None:
-                executor.shutdown(wait=True)
+                executor.shutdown(wait=True)  # provlint: disable=blocking-call-under-lock - lifecycle mutex serialises slow start/stop
             self._loop = None
             self._server = None
             self._bound = None
@@ -371,7 +373,7 @@ class AsyncGatewayServer:
                         writer,
                         error_response(
                             decision.code,
-                            decision.message or "request shed",
+                            decision.message or "request shed",  # provlint: disable=falsy-or-default - empty shed message falls back to generic text
                             detail=(
                                 {"retry_after_s": retry_after}
                                 if retry_after is not None
@@ -413,7 +415,7 @@ class AsyncGatewayServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except Exception:  # noqa: BLE001 - peer already gone
+            except Exception:  # noqa: BLE001; provlint: disable=exception-contract - peer already gone
                 pass
 
     async def _dispatch(self, request: WireRequest) -> WireResponse:

@@ -366,8 +366,12 @@ class ProvenanceGateway:
             # the filter dialect has no pipeline to push; its explain is
             # the store's own access plan (index/scan + shard routing)
             detail: dict[str, Any] = {
-                "filter": s._plain(dict(request.filter or {})),
-                "plan": s._plain(self.query_api.explain(request.filter or {})),
+                "filter": s._plain(dict(request.filter if request.filter is not None else {})),
+                "plan": s._plain(
+                    self.query_api.explain(
+                        request.filter if request.filter is not None else {}
+                    )
+                ),
                 "store_version": self._version(),
             }
             return QueryReply(
@@ -377,7 +381,9 @@ class ProvenanceGateway:
                 scalar=detail,
             )
         version = self._version()
-        frame = self.query_api.to_frame(request.filter or {})
+        frame = self.query_api.to_frame(
+            request.filter if request.filter is not None else {}
+        )
         if request.sort:
             keys = [k for k, _ in request.sort]
             ascending = [direction >= 0 for _, direction in request.sort]

@@ -121,7 +121,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 self._send_wire(
                     error_response(ErrorCode.INTERNAL, repr(exc))
                 )
-            except Exception:  # noqa: BLE001 - socket already gone
+            except Exception:  # noqa: BLE001; provlint: disable=exception-contract - socket already gone
                 pass
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -134,7 +134,7 @@ class _GatewayRequestHandler(BaseHTTPRequestHandler):
                 self._send_wire(
                     error_response(ErrorCode.INTERNAL, repr(exc))
                 )
-            except Exception:  # noqa: BLE001 - socket already gone
+            except Exception:  # noqa: BLE001; provlint: disable=exception-contract - socket already gone
                 pass
 
 
@@ -210,7 +210,7 @@ class GatewayHTTPServer:
                 daemon=True,
             )
             self._thread.start()
-            httpd.ready.wait()
+            httpd.ready.wait()  # provlint: disable=blocking-call-under-lock - lifecycle mutex serialises slow start/stop; request paths never take it
         service = getattr(self.gateway, "service", None)
         if service is not None and hasattr(service, "add_close_hook"):
             service.add_close_hook(self.stop)
@@ -222,9 +222,9 @@ class GatewayHTTPServer:
             thread, self._thread = self._thread, None
             if httpd is None:
                 return  # never started, or already stopped
-            httpd.shutdown()
+            httpd.shutdown()  # provlint: disable=blocking-call-under-lock - lifecycle mutex serialises slow start/stop
             if thread is not None:
-                thread.join(timeout=5)
+                thread.join(timeout=5)  # provlint: disable=blocking-call-under-lock - lifecycle mutex serialises slow start/stop
             httpd.server_close()
 
     #: drain-hook-friendly alias, mirroring the asyncio transport

@@ -130,7 +130,7 @@ def _schema_response(obj: Any, *, status: int | None = None) -> WireResponse:
         if obj.code in _RETRYABLE_CODES:
             retry_after = _retry_after_of(obj)
     return WireResponse(
-        status=status or 200,
+        status=status if status is not None else 200,
         content_type="application/json",
         body=s.to_json(obj).encode(),
         retry_after=retry_after,
@@ -138,7 +138,7 @@ def _schema_response(obj: Any, *, status: int | None = None) -> WireResponse:
 
 
 def _retry_after_of(envelope: ErrorEnvelope) -> int:
-    detail = envelope.detail or {}
+    detail = envelope.detail if envelope.detail is not None else {}
     value = detail.get("retry_after_s")
     if isinstance(value, (int, float)) and not isinstance(value, bool) and value >= 0:
         # ceil to whole seconds: Retry-After is integral, and rounding
@@ -249,7 +249,11 @@ def _handle_parsed(
     handler: Callable[[Any], Any],
 ) -> WireResponse:
     try:
-        parsed = s.from_json(request.body or b"{}", schema)
+        parsed = s.from_json(
+            # provlint: disable=falsy-or-default - empty request body means an empty JSON object
+            request.body or b"{}",
+            schema,
+        )
     except SchemaViolation as exc:
         code = (
             ErrorCode.MALFORMED_JSON
@@ -270,7 +274,7 @@ def _handle_raw(
     request: WireRequest, run: Callable[[dict[str, Any]], Any]
 ) -> WireResponse:
     try:
-        payload = json.loads(request.body or b"{}")
+        payload = json.loads(request.body or b"{}")  # provlint: disable=falsy-or-default - empty request body means an empty JSON object
         if not isinstance(payload, dict):
             raise SchemaViolation("payload must be a JSON object")
     except (ValueError, TypeError) as exc:

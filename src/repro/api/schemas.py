@@ -133,7 +133,7 @@ def _plain(value: Any) -> Any:
     if callable(item):
         try:
             return _plain(item())
-        except Exception:  # noqa: BLE001 - fall through to str
+        except Exception:  # noqa: BLE001; provlint: disable=exception-contract - fall through to str
             pass
     if isinstance(value, Mapping):
         return {str(k): _plain(v) for k, v in value.items()}

@@ -25,7 +25,7 @@ class ObservabilityAdapter(ABC):
     activity_prefix: str = "observe"
 
     def __init__(self, context: CaptureContext | None = None):
-        self.context = context or CaptureContext.default()
+        self.context = context if context is not None else CaptureContext.default()
         self.emitted_count = 0
 
     @abstractmethod
@@ -47,7 +47,7 @@ class ObservabilityAdapter(ABC):
             msg = TaskProvenanceMessage(
                 task_id=self.context.next_task_id(now),
                 campaign_id=self.context.campaign_id,
-                workflow_id=self.context.workflow_id or "observed",
+                workflow_id=self.context.workflow_id or "observed",  # provlint: disable=falsy-or-default - empty workflow id means unset
                 activity_id=f"{self.activity_prefix}_{name}",
                 used={"source": self.source_description()},
                 generated={k: v for k, v in obs.items()},

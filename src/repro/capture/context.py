@@ -143,8 +143,10 @@ class WorkflowRun:
         workflow_id: str | None = None,
     ):
         self.name = name
-        self.context = context or CaptureContext.default()
-        self.workflow_id = workflow_id or new_workflow_id()
+        self.context = context if context is not None else CaptureContext.default()
+        self.workflow_id = (
+            workflow_id if workflow_id is not None else new_workflow_id()
+        )
         self.started_at: float | None = None
 
     def __enter__(self) -> "WorkflowRun":

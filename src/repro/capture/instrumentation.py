@@ -103,7 +103,7 @@ def flow_task(
             msg = TaskProvenanceMessage(
                 task_id=task_id,
                 campaign_id=ctx.campaign_id,
-                workflow_id=ctx.workflow_id or "adhoc",
+                workflow_id=ctx.workflow_id or "adhoc",  # provlint: disable=falsy-or-default - empty workflow id means unset
                 activity_id=act_id,
                 used=used,
                 started_at=started_at,

@@ -37,7 +37,7 @@ class Column:
     def __init__(self, name: str, values: Iterable[Any], dtype: str | None = None):
         vals = list(values) if not isinstance(values, np.ndarray) else values.tolist()
         self.name = name
-        self.dtype = dtype or dt.infer_dtype(vals)
+        self.dtype = dtype if dtype is not None else dt.infer_dtype(vals)
         self._data = dt.to_storage(vals, self.dtype)
 
     # -- construction helpers ------------------------------------------------

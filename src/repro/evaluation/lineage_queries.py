@@ -95,7 +95,7 @@ def build_lineage_query_set(query_api: QueryAPI) -> list[LineageEvalQuery]:
         *data_types: DataType, workload: Workload = Workload.OLTP
     ) -> QueryClass:
         return QueryClass(
-            data_types=data_types or (cf,),
+            data_types=data_types or (cf,),  # provlint: disable=falsy-or-default - varargs: the empty tuple IS "not given"
             workload=workload,
             scope=QueryScope.GRAPH_TRAVERSAL,
             consumer=Consumer.AI,

@@ -177,7 +177,9 @@ def parse_intent(
 
     mentioned = _mentioned_concepts(low, activity_names)
 
-    _extract_filters(low, text, intent, r, activity_names, known_ids or {}, mentioned)
+    if known_ids is None:
+        known_ids = {}
+    _extract_filters(low, text, intent, r, activity_names, known_ids, mentioned)
     _extract_shape(low, intent, r, mentioned)
     _finalise_projection(low, intent, r, mentioned)
 
@@ -339,17 +341,21 @@ def _extract_shape(
     # ordering words
     if re.search(r"\bmost recent\b|\blatest\b|\blast task\b", low):
         intent.sort = (r_resolve_safe(r, "started_at"), False)
-        intent.limit = intent.limit or 1
+        if intent.limit is None:
+            intent.limit = 1
     elif re.search(r"\bfirst\b|\bearliest\b", low):
         intent.sort = ("started_at", True)
-        intent.limit = intent.limit or 1
+        if intent.limit is None:
+            intent.limit = 1
     elif re.search(r"\blongest[- ]running\b|\blongest\b", low) and not intent.agg:
         intent.sort = ("duration", False)
-        intent.limit = intent.limit or 1
+        if intent.limit is None:
+            intent.limit = 1
 
     # "sorted" request on group aggregations
     if re.search(r"\bsorted\b|\border(ed)?\b|\brank(ed|ing)?\b", low) and intent.group_by:
-        intent.sort = intent.sort or ("__agg__", False)
+        if intent.sort is None:
+            intent.sort = ("__agg__", False)
 
     # uniqueness: "what functional was used", "which hosts appear"
     if re.search(r"\bwhat .* was used\b|\bdistinct\b|\bunique\b", low):

@@ -119,7 +119,7 @@ class LLMServer:
             rep=request.rep,
             query_id=request.query_id,
         )
-        output_tokens = result.output_tokens_hint or count_tokens(result.text)
+        output_tokens = result.output_tokens_hint or count_tokens(result.text)  # provlint: disable=falsy-or-default - a 0 hint means "no hint"
         latency = simulate_latency(
             profile,
             prompt_tokens,

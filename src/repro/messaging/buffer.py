@@ -84,6 +84,13 @@ class MessageBuffer:
         self._oldest_at: float | None = None
         self._last_task_id: str | None = None
         self._lock = threading.Lock()
+        # flushed batches queue here and are published OUTSIDE the lock
+        # (the broker delivers synchronously to subscriber callbacks; a
+        # callback that re-enters this buffer must not deadlock on the
+        # non-reentrant lock — same enqueue-then-drain split as
+        # InProcessBroker)
+        self._outbox: list[list[Mapping[str, Any]]] = []
+        self._draining = False
         self.flush_count = 0
         self.appended_count = 0
 
@@ -97,28 +104,36 @@ class MessageBuffer:
                 self._last_task_id = str(task_id)
             if self._oldest_at is None:
                 self._oldest_at = self.clock.now()
-            if self.strategy.should_flush(len(self._pending), self._age()):
-                self._flush_locked()
-                return True
-            return False
+            flushed = self.strategy.should_flush(
+                len(self._pending), self._age()
+            )
+            if flushed:
+                self._enqueue_flush_locked()
+        if flushed:
+            self._drain_outbox()
+        return flushed
 
     def poll(self) -> bool:
         """Time-based check (call periodically); flushes if the buffer aged out."""
         with self._lock:
-            if self._pending and self.strategy.should_flush(
+            flushed = bool(self._pending) and self.strategy.should_flush(
                 len(self._pending), self._age()
-            ):
-                self._flush_locked()
-                return True
-            return False
+            )
+            if flushed:
+                self._enqueue_flush_locked()
+        if flushed:
+            self._drain_outbox()
+        return flushed
 
     def flush(self) -> int:
         """Flush unconditionally; returns the number of messages published."""
         with self._lock:
             n = len(self._pending)
             if n:
-                self._flush_locked()
-            return n
+                self._enqueue_flush_locked()
+        if n:
+            self._drain_outbox()
+        return n
 
     def close(self) -> None:
         self.flush()
@@ -143,8 +158,35 @@ class MessageBuffer:
             return 0.0
         return self.clock.now() - self._oldest_at
 
-    def _flush_locked(self) -> None:
-        self.broker.publish_batch(self.topic, self._pending)
+    def _enqueue_flush_locked(self) -> None:
+        """Move the pending batch to the outbox (caller holds the lock)."""
+        self._outbox.append(self._pending)
         self._pending = []
         self._oldest_at = None
         self.flush_count += 1
+
+    def _drain_outbox(self) -> None:
+        """Publish queued batches with the lock released.
+
+        Single-drainer: the thread that flips ``_draining`` publishes
+        every batch in the outbox, including batches enqueued while it
+        was publishing (a subscriber callback that re-enters ``append``
+        only queues; its batch is delivered by the active drainer, in
+        order, without re-acquiring the lock around broker delivery).
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+        try:
+            while True:
+                with self._lock:
+                    if not self._outbox:
+                        self._draining = False
+                        return
+                    batch = self._outbox.pop(0)
+                self.broker.publish_batch(self.topic, batch)
+        except BaseException:
+            with self._lock:
+                self._draining = False
+            raise

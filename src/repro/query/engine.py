@@ -144,7 +144,7 @@ def run_cached_pipeline(
                     cache.put(key, version, (summary, stored))
                 return PipelineRun(summary, result, "miss", version, push_info)
             if combined is not None:
-                push_info["fallback"] = combined.reason or "unsupported"
+                push_info["fallback"] = combined.reason or "unsupported"  # provlint: disable=falsy-or-default - empty reason means unspecified
     prefilter = pipeline_prefilter(pipeline) if pushdown else {}
     frame = query_api.to_frame(merge_filters(base_filter, prefilter))
     from repro.errors import QueryExecutionError

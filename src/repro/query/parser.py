@@ -70,7 +70,7 @@ def tokenize(code: str) -> list[Token]:
         m = _TOKEN_RE.match(code, i)
         if not m:
             raise QuerySyntaxError(f"unexpected character {code[i]!r} at position {i}")
-        kind = m.lastgroup or ""
+        kind = m.lastgroup if m.lastgroup is not None else ""
         text = m.group()
         if kind != "WS":
             tokens.append(Token(kind, text, i))

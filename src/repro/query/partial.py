@@ -441,7 +441,7 @@ def _run_topk(
             work = work.filter(evaluate_predicate(st.predicate, work))
         elif isinstance(st, q.Sort):
             work = work.sort_values(list(st.keys), list(st.ascending))
-    direction, k = plan.fetch or ("head", 0)
+    direction, k = plan.fetch if plan.fetch is not None else ("head", 0)
     work = work.head(k) if direction == "head" else work.tail(k)
     by_seq = dict(flats)
     part.docs = [
@@ -779,7 +779,9 @@ def _combine_partial_mode(
     term = plan.terminal
     if isinstance(term, q.RowCount):
         return Combined(
-            ok=True, result=sum(p.count or 0 for p in partials), stats=stats
+            ok=True,
+        result=sum(p.count if p.count is not None else 0 for p in partials),
+        stats=stats,
         )
 
     def refuse(reason: str) -> Combined:
@@ -794,7 +796,8 @@ def _combine_partial_mode(
             return refuse(f"value drift risk on {name!r}")
         seen: dict[Any, Any] = {}
         entries = sorted(
-            (e for p in partials for e in (p.unique or ())), key=lambda t: t[0]
+            (e for p in partials for e in (p.unique if p.unique is not None else ())),
+        key=lambda t: t[0],
         )
         for _, v in entries:
             v = _coerce(v, mdtype)
@@ -834,7 +837,7 @@ def _combine_partial_mode(
     value_dtype = None if term.agg == "count" else vdtype
     groups: dict[tuple, dict[str, Any]] = {}
     for p in partials:
-        for g in p.groups or ():
+        for g in p.groups if p.groups is not None else ():
             parts = tuple(
                 _coerce(v, kd) for v, kd in zip(g["parts"], key_dtypes)
             )

@@ -159,8 +159,8 @@ def merge_filters(
     ``$and``/``$or`` — fall back to the nested form, which preserves
     both constraints.
     """
-    base = dict(base or {})
-    extra = dict(extra or {})
+    base = dict(base if base is not None else {})
+    extra = dict(extra if extra is not None else {})
     if not base:
         return extra
     if not extra:

@@ -36,6 +36,15 @@ _UNSUPPORTED_JOINS = ("JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS")
 _UNSUPPORTED_SET_OPS = ("UNION", "EXCEPT", "INTERSECT")
 
 
+def _describe(tok) -> str:
+    """Token text for error messages; the EOF sentinel's text is ``""``.
+
+    Collapsing falsy is exactly the contract here: only the EOF token
+    carries empty text, and "end of input" is its readable name.
+    """
+    return tok.text or "end of input"  # provlint: disable=falsy-or-default - only the EOF sentinel has empty text
+
+
 class _SqlParser:
     def __init__(self, source: str):
         self.source = source
@@ -54,7 +63,8 @@ class _SqlParser:
         return tok
 
     def error(self, message: str, tok: SqlToken | None = None) -> SqlSyntaxError:
-        tok = tok or self.peek()
+        if tok is None:
+            tok = self.peek()
         return SqlSyntaxError(
             message, source=self.source, line=tok.line, column=tok.column
         )
@@ -62,7 +72,8 @@ class _SqlParser:
     def unsupported(
         self, message: str, tok: SqlToken | None = None
     ) -> SqlUnsupportedError:
-        tok = tok or self.peek()
+        if tok is None:
+            tok = self.peek()
         return SqlUnsupportedError(
             message, source=self.source, line=tok.line, column=tok.column
         )
@@ -74,14 +85,14 @@ class _SqlParser:
     def expect_keyword(self, word: str) -> SqlToken:
         tok = self.next()
         if tok.kind != "KEYWORD" or tok.text != word:
-            what = tok.text or "end of input"
+            what = _describe(tok)
             raise self.error(f"expected {word}, found {what!r}", tok)
         return tok
 
     def expect_punct(self, ch: str) -> SqlToken:
         tok = self.next()
         if tok.kind != "PUNCT" or tok.text != ch:
-            what = tok.text or "end of input"
+            what = _describe(tok)
             raise self.error(f"expected {ch!r}, found {what!r}", tok)
         return tok
 
@@ -237,7 +248,7 @@ class _SqlParser:
     def parse_column_ref(self) -> sa.ColumnRef:
         tok = self.next()
         if tok.kind not in ("NAME", "QNAME"):
-            what = tok.text or "end of input"
+            what = _describe(tok)
             raise self.error(f"expected a column name, found {what!r}", tok)
         parts = [str(tok.value)]
         # bare dotted paths: tasks.status, used.x — quoted identifiers
@@ -265,7 +276,7 @@ class _SqlParser:
                 "subqueries in FROM are not supported", tok
             )
         if tok.kind not in ("NAME", "QNAME"):
-            what = tok.text or "end of input"
+            what = _describe(tok)
             raise self.error(f"expected a table name, found {what!r}", tok)
         table = str(tok.value)
         alias = None
@@ -383,7 +394,7 @@ class _SqlParser:
             if null_tok.kind != "KEYWORD" or null_tok.text != "NULL":
                 raise self.error("expected NULL after IS", null_tok)
             return sa.NullTest(column=left, negated=is_not, pos=self.pos(tok))
-        what = nxt.text or "end of input"
+        what = _describe(nxt)
         raise self.error(
             f"expected a comparison operator, IN, LIKE, BETWEEN or IS "
             f"after column, found {what!r}",
@@ -418,7 +429,7 @@ class _SqlParser:
                 "(string literals use single quotes)",
                 tok,
             )
-        what = tok.text or "end of input"
+        what = _describe(tok)
         raise self.error(f"expected a literal, found {what!r}", tok)
 
     def parse_nonneg_int(self, clause: str) -> int:
@@ -451,7 +462,9 @@ class _SqlParser:
 def parse_sql(source: str) -> sa.SelectStatement:
     """Parse one SELECT statement, or raise a positioned :class:`SqlError`."""
     if not source or not source.strip():
-        raise SqlSyntaxError("empty SQL statement", source=source or "")
+        raise SqlSyntaxError(
+            "empty SQL statement", source=source if source is not None else ""
+        )
     parser = _SqlParser(source)
     first = parser.peek()
     if not (first.kind == "KEYWORD" and first.text == "SELECT") \

@@ -230,7 +230,8 @@ def _assemble(items: list[str], *, where: q.Predicate | None,
         parts.append("GROUP BY " + group_by)
     if having:
         parts.append("HAVING " + having)
-    parts.extend(tail or [])
+    if tail:
+        parts.extend(tail)
     return " ".join(parts)
 
 

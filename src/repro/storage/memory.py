@@ -761,7 +761,7 @@ class ProvenanceDatabase:
         planner chose, the candidate count the indexes narrowed to, and
         the total document count.
         """
-        filt = filt or {}
+        filt = filt if filt is not None else {}
         with self._lock:
             total = len(self._docs)
             if not filt:
@@ -798,7 +798,7 @@ class ProvenanceDatabase:
         projection: list[str] | None = None,
     ) -> list[dict[str, Any]]:
         with self._lock:
-            docs = self._execute_filter(filt or {})
+            docs = self._execute_filter(filt if filt is not None else {})
         if sort:
             docs = list(docs)
             for path, direction in reversed(sort):
@@ -827,12 +827,14 @@ class ProvenanceDatabase:
         from repro.query.partial import execute_plan_on_docs
 
         with self._lock:
-            docs = self._execute_filter(plan.filter or {})
+            docs = self._execute_filter(
+            plan.filter if plan.filter is not None else {}
+        )
         return [execute_plan_on_docs(docs, plan)]
 
     def count(self, filt: Mapping[str, Any] | None = None) -> int:
         with self._lock:
-            return len(self._execute_filter(filt or {}))
+            return len(self._execute_filter(filt if filt is not None else {}))
 
     def distinct(self, path: str, filt: Mapping[str, Any] | None = None) -> list[Any]:
         """Distinct non-null values of ``path``, ordered by first holder.
@@ -855,7 +857,7 @@ class ProvenanceDatabase:
                 )
                 return [v for _, v in pairs]
             seen: dict[Any, None] = {}
-            for d in self._execute_filter(filt or {}):
+            for d in self._execute_filter(filt if filt is not None else {}):
                 v = get_path(d, path)
                 if v is not None:
                     try:
@@ -882,7 +884,7 @@ class ProvenanceDatabase:
                 )
                 return {v: n for _, v, n in pairs}
             counts: dict[Any, int] = {}
-            for d in self._execute_filter(filt or {}):
+            for d in self._execute_filter(filt if filt is not None else {}):
                 v = get_path(d, path)
                 try:
                     hash(v)

@@ -541,7 +541,7 @@ class ShardedProvenanceStore:
         limit: int | None = None,
         projection: list[str] | None = None,
     ) -> list[dict[str, Any]]:
-        filt = filt or {}
+        filt = filt if filt is not None else {}
         # validate up front: routing to zero/one shard must reject a
         # malformed filter exactly like a full scan would
         validate_filter(filt)
@@ -575,7 +575,7 @@ class ShardedProvenanceStore:
         return out[0] if out else None
 
     def count(self, filt: Mapping[str, Any] | None = None) -> int:
-        filt = filt or {}
+        filt = filt if filt is not None else {}
         validate_filter(filt)
         targets, _ = self._targets(filt)
         return sum(self._map_shards(lambda s: self.shards[s].count(filt), targets))
@@ -593,7 +593,7 @@ class ShardedProvenanceStore:
         """
         from repro.query.partial import execute_plan_on_docs
 
-        filt = plan.filter or {}
+        filt = plan.filter if plan.filter is not None else {}
         validate_filter(filt)
         targets, _ = self._targets(filt)
 
@@ -611,7 +611,7 @@ class ShardedProvenanceStore:
     def distinct(self, path: str, filt: Mapping[str, Any] | None = None) -> list[Any]:
         """Distinct non-null values (same set as single-node; emission
         order groups by shard rather than global insertion)."""
-        filt = filt or {}
+        filt = filt if filt is not None else {}
         validate_filter(filt)
         targets, _ = self._targets(filt)
         parts = self._map_shards(
@@ -626,7 +626,7 @@ class ShardedProvenanceStore:
     def field_counts(
         self, path: str, filt: Mapping[str, Any] | None = None
     ) -> dict[Any, int]:
-        filt = filt or {}
+        filt = filt if filt is not None else {}
         validate_filter(filt)
         targets, _ = self._targets(filt)
         parts = self._map_shards(
@@ -670,7 +670,7 @@ class ShardedProvenanceStore:
 
     def explain(self, filt: Mapping[str, Any] | None = None) -> dict[str, Any]:
         """The coordinator's routing decision plus each shard's plan."""
-        filt = filt or {}
+        filt = filt if filt is not None else {}
         validate_filter(filt)
         targets, values = self._targets(filt)
         per_shard = [

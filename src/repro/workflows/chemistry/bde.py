@@ -256,7 +256,7 @@ def run_bde_workflow(
     outdir: str = "bde_calc",
 ) -> BDEReport:
     """Run the full BDE workflow with provenance capture; returns the report."""
-    ctx = context or CaptureContext.default()
+    ctx = context if context is not None else CaptureContext.default()
     dft = SimulatedDFT(functional, basis_set)
     parent = parse_smiles(smiles, name="parent")
     n_tasks = 0

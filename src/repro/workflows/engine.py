@@ -77,7 +77,7 @@ class WorkflowEngine:
         *,
         cluster_hosts: tuple[str, ...] = ("node-0", "node-1", "node-2", "node-3"),
     ):
-        self.context = context or CaptureContext.default()
+        self.context = context if context is not None else CaptureContext.default()
         if not cluster_hosts:
             raise WorkflowError("cluster needs at least one host")
         self.cluster_hosts = cluster_hosts

@@ -127,7 +127,7 @@ def run_lpbf_build(
     hosts: tuple[str, ...] = ("printer-edge-0", "printer-edge-1"),
 ) -> BuildReport:
     """Run a simulated LPBF build with provenance capture."""
-    ctx = context or CaptureContext.default()
+    ctx = context if context is not None else CaptureContext.default()
     n_tasks = 0
     with WorkflowRun("lpbf_build_workflow", ctx) as run:
         sliced = _slice_geometry(

@@ -159,7 +159,7 @@ def run_synthetic_workflow(
     engine: WorkflowEngine | None = None,
 ) -> WorkflowResult:
     """Run one synthetic workflow instance with provenance capture."""
-    context = context or CaptureContext.default()
+    context = context if context is not None else CaptureContext.default()
     engine = engine if engine is not None else WorkflowEngine(context)
     return engine.execute(
         synthetic_dag(x, params), workflow_name="synthetic_math_workflow"
@@ -178,7 +178,7 @@ def run_synthetic_campaign(
     reproducible; results are streamed to the context's broker, giving
     the agent ``8 * n_inputs`` task messages to work over.
     """
-    context = context or CaptureContext.default()
+    context = context if context is not None else CaptureContext.default()
     engine = WorkflowEngine(context)
     rng = derive_rng("synthetic", seed, n_inputs)
     out: list[WorkflowResult] = []

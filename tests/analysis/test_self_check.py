@@ -1,0 +1,61 @@
+"""The analyser's own dogfood gate: ``src/`` is clean against the
+committed baseline.
+
+This is the test-suite twin of the CI leg (``python -m repro.analysis
+--check src``): if a change introduces a new finding, an unused
+suppression, or fixes a baselined site without removing its entry, this
+test fails with the same report the gate would print.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def result(monkeypatch_module):
+    monkeypatch_module.chdir(REPO_ROOT)
+    baseline = Baseline.load(str(REPO_ROOT / "provlint-baseline.json"))
+    return run_analysis(["src"], baseline=baseline)
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    mp = pytest.MonkeyPatch()
+    yield mp
+    mp.undo()
+
+
+def _render(findings):
+    return "\n".join(f.render() for f in findings)
+
+
+def test_src_has_no_new_findings(result):
+    assert result.findings == [], "\n" + _render(result.findings)
+
+
+def test_src_parses_completely(result):
+    assert result.parse_errors == []
+
+
+def test_no_suppression_is_stale(result):
+    stale = [
+        f"{sup.path}:{sup.comment_line} disable={rule_id}"
+        for sup, rule_id in result.unused_suppressions
+    ]
+    assert stale == []
+
+
+def test_baseline_has_no_stale_entries(result):
+    assert [e.key() for e in result.stale_baseline] == []
+
+
+def test_baseline_entries_all_carry_real_notes(result):
+    for entry in result.baseline.entries:
+        assert entry.note and not entry.note.startswith("TODO"), entry.key()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.messaging.broker import InProcessBroker
@@ -125,3 +127,71 @@ class TestLastTaskId:
         buf.append({"task_id": "a"})
         buf.append({"other": 1})
         assert buf.last_task_id() == "a"
+
+
+class TestReentrantDelivery:
+    """Flush publishes outside the buffer lock (the provlint
+    blocking-call-under-lock finding): a subscriber callback may
+    re-enter the buffer without deadlocking on its non-reentrant lock.
+    """
+
+    def test_callback_appending_back_does_not_deadlock(self, broker):
+        buf = MessageBuffer(broker, "t.x", SizeFlush(1))
+        echoed = []
+
+        def echo(env):
+            # re-enter the buffer from inside delivery; this append
+            # itself triggers another flush
+            if not env.payload.get("echo"):
+                echoed.append(env.payload["i"])
+                buf.append({"i": env.payload["i"], "echo": True})
+
+        broker.subscribe("t.x", echo)
+
+        worker = threading.Thread(target=buf.append, args=({"i": 1},))
+        worker.start()
+        worker.join(timeout=5)
+        assert not worker.is_alive(), "re-entrant append deadlocked"
+        assert echoed == [1]
+        assert broker.published_count == 2  # original + echo
+        assert buf.pending == 0
+
+    def test_reentrant_batches_drain_in_order(self, broker):
+        buf = MessageBuffer(broker, "t.x", SizeFlush(1))
+        seen = []
+
+        def record(env):
+            seen.append(env.payload["n"])
+            n = env.payload["n"]
+            if n < 3:
+                buf.append({"n": n + 1})
+
+        broker.subscribe("t.x", record)
+        done = threading.Event()
+
+        def kick():
+            buf.append({"n": 0})
+            done.set()
+
+        worker = threading.Thread(target=kick)
+        worker.start()
+        worker.join(timeout=5)
+        assert done.is_set(), "chained re-entrant flushes deadlocked"
+        assert seen == [0, 1, 2, 3]
+
+    def test_flush_failure_releases_the_drainer(self, broker):
+        buf = MessageBuffer(broker, "t.x", SizeFlush(100))
+        calls = []
+
+        def explode(env):
+            calls.append(env.payload)
+            raise RuntimeError("subscriber bug")
+
+        broker.subscribe("t.x", explode)
+        buf.append({"i": 0})
+        buf.flush()  # broker contains delivery errors; must not wedge
+        assert calls
+        # the drainer flag was reset: the next flush still publishes
+        buf.append({"i": 1})
+        assert buf.flush() == 1
+        assert broker.published_count == 2

@@ -155,3 +155,84 @@ def test_agent_service_keeps_falsy_llm():
         assert service.llm is llm
     finally:
         service.close()
+
+
+class FalsyContext(CaptureContext):
+    def __bool__(self) -> bool:
+        return False
+
+
+def test_workflow_run_keeps_falsy_context():
+    from repro.capture.context import WorkflowRun
+
+    ctx = FalsyContext()
+    assert WorkflowRun("w", ctx).context is ctx
+
+
+def test_capture_adapter_keeps_falsy_context():
+    from repro.capture.adapters.base import ObservabilityAdapter
+
+    class NullAdapter(ObservabilityAdapter):
+        def observe(self):  # pragma: no cover - unused
+            return []
+
+        def source_description(self) -> str:  # pragma: no cover - unused
+            return "null"
+
+    ctx = FalsyContext()
+    assert NullAdapter(context=ctx).context is ctx
+
+
+def test_workflow_engine_keeps_falsy_context():
+    ctx = FalsyContext()
+    assert WorkflowEngine(ctx).context is ctx
+
+
+def test_async_gateway_keeps_falsy_admission():
+    from repro.api.admission import AdmissionController
+    from repro.api.aio import AsyncGatewayServer
+
+    class FalsyAdmission(AdmissionController):
+        def __bool__(self) -> bool:
+            return False
+
+    admission = FalsyAdmission(max_concurrency=1)
+    server = AsyncGatewayServer(object(), admission=admission)
+    assert server.admission is admission  # never started; nothing to stop
+
+
+# -- the lint is the regression net -----------------------------------------
+#
+# The tests above pin individual call sites; the seeded fixtures below
+# pin the *detector*: reintroducing the exact PR 6 shape must trip
+# provlint's falsy-or-default rule, so the bug class cannot return
+# anywhere in src/ without failing the gate.
+
+SEEDED_PR6_SHAPE = """\
+class QueryAPI:
+    def __init__(self, store, cache=None):
+        self.store = store
+        self.cache = cache or QueryCache()
+"""
+
+
+def test_lint_flags_the_seeded_pr6_cache_shape(tmp_path):
+    from repro.analysis import run_analysis
+
+    (tmp_path / "query_api.py").write_text(SEEDED_PR6_SHAPE)
+    result = run_analysis([str(tmp_path)])
+    assert [f.rule for f in result.findings] == ["falsy-or-default"]
+    finding = result.findings[0]
+    assert finding.line == 4
+    assert "cache or QueryCache()" in finding.message
+
+
+def test_lint_accepts_the_pr7_is_none_rewrite(tmp_path):
+    from repro.analysis import run_analysis
+
+    fixed = SEEDED_PR6_SHAPE.replace(
+        "cache or QueryCache()", "cache if cache is not None else QueryCache()"
+    )
+    (tmp_path / "query_api.py").write_text(fixed)
+    result = run_analysis([str(tmp_path)])
+    assert result.findings == []
